@@ -1,0 +1,58 @@
+// Command bench runs the paper's full evaluation suite (§7) and prints each
+// table and figure in the paper's format. Select experiments with -exp, and
+// scale with -quick (seconds) or the default benchmark options (minutes).
+//
+//	go run ./cmd/bench -quick                 # fast smoke run, all experiments
+//	go run ./cmd/bench -exp table2,table5     # full-scale selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"neurocard/internal/harness"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d")
+	flag.Parse()
+
+	o := harness.Default()
+	if *quick {
+		o = harness.Quick()
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+
+	run := func(name string, fn func() (string, error)) {
+		if !all && !want[name] {
+			return
+		}
+		start := time.Now()
+		out, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%s\n(%s in %s)\n\n", out, name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("table1", func() (string, error) { return harness.Table1(o) })
+	run("fig6", func() (string, error) { return harness.Figure6(o) })
+	run("table2", func() (string, error) { s, _, err := harness.Table2(o); return s, err })
+	run("table3", func() (string, error) { s, _, err := harness.Table3(o); return s, err })
+	run("table4", func() (string, error) { s, _, err := harness.Table4(o); return s, err })
+	run("table5", func() (string, error) { return harness.Table5(o) })
+	run("table6", func() (string, error) { return harness.Table6(o) })
+	run("fig7a", func() (string, error) { return harness.Figure7a(o) })
+	run("fig7b", func() (string, error) { return harness.Figure7b(o) })
+	run("fig7c", func() (string, error) { return harness.Figure7c(o) })
+	run("fig7d", func() (string, error) { return harness.Figure7d(o) })
+}

@@ -1,0 +1,111 @@
+// Command neurocard trains a NeuroCard estimator on a synthetic IMDB schema
+// and evaluates it on the matching benchmark workload, optionally saving
+// the trained model. It is the end-to-end entry point for trying the
+// estimator outside the benchmark harness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"neurocard"
+	"neurocard/internal/datagen"
+	"neurocard/internal/workload"
+)
+
+func main() {
+	schemaName := flag.String("schema", "joblight", "schema: joblight | jobm")
+	scale := flag.Float64("scale", 0.5, "dataset scale factor")
+	seed := flag.Int64("seed", 42, "seed")
+	tuples := flag.Int("tuples", 200_000, "training tuples")
+	hidden := flag.Int("hidden", 128, "model hidden width (d_ff)")
+	embed := flag.Int("embed", 16, "embedding width (d_emb)")
+	factBits := flag.Int("factbits", 12, "factorization bits (0 = off)")
+	psamples := flag.Int("psamples", 256, "progressive samples per query")
+	workers := flag.Int("workers", 8, "sampler threads")
+	ranges := flag.Bool("ranges", false, "evaluate JOB-light-ranges instead of JOB-light")
+	nQueries := flag.Int("queries", 200, "ranges workload size")
+	savePath := flag.String("save", "", "write trained model weights to this file")
+	flag.Parse()
+
+	cfg := datagen.Config{Seed: *seed, Scale: *scale}
+	var (
+		d   *datagen.Dataset
+		err error
+	)
+	if *schemaName == "jobm" {
+		d, err = datagen.JOBM(cfg)
+	} else {
+		d, err = datagen.JOBLight(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ncfg := neurocard.DefaultConfig()
+	ncfg.Model.Hidden = *hidden
+	ncfg.Model.EmbedDim = *embed
+	ncfg.FactBits = *factBits
+	ncfg.ContentCols = d.ContentCols
+	ncfg.PSamples = *psamples
+	ncfg.SamplerWorkers = *workers
+	ncfg.Seed = *seed
+
+	start := time.Now()
+	est, err := neurocard.Build(d.Schema, ncfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepared join counts for %d tables: |J| = %.4g (%.1fs)\n",
+		d.Schema.NumTables(), est.JoinSize(), time.Since(start).Seconds())
+
+	start = time.Now()
+	loss, err := est.Train(*tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d tuples in %.1fs: loss %.3f nats/tuple, model %.2f MB\n",
+		*tuples, time.Since(start).Seconds(), loss, float64(est.Bytes())/(1<<20))
+
+	var wl *workload.Workload
+	switch {
+	case *schemaName == "jobm":
+		wl, err = workload.JOBM(d, *seed+2)
+	case *ranges:
+		wl, err = workload.JOBLightRanges(d, *nQueries, *seed+1)
+	default:
+		wl, err = workload.JOBLight(d, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start = time.Now()
+	var qerrs []float64
+	for _, lq := range wl.Queries {
+		got, err := est.Estimate(lq.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
+	}
+	dt := time.Since(start)
+	fmt.Printf("\n%s: %d queries in %.1fs (%.0f ms/query)\n",
+		wl.Name, len(wl.Queries), dt.Seconds(), dt.Seconds()*1000/float64(len(wl.Queries)))
+	fmt.Printf("q-errors: %s\n", workload.Summarize(qerrs))
+
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := neurocard.SaveModel(est, f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *savePath)
+	}
+}

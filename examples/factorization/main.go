@@ -1,0 +1,85 @@
+// Command factorization demonstrates §5's lossless column factorization: a
+// high-cardinality column is bit-sliced into subcolumns, shrinking the
+// model by an order of magnitude while range filters still evaluate
+// correctly through the per-subcolumn constraint translation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"neurocard"
+)
+
+func main() {
+	// One table with a 50,000-distinct-value ID-like column plus a small
+	// categorical column correlated with it.
+	b, err := neurocard.NewTableBuilder("events", []neurocard.ColSpec{
+		{Name: "user_id", Kind: neurocard.KindInt},
+		{Name: "region", Kind: neurocard.KindInt},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const users = 50_000
+	for i := 0; i < 120_000; i++ {
+		uid := rng.Intn(users)
+		region := uid * 8 / users // region strictly determined by ID band
+		if rng.Intn(10) == 0 {
+			region = rng.Intn(8)
+		}
+		b.MustAppend(neurocard.Int(int64(uid)), neurocard.Int(int64(region)))
+	}
+	sch, err := neurocard.NewSchema([]*neurocard.Table{b.MustBuild()}, "events", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := neurocard.Query{
+		Tables: []string{"events"},
+		Filters: []neurocard.Filter{
+			{Table: "events", Col: "user_id", Op: neurocard.OpLt, Val: neurocard.Int(10_000)},
+			{Table: "events", Col: "region", Op: neurocard.OpEq, Val: neurocard.Int(1)},
+		},
+	}
+	truth, err := neurocard.TrueCardinality(sch, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %s\ntrue cardinality: %.0f\n\n", q, truth)
+	fmt.Printf("%-12s %12s %12s %10s\n", "fact bits", "model size", "estimate", "q-error")
+
+	for _, bits := range []int{0, 14, 10, 8} {
+		cfg := neurocard.DefaultConfig()
+		cfg.FactBits = bits
+		cfg.Model.Hidden = 48
+		cfg.Model.EmbedDim = 16
+		cfg.BatchSize = 512
+		cfg.PSamples = 512
+		est, err := neurocard.Build(sch, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := est.Train(120_000); err != nil {
+			log.Fatal(err)
+		}
+		got, err := est.Estimate(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qe := got / truth
+		if qe < 1 {
+			qe = truth / got
+		}
+		label := fmt.Sprint(bits)
+		if bits == 0 {
+			label = "none"
+		}
+		fmt.Printf("%-12s %10.1fKB %12.1f %10.2f\n",
+			label, float64(est.Bytes())/1024, got, qe)
+	}
+	fmt.Println("\nLower factorization bits shrink the embedding tables (smaller model)")
+	fmt.Println("at a modest accuracy cost — the §7.5 group (B) trade-off.")
+}

@@ -1,0 +1,73 @@
+// Command joblight reproduces the paper's headline workflow on the bundled
+// synthetic IMDB: generate the 6-table JOB-light star schema, train one
+// NeuroCard model over the full outer join of all six tables, and report
+// the Q-error distribution over the 70-query JOB-light workload against
+// exact ground truth.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"neurocard"
+	"neurocard/internal/workload"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.3, "dataset scale factor")
+	tuples := flag.Int("tuples", 150_000, "training tuples")
+	psamples := flag.Int("psamples", 256, "progressive samples per query")
+	flag.Parse()
+
+	d, err := neurocard.SyntheticJOBLight(neurocard.SyntheticConfig{Seed: 42, Scale: *scale})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("JOB-light schema: %d tables, title has %d rows\n",
+		d.Schema.NumTables(), d.Schema.Table("title").NumRows())
+
+	cfg := neurocard.DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.PSamples = *psamples
+	cfg.SamplerWorkers = 8
+	start := time.Now()
+	est, err := neurocard.Build(d.Schema, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("|J| = %.3g rows; join counts + model built in %s\n",
+		est.JoinSize(), time.Since(start).Round(time.Millisecond))
+
+	start = time.Now()
+	loss, err := est.Train(*tuples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d tuples in %s (final loss %.3f nats/tuple, model %.1f KB)\n",
+		*tuples, time.Since(start).Round(time.Millisecond), loss, float64(est.Bytes())/1024)
+
+	wl, err := workload.JOBLight(d, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var qerrs []float64
+	worst := 0
+	for i, lq := range wl.Queries {
+		got, err := est.Estimate(lq.Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qe := workload.QError(got, lq.TrueCard)
+		qerrs = append(qerrs, qe)
+		if qe > qerrs[worst] {
+			worst = i
+		}
+	}
+	s := workload.Summarize(qerrs)
+	fmt.Printf("\nJOB-light Q-errors over %d queries: %s\n", len(qerrs), s)
+	sort.Float64s(qerrs)
+	fmt.Printf("hardest query: %s (q-error %.2f)\n", wl.Queries[worst].Query, qerrs[len(qerrs)-1])
+}

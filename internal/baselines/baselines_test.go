@@ -1,0 +1,216 @@
+// Package baselines_test exercises every baseline estimator family against
+// the same synthetic dataset and ground-truth executor, checking the
+// contracts the evaluation depends on: estimates are finite and ≥ 1, error
+// paths reject malformed queries, and accuracy is in a sane band for each
+// family (loose bounds — the benchmark harness measures the real numbers).
+package baselines_test
+
+import (
+	"math"
+	"testing"
+
+	"neurocard/internal/baselines/histogram"
+	"neurocard/internal/baselines/ibjs"
+	"neurocard/internal/baselines/mscn"
+	"neurocard/internal/baselines/samplecard"
+	"neurocard/internal/baselines/spn"
+	"neurocard/internal/datagen"
+	"neurocard/internal/query"
+	"neurocard/internal/value"
+	"neurocard/internal/workload"
+
+	"math/rand"
+)
+
+type cardEstimator interface {
+	Name() string
+	Estimate(q query.Query) (float64, error)
+}
+
+var (
+	testData *datagen.Dataset
+	testWL   *workload.Workload
+)
+
+func setup(t *testing.T) (*datagen.Dataset, *workload.Workload) {
+	t.Helper()
+	if testData == nil {
+		d, err := datagen.JOBLight(datagen.Config{Seed: 11, Scale: 0.08})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := workload.JOBLight(d, 21)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testData, testWL = d, w
+	}
+	return testData, testWL
+}
+
+// checkEstimator runs an estimator over the workload and verifies basic
+// contracts plus a median Q-error ceiling.
+func checkEstimator(t *testing.T, est cardEstimator, wl *workload.Workload, medianCeiling float64) {
+	t.Helper()
+	var qerrs []float64
+	for i, lq := range wl.Queries {
+		got, err := est.Estimate(lq.Query)
+		if err != nil {
+			t.Fatalf("%s query %d (%s): %v", est.Name(), i, lq.Query, err)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 1 {
+			t.Fatalf("%s query %d: estimate %v", est.Name(), i, got)
+		}
+		qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
+	}
+	s := workload.Summarize(qerrs)
+	t.Logf("%s: %s", est.Name(), s)
+	if s.Median > medianCeiling {
+		t.Errorf("%s median q-error %v exceeds sanity ceiling %v", est.Name(), s.Median, medianCeiling)
+	}
+}
+
+func TestHistogramEstimator(t *testing.T) {
+	d, wl := setup(t)
+	est := histogram.New(d.Schema, histogram.DefaultConfig())
+	if est.Bytes() <= 0 {
+		t.Error("zero statistics size")
+	}
+	checkEstimator(t, est, wl, 500)
+}
+
+func TestHistogramSingleColumnAccuracy(t *testing.T) {
+	// On a single table with one equality filter, MCV statistics are
+	// near-exact — the family's errors come from independence, not from the
+	// per-column stats.
+	d, _ := setup(t)
+	est := histogram.New(d.Schema, histogram.DefaultConfig())
+	q := query.Query{
+		Tables:  []string{"title"},
+		Filters: []query.Filter{{Table: "title", Col: "kind_id", Op: query.OpEq, Val: intVal(1)}},
+	}
+	got, err := est.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count directly.
+	want := 0.0
+	kind := d.Schema.Table("title").MustCol("kind_id")
+	for r := 0; r < d.Schema.Table("title").NumRows(); r++ {
+		if v, ok := kind.Int(r); ok && v == 1 {
+			want++
+		}
+	}
+	if qe := workload.QError(got, want); qe > 1.05 {
+		t.Errorf("MCV equality estimate %v vs true %v (q-error %v)", got, want, qe)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	d, _ := setup(t)
+	est := histogram.New(d.Schema, histogram.DefaultConfig())
+	if _, err := est.Estimate(query.Query{Tables: []string{"cast_info", "movie_info"}}); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	q := query.Query{
+		Tables:  []string{"title"},
+		Filters: []query.Filter{{Table: "title", Col: "zzz", Op: query.OpEq, Val: intVal(1)}},
+	}
+	if _, err := est.Estimate(q); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestIBJSEstimator(t *testing.T) {
+	d, wl := setup(t)
+	est := ibjs.New(d.Schema, 3000, 5)
+	checkEstimator(t, est, wl, 50)
+}
+
+func TestSampleCardEstimator(t *testing.T) {
+	d, wl := setup(t)
+	est := samplecard.New(d.Schema, 3000, 5)
+	checkEstimator(t, est, wl, 20)
+}
+
+func TestMSCNEstimator(t *testing.T) {
+	d, wl := setup(t)
+	// Train on a disjoint query set generated with a different seed.
+	train, err := workload.JOBLightRanges(d, 300, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mscn.DefaultConfig()
+	cfg.Epochs = 30
+	est := mscn.New(d.Schema, d.ContentCols, cfg)
+	if _, err := est.Estimate(wl.Queries[0].Query); err == nil {
+		t.Error("untrained MSCN produced an estimate")
+	}
+	if err := est.Train(train.Queries); err != nil {
+		t.Fatal(err)
+	}
+	if est.Bytes() <= 0 {
+		t.Error("zero model size")
+	}
+	checkEstimator(t, est, wl, 60)
+}
+
+func TestSPNEstimator(t *testing.T) {
+	d, wl := setup(t)
+	cfg := spn.DefaultConfig()
+	cfg.SampleRows = 8000
+	est, err := spn.New(d.Schema, spn.JOBLightBaseSubsets(d.Schema), d.ContentCols, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Bytes() <= 0 {
+		t.Error("zero ensemble size")
+	}
+	checkEstimator(t, est, wl, 15)
+}
+
+func TestSPNSubsets(t *testing.T) {
+	d, _ := setup(t)
+	base := spn.JOBLightBaseSubsets(d.Schema)
+	if len(base) != 5 {
+		t.Errorf("base subsets = %d, want 5", len(base))
+	}
+	large := spn.JOBLightLargeSubsets(d.Schema)
+	if len(large) != 7 {
+		t.Errorf("large subsets = %d, want 7", len(large))
+	}
+}
+
+func TestBiasedFullJoinDraw(t *testing.T) {
+	d, _ := setup(t)
+	draw, err := ibjs.BiasedFullJoinDraw(d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := newRand(3)
+	out := make([]int32, d.Schema.NumTables())
+	sawNull, sawFull := false, false
+	for i := 0; i < 200; i++ {
+		draw(rng, out)
+		if out[0] < 0 {
+			t.Fatal("biased draw produced NULL root (it never samples orphans)")
+		}
+		full := true
+		for _, v := range out[1:] {
+			if v < 0 {
+				sawNull = true
+				full = false
+			}
+		}
+		if full {
+			sawFull = true
+		}
+	}
+	if !sawNull || !sawFull {
+		t.Error("biased draw distribution degenerate")
+	}
+}
+
+func intVal(v int64) value.Value { return value.Int(v) }
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,166 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+func singleColSchema(t *testing.T, vals []int64, nulls int) *schema.Schema {
+	t.Helper()
+	b := table.MustBuilder("t", []table.ColSpec{{Name: "c", Kind: value.KindInt}})
+	for _, v := range vals {
+		b.MustAppend(value.Int(v))
+	}
+	for i := 0; i < nulls; i++ {
+		b.MustAppend(value.Null)
+	}
+	s, err := schema.New([]*table.Table{b.MustBuild()}, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSelectivityMatchesDirectCount: with ample bins/MCVs the statistics
+// reproduce single-column predicate counts nearly exactly.
+func TestSelectivityMatchesDirectCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, 500)
+	for i := range vals {
+		vals[i] = int64(rng.Intn(40))
+	}
+	s := singleColSchema(t, vals, 25)
+	est := New(s, Config{Bins: 64, MCVs: 64})
+	total := float64(len(vals) + 25)
+	for _, tc := range []struct {
+		op  query.Op
+		lit int64
+	}{
+		{query.OpEq, 7}, {query.OpLt, 20}, {query.OpGe, 30}, {query.OpLe, 0}, {query.OpGt, 39},
+	} {
+		q := query.Query{Tables: []string{"t"}, Filters: []query.Filter{
+			{Table: "t", Col: "c", Op: tc.op, Val: value.Int(tc.lit)},
+		}}
+		got, err := est.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, v := range vals {
+			var m bool
+			switch tc.op {
+			case query.OpEq:
+				m = v == tc.lit
+			case query.OpLt:
+				m = v < tc.lit
+			case query.OpLe:
+				m = v <= tc.lit
+			case query.OpGt:
+				m = v > tc.lit
+			case query.OpGe:
+				m = v >= tc.lit
+			}
+			if m {
+				want++
+			}
+		}
+		if want < 1 {
+			want = 1
+		}
+		if math.Abs(got-want) > 0.05*total {
+			t.Errorf("%s %d: estimate %v, true %v", tc.op, tc.lit, got, want)
+		}
+	}
+}
+
+// TestIndependenceAssumptionFails: on perfectly correlated columns the
+// histogram estimator underestimates conjunctions — the documented failure
+// mode the paper's comparison relies on.
+func TestIndependenceAssumptionFails(t *testing.T) {
+	b := table.MustBuilder("t", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt},
+		{Name: "y", Kind: value.KindInt},
+	})
+	for i := 0; i < 400; i++ {
+		v := int64(i % 8)
+		b.MustAppend(value.Int(v), value.Int(v)) // y ≡ x
+	}
+	s, err := schema.New([]*table.Table{b.MustBuild()}, "t", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := New(s, DefaultConfig())
+	q := query.Query{Tables: []string{"t"}, Filters: []query.Filter{
+		{Table: "t", Col: "x", Op: query.OpEq, Val: value.Int(3)},
+		{Table: "t", Col: "y", Op: query.OpEq, Val: value.Int(3)},
+	}}
+	got, err := est.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True cardinality is 50; independence predicts 400·(1/8)² = 6.25.
+	if got > 15 {
+		t.Errorf("estimate %v — expected a strong underestimate (truth 50, AVI ≈ 6.25)", got)
+	}
+}
+
+// TestJoinFormula: the Selinger estimate matches the exact size for a
+// uniform key distribution (where the formula's assumptions hold).
+func TestJoinFormula(t *testing.T) {
+	a := table.MustBuilder("a", []table.ColSpec{{Name: "k", Kind: value.KindInt}})
+	bb := table.MustBuilder("b", []table.ColSpec{{Name: "k", Kind: value.KindInt}})
+	for i := 0; i < 100; i++ {
+		a.MustAppend(value.Int(int64(i % 10)))
+	}
+	for i := 0; i < 60; i++ {
+		bb.MustAppend(value.Int(int64(i % 10)))
+	}
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), bb.MustBuild()},
+		"a",
+		[]schema.Edge{{LeftTable: "a", LeftCol: "k", RightTable: "b", RightCol: "k"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := New(s, DefaultConfig())
+	got, err := est.Estimate(query.Query{Tables: []string{"a", "b"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact: 100·60/10 = 600; Selinger: 100·60/max(10,10) = 600.
+	if math.Abs(got-600) > 1 {
+		t.Errorf("join estimate %v, want 600", got)
+	}
+}
+
+func TestAnalyzeEdgeCases(t *testing.T) {
+	// All-NULL column.
+	s := singleColSchema(t, nil, 10)
+	est := New(s, DefaultConfig())
+	got, err := est.Estimate(query.Query{Tables: []string{"t"}, Filters: []query.Filter{
+		{Table: "t", Col: "c", Op: query.OpGe, Val: value.Int(0)},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("all-NULL column estimate %v, want clamp to 1", got)
+	}
+	// Empty table.
+	b := table.MustBuilder("e", []table.ColSpec{{Name: "c", Kind: value.KindInt}})
+	se, err := schema.New([]*table.Table{b.MustBuild()}, "e", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est = New(se, DefaultConfig())
+	if got, err := est.Estimate(query.Query{Tables: []string{"e"}}); err != nil || got != 1 {
+		t.Errorf("empty table estimate = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,354 @@
+// Package mscn implements the supervised query-driven baseline of §7.2, a
+// simplified Multi-Set Convolutional Network (Kipf et al.): queries are
+// featurized as a table set, a join-edge set, a predicate set (column
+// one-hot, operator one-hot, normalized literal bounds) plus per-table
+// sample bitmaps; a shared MLP embeds predicates which are average-pooled
+// and concatenated with the other features into a regressor predicting
+// normalized log-cardinality. Trained with MSE on executed queries, it
+// inherits the family's core weakness: accuracy degrades on queries unlike
+// its training distribution, and tail errors stay large.
+package mscn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neurocard/internal/nn"
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/workload"
+)
+
+// Config sets the network and training hyperparameters.
+type Config struct {
+	Hidden     int // width of the predicate and output MLPs
+	Epochs     int
+	LR         float64
+	BitmapSize int // sampled rows per table for the bitmap features
+	Seed       int64
+}
+
+// DefaultConfig mirrors the paper's setup scaled to CPU training.
+func DefaultConfig() Config {
+	return Config{Hidden: 64, Epochs: 60, LR: 1e-3, BitmapSize: 64, Seed: 1}
+}
+
+type colRef struct{ tbl, col string }
+
+// Estimator is the trained MSCN regressor.
+type Estimator struct {
+	sch    *schema.Schema
+	cfg    Config
+	cols   []colRef
+	colIdx map[colRef]int
+	tblIdx map[string]int
+	edges  []string // child table name identifies its parent edge
+
+	samples map[string][]int32 // per table: bitmap sample rows
+
+	predW, predB *nn.Param // predicate MLP: predIn → Hidden
+	outW1, outB1 *nn.Param // joint MLP layer 1
+	outW2, outB2 *nn.Param // joint MLP layer 2 → scalar
+	params       []*nn.Param
+	opt          *nn.Adam
+
+	predIn, jointIn int
+	minLog, maxLog  float64
+	trained         bool
+}
+
+// New builds an untrained MSCN over the schema. contentCols declares the
+// filterable columns (the predicate one-hot vocabulary).
+func New(sch *schema.Schema, contentCols map[string][]string, cfg Config) *Estimator {
+	if cfg.Hidden <= 0 {
+		cfg.Hidden = 64
+	}
+	if cfg.BitmapSize <= 0 {
+		cfg.BitmapSize = 64
+	}
+	e := &Estimator{
+		sch:     sch,
+		cfg:     cfg,
+		colIdx:  make(map[colRef]int),
+		tblIdx:  make(map[string]int),
+		samples: make(map[string][]int32),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i, t := range sch.Tables() {
+		e.tblIdx[t] = i
+		for _, c := range contentCols[t] {
+			ref := colRef{t, c}
+			e.colIdx[ref] = len(e.cols)
+			e.cols = append(e.cols, ref)
+		}
+		if _, ok := sch.Parent(t); ok {
+			e.edges = append(e.edges, t)
+		}
+		// Materialized base-table sample for bitmap features.
+		n := sch.Table(t).NumRows()
+		rows := make([]int32, cfg.BitmapSize)
+		for j := range rows {
+			if n > 0 {
+				rows[j] = int32(rng.Intn(n))
+			}
+		}
+		e.samples[t] = rows
+	}
+	e.predIn = len(e.cols) + 3 + 2 // col one-hot, op one-hot (=,≤,≥), lo/hi bounds
+	nT := len(e.tblIdx)
+	e.jointIn = nT + len(e.edges) + cfg.Hidden + nT*cfg.BitmapSize
+
+	e.predW = nn.NewParam("predW", e.predIn, cfg.Hidden)
+	e.predB = nn.NewParam("predB", 1, cfg.Hidden)
+	e.outW1 = nn.NewParam("outW1", e.jointIn, cfg.Hidden)
+	e.outB1 = nn.NewParam("outB1", 1, cfg.Hidden)
+	e.outW2 = nn.NewParam("outW2", cfg.Hidden, 1)
+	e.outB2 = nn.NewParam("outB2", 1, 1)
+	e.predW.InitHe(rng, e.predIn)
+	e.outW1.InitHe(rng, e.jointIn)
+	e.outW2.InitHe(rng, cfg.Hidden)
+	e.params = []*nn.Param{e.predW, e.predB, e.outW1, e.outB1, e.outW2, e.outB2}
+	e.opt = nn.NewAdam(cfg.LR)
+	return e
+}
+
+// Name identifies the estimator in benchmark output.
+func (e *Estimator) Name() string { return "mscn" }
+
+// Bytes reports the model size (float32 accounting) including bitmaps.
+func (e *Estimator) Bytes() int {
+	n := 0
+	for _, p := range e.params {
+		n += p.NumParams()
+	}
+	return n*4 + len(e.samples)*e.cfg.BitmapSize/8
+}
+
+// featurize converts a query into (predicate rows, joint feature vector
+// without the pooled block filled in).
+func (e *Estimator) featurize(q query.Query) (*nn.Mat, []float64, error) {
+	if err := e.sch.ValidateQuerySet(q.Tables); err != nil {
+		return nil, nil, err
+	}
+	inQ := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		inQ[t] = true
+	}
+	// Predicate set.
+	preds := nn.NewMat(maxInt(1, len(q.Filters)), e.predIn)
+	for i, f := range q.Filters {
+		if !inQ[f.Table] {
+			return nil, nil, fmt.Errorf("mscn: filter %s outside join", f)
+		}
+		ci, ok := e.colIdx[colRef{f.Table, f.Col}]
+		if !ok {
+			return nil, nil, fmt.Errorf("mscn: unfeaturized column %s.%s", f.Table, f.Col)
+		}
+		c := e.sch.Table(f.Table).Col(f.Col)
+		region, err := query.FilterRegion(c, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := preds.Row(i)
+		row[ci] = 1
+		opOff := len(e.cols)
+		switch f.Op {
+		case query.OpLe, query.OpLt:
+			row[opOff+1] = 1
+		case query.OpGe, query.OpGt:
+			row[opOff+2] = 1
+		default:
+			row[opOff] = 1
+		}
+		lo, hi := 0.0, 1.0
+		if !region.Empty() {
+			den := float64(c.DictSize() - 1)
+			if den < 1 {
+				den = 1
+			}
+			lo = float64(region[0].Lo) / den
+			hi = float64(region[len(region)-1].Hi) / den
+		} else {
+			lo, hi = 1, 0 // impossible range signals empty region
+		}
+		row[opOff+3] = lo
+		row[opOff+4] = hi
+	}
+	// Joint features (pooled predicate block left zero; filled by caller).
+	joint := make([]float64, e.jointIn)
+	for _, t := range q.Tables {
+		joint[e.tblIdx[t]] = 1
+	}
+	nT := len(e.tblIdx)
+	for i, child := range e.edges {
+		pe, _ := e.sch.Parent(child)
+		if inQ[child] && inQ[pe.Parent] {
+			joint[nT+i] = 1
+		}
+	}
+	// Bitmaps: per table in the query, filter its sample rows.
+	bitOff := nT + len(e.edges) + e.cfg.Hidden
+	for _, t := range q.Tables {
+		regs, err := query.TableRegions(e.sch.Table(t), q)
+		if err != nil {
+			return nil, nil, err
+		}
+		base := bitOff + e.tblIdx[t]*e.cfg.BitmapSize
+		for j, row := range e.samples[t] {
+			if e.sch.Table(t).NumRows() == 0 {
+				continue
+			}
+			if query.Matches(e.sch.Table(t), regs, int(row)) {
+				joint[base+j] = 1
+			}
+		}
+	}
+	return preds, joint, nil
+}
+
+// forward computes the scalar prediction and (optionally) caches
+// intermediates for backprop.
+type fwdState struct {
+	preds, predH *nn.Mat
+	joint, h1    *nn.Mat
+	out          float64
+}
+
+func (e *Estimator) forward(preds *nn.Mat, joint []float64) *fwdState {
+	st := &fwdState{preds: preds}
+	st.predH = nn.NewMat(preds.Rows, e.cfg.Hidden)
+	nn.MatMul(st.predH, preds, e.predW.Val)
+	nn.AddBias(st.predH, e.predB.Val.Row(0))
+	nn.ReluInPlace(st.predH)
+	// Average pool into the joint vector.
+	st.joint = nn.NewMat(1, e.jointIn)
+	copy(st.joint.Row(0), joint)
+	poolOff := len(e.tblIdx) + len(e.edges)
+	inv := 1 / float64(preds.Rows)
+	for r := 0; r < preds.Rows; r++ {
+		row := st.predH.Row(r)
+		for k := 0; k < e.cfg.Hidden; k++ {
+			st.joint.Row(0)[poolOff+k] += row[k] * inv
+		}
+	}
+	st.h1 = nn.NewMat(1, e.cfg.Hidden)
+	nn.MatMul(st.h1, st.joint, e.outW1.Val)
+	nn.AddBias(st.h1, e.outB1.Val.Row(0))
+	nn.ReluInPlace(st.h1)
+	out := e.outB2.Val.At(0, 0)
+	for k := 0; k < e.cfg.Hidden; k++ {
+		out += st.h1.At(0, k) * e.outW2.Val.At(k, 0)
+	}
+	st.out = out
+	return st
+}
+
+// backward accumulates gradients of 0.5·(out-target)² into the parameters.
+func (e *Estimator) backward(st *fwdState, target float64) float64 {
+	diff := st.out - target
+	// out = h1·outW2 + outB2
+	e.outB2.Grad.Data[0] += diff
+	dh1 := nn.NewMat(1, e.cfg.Hidden)
+	for k := 0; k < e.cfg.Hidden; k++ {
+		e.outW2.Grad.Data[k] += diff * st.h1.At(0, k)
+		dh1.Data[k] = diff * e.outW2.Val.At(k, 0)
+	}
+	nn.ReluBackward(dh1, st.h1)
+	nn.BiasGradAdd(e.outB1.Grad.Row(0), dh1)
+	nn.MatMulATAdd(e.outW1.Grad, st.joint, dh1)
+	dJoint := nn.NewMat(1, e.jointIn)
+	nn.MatMulBT(dJoint, dh1, e.outW1.Val)
+	// Pool backward: gradient spreads uniformly over predicate rows.
+	poolOff := len(e.tblIdx) + len(e.edges)
+	inv := 1 / float64(st.preds.Rows)
+	dPredH := nn.NewMat(st.preds.Rows, e.cfg.Hidden)
+	for r := 0; r < st.preds.Rows; r++ {
+		for k := 0; k < e.cfg.Hidden; k++ {
+			dPredH.Set(r, k, dJoint.At(0, poolOff+k)*inv)
+		}
+	}
+	nn.ReluBackward(dPredH, st.predH)
+	nn.BiasGradAdd(e.predB.Grad.Row(0), dPredH)
+	nn.MatMulATAdd(e.predW.Grad, st.preds, dPredH)
+	return 0.5 * diff * diff
+}
+
+// Train fits the regressor on executed training queries (features → true
+// cardinalities). Labels are log-normalized over the training set's range.
+func (e *Estimator) Train(queries []workload.LabeledQuery) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("mscn: no training queries")
+	}
+	e.minLog, e.maxLog = math.Inf(1), math.Inf(-1)
+	for _, lq := range queries {
+		l := math.Log(math.Max(lq.TrueCard, 1))
+		e.minLog = math.Min(e.minLog, l)
+		e.maxLog = math.Max(e.maxLog, l)
+	}
+	if e.maxLog-e.minLog < 1e-9 {
+		e.maxLog = e.minLog + 1
+	}
+	type sample struct {
+		preds *nn.Mat
+		joint []float64
+		y     float64
+	}
+	samples := make([]sample, 0, len(queries))
+	for _, lq := range queries {
+		preds, joint, err := e.featurize(lq.Query)
+		if err != nil {
+			return err
+		}
+		y := (math.Log(math.Max(lq.TrueCard, 1)) - e.minLog) / (e.maxLog - e.minLog)
+		samples = append(samples, sample{preds, joint, y})
+	}
+	rng := rand.New(rand.NewSource(e.cfg.Seed + 17))
+	const batch = 32
+	for epoch := 0; epoch < e.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+		for start := 0; start < len(samples); start += batch {
+			end := minInt(start+batch, len(samples))
+			for _, s := range samples[start:end] {
+				st := e.forward(s.preds, s.joint)
+				e.backward(st, s.y)
+			}
+			nn.ClipGradNorm(e.params, 5)
+			e.opt.Step(e.params)
+		}
+	}
+	e.trained = true
+	return nil
+}
+
+// Estimate predicts the cardinality of a query.
+func (e *Estimator) Estimate(q query.Query) (float64, error) {
+	if !e.trained {
+		return 0, fmt.Errorf("mscn: estimator not trained")
+	}
+	preds, joint, err := e.featurize(q)
+	if err != nil {
+		return 0, err
+	}
+	st := e.forward(preds, joint)
+	y := st.out
+	card := math.Exp(y*(e.maxLog-e.minLog) + e.minLog)
+	if card < 1 || math.IsNaN(card) {
+		card = 1
+	}
+	return card, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,174 @@
+package mscn
+
+import (
+	"math"
+	"testing"
+
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+	"neurocard/internal/workload"
+)
+
+func toySchema(t *testing.T) (*schema.Schema, map[string][]string) {
+	t.Helper()
+	a := table.MustBuilder("a", []table.ColSpec{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "x", Kind: value.KindInt},
+	})
+	bld := table.MustBuilder("b", []table.ColSpec{
+		{Name: "a_id", Kind: value.KindInt},
+		{Name: "y", Kind: value.KindInt},
+	})
+	for i := 1; i <= 40; i++ {
+		a.MustAppend(value.Int(int64(i)), value.Int(int64(i%10)))
+		for j := 0; j < i%3; j++ {
+			bld.MustAppend(value.Int(int64(i)), value.Int(int64((i+j)%7)))
+		}
+	}
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), bld.MustBuild()},
+		"a",
+		[]schema.Edge{{LeftTable: "a", LeftCol: "id", RightTable: "b", RightCol: "a_id"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, map[string][]string{"a": {"x"}, "b": {"y"}}
+}
+
+func TestFeaturize(t *testing.T) {
+	s, cc := toySchema(t)
+	est := New(s, cc, DefaultConfig())
+	q := query.Query{
+		Tables: []string{"a", "b"},
+		Filters: []query.Filter{
+			{Table: "a", Col: "x", Op: query.OpEq, Val: value.Int(3)},
+			{Table: "b", Col: "y", Op: query.OpGe, Val: value.Int(2)},
+		},
+	}
+	preds, joint, err := est.featurize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preds.Rows != 2 {
+		t.Errorf("predicate rows = %d", preds.Rows)
+	}
+	// Table one-hots both set; join edge bit set.
+	if joint[est.tblIdx["a"]] != 1 || joint[est.tblIdx["b"]] != 1 {
+		t.Error("table one-hot missing")
+	}
+	if joint[len(est.tblIdx)] != 1 {
+		t.Error("join edge bit missing")
+	}
+	// Bitmaps: some sampled a rows fail x=3, so not all bits set.
+	bitOff := len(est.tblIdx) + len(est.edges) + est.cfg.Hidden
+	ones := 0
+	for _, v := range joint[bitOff:] {
+		if v == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == 2*est.cfg.BitmapSize {
+		t.Errorf("bitmap degenerate: %d ones", ones)
+	}
+}
+
+func TestFeaturizeErrors(t *testing.T) {
+	s, cc := toySchema(t)
+	est := New(s, cc, DefaultConfig())
+	if _, _, err := est.featurize(query.Query{Tables: []string{"a"}, Filters: []query.Filter{
+		{Table: "b", Col: "y", Op: query.OpEq, Val: value.Int(1)},
+	}}); err == nil {
+		t.Error("filter outside join accepted")
+	}
+	if _, _, err := est.featurize(query.Query{Tables: []string{"a"}, Filters: []query.Filter{
+		{Table: "a", Col: "id", Op: query.OpEq, Val: value.Int(1)},
+	}}); err == nil {
+		t.Error("unfeaturized column accepted")
+	}
+}
+
+// TestGradientCheck validates the MSCN backward pass (shared predicate MLP,
+// average pooling, joint MLP) against finite differences.
+func TestGradientCheck(t *testing.T) {
+	s, cc := toySchema(t)
+	cfg := DefaultConfig()
+	cfg.Hidden = 6
+	cfg.BitmapSize = 4
+	est := New(s, cc, cfg)
+	q := query.Query{
+		Tables: []string{"a", "b"},
+		Filters: []query.Filter{
+			{Table: "a", Col: "x", Op: query.OpLe, Val: value.Int(5)},
+			{Table: "b", Col: "y", Op: query.OpEq, Val: value.Int(2)},
+		},
+	}
+	preds, joint, err := est.featurize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const target = 0.37
+	st := est.forward(preds, joint)
+	est.backward(st, target)
+	loss := func() float64 {
+		st := est.forward(preds, joint)
+		d := st.out - target
+		return 0.5 * d * d
+	}
+	const eps = 1e-6
+	for _, p := range est.params {
+		for i := range p.Val.Data {
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + eps
+			up := loss()
+			p.Val.Data[i] = orig - eps
+			down := loss()
+			p.Val.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}
+
+// TestTrainFitsTrainingSet: the regressor memorizes a small training set —
+// the basic supervised contract.
+func TestTrainFitsTrainingSet(t *testing.T) {
+	s, cc := toySchema(t)
+	cfg := DefaultConfig()
+	cfg.Epochs = 200
+	cfg.Hidden = 32
+	est := New(s, cc, cfg)
+	var queries []workload.LabeledQuery
+	for v := int64(0); v < 10; v++ {
+		q := query.Query{
+			Tables:  []string{"a"},
+			Filters: []query.Filter{{Table: "a", Col: "x", Op: query.OpLe, Val: value.Int(v)}},
+		}
+		// Count directly.
+		card := 0.0
+		x := s.Table("a").MustCol("x")
+		for r := 0; r < s.Table("a").NumRows(); r++ {
+			if xv, ok := x.Int(r); ok && xv <= v {
+				card++
+			}
+		}
+		queries = append(queries, workload.LabeledQuery{Query: q, TrueCard: card})
+	}
+	if err := est.Train(queries); err != nil {
+		t.Fatal(err)
+	}
+	for _, lq := range queries {
+		got, err := est.Estimate(lq.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qe := workload.QError(got, lq.TrueCard); qe > 2 {
+			t.Errorf("%s: estimate %v vs true %v (q-error %.2f)", lq.Query, got, lq.TrueCard, qe)
+		}
+	}
+}

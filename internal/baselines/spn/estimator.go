@@ -1,0 +1,306 @@
+package spn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neurocard/internal/core"
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+)
+
+// Config sets the DeepDB-style ensemble hyperparameters.
+type Config struct {
+	SampleRows   int     // full-join samples per subset model
+	MinRows      int     // SPN: stop structure search below this many rows
+	DepThreshold float64 // SPN: normalized MI threshold for column splits
+	MaxDepth     int
+	Seed         int64
+}
+
+// DefaultConfig mirrors DeepDB's recommended settings at our scale.
+func DefaultConfig() Config {
+	return Config{SampleRows: 20000, MinRows: 600, DepThreshold: 0.08, MaxDepth: 12, Seed: 1}
+}
+
+// subsetModel is one SPN over a table subset's full outer join.
+type subsetModel struct {
+	tables    []string
+	tset      map[string]bool
+	sub       *schema.Schema
+	enc       *core.Encoder
+	root      node
+	contentIx map[string]map[string]int // table → column → flat index
+	indicIx   map[string]int
+	fanoutIx  map[string]map[string]int
+}
+
+// Estimator is an ensemble of per-subset SPNs with cross-subset
+// independence.
+type Estimator struct {
+	sch     *schema.Schema
+	cfg     Config
+	subsets []*subsetModel
+}
+
+// JOBLightBaseSubsets returns DeepDB's base ensemble for the JOB-light star:
+// one two-table model per fact table (title paired with each child).
+func JOBLightBaseSubsets(sch *schema.Schema) [][]string {
+	var out [][]string
+	for _, child := range sch.Children(sch.Root()) {
+		out = append(out, []string{sch.Root(), child})
+	}
+	return out
+}
+
+// JOBLightLargeSubsets adds two correlation-heavy three-table models,
+// mirroring DeepDB-large.
+func JOBLightLargeSubsets(sch *schema.Schema) [][]string {
+	out := JOBLightBaseSubsets(sch)
+	children := sch.Children(sch.Root())
+	if len(children) >= 3 {
+		out = append(out,
+			[]string{sch.Root(), children[0], children[1]},
+			[]string{sch.Root(), children[1], children[2]},
+		)
+	}
+	return out
+}
+
+// New trains one SPN per table subset on unbiased full-join samples.
+// contentCols declares the filterable columns per table.
+func New(sch *schema.Schema, subsets [][]string, contentCols map[string][]string, cfg Config) (*Estimator, error) {
+	if cfg.SampleRows <= 0 {
+		cfg.SampleRows = 20000
+	}
+	if cfg.MinRows <= 0 {
+		cfg.MinRows = 600
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 12
+	}
+	e := &Estimator{sch: sch, cfg: cfg}
+	for si, tables := range subsets {
+		sub, err := sch.SubSchema(tables)
+		if err != nil {
+			return nil, fmt.Errorf("spn: subset %v: %w", tables, err)
+		}
+		cc := make(map[string][]string, len(tables))
+		for _, t := range tables {
+			cc[t] = contentCols[t]
+		}
+		enc, err := core.NewEncoder(sub, cc, 0)
+		if err != nil {
+			return nil, err
+		}
+		smp, err := sampler.New(sub)
+		if err != nil {
+			return nil, err
+		}
+		rows := smp.SampleParallel(cfg.Seed+int64(si), 4, cfg.SampleRows)
+		encoded, err := enc.EncodeJoinRows(sub, rows)
+		if err != nil {
+			return nil, err
+		}
+		lc := &learnConfig{
+			minRows:      cfg.MinRows,
+			depThreshold: cfg.DepThreshold,
+			maxDepth:     cfg.MaxDepth,
+			doms:         enc.FlatDomains(),
+			rng:          rand.New(rand.NewSource(cfg.Seed + int64(si)*31)),
+		}
+		cols := make([]int, enc.NumFlat())
+		for i := range cols {
+			cols[i] = i
+		}
+		m := &subsetModel{
+			tables:    tables,
+			tset:      make(map[string]bool, len(tables)),
+			sub:       sub,
+			enc:       enc,
+			root:      learn(encoded, cols, lc, 0),
+			contentIx: make(map[string]map[string]int),
+			indicIx:   make(map[string]int),
+			fanoutIx:  make(map[string]map[string]int),
+		}
+		for _, t := range tables {
+			m.tset[t] = true
+		}
+		for _, mc := range enc.Columns() {
+			switch mc.Kind {
+			case core.KindContent:
+				if m.contentIx[mc.Table] == nil {
+					m.contentIx[mc.Table] = make(map[string]int)
+				}
+				m.contentIx[mc.Table][mc.Col] = mc.FlatOffset
+			case core.KindIndicator:
+				m.indicIx[mc.Table] = mc.FlatOffset
+			case core.KindFanout:
+				if m.fanoutIx[mc.Table] == nil {
+					m.fanoutIx[mc.Table] = make(map[string]int)
+				}
+				m.fanoutIx[mc.Table][mc.Col] = mc.FlatOffset
+			}
+		}
+		e.subsets = append(e.subsets, m)
+	}
+	if len(e.subsets) == 0 {
+		return nil, fmt.Errorf("spn: no subsets")
+	}
+	return e, nil
+}
+
+// Name identifies the estimator in benchmark output.
+func (e *Estimator) Name() string { return "deepdb-spn" }
+
+// Bytes reports the ensemble size.
+func (e *Estimator) Bytes() int {
+	n := 0
+	for _, m := range e.subsets {
+		n += m.root.bytes()
+	}
+	return n
+}
+
+// selectivity evaluates P(filters on `assigned` tables | join over S∩Q)
+// within one subset model, using the §6 algebra: indicators constrain table
+// presence, fanout keys of tables outside the overlap divide out.
+func (m *subsetModel) selectivity(q query.Query, qset map[string]bool, assigned map[string]bool) (float64, error) {
+	overlap := make(map[string]bool)
+	var overlapList []string
+	for _, t := range m.tables {
+		if qset[t] {
+			overlap[t] = true
+			overlapList = append(overlapList, t)
+		}
+	}
+	// The overlap must be a connected subtree of the subset schema for the
+	// indicator algebra to apply; DeepDB's subset choice guarantees this for
+	// star schemas (every subset contains the root).
+	if err := m.sub.ValidateQuerySet(overlapList); err != nil {
+		return 0, err
+	}
+	base := &evalCtx{regions: map[int][]query.IDRange{}, fanout: map[int]bool{}}
+	for t := range overlap {
+		base.regions[m.indicIx[t]] = []query.IDRange{{Lo: 1, Hi: 1}}
+	}
+	for _, t := range m.tables {
+		if overlap[t] {
+			continue
+		}
+		key, err := m.sub.FanoutKey(t, overlap)
+		if err != nil {
+			return 0, err
+		}
+		if ix, ok := m.fanoutIx[t][key]; ok {
+			base.fanout[ix] = true
+		}
+	}
+	denom := m.root.eval(base)
+	if denom <= 0 {
+		return 1, nil
+	}
+	// Numerator adds the filter regions of the assigned tables.
+	num := &evalCtx{regions: map[int][]query.IDRange{}, fanout: base.fanout}
+	for k, v := range base.regions {
+		num.regions[k] = v
+	}
+	for _, f := range q.Filters {
+		if !assigned[f.Table] {
+			continue
+		}
+		ix, ok := m.contentIx[f.Table][f.Col]
+		if !ok {
+			return 0, fmt.Errorf("spn: column %s.%s not modeled", f.Table, f.Col)
+		}
+		c := m.sub.Table(f.Table).Col(f.Col)
+		region, err := query.FilterRegion(c, f)
+		if err != nil {
+			return 0, err
+		}
+		if prev, ok := num.regions[ix]; ok {
+			region = query.Region(prev).Intersect(region)
+		}
+		num.regions[ix] = region
+	}
+	sel := m.root.eval(num) / denom
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, nil
+}
+
+// Estimate covers the query's filtered tables with subset models, assigns
+// each filtered table to exactly one model, multiplies the per-model
+// conditional selectivities (cross-subset independence), and scales by the
+// exact inner-join size of the query graph.
+func (e *Estimator) Estimate(q query.Query) (float64, error) {
+	if err := e.sch.ValidateQuerySet(q.Tables); err != nil {
+		return 0, err
+	}
+	qset := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		qset[t] = true
+	}
+	filtered := make(map[string]bool)
+	for _, f := range q.Filters {
+		if !qset[f.Table] {
+			return 0, fmt.Errorf("spn: filter %s outside join", f)
+		}
+		filtered[f.Table] = true
+	}
+	inner, err := exec.InnerJoinSize(e.sch, q.Tables)
+	if err != nil {
+		return 0, err
+	}
+	// Greedy cover of filtered tables; assign each to its covering model.
+	unassigned := make(map[string]bool, len(filtered))
+	for t := range filtered {
+		unassigned[t] = true
+	}
+	card := inner
+	for len(unassigned) > 0 {
+		var best *subsetModel
+		var bestGain int
+		for _, m := range e.subsets {
+			gain := 0
+			for t := range unassigned {
+				if m.tset[t] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain = gain
+				best = m
+			}
+		}
+		if best == nil {
+			var missing []string
+			for t := range unassigned {
+				missing = append(missing, t)
+			}
+			return 0, fmt.Errorf("spn: no subset model covers tables %v", missing)
+		}
+		assigned := make(map[string]bool)
+		for t := range unassigned {
+			if best.tset[t] {
+				assigned[t] = true
+				delete(unassigned, t)
+			}
+		}
+		sel, err := best.selectivity(q, qset, assigned)
+		if err != nil {
+			return 0, err
+		}
+		card *= sel
+	}
+	if card < 1 {
+		card = 1
+	}
+	return card, nil
+}

@@ -1,0 +1,357 @@
+// Package spn implements the DeepDB-style baseline of §7.2: sum-product
+// networks learned per heuristically chosen table subset. Each subset model
+// is trained on unbiased samples of the subset's full outer join (with §6
+// indicator and fanout virtual columns) and answers sub-queries via the
+// same schema-subsetting algebra NeuroCard uses; queries spanning multiple
+// subsets combine per-subset conditional selectivities under an
+// independence assumption — the structural limitation (D2/D3 in §8) that
+// NeuroCard's single-model design removes, and the source of DeepDB's tail
+// errors in Tables 2-3.
+//
+// The SPN learner follows the classic recipe: recursive column splits where
+// an independence test finds decoupled column groups, row splits (k-means,
+// k=2) otherwise, and histogram leaves.
+package spn
+
+import (
+	"math"
+	"math/rand"
+
+	"neurocard/internal/query"
+)
+
+// node is one SPN node; eval computes E[Π indicator-selections × Π 1/fanout]
+// under the node's distribution.
+type node interface {
+	eval(ctx *evalCtx) float64
+	bytes() int
+}
+
+// evalCtx carries per-flat-column constraints for one evaluation.
+type evalCtx struct {
+	// regions[col] lists accepted tokens (nil = unconstrained).
+	regions map[int][]query.IDRange
+	// fanout[col] marks columns contributing E[1/(token+1)].
+	fanout map[int]bool
+}
+
+// leaf is a token histogram of one column.
+type leaf struct {
+	col  int
+	hist []float64 // probability per token
+}
+
+func (l *leaf) eval(ctx *evalCtx) float64 {
+	region, constrained := ctx.regions[l.col]
+	fan := ctx.fanout[l.col]
+	if !constrained && !fan {
+		return 1
+	}
+	total := 0.0
+	if constrained {
+		for _, iv := range region {
+			for t := iv.Lo; t <= iv.Hi && int(t) < len(l.hist); t++ {
+				p := l.hist[t]
+				if fan {
+					p /= float64(t) + 1
+				}
+				total += p
+			}
+		}
+		return total
+	}
+	for t, p := range l.hist {
+		total += p / float64(t+1)
+	}
+	return total
+}
+
+func (l *leaf) bytes() int { return 8*len(l.hist) + 8 }
+
+// product multiplies independent child scopes.
+type product struct{ children []node }
+
+func (p *product) eval(ctx *evalCtx) float64 {
+	out := 1.0
+	for _, c := range p.children {
+		out *= c.eval(ctx)
+		if out == 0 {
+			return 0
+		}
+	}
+	return out
+}
+
+func (p *product) bytes() int {
+	n := 16
+	for _, c := range p.children {
+		n += c.bytes()
+	}
+	return n
+}
+
+// sum mixes row clusters.
+type sum struct {
+	weights  []float64
+	children []node
+}
+
+func (s *sum) eval(ctx *evalCtx) float64 {
+	out := 0.0
+	for i, c := range s.children {
+		out += s.weights[i] * c.eval(ctx)
+	}
+	return out
+}
+
+func (s *sum) bytes() int {
+	n := 16 + 8*len(s.weights)
+	for _, c := range s.children {
+		n += c.bytes()
+	}
+	return n
+}
+
+// learnConfig bounds the structure search.
+type learnConfig struct {
+	minRows      int
+	depThreshold float64 // normalized mutual information threshold
+	maxDepth     int
+	doms         []int
+	rng          *rand.Rand
+}
+
+// learn builds an SPN over the given rows restricted to cols.
+func learn(rows [][]int32, cols []int, cfg *learnConfig, depth int) node {
+	if len(cols) == 1 {
+		return makeLeaf(rows, cols[0], cfg.doms[cols[0]])
+	}
+	if len(rows) < cfg.minRows || depth >= cfg.maxDepth {
+		return leafProduct(rows, cols, cfg)
+	}
+	// Column split: group columns whose pairwise dependency exceeds the
+	// threshold; independent groups become product children.
+	groups := dependencyGroups(rows, cols, cfg)
+	if len(groups) > 1 {
+		p := &product{}
+		for _, g := range groups {
+			p.children = append(p.children, learn(rows, g, cfg, depth+1))
+		}
+		return p
+	}
+	// Row split: k-means (k=2) over normalized tokens.
+	a, b := kmeansSplit(rows, cols, cfg)
+	if len(a) == 0 || len(b) == 0 {
+		return leafProduct(rows, cols, cfg)
+	}
+	total := float64(len(rows))
+	return &sum{
+		weights:  []float64{float64(len(a)) / total, float64(len(b)) / total},
+		children: []node{learn(a, cols, cfg, depth+1), learn(b, cols, cfg, depth+1)},
+	}
+}
+
+// leafProduct treats all columns as independent (base case).
+func leafProduct(rows [][]int32, cols []int, cfg *learnConfig) node {
+	p := &product{}
+	for _, c := range cols {
+		p.children = append(p.children, makeLeaf(rows, c, cfg.doms[c]))
+	}
+	return p
+}
+
+// makeLeaf builds a Laplace-smoothed token histogram.
+func makeLeaf(rows [][]int32, col, dom int) *leaf {
+	hist := make([]float64, dom)
+	const alpha = 0.1
+	total := alpha * float64(dom)
+	for i := range hist {
+		hist[i] = alpha
+	}
+	for _, r := range rows {
+		hist[r[col]]++
+		total++
+	}
+	inv := 1 / total
+	for i := range hist {
+		hist[i] *= inv
+	}
+	return &leaf{col: col, hist: hist}
+}
+
+// dependencyGroups computes connected components of the pairwise
+// normalized-mutual-information graph above the threshold.
+func dependencyGroups(rows [][]int32, cols []int, cfg *learnConfig) [][]int {
+	n := len(cols)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	// Subsample rows for the test.
+	sample := rows
+	if len(sample) > 2000 {
+		sample = make([][]int32, 2000)
+		for i := range sample {
+			sample[i] = rows[cfg.rng.Intn(len(rows))]
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if normalizedMI(sample, cols[i], cols[j]) > cfg.depThreshold {
+				union(i, j)
+			}
+		}
+	}
+	byRoot := make(map[int][]int)
+	for i, c := range cols {
+		r := find(i)
+		byRoot[r] = append(byRoot[r], c)
+	}
+	out := make([][]int, 0, len(byRoot))
+	// Deterministic order: group containing the smallest column first.
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if g, ok := byRoot[r]; ok {
+			out = append(out, g)
+			delete(byRoot, r)
+		}
+	}
+	return out
+}
+
+// normalizedMI estimates I(X;Y)/min(H(X),H(Y)) over the sample.
+func normalizedMI(rows [][]int32, cx, cy int) float64 {
+	type pair struct{ x, y int32 }
+	joint := make(map[pair]float64)
+	px := make(map[int32]float64)
+	py := make(map[int32]float64)
+	n := float64(len(rows))
+	if n == 0 {
+		return 0
+	}
+	for _, r := range rows {
+		joint[pair{r[cx], r[cy]}]++
+		px[r[cx]]++
+		py[r[cy]]++
+	}
+	mi := 0.0
+	for p, c := range joint {
+		pxy := c / n
+		mi += pxy * math.Log(pxy*n*n/(px[p.x]*py[p.y]))
+	}
+	hx, hy := 0.0, 0.0
+	for _, c := range px {
+		p := c / n
+		hx -= p * math.Log(p)
+	}
+	for _, c := range py {
+		p := c / n
+		hy -= p * math.Log(p)
+	}
+	h := math.Min(hx, hy)
+	if h < 1e-9 {
+		return 0
+	}
+	return mi / h
+}
+
+// kmeansSplit partitions rows into two clusters over normalized tokens.
+func kmeansSplit(rows [][]int32, cols []int, cfg *learnConfig) (a, b [][]int32) {
+	norm := func(r []int32, c int) float64 {
+		d := cfg.doms[c]
+		if d <= 1 {
+			return 0
+		}
+		return float64(r[c]) / float64(d-1)
+	}
+	// Initialize centroids k-means++-style: a random first row, then the
+	// row farthest from it, so well-separated clusters are found reliably.
+	c1 := rows[cfg.rng.Intn(len(rows))]
+	cent1 := make([]float64, len(cols))
+	for i, c := range cols {
+		cent1[i] = norm(c1, c)
+	}
+	cent2 := make([]float64, len(cols))
+	bestDist := -1.0
+	for _, r := range rows {
+		d := 0.0
+		for i, c := range cols {
+			v := norm(r, c)
+			d += (v - cent1[i]) * (v - cent1[i])
+		}
+		if d > bestDist {
+			bestDist = d
+			for i, c := range cols {
+				cent2[i] = norm(r, c)
+			}
+		}
+	}
+	assign := make([]bool, len(rows)) // true → cluster 2
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		for ri, r := range rows {
+			d1, d2 := 0.0, 0.0
+			for i, c := range cols {
+				v := norm(r, c)
+				d1 += (v - cent1[i]) * (v - cent1[i])
+				d2 += (v - cent2[i]) * (v - cent2[i])
+			}
+			want := d2 < d1
+			if assign[ri] != want {
+				assign[ri] = want
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		n1, n2 := 0.0, 0.0
+		for i := range cent1 {
+			cent1[i], cent2[i] = 0, 0
+		}
+		for ri, r := range rows {
+			for i, c := range cols {
+				v := norm(r, c)
+				if assign[ri] {
+					cent2[i] += v
+				} else {
+					cent1[i] += v
+				}
+			}
+			if assign[ri] {
+				n2++
+			} else {
+				n1++
+			}
+		}
+		if n1 == 0 || n2 == 0 {
+			break
+		}
+		for i := range cent1 {
+			cent1[i] /= n1
+			cent2[i] /= n2
+		}
+	}
+	for ri, r := range rows {
+		if assign[ri] {
+			b = append(b, r)
+		} else {
+			a = append(a, r)
+		}
+	}
+	// Degenerate clustering: force a median split so recursion progresses.
+	if len(a) == 0 || len(b) == 0 {
+		half := len(rows) / 2
+		return rows[:half], rows[half:]
+	}
+	return a, b
+}

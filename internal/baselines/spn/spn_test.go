@@ -1,0 +1,203 @@
+package spn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/query"
+)
+
+func TestLeafEval(t *testing.T) {
+	l := &leaf{col: 0, hist: []float64{0.5, 0.3, 0.2}}
+	// Unconstrained, no fanout: mass 1.
+	if got := l.eval(&evalCtx{regions: map[int][]query.IDRange{}, fanout: map[int]bool{}}); got != 1 {
+		t.Errorf("unconstrained leaf = %v", got)
+	}
+	// Region [1,2]: 0.3 + 0.2.
+	ctx := &evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 1, Hi: 2}}},
+		fanout:  map[int]bool{},
+	}
+	if got := l.eval(ctx); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("region leaf = %v, want 0.5", got)
+	}
+	// Fanout expectation: E[1/(t+1)] = 0.5/1 + 0.3/2 + 0.2/3.
+	ctx = &evalCtx{regions: map[int][]query.IDRange{}, fanout: map[int]bool{0: true}}
+	want := 0.5 + 0.15 + 0.2/3
+	if got := l.eval(ctx); math.Abs(got-want) > 1e-12 {
+		t.Errorf("fanout leaf = %v, want %v", got, want)
+	}
+	// Region + fanout combined.
+	ctx = &evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 1, Hi: 1}}},
+		fanout:  map[int]bool{0: true},
+	}
+	if got := l.eval(ctx); math.Abs(got-0.15) > 1e-12 {
+		t.Errorf("region+fanout leaf = %v, want 0.15", got)
+	}
+}
+
+func TestProductAndSumEval(t *testing.T) {
+	a := &leaf{col: 0, hist: []float64{0.5, 0.5}}
+	b := &leaf{col: 1, hist: []float64{0.25, 0.75}}
+	p := &product{children: []node{a, b}}
+	ctx := &evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 0, Hi: 0}}, 1: {{Lo: 1, Hi: 1}}},
+		fanout:  map[int]bool{},
+	}
+	if got := p.eval(ctx); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("product = %v, want 0.375", got)
+	}
+	s := &sum{weights: []float64{0.4, 0.6}, children: []node{a, b}}
+	ctx = &evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 0, Hi: 0}}, 1: {{Lo: 0, Hi: 0}}},
+		fanout:  map[int]bool{},
+	}
+	want := 0.4*0.5*1 + 0.6*1*0.25 // each child only sees its own column's region
+	_ = want
+	// Careful: leaf a ignores col 1's region, leaf b ignores col 0's.
+	got := s.eval(ctx)
+	if math.Abs(got-(0.4*0.5+0.6*0.25)) > 1e-12 {
+		t.Errorf("sum = %v", got)
+	}
+	if p.bytes() <= 0 || s.bytes() <= 0 {
+		t.Error("bytes accounting broken")
+	}
+}
+
+func TestMakeLeafSmoothing(t *testing.T) {
+	rows := [][]int32{{0}, {0}, {1}}
+	l := makeLeaf(rows, 0, 3)
+	total := 0.0
+	for _, p := range l.hist {
+		if p <= 0 {
+			t.Error("unsmoothed zero probability")
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("histogram sums to %v", total)
+	}
+	if l.hist[0] < l.hist[1] || l.hist[1] < l.hist[2] {
+		t.Errorf("histogram ordering wrong: %v", l.hist)
+	}
+}
+
+func TestNormalizedMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Independent columns: MI ≈ 0.
+	var indep [][]int32
+	for i := 0; i < 3000; i++ {
+		indep = append(indep, []int32{int32(rng.Intn(4)), int32(rng.Intn(4))})
+	}
+	if mi := normalizedMI(indep, 0, 1); mi > 0.05 {
+		t.Errorf("independent columns: MI = %v", mi)
+	}
+	// Deterministic dependency: MI ≈ 1.
+	var dep [][]int32
+	for i := 0; i < 3000; i++ {
+		x := int32(rng.Intn(4))
+		dep = append(dep, []int32{x, (x + 1) % 4})
+	}
+	if mi := normalizedMI(dep, 0, 1); mi < 0.9 {
+		t.Errorf("dependent columns: MI = %v", mi)
+	}
+}
+
+func TestDependencyGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Columns 0,1 dependent; column 2 independent.
+	var rows [][]int32
+	for i := 0; i < 2000; i++ {
+		x := int32(rng.Intn(3))
+		rows = append(rows, []int32{x, x, int32(rng.Intn(3))})
+	}
+	cfg := &learnConfig{depThreshold: 0.1, doms: []int{3, 3, 3}, rng: rng}
+	groups := dependencyGroups(rows, []int{0, 1, 2}, cfg)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v, want {0,1} and {2}", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 1 {
+		t.Errorf("first group = %v", groups[0])
+	}
+}
+
+func TestKMeansSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := &learnConfig{doms: []int{10}, rng: rng}
+	// Two well-separated clusters over one column.
+	var rows [][]int32
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []int32{int32(rng.Intn(2))})
+		rows = append(rows, []int32{int32(8 + rng.Intn(2))})
+	}
+	a, b := kmeansSplit(rows, []int{0}, cfg)
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatal("degenerate split")
+	}
+	// Each side must be pure (all low or all high).
+	pure := func(rs [][]int32) bool {
+		low, high := 0, 0
+		for _, r := range rs {
+			if r[0] < 5 {
+				low++
+			} else {
+				high++
+			}
+		}
+		return low == 0 || high == 0
+	}
+	if !pure(a) || !pure(b) {
+		t.Error("k-means did not separate the clusters")
+	}
+}
+
+// TestLearnTotalMassOne: an SPN's unconstrained evaluation is 1 (a valid
+// probability distribution) regardless of learned structure.
+func TestLearnTotalMassOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var rows [][]int32
+	for i := 0; i < 1500; i++ {
+		x := int32(rng.Intn(5))
+		rows = append(rows, []int32{x, (x * 2) % 5, int32(rng.Intn(3))})
+	}
+	cfg := &learnConfig{minRows: 100, depThreshold: 0.1, maxDepth: 6, doms: []int{5, 5, 3}, rng: rng}
+	root := learn(rows, []int{0, 1, 2}, cfg, 0)
+	got := root.eval(&evalCtx{regions: map[int][]query.IDRange{}, fanout: map[int]bool{}})
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("total mass = %v", got)
+	}
+	// Marginal of column 2 ≈ 1/3 per value despite row splits.
+	for v := int32(0); v < 3; v++ {
+		ctx := &evalCtx{regions: map[int][]query.IDRange{2: {{Lo: v, Hi: v}}}, fanout: map[int]bool{}}
+		p := root.eval(ctx)
+		if math.Abs(p-1.0/3) > 0.08 {
+			t.Errorf("P(col2=%d) = %v, want ≈ 1/3", v, p)
+		}
+	}
+}
+
+// TestLearnCapturesCorrelation: a learned SPN assigns much higher mass to
+// correlated value pairs than to impossible ones.
+func TestLearnCapturesCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var rows [][]int32
+	for i := 0; i < 4000; i++ {
+		x := int32(rng.Intn(4))
+		rows = append(rows, []int32{x, x})
+	}
+	cfg := &learnConfig{minRows: 200, depThreshold: 0.05, maxDepth: 8, doms: []int{4, 4}, rng: rng}
+	root := learn(rows, []int{0, 1}, cfg, 0)
+	match := root.eval(&evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 1, Hi: 1}}, 1: {{Lo: 1, Hi: 1}}},
+		fanout:  map[int]bool{},
+	})
+	mismatch := root.eval(&evalCtx{
+		regions: map[int][]query.IDRange{0: {{Lo: 1, Hi: 1}}, 1: {{Lo: 2, Hi: 2}}},
+		fanout:  map[int]bool{},
+	})
+	if match < 5*mismatch {
+		t.Errorf("P(match)=%v not ≫ P(mismatch)=%v — correlation not captured", match, mismatch)
+	}
+}

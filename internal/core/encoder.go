@@ -1,0 +1,272 @@
+// Package core assembles NeuroCard itself: the encoder that turns sampled
+// full-outer-join rows into model token tuples (content columns factorized
+// per §5, plus the §6 virtual columns — per-table indicators and per-join-key
+// fanouts), the training loop that streams unbiased join samples into the
+// autoregressive model, and the probabilistic inference algorithms
+// (progressive sampling with schema-subsetting corrections) that turn the
+// learned density into cardinality estimates.
+package core
+
+import (
+	"fmt"
+
+	"neurocard/internal/factor"
+	"neurocard/internal/nn"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+)
+
+// MaskToken aliases the model's wildcard input token.
+const MaskToken int32 = -1
+
+// ProbSource provides the autoregressive conditionals progressive sampling
+// integrates over. *made.Model implements it; internal/oracle provides an
+// exact implementation for validating inference algorithms.
+type ProbSource interface {
+	NumCols() int
+	DomainSize(i int) int
+	// Conditional writes p(X_col | tokens_<col>) row-normalized into out
+	// (len(tokens) × DomainSize(col)). Wildcard positions hold MaskToken.
+	Conditional(tokens [][]int32, col int, out *nn.Mat)
+}
+
+// ColKind distinguishes the three kinds of learned columns.
+type ColKind uint8
+
+// Learned column kinds: base-table content, §6 indicator, §6 fanout.
+const (
+	KindContent ColKind = iota
+	KindIndicator
+	KindFanout
+)
+
+// String names the kind for diagnostics.
+func (k ColKind) String() string {
+	switch k {
+	case KindContent:
+		return "content"
+	case KindIndicator:
+		return "indicator"
+	default:
+		return "fanout"
+	}
+}
+
+// ModelCol is one logical column of the learned joint distribution. Content
+// and fanout columns may factorize into several flat subcolumns.
+type ModelCol struct {
+	Kind       ColKind
+	Table      string
+	Col        string // content column name, or the fanout's join-key column
+	Fact       factor.Factorization
+	FlatOffset int // index of the first flat (sub)column in the model
+}
+
+// Encoder maps sampled join rows to flat model tokens. It is built against a
+// "domain schema" whose dictionaries define the token spaces; data snapshots
+// derived via table.Filter share those dictionaries, which is what makes
+// incremental updates (§7.6) possible without re-encoding the model.
+type Encoder struct {
+	domain   *schema.Schema
+	tables   []string // sampler order (schema BFS)
+	tIdx     map[string]int
+	cols     []ModelCol
+	flatDoms []int
+}
+
+// NewEncoder builds the encoder. contentCols maps table name → modeled
+// column names (in order); a nil map models every non-join-key column of
+// every table. Join keys are never modeled directly — their information
+// enters through indicators and fanouts, mirroring the paper's column
+// counts (Table 1). factBits is the §5 factorization budget (0 disables).
+func NewEncoder(domain *schema.Schema, contentCols map[string][]string, factBits int) (*Encoder, error) {
+	e := &Encoder{
+		domain: domain,
+		tables: domain.Tables(),
+		tIdx:   make(map[string]int),
+	}
+	for i, t := range e.tables {
+		e.tIdx[t] = i
+	}
+
+	addCol := func(mc ModelCol) {
+		mc.FlatOffset = len(e.flatDoms)
+		for _, sz := range mc.Fact.Size {
+			e.flatDoms = append(e.flatDoms, sz)
+		}
+		e.cols = append(e.cols, mc)
+	}
+
+	// Content columns, table by table in BFS order (§6: content first).
+	for _, tname := range e.tables {
+		t := domain.Table(tname)
+		var names []string
+		if contentCols != nil {
+			names = contentCols[tname]
+		} else {
+			keys := make(map[string]bool)
+			for _, k := range domain.JoinKeys(tname) {
+				keys[k] = true
+			}
+			for _, c := range t.Columns() {
+				if !keys[c.Name()] {
+					names = append(names, c.Name())
+				}
+			}
+		}
+		for _, cn := range names {
+			c := t.Col(cn)
+			if c == nil {
+				return nil, fmt.Errorf("core: table %q has no column %q", tname, cn)
+			}
+			addCol(ModelCol{
+				Kind: KindContent, Table: tname, Col: cn,
+				Fact: factor.New(c.DictSize(), factBits),
+			})
+		}
+	}
+	// Indicators (before fanouts, per §6's ordering discussion).
+	for _, tname := range e.tables {
+		addCol(ModelCol{
+			Kind: KindIndicator, Table: tname,
+			Fact: factor.New(2, 0),
+		})
+	}
+	// Fanouts: one per (table, join key). Keys whose fanout is constant 1
+	// (unique keys) are omitted — dividing by one never changes an estimate
+	// (the paper's Figure 4 makes the same omission).
+	for _, tname := range e.tables {
+		t := domain.Table(tname)
+		for _, key := range domain.JoinKeys(tname) {
+			fans, err := t.Fanouts(key)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			maxFan := int32(1)
+			for _, f := range fans {
+				if f > maxFan {
+					maxFan = f
+				}
+			}
+			if maxFan == 1 {
+				continue
+			}
+			// Token = fanout - 1 ∈ [0, maxFan); any snapshot's fanouts are
+			// bounded by the domain schema's (subsets only shrink counts).
+			addCol(ModelCol{
+				Kind: KindFanout, Table: tname, Col: key,
+				Fact: factor.New(int(maxFan), factBits),
+			})
+		}
+	}
+	if len(e.cols) == 0 {
+		return nil, fmt.Errorf("core: encoder has no columns")
+	}
+	return e, nil
+}
+
+// Columns returns the logical model columns in autoregressive order.
+func (e *Encoder) Columns() []ModelCol { return e.cols }
+
+// FlatDomains returns the per-flat-subcolumn token domain sizes, the shape
+// handed to the density model.
+func (e *Encoder) FlatDomains() []int { return append([]int(nil), e.flatDoms...) }
+
+// NumFlat returns the number of flat model columns.
+func (e *Encoder) NumFlat() int { return len(e.flatDoms) }
+
+// Tables returns the join-row table order expected by EncodeRows.
+func (e *Encoder) Tables() []string { return e.tables }
+
+// dataView binds the encoder to a concrete data snapshot: resolved column
+// pointers and precomputed fanout arrays, with dictionary compatibility
+// verified.
+type dataView struct {
+	contentCols []*table.Column // aligned with content ModelCols, in order
+	fanouts     [][]int32       // aligned with fanout ModelCols, in order
+	tIdx        []int           // per ModelCol: table position in join rows
+}
+
+// bind validates that data's dictionaries match the encoder's domain schema
+// and resolves the per-column accessors.
+func (e *Encoder) bind(data *schema.Schema) (*dataView, error) {
+	v := &dataView{}
+	for _, mc := range e.cols {
+		ti, ok := e.tIdx[mc.Table]
+		if !ok || data.Table(mc.Table) == nil {
+			return nil, fmt.Errorf("core: data snapshot lacks table %q", mc.Table)
+		}
+		v.tIdx = append(v.tIdx, ti)
+		switch mc.Kind {
+		case KindContent:
+			c := data.Table(mc.Table).Col(mc.Col)
+			if c == nil {
+				return nil, fmt.Errorf("core: data snapshot lacks column %s.%s", mc.Table, mc.Col)
+			}
+			if c.DictSize() != mc.Fact.Dom {
+				return nil, fmt.Errorf("core: %s.%s dictionary size %d differs from domain schema's %d; snapshots must share dictionaries (table.Filter)",
+					mc.Table, mc.Col, c.DictSize(), mc.Fact.Dom)
+			}
+			v.contentCols = append(v.contentCols, c)
+		case KindFanout:
+			fans, err := data.Table(mc.Table).Fanouts(mc.Col)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			v.fanouts = append(v.fanouts, fans)
+		}
+	}
+	return v, nil
+}
+
+// EncodeRows turns sampled join rows (sampler table order, NullRow for NULL)
+// into flat model token tuples using the bound data snapshot.
+func (e *Encoder) encodeRows(v *dataView, rows [][]int32) [][]int32 {
+	out := make([][]int32, len(rows))
+	nflat := len(e.flatDoms)
+	for r, row := range rows {
+		toks := make([]int32, nflat)
+		ci, fi := 0, 0
+		for mi, mc := range e.cols {
+			base := row[v.tIdx[mi]]
+			switch mc.Kind {
+			case KindContent:
+				var id int32 // NULL table ⇒ NULL value (dict ID 0)
+				if base != sampler.NullRow {
+					id = v.contentCols[ci].ID(int(base))
+				}
+				mc.Fact.Encode(id, toks[mc.FlatOffset:mc.FlatOffset+mc.Fact.NumSubs()])
+				ci++
+			case KindIndicator:
+				if base != sampler.NullRow {
+					toks[mc.FlatOffset] = 1
+				}
+			case KindFanout:
+				fan := int32(1)
+				if base != sampler.NullRow {
+					fan = v.fanouts[fi][base]
+				}
+				if int(fan) > mc.Fact.Dom {
+					// Defensive clamp: cannot occur for snapshots of the
+					// domain schema, but protects foreign data.
+					fan = int32(mc.Fact.Dom)
+				}
+				mc.Fact.Encode(fan-1, toks[mc.FlatOffset:mc.FlatOffset+mc.Fact.NumSubs()])
+				fi++
+			}
+		}
+		out[r] = toks
+	}
+	return out
+}
+
+// EncodeJoinRows is the exported encoding entry point used by the oracle and
+// by tools: it binds data and encodes the given join rows.
+func (e *Encoder) EncodeJoinRows(data *schema.Schema, rows [][]int32) ([][]int32, error) {
+	v, err := e.bind(data)
+	if err != nil {
+		return nil, err
+	}
+	return e.encodeRows(v, rows), nil
+}

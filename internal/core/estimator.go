@@ -1,0 +1,278 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"neurocard/internal/made"
+	"neurocard/internal/query"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+)
+
+// Config assembles a NeuroCard estimator.
+type Config struct {
+	Model made.Config
+
+	// FactBits is the §5 factorization budget in bits per subcolumn;
+	// 0 disables factorization.
+	FactBits int
+
+	// ContentCols selects the modeled columns per table. Nil models every
+	// non-join-key column.
+	ContentCols map[string][]string
+
+	// Training.
+	BatchSize      int     // tuples per gradient step
+	WildcardProb   float64 // wildcard-skipping masking probability per tuple
+	SamplerWorkers int     // parallel join-sampling threads feeding training
+	Seed           int64
+
+	// PSamples is the number of progressive samples per Estimate call.
+	PSamples int
+}
+
+// DefaultConfig returns a configuration scaled for CPU training, mirroring
+// the paper's base setup (batch 2048 scaled down, 512 progressive samples,
+// wildcard skipping on).
+func DefaultConfig() Config {
+	return Config{
+		Model:          made.DefaultConfig(),
+		FactBits:       12,
+		BatchSize:      512,
+		WildcardProb:   0.5,
+		SamplerWorkers: 4,
+		Seed:           1,
+		PSamples:       512,
+	}
+}
+
+// Estimator is a NeuroCard join cardinality estimator: one autoregressive
+// density model over the full outer join of all tables in a schema,
+// answering queries over any connected subset of tables.
+type Estimator struct {
+	domain *schema.Schema // defines dictionaries / token spaces
+	data   *schema.Schema // current snapshot being modeled
+	enc    *Encoder
+	view   *dataView
+	smp    *sampler.Sampler
+
+	model     ProbSource
+	trainable *made.Model // nil when model is an external source (oracle)
+
+	joinSize float64
+	cfg      Config
+	rng      *rand.Rand
+
+	mu sync.Mutex // guards Estimate's shared rng
+}
+
+// Build constructs an untrained estimator over the schema: prepares the join
+// sampler (join count tables), derives the encoder, and initializes the
+// model. The same schema serves as domain and initial data snapshot.
+func Build(sch *schema.Schema, cfg Config) (*Estimator, error) {
+	return BuildWithDomain(sch, sch, cfg)
+}
+
+// BuildWithDomain separates the dictionary-defining domain schema from the
+// data snapshot to model — the setup for the §7.6 update study, where
+// partitioned snapshots of a database share the full database's
+// dictionaries.
+func BuildWithDomain(domain, data *schema.Schema, cfg Config) (*Estimator, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 512
+	}
+	if cfg.PSamples <= 0 {
+		cfg.PSamples = 512
+	}
+	if cfg.SamplerWorkers <= 0 {
+		cfg.SamplerWorkers = 1
+	}
+	enc, err := NewEncoder(domain, cfg.ContentCols, cfg.FactBits)
+	if err != nil {
+		return nil, err
+	}
+	model, err := made.New(cfg.Model, enc.FlatDomains())
+	if err != nil {
+		return nil, err
+	}
+	e := &Estimator{
+		domain:    domain,
+		enc:       enc,
+		model:     model,
+		trainable: model,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := e.UpdateData(data); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// NewFromParts wires an estimator around an externally provided conditional
+// source (e.g. the exact oracle) for testing inference algorithms in
+// isolation from training.
+func NewFromParts(domain, data *schema.Schema, enc *Encoder, src ProbSource, cfg Config) (*Estimator, error) {
+	if src.NumCols() != enc.NumFlat() {
+		return nil, fmt.Errorf("core: source has %d columns, encoder %d", src.NumCols(), enc.NumFlat())
+	}
+	if cfg.PSamples <= 0 {
+		cfg.PSamples = 512
+	}
+	e := &Estimator{
+		domain: domain,
+		enc:    enc,
+		model:  src,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := e.UpdateData(data); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// UpdateData points the estimator at a new data snapshot: join counts are
+// recomputed (seconds, linear in data) and the fanout/content accessors are
+// rebound. The model is untouched — follow with Train for an incremental
+// update or retrain from scratch (§7.6's fast-update vs retrain).
+func (e *Estimator) UpdateData(data *schema.Schema) error {
+	view, err := e.enc.bind(data)
+	if err != nil {
+		return err
+	}
+	smp, err := sampler.New(data)
+	if err != nil {
+		return err
+	}
+	e.data = data
+	e.view = view
+	e.smp = smp
+	e.joinSize = smp.JoinSize()
+	return nil
+}
+
+// JoinSize returns |J| of the current snapshot's full outer join.
+func (e *Estimator) JoinSize() float64 { return e.joinSize }
+
+// Encoder exposes the column encoding (for tools and diagnostics).
+func (e *Estimator) Encoder() *Encoder { return e.enc }
+
+// Model returns the trainable model, or nil for oracle-backed estimators.
+func (e *Estimator) Model() *made.Model { return e.trainable }
+
+// Bytes reports the model size using the paper's float32 accounting.
+func (e *Estimator) Bytes() int {
+	if e.trainable == nil {
+		return 0
+	}
+	return e.trainable.Bytes()
+}
+
+// Train streams approximately nTuples uniform samples of the full outer join
+// through the model (maximum likelihood, §3.2). Sampling runs on
+// cfg.SamplerWorkers goroutines concurrently with gradient computation,
+// mirroring the paper's background sampling threads. It returns the mean
+// training loss (nats/tuple) over the final 10% of steps.
+func (e *Estimator) Train(nTuples int) (float64, error) {
+	if e.trainable == nil {
+		return 0, fmt.Errorf("core: estimator has no trainable model")
+	}
+	steps := (nTuples + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	if steps < 1 {
+		steps = 1
+	}
+	batches := e.streamBatches(steps)
+	var tail []float64
+	for batch := range batches {
+		loss := e.trainable.TrainStep(batch, e.cfg.WildcardProb)
+		tail = append(tail, loss)
+	}
+	n := len(tail) / 10
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	for _, l := range tail[len(tail)-n:] {
+		sum += l
+	}
+	return sum / float64(n), nil
+}
+
+// TrainWithDraw trains on join rows produced by a custom draw function (in
+// sampler table order, sampler.NullRow for NULL) instead of the unbiased
+// Exact-Weight sampler. Used by the Table 5 (A) ablation, which feeds the
+// model IBJS-style biased samples to measure the cost of violating the §4
+// uniformity requirement.
+func (e *Estimator) TrainWithDraw(nTuples int, draw func(rng *rand.Rand, out []int32)) (float64, error) {
+	if e.trainable == nil {
+		return 0, fmt.Errorf("core: estimator has no trainable model")
+	}
+	steps := (nTuples + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	rng := rand.New(rand.NewSource(e.rng.Int63()))
+	nt := len(e.smp.Tables())
+	var tail []float64
+	for s := 0; s < steps; s++ {
+		rows := make([][]int32, e.cfg.BatchSize)
+		for i := range rows {
+			rows[i] = make([]int32, nt)
+			draw(rng, rows[i])
+		}
+		loss := e.trainable.TrainStep(e.enc.encodeRows(e.view, rows), e.cfg.WildcardProb)
+		tail = append(tail, loss)
+	}
+	n := len(tail) / 10
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
+	for _, l := range tail[len(tail)-n:] {
+		sum += l
+	}
+	return sum / float64(n), nil
+}
+
+// streamBatches launches sampler workers producing encoded training batches.
+func (e *Estimator) streamBatches(steps int) <-chan [][]int32 {
+	workers := e.cfg.SamplerWorkers
+	ch := make(chan [][]int32, workers)
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	baseSeed := e.rng.Int63()
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func(wkr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(baseSeed + int64(wkr)*7_654_321))
+			nt := len(e.smp.Tables())
+			for {
+				if produced.Add(1) > int64(steps) {
+					return
+				}
+				rows := make([][]int32, e.cfg.BatchSize)
+				for i := range rows {
+					rows[i] = make([]int32, nt)
+					e.smp.Sample(rng, rows[i])
+				}
+				ch <- e.enc.encodeRows(e.view, rows)
+			}
+		}(wkr)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+// Estimate returns the estimated cardinality of q using the configured
+// number of progressive samples.
+func (e *Estimator) Estimate(q query.Query) (float64, error) {
+	e.mu.Lock()
+	seed := e.rng.Int63()
+	e.mu.Unlock()
+	return e.EstimateWithSamples(q, e.cfg.PSamples, rand.New(rand.NewSource(seed)))
+}

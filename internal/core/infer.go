@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neurocard/internal/nn"
+	"neurocard/internal/query"
+)
+
+// planMode describes how progressive sampling treats one logical column.
+type planMode uint8
+
+const (
+	modeSkip         planMode = iota // wildcard: MASK input, no sampling
+	modeConstrain                    // content column with a filter region
+	modeIndicatorOne                 // queried table: require 1_T = 1
+	modeFanoutDivide                 // omitted table's fanout key: sample & divide (Eq. 9)
+)
+
+type colPlan struct {
+	mc     *ModelCol
+	mode   planMode
+	region query.Region // modeConstrain only, over dictionary IDs
+}
+
+// plan compiles a query into per-column actions (§6): filters become ID
+// regions on content columns, queried tables constrain their indicators to
+// 1, and each omitted table contributes exactly one fanout key to divide
+// out — the key on its side of the edge toward the query subtree.
+func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
+	if err := e.domain.ValidateQuerySet(q.Tables); err != nil {
+		return nil, false, err
+	}
+	qset := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		qset[t] = true
+	}
+	for _, f := range q.Filters {
+		if !qset[f.Table] {
+			return nil, false, fmt.Errorf("core: filter %s references table outside the join", f)
+		}
+	}
+	regions := make(map[string]map[string]query.Region, len(q.Tables))
+	for _, t := range q.Tables {
+		regs, err := query.TableRegions(e.domain.Table(t), q)
+		if err != nil {
+			return nil, false, err
+		}
+		regions[t] = regs
+	}
+	// Every filtered column must be modeled; silently dropping a filter
+	// would systematically overestimate.
+	modeled := make(map[string]map[string]bool)
+	for _, mc := range e.enc.cols {
+		if mc.Kind == KindContent {
+			if modeled[mc.Table] == nil {
+				modeled[mc.Table] = make(map[string]bool)
+			}
+			modeled[mc.Table][mc.Col] = true
+		}
+	}
+	for _, f := range q.Filters {
+		if !modeled[f.Table][f.Col] {
+			return nil, false, fmt.Errorf("core: filter %s references a column not modeled by the estimator; add it to ContentCols", f)
+		}
+	}
+	// Fanout keys of omitted tables.
+	divide := make(map[string]map[string]bool) // table → key col → divide
+	for _, t := range e.domain.Tables() {
+		if qset[t] {
+			continue
+		}
+		key, err := e.domain.FanoutKey(t, qset)
+		if err != nil {
+			return nil, false, err
+		}
+		if divide[t] == nil {
+			divide[t] = make(map[string]bool)
+		}
+		divide[t][key] = true
+	}
+
+	empty := false
+	plans := make([]colPlan, len(e.enc.cols))
+	for i := range e.enc.cols {
+		mc := &e.enc.cols[i]
+		p := colPlan{mc: mc, mode: modeSkip}
+		switch mc.Kind {
+		case KindContent:
+			if r, ok := regions[mc.Table][mc.Col]; ok {
+				p.mode = modeConstrain
+				p.region = r
+				if r.Empty() {
+					empty = true
+				}
+			}
+		case KindIndicator:
+			if qset[mc.Table] {
+				p.mode = modeIndicatorOne
+			}
+		case KindFanout:
+			if divide[mc.Table][mc.Col] {
+				p.mode = modeFanoutDivide
+			}
+		}
+		plans[i] = p
+	}
+	return plans, empty, nil
+}
+
+// EstimateWithSamples runs progressive sampling (Eq. 5 extended per §5/§6)
+// with the given number of Monte Carlo samples and returns the estimated
+// cardinality, lower-bounded at 1.
+func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.Rand) (float64, error) {
+	plans, empty, err := e.plan(q)
+	if err != nil {
+		return 0, err
+	}
+	if empty {
+		// A filter matches no dictionary value: true cardinality is 0; the
+		// Q-error convention lower-bounds estimates at 1.
+		return 1, nil
+	}
+	if nSamples < 1 {
+		nSamples = 1
+	}
+
+	b := nSamples
+	tokens := make([][]int32, b)
+	for r := range tokens {
+		row := make([]int32, e.enc.NumFlat())
+		for i := range row {
+			row[i] = MaskToken
+		}
+		tokens[r] = row
+	}
+	w := make([]float64, b)
+	for i := range w {
+		w[i] = 1
+	}
+
+	for _, p := range plans {
+		switch p.mode {
+		case modeSkip:
+			continue
+
+		case modeIndicatorOne:
+			out := nn.NewMat(b, 2)
+			e.model.Conditional(tokens, p.mc.FlatOffset, out)
+			for r := 0; r < b; r++ {
+				if w[r] == 0 {
+					continue
+				}
+				w[r] *= out.At(r, 1)
+				tokens[r][p.mc.FlatOffset] = 1
+			}
+
+		case modeConstrain:
+			e.sampleConstrained(p, tokens, w, rng)
+
+		case modeFanoutDivide:
+			nsub := p.mc.Fact.NumSubs()
+			for j := 0; j < nsub; j++ {
+				flat := p.mc.FlatOffset + j
+				out := nn.NewMat(b, e.model.DomainSize(flat))
+				e.model.Conditional(tokens, flat, out)
+				for r := 0; r < b; r++ {
+					if w[r] == 0 {
+						continue
+					}
+					tokens[r][flat] = drawFull(out.Row(r), rng)
+				}
+			}
+			for r := 0; r < b; r++ {
+				if w[r] == 0 {
+					continue
+				}
+				sub := tokens[r][p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+				fan := float64(p.mc.Fact.Decode(sub)) + 1
+				w[r] /= fan
+			}
+		}
+	}
+
+	sum := 0.0
+	for _, x := range w {
+		sum += x
+	}
+	card := sum / float64(b) * e.joinSize
+	if card < 1 {
+		card = 1
+	}
+	return card, nil
+}
+
+// sampleConstrained draws one content column subcolumn-by-subcolumn inside
+// its filter region, multiplying each sample's weight by the in-region
+// probability mass (importance weighting).
+func (e *Estimator) sampleConstrained(p colPlan, tokens [][]int32, w []float64, rng *rand.Rand) {
+	nsub := p.mc.Fact.NumSubs()
+	b := len(tokens)
+	for j := 0; j < nsub; j++ {
+		flat := p.mc.FlatOffset + j
+		out := nn.NewMat(b, e.model.DomainSize(flat))
+		e.model.Conditional(tokens, flat, out)
+		for r := 0; r < b; r++ {
+			if w[r] == 0 {
+				continue
+			}
+			colToks := tokens[r][p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+			prefix := p.mc.Fact.PrefixValue(colToks, j)
+			sub := p.mc.Fact.SubRegion(p.region, j, prefix)
+			if len(sub) == 0 {
+				w[r] = 0
+				continue
+			}
+			probs := out.Row(r)
+			mass := 0.0
+			for _, iv := range sub {
+				for t := iv.Lo; t <= iv.Hi; t++ {
+					mass += probs[t]
+				}
+			}
+			if mass <= 0 {
+				w[r] = 0
+				continue
+			}
+			w[r] *= mass
+			// Draw within the region proportionally to probs.
+			u := rng.Float64() * mass
+			var chosen int32 = sub[len(sub)-1].Hi
+			acc := 0.0
+		draw:
+			for _, iv := range sub {
+				for t := iv.Lo; t <= iv.Hi; t++ {
+					acc += probs[t]
+					if acc > u {
+						chosen = t
+						break draw
+					}
+				}
+			}
+			colToks[j] = chosen
+		}
+	}
+}
+
+// drawFull samples an index proportional to an (already normalized)
+// probability vector.
+func drawFull(probs []float64, rng *rand.Rand) int32 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if acc > u {
+			return int32(i)
+		}
+	}
+	return int32(len(probs) - 1)
+}

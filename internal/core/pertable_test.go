@@ -1,0 +1,76 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"neurocard/internal/core"
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/value"
+)
+
+// TestPerTableAblation checks the Table 5 (D) estimator: per-table models
+// combine under independence, so single-table estimates are accurate while
+// cross-table correlation is lost by construction.
+func TestPerTableAblation(t *testing.T) {
+	s := figure4(t)
+	cfg := core.DefaultConfig()
+	cfg.Model.Hidden = 24
+	cfg.Model.EmbedDim = 6
+	cfg.Model.Blocks = 1
+	cfg.Model.LR = 5e-3
+	cfg.BatchSize = 64
+	cfg.PSamples = 400
+	cfg.SamplerWorkers = 1
+	cfg.ContentCols = allColumns(s)
+	per, err := core.BuildPerTable(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := per.Train(8_000); err != nil {
+		t.Fatal(err)
+	}
+	if per.Bytes() <= 0 {
+		t.Error("per-table size accounting broken")
+	}
+	if per.Name() == "" {
+		t.Error("empty name")
+	}
+
+	// Single-table query: accurate (only one model involved).
+	q := query.Query{
+		Tables:  []string{"B"},
+		Filters: []query.Filter{{Table: "B", Col: "x", Op: query.OpEq, Val: value.Int(2)}},
+	}
+	want, err := exec.Cardinality(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := per.Estimate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qe := math.Max(got/want, want/got); qe > 1.8 {
+		t.Errorf("single-table estimate %v vs %v (q-error %.2f)", got, want, qe)
+	}
+
+	// Unfiltered join: exact inner size, so estimate is exact.
+	q2 := query.Query{Tables: []string{"A", "B", "C"}}
+	want, err = exec.Cardinality(s, q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = per.Estimate(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 0.5 {
+		t.Errorf("unfiltered join estimate %v, want %v", got, want)
+	}
+
+	// Errors propagate.
+	if _, err := per.Estimate(query.Query{Tables: []string{"A", "C"}}); err == nil {
+		t.Error("disconnected query accepted")
+	}
+}

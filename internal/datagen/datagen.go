@@ -1,0 +1,192 @@
+// Package datagen synthesizes the IMDB-like datasets the evaluation runs
+// on. The real IMDB snapshot is unavailable in this environment, so the
+// generator reproduces the property the paper's experiments depend on:
+// strong inter-column and inter-table correlations (year↔kind↔company
+// type↔info type, skewed Zipf fanouts, correlated NULLs) that
+// independence-assuming estimators systematically mis-estimate (§7.1;
+// DESIGN.md records the substitution).
+//
+// Two schemas are produced, mirroring the paper's workloads:
+//
+//   - JOBLight: the 6-table star schema (title + 5 fact tables joining on
+//     movie_id) used by JOB-light and JOB-light-ranges.
+//   - JOBM: a 16-table snowflake with multi-key joins (dimension tables
+//     for persons, companies, keywords, info/kind/role types) used by JOB-M.
+//
+// Generation is deterministic given Config.Seed. Snapshots partitions the
+// database by title.production_year for the §7.6 update study, preserving
+// dictionaries so models can be updated incrementally.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// Config controls dataset size and randomness.
+type Config struct {
+	Seed int64
+	// Scale multiplies every table's row count; 1.0 ≈ 4k titles with ~30
+	// child rows each (full outer join ≈ 10^7 rows).
+	Scale float64
+}
+
+// DefaultConfig returns the benchmark-scale configuration.
+func DefaultConfig() Config { return Config{Seed: 42, Scale: 1.0} }
+
+// Dataset bundles a generated schema with workload metadata.
+type Dataset struct {
+	Schema *schema.Schema
+	// ContentCols lists the filterable columns per table (the columns the
+	// estimator models and workloads place predicates on).
+	ContentCols map[string][]string
+	// titleYears caches production years by title row for partitioning.
+	titleYears []int
+	// edges replays schema construction for snapshots.
+	edges []schema.Edge
+	root  string
+}
+
+const (
+	minYear = 1930
+	maxYear = 2025
+	nKinds  = 7
+	nRoles  = 11
+	nInfoMI = 70 // info_type ids used by movie_info
+	nInfoII = 14 // info_type ids used by movie_info_idx (99..112)
+)
+
+// gen wraps the RNG with the correlated-choice helpers.
+type gen struct {
+	rng *rand.Rand
+}
+
+func newRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// year draws a production year skewed toward recent decades.
+func (g *gen) year() int {
+	// Mixture: 70% recent (1990+), 30% uniform over the full range.
+	if g.rng.Float64() < 0.7 {
+		span := maxYear - 1990
+		return 1990 + int(float64(span)*g.rng.Float64()*g.rng.Float64()) // quadratic skew to newest
+	}
+	return minYear + g.rng.Intn(maxYear-minYear+1)
+}
+
+// kindFor correlates kind with year: older titles are mostly kind 1
+// (movie); newer ones spread across tv kinds.
+func (g *gen) kindFor(year int) int {
+	recent := float64(year-minYear) / float64(maxYear-minYear)
+	switch {
+	case g.rng.Float64() > recent: // old: movie-heavy
+		return 1
+	case g.rng.Float64() < 0.5:
+		return 2 + g.rng.Intn(2) // tv series / episode
+	default:
+		return 1 + g.rng.Intn(nKinds)
+	}
+}
+
+// zipf draws from [1, n] with a Zipf-ish skew.
+func (g *gen) zipf(n int, s float64) int {
+	if n <= 1 {
+		return 1
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(n-1))
+	return int(z.Uint64()) + 1
+}
+
+// pcode renders a phonetic-code-like string ("A123"…"Z623") correlated with
+// the given seed value so string-range filters carry signal.
+func (g *gen) pcode(corr int) string {
+	letter := byte('A' + (corr+g.rng.Intn(6))%26)
+	return fmt.Sprintf("%c%03d", letter, g.rng.Intn(624))
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+type titleRow struct {
+	id      int
+	kind    int
+	year    int
+	episode int // 0 = NULL
+	season  int // 0 = NULL
+	pcode   string
+	nullPC  bool
+	popular float64 // latent popularity driving fanouts
+}
+
+// generateTitles creates the shared title dimension.
+func generateTitles(g *gen, n int) []titleRow {
+	rows := make([]titleRow, n)
+	for i := range rows {
+		y := g.year()
+		k := g.kindFor(y)
+		tr := titleRow{id: i + 1, kind: k, year: y}
+		// Episodes: only tv kinds carry episode/season numbers.
+		if k >= 3 && g.rng.Float64() < 0.8 {
+			tr.season = 1 + g.rng.Intn(15)
+			tr.episode = 1 + g.rng.Intn(60)
+		}
+		tr.nullPC = g.rng.Float64() < 0.1
+		tr.pcode = g.pcode(k * (y % 7))
+		// Popularity: recent movies are disproportionately popular.
+		recent := float64(y-minYear) / float64(maxYear-minYear)
+		tr.popular = 0.25 + 1.5*recent*g.rng.Float64()
+		if k == 1 {
+			tr.popular *= 1.4
+		}
+		rows[i] = tr
+	}
+	return rows
+}
+
+func buildTitle(titles []titleRow) *table.Table {
+	b := table.MustBuilder("title", []table.ColSpec{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "kind_id", Kind: value.KindInt},
+		{Name: "production_year", Kind: value.KindInt},
+		{Name: "episode_nr", Kind: value.KindInt},
+		{Name: "season_nr", Kind: value.KindInt},
+		{Name: "phonetic_code", Kind: value.KindStr},
+	})
+	for _, tr := range titles {
+		ep, se, pc := value.Null, value.Null, value.Null
+		if tr.episode > 0 {
+			ep = value.Int(int64(tr.episode))
+			se = value.Int(int64(tr.season))
+		}
+		if !tr.nullPC {
+			pc = value.Str(tr.pcode)
+		}
+		b.MustAppend(value.Int(int64(tr.id)), value.Int(int64(tr.kind)),
+			value.Int(int64(tr.year)), ep, se, pc)
+	}
+	return b.MustBuild()
+}
+
+// fanout maps popularity to a per-title child row count with the given mean.
+func (g *gen) fanout(popular float64, mean float64, zeroProb float64) int {
+	if g.rng.Float64() < zeroProb {
+		return 0
+	}
+	f := popular * mean * (0.5 + g.rng.Float64())
+	n := int(f)
+	if g.rng.Float64() < f-float64(n) {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,247 @@
+package datagen
+
+import (
+	"testing"
+
+	"neurocard/internal/sampler"
+	"neurocard/internal/value"
+)
+
+func smallCfg() Config { return Config{Seed: 7, Scale: 0.05} }
+
+func TestJOBLightShape(t *testing.T) {
+	d, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Schema
+	want := []string{"title", "cast_info", "movie_companies", "movie_info", "movie_keyword", "movie_info_idx"}
+	if s.NumTables() != 6 {
+		t.Fatalf("tables = %v", s.Tables())
+	}
+	for _, name := range want {
+		if s.Table(name) == nil {
+			t.Fatalf("missing table %q", name)
+		}
+		if _, ok := d.ContentCols[name]; !ok {
+			t.Errorf("no content columns declared for %q", name)
+		}
+	}
+	if s.Root() != "title" {
+		t.Errorf("root = %q", s.Root())
+	}
+	// Star schema: every non-root joins title directly.
+	for _, name := range want[1:] {
+		e, ok := s.Parent(name)
+		if !ok || e.Parent != "title" || e.ParentCol != "id" || e.ChildCol != "movie_id" {
+			t.Errorf("parent of %q = %+v", name, e)
+		}
+	}
+	// Sampler must accept the schema (non-empty full join).
+	smp, err := sampler.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.JoinSize() < float64(s.Table("title").NumRows()) {
+		t.Errorf("|J| = %v is smaller than title", smp.JoinSize())
+	}
+}
+
+func TestJOBMShape(t *testing.T) {
+	d, err := JOBM(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Schema
+	if s.NumTables() != 16 {
+		t.Fatalf("JOB-M has %d tables, want 16: %v", s.NumTables(), s.Tables())
+	}
+	// Multi-key joins: cast_info carries four distinct join keys.
+	keys := s.JoinKeys("cast_info")
+	if len(keys) != 4 {
+		t.Errorf("cast_info join keys = %v", keys)
+	}
+	if _, err := sampler.New(s); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicated info_type dimensions must be distinct tables.
+	if s.Table("info_type_mi") == nil || s.Table("info_type_mii") == nil {
+		t.Error("duplicated info_type tables missing")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Schema.Tables() {
+		ta, tb := a.Schema.Table(name), b.Schema.Table(name)
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s: %d vs %d rows", name, ta.NumRows(), tb.NumRows())
+		}
+		for _, col := range ta.Columns() {
+			cb := tb.MustCol(col.Name())
+			for r := 0; r < ta.NumRows(); r++ {
+				if col.ID(r) != cb.ID(r) {
+					t.Fatalf("%s.%s row %d differs between runs", name, col.Name(), r)
+				}
+			}
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	small, _ := JOBLight(Config{Seed: 1, Scale: 0.05})
+	big, _ := JOBLight(Config{Seed: 1, Scale: 0.2})
+	ns := small.Schema.Table("title").NumRows()
+	nb := big.Schema.Table("title").NumRows()
+	if nb <= ns*2 {
+		t.Errorf("scale not respected: %d vs %d titles", ns, nb)
+	}
+}
+
+// TestForeignKeysResolve: every fact movie_id exists in title.
+func TestForeignKeysResolve(t *testing.T) {
+	d, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := d.Schema.Table("title")
+	ids := make(map[int64]bool)
+	idCol := title.MustCol("id")
+	for r := 0; r < title.NumRows(); r++ {
+		v, _ := idCol.Int(r)
+		ids[v] = true
+	}
+	for _, name := range []string{"cast_info", "movie_companies", "movie_info", "movie_keyword", "movie_info_idx"} {
+		mt := d.Schema.Table(name)
+		mid := mt.MustCol("movie_id")
+		for r := 0; r < mt.NumRows(); r++ {
+			v, ok := mid.Int(r)
+			if !ok {
+				t.Fatalf("%s row %d has NULL movie_id", name, r)
+			}
+			if !ids[v] {
+				t.Fatalf("%s row %d references missing title %d", name, r, v)
+			}
+		}
+	}
+}
+
+// TestPlantedCorrelation: kind and production_year must be correlated —
+// the property that separates learned estimators from independence
+// assumptions in the benchmarks.
+func TestPlantedCorrelation(t *testing.T) {
+	d, err := JOBLight(Config{Seed: 3, Scale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := d.Schema.Table("title")
+	kind := title.MustCol("kind_id")
+	year := title.MustCol("production_year")
+	oldMovies, oldAll, newMovies, newAll := 0, 0, 0, 0
+	for r := 0; r < title.NumRows(); r++ {
+		k, _ := kind.Int(r)
+		y, _ := year.Int(r)
+		if y < 1970 {
+			oldAll++
+			if k == 1 {
+				oldMovies++
+			}
+		} else if y > 2010 {
+			newAll++
+			if k == 1 {
+				newMovies++
+			}
+		}
+	}
+	if oldAll == 0 || newAll == 0 {
+		t.Fatal("year distribution degenerate")
+	}
+	oldFrac := float64(oldMovies) / float64(oldAll)
+	newFrac := float64(newMovies) / float64(newAll)
+	if oldFrac < newFrac+0.15 {
+		t.Errorf("kind⊥year: P(movie|old)=%.2f vs P(movie|new)=%.2f — correlation too weak", oldFrac, newFrac)
+	}
+}
+
+func TestSnapshots(t *testing.T) {
+	d, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := d.Snapshots(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	prev := 0
+	for i, s := range snaps {
+		n := s.Table("title").NumRows()
+		if n < prev {
+			t.Errorf("snapshot %d shrank: %d < %d", i, n, prev)
+		}
+		prev = n
+		// Dictionary stability: same dict size as the full dataset.
+		full := d.Schema.Table("title").MustCol("production_year").DictSize()
+		if got := s.Table("title").MustCol("production_year").DictSize(); got != full {
+			t.Errorf("snapshot %d: dictionary size %d, want %d", i, got, full)
+		}
+		// Fact tables reference only retained titles.
+		idCol := s.Table("title").MustCol("id")
+		ids := make(map[int64]bool)
+		for r := 0; r < s.Table("title").NumRows(); r++ {
+			v, _ := idCol.Int(r)
+			ids[v] = true
+		}
+		ci := s.Table("cast_info")
+		mid := ci.MustCol("movie_id")
+		for r := 0; r < ci.NumRows(); r++ {
+			if v, ok := mid.Int(r); ok && !ids[v] {
+				t.Fatalf("snapshot %d: cast_info references pruned title %d", i, v)
+			}
+		}
+	}
+	// Final snapshot = full dataset.
+	if snaps[4].Table("title").NumRows() != d.Schema.Table("title").NumRows() {
+		t.Errorf("last snapshot incomplete: %d vs %d titles",
+			snaps[4].Table("title").NumRows(), d.Schema.Table("title").NumRows())
+	}
+	if _, err := d.Snapshots(0); err == nil {
+		t.Error("Snapshots(0) accepted")
+	}
+}
+
+// TestValueDomains: generated values stay inside their documented domains.
+func TestValueDomains(t *testing.T) {
+	d, err := JOBLight(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	title := d.Schema.Table("title")
+	kind := title.MustCol("kind_id")
+	year := title.MustCol("production_year")
+	for r := 0; r < title.NumRows(); r++ {
+		if k, _ := kind.Int(r); k < 1 || k > nKinds {
+			t.Fatalf("kind %d out of range", k)
+		}
+		if y, _ := year.Int(r); y < minYear || y > maxYear {
+			t.Fatalf("year %d out of range", y)
+		}
+	}
+	mii := d.Schema.Table("movie_info_idx")
+	it := mii.MustCol("info_type_id")
+	for r := 0; r < mii.NumRows(); r++ {
+		if v, _ := it.Int(r); v < 99 || v > 112 {
+			t.Fatalf("movie_info_idx info_type %d out of range", v)
+		}
+	}
+	_ = value.Null // document value import for NULL-bearing columns
+}

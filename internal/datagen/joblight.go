@@ -1,0 +1,211 @@
+package datagen
+
+import (
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// JOBLight generates the 6-table star schema of the JOB-light workloads:
+// title at the root, with cast_info, movie_companies, movie_info,
+// movie_keyword, and movie_info_idx all joining on title.id = movie_id.
+func JOBLight(cfg Config) (*Dataset, error) {
+	if cfg.Scale <= 0 {
+		cfg.Scale = 1
+	}
+	g := &gen{rng: newRNG(cfg.Seed)}
+	titles := generateTitles(g, scaled(4000, cfg.Scale))
+
+	title := buildTitle(titles)
+	castInfo := buildCastInfo(g, titles, false)
+	movieCompanies := buildMovieCompanies(g, titles, scaled(800, cfg.Scale))
+	movieInfo := buildMovieInfo(g, titles)
+	movieKeyword := buildMovieKeyword(g, titles, scaled(1500, cfg.Scale))
+	movieInfoIdx := buildMovieInfoIdx(g, titles)
+
+	edges := []schema.Edge{
+		{LeftTable: "title", LeftCol: "id", RightTable: "cast_info", RightCol: "movie_id"},
+		{LeftTable: "title", LeftCol: "id", RightTable: "movie_companies", RightCol: "movie_id"},
+		{LeftTable: "title", LeftCol: "id", RightTable: "movie_info", RightCol: "movie_id"},
+		{LeftTable: "title", LeftCol: "id", RightTable: "movie_keyword", RightCol: "movie_id"},
+		{LeftTable: "title", LeftCol: "id", RightTable: "movie_info_idx", RightCol: "movie_id"},
+	}
+	sch, err := schema.New(
+		[]*table.Table{title, castInfo, movieCompanies, movieInfo, movieKeyword, movieInfoIdx},
+		"title", edges,
+	)
+	if err != nil {
+		return nil, err
+	}
+	years := make([]int, len(titles))
+	for i, tr := range titles {
+		years[i] = tr.year
+	}
+	return &Dataset{
+		Schema: sch,
+		ContentCols: map[string][]string{
+			"title":           {"kind_id", "production_year", "episode_nr", "season_nr", "phonetic_code"},
+			"cast_info":       {"role_id", "nr_order"},
+			"movie_companies": {"company_id", "company_type_id"},
+			"movie_info":      {"info_type_id", "info_val"},
+			"movie_keyword":   {"keyword_id"},
+			"movie_info_idx":  {"info_type_id", "info_val"},
+		},
+		titleYears: years,
+		edges:      edges,
+		root:       "title",
+	}, nil
+}
+
+// buildCastInfo emits cast rows whose count tracks popularity and whose
+// role distribution correlates with billing order (low nr_order ⇒ lead
+// roles). withPersons adds the JOB-M join keys to name/role_type/char_name.
+func buildCastInfo(g *gen, titles []titleRow, withPersons bool) *table.Table {
+	specs := []table.ColSpec{
+		{Name: "movie_id", Kind: value.KindInt},
+		{Name: "role_id", Kind: value.KindInt},
+		{Name: "nr_order", Kind: value.KindInt},
+	}
+	nPersons := len(titles) * 3 / 4
+	nChars := len(titles) / 2
+	if withPersons {
+		specs = append(specs,
+			table.ColSpec{Name: "person_id", Kind: value.KindInt},
+			table.ColSpec{Name: "person_role_id", Kind: value.KindInt},
+		)
+	}
+	b := table.MustBuilder("cast_info", specs)
+	for _, tr := range titles {
+		n := g.fanout(tr.popular, 8, 0.06)
+		for j := 0; j < n; j++ {
+			order := j + 1
+			// Lead positions are actors/actresses; later ones crew.
+			var role int
+			switch {
+			case order <= 2:
+				role = 1 + g.rng.Intn(2) // actor/actress
+			case order <= 5:
+				role = 1 + g.rng.Intn(4)
+			default:
+				role = 1 + g.rng.Intn(nRoles)
+			}
+			row := []value.Value{
+				value.Int(int64(tr.id)),
+				value.Int(int64(role)),
+				value.Int(int64(order)),
+			}
+			if withPersons {
+				// Person popularity is Zipf: stars appear in many casts.
+				pid := g.zipf(nPersons, 1.4)
+				var prid value.Value = value.Null
+				if role <= 2 && g.rng.Float64() < 0.8 {
+					prid = value.Int(int64(g.zipf(nChars, 1.3)))
+				}
+				row = append(row, value.Int(int64(pid)), prid)
+			}
+			b.MustAppend(row...)
+		}
+	}
+	return b.MustBuild()
+}
+
+// buildMovieCompanies correlates company_type with kind (tv kinds skew to
+// type 2 = distributor) and company choice with year buckets.
+func buildMovieCompanies(g *gen, titles []titleRow, nCompanies int) *table.Table {
+	b := table.MustBuilder("movie_companies", []table.ColSpec{
+		{Name: "movie_id", Kind: value.KindInt},
+		{Name: "company_id", Kind: value.KindInt},
+		{Name: "company_type_id", Kind: value.KindInt},
+	})
+	for _, tr := range titles {
+		n := g.fanout(tr.popular, 4, 0.1)
+		for j := 0; j < n; j++ {
+			ctype := 1
+			if tr.kind >= 3 || g.rng.Float64() < 0.3 {
+				ctype = 2
+			}
+			// Era-correlated company pools: modern era uses the low-id
+			// (frequent) companies more heavily.
+			var cid int
+			if tr.year >= 1990 {
+				cid = g.zipf(nCompanies, 1.6)
+			} else {
+				cid = nCompanies/3 + g.zipf(nCompanies*2/3, 1.2)
+			}
+			if cid > nCompanies {
+				cid = nCompanies
+			}
+			b.MustAppend(value.Int(int64(tr.id)), value.Int(int64(cid)), value.Int(int64(ctype)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// buildMovieInfo correlates info_type with kind and info_val with year.
+func buildMovieInfo(g *gen, titles []titleRow) *table.Table {
+	b := table.MustBuilder("movie_info", []table.ColSpec{
+		{Name: "movie_id", Kind: value.KindInt},
+		{Name: "info_type_id", Kind: value.KindInt},
+		{Name: "info_val", Kind: value.KindInt},
+	})
+	for _, tr := range titles {
+		n := g.fanout(tr.popular, 7, 0.08)
+		for j := 0; j < n; j++ {
+			// TV kinds use a different band of info types than movies.
+			var it int
+			if tr.kind >= 3 {
+				it = 1 + g.rng.Intn(nInfoMI/2)
+			} else {
+				it = nInfoMI/4 + 1 + g.rng.Intn(nInfoMI*3/4)
+			}
+			iv := (tr.year-minYear)*10 + g.rng.Intn(200) // year-correlated payload
+			b.MustAppend(value.Int(int64(tr.id)), value.Int(int64(it)), value.Int(int64(iv)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// buildMovieKeyword draws Zipf keywords with a kind-dependent pool.
+func buildMovieKeyword(g *gen, titles []titleRow, nKeywords int) *table.Table {
+	b := table.MustBuilder("movie_keyword", []table.ColSpec{
+		{Name: "movie_id", Kind: value.KindInt},
+		{Name: "keyword_id", Kind: value.KindInt},
+	})
+	for _, tr := range titles {
+		n := g.fanout(tr.popular, 6, 0.12)
+		for j := 0; j < n; j++ {
+			kw := g.zipf(nKeywords, 1.5)
+			if tr.kind >= 3 { // tv keywords live in a shifted band
+				kw = (kw + nKeywords/3) % nKeywords
+				if kw == 0 {
+					kw = nKeywords
+				}
+			}
+			b.MustAppend(value.Int(int64(tr.id)), value.Int(int64(kw)))
+		}
+	}
+	return b.MustBuild()
+}
+
+// buildMovieInfoIdx emits ratings-like rows: info types 99..112 with values
+// correlated with year and kind (recent movies rate higher).
+func buildMovieInfoIdx(g *gen, titles []titleRow) *table.Table {
+	b := table.MustBuilder("movie_info_idx", []table.ColSpec{
+		{Name: "movie_id", Kind: value.KindInt},
+		{Name: "info_type_id", Kind: value.KindInt},
+		{Name: "info_val", Kind: value.KindInt},
+	})
+	for _, tr := range titles {
+		n := g.fanout(tr.popular, 2, 0.25)
+		for j := 0; j < n; j++ {
+			it := 99 + g.rng.Intn(nInfoII)
+			base := 40 + (tr.year-minYear)/3
+			if tr.kind == 1 {
+				base += 10
+			}
+			iv := base + g.rng.Intn(30)
+			b.MustAppend(value.Int(int64(tr.id)), value.Int(int64(it)), value.Int(int64(iv)))
+		}
+	}
+	return b.MustBuild()
+}

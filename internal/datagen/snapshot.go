@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"fmt"
+	"sort"
+
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+)
+
+// factTables lists the tables partitioned alongside title (those carrying a
+// movie_id foreign key). Dimension tables are stable across snapshots.
+var factTables = map[string]bool{
+	"cast_info":       true,
+	"movie_companies": true,
+	"movie_info":      true,
+	"movie_keyword":   true,
+	"movie_info_idx":  true,
+	"aka_title":       true,
+}
+
+// Snapshots splits the dataset into n time-ordered snapshots by
+// range-partitioning title on production_year (§7.6's update protocol):
+// snapshot i contains the titles of partitions 0..i and the fact rows
+// referencing them. All snapshots share the full dataset's dictionaries
+// (table.Filter), so one estimator can be incrementally updated across
+// ingests.
+func (d *Dataset) Snapshots(n int) ([]*schema.Schema, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("datagen: need at least one partition, got %d", n)
+	}
+	years := append([]int(nil), d.titleYears...)
+	sort.Ints(years)
+	// Year boundary of partition i: the year at quantile (i+1)/n.
+	bounds := make([]int, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * len(years) / n
+		if idx >= len(years) {
+			idx = len(years) - 1
+		}
+		bounds[i] = years[idx]
+	}
+	bounds[n-1] = years[len(years)-1] + 1 // final snapshot holds everything
+
+	title := d.Schema.Table("title")
+	idCol := title.MustCol("id")
+
+	snaps := make([]*schema.Schema, n)
+	for i := 0; i < n; i++ {
+		maxYear := bounds[i]
+		keepTitle := make([]bool, title.NumRows())
+		keepIDs := make(map[int64]bool)
+		for row := 0; row < title.NumRows(); row++ {
+			if d.titleYears[row] <= maxYear {
+				keepTitle[row] = true
+				if id, ok := idCol.Int(row); ok {
+					keepIDs[id] = true
+				}
+			}
+		}
+		var tables []*table.Table
+		for _, tname := range d.Schema.Tables() {
+			t := d.Schema.Table(tname)
+			switch {
+			case tname == "title":
+				tables = append(tables, t.Filter(func(row int) bool { return keepTitle[row] }))
+			case factTables[tname]:
+				mid := t.MustCol("movie_id")
+				tables = append(tables, t.Filter(func(row int) bool {
+					v, ok := mid.Int(row)
+					return ok && keepIDs[v]
+				}))
+			default:
+				tables = append(tables, t)
+			}
+		}
+		snap, err := schema.New(tables, d.root, d.edges)
+		if err != nil {
+			return nil, fmt.Errorf("datagen: snapshot %d: %w", i, err)
+		}
+		snaps[i] = snap
+	}
+	return snaps, nil
+}

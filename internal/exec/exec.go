@@ -1,0 +1,203 @@
+// Package exec computes exact query cardinalities — the ground truth every
+// estimator is scored against. The fast path runs the Exact-Weight dynamic
+// program over the query's join subtree with filters folded in (linear in
+// the data size); a deliberately independent brute-force materializer
+// provides the reference implementation used by property tests.
+package exec
+
+import (
+	"fmt"
+
+	"neurocard/internal/query"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+)
+
+// Cardinality returns the exact row count of the inner equi-join query q
+// against the schema, i.e. the value the paper calls card_actual.
+func Cardinality(sch *schema.Schema, q query.Query) (float64, error) {
+	filter, sub, err := compile(sch, q)
+	if err != nil {
+		return 0, err
+	}
+	in, err := sampler.NewInner(sub, filter)
+	if err != nil {
+		return 0, err
+	}
+	return in.Count(), nil
+}
+
+// InnerJoinSize returns the row count of the unfiltered inner join over the
+// given table set (the denominator of the paper's Figure 6 selectivities).
+func InnerJoinSize(sch *schema.Schema, tables []string) (float64, error) {
+	sub, err := sch.SubSchema(tables)
+	if err != nil {
+		return 0, err
+	}
+	in, err := sampler.NewInner(sub, nil)
+	if err != nil {
+		return 0, err
+	}
+	return in.Count(), nil
+}
+
+// compile validates q and builds the per-row filter over its sub-schema.
+func compile(sch *schema.Schema, q query.Query) (sampler.FilterFunc, *schema.Schema, error) {
+	sub, err := sch.SubSchema(q.Tables)
+	if err != nil {
+		return nil, nil, err
+	}
+	regions := make(map[string]map[string]query.Region, len(q.Tables))
+	for _, f := range q.Filters {
+		if !q.HasTable(f.Table) {
+			return nil, nil, fmt.Errorf("exec: filter %s references table outside the join", f)
+		}
+	}
+	for _, name := range q.Tables {
+		regs, err := query.TableRegions(sch.Table(name), q)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(regs) > 0 {
+			regions[name] = regs
+		}
+	}
+	filter := func(tbl string, row int) bool {
+		regs, ok := regions[tbl]
+		if !ok {
+			return true
+		}
+		return query.Matches(sch.Table(tbl), regs, row)
+	}
+	return filter, sub, nil
+}
+
+// Selectivity returns card(q) / |inner join of q's tables|, the quantity
+// plotted in Figure 6. The second return is the unfiltered inner-join size.
+func Selectivity(sch *schema.Schema, q query.Query) (sel, innerSize float64, err error) {
+	card, err := Cardinality(sch, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	innerSize, err = InnerJoinSize(sch, q.Tables)
+	if err != nil {
+		return 0, 0, err
+	}
+	if innerSize == 0 {
+		return 0, 0, nil
+	}
+	return card / innerSize, innerSize, nil
+}
+
+// BruteForceFullJoin materializes the full outer join of the schema as row
+// vectors (one base-table row index per table in sch.Tables() order,
+// sampler.NullRow where NULL). It is an intentionally independent
+// implementation — a sequence of binary SQL full outer joins in BFS order —
+// used to validate the DP and the sampler. Exponential; small inputs only.
+func BruteForceFullJoin(sch *schema.Schema) ([][]int32, error) {
+	order := sch.Tables()
+	tIdx := make(map[string]int, len(order))
+	for i, n := range order {
+		tIdx[n] = i
+	}
+
+	// Seed with the root table's rows.
+	root := sch.Table(order[0])
+	rows := make([][]int32, 0, root.NumRows())
+	for r := 0; r < root.NumRows(); r++ {
+		row := newNullRow(len(order))
+		row[0] = int32(r)
+		rows = append(rows, row)
+	}
+
+	for ci := 1; ci < len(order); ci++ {
+		child := order[ci]
+		pe, _ := sch.Parent(child)
+		pi := tIdx[pe.Parent]
+		pcol := sch.Table(pe.Parent).MustCol(pe.ParentCol)
+		ctbl := sch.Table(child)
+		cix, err := ctbl.Index(pe.ChildCol)
+		if err != nil {
+			return nil, err
+		}
+		matched := make([]bool, ctbl.NumRows())
+		var next [][]int32
+		for _, row := range rows {
+			prow := row[pi]
+			var partners []int32
+			if prow != sampler.NullRow {
+				if v, notNull := pcol.Int(int(prow)); notNull {
+					partners = cix.Rows(v)
+				}
+			}
+			if len(partners) == 0 {
+				next = append(next, row) // left row preserved, child NULL
+				continue
+			}
+			for _, m := range partners {
+				matched[m] = true
+				dup := make([]int32, len(row))
+				copy(dup, row)
+				dup[ci] = m
+				next = append(next, dup)
+			}
+		}
+		// Right rows with no partner are preserved, NULL elsewhere.
+		for m := 0; m < ctbl.NumRows(); m++ {
+			if !matched[m] {
+				row := newNullRow(len(order))
+				row[ci] = int32(m)
+				next = append(next, row)
+			}
+		}
+		rows = next
+	}
+	return rows, nil
+}
+
+func newNullRow(n int) []int32 {
+	row := make([]int32, n)
+	for i := range row {
+		row[i] = sampler.NullRow
+	}
+	return row
+}
+
+// BruteForceCardinality counts query results by materializing the full outer
+// join of the query's sub-schema and keeping rows where every table is
+// present and passes its filters. Reference implementation for tests.
+func BruteForceCardinality(sch *schema.Schema, q query.Query) (float64, error) {
+	filter, sub, err := compile(sch, q)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := BruteForceFullJoin(sub)
+	if err != nil {
+		return 0, err
+	}
+	order := sub.Tables()
+	count := 0.0
+	for _, row := range rows {
+		ok := true
+		for i, name := range order {
+			if row[i] == sampler.NullRow || !filter(name, int(row[i])) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Tables re-exports the sub-schema table order used by BruteForceFullJoin
+// rows for a query (helper for tests).
+func Tables(sch *schema.Schema, q query.Query) ([]string, error) {
+	sub, err := sch.SubSchema(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	return sub.Tables(), nil
+}

@@ -1,0 +1,172 @@
+package exec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/testutil"
+	"neurocard/internal/value"
+)
+
+// paperSchema is Figure 4's schema with string-y columns mapped to ints.
+func paperSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	a.MustAppend(value.Int(1))
+	a.MustAppend(value.Int(2))
+	b := table.MustBuilder("B", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt}, {Name: "y", Kind: value.KindInt},
+	})
+	b.MustAppend(value.Int(1), value.Int(1))
+	b.MustAppend(value.Int(2), value.Int(2))
+	b.MustAppend(value.Int(2), value.Int(3))
+	c := table.MustBuilder("C", []table.ColSpec{{Name: "y", Kind: value.KindInt}})
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(4))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild(), c.MustBuild()},
+		"A",
+		[]schema.Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestPaperQueries reproduces Figure 4d: Q1 (3-way join, A.x=2) = 2 rows;
+// Q2 (A alone, A.x=2) = 1 row.
+func TestPaperQueries(t *testing.T) {
+	s := paperSchema(t)
+	q1 := query.Query{
+		Tables:  []string{"A", "B", "C"},
+		Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}},
+	}
+	if got, err := exec.Cardinality(s, q1); err != nil || got != 2 {
+		t.Errorf("Q1 = %v, %v; want 2", got, err)
+	}
+	q2 := query.Query{
+		Tables:  []string{"A"},
+		Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}},
+	}
+	if got, err := exec.Cardinality(s, q2); err != nil || got != 1 {
+		t.Errorf("Q2 = %v, %v; want 1", got, err)
+	}
+}
+
+func TestInnerJoinSize(t *testing.T) {
+	s := paperSchema(t)
+	cases := []struct {
+		tables []string
+		want   float64
+	}{
+		{[]string{"A"}, 2},
+		{[]string{"A", "B"}, 3},
+		{[]string{"B", "C"}, 2},
+		{[]string{"A", "B", "C"}, 2},
+	}
+	for _, tc := range cases {
+		got, err := exec.InnerJoinSize(s, tc.tables)
+		if err != nil {
+			t.Errorf("%v: %v", tc.tables, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("InnerJoinSize(%v) = %v, want %v", tc.tables, got, tc.want)
+		}
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	s := paperSchema(t)
+	q := query.Query{
+		Tables:  []string{"A", "B"},
+		Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(1)}},
+	}
+	sel, inner, err := exec.Selectivity(s, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inner != 3 {
+		t.Errorf("inner = %v, want 3", inner)
+	}
+	// A.x=1 joins one B row → card 1, selectivity 1/3.
+	if sel != 1.0/3.0 {
+		t.Errorf("selectivity = %v, want 1/3", sel)
+	}
+}
+
+func TestCardinalityErrors(t *testing.T) {
+	s := paperSchema(t)
+	// Disconnected query.
+	if _, err := exec.Cardinality(s, query.Query{Tables: []string{"A", "C"}}); err == nil {
+		t.Error("disconnected query accepted")
+	}
+	// Filter on a table outside the join.
+	q := query.Query{
+		Tables:  []string{"A"},
+		Filters: []query.Filter{{Table: "C", Col: "y", Op: query.OpEq, Val: value.Int(3)}},
+	}
+	if _, err := exec.Cardinality(s, q); err == nil {
+		t.Error("out-of-join filter accepted")
+	}
+	// Filter on an unknown column.
+	q2 := query.Query{
+		Tables:  []string{"A"},
+		Filters: []query.Filter{{Table: "A", Col: "zzz", Op: query.OpEq, Val: value.Int(3)}},
+	}
+	if _, err := exec.Cardinality(s, q2); err == nil {
+		t.Error("unknown filter column accepted")
+	}
+}
+
+// TestCardinalityMatchesBruteForce is the executor's core property: the DP
+// count equals brute-force materialization + filtering on random schemas and
+// random queries.
+func TestCardinalityMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := testutil.DefaultSchemaConfig()
+	checked := 0
+	for iter := 0; iter < 250; iter++ {
+		s := testutil.RandomSchema(rng, cfg)
+		q := testutil.RandomQuery(rng, s, 3)
+		got, err := exec.Cardinality(s, q)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, q, err)
+		}
+		want, err := exec.BruteForceCardinality(s, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("iter %d: DP card = %v, brute force = %v for %s", iter, got, want, q)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no queries checked")
+	}
+}
+
+// TestSingleTableCount sanity-checks the degenerate single-table case.
+func TestSingleTableCount(t *testing.T) {
+	s := paperSchema(t)
+	q := query.Query{Tables: []string{"B"}, Filters: []query.Filter{
+		{Table: "B", Col: "x", Op: query.OpEq, Val: value.Int(2)},
+	}}
+	if got, err := exec.Cardinality(s, q); err != nil || got != 2 {
+		t.Errorf("card = %v, %v; want 2", got, err)
+	}
+	// Unfiltered single table = row count.
+	if got, err := exec.Cardinality(s, query.Query{Tables: []string{"C"}}); err != nil || got != 3 {
+		t.Errorf("card = %v, %v; want 3", got, err)
+	}
+}

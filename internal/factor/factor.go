@@ -1,0 +1,163 @@
+// Package factor implements lossless column factorization (§5): a
+// dictionary ID space of size |C| is bit-sliced into subcolumns of at most N
+// bits (the "factorization bits" hyperparameter), high bits first, shrinking
+// per-column embedding matrices from |C|·h to at most 2^N·h floats. Because
+// the downstream density model is autoregressive, the joint over subcolumns
+// p(sub1)·p(sub2|sub1)·… loses no information — hence "lossless".
+//
+// During progressive sampling, a filter region over original IDs must be
+// translated into per-subcolumn token constraints given the tokens already
+// drawn for higher subcolumns (the paper's high-bits/low-bits relaxation
+// logic, generalized here to unions of ID intervals). SubRegion implements
+// that translation exactly.
+package factor
+
+import (
+	"fmt"
+	"math/bits"
+
+	"neurocard/internal/query"
+)
+
+// Factorization describes how one column's ID domain [0, Dom) splits into
+// subcolumn tokens. A column with Dom ≤ 2^maxBits keeps a single subcolumn
+// whose token space equals the original domain (no factorization).
+type Factorization struct {
+	Dom   int   // original domain size (dictionary size incl. NULL)
+	Width []int // bit width per subcolumn, high bits first
+	Size  []int // token domain per subcolumn (top is tight, lower are 2^width)
+	shift []int // right-shift of each subcolumn within an ID
+}
+
+// New splits a domain of size dom into subcolumns of at most maxBits bits.
+// maxBits ≤ 0 disables factorization (single subcolumn).
+func New(dom, maxBits int) Factorization {
+	if dom < 1 {
+		panic(fmt.Sprintf("factor: domain size %d", dom))
+	}
+	need := bits.Len(uint(dom - 1)) // bits to represent dom-1
+	if need == 0 {
+		need = 1
+	}
+	if maxBits <= 0 || need <= maxBits {
+		return Factorization{Dom: dom, Width: []int{need}, Size: []int{dom}, shift: []int{0}}
+	}
+	k := (need + maxBits - 1) / maxBits
+	f := Factorization{Dom: dom, Width: make([]int, k), Size: make([]int, k), shift: make([]int, k)}
+	top := need - (k-1)*maxBits
+	f.Width[0] = top
+	for j := 1; j < k; j++ {
+		f.Width[j] = maxBits
+	}
+	s := need
+	for j := 0; j < k; j++ {
+		s -= f.Width[j]
+		f.shift[j] = s
+		f.Size[j] = 1 << f.Width[j]
+	}
+	// The top subcolumn is tight: its largest token is (dom-1) >> shift[0].
+	f.Size[0] = int((dom-1)>>f.shift[0]) + 1
+	return f
+}
+
+// NumSubs returns the number of subcolumns.
+func (f Factorization) NumSubs() int { return len(f.Width) }
+
+// Factored reports whether the column actually splits (> 1 subcolumn).
+func (f Factorization) Factored() bool { return len(f.Width) > 1 }
+
+// Encode splits an ID into subcolumn tokens (high bits first). out must have
+// NumSubs() entries.
+func (f Factorization) Encode(id int32, out []int32) {
+	if id < 0 || int(id) >= f.Dom {
+		panic(fmt.Sprintf("factor: id %d outside domain %d", id, f.Dom))
+	}
+	for j := range f.Width {
+		out[j] = (id >> f.shift[j]) & int32(f.TokenMask(j))
+	}
+}
+
+// TokenMask returns the token bit mask of subcolumn j (width bits of ones).
+func (f Factorization) TokenMask(j int) int { return (1 << f.Width[j]) - 1 }
+
+// Decode reassembles an ID from subcolumn tokens.
+func (f Factorization) Decode(tokens []int32) int32 {
+	var id int32
+	for j, t := range tokens {
+		id |= t << f.shift[j]
+	}
+	return id
+}
+
+// PrefixValue returns the partial ID formed by the first j tokens (the high
+// bits already drawn during progressive sampling).
+func (f Factorization) PrefixValue(tokens []int32, j int) int32 {
+	var v int32
+	for i := 0; i < j; i++ {
+		v |= tokens[i] << f.shift[i]
+	}
+	return v
+}
+
+// SubRegion translates a region over original IDs into the valid token
+// ranges for subcolumn j, given the higher subcolumn tokens already drawn
+// (prefix = PrefixValue(tokens, j)). A token is valid iff some ID completion
+// under it falls inside the region; at the last subcolumn this is exact, and
+// at higher subcolumns it never excludes a valid completion — together the
+// per-level constraints select exactly the region (§5, "Filters on
+// subcolumns").
+func (f Factorization) SubRegion(region query.Region, j int, prefix int32) []query.IDRange {
+	if len(region) == 0 {
+		return nil
+	}
+	s := f.shift[j]
+	maxTok := int32(f.Size[j] - 1)
+	var out []query.IDRange
+	for _, iv := range region {
+		if iv.Hi < prefix {
+			continue
+		}
+		// token t covers IDs [prefix + t·span, prefix + t·span + span - 1]
+		// (plus lower levels may further restrict).
+		var lo int32
+		if iv.Lo > prefix {
+			lo = (iv.Lo - prefix) >> s
+		}
+		hi := (iv.Hi - prefix) >> s
+		if hi > maxTok {
+			hi = maxTok
+		}
+		if lo > maxTok || lo > hi {
+			continue
+		}
+		out = append(out, query.IDRange{Lo: lo, Hi: hi})
+	}
+	return mergeRanges(out)
+}
+
+// mergeRanges sorts and merges overlapping/adjacent token ranges. Inputs
+// from SubRegion are already sorted per interval but may overlap across
+// region intervals after shifting.
+func mergeRanges(rs []query.IDRange) []query.IDRange {
+	if len(rs) <= 1 {
+		return rs
+	}
+	// Insertion sort: range lists are tiny.
+	for i := 1; i < len(rs); i++ {
+		for k := i; k > 0 && rs[k].Lo < rs[k-1].Lo; k-- {
+			rs[k], rs[k-1] = rs[k-1], rs[k]
+		}
+	}
+	out := rs[:1]
+	for _, r := range rs[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,203 @@
+package factor
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/query"
+)
+
+func TestNoFactorizationForSmallDomains(t *testing.T) {
+	f := New(100, 10) // needs 7 bits ≤ 10
+	if f.Factored() || f.NumSubs() != 1 {
+		t.Fatalf("unexpected factorization: %+v", f)
+	}
+	if f.Size[0] != 100 {
+		t.Errorf("single subcolumn token space = %d, want 100 (tight)", f.Size[0])
+	}
+	out := make([]int32, 1)
+	f.Encode(42, out)
+	if out[0] != 42 || f.Decode(out) != 42 {
+		t.Errorf("identity encode broken: %v", out)
+	}
+}
+
+func TestPaperExampleShape(t *testing.T) {
+	// §5: domain 10^6 with N=10 → two subcolumns; value 10^6-1... the paper
+	// slices 1,000,000 (20 bits) into chunks of 10 bits → high 976, low 576
+	// for value 999,999+1? Verify with the actual bit math on 999999.
+	f := New(1_000_000, 10)
+	if f.NumSubs() != 2 {
+		t.Fatalf("subs = %d, want 2", f.NumSubs())
+	}
+	out := make([]int32, 2)
+	f.Encode(999_999, out)
+	// 999999 = 0b11110100001001000111111 (20 bits): high 10 bits 976, low 575.
+	if out[0] != 999_999>>10 || out[1] != 999_999&1023 {
+		t.Errorf("Encode(999999) = %v", out)
+	}
+	if f.Decode(out) != 999_999 {
+		t.Errorf("Decode mismatch")
+	}
+	// Top subcolumn tight: Size[0] = 999999>>10 + 1.
+	if f.Size[0] != 999_999>>10+1 || f.Size[1] != 1024 {
+		t.Errorf("sizes = %v", f.Size)
+	}
+}
+
+// TestRoundTripProperty: Encode∘Decode is the identity for random domains.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 200; iter++ {
+		dom := 1 + rng.Intn(100000)
+		maxBits := 1 + rng.Intn(12)
+		f := New(dom, maxBits)
+		out := make([]int32, f.NumSubs())
+		for probe := 0; probe < 50; probe++ {
+			id := int32(rng.Intn(dom))
+			f.Encode(id, out)
+			for j, tok := range out {
+				if int(tok) >= f.Size[j] {
+					t.Fatalf("dom %d bits %d: token %d of subcol %d exceeds size %d",
+						dom, maxBits, tok, j, f.Size[j])
+				}
+			}
+			if got := f.Decode(out); got != id {
+				t.Fatalf("dom %d bits %d: round trip %d → %v → %d", dom, maxBits, id, out, got)
+			}
+		}
+	}
+}
+
+func TestWidthsRespectMaxBits(t *testing.T) {
+	for _, dom := range []int{2, 17, 255, 256, 257, 65536, 1 << 20} {
+		for _, b := range []int{1, 3, 8, 10} {
+			f := New(dom, b)
+			for j, w := range f.Width {
+				if w > b {
+					t.Errorf("dom %d bits %d: subcol %d width %d", dom, b, j, w)
+				}
+			}
+			// Total coverage: product of sizes ≥ dom.
+			prod := 1
+			for _, s := range f.Size {
+				prod *= s
+				if prod >= dom {
+					break
+				}
+			}
+			if prod < dom {
+				t.Errorf("dom %d bits %d: sizes %v cannot cover domain", dom, b, f.Size)
+			}
+		}
+	}
+}
+
+// TestSubRegionExact is the §5 correctness property: for every ID in the
+// domain, the ID lies in the region iff all of its subcolumn tokens are
+// accepted by SubRegion given the ID's own prefix.
+func TestSubRegionExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 150; iter++ {
+		dom := 2 + rng.Intn(2000)
+		maxBits := 1 + rng.Intn(6)
+		f := New(dom, maxBits)
+		// Random region: mark 1-3 intervals over [1, dom-1] (0 = NULL is
+		// excluded, mirroring filter semantics), then derive the normalized
+		// interval list from the membership bitmap so Region invariants
+		// (sorted, disjoint) hold by construction.
+		member := make([]bool, dom)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			lo := 1 + rng.Intn(dom-1)
+			hi := lo + rng.Intn(dom/2+1)
+			if hi > dom-1 {
+				hi = dom - 1
+			}
+			for id := lo; id <= hi; id++ {
+				member[id] = true
+			}
+		}
+		var region query.Region
+		for id := 1; id < dom; id++ {
+			if member[id] {
+				if n := len(region); n > 0 && region[n-1].Hi == int32(id-1) {
+					region[n-1].Hi = int32(id)
+				} else {
+					region = append(region, query.IDRange{Lo: int32(id), Hi: int32(id)})
+				}
+			}
+		}
+		if len(region) == 0 {
+			continue
+		}
+
+		tokens := make([]int32, f.NumSubs())
+		for id := int32(0); id < int32(dom); id++ {
+			f.Encode(id, tokens)
+			allValid := true
+			for j := 0; j < f.NumSubs(); j++ {
+				sub := f.SubRegion(region, j, f.PrefixValue(tokens, j))
+				ok := false
+				for _, r := range sub {
+					if tokens[j] >= r.Lo && tokens[j] <= r.Hi {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					allValid = false
+					break
+				}
+			}
+			if got, want := allValid, member[id]; got != want {
+				t.Fatalf("dom %d bits %d region %v id %d: subcolumn acceptance %v, membership %v",
+					dom, maxBits, region, id, got, want)
+			}
+		}
+	}
+}
+
+// TestSubRegionMonotone: higher-level acceptance never cuts off IDs that the
+// region contains (no false negatives at intermediate levels).
+func TestSubRegionPaperWalkthrough(t *testing.T) {
+	// col < 1,000,000 over a 2^20 domain with 10-bit slices: high-bits filter
+	// relaxes to ≤ 976; if high == 976, low must be < 576, else wildcard.
+	f := New(1<<20, 10)
+	region := query.Region{{Lo: 0, Hi: 999_999}}
+
+	top := f.SubRegion(region, 0, 0)
+	if len(top) != 1 || top[0].Lo != 0 || top[0].Hi != 976 {
+		t.Fatalf("top-level tokens = %v, want [0,976]", top)
+	}
+	// Drawn high bits = 976 → low bits < 576.
+	low := f.SubRegion(region, 1, 976<<10)
+	if len(low) != 1 || low[0].Lo != 0 || low[0].Hi != 575 {
+		t.Fatalf("low tokens given 976 = %v, want [0,575]", low)
+	}
+	// Drawn high bits = 975 → all low bits valid (wildcard).
+	low = f.SubRegion(region, 1, 975<<10)
+	if len(low) != 1 || low[0].Lo != 0 || low[0].Hi != 1023 {
+		t.Fatalf("low tokens given 975 = %v, want [0,1023]", low)
+	}
+}
+
+func TestSubRegionEmpty(t *testing.T) {
+	f := New(1000, 4)
+	if got := f.SubRegion(nil, 0, 0); got != nil {
+		t.Errorf("empty region produced %v", got)
+	}
+	// Region entirely below the drawn prefix.
+	region := query.Region{{Lo: 1, Hi: 5}}
+	if got := f.SubRegion(region, 1, 512); len(got) != 0 {
+		t.Errorf("out-of-prefix region produced %v", got)
+	}
+}
+
+func TestNewPanicsOnBadDomain(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0, 4)
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"neurocard/internal/baselines/mscn"
+	"neurocard/internal/baselines/spn"
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/workload"
+)
+
+// Figure7a reproduces "Accuracy vs Tuples Trained": p99 Q-error on both
+// JOB-light workloads as training progresses through checkpoints.
+func Figure7a(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	light, err := workload.JOBLight(d, o.Seed)
+	if err != nil {
+		return "", err
+	}
+	rangesFull, err := workload.JOBLightRanges(d, o.RangesQueries, o.Seed+1)
+	if err != nil {
+		return "", err
+	}
+	ranges := subsetQueries(rangesFull, 100, o.Seed)
+
+	cfg := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: o.SamplerWorkers,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		return "", err
+	}
+	const checkpoints = 7
+	per := o.TrainTuples / checkpoints
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7a: Accuracy (p99 q-error) vs tuples trained\n")
+	fmt.Fprintf(&b, "%12s %16s %16s\n", "tuples", "JOB-light", "JOB-light-ranges")
+	for cp := 1; cp <= checkpoints; cp++ {
+		if _, err := est.Train(per); err != nil {
+			return "", err
+		}
+		sl, _, err := Evaluate(Named("nc", est), light)
+		if err != nil {
+			return "", err
+		}
+		sr, _, err := Evaluate(Named("nc", est), ranges)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%12d %16.3g %16.3g\n", cp*per, sl.P99, sr.P99)
+	}
+	return b.String(), nil
+}
+
+// Figure7b reproduces "Training Throughput vs Sampling Threads": end-to-end
+// tuples/second of the sample→encode→gradient-step pipeline as the number
+// of parallel sampling workers grows.
+func Figure7b(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	tuples := o.TrainTuples / 4
+	if tuples < o.BatchSize*4 {
+		tuples = o.BatchSize * 4
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7b: Training throughput vs sampling threads (%d tuples)\n", tuples)
+	fmt.Fprintf(&b, "%8s %14s\n", "threads", "tuples/sec")
+	for _, threads := range []int{1, 2, 4, 8, 16} {
+		cfg := core.Config{
+			Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+			BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: threads,
+			Seed: o.Seed, PSamples: o.PSamples,
+		}
+		est, err := core.Build(d.Schema, cfg)
+		if err != nil {
+			return "", err
+		}
+		start := time.Now()
+		if _, err := est.Train(tuples); err != nil {
+			return "", err
+		}
+		dt := time.Since(start)
+		fmt.Fprintf(&b, "%8d %14.0f\n", threads, float64(tuples)/dt.Seconds())
+	}
+	return b.String(), nil
+}
+
+// Figure7c reproduces the wall-clock training comparison for MSCN, the
+// DeepDB-style SPN, and NeuroCard on both JOB-light workloads. MSCN's time
+// includes executing its training queries to obtain labels (the dominant
+// cost the paper reports separately).
+func Figure7c(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7c: Wall-clock construction time\n")
+	fmt.Fprintf(&b, "%-14s %14s\n", "method", "build time")
+
+	// MSCN: label generation + training.
+	start := time.Now()
+	trainQ, err := workload.JOBLightRanges(d, o.MSCNTrainQueries, o.Seed+77)
+	if err != nil {
+		return "", err
+	}
+	mcfg := mscn.DefaultConfig()
+	mcfg.Epochs = o.MSCNEpochs
+	ms := mscn.New(d.Schema, d.ContentCols, mcfg)
+	if err := ms.Train(trainQ.Queries); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-14s %14s\n", "mscn", time.Since(start).Round(time.Millisecond))
+
+	// DeepDB-style SPN ensemble.
+	start = time.Now()
+	scfg := spn.DefaultConfig()
+	scfg.SampleRows = o.SPNSampleRows
+	if _, err := spn.New(d.Schema, spn.JOBLightBaseSubsets(d.Schema), d.ContentCols, scfg); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-14s %14s\n", "deepdb-spn", time.Since(start).Round(time.Millisecond))
+
+	// NeuroCard: join counts + sampling + training.
+	_, ncTime, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "%-14s %14s\n", "neurocard", ncTime.Round(time.Millisecond))
+	return b.String(), nil
+}
+
+// Figure7d reproduces the inference-latency comparison (CDF quantiles) over
+// JOB-light-ranges queries for the three learned estimators.
+func Figure7d(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	full, err := workload.JOBLightRanges(d, o.RangesQueries, o.Seed+1)
+	if err != nil {
+		return "", err
+	}
+	wl := subsetQueries(full, 200, o.Seed)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7d: Inference latency over %d JOB-light-ranges queries\n", len(wl.Queries))
+	fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", "method", "p50", "p95", "max")
+	emit := func(name string, lats []time.Duration) {
+		p50, p95, maxL := LatencyQuantiles(lats)
+		fmt.Fprintf(&b, "%-14s %10s %10s %10s\n", name,
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond), maxL.Round(time.Microsecond))
+	}
+
+	trainQ, err := workload.JOBLightRanges(d, o.MSCNTrainQueries, o.Seed+77)
+	if err != nil {
+		return "", err
+	}
+	mcfg := mscn.DefaultConfig()
+	mcfg.Epochs = o.MSCNEpochs
+	ms := mscn.New(d.Schema, d.ContentCols, mcfg)
+	if err := ms.Train(trainQ.Queries); err != nil {
+		return "", err
+	}
+	_, lats, err := Evaluate(Named("mscn", ms), wl)
+	if err != nil {
+		return "", err
+	}
+	emit("mscn", lats)
+
+	scfg := spn.DefaultConfig()
+	scfg.SampleRows = o.SPNSampleRows
+	sp, err := spn.New(d.Schema, spn.JOBLightBaseSubsets(d.Schema), d.ContentCols, scfg)
+	if err != nil {
+		return "", err
+	}
+	if _, lats, err = Evaluate(Named("deepdb-spn", sp), wl); err != nil {
+		return "", err
+	}
+	emit("deepdb-spn", lats)
+
+	nc, _, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return "", err
+	}
+	if _, lats, err = Evaluate(Named("neurocard", nc), wl); err != nil {
+		return "", err
+	}
+	emit("neurocard", lats)
+	return b.String(), nil
+}

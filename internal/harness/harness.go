@@ -1,0 +1,235 @@
+// Package harness runs the paper's evaluation (§7): it builds the datasets,
+// workloads, NeuroCard, and every baseline, measures Q-error distributions,
+// sizes, and wall-clock costs, and formats each result as the corresponding
+// paper table or figure. bench_test.go and cmd/bench are thin wrappers over
+// this package at different scales.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/made"
+	"neurocard/internal/query"
+	"neurocard/internal/workload"
+)
+
+// Estimator is the uniform interface every compared method implements.
+type Estimator interface {
+	Name() string
+	Estimate(q query.Query) (float64, error)
+}
+
+// Options scales the experiments. Tests shrink everything; cmd/bench uses
+// Default.
+type Options struct {
+	DataScale float64
+	Seed      int64
+
+	// NeuroCard.
+	Model          made.Config
+	FactBits       int
+	TrainTuples    int
+	PSamples       int
+	BatchSize      int
+	SamplerWorkers int
+	LargeModel     made.Config // NeuroCard-large (Table 3)
+	LargeTuples    int
+
+	// Baselines.
+	IBJSSamples      int
+	SampleOnlyDraws  int
+	MSCNTrainQueries int
+	MSCNEpochs       int
+	SPNSampleRows    int
+
+	// Workloads.
+	RangesQueries int
+}
+
+// Default returns the benchmark-scale options (minutes of CPU time).
+func Default() Options {
+	return Options{
+		DataScale:        1.0,
+		Seed:             42,
+		Model:            made.Config{EmbedDim: 16, Hidden: 128, Blocks: 2, LR: 2e-3, ClipNorm: 5, Seed: 1},
+		FactBits:         12,
+		TrainTuples:      400_000,
+		PSamples:         256,
+		BatchSize:        512,
+		SamplerWorkers:   8,
+		LargeModel:       made.Config{EmbedDim: 64, Hidden: 128, Blocks: 2, LR: 2e-3, ClipNorm: 5, Seed: 1},
+		LargeTuples:      600_000,
+		IBJSSamples:      10_000,
+		SampleOnlyDraws:  10_000,
+		MSCNTrainQueries: 1_000,
+		MSCNEpochs:       60,
+		SPNSampleRows:    30_000,
+		RangesQueries:    1_000,
+	}
+}
+
+// Quick returns CI-sized options (seconds of CPU time) for tests and smoke
+// runs. Accuracy numbers are noisier but orderings still hold.
+func Quick() Options {
+	o := Default()
+	o.DataScale = 0.08
+	o.Model = made.Config{EmbedDim: 8, Hidden: 64, Blocks: 1, LR: 3e-3, ClipNorm: 5, Seed: 1}
+	o.FactBits = 10
+	o.TrainTuples = 80_000
+	o.PSamples = 128
+	o.BatchSize = 256
+	o.SamplerWorkers = 4
+	o.LargeModel = made.Config{EmbedDim: 24, Hidden: 64, Blocks: 1, LR: 3e-3, ClipNorm: 5, Seed: 1}
+	o.LargeTuples = 100_000
+	o.IBJSSamples = 2_000
+	o.SampleOnlyDraws = 2_000
+	o.MSCNTrainQueries = 250
+	o.MSCNEpochs = 25
+	o.SPNSampleRows = 8_000
+	o.RangesQueries = 120
+	return o
+}
+
+// Row is one estimator's result in a comparison table.
+type Row struct {
+	Name      string
+	Bytes     int
+	Summary   workload.Summary
+	BuildTime time.Duration
+	Latencies []time.Duration
+}
+
+// MeanLatency averages the per-query estimation latencies.
+func (r Row) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, l := range r.Latencies {
+		total += l
+	}
+	return total / time.Duration(len(r.Latencies))
+}
+
+// Evaluate runs an estimator over a workload, collecting Q-errors and
+// per-query latencies.
+func Evaluate(est Estimator, wl *workload.Workload) (workload.Summary, []time.Duration, error) {
+	qerrs := make([]float64, 0, len(wl.Queries))
+	lats := make([]time.Duration, 0, len(wl.Queries))
+	for _, lq := range wl.Queries {
+		start := time.Now()
+		got, err := est.Estimate(lq.Query)
+		if err != nil {
+			return workload.Summary{}, nil, fmt.Errorf("%s on %s: %w", est.Name(), lq.Query, err)
+		}
+		lats = append(lats, time.Since(start))
+		qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
+	}
+	return workload.Summarize(qerrs), lats, nil
+}
+
+// namedEstimator adapts core estimators to the Estimator interface.
+type namedEstimator struct {
+	name string
+	est  interface {
+		Estimate(q query.Query) (float64, error)
+	}
+}
+
+func (n namedEstimator) Name() string { return n.name }
+func (n namedEstimator) Estimate(q query.Query) (float64, error) {
+	return n.est.Estimate(q)
+}
+
+// Named wraps any estimate function under a display name.
+func Named(name string, est interface {
+	Estimate(q query.Query) (float64, error)
+}) Estimator {
+	return namedEstimator{name, est}
+}
+
+// BuildNeuroCard trains a NeuroCard estimator for a dataset with the
+// harness options, returning the estimator and its training wall-clock.
+func BuildNeuroCard(d *datagen.Dataset, model made.Config, tuples int, o Options) (*core.Estimator, time.Duration, error) {
+	cfg := core.Config{
+		Model:          model,
+		FactBits:       o.FactBits,
+		ContentCols:    d.ContentCols,
+		BatchSize:      o.BatchSize,
+		WildcardProb:   0.5,
+		SamplerWorkers: o.SamplerWorkers,
+		Seed:           o.Seed,
+		PSamples:       o.PSamples,
+	}
+	start := time.Now()
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	if _, err := est.Train(tuples); err != nil {
+		return nil, 0, err
+	}
+	return est, time.Since(start), nil
+}
+
+// FormatTable renders rows as the paper's error tables.
+func FormatTable(title string, rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-22s %10s %10s %10s %10s %10s\n", "Estimator", "Size", "Median", "95th", "99th", "Max")
+	for _, r := range rows {
+		size := "-"
+		if r.Bytes > 0 {
+			size = fmtBytes(r.Bytes)
+		}
+		fmt.Fprintf(&b, "%-22s %10s %10.3g %10.3g %10.3g %10.3g\n",
+			r.Name, size, r.Summary.Median, r.Summary.P95, r.Summary.P99, r.Summary.Max)
+	}
+	return b.String()
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// LatencyQuantiles summarizes a latency distribution (Figure 7d's CDF).
+func LatencyQuantiles(lats []time.Duration) (p50, p95, max time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	p50 = s[len(s)/2]
+	p95 = s[len(s)*95/100]
+	max = s[len(s)-1]
+	return
+}
+
+// subsetQueries deterministically samples up to n queries from a workload
+// (used to keep expensive sweeps bounded).
+func subsetQueries(wl *workload.Workload, n int, seed int64) *workload.Workload {
+	if n >= len(wl.Queries) {
+		return wl
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(wl.Queries))[:n]
+	sort.Ints(idx)
+	out := &workload.Workload{Name: wl.Name}
+	for _, i := range idx {
+		out.Queries = append(out.Queries, wl.Queries[i])
+	}
+	return out
+}

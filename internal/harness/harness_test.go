@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"neurocard/internal/made"
+	"neurocard/internal/query"
+	"neurocard/internal/workload"
+)
+
+// tiny returns the smallest options that still exercise every code path.
+func tiny() Options {
+	o := Quick()
+	o.DataScale = 0.05
+	o.Model = made.Config{EmbedDim: 8, Hidden: 48, Blocks: 1, LR: 3e-3, ClipNorm: 5, Seed: 1}
+	o.FactBits = 9
+	o.TrainTuples = 60_000
+	o.PSamples = 128
+	o.BatchSize = 256
+	o.SamplerWorkers = 3
+	o.LargeModel = made.Config{EmbedDim: 16, Hidden: 48, Blocks: 1, LR: 3e-3, ClipNorm: 5, Seed: 1}
+	o.LargeTuples = 60_000
+	o.IBJSSamples = 400
+	o.SampleOnlyDraws = 400
+	o.MSCNTrainQueries = 60
+	o.MSCNEpochs = 8
+	o.SPNSampleRows = 2_500
+	o.RangesQueries = 36
+	return o
+}
+
+func TestTable1(t *testing.T) {
+	out, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"JOB-light", "JOB-M", "Tables", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	out, err := Figure6(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "JOB-light-ranges") || !strings.Contains(out, "median") {
+		t.Errorf("Figure6 output malformed:\n%s", out)
+	}
+}
+
+func TestTable2EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end comparison skipped in -short mode")
+	}
+	out, rows, err := Table2(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range rows {
+		names[r.Name] = true
+		if r.Summary.Max < 1 || r.Summary.Median < 1 {
+			t.Errorf("%s: degenerate summary %+v", r.Name, r.Summary)
+		}
+	}
+	for _, want := range []string{"postgres-hist", "ibjs", "mscn", "deepdb-spn", "neurocard"} {
+		if !names[want] {
+			t.Errorf("Table2 missing estimator %q:\n%s", want, out)
+		}
+	}
+	// The paper's qualitative headline is about the tail: NeuroCard's p99
+	// beats the independence-based and sampling baselines by large factors
+	// (the median may slightly trail DeepDB-style models, §7.3.1).
+	var pg, ib, nc Row
+	for _, r := range rows {
+		switch r.Name {
+		case "postgres-hist":
+			pg = r
+		case "ibjs":
+			ib = r
+		case "neurocard":
+			nc = r
+		}
+	}
+	if nc.Summary.P99 > pg.Summary.P99 {
+		t.Errorf("neurocard p99 %v worse than postgres %v", nc.Summary.P99, pg.Summary.P99)
+	}
+	if nc.Summary.P99 > ib.Summary.P99 {
+		t.Errorf("neurocard p99 %v worse than ibjs %v", nc.Summary.P99, ib.Summary.P99)
+	}
+	if nc.Bytes <= 0 {
+		t.Error("neurocard size missing")
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestEvaluateAndFormat(t *testing.T) {
+	wl := &workload.Workload{Name: "w"}
+	// Formatting only: empty workloads produce empty summaries.
+	sum, lats, err := Evaluate(Named("x", nullEstimator{}), wl)
+	if err != nil || len(lats) != 0 {
+		t.Fatalf("Evaluate on empty workload: %v %v", sum, err)
+	}
+	out := FormatTable("T", []Row{{Name: "a", Bytes: 2048, Summary: workload.Summary{Median: 1.5, P95: 2, P99: 3, Max: 4}}})
+	if !strings.Contains(out, "2.0KB") || !strings.Contains(out, "1.5") {
+		t.Errorf("FormatTable output: %s", out)
+	}
+}
+
+type nullEstimator struct{}
+
+func (nullEstimator) Estimate(q query.Query) (float64, error) { return 1, nil }
+
+func TestLatencyQuantiles(t *testing.T) {
+	lats := []time.Duration{3, 1, 2, 5, 4}
+	p50, p95, max := LatencyQuantiles(lats)
+	if p50 != 3 || max != 5 || p95 < p50 {
+		t.Errorf("quantiles = %v %v %v", p50, p95, max)
+	}
+	if a, b, c := LatencyQuantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Error("empty latency quantiles nonzero")
+	}
+}
+
+func TestSubsetQueries(t *testing.T) {
+	wl := &workload.Workload{Name: "w"}
+	for i := 0; i < 10; i++ {
+		wl.Queries = append(wl.Queries, workload.LabeledQuery{TrueCard: float64(i)})
+	}
+	sub := subsetQueries(wl, 4, 1)
+	if len(sub.Queries) != 4 {
+		t.Fatalf("subset = %d", len(sub.Queries))
+	}
+	if got := subsetQueries(wl, 20, 1); len(got.Queries) != 10 {
+		t.Error("oversized subset should return original")
+	}
+}

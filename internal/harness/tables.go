@@ -1,0 +1,586 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"neurocard/internal/baselines/histogram"
+	"neurocard/internal/baselines/ibjs"
+	"neurocard/internal/baselines/mscn"
+	"neurocard/internal/baselines/samplecard"
+	"neurocard/internal/baselines/spn"
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/exec"
+	"neurocard/internal/sampler"
+	"neurocard/internal/workload"
+)
+
+// Table1 reproduces the workload statistics table: table count, full-join
+// row count, modeled column count, and maximum column domain per schema.
+func Table1(o Options) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Workloads used in evaluation\n")
+	fmt.Fprintf(&b, "%-18s %7s %14s %6s %9s\n", "Workload", "Tables", "Rows(fulljoin)", "Cols", "Dom.")
+	for _, wk := range []struct {
+		name string
+		gen  func(datagen.Config) (*datagen.Dataset, error)
+	}{
+		{"JOB-light", datagen.JOBLight},
+		{"JOB-light-ranges", datagen.JOBLight},
+		{"JOB-M", datagen.JOBM},
+	} {
+		d, err := wk.gen(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+		if err != nil {
+			return "", err
+		}
+		smp, err := sampler.New(d.Schema)
+		if err != nil {
+			return "", err
+		}
+		cols, maxDom := 0, 0
+		for t, cc := range d.ContentCols {
+			cols += len(cc)
+			for _, c := range cc {
+				if ds := d.Schema.Table(t).MustCol(c).DictSize(); ds > maxDom {
+					maxDom = ds
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%-18s %7d %14.3g %6d %9d\n",
+			wk.name, d.Schema.NumTables(), smp.JoinSize(), cols, maxDom)
+	}
+	return b.String(), nil
+}
+
+// Figure6 reproduces the selectivity-distribution figure as quantiles of
+// log10 selectivity per workload.
+func Figure6(o Options) (string, error) {
+	dl, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	dm, err := datagen.JOBM(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	wls := make([]*workload.Workload, 0, 3)
+	if wl, err := workload.JOBLight(dl, o.Seed); err == nil {
+		wls = append(wls, wl)
+	} else {
+		return "", err
+	}
+	if wl, err := workload.JOBLightRanges(dl, o.RangesQueries, o.Seed+1); err == nil {
+		wls = append(wls, wl)
+	} else {
+		return "", err
+	}
+	if wl, err := workload.JOBM(dm, o.Seed+2); err == nil {
+		wls = append(wls, wl)
+	} else {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Distribution of query selectivity (log10)\n")
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s %8s %8s\n", "Workload", "min", "p25", "median", "p75", "max")
+	for _, wl := range wls {
+		sels := make([]float64, 0, len(wl.Queries))
+		for _, lq := range wl.Queries {
+			if s := lq.Selectivity(); s > 0 {
+				sels = append(sels, s)
+			}
+		}
+		sort.Float64s(sels)
+		q := func(p float64) float64 { return log10(workload.Quantile(sels, p)) }
+		fmt.Fprintf(&b, "%-18s %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+			wl.Name, q(0), q(0.25), q(0.5), q(0.75), q(1))
+	}
+	return b.String(), nil
+}
+
+func log10(x float64) float64 {
+	if x <= 0 {
+		return -99
+	}
+	l := 0.0
+	for x < 1 {
+		x *= 10
+		l--
+	}
+	for x >= 10 {
+		x /= 10
+		l++
+	}
+	// Linear interpolation within the decade is plenty for a summary table.
+	return l + (x-1)/9
+}
+
+// Table2 reproduces the JOB-light comparison: Postgres-style histograms,
+// IBJS, MSCN, DeepDB-style SPNs (base and large), and NeuroCard.
+func Table2(o Options) (string, []Row, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", nil, err
+	}
+	wl, err := workload.JOBLight(d, o.Seed)
+	if err != nil {
+		return "", nil, err
+	}
+	rows, err := compareAll(d, wl, o, true)
+	if err != nil {
+		return "", nil, err
+	}
+	return FormatTable("Table 2: JOB-light, estimation errors", rows), rows, nil
+}
+
+// Table3 reproduces the JOB-light-ranges comparison including
+// NeuroCard-large.
+func Table3(o Options) (string, []Row, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", nil, err
+	}
+	wl, err := workload.JOBLightRanges(d, o.RangesQueries, o.Seed+1)
+	if err != nil {
+		return "", nil, err
+	}
+	rows, err := compareAll(d, wl, o, true)
+	if err != nil {
+		return "", nil, err
+	}
+	// NeuroCard-large.
+	ncL, buildL, err := BuildNeuroCard(d, o.LargeModel, o.LargeTuples, o)
+	if err != nil {
+		return "", nil, err
+	}
+	sum, lats, err := Evaluate(Named("neurocard-large", ncL), wl)
+	if err != nil {
+		return "", nil, err
+	}
+	rows = append(rows, Row{Name: "neurocard-large", Bytes: ncL.Bytes(), Summary: sum, BuildTime: buildL, Latencies: lats})
+	return FormatTable("Table 3: JOB-light-ranges, estimation errors", rows), rows, nil
+}
+
+// Table4 reproduces the JOB-M comparison: per the paper, only Postgres and
+// IBJS remain tractable as baselines at 16 tables.
+func Table4(o Options) (string, []Row, error) {
+	d, err := datagen.JOBM(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", nil, err
+	}
+	wl, err := workload.JOBM(d, o.Seed+2)
+	if err != nil {
+		return "", nil, err
+	}
+	var rows []Row
+	pg := histogram.New(d.Schema, histogram.DefaultConfig())
+	sum, lats, err := Evaluate(Named("postgres-hist", pg), wl)
+	if err != nil {
+		return "", nil, err
+	}
+	rows = append(rows, Row{Name: "postgres-hist", Bytes: pg.Bytes(), Summary: sum, Latencies: lats})
+
+	ib := ibjs.New(d.Schema, o.IBJSSamples, o.Seed+3)
+	sum, lats, err = Evaluate(Named("ibjs", ib), wl)
+	if err != nil {
+		return "", nil, err
+	}
+	rows = append(rows, Row{Name: "ibjs", Summary: sum, Latencies: lats})
+
+	nc, build, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return "", nil, err
+	}
+	sum, lats, err = Evaluate(Named("neurocard", nc), wl)
+	if err != nil {
+		return "", nil, err
+	}
+	rows = append(rows, Row{Name: "neurocard", Bytes: nc.Bytes(), Summary: sum, BuildTime: build, Latencies: lats})
+	return FormatTable("Table 4: JOB-M, estimation errors", rows), rows, nil
+}
+
+// compareAll runs the shared JOB-light/-ranges estimator lineup.
+func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLarge bool) ([]Row, error) {
+	var rows []Row
+
+	pg := histogram.New(d.Schema, histogram.DefaultConfig())
+	sum, lats, err := Evaluate(Named("postgres-hist", pg), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Name: "postgres-hist", Bytes: pg.Bytes(), Summary: sum, Latencies: lats})
+
+	ib := ibjs.New(d.Schema, o.IBJSSamples, o.Seed+3)
+	sum, lats, err = Evaluate(Named("ibjs", ib), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Name: "ibjs", Summary: sum, Latencies: lats})
+
+	// MSCN: trained on freshly generated, executed queries (the supervised
+	// protocol), disjoint seed from the evaluation workload.
+	trainQ, err := workload.JOBLightRanges(d, o.MSCNTrainQueries, o.Seed+77)
+	if err != nil {
+		return nil, err
+	}
+	mcfg := mscn.DefaultConfig()
+	mcfg.Epochs = o.MSCNEpochs
+	mcfg.Seed = o.Seed
+	ms := mscn.New(d.Schema, d.ContentCols, mcfg)
+	msStart := time.Now()
+	if err := ms.Train(trainQ.Queries); err != nil {
+		return nil, err
+	}
+	msTime := time.Since(msStart)
+	sum, lats, err = Evaluate(Named("mscn", ms), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Name: "mscn", Bytes: ms.Bytes(), Summary: sum, BuildTime: msTime, Latencies: lats})
+
+	scfg := spn.DefaultConfig()
+	scfg.SampleRows = o.SPNSampleRows
+	scfg.Seed = o.Seed
+	spnStart := time.Now()
+	sp, err := spn.New(d.Schema, spn.JOBLightBaseSubsets(d.Schema), d.ContentCols, scfg)
+	if err != nil {
+		return nil, err
+	}
+	spnTime := time.Since(spnStart)
+	sum, lats, err = Evaluate(Named("deepdb-spn", sp), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Name: "deepdb-spn", Bytes: sp.Bytes(), Summary: sum, BuildTime: spnTime, Latencies: lats})
+
+	if withSPNLarge {
+		spL, err := spn.New(d.Schema, spn.JOBLightLargeSubsets(d.Schema), d.ContentCols, scfg)
+		if err != nil {
+			return nil, err
+		}
+		sum, lats, err = Evaluate(Named("deepdb-spn-large", spL), wl)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Name: "deepdb-spn-large", Bytes: spL.Bytes(), Summary: sum, Latencies: lats})
+	}
+
+	nc, build, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return nil, err
+	}
+	sum, lats, err = Evaluate(Named("neurocard", nc), wl)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Name: "neurocard", Bytes: nc.Bytes(), Summary: sum, BuildTime: build, Latencies: lats})
+	return rows, nil
+}
+
+// Table5 reproduces the ablation study on JOB-light-ranges: the unbiased
+// sampler (A), factorization bits (B), model sizes (C), per-table models
+// (D), and raw join samples (E), reporting p50/p99 as the paper does.
+func Table5(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	full, err := workload.JOBLightRanges(d, o.RangesQueries, o.Seed+1)
+	if err != nil {
+		return "", err
+	}
+	wl := subsetQueries(full, maxAblationQueries(o), o.Seed)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 5: Ablations (JOB-light-ranges subset, %d queries)\n", len(wl.Queries))
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s\n", "Variant", "Size", "p50", "p99")
+	emit := func(name string, bytes int, sum workload.Summary) {
+		size := "-"
+		if bytes > 0 {
+			size = fmtBytes(bytes)
+		}
+		fmt.Fprintf(&b, "%-28s %10s %10.3g %10.3g\n", name, size, sum.Median, sum.P99)
+	}
+	p50p99 := func(est Estimator) (workload.Summary, error) {
+		sum, _, err := Evaluate(est, wl)
+		return sum, err
+	}
+
+	// Base.
+	base, _, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return "", err
+	}
+	sum, err := p50p99(Named("base", base))
+	if err != nil {
+		return "", err
+	}
+	emit("base (unbiased, fact="+fmt.Sprint(o.FactBits)+")", base.Bytes(), sum)
+
+	// (A) biased IBJS-style training sampler.
+	cfgA := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: 1,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	biased, err := core.Build(d.Schema, cfgA)
+	if err != nil {
+		return "", err
+	}
+	draw, err := ibjs.BiasedFullJoinDraw(d.Schema)
+	if err != nil {
+		return "", err
+	}
+	if _, err := biased.TrainWithDraw(o.TrainTuples, draw); err != nil {
+		return "", err
+	}
+	if sum, err = p50p99(Named("A biased", biased)); err != nil {
+		return "", err
+	}
+	emit("(A) biased sampler", biased.Bytes(), sum)
+
+	// (B) factorization bits sweep.
+	for _, bits := range factBitsSweep(o) {
+		ob := o
+		ob.FactBits = bits
+		est, _, err := BuildNeuroCard(d, o.Model, o.TrainTuples, ob)
+		if err != nil {
+			return "", err
+		}
+		if sum, err = p50p99(Named("B", est)); err != nil {
+			return "", err
+		}
+		label := fmt.Sprintf("(B) fact bits %d", bits)
+		if bits == 0 {
+			label = "(B) fact bits none"
+		}
+		emit(label, est.Bytes(), sum)
+	}
+
+	// (C) model size sweep: bigger embeddings, bigger hidden layers.
+	bigEmb := o.Model
+	bigEmb.EmbedDim *= 4
+	estC1, _, err := BuildNeuroCard(d, bigEmb, o.TrainTuples, o)
+	if err != nil {
+		return "", err
+	}
+	if sum, err = p50p99(Named("C emb", estC1)); err != nil {
+		return "", err
+	}
+	emit(fmt.Sprintf("(C) d_emb %d", bigEmb.EmbedDim), estC1.Bytes(), sum)
+	bigFF := o.Model
+	bigFF.Hidden *= 4
+	estC2, _, err := BuildNeuroCard(d, bigFF, o.TrainTuples, o)
+	if err != nil {
+		return "", err
+	}
+	if sum, err = p50p99(Named("C dff", estC2)); err != nil {
+		return "", err
+	}
+	emit(fmt.Sprintf("(C) d_ff %d", bigFF.Hidden), estC2.Bytes(), sum)
+
+	// (D) one AR model per table, combined with independence.
+	cfgD := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: 2,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	per, err := core.BuildPerTable(d.Schema, cfgD)
+	if err != nil {
+		return "", err
+	}
+	if err := per.Train(o.TrainTuples / d.Schema.NumTables()); err != nil {
+		return "", err
+	}
+	if sum, err = p50p99(per); err != nil {
+		return "", err
+	}
+	emit("(D) one AR per table", per.Bytes(), sum)
+
+	// (E) uniform join samples only, no model.
+	sc := samplecard.New(d.Schema, o.SampleOnlyDraws, o.Seed+5)
+	if sum, err = p50p99(sc); err != nil {
+		return "", err
+	}
+	emit("(E) join samples only", 0, sum)
+
+	return b.String(), nil
+}
+
+func maxAblationQueries(o Options) int {
+	n := o.RangesQueries / 2
+	if n < 40 {
+		n = 40
+	}
+	return n
+}
+
+func factBitsSweep(o Options) []int {
+	if o.FactBits >= 12 {
+		return []int{10, 12, 0}
+	}
+	return []int{o.FactBits - 2, o.FactBits, 0}
+}
+
+// Table6 reproduces the update study: 5 time-ordered partitions of title,
+// comparing a stale model, incremental fast updates (1% of the original
+// tuples), and full retraining after every ingest.
+func Table6(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	snaps, err := d.Snapshots(5)
+	if err != nil {
+		return "", err
+	}
+	// Queries from the full dataset; truth re-labeled per snapshot.
+	base, err := workload.JOBLight(d, o.Seed+9)
+	if err != nil {
+		return "", err
+	}
+	wl := subsetQueries(base, 30, o.Seed)
+
+	cfg := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: o.SamplerWorkers,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	relabel := func(snap int) (*workload.Workload, error) {
+		out := &workload.Workload{Name: wl.Name}
+		for _, lq := range wl.Queries {
+			card, err := exec.Cardinality(snaps[snap], lq.Query)
+			if err != nil {
+				return nil, err
+			}
+			out.Queries = append(out.Queries, workload.LabeledQuery{
+				Query: lq.Query, TrueCard: card, InnerSize: lq.InnerSize,
+			})
+		}
+		return out, nil
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 6: Updating NeuroCard, fast and slow (JOB-light, %d queries)\n", len(wl.Queries))
+	fmt.Fprintf(&b, "%-12s %12s %6s", "Strategy", "UpdateTime", "")
+	for i := 1; i <= 5; i++ {
+		fmt.Fprintf(&b, " %8s", fmt.Sprintf("ingest%d", i))
+	}
+	fmt.Fprintf(&b, "\n")
+
+	evalSummaries := func(est *core.Estimator, update func(i int) (time.Duration, error)) ([]workload.Summary, time.Duration, error) {
+		var out []workload.Summary
+		var updTime time.Duration
+		for i := 0; i < 5; i++ {
+			if i > 0 && update != nil {
+				dt, err := update(i)
+				if err != nil {
+					return nil, 0, err
+				}
+				updTime += dt
+			}
+			swl, err := relabel(i)
+			if err != nil {
+				return nil, 0, err
+			}
+			sum, _, err := Evaluate(Named("nc", est), swl)
+			if err != nil {
+				return nil, 0, err
+			}
+			out = append(out, sum)
+		}
+		return out, updTime / 4, nil
+	}
+	writeRows := func(name string, updTime time.Duration, sums []workload.Summary) {
+		upd := "-"
+		if updTime > 0 {
+			upd = updTime.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(&b, "%-12s %12s %6s", name, upd, "p95")
+		for _, s := range sums {
+			fmt.Fprintf(&b, " %8.3g", s.P95)
+		}
+		fmt.Fprintf(&b, "\n%-12s %12s %6s", "", "", "p50")
+		for _, s := range sums {
+			fmt.Fprintf(&b, " %8.3g", s.Median)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+
+	// Stale: trained once on the first snapshot. Note: the estimator keeps
+	// the first snapshot's data, so estimates drift as truth moves.
+	stale, err := core.BuildWithDomain(d.Schema, snaps[0], cfg)
+	if err != nil {
+		return "", err
+	}
+	if _, err := stale.Train(o.TrainTuples); err != nil {
+		return "", err
+	}
+	sums, _, err := evalSummaries(stale, nil)
+	if err != nil {
+		return "", err
+	}
+	writeRows("stale", 0, sums)
+
+	// Fast update: rebind data + 1% incremental gradient steps per ingest.
+	fast, err := core.BuildWithDomain(d.Schema, snaps[0], cfg)
+	if err != nil {
+		return "", err
+	}
+	if _, err := fast.Train(o.TrainTuples); err != nil {
+		return "", err
+	}
+	sums, updTime, err := evalSummaries(fast, func(i int) (time.Duration, error) {
+		start := time.Now()
+		if err := fast.UpdateData(snaps[i]); err != nil {
+			return 0, err
+		}
+		if _, err := fast.Train(o.TrainTuples / 100); err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	writeRows("fast update", updTime, sums)
+
+	// Retrain: fresh full training after every ingest.
+	retrain, err := core.BuildWithDomain(d.Schema, snaps[0], cfg)
+	if err != nil {
+		return "", err
+	}
+	if _, err := retrain.Train(o.TrainTuples); err != nil {
+		return "", err
+	}
+	var rsums []workload.Summary
+	var rTime time.Duration
+	for i := 0; i < 5; i++ {
+		if i > 0 {
+			start := time.Now()
+			fresh, err := core.BuildWithDomain(d.Schema, snaps[i], cfg)
+			if err != nil {
+				return "", err
+			}
+			if _, err := fresh.Train(o.TrainTuples); err != nil {
+				return "", err
+			}
+			rTime += time.Since(start)
+			retrain = fresh
+		}
+		swl, err := relabel(i)
+		if err != nil {
+			return "", err
+		}
+		sum, _, err := Evaluate(Named("nc", retrain), swl)
+		if err != nil {
+			return "", err
+		}
+		rsums = append(rsums, sum)
+	}
+	writeRows("retrain", rTime/4, rsums)
+
+	return b.String(), nil
+}

@@ -1,0 +1,67 @@
+package made
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// modelHeader is the serialized preamble.
+type modelHeader struct {
+	Config Config
+	Doms   []int
+}
+
+// Save serializes the model: configuration, column domains, and all weights
+// as float32 (the paper's size accounting; the precision loss is far below
+// estimation noise). Optimizer state is not saved — a loaded model serves
+// inference immediately and incremental training restarts Adam moments,
+// which matches the paper's fast-update procedure.
+func (m *Model) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(modelHeader{Config: m.cfg, Doms: m.doms}); err != nil {
+		return fmt.Errorf("made: save header: %w", err)
+	}
+	for _, p := range m.params {
+		f32 := make([]float32, len(p.Val.Data))
+		for i, v := range p.Val.Data {
+			f32[i] = float32(v)
+		}
+		if err := enc.Encode(f32); err != nil {
+			return fmt.Errorf("made: save %s: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Load reconstructs a model saved by Save.
+func Load(r io.Reader) (*Model, error) {
+	dec := gob.NewDecoder(r)
+	var hdr modelHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return nil, fmt.Errorf("made: load header: %w", err)
+	}
+	m, err := New(hdr.Config, hdr.Doms)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range m.params {
+		var f32 []float32
+		if err := dec.Decode(&f32); err != nil {
+			return nil, fmt.Errorf("made: load %s: %w", p.Name, err)
+		}
+		if len(f32) != len(p.Val.Data) {
+			return nil, fmt.Errorf("made: load %s: %d values, want %d", p.Name, len(f32), len(p.Val.Data))
+		}
+		for i, v := range f32 {
+			p.Val.Data[i] = float64(v)
+		}
+	}
+	return m, nil
+}
+
+// Config returns the model's configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// Domains returns the column domain sizes.
+func (m *Model) Domains() []int { return append([]int(nil), m.doms...) }

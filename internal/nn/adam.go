@@ -1,0 +1,63 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer with bias correction.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	step  int
+}
+
+// NewAdam returns an Adam optimizer with the standard (0.9, 0.999, 1e-8)
+// moment configuration.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to every parameter from its accumulated gradient,
+// then clears the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		g := p.Grad.Data
+		w := p.Val.Data
+		m, v := p.m, p.v
+		for i, gi := range g {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+			mh := m[i] / c1
+			vh := v[i] / c2
+			w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// StepCount returns the number of updates applied so far.
+func (a *Adam) StepCount() int { return a.step }
+
+// ClipGradNorm rescales all gradients so their global L2 norm does not
+// exceed maxNorm, returning the pre-clip norm.
+func ClipGradNorm(params []*Param, maxNorm float64) float64 {
+	sum := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			sum += g * g
+		}
+	}
+	norm := math.Sqrt(sum)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}

@@ -1,0 +1,178 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is a trainable tensor: value, accumulated gradient, and Adam moment
+// buffers.
+type Param struct {
+	Name string
+	Val  *Mat
+	Grad *Mat
+	m, v []float64
+}
+
+// NewParam allocates a zero-initialized parameter.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{
+		Name: name,
+		Val:  NewMat(rows, cols),
+		Grad: NewMat(rows, cols),
+		m:    make([]float64, rows*cols),
+		v:    make([]float64, rows*cols),
+	}
+}
+
+// InitNormal fills the parameter with N(0, std²) noise.
+func (p *Param) InitNormal(rng *rand.Rand, std float64) {
+	for i := range p.Val.Data {
+		p.Val.Data[i] = rng.NormFloat64() * std
+	}
+}
+
+// InitHe applies He initialization for a layer with the given fan-in.
+func (p *Param) InitHe(rng *rand.Rand, fanIn int) {
+	p.InitNormal(rng, math.Sqrt(2.0/float64(fanIn)))
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// NumParams returns the number of scalar parameters.
+func (p *Param) NumParams() int { return len(p.Val.Data) }
+
+// ReluInPlace applies max(0, x) element-wise.
+func ReluInPlace(x *Mat) {
+	for i, v := range x.Data {
+		if v < 0 {
+			x.Data[i] = 0
+		}
+	}
+}
+
+// ReluBackward zeroes gradient entries where the forward *output* was zero.
+// out must be the post-activation tensor saved from the forward pass.
+func ReluBackward(dY, out *Mat) {
+	if dY.Rows != out.Rows || dY.Cols != out.Cols {
+		panic("nn: ReluBackward dimension mismatch")
+	}
+	for i, v := range out.Data {
+		if v <= 0 {
+			dY.Data[i] = 0
+		}
+	}
+}
+
+// SoftmaxRows writes the row-wise softmax of logits into dst (may alias).
+func SoftmaxRows(dst, logits *Mat) {
+	if dst.Rows != logits.Rows || dst.Cols != logits.Cols {
+		panic("nn: SoftmaxRows dimension mismatch")
+	}
+	parallelFor(logits.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			src := logits.Row(i)
+			out := dst.Row(i)
+			maxv := math.Inf(-1)
+			for _, v := range src {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for j, v := range src {
+				e := math.Exp(v - maxv)
+				out[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range out {
+				out[j] *= inv
+			}
+		}
+	})
+}
+
+// CrossEntropy computes the summed negative log-likelihood of targets under
+// row-wise softmax(logits) and fills dLogits with the unscaled gradient
+// (softmax - onehot). Rows whose target is negative are skipped entirely
+// (zero loss, zero gradient) — used to mask padding and wildcard positions.
+// The caller divides loss and gradients by the effective batch size.
+func CrossEntropy(logits *Mat, targets []int32, dLogits *Mat) float64 {
+	if len(targets) != logits.Rows || dLogits.Rows != logits.Rows || dLogits.Cols != logits.Cols {
+		panic("nn: CrossEntropy dimension mismatch")
+	}
+	losses := make([]float64, logits.Rows)
+	parallelFor(logits.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst := dLogits.Row(i)
+			t := targets[i]
+			if t < 0 {
+				for j := range dst {
+					dst[j] = 0
+				}
+				continue
+			}
+			src := logits.Row(i)
+			maxv := math.Inf(-1)
+			for _, v := range src {
+				if v > maxv {
+					maxv = v
+				}
+			}
+			sum := 0.0
+			for j, v := range src {
+				e := math.Exp(v - maxv)
+				dst[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range dst {
+				dst[j] *= inv
+			}
+			losses[i] = -math.Log(math.Max(dst[t], 1e-300))
+			dst[t] -= 1
+		}
+	})
+	total := 0.0
+	for _, l := range losses {
+		total += l
+	}
+	return total
+}
+
+// Gather copies embedding rows table[ids[i]] into out rows at column offset
+// outCol. Rows with negative ids are left untouched.
+func Gather(out *Mat, outCol int, table *Mat, ids []int32) {
+	d := table.Cols
+	if outCol+d > out.Cols || len(ids) != out.Rows {
+		panic("nn: Gather dimension mismatch")
+	}
+	for i, id := range ids {
+		if id < 0 {
+			continue
+		}
+		copy(out.Row(i)[outCol:outCol+d], table.Row(int(id)))
+	}
+}
+
+// ScatterAddGrad accumulates dOut rows (at column offset outCol, width =
+// tableGrad.Cols) into tableGrad rows selected by ids. Negative ids are
+// skipped. The inverse of Gather for backpropagation.
+func ScatterAddGrad(tableGrad *Mat, ids []int32, dOut *Mat, outCol int) {
+	d := tableGrad.Cols
+	if outCol+d > dOut.Cols || len(ids) != dOut.Rows {
+		panic("nn: ScatterAddGrad dimension mismatch")
+	}
+	for i, id := range ids {
+		if id < 0 {
+			continue
+		}
+		dst := tableGrad.Row(int(id))
+		src := dOut.Row(i)[outCol : outCol+d]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+}

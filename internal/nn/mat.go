@@ -1,0 +1,210 @@
+// Package nn is the from-scratch neural-network kernel library NeuroCard's
+// deep autoregressive model is built on: dense matrices, (masked) linear
+// layers, embeddings, ReLU, softmax/cross-entropy, and the Adam optimizer
+// with gradient clipping. All operations are hand-derived forward/backward
+// pairs validated against finite differences; matrix products parallelize
+// across goroutines.
+//
+// The paper trains its ResMADE with PyTorch on a GPU; this package is the
+// substitution that keeps the estimator's statistics identical (maximum
+// likelihood on the same architecture) while running on CPUs with the
+// standard library only.
+package nn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (r, c).
+func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns element (r, c).
+func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns the r-th row as a slice aliasing the matrix storage.
+func (m *Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+
+// Zero clears all elements.
+func (m *Mat) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// CopyFrom copies src into m (dimensions must match).
+func (m *Mat) CopyFrom(src *Mat) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("nn: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	out := NewMat(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// parallelFor splits [0, n) into chunks across GOMAXPROCS workers. Small n
+// runs inline to avoid goroutine overhead.
+func parallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minChunk = 16
+	if n < 2*minChunk || workers == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul sets dst = a·b. dst must be a.Rows × b.Cols and distinct from a, b.
+func MatMul(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMul dims %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := range drow {
+				drow[j] = 0
+			}
+			for k, av := range arow {
+				if av == 0 {
+					continue // ReLU activations are often sparse
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulATAdd accumulates dst += aᵀ·b. dst must be a.Cols × b.Cols. Used for
+// weight gradients (dW += Xᵀ·dY), which accumulate across calls.
+func MatMulATAdd(dst, a, b *Mat) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("nn: MatMulATAdd dims %dx%dᵀ · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := dst.Row(i)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulBT sets dst = a·bᵀ. dst must be a.Rows × b.Rows. Used for input
+// gradients (dX = dY·Wᵀ).
+func MatMulBT(dst, a, b *Mat) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("nn: MatMulBT dims %dx%d · %dx%dᵀ -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				sum := 0.0
+				for k, av := range arow {
+					sum += av * brow[k]
+				}
+				drow[j] = sum
+			}
+		}
+	})
+}
+
+// AddBias adds bias (length x.Cols) to every row of x in place.
+func AddBias(x *Mat, bias []float64) {
+	if len(bias) != x.Cols {
+		panic("nn: AddBias length mismatch")
+	}
+	parallelFor(x.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := x.Row(i)
+			for j, b := range bias {
+				row[j] += b
+			}
+		}
+	})
+}
+
+// BiasGradAdd accumulates column sums of dY into grad (the bias gradient).
+func BiasGradAdd(grad []float64, dY *Mat) {
+	if len(grad) != dY.Cols {
+		panic("nn: BiasGradAdd length mismatch")
+	}
+	for i := 0; i < dY.Rows; i++ {
+		row := dY.Row(i)
+		for j, v := range row {
+			grad[j] += v
+		}
+	}
+}
+
+// AddInto sets dst += src element-wise.
+func AddInto(dst, src *Mat) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("nn: AddInto dimension mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] += v
+	}
+}
+
+// Hadamard sets dst = a∘b element-wise. dst may alias a or b.
+func Hadamard(dst, a, b *Mat) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("nn: Hadamard dimension mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}

@@ -1,0 +1,338 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// naiveMul is the O(n³) reference used to validate the parallel kernels.
+func naiveMul(a, b *Mat) *Mat {
+	out := NewMat(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := 0.0
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func matsClose(t *testing.T, got, want *Mat, tol float64, label string) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: dims %dx%d vs %dx%d", label, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > tol {
+			t.Fatalf("%s: element %d: got %v want %v", label, i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {17, 33, 9}, {64, 128, 32}, {100, 7, 50}} {
+		a := randMat(rng, dims[0], dims[1])
+		b := randMat(rng, dims[1], dims[2])
+		got := NewMat(dims[0], dims[2])
+		MatMul(got, a, b)
+		matsClose(t, got, naiveMul(a, b), 1e-9, "MatMul")
+	}
+}
+
+func TestMatMulATAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMat(rng, 13, 7)
+	b := randMat(rng, 13, 5)
+	got := NewMat(7, 5)
+	// Accumulation: run twice, expect 2× the product.
+	MatMulATAdd(got, a, b)
+	MatMulATAdd(got, a, b)
+	at := NewMat(7, 13)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := naiveMul(at, b)
+	for i := range want.Data {
+		want.Data[i] *= 2
+	}
+	matsClose(t, got, want, 1e-9, "MatMulATAdd")
+}
+
+func TestMatMulBT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 9, 6)
+	b := randMat(rng, 11, 6)
+	got := NewMat(9, 11)
+	MatMulBT(got, a, b)
+	bt := NewMat(6, 11)
+	for i := 0; i < b.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	matsClose(t, got, naiveMul(a, bt), 1e-9, "MatMulBT")
+}
+
+func TestMatMulDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched MatMul did not panic")
+		}
+	}()
+	MatMul(NewMat(2, 2), NewMat(2, 3), NewMat(4, 2))
+}
+
+func TestBias(t *testing.T) {
+	x := NewMat(2, 3)
+	AddBias(x, []float64{1, 2, 3})
+	want := []float64{1, 2, 3, 1, 2, 3}
+	for i, v := range want {
+		if x.Data[i] != v {
+			t.Fatalf("AddBias: %v", x.Data)
+		}
+	}
+	grad := make([]float64, 3)
+	BiasGradAdd(grad, x)
+	for j, v := range []float64{2, 4, 6} {
+		if grad[j] != v {
+			t.Fatalf("BiasGradAdd: %v", grad)
+		}
+	}
+}
+
+func TestRelu(t *testing.T) {
+	x := &Mat{Rows: 1, Cols: 4, Data: []float64{-1, 0, 2, -0.5}}
+	ReluInPlace(x)
+	want := []float64{0, 0, 2, 0}
+	for i := range want {
+		if x.Data[i] != want[i] {
+			t.Fatalf("ReluInPlace: %v", x.Data)
+		}
+	}
+	dy := &Mat{Rows: 1, Cols: 4, Data: []float64{5, 5, 5, 5}}
+	ReluBackward(dy, x)
+	wantG := []float64{0, 0, 5, 0}
+	for i := range wantG {
+		if dy.Data[i] != wantG[i] {
+			t.Fatalf("ReluBackward: %v", dy.Data)
+		}
+	}
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	logits := &Mat{Rows: 2, Cols: 3, Data: []float64{0, 0, 0, 1, 2, 3}}
+	out := NewMat(2, 3)
+	SoftmaxRows(out, logits)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += out.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, sum)
+		}
+	}
+	if math.Abs(out.At(0, 0)-1.0/3.0) > 1e-12 {
+		t.Errorf("uniform logits: %v", out.Row(0))
+	}
+	if out.At(1, 0) >= out.At(1, 1) || out.At(1, 1) >= out.At(1, 2) {
+		t.Errorf("softmax not monotone: %v", out.Row(1))
+	}
+	// Large logits must not overflow.
+	big := &Mat{Rows: 1, Cols: 2, Data: []float64{1000, 1001}}
+	SoftmaxRows(big, big)
+	if math.IsNaN(big.Data[0]) || math.IsInf(big.Data[1], 0) {
+		t.Errorf("softmax overflow: %v", big.Data)
+	}
+}
+
+func TestCrossEntropy(t *testing.T) {
+	logits := &Mat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 0, 0, 0}}
+	dl := NewMat(2, 3)
+	loss := CrossEntropy(logits, []int32{2, 0}, dl)
+	// Row 0: -log softmax(3 | 1,2,3); Row 1: -log(1/3).
+	sm := math.Exp(3) / (math.Exp(1) + math.Exp(2) + math.Exp(3))
+	want := -math.Log(sm) - math.Log(1.0/3.0)
+	if math.Abs(loss-want) > 1e-10 {
+		t.Errorf("loss = %v, want %v", loss, want)
+	}
+	// Gradient row sums to zero (softmax - onehot).
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += dl.At(i, j)
+		}
+		if math.Abs(sum) > 1e-12 {
+			t.Errorf("grad row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestCrossEntropyMaskedTarget(t *testing.T) {
+	logits := &Mat{Rows: 2, Cols: 2, Data: []float64{5, -5, 1, 1}}
+	dl := NewMat(2, 2)
+	loss := CrossEntropy(logits, []int32{-1, 0}, dl)
+	if math.Abs(loss-(-math.Log(0.5))) > 1e-10 {
+		t.Errorf("masked loss = %v", loss)
+	}
+	if dl.At(0, 0) != 0 || dl.At(0, 1) != 0 {
+		t.Errorf("masked row has gradient: %v", dl.Row(0))
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	table := &Mat{Rows: 3, Cols: 2, Data: []float64{1, 2, 3, 4, 5, 6}}
+	out := NewMat(2, 5)
+	Gather(out, 1, table, []int32{2, 0})
+	if out.At(0, 1) != 5 || out.At(0, 2) != 6 || out.At(1, 1) != 1 || out.At(1, 2) != 2 {
+		t.Fatalf("Gather: %v", out.Data)
+	}
+	grad := NewMat(3, 2)
+	dOut := NewMat(2, 5)
+	for i := range dOut.Data {
+		dOut.Data[i] = 1
+	}
+	ScatterAddGrad(grad, []int32{2, 2}, dOut, 1)
+	if grad.At(2, 0) != 2 || grad.At(2, 1) != 2 || grad.At(0, 0) != 0 {
+		t.Fatalf("ScatterAddGrad: %v", grad.Data)
+	}
+	// Negative ids skipped.
+	Gather(out, 0, table, []int32{-1, 1})
+	if out.At(0, 0) != 0 {
+		t.Error("negative id overwrote output")
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = Σ (w_i - target_i)² with gradient 2(w - target).
+	p := NewParam("w", 1, 4)
+	target := []float64{1, -2, 3, 0.5}
+	opt := NewAdam(0.05)
+	for step := 0; step < 2000; step++ {
+		for i := range p.Val.Data {
+			p.Grad.Data[i] = 2 * (p.Val.Data[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i, want := range target {
+		if math.Abs(p.Val.Data[i]-want) > 1e-3 {
+			t.Errorf("w[%d] = %v, want %v", i, p.Val.Data[i], want)
+		}
+	}
+	if opt.StepCount() != 2000 {
+		t.Errorf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	p := NewParam("w", 1, 2)
+	p.Grad.Data[0], p.Grad.Data[1] = 3, 4 // norm 5
+	if norm := ClipGradNorm([]*Param{p}, 1); math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm = %v", norm)
+	}
+	got := math.Hypot(p.Grad.Data[0], p.Grad.Data[1])
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("post-clip norm = %v", got)
+	}
+	// Under the cap: untouched.
+	p.Grad.Data[0], p.Grad.Data[1] = 0.3, 0.4
+	ClipGradNorm([]*Param{p}, 1)
+	if p.Grad.Data[0] != 0.3 {
+		t.Error("clip modified in-bounds gradient")
+	}
+}
+
+// TestGradientCheckMLP validates the full backward pass of an
+// embedding → dense → ReLU → dense → cross-entropy pipeline against central
+// finite differences. This is the template composition the ResMADE model
+// uses, so agreement here pins down every kernel's backward formula.
+func TestGradientCheckMLP(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const (
+		vocab   = 5
+		embDim  = 3
+		hidden  = 6
+		classes = 4
+		batch   = 7
+	)
+	emb := NewParam("emb", vocab, embDim)
+	w1 := NewParam("w1", embDim, hidden)
+	b1 := NewParam("b1", 1, hidden)
+	w2 := NewParam("w2", hidden, classes)
+	params := []*Param{emb, w1, b1, w2}
+	for _, p := range params {
+		p.InitNormal(rng, 0.5)
+	}
+	ids := make([]int32, batch)
+	targets := make([]int32, batch)
+	for i := range ids {
+		ids[i] = int32(rng.Intn(vocab))
+		targets[i] = int32(rng.Intn(classes))
+	}
+
+	forward := func() float64 {
+		x := NewMat(batch, embDim)
+		Gather(x, 0, emb.Val, ids)
+		h := NewMat(batch, hidden)
+		MatMul(h, x, w1.Val)
+		AddBias(h, b1.Val.Row(0))
+		ReluInPlace(h)
+		logits := NewMat(batch, classes)
+		MatMul(logits, h, w2.Val)
+		dl := NewMat(batch, classes)
+		return CrossEntropy(logits, targets, dl)
+	}
+
+	// Analytic gradients.
+	x := NewMat(batch, embDim)
+	Gather(x, 0, emb.Val, ids)
+	h := NewMat(batch, hidden)
+	MatMul(h, x, w1.Val)
+	AddBias(h, b1.Val.Row(0))
+	ReluInPlace(h)
+	logits := NewMat(batch, classes)
+	MatMul(logits, h, w2.Val)
+	dLogits := NewMat(batch, classes)
+	CrossEntropy(logits, targets, dLogits)
+	MatMulATAdd(w2.Grad, h, dLogits)
+	dh := NewMat(batch, hidden)
+	MatMulBT(dh, dLogits, w2.Val)
+	ReluBackward(dh, h)
+	BiasGradAdd(b1.Grad.Row(0), dh)
+	MatMulATAdd(w1.Grad, x, dh)
+	dx := NewMat(batch, embDim)
+	MatMulBT(dx, dh, w1.Val)
+	ScatterAddGrad(emb.Grad, ids, dx, 0)
+
+	const eps = 1e-6
+	for _, p := range params {
+		for i := range p.Val.Data {
+			orig := p.Val.Data[i]
+			p.Val.Data[i] = orig + eps
+			up := forward()
+			p.Val.Data[i] = orig - eps
+			down := forward()
+			p.Val.Data[i] = orig
+			numeric := (up - down) / (2 * eps)
+			analytic := p.Grad.Data[i]
+			if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, analytic, numeric)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package oracle provides exact references for NeuroCard's probabilistic
+// inference, usable only at toy scale:
+//
+//   - Exact: a core.ProbSource backed by the materialized full outer join,
+//     returning the true autoregressive conditionals over encoded tokens.
+//     Plugged into the estimator, it isolates the §5/§6 inference algorithms
+//     (region translation, indicators, fanout scaling) from training noise.
+//   - ExactCardinality: a direct evaluation of the paper's Eq. 9 over the
+//     materialized join — the mathematical ground truth the progressive
+//     sampling procedure estimates.
+package oracle
+
+import (
+	"fmt"
+
+	"neurocard/internal/core"
+	"neurocard/internal/exec"
+	"neurocard/internal/nn"
+	"neurocard/internal/query"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+)
+
+// Exact is an exact conditional source over the encoded full outer join.
+type Exact struct {
+	doms []int
+	rows [][]int32 // encoded token tuples, one per full-join row
+}
+
+// NewExact materializes and encodes the full outer join. Exponential in
+// schema size; intended for tests on small schemas.
+func NewExact(data *schema.Schema, enc *core.Encoder) (*Exact, error) {
+	joinRows, err := exec.BruteForceFullJoin(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(joinRows) == 0 {
+		return nil, fmt.Errorf("oracle: empty full join")
+	}
+	encoded, err := enc.EncodeJoinRows(data, joinRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Exact{doms: enc.FlatDomains(), rows: encoded}, nil
+}
+
+// NumCols returns the number of flat model columns.
+func (o *Exact) NumCols() int { return len(o.doms) }
+
+// DomainSize returns the token domain of column i.
+func (o *Exact) DomainSize(i int) int { return o.doms[i] }
+
+// Conditional computes the exact p(X_col | matching prefix) by filtering the
+// materialized rows: positions < col holding MaskToken are wildcards. A
+// prefix with no support yields a uniform distribution (the trained model
+// would return arbitrary probabilities there too; such samples carry zero
+// importance weight).
+func (o *Exact) Conditional(tokens [][]int32, col int, out *nn.Mat) {
+	if out.Rows != len(tokens) || out.Cols != o.doms[col] {
+		panic("oracle: Conditional dimension mismatch")
+	}
+	out.Zero()
+	for r, q := range tokens {
+		row := out.Row(r)
+		n := 0
+		for _, enc := range o.rows {
+			match := true
+			for c := 0; c < col; c++ {
+				if q[c] != core.MaskToken && q[c] != enc[c] {
+					match = false
+					break
+				}
+			}
+			if match {
+				row[enc[col]]++
+				n++
+			}
+		}
+		if n == 0 {
+			u := 1 / float64(len(row))
+			for i := range row {
+				row[i] = u
+			}
+			continue
+		}
+		inv := 1 / float64(n)
+		for i := range row {
+			row[i] *= inv
+		}
+	}
+}
+
+// ExactCardinality evaluates Eq. 9 directly over the materialized full outer
+// join: |J| · E[ 1{filters} · Π_{T∈Q} 1_T / Π_{R∉Q} F_{R.key} ]. It is an
+// independent implementation of the §6 schema-subsetting math (no encoder,
+// no sampling) used to validate both the inference algorithms and the
+// executor against each other.
+func ExactCardinality(data *schema.Schema, q query.Query) (float64, error) {
+	if err := data.ValidateQuerySet(q.Tables); err != nil {
+		return 0, err
+	}
+	qset := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		qset[t] = true
+	}
+	order := data.Tables()
+	tIdx := make(map[string]int, len(order))
+	for i, t := range order {
+		tIdx[t] = i
+	}
+	// Compiled filter regions per queried table.
+	regions := make(map[string]map[string]query.Region)
+	for _, t := range q.Tables {
+		regs, err := query.TableRegions(data.Table(t), q)
+		if err != nil {
+			return 0, err
+		}
+		regions[t] = regs
+	}
+	// Fanout keys and arrays for omitted tables.
+	type fanRef struct {
+		ti   int
+		fans []int32
+	}
+	var fanRefs []fanRef
+	for _, t := range order {
+		if qset[t] {
+			continue
+		}
+		key, err := data.FanoutKey(t, qset)
+		if err != nil {
+			return 0, err
+		}
+		fans, err := data.Table(t).Fanouts(key)
+		if err != nil {
+			return 0, err
+		}
+		fanRefs = append(fanRefs, fanRef{ti: tIdx[t], fans: fans})
+	}
+
+	joinRows, err := exec.BruteForceFullJoin(data)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, row := range joinRows {
+		contrib := 1.0
+		ok := true
+		for _, t := range q.Tables {
+			base := row[tIdx[t]]
+			if base == sampler.NullRow {
+				ok = false // indicator 1_T = 0
+				break
+			}
+			if !query.Matches(data.Table(t), regions[t], int(base)) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, fr := range fanRefs {
+			base := row[fr.ti]
+			if base != sampler.NullRow {
+				contrib /= float64(fr.fans[base])
+			}
+			// NULL omitted table ⇒ fanout 1 ⇒ no scaling.
+		}
+		total += contrib
+	}
+	return total, nil
+}

@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/testutil"
+	"neurocard/internal/value"
+)
+
+// figure4 builds the paper's running example.
+func figure4(t *testing.T) *schema.Schema {
+	t.Helper()
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	a.MustAppend(value.Int(1))
+	a.MustAppend(value.Int(2))
+	b := table.MustBuilder("B", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt}, {Name: "y", Kind: value.KindInt},
+	})
+	b.MustAppend(value.Int(1), value.Int(1))
+	b.MustAppend(value.Int(2), value.Int(2))
+	b.MustAppend(value.Int(2), value.Int(3))
+	c := table.MustBuilder("C", []table.ColSpec{{Name: "y", Kind: value.KindInt}})
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(4))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild(), c.MustBuild()},
+		"A",
+		[]schema.Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEquation9PaperExample reproduces the §6 worked examples: Q1 (full
+// inner join, A.x=2) = 2 and Q2 (A only, A.x=2) = 1, including the
+// 1/5·(1/2 + 1/4 + 1/4)·5 fanout-scaling arithmetic.
+func TestEquation9PaperExample(t *testing.T) {
+	s := figure4(t)
+	q1 := query.Query{
+		Tables:  []string{"A", "B", "C"},
+		Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}},
+	}
+	if got, err := ExactCardinality(s, q1); err != nil || math.Abs(got-2) > 1e-9 {
+		t.Errorf("Q1 via Eq.9 = %v, %v; want 2", got, err)
+	}
+	q2 := query.Query{
+		Tables:  []string{"A"},
+		Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}},
+	}
+	if got, err := ExactCardinality(s, q2); err != nil || math.Abs(got-1) > 1e-9 {
+		t.Errorf("Q2 via Eq.9 = %v, %v; want 1", got, err)
+	}
+}
+
+// TestEquation9MatchesExecutor is the central §6 validation: the
+// indicator+fanout-scaling formula over the full outer join computes exactly
+// the inner-join cardinality, for random schemas and random queries
+// (including multi-key joins, NULL keys, and omitted subtrees on both
+// sides).
+func TestEquation9MatchesExecutor(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	cfg := testutil.DefaultSchemaConfig()
+	for iter := 0; iter < 200; iter++ {
+		s := testutil.RandomSchema(rng, cfg)
+		q := testutil.RandomQuery(rng, s, 3)
+		want, err := exec.Cardinality(s, q)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, q, err)
+		}
+		got, err := ExactCardinality(s, q)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, q, err)
+		}
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("iter %d: Eq.9 = %v, executor = %v for %s (tables %v)",
+				iter, got, want, q, s.Tables())
+		}
+	}
+}

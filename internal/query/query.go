@@ -1,0 +1,308 @@
+// Package query defines the query model shared by the estimator, the
+// baselines, and the exact executor: a join over a connected subset of the
+// schema's tables plus a conjunction of single-table filters (§3.3).
+//
+// Filters are compiled into Regions — sorted disjoint intervals over a
+// column's dictionary-ID space. Because dictionaries are sorted, every
+// supported predicate (=, <, ≤, >, ≥, IN) maps to such a region, NULL is
+// always excluded (SQL comparison semantics), and conjunctions are region
+// intersections. Regions are the single predicate representation consumed by
+// every component: the executor tests membership, histograms integrate over
+// them, and progressive sampling translates them into per-subcolumn token
+// constraints.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// Op is a comparison operator.
+type Op uint8
+
+// Supported comparison operators.
+const (
+	OpEq Op = iota
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpIn
+)
+
+// String returns the SQL spelling of the operator.
+func (op Op) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Filter is a single-column predicate. For OpIn, Set holds the membership
+// list; otherwise Val holds the literal.
+type Filter struct {
+	Table string
+	Col   string
+	Op    Op
+	Val   value.Value
+	Set   []value.Value
+}
+
+// String renders the filter in SQL-ish form.
+func (f Filter) String() string {
+	if f.Op == OpIn {
+		parts := make([]string, len(f.Set))
+		for i, v := range f.Set {
+			parts[i] = v.String()
+		}
+		return fmt.Sprintf("%s.%s IN (%s)", f.Table, f.Col, strings.Join(parts, ","))
+	}
+	return fmt.Sprintf("%s.%s %s %s", f.Table, f.Col, f.Op, f.Val)
+}
+
+// Query is an inner equi-join over Tables with conjunctive Filters.
+type Query struct {
+	Tables  []string
+	Filters []Filter
+}
+
+// String renders the query for logs.
+func (q Query) String() string {
+	parts := make([]string, len(q.Filters))
+	for i, f := range q.Filters {
+		parts[i] = f.String()
+	}
+	return fmt.Sprintf("JOIN(%s) WHERE %s", strings.Join(q.Tables, ","), strings.Join(parts, " AND "))
+}
+
+// HasTable reports whether the query joins the named table.
+func (q Query) HasTable(name string) bool {
+	for _, t := range q.Tables {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FiltersOn returns the filters referencing the given table.
+func (q Query) FiltersOn(tbl string) []Filter {
+	var out []Filter
+	for _, f := range q.Filters {
+		if f.Table == tbl {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// IDRange is a closed interval [Lo, Hi] of dictionary IDs.
+type IDRange struct {
+	Lo, Hi int32
+}
+
+// Region is a sorted list of disjoint, non-adjacent ID ranges. NULL (ID 0)
+// never appears in a region: SQL predicates are false on NULL.
+type Region []IDRange
+
+// Empty reports whether the region contains no IDs.
+func (r Region) Empty() bool { return len(r) == 0 }
+
+// Contains reports whether id falls inside the region.
+func (r Region) Contains(id int32) bool {
+	i := sort.Search(len(r), func(i int) bool { return r[i].Hi >= id })
+	return i < len(r) && r[i].Lo <= id
+}
+
+// Count returns the number of IDs covered.
+func (r Region) Count() int64 {
+	var n int64
+	for _, iv := range r {
+		n += int64(iv.Hi-iv.Lo) + 1
+	}
+	return n
+}
+
+// Intersect returns the intersection of two regions.
+func (r Region) Intersect(o Region) Region {
+	var out Region
+	i, j := 0, 0
+	for i < len(r) && j < len(o) {
+		lo := max32(r[i].Lo, o[j].Lo)
+		hi := min32(r[i].Hi, o[j].Hi)
+		if lo <= hi {
+			out = append(out, IDRange{lo, hi})
+		}
+		if r[i].Hi < o[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// normalize sorts ranges, drops empties, and merges overlaps/adjacencies.
+func normalize(rs []IDRange) Region {
+	var valid []IDRange
+	for _, r := range rs {
+		if r.Lo <= r.Hi {
+			valid = append(valid, r)
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	sort.Slice(valid, func(i, j int) bool { return valid[i].Lo < valid[j].Lo })
+	out := Region{valid[0]}
+	for _, r := range valid[1:] {
+		last := &out[len(out)-1]
+		if r.Lo <= last.Hi+1 {
+			if r.Hi > last.Hi {
+				last.Hi = r.Hi
+			}
+		} else {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FullRegion returns the region covering all non-NULL IDs of a column.
+func FullRegion(c *table.Column) Region {
+	n := int32(c.DictSize())
+	if n <= 1 {
+		return nil
+	}
+	return Region{{1, n - 1}}
+}
+
+// FilterRegion compiles a filter into the region of matching dictionary IDs
+// for the given column. An empty region means no value can match.
+func FilterRegion(c *table.Column, f Filter) (Region, error) {
+	maxID := int32(c.DictSize()) - 1
+	if maxID < 1 {
+		return nil, nil // column holds only NULLs; nothing matches
+	}
+	checkKind := func(v value.Value) error {
+		if v.IsNull() {
+			return fmt.Errorf("query: NULL literal in filter %s", f)
+		}
+		if v.K != c.Kind() {
+			return fmt.Errorf("query: filter %s: %s literal on %s column", f, v.K, c.Kind())
+		}
+		return nil
+	}
+	switch f.Op {
+	case OpEq:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		if id, ok := c.IDForValue(f.Val); ok {
+			return Region{{id, id}}, nil
+		}
+		return nil, nil
+	case OpLt:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		hi := c.LowerBoundID(f.Val) - 1
+		return normalize([]IDRange{{1, hi}}), nil
+	case OpLe:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		hi := c.UpperBoundID(f.Val) - 1
+		return normalize([]IDRange{{1, hi}}), nil
+	case OpGt:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		lo := c.UpperBoundID(f.Val)
+		return normalize([]IDRange{{lo, maxID}}), nil
+	case OpGe:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		lo := c.LowerBoundID(f.Val)
+		return normalize([]IDRange{{lo, maxID}}), nil
+	case OpIn:
+		if len(f.Set) == 0 {
+			return nil, fmt.Errorf("query: empty IN list in filter %s", f)
+		}
+		var rs []IDRange
+		for _, v := range f.Set {
+			if err := checkKind(v); err != nil {
+				return nil, err
+			}
+			if id, ok := c.IDForValue(v); ok {
+				rs = append(rs, IDRange{id, id})
+			}
+		}
+		return normalize(rs), nil
+	default:
+		return nil, fmt.Errorf("query: unsupported operator in filter %s", f)
+	}
+}
+
+// TableRegions compiles all of a query's filters on one table into a map
+// column name → region (conjunction = intersection). Columns without filters
+// are absent from the map.
+func TableRegions(t *table.Table, q Query) (map[string]Region, error) {
+	out := make(map[string]Region)
+	for _, f := range q.FiltersOn(t.Name()) {
+		c := t.Col(f.Col)
+		if c == nil {
+			return nil, fmt.Errorf("query: table %q has no column %q", t.Name(), f.Col)
+		}
+		r, err := FilterRegion(c, f)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := out[f.Col]; ok {
+			r = prev.Intersect(r)
+		}
+		out[f.Col] = r
+	}
+	return out, nil
+}
+
+// Matches evaluates the compiled regions against one row of the table.
+func Matches(t *table.Table, regions map[string]Region, row int) bool {
+	for col, r := range regions {
+		if !r.Contains(t.MustCol(col).ID(row)) {
+			return false
+		}
+	}
+	return true
+}

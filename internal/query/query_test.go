@@ -1,0 +1,253 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// col builds a single-column table over the given int values (NULL for nil).
+func col(t *testing.T, vals ...any) *table.Column {
+	t.Helper()
+	b := table.MustBuilder("t", []table.ColSpec{{Name: "c", Kind: value.KindInt}})
+	for _, v := range vals {
+		if v == nil {
+			b.MustAppend(value.Null)
+		} else {
+			b.MustAppend(value.Int(int64(v.(int))))
+		}
+	}
+	return b.MustBuild().MustCol("c")
+}
+
+func TestFilterRegionOps(t *testing.T) {
+	// Dictionary: 10→1, 20→2, 30→3, 40→4 (plus NULL).
+	c := col(t, 10, 20, 30, 40, nil)
+	cases := []struct {
+		f    Filter
+		want Region
+	}{
+		{Filter{Op: OpEq, Val: value.Int(20)}, Region{{2, 2}}},
+		{Filter{Op: OpEq, Val: value.Int(25)}, nil},
+		{Filter{Op: OpLt, Val: value.Int(30)}, Region{{1, 2}}},
+		{Filter{Op: OpLt, Val: value.Int(10)}, nil},
+		{Filter{Op: OpLe, Val: value.Int(30)}, Region{{1, 3}}},
+		{Filter{Op: OpLe, Val: value.Int(5)}, nil},
+		{Filter{Op: OpGt, Val: value.Int(20)}, Region{{3, 4}}},
+		{Filter{Op: OpGt, Val: value.Int(40)}, nil},
+		{Filter{Op: OpGe, Val: value.Int(25)}, Region{{3, 4}}},
+		{Filter{Op: OpGe, Val: value.Int(45)}, nil},
+		{Filter{Op: OpIn, Set: []value.Value{value.Int(10), value.Int(30), value.Int(99)}}, Region{{1, 1}, {3, 3}}},
+		{Filter{Op: OpIn, Set: []value.Value{value.Int(10), value.Int(20)}}, Region{{1, 2}}}, // adjacent merge
+	}
+	for _, tc := range cases {
+		got, err := FilterRegion(c, tc.f)
+		if err != nil {
+			t.Errorf("%s: %v", tc.f, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: region %v, want %v", tc.f, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: region %v, want %v", tc.f, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestFilterRegionErrors(t *testing.T) {
+	c := col(t, 10, 20)
+	if _, err := FilterRegion(c, Filter{Op: OpEq, Val: value.Null}); err == nil {
+		t.Error("NULL literal accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Op: OpEq, Val: value.Str("x")}); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Op: OpIn}); err == nil {
+		t.Error("empty IN accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Op: Op(200), Val: value.Int(1)}); err == nil {
+		t.Error("unknown op accepted")
+	}
+}
+
+func TestRegionNeverContainsNull(t *testing.T) {
+	c := col(t, 10, 20, nil)
+	for _, f := range []Filter{
+		{Op: OpLe, Val: value.Int(99)},
+		{Op: OpGe, Val: value.Int(-99)},
+	} {
+		r, err := FilterRegion(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Contains(table.NullID) {
+			t.Errorf("%s: region contains NULL", f)
+		}
+	}
+}
+
+func TestAllNullColumn(t *testing.T) {
+	c := col(t, nil, nil)
+	r, err := FilterRegion(c, Filter{Op: OpGe, Val: value.Int(0)})
+	if err != nil || !r.Empty() {
+		t.Errorf("region = %v, err = %v", r, err)
+	}
+}
+
+func TestRegionContainsAndCount(t *testing.T) {
+	r := Region{{2, 4}, {7, 7}, {10, 12}}
+	wantIn := []int32{2, 3, 4, 7, 10, 11, 12}
+	wantOut := []int32{0, 1, 5, 6, 8, 9, 13}
+	for _, id := range wantIn {
+		if !r.Contains(id) {
+			t.Errorf("Contains(%d) = false", id)
+		}
+	}
+	for _, id := range wantOut {
+		if r.Contains(id) {
+			t.Errorf("Contains(%d) = true", id)
+		}
+	}
+	if got := r.Count(); got != 7 {
+		t.Errorf("Count = %d", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Region{{1, 5}, {10, 20}}
+	b := Region{{3, 12}, {18, 30}}
+	got := a.Intersect(b)
+	want := Region{{3, 5}, {10, 12}, {18, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Intersect = %v, want %v", got, want)
+		}
+	}
+	if !a.Intersect(nil).Empty() {
+		t.Error("intersect with empty not empty")
+	}
+}
+
+// Property: for random dictionaries, filters, and probe rows, region
+// membership matches direct predicate evaluation on decoded values.
+func TestRegionMatchesDirectEvaluation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ops := []Op{OpEq, OpLt, OpLe, OpGt, OpGe}
+	for iter := 0; iter < 300; iter++ {
+		n := 1 + rng.Intn(20)
+		vals := make([]any, n)
+		for i := range vals {
+			if rng.Intn(10) == 0 {
+				vals[i] = nil
+			} else {
+				vals[i] = rng.Intn(15)
+			}
+		}
+		c := col(t, vals...)
+		op := ops[rng.Intn(len(ops))]
+		lit := int64(rng.Intn(17) - 1)
+		r, err := FilterRegion(c, Filter{Op: op, Val: value.Int(lit)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for row := 0; row < n; row++ {
+			v, notNull := c.Int(row)
+			var want bool
+			if notNull {
+				switch op {
+				case OpEq:
+					want = v == lit
+				case OpLt:
+					want = v < lit
+				case OpLe:
+					want = v <= lit
+				case OpGt:
+					want = v > lit
+				case OpGe:
+					want = v >= lit
+				}
+			}
+			if got := r.Contains(c.ID(row)); got != want {
+				t.Fatalf("op %s lit %d row value %v: region says %v, direct says %v",
+					op, lit, c.Value(row), got, want)
+			}
+		}
+	}
+}
+
+func TestTableRegionsConjunction(t *testing.T) {
+	b := table.MustBuilder("T", []table.ColSpec{
+		{Name: "a", Kind: value.KindInt},
+		{Name: "b", Kind: value.KindInt},
+	})
+	for i := 0; i < 10; i++ {
+		b.MustAppend(value.Int(int64(i)), value.Int(int64(i%3)))
+	}
+	tbl := b.MustBuild()
+	q := Query{
+		Tables: []string{"T"},
+		Filters: []Filter{
+			{Table: "T", Col: "a", Op: OpGe, Val: value.Int(2)},
+			{Table: "T", Col: "a", Op: OpLt, Val: value.Int(7)},
+			{Table: "T", Col: "b", Op: OpEq, Val: value.Int(1)},
+		},
+	}
+	regions, err := TableRegions(tbl, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matched []int
+	for row := 0; row < tbl.NumRows(); row++ {
+		if Matches(tbl, regions, row) {
+			matched = append(matched, row)
+		}
+	}
+	// Rows with 2 <= a < 7 and a%3 == 1: a = 4 only.
+	want := []int{4}
+	if len(matched) != len(want) || matched[0] != want[0] {
+		t.Errorf("matched rows = %v, want %v", matched, want)
+	}
+}
+
+func TestTableRegionsUnknownColumn(t *testing.T) {
+	b := table.MustBuilder("T", []table.ColSpec{{Name: "a", Kind: value.KindInt}})
+	b.MustAppend(value.Int(1))
+	tbl := b.MustBuild()
+	q := Query{Tables: []string{"T"}, Filters: []Filter{{Table: "T", Col: "zzz", Op: OpEq, Val: value.Int(1)}}}
+	if _, err := TableRegions(tbl, q); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestQueryHelpers(t *testing.T) {
+	q := Query{
+		Tables: []string{"A", "B"},
+		Filters: []Filter{
+			{Table: "A", Col: "x", Op: OpEq, Val: value.Int(1)},
+			{Table: "B", Col: "y", Op: OpLt, Val: value.Int(2)},
+			{Table: "A", Col: "z", Op: OpGe, Val: value.Int(3)},
+		},
+	}
+	if !q.HasTable("A") || q.HasTable("C") {
+		t.Error("HasTable wrong")
+	}
+	if got := q.FiltersOn("A"); len(got) != 2 {
+		t.Errorf("FiltersOn(A) = %v", got)
+	}
+	if got := q.String(); got == "" {
+		t.Error("empty String()")
+	}
+	f := Filter{Table: "A", Col: "c", Op: OpIn, Set: []value.Value{value.Int(1), value.Int(2)}}
+	if got := f.String(); got != "A.c IN (1,2)" {
+		t.Errorf("Filter.String() = %q", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package sampler implements the paper's §4: Exact-Weight join-count
+// computation by bottom-up dynamic programming, and uniform i.i.d. sampling
+// from the full outer join of a tree schema without materializing it.
+//
+// Full-outer-join semantics for a tree schema: every result row corresponds
+// to a connected subtree assignment — the set of non-NULL tables is a
+// connected subtree whose top element either is the schema root or has no
+// join partner in its parent table ("orphan" rows, the paper's virtual ⊥
+// tuples); within the subtree, a child is non-NULL iff the parent tuple has
+// matches in it. This yields the linear-time DP
+//
+//	w_T(t) = Π_{c ∈ children(T)} ( S_c(key) if S_c(key) > 0 else 1 )
+//	|J|    = Σ_{t ∈ root} w_root(t) + Σ_{edges (P,C)} Σ_{t ∈ C unmatched in P} w_C(t)
+//
+// where S_c(v) sums w_c over child tuples with join-key value v. The same DP
+// with "0 instead of 1" and no orphan term computes inner-join counts, which
+// the exact executor (internal/exec) uses for ground truth.
+package sampler
+
+import (
+	"fmt"
+
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+)
+
+// FilterFunc restricts DP weights to rows passing a predicate (inner-join
+// counting with filters). A nil FilterFunc accepts every row.
+type FilterFunc func(tbl string, row int) bool
+
+// keyGroup holds the rows of a child table sharing one join-key value, with
+// prefix-summed weights for O(log n) weighted sampling within the group.
+type keyGroup struct {
+	rows []int32
+	cum  []float64 // cum[i] = Σ w over rows[0..i]; cum[len-1] == total
+}
+
+func (g keyGroup) total() float64 {
+	if len(g.cum) == 0 {
+		return 0
+	}
+	return g.cum[len(g.cum)-1]
+}
+
+// dp holds the join-count state for one schema (or sub-schema).
+type dp struct {
+	sch   *schema.Schema
+	outer bool
+
+	w map[string][]float64 // per table, per row: join count w_T(t)
+
+	// groups[child][v] groups the child's rows by join-key value v with
+	// cumulative weights; zero-total groups are dropped.
+	groups map[string]map[int64]keyGroup
+
+	rootCum   []float64 // prefix sums of root weights (built when sampling)
+	rootTotal float64
+
+	orphans     []orphanGroup // outer joins only
+	orphanTotal float64
+}
+
+// orphanGroup collects the rows of one child table that have no join partner
+// in their parent (NULL or unmatched key). Sampling one of them produces a
+// full-join row where everything outside the child's subtree is NULL.
+type orphanGroup struct {
+	child string
+	rows  []int32
+	cum   []float64
+	total float64
+}
+
+// computeDP runs the bottom-up Exact Weight pass. With outer=true it
+// implements full-outer-join counts including orphan groups; with
+// outer=false it computes inner-join counts (a missing match zeroes the
+// weight). filter, if non-nil, zeroes rows failing per-table predicates
+// (only meaningful for inner joins; the full-join distribution is never
+// filtered).
+func computeDP(sch *schema.Schema, filter FilterFunc, outer bool) (*dp, error) {
+	d := &dp{
+		sch:    sch,
+		outer:  outer,
+		w:      make(map[string][]float64, sch.NumTables()),
+		groups: make(map[string]map[int64]keyGroup),
+	}
+	order := sch.Tables()
+	// Reverse BFS order visits every child before its parent.
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		t := sch.Table(name)
+		w := make([]float64, t.NumRows())
+
+		// Parent-side key columns for each child edge, resolved once.
+		children := sch.Children(name)
+		pcols := make([]*table.Column, len(children))
+		for j, child := range children {
+			pe, _ := sch.Parent(child)
+			pcols[j] = t.MustCol(pe.ParentCol)
+		}
+
+		for row := range w {
+			if filter != nil && !filter(name, row) {
+				continue // weight stays 0
+			}
+			acc := 1.0
+			for j, child := range children {
+				v, notNull := pcols[j].Int(row)
+				var s float64
+				if notNull {
+					s = d.groups[child][v].total()
+				}
+				if s > 0 {
+					acc *= s
+				} else if !outer {
+					acc = 0
+					break
+				}
+				// outer join: missing child contributes one NULL row (factor 1)
+			}
+			w[row] = acc
+		}
+		d.w[name] = w
+
+		if pe, hasParent := sch.Parent(name); hasParent {
+			ix, err := t.Index(pe.ChildCol)
+			if err != nil {
+				return nil, fmt.Errorf("sampler: %w", err)
+			}
+			groups := make(map[int64]keyGroup, ix.NumKeys())
+			ix.Keys(func(v int64, rows []int32) {
+				cum := make([]float64, len(rows))
+				total := 0.0
+				for k, r := range rows {
+					total += w[r]
+					cum[k] = total
+				}
+				if total > 0 {
+					groups[v] = keyGroup{rows: rows, cum: cum}
+				}
+			})
+			d.groups[name] = groups
+		}
+	}
+
+	// Root totals.
+	root := sch.Root()
+	rw := d.w[root]
+	d.rootCum = make([]float64, len(rw))
+	total := 0.0
+	for i, x := range rw {
+		total += x
+		d.rootCum[i] = total
+	}
+	d.rootTotal = total
+
+	if outer {
+		if err := d.buildOrphans(filter); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// buildOrphans collects, per tree edge (P, C), the rows of C with no join
+// partner in P (NULL key or a key value absent from P's key column). These
+// are the paper's ⊥-extended rows: they appear in the full join with every
+// table outside C's subtree NULL.
+func (d *dp) buildOrphans(filter FilterFunc) error {
+	for _, name := range d.sch.Tables() {
+		pe, hasParent := d.sch.Parent(name)
+		if !hasParent {
+			continue
+		}
+		parentTbl := d.sch.Table(pe.Parent)
+		pix, err := parentTbl.Index(pe.ParentCol)
+		if err != nil {
+			return fmt.Errorf("sampler: %w", err)
+		}
+		t := d.sch.Table(name)
+		kcol := t.MustCol(pe.ChildCol)
+		w := d.w[name]
+		var g orphanGroup
+		g.child = name
+		for row := 0; row < t.NumRows(); row++ {
+			if w[row] == 0 {
+				continue
+			}
+			if filter != nil && !filter(name, row) {
+				continue
+			}
+			v, notNull := kcol.Int(row)
+			if notNull && pix.Has(v) {
+				continue // has a partner; reached through the parent
+			}
+			g.total += w[row]
+			g.rows = append(g.rows, int32(row))
+			g.cum = append(g.cum, g.total)
+		}
+		if g.total > 0 {
+			d.orphans = append(d.orphans, g)
+			d.orphanTotal += g.total
+		}
+	}
+	return nil
+}
+
+// joinSize returns the total number of rows in the (full-outer or inner)
+// join the DP was computed for.
+func (d *dp) joinSize() float64 { return d.rootTotal + d.orphanTotal }

@@ -1,0 +1,51 @@
+package sampler
+
+import (
+	"math/rand"
+
+	"neurocard/internal/schema"
+)
+
+// Inner counts and samples the *inner* join of a (sub-)schema, optionally
+// restricted by per-row filters. The same Exact-Weight DP runs with "missing
+// match ⇒ zero weight" and no orphan rows.
+//
+// Inner joins serve three roles in the system: the exact executor computes
+// ground-truth cardinalities (filtered counts), the workload generators draw
+// literal tuples from query join graphs (the paper's JOB-light-ranges
+// recipe), and the sample-only ablation estimates cardinalities from hits.
+type Inner struct {
+	sch  *schema.Schema
+	d    *dp
+	walk *walker
+}
+
+// NewInner prepares inner-join counts for the schema, with rows failing the
+// (optional) filter excluded. Typically called on a schema.SubSchema built
+// from a query's join graph.
+func NewInner(sch *schema.Schema, filter FilterFunc) (*Inner, error) {
+	d, err := computeDP(sch, filter, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Inner{sch: sch, d: d, walk: newWalker(sch, d)}, nil
+}
+
+// Count returns the exact row count of the (filtered) inner join.
+func (in *Inner) Count() float64 { return in.d.rootTotal }
+
+// Tables returns the table order used by Sample.
+func (in *Inner) Tables() []string { return in.walk.order }
+
+// Sample draws one uniform row from the inner join into out (one base-table
+// row index per table; never NullRow). It reports false when the join is
+// empty.
+func (in *Inner) Sample(rng *rand.Rand, out []int32) bool {
+	if in.d.rootTotal <= 0 {
+		return false
+	}
+	u := rng.Float64() * in.d.rootTotal
+	row := int32(searchCum(in.d.rootCum, u))
+	in.walk.descend(rng, 0, row, out)
+	return true
+}

@@ -1,0 +1,197 @@
+package sampler
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+)
+
+// NullRow marks a NULL (absent) table in a sampled join row.
+const NullRow int32 = -1
+
+// Sampler draws uniform i.i.d. rows from the full outer join of a schema
+// without materializing it (§4). Safe for concurrent use: each call supplies
+// its own *rand.Rand.
+type Sampler struct {
+	sch  *schema.Schema
+	d    *dp
+	walk *walker
+
+	orphanCum []float64 // cumulative totals across orphan groups
+}
+
+// walker caches the per-table metadata used by the top-down descent.
+type walker struct {
+	sch      *schema.Schema
+	d        *dp
+	order    []string
+	tIdx     map[string]int
+	children [][]int           // per table index: child table indices
+	pcols    [][]*table.Column // per table index: parent-side key column per child
+}
+
+func newWalker(sch *schema.Schema, d *dp) *walker {
+	order := sch.Tables()
+	w := &walker{
+		sch:      sch,
+		d:        d,
+		order:    order,
+		tIdx:     make(map[string]int, len(order)),
+		children: make([][]int, len(order)),
+		pcols:    make([][]*table.Column, len(order)),
+	}
+	for i, name := range order {
+		w.tIdx[name] = i
+	}
+	for i, name := range order {
+		t := sch.Table(name)
+		for _, child := range sch.Children(name) {
+			pe, _ := sch.Parent(child)
+			w.children[i] = append(w.children[i], w.tIdx[child])
+			w.pcols[i] = append(w.pcols[i], t.MustCol(pe.ParentCol))
+		}
+	}
+	return w
+}
+
+// descend fills out[] for the subtree rooted at table index ti, starting from
+// the given row, sampling each child tuple proportionally to its join count.
+func (w *walker) descend(rng *rand.Rand, ti int, row int32, out []int32) {
+	out[ti] = row
+	for j, ci := range w.children[ti] {
+		v, notNull := w.pcols[ti][j].Int(int(row))
+		if !notNull {
+			continue
+		}
+		g, ok := w.d.groups[w.order[ci]][v]
+		if !ok {
+			continue
+		}
+		crow := g.rows[searchCum(g.cum, rng.Float64()*g.total())]
+		w.descend(rng, ci, crow, out)
+	}
+}
+
+// searchCum returns the smallest index i with cum[i] > u. u must lie in
+// [0, cum[len-1]).
+func searchCum(cum []float64, u float64) int {
+	i := sort.SearchFloat64s(cum, u)
+	// SearchFloat64s returns the first i with cum[i] >= u; when u exactly
+	// equals a boundary we still want the entry owning [cum[i-1], cum[i]).
+	for i < len(cum) && cum[i] <= u {
+		i++
+	}
+	if i == len(cum) {
+		i-- // guard against accumulated floating-point error at the top end
+	}
+	return i
+}
+
+// New prepares the join count tables for the full outer join of the schema
+// (time linear in the total number of rows) and returns a ready sampler.
+func New(sch *schema.Schema) (*Sampler, error) {
+	d, err := computeDP(sch, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sampler{sch: sch, d: d, walk: newWalker(sch, d)}
+	total := 0.0
+	for _, g := range d.orphans {
+		total += g.total
+		s.orphanCum = append(s.orphanCum, total)
+	}
+	if s.JoinSize() <= 0 {
+		return nil, fmt.Errorf("sampler: full outer join of schema rooted at %q is empty", sch.Root())
+	}
+	return s, nil
+}
+
+// Schema returns the schema the sampler was prepared for.
+func (s *Sampler) Schema() *schema.Schema { return s.sch }
+
+// JoinSize returns |J|, the exact number of rows in the full outer join (the
+// normalizing constant of §4.1).
+func (s *Sampler) JoinSize() float64 { return s.d.joinSize() }
+
+// Tables returns the table order used in sampled rows (schema BFS order).
+func (s *Sampler) Tables() []string { return s.walk.order }
+
+// TableIndex returns the position of a table within sampled rows.
+func (s *Sampler) TableIndex(name string) int { return s.walk.tIdx[name] }
+
+// Weight returns the join count w_T(t) of one base-table row; exposed for
+// tests and diagnostics.
+func (s *Sampler) Weight(tbl string, row int) float64 { return s.d.w[tbl][row] }
+
+// Sample fills out (length == number of tables, in Tables() order) with one
+// uniform sample from the full outer join: a base-table row index per table,
+// NullRow where the table is NULL.
+func (s *Sampler) Sample(rng *rand.Rand, out []int32) {
+	for i := range out {
+		out[i] = NullRow
+	}
+	u := rng.Float64() * s.JoinSize()
+	if u < s.d.rootTotal || len(s.d.orphans) == 0 {
+		if u >= s.d.rootTotal {
+			u = s.d.rootTotal // floating-point guard
+		}
+		row := int32(searchCum(s.d.rootCum, u))
+		s.walk.descend(rng, 0, row, out)
+		return
+	}
+	u -= s.d.rootTotal
+	gi := searchCum(s.orphanCum, u)
+	g := s.d.orphans[gi]
+	if gi > 0 {
+		u -= s.orphanCum[gi-1]
+	}
+	row := g.rows[searchCum(g.cum, u)]
+	s.walk.descend(rng, s.walk.tIdx[g.child], row, out)
+}
+
+// SampleBatch draws n samples sequentially with the given rng.
+func (s *Sampler) SampleBatch(rng *rand.Rand, n int) [][]int32 {
+	out := make([][]int32, n)
+	for i := range out {
+		out[i] = make([]int32, len(s.walk.order))
+		s.Sample(rng, out[i])
+	}
+	return out
+}
+
+// SampleParallel draws n samples using the given number of worker
+// goroutines, each with an independent deterministic RNG derived from seed.
+// Sampling is embarrassingly parallel once the join counts exist (§4.1).
+func (s *Sampler) SampleParallel(seed int64, workers, n int) [][]int32 {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([][]int32, n)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(wkr)*1_000_003))
+			for i := lo; i < hi; i++ {
+				out[i] = make([]int32, len(s.walk.order))
+				s.Sample(rng, out[i])
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	return out
+}

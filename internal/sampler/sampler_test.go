@@ -1,0 +1,372 @@
+package sampler_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/exec"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/testutil"
+	"neurocard/internal/value"
+)
+
+// figure4Schema reproduces the paper's Figure 4: A(x)=[1,2],
+// B(x,y)=[(1,a),(2,b),(2,c)], C(y)=[c,c,d], edges A.x=B.x and B.y=C.y.
+// Join keys must be ints, so a→1, b→2, c→3, d→4.
+func figure4Schema(t *testing.T) *schema.Schema {
+	t.Helper()
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	a.MustAppend(value.Int(1))
+	a.MustAppend(value.Int(2))
+
+	b := table.MustBuilder("B", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt}, {Name: "y", Kind: value.KindInt},
+	})
+	b.MustAppend(value.Int(1), value.Int(1))
+	b.MustAppend(value.Int(2), value.Int(2))
+	b.MustAppend(value.Int(2), value.Int(3))
+
+	c := table.MustBuilder("C", []table.ColSpec{{Name: "y", Kind: value.KindInt}})
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(4))
+
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild(), c.MustBuild()},
+		"A",
+		[]schema.Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFigure4JoinCounts checks the worked example from §4.1: join counts
+// A.x=1→1, A.x=2→3, B.(2,c)→2, and |J| = 5 (4 root-reachable + 1 orphan).
+func TestFigure4JoinCounts(t *testing.T) {
+	s := figure4Schema(t)
+	smp, err := sampler.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := smp.JoinSize(); got != 5 {
+		t.Errorf("|J| = %v, want 5", got)
+	}
+	wantA := []float64{1, 3}
+	for row, want := range wantA {
+		if got := smp.Weight("A", row); got != want {
+			t.Errorf("w_A(row %d) = %v, want %v", row, got, want)
+		}
+	}
+	wantB := []float64{1, 1, 2}
+	for row, want := range wantB {
+		if got := smp.Weight("B", row); got != want {
+			t.Errorf("w_B(row %d) = %v, want %v", row, got, want)
+		}
+	}
+	for row := 0; row < 3; row++ {
+		if got := smp.Weight("C", row); got != 1 {
+			t.Errorf("w_C(row %d) = %v, want 1", row, got)
+		}
+	}
+}
+
+// TestFigure4FullJoinRows checks that brute-force materialization produces
+// exactly the five rows of Figure 4c.
+func TestFigure4FullJoinRows(t *testing.T) {
+	s := figure4Schema(t)
+	rows, err := exec.BruteForceFullJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("brute force |J| = %d, want 5: %v", len(rows), rows)
+	}
+	want := map[string]int{
+		"[0 0 -1]":  1, // A=1, B=(1,a), C=NULL
+		"[1 1 -1]":  1, // A=2, B=(2,b), C=NULL
+		"[1 2 0]":   1, // A=2, B=(2,c), C=c
+		"[1 2 1]":   1, // A=2, B=(2,c), C=c (second c)
+		"[-1 -1 2]": 1, // orphan: C=d
+	}
+	got := map[string]int{}
+	for _, r := range rows {
+		got[testutil.RowKey(r)]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("row %s: count %d, want %d (all: %v)", k, got[k], n, got)
+		}
+	}
+}
+
+// TestDPSizeMatchesBruteForce is the core §4 property: the DP's |J| equals
+// brute-force full-outer-join materialization on random schemas.
+func TestDPSizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := testutil.DefaultSchemaConfig()
+	for iter := 0; iter < 120; iter++ {
+		s := testutil.RandomSchema(rng, cfg)
+		smp, err := sampler.New(s)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		rows, err := exec.BruteForceFullJoin(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := smp.JoinSize(), float64(len(rows)); got != want {
+			t.Fatalf("iter %d: DP |J| = %v, brute force = %v (schema tables %v)",
+				iter, got, want, s.Tables())
+		}
+	}
+}
+
+// TestSamplerUniform draws many samples from a small random schema and
+// checks every full-join row appears with probability 1/|J| (chi-square).
+func TestSamplerUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 5; iter++ {
+		s := testutil.RandomSchema(rng, testutil.RandomSchemaConfig{
+			MaxTables: 3, MaxRows: 4, KeyDomain: 3, NullProb: 0.2, ExtraCols: 1, ValDomain: 3,
+		})
+		smp, err := sampler.New(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := exec.BruteForceFullJoin(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx := map[string]int{}
+		for _, r := range rows {
+			if _, ok := idx[testutil.RowKey(r)]; !ok {
+				idx[testutil.RowKey(r)] = len(idx)
+			}
+		}
+		probs := make([]float64, len(idx))
+		for _, r := range rows {
+			probs[idx[testutil.RowKey(r)]] += 1 / float64(len(rows))
+		}
+		const n = 40000
+		counts := make([]int, len(idx))
+		out := make([]int32, len(s.Tables()))
+		for i := 0; i < n; i++ {
+			smp.Sample(rng, out)
+			j, ok := idx[testutil.RowKey(out)]
+			if !ok {
+				t.Fatalf("sampled row %v not in full join", out)
+			}
+			counts[j]++
+		}
+		if chi, ok := testutil.ChiSquareUniform(counts, probs, n); !ok {
+			t.Errorf("iter %d: chi-square %v too large for %d categories", iter, chi, len(idx))
+		}
+	}
+}
+
+// TestSampleParallel checks the parallel path produces only valid rows and
+// is deterministic for a fixed seed.
+func TestSampleParallel(t *testing.T) {
+	s := figure4Schema(t)
+	smp, err := sampler.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := exec.BruteForceFullJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{}
+	for _, r := range rows {
+		valid[testutil.RowKey(r)] = true
+	}
+	got1 := smp.SampleParallel(123, 4, 1000)
+	got2 := smp.SampleParallel(123, 4, 1000)
+	if len(got1) != 1000 {
+		t.Fatalf("len = %d", len(got1))
+	}
+	for i := range got1 {
+		if !valid[testutil.RowKey(got1[i])] {
+			t.Fatalf("invalid sampled row %v", got1[i])
+		}
+		if testutil.RowKey(got1[i]) != testutil.RowKey(got2[i]) {
+			t.Fatal("SampleParallel not deterministic for fixed seed")
+		}
+	}
+}
+
+// TestInnerCountMatchesBruteForce: inner-join DP equals the count of
+// brute-force full-join rows with no NULL tables.
+func TestInnerCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := testutil.DefaultSchemaConfig()
+	for iter := 0; iter < 100; iter++ {
+		s := testutil.RandomSchema(rng, cfg)
+		in, err := sampler.NewInner(s, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := exec.BruteForceFullJoin(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0.0
+		for _, r := range rows {
+			all := true
+			for _, x := range r {
+				if x == sampler.NullRow {
+					all = false
+					break
+				}
+			}
+			if all {
+				want++
+			}
+		}
+		if got := in.Count(); got != want {
+			t.Fatalf("iter %d: inner count = %v, want %v", iter, got, want)
+		}
+	}
+}
+
+// TestInnerSampleUniform: inner-join samples are uniform over inner rows.
+func TestInnerSampleUniform(t *testing.T) {
+	s := figure4Schema(t)
+	in, err := sampler.NewInner(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inner join rows: A=2,B=(2,c),C ∈ {row0,row1} → 2 rows.
+	if in.Count() != 2 {
+		t.Fatalf("inner count = %v, want 2", in.Count())
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	out := make([]int32, 3)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if !in.Sample(rng, out) {
+			t.Fatal("Sample returned false on non-empty join")
+		}
+		counts[testutil.RowKey(out)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("distinct inner samples = %v", counts)
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)/n-0.5) > 0.02 {
+			t.Errorf("row %s frequency %v, want ≈0.5", k, float64(c)/n)
+		}
+	}
+}
+
+// TestInnerWithFilter: filters zero out rows before counting.
+func TestInnerWithFilter(t *testing.T) {
+	s := figure4Schema(t)
+	// Keep only C rows with y=4 ("d"): no inner join rows survive.
+	filter := func(tbl string, row int) bool {
+		if tbl != "C" {
+			return true
+		}
+		v, _ := s.Table("C").MustCol("y").Int(row)
+		return v == 4
+	}
+	in, err := sampler.NewInner(s, filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Count() != 0 {
+		t.Errorf("filtered inner count = %v, want 0", in.Count())
+	}
+	out := make([]int32, 3)
+	if in.Sample(rand.New(rand.NewSource(1)), out) {
+		t.Error("Sample succeeded on empty join")
+	}
+}
+
+// TestEmptySchemaJoin: a schema whose full join is empty must be rejected.
+func TestEmptySchemaJoin(t *testing.T) {
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	b := table.MustBuilder("B", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild()}, "A",
+		[]schema.Edge{{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sampler.New(s); err == nil {
+		t.Error("sampler accepted empty full join")
+	}
+}
+
+// TestOrphanOnlyJoin: root empty but a child has rows → all rows are
+// orphans and sampling still works.
+func TestOrphanOnlyJoin(t *testing.T) {
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	b := table.MustBuilder("B", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	b.MustAppend(value.Int(1))
+	b.MustAppend(value.Int(2))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild()}, "A",
+		[]schema.Edge{{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := sampler.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if smp.JoinSize() != 2 {
+		t.Fatalf("|J| = %v, want 2", smp.JoinSize())
+	}
+	rng := rand.New(rand.NewSource(5))
+	out := make([]int32, 2)
+	for i := 0; i < 100; i++ {
+		smp.Sample(rng, out)
+		if out[0] != sampler.NullRow || out[1] == sampler.NullRow {
+			t.Fatalf("sample = %v, want A NULL and B present", out)
+		}
+	}
+}
+
+// TestNullKeysNeverJoin: rows with NULL join keys appear only as orphans.
+func TestNullKeysNeverJoin(t *testing.T) {
+	a := table.MustBuilder("A", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	a.MustAppend(value.Null)
+	a.MustAppend(value.Int(1))
+	b := table.MustBuilder("B", []table.ColSpec{{Name: "x", Kind: value.KindInt}})
+	b.MustAppend(value.Null)
+	b.MustAppend(value.Int(1))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild()}, "A",
+		[]schema.Edge{{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smp, err := sampler.New(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: (A null-key, B NULL), (A=1, B=1), orphan (B null-key) → 3.
+	if smp.JoinSize() != 3 {
+		t.Errorf("|J| = %v, want 3", smp.JoinSize())
+	}
+	rows, err := exec.BruteForceFullJoin(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Errorf("brute force = %d rows, want 3", len(rows))
+	}
+}

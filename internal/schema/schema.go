@@ -1,0 +1,309 @@
+// Package schema models a join schema as a tree of tables connected by
+// single-column equi-join edges (the paper's §3.3 formulation: multi-way,
+// multi-key equi-joins over an acyclic schema). A table may carry several
+// join-key columns (one per incident edge), which is how JOB-M-style
+// multi-key joins are expressed. Queries are connected subtrees of the
+// schema.
+//
+// The package also implements the §6 bookkeeping needed for schema
+// subsetting: given a query's table subset Q, every omitted table R has a
+// unique join key (the key on R's side of the first edge from R toward Q)
+// whose fanout the estimator must divide out.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// Edge declares one equi-join relationship between two tables. Direction is
+// irrelevant at declaration time; the schema orients edges away from the
+// root.
+type Edge struct {
+	LeftTable, LeftCol   string
+	RightTable, RightCol string
+}
+
+// ParentEdge describes the oriented edge connecting a non-root table to its
+// parent.
+type ParentEdge struct {
+	Parent    string
+	ParentCol string // join key column on the parent side
+	ChildCol  string // join key column on the child side
+}
+
+// Schema is a validated join tree. It is immutable and safe for concurrent
+// use.
+type Schema struct {
+	tables map[string]*table.Table
+	root   string
+	order  []string // BFS order from root; order[0] == root
+
+	parent   map[string]ParentEdge // child table -> oriented edge
+	children map[string][]string   // parent table -> children, in edge order
+	adjacent map[string][]neighbor
+}
+
+type neighbor struct {
+	table    string
+	selfCol  string // join key column on this table's side
+	otherCol string
+}
+
+// New validates the tables and edges and returns a schema rooted at root.
+// Requirements: unique table names, every edge endpoint exists with an int
+// join column, and the edge set forms a tree spanning all tables (connected,
+// acyclic).
+func New(tables []*table.Table, root string, edges []Edge) (*Schema, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("schema: no tables")
+	}
+	s := &Schema{
+		tables:   make(map[string]*table.Table, len(tables)),
+		root:     root,
+		parent:   make(map[string]ParentEdge),
+		children: make(map[string][]string),
+		adjacent: make(map[string][]neighbor),
+	}
+	for _, t := range tables {
+		if _, dup := s.tables[t.Name()]; dup {
+			return nil, fmt.Errorf("schema: duplicate table %q", t.Name())
+		}
+		s.tables[t.Name()] = t
+	}
+	if _, ok := s.tables[root]; !ok {
+		return nil, fmt.Errorf("schema: root table %q not found", root)
+	}
+	if len(edges) != len(tables)-1 {
+		return nil, fmt.Errorf("schema: %d edges for %d tables; a join tree needs exactly %d",
+			len(edges), len(tables), len(tables)-1)
+	}
+	for _, e := range edges {
+		if err := s.checkEndpoint(e.LeftTable, e.LeftCol); err != nil {
+			return nil, err
+		}
+		if err := s.checkEndpoint(e.RightTable, e.RightCol); err != nil {
+			return nil, err
+		}
+		if e.LeftTable == e.RightTable {
+			return nil, fmt.Errorf("schema: self-join edge on %q; duplicate the table under a new name instead", e.LeftTable)
+		}
+		s.adjacent[e.LeftTable] = append(s.adjacent[e.LeftTable], neighbor{e.RightTable, e.LeftCol, e.RightCol})
+		s.adjacent[e.RightTable] = append(s.adjacent[e.RightTable], neighbor{e.LeftTable, e.RightCol, e.LeftCol})
+	}
+
+	// BFS from root to orient edges and verify the tree is connected (with
+	// the edge-count check above, connected ⇒ acyclic).
+	visited := map[string]bool{root: true}
+	s.order = []string{root}
+	for i := 0; i < len(s.order); i++ {
+		cur := s.order[i]
+		for _, nb := range s.adjacent[cur] {
+			if visited[nb.table] {
+				continue
+			}
+			visited[nb.table] = true
+			s.order = append(s.order, nb.table)
+			s.parent[nb.table] = ParentEdge{Parent: cur, ParentCol: nb.selfCol, ChildCol: nb.otherCol}
+			s.children[cur] = append(s.children[cur], nb.table)
+		}
+	}
+	if len(s.order) != len(tables) {
+		var missing []string
+		for name := range s.tables {
+			if !visited[name] {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		return nil, fmt.Errorf("schema: tables not connected to root %q: %v", root, missing)
+	}
+	return s, nil
+}
+
+func (s *Schema) checkEndpoint(tbl, col string) error {
+	t, ok := s.tables[tbl]
+	if !ok {
+		return fmt.Errorf("schema: edge references unknown table %q", tbl)
+	}
+	c := t.Col(col)
+	if c == nil {
+		return fmt.Errorf("schema: table %q has no join column %q", tbl, col)
+	}
+	if c.Kind() != value.KindInt {
+		return fmt.Errorf("schema: join column %s.%s must be int, got %s", tbl, col, c.Kind())
+	}
+	return nil
+}
+
+// Root returns the root table name.
+func (s *Schema) Root() string { return s.root }
+
+// Tables returns all table names in BFS order from the root.
+func (s *Schema) Tables() []string { return s.order }
+
+// NumTables returns the number of tables in the schema.
+func (s *Schema) NumTables() int { return len(s.order) }
+
+// Table returns the named table, or nil if absent.
+func (s *Schema) Table(name string) *table.Table { return s.tables[name] }
+
+// Has reports whether the schema contains the named table.
+func (s *Schema) Has(name string) bool { _, ok := s.tables[name]; return ok }
+
+// Parent returns the oriented parent edge of a non-root table.
+func (s *Schema) Parent(name string) (ParentEdge, bool) {
+	e, ok := s.parent[name]
+	return e, ok
+}
+
+// Children returns the child tables of name in edge-declaration order.
+func (s *Schema) Children(name string) []string { return s.children[name] }
+
+// JoinKeys returns the distinct join-key column names of a table (its side of
+// every incident edge), in a deterministic order.
+func (s *Schema) JoinKeys(name string) []string {
+	seen := make(map[string]bool)
+	var keys []string
+	if e, ok := s.parent[name]; ok {
+		keys = append(keys, e.ChildCol)
+		seen[e.ChildCol] = true
+	}
+	for _, child := range s.children[name] {
+		pc := s.parent[child].ParentCol
+		if !seen[pc] {
+			seen[pc] = true
+			keys = append(keys, pc)
+		}
+	}
+	return keys
+}
+
+// ValidateQuerySet checks that the given table names exist and form a
+// non-empty connected subtree of the schema.
+func (s *Schema) ValidateQuerySet(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("schema: query joins no tables")
+	}
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		if !s.Has(n) {
+			return fmt.Errorf("schema: query references unknown table %q", n)
+		}
+		if set[n] {
+			return fmt.Errorf("schema: query lists table %q twice", n)
+		}
+		set[n] = true
+	}
+	// Connectivity: BFS within the subset from any member.
+	start := names[0]
+	frontier := []string{start}
+	reached := map[string]bool{start: true}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, nb := range s.adjacent[cur] {
+			if set[nb.table] && !reached[nb.table] {
+				reached[nb.table] = true
+				frontier = append(frontier, nb.table)
+			}
+		}
+	}
+	if len(reached) != len(set) {
+		return fmt.Errorf("schema: query tables %v are not a connected subtree", names)
+	}
+	return nil
+}
+
+// SubtreeRoot returns the member of the (validated, connected) query set that
+// is highest in the schema tree, i.e. the unique member whose parent is
+// outside the set (or the schema root).
+func (s *Schema) SubtreeRoot(names []string) string {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	for _, n := range names {
+		e, ok := s.parent[n]
+		if !ok || !set[e.Parent] {
+			return n
+		}
+	}
+	// Unreachable for a validated connected set.
+	panic(fmt.Sprintf("schema: no subtree root in %v", names))
+}
+
+// FanoutKey returns, for a table omitted from a query over the (validated,
+// connected) table set Q, the join-key column of the omitted table whose
+// fanout must be divided out (§6, "Handling fanout scaling for multi-key
+// joins"): the key attached to the edge incident to the omitted table on the
+// unique path from it to Q.
+func (s *Schema) FanoutKey(omitted string, query map[string]bool) (string, error) {
+	if query[omitted] {
+		return "", fmt.Errorf("schema: table %q is part of the query, not omitted", omitted)
+	}
+	if !s.Has(omitted) {
+		return "", fmt.Errorf("schema: unknown table %q", omitted)
+	}
+	// BFS from the omitted table; the first hop of the shortest path to any
+	// query member identifies the incident edge. In a tree the path is
+	// unique, so the first hop is well defined.
+	type state struct {
+		table    string
+		firstCol string // omitted-side key column of the first edge taken
+	}
+	frontier := make([]state, 0, len(s.adjacent[omitted]))
+	visited := map[string]bool{omitted: true}
+	for _, nb := range s.adjacent[omitted] {
+		if query[nb.table] {
+			return nb.selfCol, nil
+		}
+		visited[nb.table] = true
+		frontier = append(frontier, state{nb.table, nb.selfCol})
+	}
+	for len(frontier) > 0 {
+		next := frontier[:0:0]
+		for _, st := range frontier {
+			for _, nb := range s.adjacent[st.table] {
+				if visited[nb.table] {
+					continue
+				}
+				if query[nb.table] {
+					return st.firstCol, nil
+				}
+				visited[nb.table] = true
+				next = append(next, state{nb.table, st.firstCol})
+			}
+		}
+		frontier = next
+	}
+	return "", fmt.Errorf("schema: no path from %q to the query tables", omitted)
+}
+
+// SubSchema builds a new schema over a validated connected subset of tables,
+// rooted at the subset's subtree root. Used to train per-subset models
+// (DeepDB-style baselines, per-table ablation).
+func (s *Schema) SubSchema(names []string) (*Schema, error) {
+	if err := s.ValidateQuerySet(names); err != nil {
+		return nil, err
+	}
+	set := make(map[string]bool, len(names))
+	tables := make([]*table.Table, 0, len(names))
+	for _, n := range names {
+		set[n] = true
+		tables = append(tables, s.tables[n])
+	}
+	var edges []Edge
+	for _, n := range names {
+		if e, ok := s.parent[n]; ok && set[e.Parent] {
+			edges = append(edges, Edge{
+				LeftTable: e.Parent, LeftCol: e.ParentCol,
+				RightTable: n, RightCol: e.ChildCol,
+			})
+		}
+	}
+	return New(tables, s.SubtreeRoot(names), edges)
+}

@@ -1,0 +1,277 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// keyTable builds a single-int-column table named name with column col.
+func keyTable(name string, cols ...string) *table.Table {
+	specs := make([]table.ColSpec, len(cols))
+	for i, c := range cols {
+		specs[i] = table.ColSpec{Name: c, Kind: value.KindInt}
+	}
+	b := table.MustBuilder(name, specs)
+	row := make([]value.Value, len(cols))
+	for i := range row {
+		row[i] = value.Int(int64(i))
+	}
+	b.MustAppend(row...)
+	return b.MustBuild()
+}
+
+// chainSchema builds A -x- B -y- C.
+func chainSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		[]*table.Table{keyTable("A", "x"), keyTable("B", "x", "y"), keyTable("C", "y")},
+		"A",
+		[]Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// starSchema builds title at the root with three children.
+func starSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := New(
+		[]*table.Table{
+			keyTable("title", "id"),
+			keyTable("cast_info", "movie_id", "person_id"),
+			keyTable("movie_keyword", "movie_id"),
+			keyTable("name", "id"),
+		},
+		"title",
+		[]Edge{
+			{LeftTable: "title", LeftCol: "id", RightTable: "cast_info", RightCol: "movie_id"},
+			{LeftTable: "title", LeftCol: "id", RightTable: "movie_keyword", RightCol: "movie_id"},
+			{LeftTable: "cast_info", LeftCol: "person_id", RightTable: "name", RightCol: "id"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOrientation(t *testing.T) {
+	s := chainSchema(t)
+	if s.Root() != "A" {
+		t.Errorf("Root = %q", s.Root())
+	}
+	if got := s.Tables(); len(got) != 3 || got[0] != "A" {
+		t.Errorf("Tables = %v", got)
+	}
+	e, ok := s.Parent("B")
+	if !ok || e.Parent != "A" || e.ParentCol != "x" || e.ChildCol != "x" {
+		t.Errorf("Parent(B) = %+v, %v", e, ok)
+	}
+	e, ok = s.Parent("C")
+	if !ok || e.Parent != "B" || e.ParentCol != "y" || e.ChildCol != "y" {
+		t.Errorf("Parent(C) = %+v, %v", e, ok)
+	}
+	if _, ok := s.Parent("A"); ok {
+		t.Error("root has a parent")
+	}
+	if got := s.Children("A"); len(got) != 1 || got[0] != "B" {
+		t.Errorf("Children(A) = %v", got)
+	}
+}
+
+func TestRerootOrientation(t *testing.T) {
+	// Same chain rooted at C: edges flip direction.
+	s, err := New(
+		[]*table.Table{keyTable("A", "x"), keyTable("B", "x", "y"), keyTable("C", "y")},
+		"C",
+		[]Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := s.Parent("B")
+	if e.Parent != "C" || e.ParentCol != "y" || e.ChildCol != "y" {
+		t.Errorf("Parent(B) = %+v", e)
+	}
+	e, _ = s.Parent("A")
+	if e.Parent != "B" || e.ParentCol != "x" || e.ChildCol != "x" {
+		t.Errorf("Parent(A) = %+v", e)
+	}
+}
+
+func TestJoinKeys(t *testing.T) {
+	s := starSchema(t)
+	if got := s.JoinKeys("title"); len(got) != 1 || got[0] != "id" {
+		t.Errorf("JoinKeys(title) = %v (shared key must be deduplicated)", got)
+	}
+	got := s.JoinKeys("cast_info")
+	if len(got) != 2 || got[0] != "movie_id" || got[1] != "person_id" {
+		t.Errorf("JoinKeys(cast_info) = %v", got)
+	}
+	if got := s.JoinKeys("name"); len(got) != 1 || got[0] != "id" {
+		t.Errorf("JoinKeys(name) = %v", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	a, b, c := keyTable("A", "x"), keyTable("B", "x", "y"), keyTable("C", "y")
+	cases := []struct {
+		name   string
+		tables []*table.Table
+		root   string
+		edges  []Edge
+		errSub string
+	}{
+		{"no tables", nil, "A", nil, "no tables"},
+		{"bad root", []*table.Table{a}, "Z", nil, "root"},
+		{"missing edge table", []*table.Table{a, b}, "A",
+			[]Edge{{LeftTable: "A", LeftCol: "x", RightTable: "Z", RightCol: "x"}}, "unknown table"},
+		{"missing edge column", []*table.Table{a, b}, "A",
+			[]Edge{{LeftTable: "A", LeftCol: "nope", RightTable: "B", RightCol: "x"}}, "no join column"},
+		{"self join", []*table.Table{a, b}, "A",
+			[]Edge{{LeftTable: "A", LeftCol: "x", RightTable: "A", RightCol: "x"}}, "self-join"},
+		{"wrong edge count", []*table.Table{a, b, c}, "A",
+			[]Edge{{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"}}, "join tree needs"},
+		{"disconnected", []*table.Table{a, b, c}, "A",
+			[]Edge{
+				{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+				{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "y"},
+			}, "not connected"},
+	}
+	for _, tc := range cases {
+		_, err := New(tc.tables, tc.root, tc.edges)
+		if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.errSub)
+		}
+	}
+}
+
+func TestStringJoinKeyRejected(t *testing.T) {
+	b := table.MustBuilder("S", []table.ColSpec{{Name: "k", Kind: value.KindStr}})
+	b.MustAppend(value.Str("v"))
+	strTbl := b.MustBuild()
+	_, err := New(
+		[]*table.Table{keyTable("A", "x"), strTbl},
+		"A",
+		[]Edge{{LeftTable: "A", LeftCol: "x", RightTable: "S", RightCol: "k"}},
+	)
+	if err == nil || !strings.Contains(err.Error(), "must be int") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateQuerySet(t *testing.T) {
+	s := starSchema(t)
+	good := [][]string{
+		{"title"},
+		{"title", "cast_info"},
+		{"cast_info", "name"},
+		{"title", "cast_info", "name", "movie_keyword"},
+	}
+	for _, q := range good {
+		if err := s.ValidateQuerySet(q); err != nil {
+			t.Errorf("ValidateQuerySet(%v) = %v", q, err)
+		}
+	}
+	bad := [][]string{
+		{},
+		{"nope"},
+		{"title", "title"},
+		{"title", "name"},              // not adjacent
+		{"movie_keyword", "cast_info"}, // connected only through title
+		{"name", "movie_keyword"},      // two leaves
+	}
+	for _, q := range bad {
+		if err := s.ValidateQuerySet(q); err == nil {
+			t.Errorf("ValidateQuerySet(%v) accepted", q)
+		}
+	}
+}
+
+func TestSubtreeRoot(t *testing.T) {
+	s := starSchema(t)
+	cases := []struct {
+		set  []string
+		want string
+	}{
+		{[]string{"title", "cast_info"}, "title"},
+		{[]string{"cast_info", "name"}, "cast_info"},
+		{[]string{"name"}, "name"},
+		{[]string{"title", "cast_info", "movie_keyword", "name"}, "title"},
+	}
+	for _, tc := range cases {
+		if got := s.SubtreeRoot(tc.set); got != tc.want {
+			t.Errorf("SubtreeRoot(%v) = %q, want %q", tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestFanoutKey(t *testing.T) {
+	s := starSchema(t)
+	q := map[string]bool{"title": true}
+	// cast_info omitted: edge incident to it toward title carries movie_id.
+	if got, err := s.FanoutKey("cast_info", q); err != nil || got != "movie_id" {
+		t.Errorf("FanoutKey(cast_info) = %q, %v", got, err)
+	}
+	// name omitted: path name→cast_info→title; edge incident to name uses name.id.
+	if got, err := s.FanoutKey("name", q); err != nil || got != "id" {
+		t.Errorf("FanoutKey(name) = %q, %v", got, err)
+	}
+	// Query {cast_info, name}: omitted title attaches via title.id.
+	q2 := map[string]bool{"cast_info": true, "name": true}
+	if got, err := s.FanoutKey("title", q2); err != nil || got != "id" {
+		t.Errorf("FanoutKey(title) = %q, %v", got, err)
+	}
+	// movie_keyword omitted from q2: path mk→title→cast_info; incident edge key mk.movie_id.
+	if got, err := s.FanoutKey("movie_keyword", q2); err != nil || got != "movie_id" {
+		t.Errorf("FanoutKey(movie_keyword) = %q, %v", got, err)
+	}
+	if _, err := s.FanoutKey("title", map[string]bool{"title": true}); err == nil {
+		t.Error("FanoutKey on a queried table did not fail")
+	}
+}
+
+// TestFanoutKeyPaperExample reproduces §6's worked example: schema A-x-B-y-C,
+// query {A}; omitted B downsizes via B.x, omitted C via C.y.
+func TestFanoutKeyPaperExample(t *testing.T) {
+	s := chainSchema(t)
+	q := map[string]bool{"A": true}
+	if got, _ := s.FanoutKey("B", q); got != "x" {
+		t.Errorf("FanoutKey(B) = %q, want x", got)
+	}
+	if got, _ := s.FanoutKey("C", q); got != "y" {
+		t.Errorf("FanoutKey(C) = %q, want y", got)
+	}
+}
+
+func TestSubSchema(t *testing.T) {
+	s := starSchema(t)
+	sub, err := s.SubSchema([]string{"name", "cast_info"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Root() != "cast_info" {
+		t.Errorf("sub root = %q", sub.Root())
+	}
+	if sub.NumTables() != 2 {
+		t.Errorf("sub tables = %v", sub.Tables())
+	}
+	e, ok := sub.Parent("name")
+	if !ok || e.Parent != "cast_info" || e.ParentCol != "person_id" {
+		t.Errorf("sub Parent(name) = %+v, %v", e, ok)
+	}
+	if _, err := s.SubSchema([]string{"name", "movie_keyword"}); err == nil {
+		t.Error("disconnected SubSchema accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"neurocard/internal/value"
+)
+
+// ColSpec declares a column for the Builder.
+type ColSpec struct {
+	Name string
+	Kind value.Kind // KindInt or KindStr
+}
+
+// Builder accumulates rows and produces an immutable Table with sorted
+// dictionaries. The zero value is not usable; call NewBuilder.
+type Builder struct {
+	name  string
+	specs []ColSpec
+	// raw per-column data; exactly one of the two slices per column is used.
+	ints  [][]int64
+	strs  [][]string
+	nulls [][]bool
+	nrows int
+}
+
+// NewBuilder creates a builder for a table with the given columns.
+func NewBuilder(name string, specs []ColSpec) (*Builder, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("table %q: no columns", name)
+	}
+	seen := make(map[string]bool, len(specs))
+	b := &Builder{
+		name:  name,
+		specs: specs,
+		ints:  make([][]int64, len(specs)),
+		strs:  make([][]string, len(specs)),
+		nulls: make([][]bool, len(specs)),
+	}
+	for _, s := range specs {
+		if s.Kind != value.KindInt && s.Kind != value.KindStr {
+			return nil, fmt.Errorf("table %q: column %q has invalid kind %s", name, s.Name, s.Kind)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return b, nil
+}
+
+// MustBuilder is NewBuilder that panics on error, for statically correct
+// specs in generators and tests.
+func MustBuilder(name string, specs []ColSpec) *Builder {
+	b, err := NewBuilder(name, specs)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Append adds one row. Values must match the column kinds (NULL allowed
+// anywhere).
+func (b *Builder) Append(row ...value.Value) error {
+	if len(row) != len(b.specs) {
+		return fmt.Errorf("table %q: row has %d values, want %d", b.name, len(row), len(b.specs))
+	}
+	for i, v := range row {
+		switch v.K {
+		case value.KindNull:
+			b.nulls[i] = append(b.nulls[i], true)
+			b.ints[i] = append(b.ints[i], 0)
+			b.strs[i] = append(b.strs[i], "")
+		case b.specs[i].Kind:
+			b.nulls[i] = append(b.nulls[i], false)
+			if v.K == value.KindInt {
+				b.ints[i] = append(b.ints[i], v.I)
+				b.strs[i] = append(b.strs[i], "")
+			} else {
+				b.strs[i] = append(b.strs[i], v.S)
+				b.ints[i] = append(b.ints[i], 0)
+			}
+		default:
+			return fmt.Errorf("table %q: column %q: cannot store %s in %s column",
+				b.name, b.specs[i].Name, v.K, b.specs[i].Kind)
+		}
+	}
+	b.nrows++
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (b *Builder) MustAppend(row ...value.Value) {
+	if err := b.Append(row...); err != nil {
+		panic(err)
+	}
+}
+
+// NumRows returns the number of rows appended so far.
+func (b *Builder) NumRows() int { return b.nrows }
+
+// Build finalizes the table: each column's distinct non-NULL values are
+// sorted into a dictionary (ID 0 = NULL, IDs ascend with value order) and row
+// data is re-encoded as dictionary IDs. The builder may keep accumulating
+// rows after Build; each Build produces an independent snapshot.
+func (b *Builder) Build() (*Table, error) {
+	cols := make([]*Column, len(b.specs))
+	for i, s := range b.specs {
+		c := &Column{name: s.Name, kind: s.Kind, ids: make([]int32, b.nrows)}
+		if s.Kind == value.KindInt {
+			distinct := make(map[int64]struct{})
+			for row := 0; row < b.nrows; row++ {
+				if !b.nulls[i][row] {
+					distinct[b.ints[i][row]] = struct{}{}
+				}
+			}
+			c.intDict = make([]int64, 0, len(distinct))
+			for v := range distinct {
+				c.intDict = append(c.intDict, v)
+			}
+			sort.Slice(c.intDict, func(a, z int) bool { return c.intDict[a] < c.intDict[z] })
+			lookup := make(map[int64]int32, len(c.intDict))
+			for j, v := range c.intDict {
+				lookup[v] = int32(j) + 1
+			}
+			for row := 0; row < b.nrows; row++ {
+				if !b.nulls[i][row] {
+					c.ids[row] = lookup[b.ints[i][row]]
+				}
+			}
+		} else {
+			distinct := make(map[string]struct{})
+			for row := 0; row < b.nrows; row++ {
+				if !b.nulls[i][row] {
+					distinct[b.strs[i][row]] = struct{}{}
+				}
+			}
+			c.strDict = make([]string, 0, len(distinct))
+			for v := range distinct {
+				c.strDict = append(c.strDict, v)
+			}
+			sort.Strings(c.strDict)
+			lookup := make(map[string]int32, len(c.strDict))
+			for j, v := range c.strDict {
+				lookup[v] = int32(j) + 1
+			}
+			for row := 0; row < b.nrows; row++ {
+				if !b.nulls[i][row] {
+					c.ids[row] = lookup[b.strs[i][row]]
+				}
+			}
+		}
+		cols[i] = c
+	}
+	return newTable(b.name, cols)
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Table {
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+// Package table implements the column-store substrate NeuroCard is built on:
+// typed columns with sorted dictionaries, tables with lazily built join-key
+// indexes, and partition-friendly filtering that preserves dictionary
+// stability (so a model trained on one snapshot can be incrementally updated
+// after new data is ingested).
+//
+// Every column is dictionary-encoded. Dictionary ID 0 is reserved for NULL;
+// IDs 1..n map to the distinct non-NULL values in sorted order, so a value
+// range always corresponds to a contiguous ID interval. This property is what
+// lets lossless column factorization (internal/factor) translate range
+// filters into per-subcolumn token regions.
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"neurocard/internal/value"
+)
+
+// NullID is the dictionary ID reserved for NULL in every column.
+const NullID int32 = 0
+
+// Column is an immutable dictionary-encoded column.
+type Column struct {
+	name string
+	kind value.Kind // KindInt or KindStr
+
+	ids []int32 // per-row dictionary IDs; NullID marks NULL
+
+	// Exactly one of the dictionaries is populated, matching kind.
+	// Both are sorted ascending; dictionary ID i+1 maps to dict[i].
+	intDict []int64
+	strDict []string
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Kind returns the value kind (KindInt or KindStr).
+func (c *Column) Kind() value.Kind { return c.kind }
+
+// NumRows returns the number of rows.
+func (c *Column) NumRows() int { return len(c.ids) }
+
+// DictSize returns the number of dictionary entries including NULL, i.e. the
+// token domain size used by density models: NULL plus each distinct value.
+func (c *Column) DictSize() int {
+	if c.kind == value.KindInt {
+		return len(c.intDict) + 1
+	}
+	return len(c.strDict) + 1
+}
+
+// ID returns the dictionary ID of the given row.
+func (c *Column) ID(row int) int32 { return c.ids[row] }
+
+// IDs exposes the backing ID slice. Callers must not modify it.
+func (c *Column) IDs() []int32 { return c.ids }
+
+// Value decodes the row into a Value.
+func (c *Column) Value(row int) value.Value { return c.ValueForID(c.ids[row]) }
+
+// ValueForID decodes a dictionary ID into a Value.
+func (c *Column) ValueForID(id int32) value.Value {
+	if id == NullID {
+		return value.Null
+	}
+	if c.kind == value.KindInt {
+		return value.Int(c.intDict[id-1])
+	}
+	return value.Str(c.strDict[id-1])
+}
+
+// Int returns the integer at row and whether it is non-NULL. It panics on
+// string columns.
+func (c *Column) Int(row int) (int64, bool) {
+	if c.kind != value.KindInt {
+		panic(fmt.Sprintf("table: column %q is not an int column", c.name))
+	}
+	id := c.ids[row]
+	if id == NullID {
+		return 0, false
+	}
+	return c.intDict[id-1], true
+}
+
+// IDForValue returns the dictionary ID of v, or (0, false) if v does not
+// occur in the column. NULL maps to (NullID, true).
+func (c *Column) IDForValue(v value.Value) (int32, bool) {
+	if v.IsNull() {
+		return NullID, true
+	}
+	if v.K != c.kind {
+		return 0, false
+	}
+	if c.kind == value.KindInt {
+		i := sort.Search(len(c.intDict), func(i int) bool { return c.intDict[i] >= v.I })
+		if i < len(c.intDict) && c.intDict[i] == v.I {
+			return int32(i) + 1, true
+		}
+		return 0, false
+	}
+	i := sort.Search(len(c.strDict), func(i int) bool { return c.strDict[i] >= v.S })
+	if i < len(c.strDict) && c.strDict[i] == v.S {
+		return int32(i) + 1, true
+	}
+	return 0, false
+}
+
+// LowerBoundID returns the smallest non-NULL dictionary ID whose value is
+// >= v, or DictSize() if all values are smaller. It is the basis for
+// translating range predicates into ID intervals.
+func (c *Column) LowerBoundID(v value.Value) int32 {
+	if v.K != c.kind {
+		panic(fmt.Sprintf("table: %s bound on %s column %q", v.K, c.kind, c.name))
+	}
+	if c.kind == value.KindInt {
+		return int32(sort.Search(len(c.intDict), func(i int) bool { return c.intDict[i] >= v.I })) + 1
+	}
+	return int32(sort.Search(len(c.strDict), func(i int) bool { return c.strDict[i] >= v.S })) + 1
+}
+
+// UpperBoundID returns the smallest non-NULL dictionary ID whose value is
+// strictly > v, or DictSize() if none exists.
+func (c *Column) UpperBoundID(v value.Value) int32 {
+	if v.K != c.kind {
+		panic(fmt.Sprintf("table: %s bound on %s column %q", v.K, c.kind, c.name))
+	}
+	if c.kind == value.KindInt {
+		return int32(sort.Search(len(c.intDict), func(i int) bool { return c.intDict[i] > v.I })) + 1
+	}
+	return int32(sort.Search(len(c.strDict), func(i int) bool { return c.strDict[i] > v.S })) + 1
+}
+
+// MinValue and MaxValue return the smallest and largest non-NULL values.
+// They panic on columns with no non-NULL values.
+func (c *Column) MinValue() value.Value {
+	if c.DictSize() <= 1 {
+		panic(fmt.Sprintf("table: column %q has no non-NULL values", c.name))
+	}
+	return c.ValueForID(1)
+}
+
+// MaxValue returns the largest non-NULL value in the column.
+func (c *Column) MaxValue() value.Value {
+	n := c.DictSize()
+	if n <= 1 {
+		panic(fmt.Sprintf("table: column %q has no non-NULL values", c.name))
+	}
+	return c.ValueForID(int32(n - 1))
+}
+
+// withIDs returns a column sharing this column's dictionary but holding a
+// different row set. Used by Table.Filter to build snapshots whose dictionary
+// IDs remain stable across partitions.
+func (c *Column) withIDs(ids []int32) *Column {
+	return &Column{name: c.name, kind: c.kind, ids: ids, intDict: c.intDict, strDict: c.strDict}
+}

@@ -1,0 +1,197 @@
+package table
+
+import (
+	"fmt"
+	"sync"
+
+	"neurocard/internal/value"
+)
+
+// Table is an immutable collection of equal-length columns plus lazily built
+// join-key indexes. Tables are safe for concurrent use after construction.
+type Table struct {
+	name   string
+	cols   []*Column
+	byName map[string]int
+	nrows  int
+
+	mu      sync.Mutex
+	indexes map[string]*Index
+	fanouts map[string][]int32
+}
+
+func newTable(name string, cols []*Column) (*Table, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("table %q: no columns", name)
+	}
+	t := &Table{
+		name:    name,
+		cols:    cols,
+		byName:  make(map[string]int, len(cols)),
+		nrows:   cols[0].NumRows(),
+		indexes: make(map[string]*Index),
+		fanouts: make(map[string][]int32),
+	}
+	for i, c := range cols {
+		if c.NumRows() != t.nrows {
+			return nil, fmt.Errorf("table %q: column %q has %d rows, want %d", name, c.Name(), c.NumRows(), t.nrows)
+		}
+		if _, dup := t.byName[c.Name()]; dup {
+			return nil, fmt.Errorf("table %q: duplicate column %q", name, c.Name())
+		}
+		t.byName[c.Name()] = i
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return t.nrows }
+
+// NumCols returns the column count.
+func (t *Table) NumCols() int { return len(t.cols) }
+
+// Columns returns the columns in declaration order. Callers must not modify
+// the slice.
+func (t *Table) Columns() []*Column { return t.cols }
+
+// Col returns the named column, or nil if absent.
+func (t *Table) Col(name string) *Column {
+	i, ok := t.byName[name]
+	if !ok {
+		return nil
+	}
+	return t.cols[i]
+}
+
+// MustCol returns the named column or panics. Use where schema validation has
+// already established existence.
+func (t *Table) MustCol(name string) *Column {
+	c := t.Col(name)
+	if c == nil {
+		panic(fmt.Sprintf("table %q: no column %q", t.name, name))
+	}
+	return c
+}
+
+// Row decodes all columns of a row. Intended for tests and tooling, not hot
+// paths.
+func (t *Table) Row(row int) []value.Value {
+	out := make([]value.Value, len(t.cols))
+	for i, c := range t.cols {
+		out[i] = c.Value(row)
+	}
+	return out
+}
+
+// Index returns the join-key index for an int column, building and caching it
+// on first use. The index maps each non-NULL key value to the rows holding
+// it. It returns an error for unknown or non-int columns.
+func (t *Table) Index(col string) (*Index, error) {
+	c := t.Col(col)
+	if c == nil {
+		return nil, fmt.Errorf("table %q: no column %q", t.name, col)
+	}
+	if c.Kind() != value.KindInt {
+		return nil, fmt.Errorf("table %q: join key column %q must be int, got %s", t.name, col, c.Kind())
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.indexes[col]; ok {
+		return ix, nil
+	}
+	ix := buildIndex(c)
+	t.indexes[col] = ix
+	return ix, nil
+}
+
+// Fanouts returns, for each row, the frequency of that row's value within the
+// given column (the paper's F_{T.k} virtual column), with 1 for NULL rows.
+// The result is cached.
+func (t *Table) Fanouts(col string) ([]int32, error) {
+	t.mu.Lock()
+	if f, ok := t.fanouts[col]; ok {
+		t.mu.Unlock()
+		return f, nil
+	}
+	t.mu.Unlock()
+
+	ix, err := t.Index(col)
+	if err != nil {
+		return nil, err
+	}
+	c := t.MustCol(col)
+	f := make([]int32, t.nrows)
+	for row := 0; row < t.nrows; row++ {
+		if v, ok := c.Int(row); ok {
+			f[row] = int32(len(ix.Rows(v)))
+		} else {
+			f[row] = 1
+		}
+	}
+	t.mu.Lock()
+	t.fanouts[col] = f
+	t.mu.Unlock()
+	return f, nil
+}
+
+// Filter returns a new table holding only the rows for which keep returns
+// true. Columns share their dictionaries with the original, so dictionary
+// IDs (and therefore model encodings) remain stable — this is what makes
+// partition snapshots usable for incremental model updates.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	var rows []int32
+	for row := 0; row < t.nrows; row++ {
+		if keep(row) {
+			rows = append(rows, int32(row))
+		}
+	}
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		ids := make([]int32, len(rows))
+		for j, r := range rows {
+			ids[j] = c.ids[r]
+		}
+		cols[i] = c.withIDs(ids)
+	}
+	nt, err := newTable(t.name, cols)
+	if err != nil {
+		// Filtering preserves the invariants newTable checks.
+		panic(err)
+	}
+	return nt
+}
+
+// Index maps non-NULL int join-key values to the rows containing them.
+type Index struct {
+	rows map[int64][]int32
+}
+
+func buildIndex(c *Column) *Index {
+	m := make(map[int64][]int32)
+	for row := 0; row < c.NumRows(); row++ {
+		if v, ok := c.Int(row); ok {
+			m[v] = append(m[v], int32(row))
+		}
+	}
+	return &Index{rows: m}
+}
+
+// Rows returns the rows holding value v (nil if none). Callers must not
+// modify the slice.
+func (ix *Index) Rows(v int64) []int32 { return ix.rows[v] }
+
+// Has reports whether any row holds value v.
+func (ix *Index) Has(v int64) bool { return len(ix.rows[v]) > 0 }
+
+// NumKeys returns the number of distinct non-NULL key values.
+func (ix *Index) NumKeys() int { return len(ix.rows) }
+
+// Keys calls fn for every distinct key value. Iteration order is unspecified.
+func (ix *Index) Keys(fn func(v int64, rows []int32)) {
+	for v, rows := range ix.rows {
+		fn(v, rows)
+	}
+}

@@ -1,0 +1,314 @@
+package table
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"neurocard/internal/value"
+)
+
+func buildSample(t *testing.T) *Table {
+	t.Helper()
+	b := MustBuilder("movies", []ColSpec{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "year", Kind: value.KindInt},
+		{Name: "code", Kind: value.KindStr},
+	})
+	b.MustAppend(value.Int(1), value.Int(1990), value.Str("b"))
+	b.MustAppend(value.Int(2), value.Int(1985), value.Null)
+	b.MustAppend(value.Int(3), value.Int(1990), value.Str("a"))
+	b.MustAppend(value.Int(4), value.Null, value.Str("c"))
+	return b.MustBuild()
+}
+
+func TestBuildBasics(t *testing.T) {
+	tbl := buildSample(t)
+	if tbl.NumRows() != 4 || tbl.NumCols() != 3 {
+		t.Fatalf("got %d rows, %d cols", tbl.NumRows(), tbl.NumCols())
+	}
+	if tbl.Name() != "movies" {
+		t.Errorf("Name = %q", tbl.Name())
+	}
+	if tbl.Col("nope") != nil {
+		t.Error("Col(nope) != nil")
+	}
+}
+
+func TestDictionarySortedAndNullZero(t *testing.T) {
+	tbl := buildSample(t)
+	year := tbl.MustCol("year")
+	// Distinct years: 1985, 1990 (+NULL) → DictSize 3.
+	if got := year.DictSize(); got != 3 {
+		t.Fatalf("year DictSize = %d, want 3", got)
+	}
+	if year.ID(3) != NullID {
+		t.Errorf("NULL year row has ID %d", year.ID(3))
+	}
+	// Sorted dictionary: 1985 → ID 1, 1990 → ID 2.
+	if id, ok := year.IDForValue(value.Int(1985)); !ok || id != 1 {
+		t.Errorf("IDForValue(1985) = %d,%v", id, ok)
+	}
+	if id, ok := year.IDForValue(value.Int(1990)); !ok || id != 2 {
+		t.Errorf("IDForValue(1990) = %d,%v", id, ok)
+	}
+	code := tbl.MustCol("code")
+	// Sorted strings a,b,c → IDs 1,2,3.
+	for i, s := range []string{"a", "b", "c"} {
+		if id, ok := code.IDForValue(value.Str(s)); !ok || id != int32(i+1) {
+			t.Errorf("IDForValue(%q) = %d,%v", s, id, ok)
+		}
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	tbl := buildSample(t)
+	want := [][]value.Value{
+		{value.Int(1), value.Int(1990), value.Str("b")},
+		{value.Int(2), value.Int(1985), value.Null},
+		{value.Int(3), value.Int(1990), value.Str("a")},
+		{value.Int(4), value.Null, value.Str("c")},
+	}
+	for r := range want {
+		got := tbl.Row(r)
+		for c := range want[r] {
+			if !got[c].Equal(want[r][c]) {
+				t.Errorf("row %d col %d: got %v want %v", r, c, got[c], want[r][c])
+			}
+		}
+	}
+}
+
+func TestIDForValueMissing(t *testing.T) {
+	tbl := buildSample(t)
+	year := tbl.MustCol("year")
+	if _, ok := year.IDForValue(value.Int(2000)); ok {
+		t.Error("found ID for absent value")
+	}
+	if _, ok := year.IDForValue(value.Str("1990")); ok {
+		t.Error("found ID for mismatched kind")
+	}
+	if id, ok := year.IDForValue(value.Null); !ok || id != NullID {
+		t.Errorf("IDForValue(NULL) = %d,%v", id, ok)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	tbl := buildSample(t)
+	year := tbl.MustCol("year") // dict: [1985, 1990]
+	cases := []struct {
+		v      int64
+		lb, ub int32 // LowerBoundID, UpperBoundID
+	}{
+		{1980, 1, 1},
+		{1985, 1, 2},
+		{1987, 2, 2},
+		{1990, 2, 3},
+		{1999, 3, 3},
+	}
+	for _, c := range cases {
+		if got := year.LowerBoundID(value.Int(c.v)); got != c.lb {
+			t.Errorf("LowerBoundID(%d) = %d, want %d", c.v, got, c.lb)
+		}
+		if got := year.UpperBoundID(value.Int(c.v)); got != c.ub {
+			t.Errorf("UpperBoundID(%d) = %d, want %d", c.v, got, c.ub)
+		}
+	}
+	if got := year.MinValue(); !got.Equal(value.Int(1985)) {
+		t.Errorf("MinValue = %v", got)
+	}
+	if got := year.MaxValue(); !got.Equal(value.Int(1990)) {
+		t.Errorf("MaxValue = %v", got)
+	}
+}
+
+func TestIndex(t *testing.T) {
+	b := MustBuilder("t", []ColSpec{{Name: "k", Kind: value.KindInt}})
+	for _, v := range []int64{5, 3, 5, 7, 5} {
+		b.MustAppend(value.Int(v))
+	}
+	b.MustAppend(value.Null)
+	tbl := b.MustBuild()
+	ix, err := tbl.Index("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Rows(5); len(got) != 3 {
+		t.Errorf("Rows(5) = %v", got)
+	}
+	if got := ix.Rows(3); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Rows(3) = %v", got)
+	}
+	if ix.Rows(99) != nil {
+		t.Error("Rows(99) != nil")
+	}
+	if ix.NumKeys() != 3 {
+		t.Errorf("NumKeys = %d (NULL must be excluded)", ix.NumKeys())
+	}
+	// Cached: same pointer on second call.
+	ix2, _ := tbl.Index("k")
+	if ix2 != ix {
+		t.Error("index not cached")
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	tbl := buildSample(t)
+	if _, err := tbl.Index("code"); err == nil {
+		t.Error("Index on string column did not fail")
+	}
+	if _, err := tbl.Index("missing"); err == nil {
+		t.Error("Index on missing column did not fail")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	b := MustBuilder("t", []ColSpec{{Name: "k", Kind: value.KindInt}})
+	for _, v := range []int64{5, 3, 5, 7, 5} {
+		b.MustAppend(value.Int(v))
+	}
+	b.MustAppend(value.Null)
+	tbl := b.MustBuild()
+	f, err := tbl.Fanouts("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 1, 3, 1, 3, 1} // NULL row gets fanout 1
+	for i := range want {
+		if f[i] != want[i] {
+			t.Errorf("fanout[%d] = %d, want %d", i, f[i], want[i])
+		}
+	}
+}
+
+func TestFilterPreservesDictionary(t *testing.T) {
+	tbl := buildSample(t)
+	sub := tbl.Filter(func(row int) bool { return row%2 == 0 }) // rows 0, 2
+	if sub.NumRows() != 2 {
+		t.Fatalf("filtered rows = %d", sub.NumRows())
+	}
+	// Dictionary stability: 1990 keeps ID 2 even though 1985 is gone.
+	if id, ok := sub.MustCol("year").IDForValue(value.Int(1990)); !ok || id != 2 {
+		t.Errorf("post-filter IDForValue(1990) = %d,%v", id, ok)
+	}
+	if id, ok := sub.MustCol("year").IDForValue(value.Int(1985)); !ok || id != 1 {
+		t.Errorf("dictionary must retain filtered-out values: got %d,%v", id, ok)
+	}
+	if got := sub.MustCol("id").Value(1); !got.Equal(value.Int(3)) {
+		t.Errorf("filtered row 1 id = %v", got)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("t", nil); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := NewBuilder("t", []ColSpec{{Name: "a", Kind: value.KindInt}, {Name: "a", Kind: value.KindInt}}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if _, err := NewBuilder("t", []ColSpec{{Name: "a", Kind: value.KindNull}}); err == nil {
+		t.Error("null kind accepted")
+	}
+	b := MustBuilder("t", []ColSpec{{Name: "a", Kind: value.KindInt}})
+	if err := b.Append(value.Int(1), value.Int(2)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := b.Append(value.Str("x")); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	b := MustBuilder("t", []ColSpec{{Name: "a", Kind: value.KindInt}})
+	tbl := b.MustBuild()
+	if tbl.NumRows() != 0 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if tbl.MustCol("a").DictSize() != 1 {
+		t.Errorf("empty column DictSize = %d, want 1 (NULL only)", tbl.MustCol("a").DictSize())
+	}
+	ix, err := tbl.Index("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumKeys() != 0 {
+		t.Error("empty index has keys")
+	}
+}
+
+// Property: for any multiset of int64 values, building a column and decoding
+// every row round-trips, and dictionary IDs are order-isomorphic to values.
+func TestDictionaryRoundTripProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		b := MustBuilder("t", []ColSpec{{Name: "v", Kind: value.KindInt}})
+		for _, v := range vals {
+			b.MustAppend(value.Int(v))
+		}
+		tbl := b.MustBuild()
+		c := tbl.MustCol("v")
+		for i, v := range vals {
+			if got := c.Value(i); !got.Equal(value.Int(v)) {
+				return false
+			}
+		}
+		// Order isomorphism.
+		for i := 0; i+1 < len(vals); i++ {
+			a, bb := c.ID(i), c.ID(i+1)
+			va, vb := vals[i], vals[i+1]
+			if (a < bb) != (va < vb) || (a == bb) != (va == vb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LowerBoundID/UpperBoundID agree with a linear scan of the sorted
+// dictionary for random probe values.
+func TestBoundsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 100; iter++ {
+		n := 1 + rng.Intn(30)
+		b := MustBuilder("t", []ColSpec{{Name: "v", Kind: value.KindInt}})
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = int64(rng.Intn(50))
+			b.MustAppend(value.Int(vals[i]))
+		}
+		c := b.MustBuild().MustCol("v")
+		dict := make([]int64, 0, n)
+		seen := map[int64]bool{}
+		for _, v := range vals {
+			if !seen[v] {
+				seen[v] = true
+				dict = append(dict, v)
+			}
+		}
+		sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+		probe := int64(rng.Intn(60)) - 5
+		wantLB := int32(len(dict)) + 1
+		for i, v := range dict {
+			if v >= probe {
+				wantLB = int32(i) + 1
+				break
+			}
+		}
+		wantUB := int32(len(dict)) + 1
+		for i, v := range dict {
+			if v > probe {
+				wantUB = int32(i) + 1
+				break
+			}
+		}
+		if got := c.LowerBoundID(value.Int(probe)); got != wantLB {
+			t.Fatalf("LowerBoundID(%d) = %d, want %d (dict %v)", probe, got, wantLB, dict)
+		}
+		if got := c.UpperBoundID(value.Int(probe)); got != wantUB {
+			t.Fatalf("UpperBoundID(%d) = %d, want %d (dict %v)", probe, got, wantUB, dict)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package testutil provides shared generators and statistical helpers for
+// the property-based tests that validate the join machinery: random tree
+// schemas with small domains (so brute-force materialization stays
+// tractable), random queries over them, and a chi-square uniformity check.
+// Only test code imports this package.
+package testutil
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// RandomSchemaConfig bounds the generated schemas.
+type RandomSchemaConfig struct {
+	MaxTables  int     // ≥ 2
+	MaxRows    int     // rows per table, ≥ 1
+	KeyDomain  int     // join key values drawn from [0, KeyDomain)
+	NullProb   float64 // probability a join key is NULL
+	ExtraCols  int     // max additional non-key "content" columns per table
+	ValDomain  int     // content values drawn from [0, ValDomain)
+	AllowEmpty bool    // permit zero-row tables
+}
+
+// DefaultSchemaConfig keeps brute-force joins small but structurally varied.
+func DefaultSchemaConfig() RandomSchemaConfig {
+	return RandomSchemaConfig{
+		MaxTables: 4,
+		MaxRows:   6,
+		KeyDomain: 4,
+		NullProb:  0.15,
+		ExtraCols: 2,
+		ValDomain: 5,
+	}
+}
+
+// RandomSchema generates a random tree schema with random table contents.
+// Table i>0 attaches to a random earlier table; every table gets one key
+// column per incident edge plus up to ExtraCols content columns.
+func RandomSchema(rng *rand.Rand, cfg RandomSchemaConfig) *schema.Schema {
+	nTables := 2 + rng.Intn(cfg.MaxTables-1)
+	names := make([]string, nTables)
+	for i := range names {
+		names[i] = fmt.Sprintf("t%d", i)
+	}
+	// Tree shape: parent[i] < i.
+	parent := make([]int, nTables)
+	for i := 1; i < nTables; i++ {
+		parent[i] = rng.Intn(i)
+	}
+	// Key columns: table i owns key column "k<i>" joining to its parent on
+	// the parent's column "k<i>" too (each edge gets a dedicated column pair
+	// so multi-child tables have multiple join keys).
+	colsOf := make([][]table.ColSpec, nTables)
+	for i := 0; i < nTables; i++ {
+		if i > 0 {
+			colsOf[i] = append(colsOf[i], table.ColSpec{Name: fmt.Sprintf("k%d", i), Kind: value.KindInt})
+		}
+		for j := i + 1; j < nTables; j++ {
+			if parent[j] == i {
+				colsOf[i] = append(colsOf[i], table.ColSpec{Name: fmt.Sprintf("k%d", j), Kind: value.KindInt})
+			}
+		}
+		extra := rng.Intn(cfg.ExtraCols + 1)
+		for e := 0; e < extra; e++ {
+			colsOf[i] = append(colsOf[i], table.ColSpec{Name: fmt.Sprintf("c%d_%d", i, e), Kind: value.KindInt})
+		}
+		if len(colsOf[i]) == 0 { // root with no children and no extras
+			colsOf[i] = append(colsOf[i], table.ColSpec{Name: fmt.Sprintf("c%d_0", i), Kind: value.KindInt})
+		}
+	}
+	tables := make([]*table.Table, nTables)
+	for i := 0; i < nTables; i++ {
+		b := table.MustBuilder(names[i], colsOf[i])
+		nRows := 1 + rng.Intn(cfg.MaxRows)
+		if cfg.AllowEmpty && rng.Intn(8) == 0 {
+			nRows = 0
+		}
+		for r := 0; r < nRows; r++ {
+			row := make([]value.Value, len(colsOf[i]))
+			for c, spec := range colsOf[i] {
+				isKey := spec.Name[0] == 'k'
+				if isKey && rng.Float64() < cfg.NullProb {
+					row[c] = value.Null
+				} else if isKey {
+					row[c] = value.Int(int64(rng.Intn(cfg.KeyDomain)))
+				} else if rng.Float64() < 0.1 {
+					row[c] = value.Null
+				} else {
+					row[c] = value.Int(int64(rng.Intn(cfg.ValDomain)))
+				}
+			}
+			b.MustAppend(row...)
+		}
+		tables[i] = b.MustBuild()
+	}
+	edges := make([]schema.Edge, 0, nTables-1)
+	for i := 1; i < nTables; i++ {
+		key := fmt.Sprintf("k%d", i)
+		edges = append(edges, schema.Edge{
+			LeftTable: names[parent[i]], LeftCol: key,
+			RightTable: names[i], RightCol: key,
+		})
+	}
+	s, err := schema.New(tables, names[0], edges)
+	if err != nil {
+		panic(fmt.Sprintf("testutil: generated invalid schema: %v", err))
+	}
+	return s
+}
+
+// RandomQuery builds a random query over a connected subtree of the schema
+// with random filters on content and key columns.
+func RandomQuery(rng *rand.Rand, s *schema.Schema, maxFilters int) query.Query {
+	order := s.Tables()
+	// Grow a connected subtree starting from a random table by repeatedly
+	// adding adjacent tables.
+	start := order[rng.Intn(len(order))]
+	in := map[string]bool{start: true}
+	tables := []string{start}
+	for len(tables) < len(order) && rng.Float64() < 0.6 {
+		var candidates []string
+		for _, t := range order {
+			if in[t] {
+				continue
+			}
+			if e, ok := s.Parent(t); ok && in[e.Parent] {
+				candidates = append(candidates, t)
+			}
+		}
+		// Also allow adding a member's parent.
+		for t := range in {
+			if e, ok := s.Parent(t); ok && !in[e.Parent] {
+				candidates = append(candidates, e.Parent)
+			}
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		pick := candidates[rng.Intn(len(candidates))]
+		in[pick] = true
+		tables = append(tables, pick)
+	}
+
+	var filters []query.Filter
+	nf := rng.Intn(maxFilters + 1)
+	ops := []query.Op{query.OpEq, query.OpLt, query.OpLe, query.OpGt, query.OpGe, query.OpIn}
+	for f := 0; f < nf; f++ {
+		tname := tables[rng.Intn(len(tables))]
+		t := s.Table(tname)
+		col := t.Columns()[rng.Intn(t.NumCols())]
+		op := ops[rng.Intn(len(ops))]
+		lit := value.Int(int64(rng.Intn(8) - 1))
+		flt := query.Filter{Table: tname, Col: col.Name(), Op: op, Val: lit}
+		if op == query.OpIn {
+			n := 1 + rng.Intn(3)
+			flt.Set = make([]value.Value, n)
+			for i := range flt.Set {
+				flt.Set[i] = value.Int(int64(rng.Intn(8) - 1))
+			}
+			flt.Val = value.Null
+		}
+		filters = append(filters, flt)
+	}
+	return query.Query{Tables: tables, Filters: filters}
+}
+
+// RowKey renders a join-row vector as a map key for frequency counting.
+func RowKey(row []int32) string {
+	return fmt.Sprint(row)
+}
+
+// ChiSquareUniform checks whether observed counts over k categories with the
+// given expected probabilities are consistent with those probabilities. It
+// returns the chi-square statistic and whether it is below a loose threshold
+// (mean + 6·sqrt(2·df), far beyond any reasonable significance level, so the
+// test is stable under CI noise but still catches systematic bias).
+func ChiSquareUniform(observed []int, probs []float64, total int) (float64, bool) {
+	if len(observed) != len(probs) {
+		panic("testutil: observed/probs length mismatch")
+	}
+	chi := 0.0
+	df := 0.0
+	for i := range observed {
+		expect := probs[i] * float64(total)
+		if expect < 1e-12 {
+			if observed[i] > 0 {
+				return math.Inf(1), false
+			}
+			continue
+		}
+		d := float64(observed[i]) - expect
+		chi += d * d / expect
+		df++
+	}
+	if df <= 1 {
+		return chi, true
+	}
+	df--
+	limit := df + 6*math.Sqrt(2*df)
+	return chi, chi <= limit
+}

@@ -1,0 +1,112 @@
+// Package value defines the typed scalar values stored in table columns and
+// referenced by query filters. A Value is either NULL, a 64-bit integer, or a
+// string. NULL never compares equal to anything (SQL semantics): equality and
+// range predicates on NULL are false, and NULL join keys match no partner.
+package value
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the contents of a Value.
+type Kind uint8
+
+const (
+	// KindNull marks the SQL NULL value.
+	KindNull Kind = iota
+	// KindInt marks a 64-bit signed integer value.
+	KindInt
+	// KindStr marks a string value.
+	KindStr
+)
+
+// String returns the kind name for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int"
+	case KindStr:
+		return "str"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a scalar cell value. The zero Value is NULL.
+type Value struct {
+	K Kind
+	I int64
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{K: KindStr, S: s} }
+
+// IsNull reports whether v is NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// Compare orders two non-NULL values of the same kind: -1 if v < o, 0 if
+// equal, +1 if v > o. Integers order numerically, strings lexicographically.
+// Comparing NULLs or mismatched kinds panics: filters and dictionaries must
+// be type-checked before comparison, so reaching here is a programming error.
+func (v Value) Compare(o Value) int {
+	if v.K != o.K || v.K == KindNull {
+		panic(fmt.Sprintf("value: cannot compare %s with %s", v.K, o.K))
+	}
+	switch v.K {
+	case KindInt:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	default: // KindStr
+		switch {
+		case v.S < o.S:
+			return -1
+		case v.S > o.S:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Equal reports whether two values are identical. NULL equals NULL here
+// (identity, not SQL three-valued logic); predicate evaluation handles NULL
+// semantics separately.
+func (v Value) Equal(o Value) bool {
+	if v.K != o.K {
+		return false
+	}
+	switch v.K {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.I == o.I
+	default:
+		return v.S == o.S
+	}
+}
+
+// String renders the value for logs and test failures.
+func (v Value) String() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	default:
+		return strconv.Quote(v.S)
+	}
+}

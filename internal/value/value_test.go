@@ -1,0 +1,131 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndIsNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	if Int(7).IsNull() || Str("x").IsNull() {
+		t.Error("non-null values report IsNull")
+	}
+	if got := Int(-3); got.K != KindInt || got.I != -3 {
+		t.Errorf("Int(-3) = %+v", got)
+	}
+	if got := Str("ab"); got.K != KindStr || got.S != "ab" {
+		t.Errorf("Str(ab) = %+v", got)
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Error("zero Value is not NULL")
+	}
+}
+
+func TestCompareInts(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{
+		{1, 2, -1}, {2, 1, 1}, {5, 5, 0}, {-10, 3, -1}, {0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Int(c.a).Compare(Int(c.b)); got != c.want {
+			t.Errorf("Compare(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"a", "b", -1}, {"b", "a", 1}, {"same", "same", 0}, {"", "x", -1},
+	}
+	for _, c := range cases {
+		if got := Str(c.a).Compare(Str(c.b)); got != c.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareMismatchPanics(t *testing.T) {
+	for _, pair := range [][2]Value{
+		{Int(1), Str("1")},
+		{Null, Int(1)},
+		{Null, Null},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Compare(%v, %v) did not panic", pair[0], pair[1])
+				}
+			}()
+			pair[0].Compare(pair[1])
+		}()
+	}
+}
+
+func TestEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Null, Null, true},
+		{Null, Int(0), false},
+		{Int(1), Str("1"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("Equal(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Null.String(); got != "NULL" {
+		t.Errorf("Null.String() = %q", got)
+	}
+	if got := Int(-42).String(); got != "-42" {
+		t.Errorf("Int(-42).String() = %q", got)
+	}
+	if got := Str("a b").String(); got != `"a b"` {
+		t.Errorf("Str.String() = %q", got)
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal for ints.
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, c2 := x.Compare(y), y.Compare(x)
+		if c1 != -c2 {
+			return false
+		}
+		return (c1 == 0) == x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: string comparison is transitive on random triples.
+func TestCompareTransitiveProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		x, y, z := Str(a), Str(b), Str(c)
+		if x.Compare(y) <= 0 && y.Compare(z) <= 0 {
+			return x.Compare(z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

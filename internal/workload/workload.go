@@ -1,0 +1,415 @@
+// Package workload generates the paper's three benchmark query sets against
+// the synthetic IMDB datasets (§7.1) and computes the Q-error metrics the
+// evaluation reports:
+//
+//   - JOBLight: 70 star queries joining 2-5 tables, equality filters on
+//     categorical columns plus range filters on title.production_year only.
+//   - JOBLightRanges: 1000 queries distributed uniformly over JOB-light's
+//     join graphs; literals are drawn from actual inner-join tuples via the
+//     join sampler, and 3-6 comparison operators are placed per query
+//     (ranges on numeric/string content columns, equality on categoricals)
+//     — the paper's generation recipe, which follows the data distribution
+//     and guarantees non-empty results.
+//   - JOBM: 113 snowflake queries joining 2-11 of the 16 tables on multiple
+//     join keys.
+//
+// Every query is labeled with its true cardinality (exact executor) and its
+// join graph's inner-join size (for Figure 6 selectivities).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/sampler"
+	"neurocard/internal/schema"
+	"neurocard/internal/value"
+)
+
+// LabeledQuery is a benchmark query with ground truth attached.
+type LabeledQuery struct {
+	Query     query.Query
+	TrueCard  float64 // exact cardinality (≥ 0)
+	InnerSize float64 // unfiltered inner-join size of the query's graph
+}
+
+// Selectivity returns TrueCard/InnerSize (Figure 6's x-axis).
+func (lq LabeledQuery) Selectivity() float64 {
+	if lq.InnerSize == 0 {
+		return 0
+	}
+	return lq.TrueCard / lq.InnerSize
+}
+
+// Workload is a named labeled query set.
+type Workload struct {
+	Name    string
+	Queries []LabeledQuery
+}
+
+// QError is the evaluation metric: max(act/est, est/act) with both sides
+// lower-bounded at 1 (§7.1).
+func QError(est, act float64) float64 {
+	if est < 1 {
+		est = 1
+	}
+	if act < 1 {
+		act = 1
+	}
+	return math.Max(est/act, act/est)
+}
+
+// Summary holds the reported quantiles of a Q-error distribution.
+type Summary struct {
+	Median, P95, P99, Max float64
+}
+
+// Summarize computes the paper's reported quantiles.
+func Summarize(qerrs []float64) Summary {
+	if len(qerrs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), qerrs...)
+	sort.Float64s(s)
+	return Summary{
+		Median: Quantile(s, 0.5),
+		P95:    Quantile(s, 0.95),
+		P99:    Quantile(s, 0.99),
+		Max:    s[len(s)-1],
+	}
+}
+
+// Quantile interpolates the q-th quantile of a sorted slice.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the summary as a table row.
+func (s Summary) String() string {
+	return fmt.Sprintf("median %.3g  p95 %.3g  p99 %.3g  max %.3g", s.Median, s.P95, s.P99, s.Max)
+}
+
+// colClass separates range-filterable columns from equality-only ones.
+var rangeCols = map[string]bool{
+	"production_year": true,
+	"episode_nr":      true,
+	"season_nr":       true,
+	"nr_order":        true,
+	"info_val":        true,
+	"phonetic_code":   true,
+	"name_pcode":      true,
+	"company_id":      true,
+}
+
+// tupleDrawer caches per-join-graph inner samplers for literal drawing.
+type tupleDrawer struct {
+	sch   *schema.Schema
+	inner map[string]*sampler.Inner
+}
+
+func newTupleDrawer(sch *schema.Schema) *tupleDrawer {
+	return &tupleDrawer{sch: sch, inner: make(map[string]*sampler.Inner)}
+}
+
+// draw returns one uniform inner-join tuple over the given tables as a map
+// table → base row. Returns false when the graph's inner join is empty.
+func (td *tupleDrawer) draw(rng *rand.Rand, tables []string) (map[string]int, bool) {
+	key := fmt.Sprint(tables)
+	in, ok := td.inner[key]
+	if !ok {
+		sub, err := td.sch.SubSchema(tables)
+		if err != nil {
+			panic(fmt.Sprintf("workload: invalid join graph %v: %v", tables, err))
+		}
+		in, err = sampler.NewInner(sub, nil)
+		if err != nil {
+			panic(fmt.Sprintf("workload: %v", err))
+		}
+		td.inner[key] = in
+	}
+	out := make([]int32, len(in.Tables()))
+	if !in.Sample(rng, out) {
+		return nil, false
+	}
+	m := make(map[string]int, len(out))
+	for i, name := range in.Tables() {
+		m[name] = int(out[i])
+	}
+	return m, true
+}
+
+// filterFromTuple builds a filter on (table, col) whose literal is the
+// drawn tuple's value, guaranteeing the tuple satisfies it. Returns false
+// when the tuple's value is NULL (no filter can be placed).
+func filterFromTuple(rng *rand.Rand, sch *schema.Schema, tbl, col string, row int, allowRange bool) (query.Filter, bool) {
+	c := sch.Table(tbl).MustCol(col)
+	v := c.Value(row)
+	if v.IsNull() {
+		return query.Filter{}, false
+	}
+	f := query.Filter{Table: tbl, Col: col, Val: v}
+	if allowRange && rangeCols[col] {
+		switch rng.Intn(3) {
+		case 0:
+			f.Op = query.OpLe
+		case 1:
+			f.Op = query.OpGe
+		default:
+			f.Op = query.OpEq
+		}
+	} else {
+		// Equality, occasionally widened to IN (still satisfied by v).
+		if rng.Intn(5) == 0 {
+			f.Op = query.OpIn
+			f.Set = []value.Value{v}
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				alt := c.ValueForID(int32(1 + rng.Intn(c.DictSize()-1)))
+				f.Set = append(f.Set, alt)
+			}
+			f.Val = value.Null
+		} else {
+			f.Op = query.OpEq
+		}
+	}
+	return f, true
+}
+
+// label computes ground truth for a query.
+func label(sch *schema.Schema, q query.Query) (LabeledQuery, error) {
+	card, err := exec.Cardinality(sch, q)
+	if err != nil {
+		return LabeledQuery{}, err
+	}
+	inner, err := exec.InnerJoinSize(sch, q.Tables)
+	if err != nil {
+		return LabeledQuery{}, err
+	}
+	return LabeledQuery{Query: q, TrueCard: card, InnerSize: inner}, nil
+}
+
+// jobLightGraphs returns the 18 join graphs of the JOB-light benchmark
+// (title plus 1-4 of its five fact tables, the combinations the original
+// 70 queries use).
+func jobLightGraphs() [][]string {
+	const (
+		ci  = "cast_info"
+		mc  = "movie_companies"
+		mi  = "movie_info"
+		mk  = "movie_keyword"
+		mii = "movie_info_idx"
+	)
+	combos := [][]string{
+		{ci}, {mc}, {mi}, {mk}, {mii},
+		{ci, mc}, {ci, mi}, {ci, mk}, {mc, mi}, {mc, mk}, {mi, mii}, {mc, mii},
+		{ci, mi, mk}, {ci, mc, mi}, {mc, mi, mii}, {ci, mc, mk},
+		{ci, mc, mi, mk}, {mc, mi, mii, mk},
+	}
+	graphs := make([][]string, len(combos))
+	for i, c := range combos {
+		graphs[i] = append([]string{"title"}, c...)
+	}
+	return graphs
+}
+
+// JOBLight generates the 70-query JOB-light analogue: joins of 2-5 tables
+// with equality filters on categorical columns and range filters on
+// title.production_year only.
+func JOBLight(d *datagen.Dataset, seed int64) (*Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := jobLightGraphs()
+	td := newTupleDrawer(d.Schema)
+	w := &Workload{Name: "JOB-light"}
+	const n = 70
+	for len(w.Queries) < n {
+		graph := graphs[rng.Intn(len(graphs))]
+		tuple, ok := td.draw(rng, graph)
+		if !ok {
+			continue
+		}
+		var filters []query.Filter
+		// Range filter on production_year for about half the queries.
+		if rng.Intn(2) == 0 {
+			if f, ok := filterFromTuple(rng, d.Schema, "title", "production_year", tuple["title"], true); ok {
+				filters = append(filters, f)
+			}
+		}
+		// Equality filters on 1-3 categorical fact columns.
+		cats := []struct{ tbl, col string }{
+			{"title", "kind_id"},
+			{"cast_info", "role_id"},
+			{"movie_companies", "company_type_id"},
+			{"movie_info", "info_type_id"},
+			{"movie_keyword", "keyword_id"},
+			{"movie_info_idx", "info_type_id"},
+		}
+		rng.Shuffle(len(cats), func(i, j int) { cats[i], cats[j] = cats[j], cats[i] })
+		want := 1 + rng.Intn(3)
+		for _, cc := range cats {
+			if len(filters) >= want+1 {
+				break
+			}
+			row, inGraph := tuple[cc.tbl]
+			if !inGraph {
+				continue
+			}
+			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, row, false); ok {
+				// JOB-light uses pure equality (no IN).
+				if f.Op == query.OpIn {
+					f.Op = query.OpEq
+					f.Val = f.Set[0]
+					f.Set = nil
+				}
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue
+		}
+		lq, err := label(d.Schema, query.Query{Tables: graph, Filters: filters})
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, lq)
+	}
+	return w, nil
+}
+
+// JOBLightRanges generates the 1000-query JOB-light-ranges analogue: same
+// join graphs, literals drawn from inner-join tuples, 3-6 operators per
+// query across the full content column set.
+func JOBLightRanges(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := jobLightGraphs()
+	td := newTupleDrawer(d.Schema)
+	w := &Workload{Name: "JOB-light-ranges"}
+	for len(w.Queries) < n {
+		// Uniformly distributed over join graphs (§7.1).
+		graph := graphs[len(w.Queries)%len(graphs)]
+		tuple, ok := td.draw(rng, graph)
+		if !ok {
+			continue
+		}
+		// Candidate (table, col) pairs present in this graph.
+		type tc struct{ tbl, col string }
+		var cands []tc
+		for _, tbl := range graph {
+			for _, col := range d.ContentCols[tbl] {
+				cands = append(cands, tc{tbl, col})
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		want := 3 + rng.Intn(4) // 3-6 operators
+		var filters []query.Filter
+		for _, cc := range cands {
+			if len(filters) >= want {
+				break
+			}
+			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true); ok {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) < 3 {
+			continue // tuple too NULL-heavy; redraw
+		}
+		lq, err := label(d.Schema, query.Query{Tables: graph, Filters: filters})
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, lq)
+	}
+	return w, nil
+}
+
+// JOBM generates the 113-query JOB-M analogue: connected subtrees of the
+// 16-table snowflake containing title, joining 2-11 tables, with 2-5
+// filters on content columns.
+func JOBM(d *datagen.Dataset, seed int64) (*Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	td := newTupleDrawer(d.Schema)
+	w := &Workload{Name: "JOB-M"}
+	const n = 113
+	for len(w.Queries) < n {
+		graph := growSubtree(rng, d.Schema, "title", 2+rng.Intn(10))
+		if len(graph) < 2 {
+			continue
+		}
+		tuple, ok := td.draw(rng, graph)
+		if !ok {
+			continue
+		}
+		type tc struct{ tbl, col string }
+		var cands []tc
+		for _, tbl := range graph {
+			for _, col := range d.ContentCols[tbl] {
+				cands = append(cands, tc{tbl, col})
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		want := 2 + rng.Intn(4)
+		var filters []query.Filter
+		for _, cc := range cands {
+			if len(filters) >= want {
+				break
+			}
+			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true); ok {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue
+		}
+		lq, err := label(d.Schema, query.Query{Tables: graph, Filters: filters})
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, lq)
+	}
+	return w, nil
+}
+
+// growSubtree grows a random connected subtree from start up to maxTables.
+func growSubtree(rng *rand.Rand, sch *schema.Schema, start string, maxTables int) []string {
+	in := map[string]bool{start: true}
+	out := []string{start}
+	for len(out) < maxTables {
+		var cands []string
+		for t := range in {
+			for _, c := range sch.Children(t) {
+				if !in[c] {
+					cands = append(cands, c)
+				}
+			}
+			if e, ok := sch.Parent(t); ok && !in[e.Parent] {
+				cands = append(cands, e.Parent)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		pick := cands[rng.Intn(len(cands))]
+		in[pick] = true
+		out = append(out, pick)
+	}
+	sort.Strings(out[1:]) // deterministic order after the root
+	return out
+}

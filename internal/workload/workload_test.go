@@ -1,0 +1,206 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"neurocard/internal/datagen"
+)
+
+func dataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	d, err := datagen.JOBLight(datagen.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestQError(t *testing.T) {
+	cases := []struct{ est, act, want float64 }{
+		{10, 10, 1},
+		{100, 10, 10},
+		{10, 100, 10},
+		{0.5, 0.2, 1}, // both clamp to 1
+		{0, 50, 50},
+	}
+	for _, c := range cases {
+		if got := QError(c.est, c.act); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("QError(%v,%v) = %v, want %v", c.est, c.act, got, c.want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	qerrs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 100}
+	s := Summarize(qerrs)
+	if s.Max != 100 {
+		t.Errorf("Max = %v", s.Max)
+	}
+	if s.Median < 4 || s.Median > 6 {
+		t.Errorf("Median = %v", s.Median)
+	}
+	if s.P99 < s.P95 || s.Max < s.P99 {
+		t.Errorf("quantiles not monotone: %+v", s)
+	}
+	if got := Summarize(nil); got.Max != 0 {
+		t.Errorf("empty Summarize = %+v", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	if got := Quantile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(sorted, 1); got != 4 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(sorted, 0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("q0.5 = %v", got)
+	}
+}
+
+func TestJOBLightWorkload(t *testing.T) {
+	d := dataset(t)
+	w, err := JOBLight(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 70 {
+		t.Fatalf("queries = %d, want 70", len(w.Queries))
+	}
+	for i, lq := range w.Queries {
+		if lq.TrueCard < 1 {
+			t.Errorf("query %d (%s) is empty: generation must guarantee non-empty results", i, lq.Query)
+		}
+		if len(lq.Query.Tables) < 2 || len(lq.Query.Tables) > 5 {
+			t.Errorf("query %d joins %d tables, want 2-5", i, len(lq.Query.Tables))
+		}
+		if lq.Query.Tables[0] != "title" {
+			t.Errorf("query %d does not include title first", i)
+		}
+		// Range ops only on production_year (JOB-light's defining trait).
+		for _, f := range lq.Query.Filters {
+			isRange := f.Op != 0 && f.Op.String() != "=" && f.Op.String() != "IN"
+			if isRange && f.Col != "production_year" {
+				t.Errorf("query %d: range filter on %s.%s", i, f.Table, f.Col)
+			}
+		}
+		if lq.InnerSize < lq.TrueCard {
+			t.Errorf("query %d: inner size %v < card %v", i, lq.InnerSize, lq.TrueCard)
+		}
+	}
+}
+
+func TestJOBLightRangesWorkload(t *testing.T) {
+	d := dataset(t)
+	w, err := JOBLightRanges(d, 90, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 90 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	rangeSeen := false
+	graphs := map[string]bool{}
+	for i, lq := range w.Queries {
+		if lq.TrueCard < 1 {
+			t.Errorf("query %d empty", i)
+		}
+		if len(lq.Query.Filters) < 3 || len(lq.Query.Filters) > 6 {
+			t.Errorf("query %d has %d filters, want 3-6", i, len(lq.Query.Filters))
+		}
+		for _, f := range lq.Query.Filters {
+			if f.Op.String() == "<=" || f.Op.String() == ">=" {
+				rangeSeen = true
+			}
+		}
+		graphs[graphKey(lq.Query.Tables)] = true
+	}
+	if !rangeSeen {
+		t.Error("no range filters generated")
+	}
+	if len(graphs) < 10 {
+		t.Errorf("only %d distinct join graphs used", len(graphs))
+	}
+}
+
+func graphKey(tables []string) string {
+	out := ""
+	for _, t := range tables {
+		out += t + ","
+	}
+	return out
+}
+
+func TestJOBMWorkload(t *testing.T) {
+	d, err := datagen.JOBM(datagen.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := JOBM(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 113 {
+		t.Fatalf("queries = %d, want 113", len(w.Queries))
+	}
+	maxTables := 0
+	for i, lq := range w.Queries {
+		if lq.TrueCard < 1 {
+			t.Errorf("query %d empty", i)
+		}
+		n := len(lq.Query.Tables)
+		if n < 2 || n > 11 {
+			t.Errorf("query %d joins %d tables", i, n)
+		}
+		if n > maxTables {
+			maxTables = n
+		}
+	}
+	if maxTables < 6 {
+		t.Errorf("largest join only %d tables; want snowflake-deep queries", maxTables)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	d := dataset(t)
+	a, err := JOBLight(d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := JOBLight(d, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Queries {
+		if a.Queries[i].Query.String() != b.Queries[i].Query.String() {
+			t.Fatalf("query %d differs across runs", i)
+		}
+		if a.Queries[i].TrueCard != b.Queries[i].TrueCard {
+			t.Fatalf("label %d differs across runs", i)
+		}
+	}
+}
+
+func TestSelectivitySpread(t *testing.T) {
+	d := dataset(t)
+	w, err := JOBLightRanges(d, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSel, maxSel := math.Inf(1), 0.0
+	for _, lq := range w.Queries {
+		sel := lq.Selectivity()
+		if sel <= 0 || sel > 1 {
+			t.Fatalf("selectivity %v out of (0,1]", sel)
+		}
+		minSel = math.Min(minSel, sel)
+		maxSel = math.Max(maxSel, sel)
+	}
+	// Figure 6's point: the spectrum spans orders of magnitude.
+	if maxSel/minSel < 100 {
+		t.Errorf("selectivity spread only %.1f× (min %v, max %v)", maxSel/minSel, minSel, maxSel)
+	}
+}
