@@ -19,11 +19,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d")
+	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
 	flag.Parse()
 
 	o := harness.Default()
 	if *quick {
 		o = harness.Quick()
+	}
+	if *evalWorkers > 0 {
+		o.EvalWorkers = *evalWorkers
 	}
 
 	want := map[string]bool{}

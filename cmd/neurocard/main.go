@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"neurocard"
@@ -26,6 +27,7 @@ func main() {
 	factBits := flag.Int("factbits", 12, "factorization bits (0 = off)")
 	psamples := flag.Int("psamples", 256, "progressive samples per query")
 	workers := flag.Int("workers", 8, "sampler threads")
+	evalWorkers := flag.Int("evalworkers", runtime.GOMAXPROCS(0), "concurrent estimation goroutines")
 	ranges := flag.Bool("ranges", false, "evaluate JOB-light-ranges instead of JOB-light")
 	nQueries := flag.Int("queries", 200, "ranges workload size")
 	savePath := flag.String("save", "", "write trained model weights to this file")
@@ -83,18 +85,23 @@ func main() {
 		log.Fatal(err)
 	}
 
+	queries := make([]neurocard.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		queries[i] = lq.Query
+	}
 	start = time.Now()
-	var qerrs []float64
-	for _, lq := range wl.Queries {
-		got, err := est.Estimate(lq.Query)
-		if err != nil {
-			log.Fatal(err)
-		}
-		qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
+	ests, err := neurocard.EstimateBatch(est, queries, *evalWorkers)
+	if err != nil {
+		log.Fatal(err)
 	}
 	dt := time.Since(start)
-	fmt.Printf("\n%s: %d queries in %.1fs (%.0f ms/query)\n",
-		wl.Name, len(wl.Queries), dt.Seconds(), dt.Seconds()*1000/float64(len(wl.Queries)))
+	qerrs := make([]float64, len(ests))
+	for i, got := range ests {
+		qerrs[i] = workload.QError(got, wl.Queries[i].TrueCard)
+	}
+	fmt.Printf("\n%s: %d queries in %.1fs (%.0f ms/query, %.1f queries/sec on %d workers)\n",
+		wl.Name, len(wl.Queries), dt.Seconds(), dt.Seconds()*1000/float64(len(wl.Queries)),
+		float64(len(wl.Queries))/dt.Seconds(), *evalWorkers)
 	fmt.Printf("q-errors: %s\n", workload.Summarize(qerrs))
 
 	if *savePath != "" {

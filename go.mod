@@ -1,0 +1,3 @@
+module neurocard
+
+go 1.24

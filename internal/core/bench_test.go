@@ -1,0 +1,70 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/query"
+	"neurocard/internal/workload"
+)
+
+// benchEstimator builds an untrained (but fully wired) NeuroCard estimator
+// over a small synthetic JOB-light instance plus a query workload. Untrained
+// weights produce valid conditionals, so this measures pure inference cost.
+func benchEstimator(b *testing.B) (*core.Estimator, []query.Query) {
+	b.Helper()
+	d, err := datagen.JOBLight(datagen.Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.PSamples = 128
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := workload.JOBLightRanges(d, 32, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qs := make([]query.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		qs[i] = lq.Query
+	}
+	return est, qs
+}
+
+// BenchmarkEstimateLatency is the serving-throughput baseline tracked in
+// EXPERIMENTS.md: single-query progressive-sampling latency. It reports
+// queries/sec alongside allocs/op so hot-path regressions are visible.
+func BenchmarkEstimateLatency(b *testing.B) {
+	est, qs := benchEstimator(b)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateWithSamples(qs[i%len(qs)], 128, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkEstimateBatch measures concurrent batch throughput across worker
+// sessions (the serving configuration).
+func BenchmarkEstimateBatch(b *testing.B) {
+	est, qs := benchEstimator(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for n < b.N {
+		if _, err := est.EstimateBatch(qs, 8); err != nil {
+			b.Fatal(err)
+		}
+		n += len(qs)
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "queries/sec")
+}

@@ -1,0 +1,156 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+
+	"neurocard/internal/core"
+	"neurocard/internal/query"
+	"neurocard/internal/value"
+)
+
+// batchQueries is a small mixed workload over the figure4 schema: joins of
+// every size, filters, an empty-region filter, and repeated queries (which
+// must still get independent per-index seeds).
+func batchQueries() []query.Query {
+	return []query.Query{
+		{Tables: []string{"A", "B", "C"},
+			Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}}},
+		{Tables: []string{"B"}},
+		{Tables: []string{"B", "C"}},
+		{Tables: []string{"A", "B"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpGe, Val: value.Int(1995)}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpEq, Val: value.Int(1234)}}},
+		{Tables: []string{"A", "B", "C"}},
+		{Tables: []string{"B"}},
+		{Tables: []string{"A", "B", "C"},
+			Filters: []query.Filter{{Table: "A", Col: "x", Op: query.OpEq, Val: value.Int(2)}}},
+	}
+}
+
+// trainedEstimator builds a small real-model estimator (untrained weights
+// still define a valid distribution, which is all determinism tests need).
+func trainedEstimator(t *testing.T) *core.Estimator {
+	t.Helper()
+	s := figure4(t)
+	cfg := core.DefaultConfig()
+	cfg.Model.Hidden = 24
+	cfg.Model.EmbedDim = 6
+	cfg.Model.Blocks = 1
+	cfg.PSamples = 64
+	cfg.Seed = 5
+	cfg.ContentCols = allColumns(s)
+	est, err := core.Build(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestEstimateBatchDeterministic: batch estimation must return identical
+// results run to run, across worker counts, and must match the sequential
+// EstimateIndexed path — regardless of goroutine interleaving. Run under
+// -race in CI.
+func TestEstimateBatchDeterministic(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func(t *testing.T) *core.Estimator
+	}{
+		{"made", trainedEstimator},
+		{"oracle", func(t *testing.T) *core.Estimator {
+			return oracleEstimator(t, figure4(t), 2, 64, 5)
+		}},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			est := mk.build(t)
+			qs := batchQueries()
+			want := make([]float64, len(qs))
+			for i, q := range qs {
+				got, err := est.EstimateIndexed(q, int64(i))
+				if err != nil {
+					t.Fatalf("EstimateIndexed %d: %v", i, err)
+				}
+				want[i] = got
+			}
+			for _, workers := range []int{1, 4, 16} {
+				for run := 0; run < 3; run++ {
+					got, err := est.EstimateBatch(qs, workers)
+					if err != nil {
+						t.Fatalf("EstimateBatch(workers=%d): %v", workers, err)
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("workers=%d run=%d query %d: %v != %v",
+								workers, run, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEstimateBatchErrors: a bad query yields an error but does not poison
+// the rest of the batch.
+func TestEstimateBatchErrors(t *testing.T) {
+	est := oracleEstimator(t, figure4(t), 0, 32, 1)
+	qs := batchQueries()
+	bad := append(append([]query.Query(nil), qs...),
+		query.Query{Tables: []string{"A", "C"}}) // disconnected
+	ests, err := est.EstimateBatch(bad, 4)
+	if err == nil {
+		t.Fatal("disconnected query in batch accepted")
+	}
+	if len(ests) != len(bad) {
+		t.Fatalf("estimates length %d, want %d", len(ests), len(bad))
+	}
+	for i := range qs {
+		if ests[i] < 1 {
+			t.Errorf("query %d estimate %v despite unrelated error", i, ests[i])
+		}
+	}
+}
+
+// TestConcurrentEstimateRaceFree hammers the plain Estimate API from many
+// goroutines; -race verifies the pooled sessions never share state.
+func TestConcurrentEstimateRaceFree(t *testing.T) {
+	est := trainedEstimator(t)
+	qs := batchQueries()[:4] // valid queries only
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if _, err := est.Estimate(qs[(g+k)%len(qs)]); err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestEstimateCounterDeterministic: two estimators built identically produce
+// the same sequence of sequential Estimate results (the atomic counter
+// replaces the old shared-RNG draw without changing determinism).
+func TestEstimateCounterDeterministic(t *testing.T) {
+	a := trainedEstimator(t)
+	b := trainedEstimator(t)
+	q := batchQueries()[0]
+	for k := 0; k < 3; k++ {
+		ea, err := a.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.Estimate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb {
+			t.Fatalf("call %d: %v != %v", k, ea, eb)
+		}
+	}
+}

@@ -73,6 +73,7 @@ type Encoder struct {
 	tIdx     map[string]int
 	cols     []ModelCol
 	flatDoms []int
+	modeled  map[string]map[string]bool // table → content column → modeled
 }
 
 // NewEncoder builds the encoder. contentCols maps table name → modeled
@@ -162,6 +163,15 @@ func NewEncoder(domain *schema.Schema, contentCols map[string][]string, factBits
 	}
 	if len(e.cols) == 0 {
 		return nil, fmt.Errorf("core: encoder has no columns")
+	}
+	e.modeled = make(map[string]map[string]bool)
+	for _, mc := range e.cols {
+		if mc.Kind == KindContent {
+			if e.modeled[mc.Table] == nil {
+				e.modeled[mc.Table] = make(map[string]bool)
+			}
+			e.modeled[mc.Table][mc.Col] = true
+		}
 	}
 	return e, nil
 }

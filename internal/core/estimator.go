@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -64,9 +65,22 @@ type Estimator struct {
 
 	joinSize float64
 	cfg      Config
-	rng      *rand.Rand
+	rng      *rand.Rand // training-time randomness only; never used by Estimate
 
-	mu sync.Mutex // guards Estimate's shared rng
+	sessions *sessionPool // reusable inference sessions
+	qcount   atomic.Int64 // per-query seed counter for Estimate
+}
+
+// initSessions wires the inference-session pool to the estimator's
+// conditional source: MADE models get native zero-alloc sessions, anything
+// else (e.g. the exact oracle) goes through the generic adapter.
+func (e *Estimator) initSessions() {
+	e.sessions = newSessionPool(func(rows int) inferSession {
+		if m, ok := e.model.(*made.Model); ok {
+			return m.NewInferSession(rows)
+		}
+		return newGenericSession(e.model, rows)
+	})
 }
 
 // Build constructs an untrained estimator over the schema: prepares the join
@@ -106,6 +120,7 @@ func BuildWithDomain(domain, data *schema.Schema, cfg Config) (*Estimator, error
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	e.initSessions()
 	if err := e.UpdateData(data); err != nil {
 		return nil, err
 	}
@@ -129,6 +144,7 @@ func NewFromParts(domain, data *schema.Schema, enc *Encoder, src ProbSource, cfg
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
+	e.initSessions()
 	if err := e.UpdateData(data); err != nil {
 		return nil, err
 	}
@@ -268,11 +284,96 @@ func (e *Estimator) streamBatches(steps int) <-chan [][]int32 {
 	return ch
 }
 
+// mixSeed derives a per-query RNG seed from the configured seed and a query
+// index (splitmix64-style finalizer), so estimates depend only on (seed,
+// index) — never on goroutine interleaving or shared RNG state.
+func mixSeed(seed, idx int64) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Estimate returns the estimated cardinality of q using the configured
-// number of progressive samples.
+// number of progressive samples. Safe for concurrent use: each call draws a
+// unique index from an atomic counter and runs on its own pooled session.
 func (e *Estimator) Estimate(q query.Query) (float64, error) {
-	e.mu.Lock()
-	seed := e.rng.Int63()
-	e.mu.Unlock()
-	return e.EstimateWithSamples(q, e.cfg.PSamples, rand.New(rand.NewSource(seed)))
+	return e.EstimateIndexed(q, e.qcount.Add(1))
+}
+
+// psamples returns the configured progressive-sample count, clamped so
+// every estimation path draws at least one sample.
+func (e *Estimator) psamples() int {
+	if e.cfg.PSamples < 1 {
+		return 1
+	}
+	return e.cfg.PSamples
+}
+
+// EstimateIndexed runs one estimate whose randomness is fully determined by
+// the configured seed and idx, independent of concurrency and call order —
+// the primitive EstimateBatch workers and parallel evaluation harnesses use
+// to get run-to-run identical results.
+func (e *Estimator) EstimateIndexed(q query.Query, idx int64) (float64, error) {
+	st := e.sessions.get(e.psamples())
+	defer e.sessions.put(st)
+	return e.estimateIndexed(st, q, idx)
+}
+
+// estimateIndexed is the shared single-query path over a held session: plan,
+// empty-region shortcut, index-derived RNG, sampling. EstimateIndexed wraps
+// it with pool checkout; EstimateBatch workers hold one state across
+// queries.
+func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (float64, error) {
+	plans, empty, err := e.plan(q)
+	if err != nil {
+		return 0, err
+	}
+	if empty {
+		// A filter matches no dictionary value: true cardinality is 0; the
+		// Q-error convention lower-bounds estimates at 1.
+		return 1, nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(e.cfg.Seed, idx)))
+	return e.sampleWithSession(st, plans, e.psamples(), rng), nil
+}
+
+// EstimateBatch estimates all queries concurrently on up to `workers`
+// goroutines (≤ 0 means GOMAXPROCS), each owning one inference session for
+// its lifetime. Query i is seeded by (cfg.Seed, i), so results are identical
+// run to run regardless of scheduling. Returns estimates aligned with
+// queries and the first error encountered (by query index).
+func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	ests := make([]float64, len(queries))
+	errs := make([]error, len(queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := e.sessions.get(e.psamples())
+			defer e.sessions.put(st)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				ests[i], errs[i] = e.estimateIndexed(st, queries[i], int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return ests, err
+		}
+	}
+	return ests, nil
 }

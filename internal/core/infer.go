@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"neurocard/internal/nn"
 	"neurocard/internal/query"
 )
 
@@ -51,17 +50,8 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 	}
 	// Every filtered column must be modeled; silently dropping a filter
 	// would systematically overestimate.
-	modeled := make(map[string]map[string]bool)
-	for _, mc := range e.enc.cols {
-		if mc.Kind == KindContent {
-			if modeled[mc.Table] == nil {
-				modeled[mc.Table] = make(map[string]bool)
-			}
-			modeled[mc.Table][mc.Col] = true
-		}
-	}
 	for _, f := range q.Filters {
-		if !modeled[f.Table][f.Col] {
+		if !e.enc.modeled[f.Table][f.Col] {
 			return nil, false, fmt.Errorf("core: filter %s references a column not modeled by the estimator; add it to ContentCols", f)
 		}
 	}
@@ -111,7 +101,10 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 
 // EstimateWithSamples runs progressive sampling (Eq. 5 extended per §5/§6)
 // with the given number of Monte Carlo samples and returns the estimated
-// cardinality, lower-bounded at 1.
+// cardinality, lower-bounded at 1. The sampling batch runs on a pooled
+// inference session: scratch is reused across queries, and rows whose weight
+// hits zero are compacted out of the batch instead of being forward-passed
+// dead.
 func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.Rand) (float64, error) {
 	plans, empty, err := e.plan(q)
 	if err != nil {
@@ -125,58 +118,52 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 	if nSamples < 1 {
 		nSamples = 1
 	}
+	st := e.sessions.get(nSamples)
+	defer e.sessions.put(st)
+	return e.sampleWithSession(st, plans, nSamples, rng), nil
+}
 
-	b := nSamples
-	tokens := make([][]int32, b)
-	for r := range tokens {
-		row := make([]int32, e.enc.NumFlat())
-		for i := range row {
-			row[i] = MaskToken
-		}
-		tokens[r] = row
-	}
-	w := make([]float64, b)
+// sampleWithSession executes a compiled plan on a session-backed sampling
+// batch. Single-threaded; concurrency comes from running many sessions.
+func (e *Estimator) sampleWithSession(st *inferState, plans []colPlan, nSamples int, rng *rand.Rand) float64 {
+	sess, w := st.sess, st.w[:nSamples]
+	sess.Reset(nSamples)
 	for i := range w {
 		w[i] = 1
 	}
+	active := nSamples
 
-	for _, p := range plans {
+	for pi := range plans {
+		if active == 0 {
+			break
+		}
+		p := &plans[pi]
 		switch p.mode {
 		case modeSkip:
 			continue
 
 		case modeIndicatorOne:
-			out := nn.NewMat(b, 2)
-			e.model.Conditional(tokens, p.mc.FlatOffset, out)
-			for r := 0; r < b; r++ {
-				if w[r] == 0 {
-					continue
-				}
-				w[r] *= out.At(r, 1)
-				tokens[r][p.mc.FlatOffset] = 1
+			probs := sess.Probs(p.mc.FlatOffset)
+			for r := 0; r < active; r++ {
+				w[r] *= probs.At(r, 1)
+				sess.SetToken(r, p.mc.FlatOffset, 1)
 			}
+			active = compactZero(sess, w, active)
 
 		case modeConstrain:
-			e.sampleConstrained(p, tokens, w, rng)
+			active = e.sampleConstrained(st, p, w, active, rng)
 
 		case modeFanoutDivide:
 			nsub := p.mc.Fact.NumSubs()
 			for j := 0; j < nsub; j++ {
 				flat := p.mc.FlatOffset + j
-				out := nn.NewMat(b, e.model.DomainSize(flat))
-				e.model.Conditional(tokens, flat, out)
-				for r := 0; r < b; r++ {
-					if w[r] == 0 {
-						continue
-					}
-					tokens[r][flat] = drawFull(out.Row(r), rng)
+				probs := sess.Probs(flat)
+				for r := 0; r < active; r++ {
+					sess.SetToken(r, flat, drawFull(probs.Row(r), rng))
 				}
 			}
-			for r := 0; r < b; r++ {
-				if w[r] == 0 {
-					continue
-				}
-				sub := tokens[r][p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+			for r := 0; r < active; r++ {
+				sub := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
 				fan := float64(p.mc.Fact.Decode(sub)) + 1
 				w[r] /= fan
 			}
@@ -184,42 +171,42 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 	}
 
 	sum := 0.0
-	for _, x := range w {
-		sum += x
+	for r := 0; r < active; r++ {
+		sum += w[r]
 	}
-	card := sum / float64(b) * e.joinSize
+	card := sum / float64(nSamples) * e.joinSize
 	if card < 1 {
 		card = 1
 	}
-	return card, nil
+	return card
 }
 
 // sampleConstrained draws one content column subcolumn-by-subcolumn inside
 // its filter region, multiplying each sample's weight by the in-region
-// probability mass (importance weighting).
-func (e *Estimator) sampleConstrained(p colPlan, tokens [][]int32, w []float64, rng *rand.Rand) {
+// probability mass (importance weighting). Rows whose region support is
+// empty are compacted out between subcolumns. Returns the new active count.
+func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, active int, rng *rand.Rand) int {
+	sess := st.sess
 	nsub := p.mc.Fact.NumSubs()
-	b := len(tokens)
-	for j := 0; j < nsub; j++ {
+	for j := 0; j < nsub && active > 0; j++ {
 		flat := p.mc.FlatOffset + j
-		out := nn.NewMat(b, e.model.DomainSize(flat))
-		e.model.Conditional(tokens, flat, out)
-		for r := 0; r < b; r++ {
-			if w[r] == 0 {
-				continue
-			}
-			colToks := tokens[r][p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+		probs := sess.Probs(flat)
+		for r := 0; r < active; r++ {
+			colToks := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
 			prefix := p.mc.Fact.PrefixValue(colToks, j)
-			sub := p.mc.Fact.SubRegion(p.region, j, prefix)
+			sub := p.mc.Fact.SubRegionAppend(st.ranges, p.region, j, prefix)
+			if cap(sub) > cap(st.ranges) {
+				st.ranges = sub // keep the grown scratch for later rows
+			}
 			if len(sub) == 0 {
 				w[r] = 0
 				continue
 			}
-			probs := out.Row(r)
+			pr := probs.Row(r)
 			mass := 0.0
 			for _, iv := range sub {
 				for t := iv.Lo; t <= iv.Hi; t++ {
-					mass += probs[t]
+					mass += pr[t]
 				}
 			}
 			if mass <= 0 {
@@ -227,23 +214,45 @@ func (e *Estimator) sampleConstrained(p colPlan, tokens [][]int32, w []float64, 
 				continue
 			}
 			w[r] *= mass
-			// Draw within the region proportionally to probs.
+			// Draw within the region proportionally to pr.
 			u := rng.Float64() * mass
 			var chosen int32 = sub[len(sub)-1].Hi
 			acc := 0.0
 		draw:
 			for _, iv := range sub {
 				for t := iv.Lo; t <= iv.Hi; t++ {
-					acc += probs[t]
+					acc += pr[t]
 					if acc > u {
 						chosen = t
 						break draw
 					}
 				}
 			}
-			colToks[j] = chosen
+			sess.SetToken(r, flat, chosen)
+		}
+		active = compactZero(sess, w, active)
+	}
+	return active
+}
+
+// compactZero removes zero-weight rows by moving live tail rows into their
+// slots, shrinking the session's active batch. Dead rows never see another
+// forward pass.
+func compactZero(sess inferSession, w []float64, active int) int {
+	r := 0
+	for r < active {
+		if w[r] != 0 {
+			r++
+			continue
+		}
+		active--
+		if r != active {
+			w[r] = w[active]
+			sess.CompactRows(r, active)
 		}
 	}
+	sess.Shrink(active)
+	return active
 }
 
 // drawFull samples an index proportional to an (already normalized)

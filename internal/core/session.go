@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync"
+
+	"neurocard/internal/nn"
+	"neurocard/internal/query"
+)
+
+// inferSession is the reusable inference context progressive sampling runs
+// on: a token matrix with wildcard defaults, per-column conditional reads,
+// and row compaction. *made.InferSession implements it natively (cached
+// trunk, zero-alloc buffers); genericSession adapts any other ProbSource.
+type inferSession interface {
+	Cap() int
+	Reset(rows int)
+	TokenRow(r int) []int32
+	SetToken(r, col int, tok int32)
+	Probs(col int) *nn.Mat
+	CompactRows(dst, src int)
+	Shrink(rows int)
+}
+
+// genericSession adapts a plain ProbSource (e.g. the exact oracle) to the
+// session interface with preallocated token and output buffers, so the
+// rewritten sampling loop — including active-row compaction — runs
+// identically over non-MADE conditional sources.
+type genericSession struct {
+	src     ProbSource
+	n, cap  int
+	b       int
+	tokens  [][]int32 // row slices over backing; reordered by compaction
+	backing []int32
+	out     nn.Mat
+	outFull []float64
+}
+
+func newGenericSession(src ProbSource, maxRows int) *genericSession {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	n := src.NumCols()
+	maxDom := 0
+	for i := 0; i < n; i++ {
+		if d := src.DomainSize(i); d > maxDom {
+			maxDom = d
+		}
+	}
+	s := &genericSession{
+		src:     src,
+		n:       n,
+		cap:     maxRows,
+		tokens:  make([][]int32, maxRows),
+		backing: make([]int32, maxRows*n),
+		outFull: make([]float64, maxRows*maxDom),
+	}
+	for r := range s.tokens {
+		s.tokens[r] = s.backing[r*n : (r+1)*n]
+	}
+	return s
+}
+
+func (s *genericSession) Cap() int { return s.cap }
+
+func (s *genericSession) Reset(rows int) {
+	s.b = rows
+	for r := 0; r < rows; r++ {
+		row := s.tokens[r]
+		for i := range row {
+			row[i] = MaskToken
+		}
+	}
+}
+
+func (s *genericSession) TokenRow(r int) []int32 { return s.tokens[r] }
+
+func (s *genericSession) SetToken(r, col int, tok int32) { s.tokens[r][col] = tok }
+
+func (s *genericSession) Probs(col int) *nn.Mat {
+	dom := s.src.DomainSize(col)
+	s.out.Rows, s.out.Cols = s.b, dom
+	s.out.Data = s.outFull[:s.b*dom]
+	s.src.Conditional(s.tokens[:s.b], col, &s.out)
+	return &s.out
+}
+
+func (s *genericSession) CompactRows(dst, src int) {
+	s.tokens[dst], s.tokens[src] = s.tokens[src], s.tokens[dst]
+}
+
+func (s *genericSession) Shrink(rows int) { s.b = rows }
+
+// inferState bundles a session with the per-row sampling weights and region
+// scratch, pooled together so a whole Estimate call touches no fresh heap.
+type inferState struct {
+	sess   inferSession
+	w      []float64
+	ranges []query.IDRange // SubRegionAppend scratch, grown on demand
+}
+
+// sessionPool hands out inferStates sized for a requested row count,
+// recycling returned ones. Each concurrent Estimate (or EstimateBatch
+// worker) holds its own state; the pool itself is just a free list.
+type sessionPool struct {
+	mu    sync.Mutex
+	free  []*inferState
+	newFn func(rows int) inferSession
+}
+
+func newSessionPool(newFn func(rows int) inferSession) *sessionPool {
+	return &sessionPool{newFn: newFn}
+}
+
+func (p *sessionPool) get(rows int) *inferState {
+	p.mu.Lock()
+	for i := len(p.free) - 1; i >= 0; i-- {
+		st := p.free[i]
+		if st.sess.Cap() >= rows {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.mu.Unlock()
+			return st
+		}
+	}
+	p.mu.Unlock()
+	return &inferState{
+		sess:   p.newFn(rows),
+		w:      make([]float64, rows),
+		ranges: make([]query.IDRange, 0, 16),
+	}
+}
+
+func (p *sessionPool) put(st *inferState) {
+	p.mu.Lock()
+	p.free = append(p.free, st)
+	p.mu.Unlock()
+}

@@ -107,12 +107,20 @@ func (f Factorization) PrefixValue(tokens []int32, j int) int32 {
 // per-level constraints select exactly the region (§5, "Filters on
 // subcolumns").
 func (f Factorization) SubRegion(region query.Region, j int, prefix int32) []query.IDRange {
+	return f.SubRegionAppend(nil, region, j, prefix)
+}
+
+// SubRegionAppend is SubRegion writing into dst's storage (overwriting its
+// contents), so per-row calls on the inference hot path reuse one scratch
+// buffer instead of allocating. The returned slice shares dst's backing
+// array whenever capacity allows.
+func (f Factorization) SubRegionAppend(dst []query.IDRange, region query.Region, j int, prefix int32) []query.IDRange {
 	if len(region) == 0 {
 		return nil
 	}
 	s := f.shift[j]
 	maxTok := int32(f.Size[j] - 1)
-	var out []query.IDRange
+	out := dst[:0]
 	for _, iv := range region {
 		if iv.Hi < prefix {
 			continue

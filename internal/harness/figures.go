@@ -47,11 +47,11 @@ func Figure7a(o Options) (string, error) {
 		if _, err := est.Train(per); err != nil {
 			return "", err
 		}
-		sl, _, err := Evaluate(Named("nc", est), light)
+		sl, _, err := EvaluateParallel(Named("nc", est), light, o.EvalWorkers)
 		if err != nil {
 			return "", err
 		}
-		sr, _, err := Evaluate(Named("nc", est), ranges)
+		sr, _, err := EvaluateParallel(Named("nc", est), ranges, o.EvalWorkers)
 		if err != nil {
 			return "", err
 		}
@@ -172,7 +172,10 @@ func Figure7d(o Options) (string, error) {
 	if err := ms.Train(trainQ.Queries); err != nil {
 		return "", err
 	}
-	_, lats, err := Evaluate(Named("mscn", ms), wl)
+	// Figure 7d is a per-query latency CDF: evaluate sequentially so recorded
+	// latencies are not inflated by queries time-sharing cores (EvalWorkers
+	// affects throughput, not the paper's latency distribution).
+	_, lats, err := EvaluateParallel(Named("mscn", ms), wl, 1)
 	if err != nil {
 		return "", err
 	}
@@ -184,7 +187,7 @@ func Figure7d(o Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, lats, err = Evaluate(Named("deepdb-spn", sp), wl); err != nil {
+	if _, lats, err = EvaluateParallel(Named("deepdb-spn", sp), wl, 1); err != nil {
 		return "", err
 	}
 	emit("deepdb-spn", lats)
@@ -193,7 +196,7 @@ func Figure7d(o Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if _, lats, err = Evaluate(Named("neurocard", nc), wl); err != nil {
+	if _, lats, err = EvaluateParallel(Named("neurocard", nc), wl, 1); err != nil {
 		return "", err
 	}
 	emit("neurocard", lats)

@@ -10,6 +10,8 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"neurocard/internal/core"
@@ -38,6 +40,7 @@ type Options struct {
 	PSamples       int
 	BatchSize      int
 	SamplerWorkers int
+	EvalWorkers    int         // concurrent estimation goroutines for batch-capable estimators
 	LargeModel     made.Config // NeuroCard-large (Table 3)
 	LargeTuples    int
 
@@ -63,6 +66,7 @@ func Default() Options {
 		PSamples:         256,
 		BatchSize:        512,
 		SamplerWorkers:   8,
+		EvalWorkers:      8,
 		LargeModel:       made.Config{EmbedDim: 64, Hidden: 128, Blocks: 2, LR: 2e-3, ClipNorm: 5, Seed: 1},
 		LargeTuples:      600_000,
 		IBJSSamples:      10_000,
@@ -85,6 +89,7 @@ func Quick() Options {
 	o.PSamples = 128
 	o.BatchSize = 256
 	o.SamplerWorkers = 4
+	o.EvalWorkers = 4
 	o.LargeModel = made.Config{EmbedDim: 24, Hidden: 64, Blocks: 1, LR: 3e-3, ClipNorm: 5, Seed: 1}
 	o.LargeTuples = 100_000
 	o.IBJSSamples = 2_000
@@ -117,19 +122,81 @@ func (r Row) MeanLatency() time.Duration {
 	return total / time.Duration(len(r.Latencies))
 }
 
-// Evaluate runs an estimator over a workload, collecting Q-errors and
-// per-query latencies.
+// Evaluate runs an estimator over a workload sequentially, collecting
+// Q-errors and per-query latencies.
 func Evaluate(est Estimator, wl *workload.Workload) (workload.Summary, []time.Duration, error) {
-	qerrs := make([]float64, 0, len(wl.Queries))
-	lats := make([]time.Duration, 0, len(wl.Queries))
-	for _, lq := range wl.Queries {
-		start := time.Now()
-		got, err := est.Estimate(lq.Query)
-		if err != nil {
-			return workload.Summary{}, nil, fmt.Errorf("%s on %s: %w", est.Name(), lq.Query, err)
+	return EvaluateParallel(est, wl, 1)
+}
+
+// indexedEstimator is implemented by estimators whose per-query randomness
+// is derived from (seed, query index) — core.Estimator — making concurrent
+// evaluation deterministic run to run.
+type indexedEstimator interface {
+	EstimateIndexed(q query.Query, idx int64) (float64, error)
+}
+
+// EvaluateParallel runs a workload on up to `workers` goroutines when the
+// estimator supports index-seeded estimation (falling back to sequential
+// evaluation otherwise, since baseline estimators make no thread-safety
+// promises). Q-errors are deterministic regardless of worker count;
+// latencies are wall-clock per query under the configured concurrency.
+func EvaluateParallel(est Estimator, wl *workload.Workload, workers int) (workload.Summary, []time.Duration, error) {
+	idx, indexed := unwrap(est).(indexedEstimator)
+	if !indexed || workers <= 1 {
+		qerrs := make([]float64, 0, len(wl.Queries))
+		lats := make([]time.Duration, 0, len(wl.Queries))
+		for i, lq := range wl.Queries {
+			start := time.Now()
+			var got float64
+			var err error
+			if indexed {
+				got, err = idx.EstimateIndexed(lq.Query, int64(i))
+			} else {
+				got, err = est.Estimate(lq.Query)
+			}
+			if err != nil {
+				return workload.Summary{}, nil, fmt.Errorf("%s on %s: %w", est.Name(), lq.Query, err)
+			}
+			lats = append(lats, time.Since(start))
+			qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
 		}
-		lats = append(lats, time.Since(start))
-		qerrs = append(qerrs, workload.QError(got, lq.TrueCard))
+		return workload.Summarize(qerrs), lats, nil
+	}
+
+	if workers > len(wl.Queries) {
+		workers = len(wl.Queries)
+	}
+	qerrs := make([]float64, len(wl.Queries))
+	lats := make([]time.Duration, len(wl.Queries))
+	errs := make([]error, len(wl.Queries))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(wl.Queries) {
+					return
+				}
+				lq := wl.Queries[i]
+				start := time.Now()
+				got, err := idx.EstimateIndexed(lq.Query, int64(i))
+				lats[i] = time.Since(start)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s on %s: %w", est.Name(), lq.Query, err)
+					continue
+				}
+				qerrs[i] = workload.QError(got, lq.TrueCard)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return workload.Summary{}, nil, err
+		}
 	}
 	return workload.Summarize(qerrs), lats, nil
 }
@@ -145,6 +212,15 @@ type namedEstimator struct {
 func (n namedEstimator) Name() string { return n.name }
 func (n namedEstimator) Estimate(q query.Query) (float64, error) {
 	return n.est.Estimate(q)
+}
+
+// unwrap reveals the concrete estimator behind Named wrappers so capability
+// interfaces (indexedEstimator) can be detected.
+func unwrap(est Estimator) any {
+	if ne, ok := est.(namedEstimator); ok {
+		return ne.est
+	}
+	return est
 }
 
 // Named wraps any estimate function under a display name.

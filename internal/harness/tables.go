@@ -155,7 +155,7 @@ func Table3(o Options) (string, []Row, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	sum, lats, err := Evaluate(Named("neurocard-large", ncL), wl)
+	sum, lats, err := EvaluateParallel(Named("neurocard-large", ncL), wl, o.EvalWorkers)
 	if err != nil {
 		return "", nil, err
 	}
@@ -176,14 +176,14 @@ func Table4(o Options) (string, []Row, error) {
 	}
 	var rows []Row
 	pg := histogram.New(d.Schema, histogram.DefaultConfig())
-	sum, lats, err := Evaluate(Named("postgres-hist", pg), wl)
+	sum, lats, err := EvaluateParallel(Named("postgres-hist", pg), wl, o.EvalWorkers)
 	if err != nil {
 		return "", nil, err
 	}
 	rows = append(rows, Row{Name: "postgres-hist", Bytes: pg.Bytes(), Summary: sum, Latencies: lats})
 
 	ib := ibjs.New(d.Schema, o.IBJSSamples, o.Seed+3)
-	sum, lats, err = Evaluate(Named("ibjs", ib), wl)
+	sum, lats, err = EvaluateParallel(Named("ibjs", ib), wl, o.EvalWorkers)
 	if err != nil {
 		return "", nil, err
 	}
@@ -193,7 +193,7 @@ func Table4(o Options) (string, []Row, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	sum, lats, err = Evaluate(Named("neurocard", nc), wl)
+	sum, lats, err = EvaluateParallel(Named("neurocard", nc), wl, o.EvalWorkers)
 	if err != nil {
 		return "", nil, err
 	}
@@ -206,14 +206,14 @@ func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLar
 	var rows []Row
 
 	pg := histogram.New(d.Schema, histogram.DefaultConfig())
-	sum, lats, err := Evaluate(Named("postgres-hist", pg), wl)
+	sum, lats, err := EvaluateParallel(Named("postgres-hist", pg), wl, o.EvalWorkers)
 	if err != nil {
 		return nil, err
 	}
 	rows = append(rows, Row{Name: "postgres-hist", Bytes: pg.Bytes(), Summary: sum, Latencies: lats})
 
 	ib := ibjs.New(d.Schema, o.IBJSSamples, o.Seed+3)
-	sum, lats, err = Evaluate(Named("ibjs", ib), wl)
+	sum, lats, err = EvaluateParallel(Named("ibjs", ib), wl, o.EvalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +234,7 @@ func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLar
 		return nil, err
 	}
 	msTime := time.Since(msStart)
-	sum, lats, err = Evaluate(Named("mscn", ms), wl)
+	sum, lats, err = EvaluateParallel(Named("mscn", ms), wl, o.EvalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -249,7 +249,7 @@ func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLar
 		return nil, err
 	}
 	spnTime := time.Since(spnStart)
-	sum, lats, err = Evaluate(Named("deepdb-spn", sp), wl)
+	sum, lats, err = EvaluateParallel(Named("deepdb-spn", sp), wl, o.EvalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -260,7 +260,7 @@ func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLar
 		if err != nil {
 			return nil, err
 		}
-		sum, lats, err = Evaluate(Named("deepdb-spn-large", spL), wl)
+		sum, lats, err = EvaluateParallel(Named("deepdb-spn-large", spL), wl, o.EvalWorkers)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +271,7 @@ func compareAll(d *datagen.Dataset, wl *workload.Workload, o Options, withSPNLar
 	if err != nil {
 		return nil, err
 	}
-	sum, lats, err = Evaluate(Named("neurocard", nc), wl)
+	sum, lats, err = EvaluateParallel(Named("neurocard", nc), wl, o.EvalWorkers)
 	if err != nil {
 		return nil, err
 	}
@@ -304,7 +304,7 @@ func Table5(o Options) (string, error) {
 		fmt.Fprintf(&b, "%-28s %10s %10.3g %10.3g\n", name, size, sum.Median, sum.P99)
 	}
 	p50p99 := func(est Estimator) (workload.Summary, error) {
-		sum, _, err := Evaluate(est, wl)
+		sum, _, err := EvaluateParallel(est, wl, o.EvalWorkers)
 		return sum, err
 	}
 
@@ -485,7 +485,7 @@ func Table6(o Options) (string, error) {
 			if err != nil {
 				return nil, 0, err
 			}
-			sum, _, err := Evaluate(Named("nc", est), swl)
+			sum, _, err := EvaluateParallel(Named("nc", est), swl, o.EvalWorkers)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -574,7 +574,7 @@ func Table6(o Options) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		sum, _, err := Evaluate(Named("nc", retrain), swl)
+		sum, _, err := EvaluateParallel(Named("nc", retrain), swl, o.EvalWorkers)
 		if err != nil {
 			return "", err
 		}

@@ -56,9 +56,10 @@ type Model struct {
 	headW  []*nn.Param // per column: Hidden × EmbedDim (input rows masked by headKeep)
 	headB  []*nn.Param // per column: 1 × doms[i]
 
-	inMask   *nn.Mat     // inDim × Hidden autoregressive mask
-	hhMask   *nn.Mat     // Hidden × Hidden
-	headKeep [][]float64 // per column: 0/1 over hidden units (m(k) ≤ i)
+	inMask      *nn.Mat     // inDim × Hidden autoregressive mask
+	hhMask      *nn.Mat     // Hidden × Hidden
+	headKeep    [][]float64 // per column: 0/1 over hidden units (m(k) ≤ i)
+	prefixWidth []int       // per column: #hidden units with degree ≤ i (a prefix: degrees are sorted)
 
 	offsets []int // column block offsets within the concatenated input
 	inDim   int
@@ -67,7 +68,10 @@ type Model struct {
 	opt    *nn.Adam
 	rng    *rand.Rand
 
+	embViews []*nn.Mat // per column: cached non-MASK rows view of embeds[i].Val
+
 	samplesSeen int // tuples consumed by TrainStep, for reporting
+	version     uint64
 }
 
 // New builds a randomly initialized model for the given column domains.
@@ -135,13 +139,24 @@ func New(cfg Config, doms []int) (*Model, error) {
 	m.params = append(m.params, m.headW...)
 	m.params = append(m.params, m.headB...)
 	m.opt = nn.NewAdam(cfg.LR)
+	for i, d := range doms {
+		e := m.embeds[i].Val
+		m.embViews = append(m.embViews, &nn.Mat{Rows: d, Cols: e.Cols, Data: e.Data[:d*e.Cols]})
+	}
 	return m, nil
 }
 
 // buildMasks assigns MADE degrees and constructs the autoregressive masks:
-// input block i has degree i+1; hidden units cycle through degrees 1..n-1;
-// hidden-to-hidden connects non-decreasing degrees; the head for column i
-// reads only hidden units with degree ≤ i.
+// input block i has degree i+1; hidden units take degrees 1..n-1 in sorted,
+// balanced order; hidden-to-hidden connects non-decreasing degrees; the head
+// for column i reads only hidden units with degree ≤ i.
+//
+// Sorting the degrees (instead of Naru's cyclic assignment) is an exact
+// reparameterization — each degree gets the same unit count, only the unit
+// order changes — but it makes every "degree ≤ i" set a contiguous prefix.
+// InferSession exploits that: a trunk pass serving the head of column i
+// computes only the leading prefixWidth[i] units of every hidden layer,
+// since all masked weights outside that block are zero.
 func (m *Model) buildMasks() {
 	h := m.cfg.Hidden
 	maxDeg := m.n - 1
@@ -150,7 +165,15 @@ func (m *Model) buildMasks() {
 	}
 	degrees := make([]int, h)
 	for k := range degrees {
-		degrees[k] = (k % maxDeg) + 1
+		degrees[k] = k*maxDeg/h + 1
+	}
+	m.prefixWidth = make([]int, m.n)
+	for i := 0; i < m.n; i++ {
+		w := 0
+		for w < h && degrees[w] <= i {
+			w++
+		}
+		m.prefixWidth[i] = w
 	}
 	m.inMask = nn.NewMat(m.inDim, h)
 	for i := 0; i < m.n; i++ {
@@ -285,12 +308,34 @@ func (m *Model) headLogits(h *nn.Mat, i int, hm, proj, logits *nn.Mat) {
 }
 
 // embedRowsView returns the first doms[i] rows of embedding i (excluding the
-// MASK row) as a view sharing storage, used for tied output projections.
-func (m *Model) embedRowsView(i int) *nn.Mat {
-	d := m.doms[i]
-	e := m.embeds[i].Val
-	return &nn.Mat{Rows: d, Cols: e.Cols, Data: e.Data[:d*e.Cols]}
+// MASK row) as a view sharing storage, used for tied output projections. The
+// views are built once in New and alias the parameter storage, so they track
+// training updates without per-call allocation.
+func (m *Model) embedRowsView(i int) *nn.Mat { return m.embViews[i] }
+
+// addEmbProj accumulates sign·(emb_c[id] · inW[block c]) into dst (length
+// Hidden): the contribution of column c holding token id to the input-layer
+// preactivation. inW is pre-masked, so the autoregressive structure is
+// preserved. Cost is EmbedDim×Hidden — independent of the column count,
+// which is what makes InferSession's incremental updates cheap.
+func (m *Model) addEmbProj(dst []float64, c int, id int32, sign float64) {
+	emb := m.embeds[c].Val.Row(int(id))
+	base := m.offsets[c]
+	for j, ev := range emb {
+		v := ev * sign
+		if v == 0 {
+			continue
+		}
+		wrow := m.inW.Val.Row(base + j)
+		for k, wv := range wrow {
+			dst[k] += v * wv
+		}
+	}
 }
+
+// Version counts weight updates; inference sessions use it to invalidate
+// cached weight-derived state after training.
+func (m *Model) Version() uint64 { return m.version }
 
 func (m *Model) embedGradView(i int) *nn.Mat {
 	d := m.doms[i]
@@ -353,6 +398,7 @@ func (m *Model) TrainStep(batch [][]int32, wildcardProb float64) float64 {
 	}
 	m.opt.Step(m.params)
 	m.samplesSeen += b
+	m.version++
 	return loss
 }
 

@@ -4,6 +4,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+
+	"neurocard/internal/nn"
 )
 
 // modelHeader is the serialized preamble.
@@ -56,6 +58,16 @@ func Load(r io.Reader) (*Model, error) {
 		for i, v := range f32 {
 			p.Val.Data[i] = float64(v)
 		}
+	}
+	// Re-apply the autoregressive masks: the serialized format carries no
+	// degree-layout version, so checkpoints written under a different hidden
+	// degree assignment (or with noise in masked slots) are coerced onto this
+	// build's masks. InferSession's prefix-restricted trunk passes rely on
+	// masked weights being exactly zero.
+	nn.Hadamard(m.inW.Val, m.inW.Val, m.inMask)
+	for _, blk := range m.blocks {
+		nn.Hadamard(blk.w1.Val, blk.w1.Val, m.hhMask)
+		nn.Hadamard(blk.w2.Val, blk.w2.Val, m.hhMask)
 	}
 	return m, nil
 }

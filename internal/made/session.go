@@ -1,0 +1,283 @@
+package made
+
+import (
+	"fmt"
+
+	"neurocard/internal/nn"
+)
+
+// sessMat is a preallocated matrix whose active row count (and, for the
+// logits buffer, column count) is adjusted in place, so resizing the working
+// batch never allocates.
+type sessMat struct {
+	mat  nn.Mat
+	full []float64
+}
+
+func newSessMat(rows, cols int) sessMat {
+	return sessMat{mat: nn.Mat{Cols: cols}, full: make([]float64, rows*cols)}
+}
+
+// view returns the buffer shaped rows × (fixed Cols), sharing storage.
+func (s *sessMat) view(rows int) *nn.Mat {
+	s.mat.Rows = rows
+	s.mat.Data = s.full[:rows*s.mat.Cols]
+	return &s.mat
+}
+
+// viewShape returns the buffer reshaped rows × cols, sharing storage.
+func (s *sessMat) viewShape(rows, cols int) *nn.Mat {
+	s.mat.Rows, s.mat.Cols = rows, cols
+	s.mat.Data = s.full[:rows*cols]
+	return &s.mat
+}
+
+// InferSession is a reusable inference context over a Model: it owns every
+// scratch buffer the progressive-sampling hot path needs (token matrix,
+// input-layer preactivation, per-layer trunk activations, head buffers) and
+// keeps the trunk input incrementally up to date, so serving a query — and
+// every query after it — allocates nothing.
+//
+// The key restructuring versus Conditional: the session maintains z0, the
+// input-layer preactivation x·inW + inB, under per-token delta updates
+// (SetToken costs EmbedDim×Hidden per row instead of a full NumCols·
+// EmbedDim×Hidden input matmul), and computes the residual trunk once per
+// sampling step — Probs serves any column's head from the cached trunk top
+// until a token changes. Across an F-column query this turns the input
+// layer's O(F²·E·H) total work into O(F·E·H).
+//
+// Sessions are not safe for concurrent use; create one per worker. Weight
+// updates (TrainStep) are detected via the model's version counter and the
+// cached MASK projections are refreshed on the next Reset.
+type InferSession struct {
+	m   *Model
+	cap int // row capacity
+	b   int // active rows
+
+	tokens []int32 // cap × n, row-major; MaskToken marks wildcards
+
+	z0       sessMat   // input-layer preactivation, incrementally maintained
+	h0       sessMat   // relu(z0)
+	mid, res []sessMat // per residual block: inner activation, block output
+	proj     sessMat   // head scratch: embedding projection
+	logits   sessMat   // head logits / probabilities (cap × maxDom backing)
+
+	maskProj *nn.Mat   // n × Hidden: each column's MASK contribution to z0
+	maskZ    []float64 // Hidden: preactivation of the all-MASK row (incl. bias)
+
+	version uint64 // model version maskProj/maskZ were computed at
+	top     *nn.Mat
+	trunkM  int  // hidden-prefix width the cached trunk covers
+	dirty   bool // tokens changed since the trunk was last computed
+}
+
+// NewInferSession creates a session able to hold up to maxRows sampling rows.
+func (m *Model) NewInferSession(maxRows int) *InferSession {
+	if maxRows < 1 {
+		maxRows = 1
+	}
+	maxDom := 0
+	for _, d := range m.doms {
+		if d > maxDom {
+			maxDom = d
+		}
+	}
+	h := m.cfg.Hidden
+	s := &InferSession{
+		m:        m,
+		cap:      maxRows,
+		tokens:   make([]int32, maxRows*m.n),
+		z0:       newSessMat(maxRows, h),
+		h0:       newSessMat(maxRows, h),
+		proj:     newSessMat(maxRows, m.cfg.EmbedDim),
+		logits:   newSessMat(maxRows, maxDom),
+		maskProj: nn.NewMat(m.n, h),
+		maskZ:    make([]float64, h),
+	}
+	for b := 0; b < m.cfg.Blocks; b++ {
+		s.mid = append(s.mid, newSessMat(maxRows, h))
+		s.res = append(s.res, newSessMat(maxRows, h))
+	}
+	s.refresh()
+	return s
+}
+
+// refresh recomputes the weight-derived caches (per-column MASK projections
+// and the all-MASK preactivation row).
+func (s *InferSession) refresh() {
+	m := s.m
+	s.maskProj.Zero()
+	copy(s.maskZ, m.inB.Val.Row(0))
+	for c := 0; c < m.n; c++ {
+		row := s.maskProj.Row(c)
+		m.addEmbProj(row, c, int32(m.doms[c]), 1) // row doms[c] is the MASK embedding
+		for k, v := range row {
+			s.maskZ[k] += v
+		}
+	}
+	s.version = m.version
+}
+
+// Cap returns the session's row capacity.
+func (s *InferSession) Cap() int { return s.cap }
+
+// Rows returns the active row count.
+func (s *InferSession) Rows() int { return s.b }
+
+// Reset starts a fresh sampling batch of the given row count: every token
+// becomes a wildcard and the preactivation is restored to the all-MASK row.
+func (s *InferSession) Reset(rows int) {
+	if rows < 0 || rows > s.cap {
+		panic(fmt.Sprintf("made: InferSession.Reset %d rows, capacity %d", rows, s.cap))
+	}
+	if s.version != s.m.version {
+		s.refresh()
+	}
+	s.b = rows
+	toks := s.tokens[:rows*s.m.n]
+	for i := range toks {
+		toks[i] = MaskToken
+	}
+	z := s.z0.view(rows)
+	for r := 0; r < rows; r++ {
+		copy(z.Row(r), s.maskZ)
+	}
+	s.dirty = true
+}
+
+// TokenRow returns row r's token vector, aliasing session storage. Callers
+// must treat it as read-only; use SetToken to mutate.
+func (s *InferSession) TokenRow(r int) []int32 {
+	n := s.m.n
+	return s.tokens[r*n : (r+1)*n]
+}
+
+// SetToken assigns column col of row r (MaskToken restores the wildcard),
+// updating the input-layer preactivation by the embedding delta.
+func (s *InferSession) SetToken(r, col int, tok int32) {
+	m := s.m
+	old := s.tokens[r*m.n+col]
+	if old == tok {
+		return
+	}
+	zrow := s.z0.view(s.b).Row(r)
+	if old < 0 {
+		for k, v := range s.maskProj.Row(col) {
+			zrow[k] -= v
+		}
+	} else {
+		m.addEmbProj(zrow, col, old, -1)
+	}
+	if tok < 0 {
+		tok = MaskToken
+		for k, v := range s.maskProj.Row(col) {
+			zrow[k] += v
+		}
+	} else {
+		m.addEmbProj(zrow, col, tok, 1)
+	}
+	s.tokens[r*m.n+col] = tok
+	s.dirty = true
+}
+
+// CompactRows overwrites row dst with row src (tokens and preactivation),
+// the primitive behind active-row compaction: callers move live rows into
+// slots freed by zero-weight rows, then Shrink.
+func (s *InferSession) CompactRows(dst, src int) {
+	if dst == src {
+		return
+	}
+	n := s.m.n
+	copy(s.tokens[dst*n:(dst+1)*n], s.tokens[src*n:(src+1)*n])
+	z := s.z0.view(s.b)
+	copy(z.Row(dst), z.Row(src))
+	s.dirty = true
+}
+
+// Shrink reduces the active row count to rows (rows ≤ current).
+func (s *InferSession) Shrink(rows int) {
+	if rows < 0 || rows > s.b {
+		panic(fmt.Sprintf("made: InferSession.Shrink %d rows, active %d", rows, s.b))
+	}
+	if rows != s.b {
+		s.b = rows
+		s.dirty = true
+	}
+}
+
+// trunk runs the residual MLP over the current preactivation into the
+// session buffers, computing only the leading mW hidden units of every
+// layer — the contiguous "degree ≤ col" prefix the requested head reads.
+// Skipped entries only ever multiply masked-zero weights, so the restricted
+// pass is arithmetically identical to the full one.
+func (s *InferSession) trunk(mW int) {
+	m, b := s.m, s.b
+	z := s.z0.view(b)
+	h := s.h0.view(b)
+	s.top = h
+	if mW > 0 {
+		for r := 0; r < b; r++ {
+			zrow := z.Row(r)[:mW]
+			hrow := h.Row(r)[:mW]
+			for i, v := range zrow {
+				if v > 0 {
+					hrow[i] = v
+				} else {
+					hrow[i] = 0
+				}
+			}
+		}
+		cur := h
+		for bi, blk := range m.blocks {
+			a := s.mid[bi].view(b)
+			nn.MatMulSub(a, cur, blk.w1.Val, mW, mW)
+			nn.AddBiasSub(a, blk.b1.Val.Row(0), mW)
+			for r := 0; r < b; r++ {
+				arow := a.Row(r)[:mW]
+				for i, v := range arow {
+					if v < 0 {
+						arow[i] = 0
+					}
+				}
+			}
+			f := s.res[bi].view(b)
+			nn.MatMulSub(f, a, blk.w2.Val, mW, mW)
+			nn.AddBiasSub(f, blk.b2.Val.Row(0), mW)
+			for r := 0; r < b; r++ {
+				frow := f.Row(r)[:mW]
+				crow := cur.Row(r)[:mW]
+				for i := range frow {
+					frow[i] += crow[i]
+				}
+			}
+			cur = f
+		}
+		s.top = cur
+	}
+	s.trunkM = mW
+	s.dirty = false
+}
+
+// Probs computes p(X_col = · | current tokens) for every active row,
+// returning a session-owned b × DomainSize(col) matrix of row-normalized
+// probabilities (valid until the next session call). The trunk is reused
+// across consecutive Probs calls when no token changed in between; head
+// masking (degree ≤ col) is the prefix restriction itself, so no separate
+// masked copy of the hidden state is needed.
+func (s *InferSession) Probs(col int) *nn.Mat {
+	m := s.m
+	if col < 0 || col >= m.n {
+		panic(fmt.Sprintf("made: InferSession.Probs column %d of %d", col, m.n))
+	}
+	mW := m.prefixWidth[col]
+	if s.dirty || s.trunkM < mW {
+		s.trunk(mW)
+	}
+	proj := s.proj.view(s.b)
+	nn.MatMulSub(proj, s.top, m.headW[col].Val, mW, m.cfg.EmbedDim)
+	out := s.logits.viewShape(s.b, m.doms[col])
+	nn.MatMulBT(out, proj, m.embedRowsView(col))
+	nn.AddBias(out, m.headB[col].Val.Row(0))
+	nn.SoftmaxRows(out, out)
+	return out
+}

@@ -1,0 +1,130 @@
+package made
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/nn"
+)
+
+// randTokens draws a full token tuple (no wildcards) for the model domains.
+func randTokens(rng *rand.Rand, doms []int) []int32 {
+	row := make([]int32, len(doms))
+	for i, d := range doms {
+		row[i] = int32(rng.Intn(d))
+	}
+	return row
+}
+
+// assertProbsMatch checks the session's conditional for col against the
+// reference Conditional on the same token state, to within tol.
+func assertProbsMatch(t *testing.T, m *Model, s *InferSession, col int, tol float64) {
+	t.Helper()
+	b := s.Rows()
+	tokens := make([][]int32, b)
+	for r := 0; r < b; r++ {
+		tokens[r] = append([]int32(nil), s.TokenRow(r)...)
+	}
+	want := nn.NewMat(b, m.DomainSize(col))
+	m.Conditional(tokens, col, want)
+	got := s.Probs(col)
+	if got.Rows != b || got.Cols != m.DomainSize(col) {
+		t.Fatalf("col %d: Probs shape %dx%d, want %dx%d", col, got.Rows, got.Cols, b, m.DomainSize(col))
+	}
+	for i := range want.Data {
+		if d := math.Abs(got.Data[i] - want.Data[i]); d > tol {
+			t.Fatalf("col %d: session prob %v vs Conditional %v (|Δ| = %g > %g)",
+				col, got.Data[i], want.Data[i], d, tol)
+		}
+	}
+}
+
+// TestInferSessionMatchesConditional drives a session through the access
+// pattern progressive sampling uses — incremental token assignment in
+// column order with interleaved head reads and row compaction — and checks
+// every returned distribution against the from-scratch Conditional to 1e-9.
+func TestInferSessionMatchesConditional(t *testing.T) {
+	configs := []struct {
+		doms   []int
+		blocks int
+	}{
+		{[]int{3}, 1},
+		{[]int{4, 2, 5}, 0},
+		{[]int{6, 3, 2, 8, 4}, 2},
+		{[]int{2, 2, 2, 2, 2, 2, 17}, 1},
+	}
+	for ci, tc := range configs {
+		cfg := DefaultConfig()
+		cfg.Hidden = 24
+		cfg.EmbedDim = 6
+		cfg.Blocks = tc.blocks
+		cfg.Seed = int64(ci + 1)
+		m, err := New(cfg, tc.doms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(100 + ci)))
+		s := m.NewInferSession(16)
+
+		// Two batches on the same session to exercise Reset reuse.
+		for batch := 0; batch < 2; batch++ {
+			b := 5 + batch*7
+			s.Reset(b)
+			for col := 0; col < m.NumCols(); col++ {
+				assertProbsMatch(t, m, s, col, 1e-9)
+				for r := 0; r < s.Rows(); r++ {
+					if rng.Float64() < 0.3 {
+						continue // leave a wildcard
+					}
+					s.SetToken(r, col, int32(rng.Intn(tc.doms[col])))
+				}
+				// Occasionally drop rows the way compactZero does.
+				if s.Rows() > 2 && rng.Float64() < 0.4 {
+					s.CompactRows(0, s.Rows()-1)
+					s.Shrink(s.Rows() - 1)
+				}
+			}
+			// Re-read every head off the final token state, including
+			// overwriting a token back to a wildcard.
+			s.SetToken(0, 0, MaskToken)
+			for col := 0; col < m.NumCols(); col++ {
+				assertProbsMatch(t, m, s, col, 1e-9)
+			}
+		}
+	}
+}
+
+// TestInferSessionRefreshAfterTraining: weight updates invalidate the
+// session's cached MASK projections; the next Reset must refresh them.
+func TestInferSessionRefreshAfterTraining(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	cfg.EmbedDim = 4
+	cfg.Blocks = 1
+	doms := []int{5, 3, 4}
+	m, err := New(cfg, doms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewInferSession(8)
+	s.Reset(4)
+	s.Probs(2)
+
+	rng := rand.New(rand.NewSource(9))
+	batch := make([][]int32, 32)
+	for i := range batch {
+		batch[i] = randTokens(rng, doms)
+	}
+	for step := 0; step < 3; step++ {
+		m.TrainStep(batch, 0.3)
+	}
+
+	s.Reset(4)
+	for r := 0; r < 4; r++ {
+		s.SetToken(r, 0, int32(r%5))
+	}
+	for col := 0; col < m.NumCols(); col++ {
+		assertProbsMatch(t, m, s, col, 1e-9)
+	}
+}

@@ -113,6 +113,51 @@ func MatMul(dst, a, b *Mat) {
 	})
 }
 
+// MatMulSub sets the leading m columns of dst to a[:, :k]·b[:k, :m],
+// leaving columns ≥ m of dst untouched. All matrices keep their full
+// row-major layout; only row slices are restricted, so no copies are made.
+// Used by inference sessions to run MADE trunk passes over the contiguous
+// "degree ≤ col" prefix — entries outside the prefix multiply masked-zero
+// weights and are skipped instead of computed.
+func MatMulSub(dst, a, b *Mat, k, m int) {
+	if k > a.Cols || k > b.Rows || m > b.Cols || m > dst.Cols || dst.Rows != a.Rows {
+		panic(fmt.Sprintf("nn: MatMulSub dims %dx%d[:%d] · %dx%d[:%d,:%d] -> %dx%d",
+			a.Rows, a.Cols, k, b.Rows, b.Cols, k, m, dst.Rows, dst.Cols))
+	}
+	parallelFor(a.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)[:k]
+			drow := dst.Row(i)[:m]
+			for j := range drow {
+				drow[j] = 0
+			}
+			for j, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(j)[:m]
+				for c, bv := range brow {
+					drow[c] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// AddBiasSub adds bias[:m] to the leading m columns of every row of x.
+func AddBiasSub(x *Mat, bias []float64, m int) {
+	if m > x.Cols || m > len(bias) {
+		panic("nn: AddBiasSub length mismatch")
+	}
+	b := bias[:m]
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)[:m]
+		for j, v := range b {
+			row[j] += v
+		}
+	}
+}
+
 // MatMulATAdd accumulates dst += aᵀ·b. dst must be a.Cols × b.Cols. Used for
 // weight gradients (dW += Xᵀ·dY), which accumulate across calls.
 func MatMulATAdd(dst, a, b *Mat) {

@@ -168,3 +168,12 @@ func SyntheticJOBM(cfg SyntheticConfig) (*SyntheticDataset, error) {
 func EstimateSeeded(e *Estimator, q Query, samples int, seed int64) (float64, error) {
 	return e.EstimateWithSamples(q, samples, rand.New(rand.NewSource(seed)))
 }
+
+// EstimateBatch estimates many queries concurrently on up to `workers`
+// goroutines (≤ 0 uses GOMAXPROCS), each worker owning a reusable inference
+// session. Query i's randomness derives from (config seed, i), so results
+// are identical run to run regardless of scheduling — the serving-side
+// throughput API for evaluating workloads or answering optimizer traffic.
+func EstimateBatch(e *Estimator, queries []Query, workers int) ([]float64, error) {
+	return e.EstimateBatch(queries, workers)
+}
