@@ -18,7 +18,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
 	flag.Parse()
 
@@ -59,4 +59,5 @@ func main() {
 	run("fig7b", func() (string, error) { return harness.Figure7b(o) })
 	run("fig7c", func() (string, error) { return harness.Figure7c(o) })
 	run("fig7d", func() (string, error) { return harness.Figure7d(o) })
+	run("train", func() (string, error) { return harness.TrainThroughput(o) })
 }

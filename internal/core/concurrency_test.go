@@ -154,3 +154,44 @@ func TestEstimateCounterDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestTrainDeterministicAcrossWorkers: training batch k's content is a pure
+// function of (seed, k) and gradient steps consume batches in sequence
+// order, so the entire trajectory — losses, weights, and downstream
+// estimates — must be identical for any sampler worker count. Run under
+// -race in CI (it also exercises the batch ring's reorder path).
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	s := figure4(t)
+	train := func(workers int) (float64, float64, *core.Estimator) {
+		cfg := core.DefaultConfig()
+		cfg.Model.Hidden = 24
+		cfg.Model.EmbedDim = 6
+		cfg.Model.Blocks = 1
+		cfg.BatchSize = 32
+		cfg.PSamples = 64
+		cfg.Seed = 9
+		cfg.SamplerWorkers = workers
+		cfg.ContentCols = allColumns(s)
+		est, err := core.Build(s, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss, err := est.Train(32 * 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe, err := est.Estimate(query.Query{Tables: []string{"A", "B"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss, probe, est
+	}
+	lossRef, probeRef, _ := train(1)
+	for _, workers := range []int{2, 4} {
+		loss, probe, _ := train(workers)
+		if loss != lossRef || probe != probeRef {
+			t.Fatalf("workers=%d: loss %v / estimate %v, want %v / %v",
+				workers, loss, probe, lossRef, probeRef)
+		}
+	}
+}

@@ -230,13 +230,25 @@ func (e *Encoder) bind(data *schema.Schema) (*dataView, error) {
 	return v, nil
 }
 
-// EncodeRows turns sampled join rows (sampler table order, NullRow for NULL)
-// into flat model token tuples using the bound data snapshot.
+// encodeRows turns sampled join rows (sampler table order, NullRow for NULL)
+// into freshly allocated flat model token tuples.
 func (e *Encoder) encodeRows(v *dataView, rows [][]int32) [][]int32 {
 	out := make([][]int32, len(rows))
 	nflat := len(e.flatDoms)
+	backing := make([]int32, len(rows)*nflat)
+	for r := range rows {
+		out[r] = backing[r*nflat : (r+1)*nflat]
+	}
+	e.encodeRowsInto(v, rows, out)
+	return out
+}
+
+// encodeRowsInto encodes join rows into caller-provided token tuples (each
+// len(e.flatDoms)), overwriting every slot — the training loop's batch-ring
+// reuse path, which allocates nothing.
+func (e *Encoder) encodeRowsInto(v *dataView, rows, out [][]int32) {
 	for r, row := range rows {
-		toks := make([]int32, nflat)
+		toks := out[r]
 		ci, fi := 0, 0
 		for mi, mc := range e.cols {
 			base := row[v.tIdx[mi]]
@@ -251,6 +263,8 @@ func (e *Encoder) encodeRows(v *dataView, rows [][]int32) [][]int32 {
 			case KindIndicator:
 				if base != sampler.NullRow {
 					toks[mc.FlatOffset] = 1
+				} else {
+					toks[mc.FlatOffset] = 0
 				}
 			case KindFanout:
 				fan := int32(1)
@@ -266,9 +280,7 @@ func (e *Encoder) encodeRows(v *dataView, rows [][]int32) [][]int32 {
 				fi++
 			}
 		}
-		out[r] = toks
 	}
-	return out
 }
 
 // EncodeJoinRows is the exported encoding entry point used by the oracle and

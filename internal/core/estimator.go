@@ -188,25 +188,8 @@ func (e *Estimator) Bytes() int {
 	return e.trainable.Bytes()
 }
 
-// Train streams approximately nTuples uniform samples of the full outer join
-// through the model (maximum likelihood, §3.2). Sampling runs on
-// cfg.SamplerWorkers goroutines concurrently with gradient computation,
-// mirroring the paper's background sampling threads. It returns the mean
-// training loss (nats/tuple) over the final 10% of steps.
-func (e *Estimator) Train(nTuples int) (float64, error) {
-	if e.trainable == nil {
-		return 0, fmt.Errorf("core: estimator has no trainable model")
-	}
-	steps := (nTuples + e.cfg.BatchSize - 1) / e.cfg.BatchSize
-	if steps < 1 {
-		steps = 1
-	}
-	batches := e.streamBatches(steps)
-	var tail []float64
-	for batch := range batches {
-		loss := e.trainable.TrainStep(batch, e.cfg.WildcardProb)
-		tail = append(tail, loss)
-	}
+// tailMean returns the mean of the final 10% of per-step losses.
+func tailMean(tail []float64) float64 {
 	n := len(tail) / 10
 	if n < 1 {
 		n = 1
@@ -215,7 +198,52 @@ func (e *Estimator) Train(nTuples int) (float64, error) {
 	for _, l := range tail[len(tail)-n:] {
 		sum += l
 	}
-	return sum / float64(n), nil
+	return sum / float64(n)
+}
+
+// Train streams approximately nTuples uniform samples of the full outer join
+// through the model (maximum likelihood, §3.2). Sampling runs on
+// cfg.SamplerWorkers goroutines concurrently with gradient computation,
+// mirroring the paper's background sampling threads; batch buffers cycle
+// through a fixed ring and gradient steps run on a reusable made.TrainSession,
+// so the steady-state loop allocates nothing per step.
+//
+// Batch k's content is derived from (seed, k) alone and batches are
+// consumed in sequence order, so the training trajectory is fully
+// determined by the configured seed — independent of the sampler worker
+// count and goroutine scheduling. It returns the mean training loss
+// (nats/tuple) over the final 10% of steps.
+func (e *Estimator) Train(nTuples int) (float64, error) {
+	if e.trainable == nil {
+		return 0, fmt.Errorf("core: estimator has no trainable model")
+	}
+	steps := (nTuples + e.cfg.BatchSize - 1) / e.cfg.BatchSize
+	if steps < 1 {
+		steps = 1
+	}
+	ts := e.trainable.NewTrainSession(e.cfg.BatchSize)
+	batches, free := e.streamBatches(steps)
+	// Reorder ring: workers finish out of order, gradient steps must not.
+	// In-flight indexes always span < ringSlots (each holds a distinct ring
+	// buffer), so slot collisions are impossible.
+	slots := e.ringSlots()
+	pending := make([]*trainBatch, slots)
+	next := int64(0)
+	tail := make([]float64, 0, steps)
+	for tb := range batches {
+		pending[tb.idx%int64(slots)] = tb
+		for {
+			nb := pending[next%int64(slots)]
+			if nb == nil || nb.idx != next {
+				break
+			}
+			pending[next%int64(slots)] = nil
+			tail = append(tail, ts.Step(nb.toks, e.cfg.WildcardProb))
+			free <- nb
+			next++
+		}
+	}
+	return tailMean(tail), nil
 }
 
 // TrainWithDraw trains on join rows produced by a custom draw function (in
@@ -229,59 +257,96 @@ func (e *Estimator) TrainWithDraw(nTuples int, draw func(rng *rand.Rand, out []i
 	}
 	steps := (nTuples + e.cfg.BatchSize - 1) / e.cfg.BatchSize
 	rng := rand.New(rand.NewSource(e.rng.Int63()))
-	nt := len(e.smp.Tables())
-	var tail []float64
+	ts := e.trainable.NewTrainSession(e.cfg.BatchSize)
+	tb := e.newTrainBatch()
+	tail := make([]float64, 0, steps)
 	for s := 0; s < steps; s++ {
-		rows := make([][]int32, e.cfg.BatchSize)
-		for i := range rows {
-			rows[i] = make([]int32, nt)
-			draw(rng, rows[i])
+		for i := range tb.rows {
+			draw(rng, tb.rows[i])
 		}
-		loss := e.trainable.TrainStep(e.enc.encodeRows(e.view, rows), e.cfg.WildcardProb)
-		tail = append(tail, loss)
+		e.enc.encodeRowsInto(e.view, tb.rows, tb.toks)
+		tail = append(tail, ts.Step(tb.toks, e.cfg.WildcardProb))
 	}
-	n := len(tail) / 10
-	if n < 1 {
-		n = 1
+	return tailMean(tail), nil
+}
+
+// trainBatch is one slot of the training batch ring: sampled join rows and
+// their encoded model tokens, both fully overwritten each reuse, plus the
+// batch's position in the deterministic training sequence.
+type trainBatch struct {
+	idx  int64     // sequence number; content is a pure function of (seed, idx)
+	rows [][]int32 // sampler table order
+	toks [][]int32 // flat model tokens
+}
+
+// ringSlots is the training ring size: enough for every sampler worker to
+// hold one buffer plus two queued ahead of the trainer.
+func (e *Estimator) ringSlots() int { return e.cfg.SamplerWorkers + 2 }
+
+// newTrainBatch allocates one ring slot sized for the configured batch.
+func (e *Estimator) newTrainBatch() *trainBatch {
+	bs := e.cfg.BatchSize
+	nt := len(e.smp.Tables())
+	nflat := e.enc.NumFlat()
+	tb := &trainBatch{rows: make([][]int32, bs), toks: make([][]int32, bs)}
+	rowBacking := make([]int32, bs*nt)
+	tokBacking := make([]int32, bs*nflat)
+	for i := 0; i < bs; i++ {
+		tb.rows[i] = rowBacking[i*nt : (i+1)*nt]
+		tb.toks[i] = tokBacking[i*nflat : (i+1)*nflat]
 	}
-	sum := 0.0
-	for _, l := range tail[len(tail)-n:] {
-		sum += l
-	}
-	return sum / float64(n), nil
+	return tb
 }
 
 // streamBatches launches sampler workers producing encoded training batches.
-func (e *Estimator) streamBatches(steps int) <-chan [][]int32 {
+// Buffers circulate through the returned free channel instead of being
+// allocated per step: the consumer must send each received batch back after
+// its gradient step. The ring holds ringSlots() buffers so samplers can run
+// ahead of the trainer without unbounded memory.
+//
+// Each batch is sampled from an RNG reseeded to mix(baseSeed, batchIdx), so
+// its content depends only on the configured seed and its sequence number —
+// never on which worker produced it. Workers claim a ring buffer before
+// drawing an index, which guarantees the lowest outstanding index is always
+// held by a running worker and the in-order consumer cannot starve the ring.
+func (e *Estimator) streamBatches(steps int) (<-chan *trainBatch, chan<- *trainBatch) {
 	workers := e.cfg.SamplerWorkers
-	ch := make(chan [][]int32, workers)
+	ch := make(chan *trainBatch, workers)
+	free := make(chan *trainBatch, e.ringSlots())
+	for i := 0; i < e.ringSlots(); i++ {
+		free <- e.newTrainBatch()
+	}
 	var produced atomic.Int64
 	var wg sync.WaitGroup
 	baseSeed := e.rng.Int63()
 	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
-		go func(wkr int) {
+		go func() {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(baseSeed + int64(wkr)*7_654_321))
-			nt := len(e.smp.Tables())
+			src := rand.NewSource(0)
+			rng := rand.New(src)
 			for {
-				if produced.Add(1) > int64(steps) {
+				tb := <-free
+				idx := produced.Add(1) - 1
+				if idx >= int64(steps) {
+					free <- tb
 					return
 				}
-				rows := make([][]int32, e.cfg.BatchSize)
-				for i := range rows {
-					rows[i] = make([]int32, nt)
-					e.smp.Sample(rng, rows[i])
+				src.Seed(mixSeed(baseSeed, idx))
+				tb.idx = idx
+				for i := range tb.rows {
+					e.smp.Sample(rng, tb.rows[i])
 				}
-				ch <- e.enc.encodeRows(e.view, rows)
+				e.enc.encodeRowsInto(e.view, tb.rows, tb.toks)
+				ch <- tb
 			}
-		}(wkr)
+		}()
 	}
 	go func() {
 		wg.Wait()
 		close(ch)
 	}()
-	return ch
+	return ch, free
 }
 
 // mixSeed derives a per-query RNG seed from the configured seed and a query
@@ -315,7 +380,18 @@ func (e *Estimator) psamples() int {
 // the primitive EstimateBatch workers and parallel evaluation harnesses use
 // to get run-to-run identical results.
 func (e *Estimator) EstimateIndexed(q query.Query, idx int64) (float64, error) {
-	st := e.sessions.get(e.psamples())
+	st := e.sessions.get(e.psamples(), false)
+	defer e.sessions.put(st)
+	return e.estimateIndexed(st, q, idx)
+}
+
+// EstimateIndexedSerial is EstimateIndexed for callers that already run many
+// estimates concurrently (parallel evaluation harnesses): the session
+// executes its kernels inline, so W concurrent callers schedule W goroutines
+// instead of W × kernel chunks. Results are identical to EstimateIndexed —
+// kernel results do not depend on chunking.
+func (e *Estimator) EstimateIndexedSerial(q query.Query, idx int64) (float64, error) {
+	st := e.sessions.get(e.psamples(), true)
 	defer e.sessions.put(st)
 	return e.estimateIndexed(st, q, idx)
 }
@@ -358,7 +434,9 @@ func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			st := e.sessions.get(e.psamples())
+			// With several workers, each runs its kernels inline so the
+			// batch never schedules workers × kernel-chunk goroutines.
+			st := e.sessions.get(e.psamples(), workers > 1)
 			defer e.sessions.put(st)
 			for {
 				i := int(next.Add(1)) - 1

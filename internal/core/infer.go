@@ -118,7 +118,7 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 	if nSamples < 1 {
 		nSamples = 1
 	}
-	st := e.sessions.get(nSamples)
+	st := e.sessions.get(nSamples, false)
 	defer e.sessions.put(st)
 	return e.sampleWithSession(st, plans, nSamples, rng), nil
 }

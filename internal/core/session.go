@@ -19,6 +19,9 @@ type inferSession interface {
 	Probs(col int) *nn.Mat
 	CompactRows(dst, src int)
 	Shrink(rows int)
+	// SetSerial selects inline kernel execution for sessions owned by
+	// concurrent batch workers (see DESIGN.md §1.2).
+	SetSerial(on bool)
 }
 
 // genericSession adapts a plain ProbSource (e.g. the exact oracle) to the
@@ -90,6 +93,9 @@ func (s *genericSession) CompactRows(dst, src int) {
 
 func (s *genericSession) Shrink(rows int) { s.b = rows }
 
+// SetSerial is a no-op: generic sources control their own parallelism.
+func (s *genericSession) SetSerial(bool) {}
+
 // inferState bundles a session with the per-row sampling weights and region
 // scratch, pooled together so a whole Estimate call touches no fresh heap.
 type inferState struct {
@@ -111,22 +117,30 @@ func newSessionPool(newFn func(rows int) inferSession) *sessionPool {
 	return &sessionPool{newFn: newFn}
 }
 
-func (p *sessionPool) get(rows int) *inferState {
+// get checks out a state with at least the requested row capacity. Serial
+// mode is (re)stated on every checkout — sessions carry no sticky kernel
+// mode from previous owners: pass serial=true when the caller already runs
+// many estimates concurrently (one goroutine per worker beats workers ×
+// kernel chunks), false to let single queries use the parallel kernel pool.
+func (p *sessionPool) get(rows int, serial bool) *inferState {
 	p.mu.Lock()
 	for i := len(p.free) - 1; i >= 0; i-- {
 		st := p.free[i]
 		if st.sess.Cap() >= rows {
 			p.free = append(p.free[:i], p.free[i+1:]...)
 			p.mu.Unlock()
+			st.sess.SetSerial(serial)
 			return st
 		}
 	}
 	p.mu.Unlock()
-	return &inferState{
+	st := &inferState{
 		sess:   p.newFn(rows),
 		w:      make([]float64, rows),
 		ranges: make([]query.IDRange, 0, 16),
 	}
+	st.sess.SetSerial(serial)
+	return st
 }
 
 func (p *sessionPool) put(st *inferState) {

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"testing"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+)
+
+// BenchmarkTrainThroughput is the construction-cost baseline tracked in
+// EXPERIMENTS.md: end-to-end training steps (sampler → encoder → gradient
+// step) on a small synthetic JOB-light instance. One op is one gradient step
+// of BatchSize tuples; tuples/sec is reported alongside allocs/op so
+// training-path regressions are visible the same way serving ones are.
+func BenchmarkTrainThroughput(b *testing.B) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 1, Scale: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.BatchSize = 256
+	cfg.SamplerWorkers = 1
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := est.Train(b.N * cfg.BatchSize); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*cfg.BatchSize)/b.Elapsed().Seconds(), "tuples/sec")
+}

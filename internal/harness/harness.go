@@ -135,6 +135,14 @@ type indexedEstimator interface {
 	EstimateIndexed(q query.Query, idx int64) (float64, error)
 }
 
+// serialIndexedEstimator additionally offers an inline-kernel variant for
+// concurrent callers (core.Estimator.EstimateIndexedSerial); parallel
+// evaluation prefers it so workers × kernel-chunk goroutines never fight
+// for the CPU. Results are identical to EstimateIndexed.
+type serialIndexedEstimator interface {
+	EstimateIndexedSerial(q query.Query, idx int64) (float64, error)
+}
+
 // EvaluateParallel runs a workload on up to `workers` goroutines when the
 // estimator supports index-seeded estimation (falling back to sequential
 // evaluation otherwise, since baseline estimators make no thread-safety
@@ -166,6 +174,10 @@ func EvaluateParallel(est Estimator, wl *workload.Workload, workers int) (worklo
 	if workers > len(wl.Queries) {
 		workers = len(wl.Queries)
 	}
+	estimate := idx.EstimateIndexed
+	if s, ok := unwrap(est).(serialIndexedEstimator); ok && workers > 1 {
+		estimate = s.EstimateIndexedSerial
+	}
 	qerrs := make([]float64, len(wl.Queries))
 	lats := make([]time.Duration, len(wl.Queries))
 	errs := make([]error, len(wl.Queries))
@@ -182,7 +194,7 @@ func EvaluateParallel(est Estimator, wl *workload.Workload, workers int) (worklo
 				}
 				lq := wl.Queries[i]
 				start := time.Now()
-				got, err := idx.EstimateIndexed(lq.Query, int64(i))
+				got, err := estimate(lq.Query, int64(i))
 				lats[i] = time.Since(start)
 				if err != nil {
 					errs[i] = fmt.Errorf("%s on %s: %w", est.Name(), lq.Query, err)

@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/sampler"
+)
+
+// TrainThroughput measures the construction hot path (the Figure 7c cost
+// axis, decomposed): join-sampling throughput, a single gradient step
+// through the legacy per-call-allocating TrainStep versus the zero-alloc
+// TrainSession with prefix-structured kernels, and the end-to-end training
+// loop (sampler workers + batch ring + session). Reported per step:
+// tuples/sec and heap allocations, the numbers tracked in EXPERIMENTS.md.
+func TrainThroughput(o Options) (string, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return "", err
+	}
+	cfg := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: o.SamplerWorkers,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		return "", err
+	}
+	steps := o.TrainTuples / cfg.BatchSize
+	if steps < 10 {
+		steps = 10
+	}
+	if steps > 200 {
+		steps = 200
+	}
+	rng := rand.New(rand.NewSource(o.Seed + 13))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Training throughput (batch %d, %d steps/phase)\n", cfg.BatchSize, steps)
+	fmt.Fprintf(&b, "%-24s %14s %14s\n", "phase", "tuples/sec", "allocs/step")
+
+	measure := func(name string, stepTuples int, fn func()) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		fn()
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(steps)
+		fmt.Fprintf(&b, "%-24s %14.0f %14.1f\n",
+			name, float64(steps*stepTuples)/elapsed.Seconds(), allocs)
+	}
+
+	// Join sampling alone (the paper's Figure 7b axis, reuse path).
+	smp, err := sampler.New(d.Schema)
+	if err != nil {
+		return "", err
+	}
+	nt := len(smp.Tables())
+	rows := make([][]int32, cfg.BatchSize)
+	backing := make([]int32, cfg.BatchSize*nt)
+	for i := range rows {
+		rows[i] = backing[i*nt : (i+1)*nt]
+	}
+	measure("sampler", cfg.BatchSize, func() {
+		for s := 0; s < steps; s++ {
+			smp.SampleBatchInto(rng, rows)
+		}
+	})
+
+	// One encoded batch drives the isolated gradient-step comparison.
+	smp.SampleBatchInto(rng, rows)
+	toks, err := est.Encoder().EncodeJoinRows(d.Schema, rows)
+	if err != nil {
+		return "", err
+	}
+	model := est.Model()
+	measure("step (legacy)", cfg.BatchSize, func() {
+		for s := 0; s < steps; s++ {
+			model.TrainStep(toks, cfg.WildcardProb)
+		}
+	})
+	ts := model.NewTrainSession(cfg.BatchSize)
+	measure("step (session)", cfg.BatchSize, func() {
+		for s := 0; s < steps; s++ {
+			ts.Step(toks, cfg.WildcardProb)
+		}
+	})
+
+	// End-to-end: sampler workers feeding the batch ring and session.
+	measure("end-to-end (session)", cfg.BatchSize, func() {
+		if _, err := est.Train(steps * cfg.BatchSize); err != nil {
+			panic(err)
+		}
+	})
+	return b.String(), nil
+}

@@ -61,6 +61,19 @@ type Model struct {
 	headKeep    [][]float64 // per column: 0/1 over hidden units (m(k) ≤ i)
 	prefixWidth []int       // per column: #hidden units with degree ≤ i (a prefix: degrees are sorted)
 
+	// Suffix extent tables for the prefix-structured training kernels: with
+	// sorted degrees, row j of a masked weight is nonzero exactly on columns
+	// [start[j], Hidden). inStart covers inW rows, hhStart covers every
+	// hidden-hidden weight's rows. The ExtT tables are the transposed duals
+	// (the start tables are non-decreasing, so each transposed row's nonzero
+	// columns are the prefix [0, ext)): hhExtT[k] / inExtT[k] bound the
+	// active prefix of row k of Wᵀ for hidden-hidden weights and inW.
+	inStart []int
+	hhStart []int
+	inExtT  []int
+	hhExtT  []int
+	maxDom  int
+
 	offsets []int // column block offsets within the concatenated input
 	inDim   int
 
@@ -68,7 +81,8 @@ type Model struct {
 	opt    *nn.Adam
 	rng    *rand.Rand
 
-	embViews []*nn.Mat // per column: cached non-MASK rows view of embeds[i].Val
+	embViews     []*nn.Mat // per column: cached non-MASK rows view of embeds[i].Val
+	embGradViews []*nn.Mat // per column: cached non-MASK rows view of embeds[i].Grad
 
 	samplesSeen int // tuples consumed by TrainStep, for reporting
 	version     uint64
@@ -109,6 +123,7 @@ func New(cfg Config, doms []int) (*Model, error) {
 	m.inW = nn.NewParam("inW", m.inDim, cfg.Hidden)
 	m.inW.InitHe(m.rng, m.inDim)
 	nn.Hadamard(m.inW.Val, m.inW.Val, m.inMask)
+	m.inW.Suffix = m.inStart
 	m.inB = nn.NewParam("inB", 1, cfg.Hidden)
 	for b := 0; b < cfg.Blocks; b++ {
 		blk := &resBlock{
@@ -121,6 +136,8 @@ func New(cfg Config, doms []int) (*Model, error) {
 		blk.w2.InitNormal(m.rng, 0.01) // near-identity residual at init
 		nn.Hadamard(blk.w1.Val, blk.w1.Val, m.hhMask)
 		nn.Hadamard(blk.w2.Val, blk.w2.Val, m.hhMask)
+		blk.w1.Suffix = m.hhStart
+		blk.w2.Suffix = m.hhStart
 		m.blocks = append(m.blocks, blk)
 	}
 	for i, d := range doms {
@@ -142,6 +159,11 @@ func New(cfg Config, doms []int) (*Model, error) {
 	for i, d := range doms {
 		e := m.embeds[i].Val
 		m.embViews = append(m.embViews, &nn.Mat{Rows: d, Cols: e.Cols, Data: e.Data[:d*e.Cols]})
+		g := m.embeds[i].Grad
+		m.embGradViews = append(m.embGradViews, &nn.Mat{Rows: d, Cols: g.Cols, Data: g.Data[:d*g.Cols]})
+		if d > m.maxDom {
+			m.maxDom = d
+		}
 	}
 	return m, nil
 }
@@ -205,6 +227,40 @@ func (m *Model) buildMasks() {
 			}
 		}
 		m.headKeep[i] = keep
+	}
+	// Suffix extent tables (sorted degrees ⇒ every masked row's nonzero
+	// columns are a contiguous suffix). hhStart[j] is the first unit with
+	// degree ≥ degrees[j]; inStart for input block i is the first unit with
+	// degree ≥ i+1, which is exactly prefixWidth[i].
+	m.hhStart = make([]int, h)
+	for j := 0; j < h; j++ {
+		s := j
+		for s > 0 && degrees[s-1] >= degrees[j] {
+			s--
+		}
+		m.hhStart[j] = s
+	}
+	m.inStart = make([]int, m.inDim)
+	for i := 0; i < m.n; i++ {
+		for e := 0; e < m.cfg.EmbedDim; e++ {
+			m.inStart[m.offsets[i]+e] = m.prefixWidth[i]
+		}
+	}
+	m.hhExtT = make([]int, h)
+	for k := 0; k < h; k++ {
+		ext := 0
+		for ext < h && m.hhStart[ext] <= k {
+			ext++
+		}
+		m.hhExtT[k] = ext
+	}
+	m.inExtT = make([]int, h)
+	for k := 0; k < h; k++ {
+		ext := 0
+		for ext < m.inDim && m.inStart[ext] <= k {
+			ext++
+		}
+		m.inExtT[k] = ext
 	}
 }
 
@@ -337,11 +393,10 @@ func (m *Model) addEmbProj(dst []float64, c int, id int32, sign float64) {
 // cached weight-derived state after training.
 func (m *Model) Version() uint64 { return m.version }
 
-func (m *Model) embedGradView(i int) *nn.Mat {
-	d := m.doms[i]
-	g := m.embeds[i].Grad
-	return &nn.Mat{Rows: d, Cols: g.Cols, Data: g.Data[:d*g.Cols]}
-}
+// embedGradView returns the first doms[i] rows of embedding gradient i
+// (excluding the MASK row); like embedRowsView, the views are built once and
+// alias the parameter storage.
+func (m *Model) embedGradView(i int) *nn.Mat { return m.embGradViews[i] }
 
 // Conditional computes p(X_col = · | x_<col>) for every row of tokens,
 // writing row-normalized probabilities into out (len(tokens) × doms[col]).
@@ -403,7 +458,10 @@ func (m *Model) TrainStep(batch [][]int32, wildcardProb float64) float64 {
 }
 
 // NLL returns the mean negative log-likelihood (nats per tuple) of a batch
-// without updating the model. Intended for monitoring and tests.
+// without updating the model. Intended for monitoring and tests. Head
+// scratch (projection, logits, gradient sink) is allocated once and resized
+// per column instead of reallocated n times, and the head projection runs
+// over the column's hidden prefix directly — no masked hidden copy.
 func (m *Model) NLL(batch [][]int32) float64 {
 	b := len(batch)
 	if b == 0 {
@@ -411,18 +469,20 @@ func (m *Model) NLL(batch [][]int32) float64 {
 	}
 	st := m.forwardTrunk(batch)
 	h := st.top()
-	hm := nn.NewMat(b, m.cfg.Hidden)
 	targets := make([]int32, b)
+	proj := nn.NewMat(b, m.cfg.EmbedDim)
+	logitsBuf := newSessMat(b, m.maxDom)
+	sinkBuf := newSessMat(b, m.maxDom)
 	total := 0.0
 	for i := 0; i < m.n; i++ {
-		proj := nn.NewMat(b, m.cfg.EmbedDim)
-		logits := nn.NewMat(b, m.doms[i])
-		m.headLogits(h, i, hm, proj, logits)
+		nn.MatMulSub(proj, h, m.headW[i].Val, m.prefixWidth[i], m.cfg.EmbedDim)
+		logits := logitsBuf.viewShape(b, m.doms[i])
+		nn.MatMulBT(logits, proj, m.embedRowsView(i))
+		nn.AddBias(logits, m.headB[i].Val.Row(0))
 		for r := range batch {
 			targets[r] = batch[r][i]
 		}
-		scratch := nn.NewMat(b, m.doms[i])
-		total += nn.CrossEntropy(logits, targets, scratch)
+		total += nn.CrossEntropy(logits, targets, sinkBuf.viewShape(b, m.doms[i]))
 	}
 	return total / float64(b)
 }

@@ -50,9 +50,10 @@ func (s *sessMat) viewShape(rows, cols int) *nn.Mat {
 // updates (TrainStep) are detected via the model's version counter and the
 // cached MASK projections are refreshed on the next Reset.
 type InferSession struct {
-	m   *Model
-	cap int // row capacity
-	b   int // active rows
+	m    *Model
+	pool *nn.Pool // kernel execution pool; nn.Serial in serial mode
+	cap  int      // row capacity
+	b    int      // active rows
 
 	tokens []int32 // cap × n, row-major; MaskToken marks wildcards
 
@@ -85,6 +86,7 @@ func (m *Model) NewInferSession(maxRows int) *InferSession {
 	h := m.cfg.Hidden
 	s := &InferSession{
 		m:        m,
+		pool:     nn.Default(),
 		cap:      maxRows,
 		tokens:   make([]int32, maxRows*m.n),
 		z0:       newSessMat(maxRows, h),
@@ -120,6 +122,18 @@ func (s *InferSession) refresh() {
 
 // Cap returns the session's row capacity.
 func (s *InferSession) Cap() int { return s.cap }
+
+// SetSerial switches the session's kernels between the shared parallel pool
+// and fully inline execution. Batch-serving workers run serial so total
+// goroutine count stays at one per worker instead of workers × kernel
+// chunks (the DESIGN.md §1.2 oversubscription limitation).
+func (s *InferSession) SetSerial(on bool) {
+	if on {
+		s.pool = nn.Serial
+	} else {
+		s.pool = nn.Default()
+	}
+}
 
 // Rows returns the active row count.
 func (s *InferSession) Rows() int { return s.b }
@@ -230,7 +244,7 @@ func (s *InferSession) trunk(mW int) {
 		cur := h
 		for bi, blk := range m.blocks {
 			a := s.mid[bi].view(b)
-			nn.MatMulSub(a, cur, blk.w1.Val, mW, mW)
+			s.pool.MatMulSub(a, cur, blk.w1.Val, mW, mW)
 			nn.AddBiasSub(a, blk.b1.Val.Row(0), mW)
 			for r := 0; r < b; r++ {
 				arow := a.Row(r)[:mW]
@@ -241,7 +255,7 @@ func (s *InferSession) trunk(mW int) {
 				}
 			}
 			f := s.res[bi].view(b)
-			nn.MatMulSub(f, a, blk.w2.Val, mW, mW)
+			s.pool.MatMulSub(f, a, blk.w2.Val, mW, mW)
 			nn.AddBiasSub(f, blk.b2.Val.Row(0), mW)
 			for r := 0; r < b; r++ {
 				frow := f.Row(r)[:mW]
@@ -274,10 +288,10 @@ func (s *InferSession) Probs(col int) *nn.Mat {
 		s.trunk(mW)
 	}
 	proj := s.proj.view(s.b)
-	nn.MatMulSub(proj, s.top, m.headW[col].Val, mW, m.cfg.EmbedDim)
+	s.pool.MatMulSub(proj, s.top, m.headW[col].Val, mW, m.cfg.EmbedDim)
 	out := s.logits.viewShape(s.b, m.doms[col])
-	nn.MatMulBT(out, proj, m.embedRowsView(col))
-	nn.AddBias(out, m.headB[col].Val.Row(0))
-	nn.SoftmaxRows(out, out)
+	s.pool.MatMulBT(out, proj, m.embedRowsView(col))
+	s.pool.AddBias(out, m.headB[col].Val.Row(0))
+	s.pool.SoftmaxRows(out, out)
 	return out
 }

@@ -1,0 +1,303 @@
+package made
+
+import (
+	"fmt"
+
+	"neurocard/internal/nn"
+)
+
+// TrainSession is the construction-side counterpart of InferSession: a
+// reusable training context over a Model that owns every buffer one gradient
+// step needs — wildcard-masked input rows, the embedded input matrix, all
+// trunk activations, per-head projection/logits/gradient buffers, and the
+// backward scratch — preallocated once for a maximum batch size, so
+// steady-state training performs no per-step allocation.
+//
+// Step additionally runs the prefix-structured kernels: sorted MADE degrees
+// make every masked weight row nonzero only on a contiguous column suffix,
+// so trunk forward (MatMulRowSuffix), weight gradients
+// (MatMulATAddRowSuffix), and backward ·Wᵀ products (MatMulPrefix /
+// MatMulPrefixAdd over per-step weight transposes) skip the
+// structurally-zero half of every hidden matmul; head projections run over
+// each column's hidden prefix (MatMulSub / MatMulATAddSub / MatMulAddCols)
+// without materializing a masked hidden copy, and the optimizer applies
+// clip+Adam as one fused two-pass update that skips masked parameter
+// entries. Every skipped operation touches only exact zeros, so Step's
+// parameter trajectory matches the reference TrainStep bit-for-bit up to
+// the sign of zero.
+//
+// A session consumes the model's training RNG in exactly the same pattern
+// as TrainStep, so interleaving or swapping the two paths preserves
+// fixed-seed trajectories. Sessions are not safe for concurrent use, and at
+// most one goroutine may train a given model at a time.
+type TrainSession struct {
+	m   *Model
+	cap int
+
+	inputs     [][]int32 // per row: the batch row, or a masked copy below
+	maskedRows []int32   // cap × n backing for wildcard-masked rows
+	perm       []int     // rand.Perm replica scratch
+	ids        []int32   // embedding gather/scatter ids
+	tgt        []int32   // per-column targets
+
+	x       sessMat   // embedded input (cap × inDim)
+	h0      sessMat   // post input layer + ReLU
+	mid     []sessMat // per block: post-ReLU inner activation
+	res     []sessMat // per block: block output
+	dh      sessMat   // running hidden gradient
+	da      sessMat   // block inner-activation gradient
+	dx      sessMat   // input-embedding gradient
+	proj    sessMat   // head projection (cap × EmbedDim)
+	dProj   sessMat   // head projection gradient
+	logits  sessMat   // head logits (cap × maxDom backing)
+	dLogits sessMat   // head logits gradient
+
+	// Per-step weight transposes: every backward ·Wᵀ product streams rows
+	// of a pre-transposed weight (axpy form) instead of running dot
+	// products — identical accumulation order, far better ILP and cache
+	// behavior, and zero rows of the upstream gradient are skipped whole.
+	inWT   *nn.Mat   // Hidden × inDim
+	w1T    []*nn.Mat // per block: Hidden × Hidden
+	w2T    []*nn.Mat // per block: Hidden × Hidden
+	headWT []*nn.Mat // per column: EmbedDim × Hidden
+	embT   []*nn.Mat // per column: EmbedDim × doms[i] (non-MASK rows)
+}
+
+// NewTrainSession creates a training session able to hold batches of up to
+// maxBatch tuples.
+func (m *Model) NewTrainSession(maxBatch int) *TrainSession {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	h := m.cfg.Hidden
+	s := &TrainSession{
+		m:          m,
+		cap:        maxBatch,
+		inputs:     make([][]int32, maxBatch),
+		maskedRows: make([]int32, maxBatch*m.n),
+		perm:       make([]int, m.n),
+		ids:        make([]int32, maxBatch),
+		tgt:        make([]int32, maxBatch),
+		x:          newSessMat(maxBatch, m.inDim),
+		h0:         newSessMat(maxBatch, h),
+		dh:         newSessMat(maxBatch, h),
+		da:         newSessMat(maxBatch, h),
+		dx:         newSessMat(maxBatch, m.inDim),
+		proj:       newSessMat(maxBatch, m.cfg.EmbedDim),
+		dProj:      newSessMat(maxBatch, m.cfg.EmbedDim),
+		logits:     newSessMat(maxBatch, m.maxDom),
+		dLogits:    newSessMat(maxBatch, m.maxDom),
+	}
+	for b := 0; b < m.cfg.Blocks; b++ {
+		s.mid = append(s.mid, newSessMat(maxBatch, h))
+		s.res = append(s.res, newSessMat(maxBatch, h))
+	}
+	s.inWT = nn.NewMat(h, m.inDim)
+	for b := 0; b < m.cfg.Blocks; b++ {
+		s.w1T = append(s.w1T, nn.NewMat(h, h))
+		s.w2T = append(s.w2T, nn.NewMat(h, h))
+	}
+	for _, d := range m.doms {
+		s.headWT = append(s.headWT, nn.NewMat(m.cfg.EmbedDim, h))
+		s.embT = append(s.embT, nn.NewMat(m.cfg.EmbedDim, d))
+	}
+	return s
+}
+
+// refreshTransposes re-materializes the transposed weights; called once per
+// step (weights change every step, and the copies are tiny next to a
+// batch-sized matmul).
+func (s *TrainSession) refreshTransposes() {
+	m := s.m
+	nn.TransposeInto(s.inWT, m.inW.Val)
+	for bi, blk := range m.blocks {
+		nn.TransposeInto(s.w1T[bi], blk.w1.Val)
+		nn.TransposeInto(s.w2T[bi], blk.w2.Val)
+	}
+	for i := range m.doms {
+		nn.TransposeInto(s.headWT[i], m.headW[i].Val)
+		nn.TransposeInto(s.embT[i], m.embedRowsView(i))
+	}
+}
+
+// Cap returns the session's batch capacity.
+func (s *TrainSession) Cap() int { return s.cap }
+
+// Step performs one maximum-likelihood gradient step on a batch of token
+// tuples, exactly as Model.TrainStep does (same wildcard masking, same RNG
+// consumption, same objective) but through the session's preallocated
+// scratch and the prefix-structured kernels. It returns the mean negative
+// log-likelihood in nats per tuple.
+func (s *TrainSession) Step(batch [][]int32, wildcardProb float64) float64 {
+	b := len(batch)
+	if b == 0 {
+		return 0
+	}
+	if b > s.cap {
+		panic(fmt.Sprintf("made: TrainSession.Step batch %d exceeds capacity %d", b, s.cap))
+	}
+	m := s.m
+
+	// Wildcard-skipping masking into session-owned rows. The RNG call
+	// sequence (Float64, Intn, then the Perm recurrence) replicates
+	// TrainStep's use of rand.Perm so both paths share seed trajectories.
+	inputs := s.inputs[:b]
+	for r := range batch {
+		if len(batch[r]) != m.n {
+			panic(fmt.Sprintf("made: tuple has %d columns, want %d", len(batch[r]), m.n))
+		}
+		if wildcardProb > 0 && m.rng.Float64() < wildcardProb {
+			row := s.maskedRows[r*m.n : (r+1)*m.n]
+			copy(row, batch[r])
+			k := m.rng.Intn(m.n + 1)
+			// rand.Perm replica into reused scratch; the i = 0 iteration is
+			// a no-op swap but consumes one Intn draw, exactly as the
+			// standard library does (kept for stream compatibility).
+			perm := s.perm
+			for i := 0; i < m.n; i++ {
+				j := m.rng.Intn(i + 1)
+				perm[i] = perm[j]
+				perm[j] = i
+			}
+			for _, c := range perm[:k] {
+				row[c] = MaskToken
+			}
+			inputs[r] = row
+		} else {
+			inputs[r] = batch[r]
+		}
+	}
+
+	loss := s.backward(inputs, batch)
+	m.opt.StepClipped(m.params, m.cfg.ClipNorm)
+	m.samplesSeen += b
+	m.version++
+	return loss
+}
+
+// embedInput fills the session's input matrix from (possibly masked) token
+// rows, mapping wildcards to each column's MASK embedding row.
+func (s *TrainSession) embedInput(inputs [][]int32, x *nn.Mat) {
+	m := s.m
+	b := len(inputs)
+	ids := s.ids[:b]
+	for i := 0; i < m.n; i++ {
+		mask := int32(m.doms[i])
+		for r := 0; r < b; r++ {
+			t := inputs[r][i]
+			if t < 0 {
+				t = mask
+			}
+			ids[r] = t
+		}
+		nn.Gather(x, m.offsets[i], m.embeds[i].Val, ids)
+	}
+}
+
+// backward runs forward + backprop over the session scratch, accumulating
+// parameter gradients, and returns the mean NLL. The structure mirrors
+// Model.backward; every dense masked product is replaced by its
+// prefix-structured equivalent, which also keeps masked gradient entries at
+// exact zero without the reference path's Hadamard re-masking pass.
+func (s *TrainSession) backward(inputs, targets [][]int32) float64 {
+	m := s.m
+	b := len(inputs)
+	s.refreshTransposes()
+
+	// Forward trunk.
+	x := s.x.view(b)
+	s.embedInput(inputs, x)
+	h0 := s.h0.view(b)
+	nn.MatMulRowSuffix(h0, x, m.inW.Val, m.inStart)
+	nn.AddBiasRelu(h0, m.inB.Val.Row(0))
+	h := h0
+	for bi, blk := range m.blocks {
+		a := s.mid[bi].view(b)
+		nn.MatMulRowSuffix(a, h, blk.w1.Val, m.hhStart)
+		nn.AddBiasRelu(a, blk.b1.Val.Row(0))
+		f := s.res[bi].view(b)
+		nn.MatMulRowSuffix(f, a, blk.w2.Val, m.hhStart)
+		nn.AddBiasResidual(f, blk.b2.Val.Row(0), h)
+		h = f
+	}
+
+	// Heads: forward + backward per column, accumulating dh. The head for
+	// column i reads only the hidden prefix of width prefixWidth[i], so the
+	// projection and its gradients run over that prefix directly.
+	dh := s.dh.view(b)
+	dh.Zero()
+	tgt := s.tgt[:b]
+	totalLoss := 0.0
+	scale := 1.0 / float64(b)
+	for i := 0; i < m.n; i++ {
+		pw := m.prefixWidth[i]
+		proj := s.proj.view(b)
+		nn.MatMulSub(proj, h, m.headW[i].Val, pw, m.cfg.EmbedDim)
+		embView := m.embedRowsView(i)
+		logits := s.logits.viewShape(b, m.doms[i])
+		nn.MatMul(logits, proj, s.embT[i])
+		nn.AddBias(logits, m.headB[i].Val.Row(0))
+		for r := range targets {
+			tgt[r] = targets[r][i]
+		}
+		dLogits := s.dLogits.viewShape(b, m.doms[i])
+		totalLoss += nn.CrossEntropy(logits, tgt, dLogits)
+		for j := range dLogits.Data {
+			dLogits.Data[j] *= scale
+		}
+		// logits = proj·embᵀ + bias
+		nn.BiasGradAdd(m.headB[i].Grad.Row(0), dLogits)
+		dProj := s.dProj.view(b)
+		nn.MatMul(dProj, dLogits, embView)
+		nn.MatMulATAdd(m.embedGradView(i), dLogits, proj)
+		// proj = h[:, :pw]·headW[:pw, :]
+		nn.MatMulATAddSub(m.headW[i].Grad, h, dProj, pw)
+		nn.MatMulAddCols(dh, dProj, s.headWT[i], pw)
+	}
+
+	// Trunk backward through residual blocks; the residual (identity) path
+	// accumulation is fused into the input-gradient kernels.
+	for bi := len(m.blocks) - 1; bi >= 0; bi-- {
+		blk := m.blocks[bi]
+		var hin *nn.Mat
+		if bi == 0 {
+			hin = s.h0.view(b)
+		} else {
+			hin = s.res[bi-1].view(b)
+		}
+		a := s.mid[bi].view(b)
+		// f = a·W2 + b2; out = hin + f  ⇒ df = dh.
+		nn.BiasGradAdd(blk.b2.Grad.Row(0), dh)
+		nn.MatMulATAddRowSuffix(blk.w2.Grad, a, dh, m.hhStart)
+		da := s.da.view(b)
+		nn.MatMulPrefix(da, dh, s.w2T[bi], m.hhExtT)
+		nn.ReluBackward(da, a)
+		nn.BiasGradAdd(blk.b1.Grad.Row(0), da)
+		nn.MatMulATAddRowSuffix(blk.w1.Grad, hin, da, m.hhStart)
+		nn.MatMulPrefixAdd(dh, da, s.w1T[bi], m.hhExtT) // dh += da·W1ᵀ (identity path already in dh)
+	}
+
+	// Input layer backward: h0 = relu(x·inW + inB).
+	nn.ReluBackward(dh, s.h0.view(b))
+	nn.BiasGradAdd(m.inB.Grad.Row(0), dh)
+	nn.MatMulATAddRowSuffix(m.inW.Grad, x, dh, m.inStart)
+	dx := s.dx.view(b)
+	nn.MatMulPrefix(dx, dh, s.inWT, m.inExtT)
+
+	// Embedding input gradients (per column block), honoring MASK rows.
+	ids := s.ids[:b]
+	for i := 0; i < m.n; i++ {
+		maskID := int32(m.doms[i])
+		for r := 0; r < b; r++ {
+			t := inputs[r][i]
+			if t < 0 {
+				t = maskID
+			}
+			ids[r] = t
+		}
+		nn.ScatterAddGrad(m.embeds[i].Grad, ids, dx, m.offsets[i])
+	}
+
+	// No gradient re-masking: the suffix kernels never write masked entries.
+	return totalLoss / float64(b)
+}

@@ -38,6 +38,74 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// StepClipped fuses ClipGradNorm and Step into a single two-pass update: the
+// first pass accumulates the global gradient norm, the second applies the
+// (possibly rescaled) Adam update and clears the gradient in place — the
+// clip never materializes rescaled gradients. maxNorm ≤ 0 disables clipping
+// (scale 1, returned norm 0, and the norm pass is skipped entirely).
+//
+// Parameters with a Suffix table skip their masked-zero entries in both
+// passes: those entries have zero gradient and zero moments by construction
+// (see Param.Suffix), so their Adam update is exactly zero and skipping them
+// is bit-identical to the dense update.
+//
+// The result is bit-identical to ClipGradNorm followed by Step: the update
+// consumes g·scale exactly as the sequential pair stores and reloads it.
+func (a *Adam) StepClipped(params []*Param, maxNorm float64) float64 {
+	scale, norm := 1.0, 0.0
+	if maxNorm > 0 {
+		sum := 0.0
+		for _, p := range params {
+			g := p.Grad.Data
+			if p.Suffix == nil {
+				for _, gi := range g {
+					sum += gi * gi
+				}
+				continue
+			}
+			cols := p.Grad.Cols
+			for r, s := range p.Suffix {
+				for _, gi := range g[r*cols+s : (r+1)*cols] {
+					sum += gi * gi
+				}
+			}
+		}
+		norm = math.Sqrt(sum)
+		if norm > maxNorm && norm > 0 {
+			scale = maxNorm / norm
+		}
+	}
+
+	a.step++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		g := p.Grad.Data
+		w := p.Val.Data
+		m, v := p.m, p.v
+		update := func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				gi := g[i] * scale
+				m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+				v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+				mh := m[i] / c1
+				vh := v[i] / c2
+				w[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+				g[i] = 0
+			}
+		}
+		if p.Suffix == nil {
+			update(0, len(g))
+			continue
+		}
+		cols := p.Grad.Cols
+		for r, s := range p.Suffix {
+			update(r*cols+s, (r+1)*cols)
+		}
+	}
+	return norm
+}
+
 // StepCount returns the number of updates applied so far.
 func (a *Adam) StepCount() int { return a.step }
 

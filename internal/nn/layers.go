@@ -11,6 +11,14 @@ type Param struct {
 	Name string
 	Val  *Mat
 	Grad *Mat
+
+	// Suffix, when non-nil, declares the parameter's masked sparsity
+	// structure: row r is active only on columns [Suffix[r], Cols), and the
+	// owner guarantees that values, gradients, and optimizer moments outside
+	// that region are always exactly zero (the suffix-structured kernels
+	// never write them). Adam.StepClipped skips the masked region entirely.
+	Suffix []int
+
 	m, v []float64
 }
 
@@ -65,81 +73,102 @@ func ReluBackward(dY, out *Mat) {
 	}
 }
 
+func softmaxRowsChunk(dst, logits *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		src := logits.Row(i)
+		out := dst.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range src {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(v - maxv)
+			out[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}
+
 // SoftmaxRows writes the row-wise softmax of logits into dst (may alias).
-func SoftmaxRows(dst, logits *Mat) {
+func (p *Pool) SoftmaxRows(dst, logits *Mat) {
 	if dst.Rows != logits.Rows || dst.Cols != logits.Cols {
 		panic("nn: SoftmaxRows dimension mismatch")
 	}
-	parallelFor(logits.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			src := logits.Row(i)
-			out := dst.Row(i)
-			maxv := math.Inf(-1)
-			for _, v := range src {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			sum := 0.0
-			for j, v := range src {
-				e := math.Exp(v - maxv)
-				out[j] = e
-				sum += e
-			}
-			inv := 1 / sum
-			for j := range out {
-				out[j] *= inv
-			}
-		}
-	})
+	if p.inline(logits.Rows) {
+		softmaxRowsChunk(dst, logits, 0, logits.Rows)
+		return
+	}
+	p.parallelFor(logits.Rows, func(lo, hi int) { softmaxRowsChunk(dst, logits, lo, hi) })
 }
+
+// SoftmaxRows runs on the default pool.
+func SoftmaxRows(dst, logits *Mat) { defaultPool.SoftmaxRows(dst, logits) }
 
 // CrossEntropy computes the summed negative log-likelihood of targets under
 // row-wise softmax(logits) and fills dLogits with the unscaled gradient
 // (softmax - onehot). Rows whose target is negative are skipped entirely
 // (zero loss, zero gradient) — used to mask padding and wildcard positions.
 // The caller divides loss and gradients by the effective batch size.
-func CrossEntropy(logits *Mat, targets []int32, dLogits *Mat) float64 {
+//
+// The loss is reduced through per-chunk partial sums (no per-row scratch),
+// so the training loop's most-called kernel performs no allocation on the
+// serial path and at most one tiny chunk-sum slice when parallelized.
+func crossEntropyChunk(logits *Mat, targets []int32, dLogits *Mat, lo, hi int) float64 {
+	partial := 0.0
+	for i := lo; i < hi; i++ {
+		dst := dLogits.Row(i)
+		t := targets[i]
+		if t < 0 {
+			for j := range dst {
+				dst[j] = 0
+			}
+			continue
+		}
+		src := logits.Row(i)
+		maxv := math.Inf(-1)
+		for _, v := range src {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range src {
+			e := math.Exp(v - maxv)
+			dst[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range dst {
+			dst[j] *= inv
+		}
+		partial += -math.Log(math.Max(dst[t], 1e-300))
+		dst[t] -= 1
+	}
+	return partial
+}
+
+func (p *Pool) CrossEntropy(logits *Mat, targets []int32, dLogits *Mat) float64 {
 	if len(targets) != logits.Rows || dLogits.Rows != logits.Rows || dLogits.Cols != logits.Cols {
 		panic("nn: CrossEntropy dimension mismatch")
 	}
-	losses := make([]float64, logits.Rows)
-	parallelFor(logits.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst := dLogits.Row(i)
-			t := targets[i]
-			if t < 0 {
-				for j := range dst {
-					dst[j] = 0
-				}
-				continue
-			}
-			src := logits.Row(i)
-			maxv := math.Inf(-1)
-			for _, v := range src {
-				if v > maxv {
-					maxv = v
-				}
-			}
-			sum := 0.0
-			for j, v := range src {
-				e := math.Exp(v - maxv)
-				dst[j] = e
-				sum += e
-			}
-			inv := 1 / sum
-			for j := range dst {
-				dst[j] *= inv
-			}
-			losses[i] = -math.Log(math.Max(dst[t], 1e-300))
-			dst[t] -= 1
-		}
-	})
-	total := 0.0
-	for _, l := range losses {
-		total += l
+	if p.inline(logits.Rows) {
+		return crossEntropyChunk(logits, targets, dLogits, 0, logits.Rows)
 	}
-	return total
+	return p.parallelForSum(logits.Rows, func(lo, hi int) float64 {
+		return crossEntropyChunk(logits, targets, dLogits, lo, hi)
+	})
+}
+
+// CrossEntropy runs on the default pool.
+func CrossEntropy(logits *Mat, targets []int32, dLogits *Mat) float64 {
+	return defaultPool.CrossEntropy(logits, targets, dLogits)
 }
 
 // Gather copies embedding rows table[ids[i]] into out rows at column offset

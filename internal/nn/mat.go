@@ -3,7 +3,16 @@
 // layers, embeddings, ReLU, softmax/cross-entropy, and the Adam optimizer
 // with gradient clipping. All operations are hand-derived forward/backward
 // pairs validated against finite differences; matrix products parallelize
-// across goroutines.
+// across a persistent worker pool (see Pool), and sessions that must not
+// oversubscribe the CPU run the same kernels through the Serial pool.
+//
+// Kernels are written as a thin dispatch over named chunk functions: the
+// serial path calls the chunk directly (no closure, no allocation), and the
+// parallel path wraps it in a closure only when chunks are actually handed
+// to pool workers. The hot matmuls use 4-row register blocking, which
+// quarters weight-matrix memory traffic and gives four independent
+// accumulation streams while preserving the scalar loop's per-element
+// accumulation order exactly.
 //
 // The paper trains its ResMADE with PyTorch on a GPU; this package is the
 // substitution that keeps the estimator's statistics identical (maximum
@@ -11,11 +20,7 @@
 // standard library only.
 package nn
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // Mat is a dense row-major matrix.
 type Mat struct {
@@ -59,58 +64,116 @@ func (m *Mat) Clone() *Mat {
 	return out
 }
 
-// parallelFor splits [0, n) into chunks across GOMAXPROCS workers. Small n
-// runs inline to avoid goroutine overhead.
-func parallelFor(n int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	const minChunk = 16
-	if n < 2*minChunk || workers == 1 {
-		fn(0, n)
-		return
-	}
-	if workers > n/minChunk {
-		workers = n / minChunk
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+func matMulChunk(dst, a, b *Mat, lo, hi int) {
+	i := lo
+	// 4-row register blocking: each loaded row of b updates four output
+	// rows, quartering b's memory traffic and giving four independent
+	// accumulation streams. Per-element accumulation order (ascending k,
+	// rows independent) matches the scalar loop exactly.
+	for ; i+4 <= hi; i += 4 {
+		a0, a1, a2, a3 := a.Row(i), a.Row(i+1), a.Row(i+2), a.Row(i+3)
+		d0, d1, d2, d3 := dst.Row(i), dst.Row(i+1), dst.Row(i+2), dst.Row(i+3)
+		for j := range d0 {
+			d0[j], d1[j], d2[j], d3[j] = 0, 0, 0, 0
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+		for k, av0 := range a0 {
+			av1, av2, av3 := a1[k], a2[k], a3[k]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue // ReLU activations are often sparse
+			}
+			brow := b.Row(k)
+			e0 := d0[:len(brow)]
+			e1 := d1[:len(brow)]
+			e2 := d2[:len(brow)]
+			e3 := d3[:len(brow)]
+			for j, bv := range brow {
+				e0[j] += av0 * bv
+				e1[j] += av1 * bv
+				e2[j] += av2 * bv
+				e3[j] += av3 * bv
+			}
+		}
 	}
-	wg.Wait()
+	for ; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			dsub := drow[:len(brow)]
+			for j, bv := range brow {
+				dsub[j] += av * bv
+			}
+		}
+	}
 }
 
 // MatMul sets dst = a·b. dst must be a.Rows × b.Cols and distinct from a, b.
-func MatMul(dst, a, b *Mat) {
+func (p *Pool) MatMul(dst, a, b *Mat) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMul dims %dx%d · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := range drow {
-				drow[j] = 0
+	if p.inline(a.Rows) {
+		matMulChunk(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.parallelFor(a.Rows, func(lo, hi int) { matMulChunk(dst, a, b, lo, hi) })
+}
+
+// MatMul sets dst = a·b on the default pool.
+func MatMul(dst, a, b *Mat) { defaultPool.MatMul(dst, a, b) }
+
+func matMulSubChunk(dst, a, b *Mat, k, m, lo, hi int) {
+	i := lo
+	// 4-row register blocking (see matMulChunk).
+	for ; i+4 <= hi; i += 4 {
+		a0 := a.Row(i)[:k]
+		a1 := a.Row(i + 1)[:k]
+		a2 := a.Row(i + 2)[:k]
+		a3 := a.Row(i + 3)[:k]
+		d0 := dst.Row(i)[:m]
+		d1 := dst.Row(i + 1)[:m]
+		d2 := dst.Row(i + 2)[:m]
+		d3 := dst.Row(i + 3)[:m]
+		for j := range d0 {
+			d0[j], d1[j], d2[j], d3[j] = 0, 0, 0, 0
+		}
+		for j, av0 := range a0 {
+			av1, av2, av3 := a1[j], a2[j], a3[j]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
 			}
-			for k, av := range arow {
-				if av == 0 {
-					continue // ReLU activations are often sparse
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+			brow := b.Row(j)[:m]
+			for c, bv := range brow {
+				d0[c] += av0 * bv
+				d1[c] += av1 * bv
+				d2[c] += av2 * bv
+				d3[c] += av3 * bv
 			}
 		}
-	})
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)[:k]
+		drow := dst.Row(i)[:m]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(j)[:m]
+			for c, bv := range brow {
+				drow[c] += av * bv
+			}
+		}
+	}
 }
 
 // MatMulSub sets the leading m columns of dst to a[:, :k]·b[:k, :m],
@@ -118,31 +181,22 @@ func MatMul(dst, a, b *Mat) {
 // row-major layout; only row slices are restricted, so no copies are made.
 // Used by inference sessions to run MADE trunk passes over the contiguous
 // "degree ≤ col" prefix — entries outside the prefix multiply masked-zero
-// weights and are skipped instead of computed.
-func MatMulSub(dst, a, b *Mat, k, m int) {
+// weights and are skipped instead of computed — and by training sessions to
+// project head inputs without materializing a masked hidden copy.
+func (p *Pool) MatMulSub(dst, a, b *Mat, k, m int) {
 	if k > a.Cols || k > b.Rows || m > b.Cols || m > dst.Cols || dst.Rows != a.Rows {
 		panic(fmt.Sprintf("nn: MatMulSub dims %dx%d[:%d] · %dx%d[:%d,:%d] -> %dx%d",
 			a.Rows, a.Cols, k, b.Rows, b.Cols, k, m, dst.Rows, dst.Cols))
 	}
-	parallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)[:k]
-			drow := dst.Row(i)[:m]
-			for j := range drow {
-				drow[j] = 0
-			}
-			for j, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(j)[:m]
-				for c, bv := range brow {
-					drow[c] += av * bv
-				}
-			}
-		}
-	})
+	if p.inline(a.Rows) {
+		matMulSubChunk(dst, a, b, k, m, 0, a.Rows)
+		return
+	}
+	p.parallelFor(a.Rows, func(lo, hi int) { matMulSubChunk(dst, a, b, k, m, lo, hi) })
 }
+
+// MatMulSub runs the prefix-restricted product on the default pool.
+func MatMulSub(dst, a, b *Mat, k, m int) { defaultPool.MatMulSub(dst, a, b, k, m) }
 
 // AddBiasSub adds bias[:m] to the leading m columns of every row of x.
 func AddBiasSub(x *Mat, bias []float64, m int) {
@@ -158,68 +212,119 @@ func AddBiasSub(x *Mat, bias []float64, m int) {
 	}
 }
 
+func matMulATAddChunk(dst, a, b *Mat, lo, hi int) {
+	k := 0
+	// 4-batch-row blocking: four outer products accumulate per pass over
+	// the gradient, as sequential adds (ascending-k order preserved),
+	// quartering gradient-matrix memory traffic.
+	for ; k+4 <= a.Rows; k += 4 {
+		a0, a1, a2, a3 := a.Row(k), a.Row(k+1), a.Row(k+2), a.Row(k+3)
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		for i := lo; i < hi; i++ {
+			av0, av1, av2, av3 := a0[i], a1[i], a2[i], a3[i]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			drow := dst.Row(i)[:len(b0)]
+			c1 := b1[:len(drow)]
+			c2 := b2[:len(drow)]
+			c3 := b3[:len(drow)]
+			for j, bv := range b0 {
+				drow[j] += av0 * bv
+				drow[j] += av1 * c1[j]
+				drow[j] += av2 * c2[j]
+				drow[j] += av3 * c3[j]
+			}
+		}
+	}
+	for ; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
 // MatMulATAdd accumulates dst += aᵀ·b. dst must be a.Cols × b.Cols. Used for
 // weight gradients (dW += Xᵀ·dY), which accumulate across calls.
-func MatMulATAdd(dst, a, b *Mat) {
+func (p *Pool) MatMulATAdd(dst, a, b *Mat) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulATAdd dims %dx%dᵀ · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelFor(a.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(i)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	if p.inline(a.Cols) {
+		matMulATAddChunk(dst, a, b, 0, a.Cols)
+		return
+	}
+	p.parallelFor(a.Cols, func(lo, hi int) { matMulATAddChunk(dst, a, b, lo, hi) })
+}
+
+// MatMulATAdd accumulates dst += aᵀ·b on the default pool.
+func MatMulATAdd(dst, a, b *Mat) { defaultPool.MatMulATAdd(dst, a, b) }
+
+func matMulBTChunk(dst, a, b *Mat, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			sum := 0.0
+			for k, av := range arow {
+				sum += av * brow[k]
 			}
+			drow[j] = sum
 		}
-	})
+	}
 }
 
 // MatMulBT sets dst = a·bᵀ. dst must be a.Rows × b.Rows. Used for input
-// gradients (dX = dY·Wᵀ).
-func MatMulBT(dst, a, b *Mat) {
+// gradients (dX = dY·Wᵀ) when no pre-transposed weight is available.
+func (p *Pool) MatMulBT(dst, a, b *Mat) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulBT dims %dx%d · %dx%dᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelFor(a.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				sum := 0.0
-				for k, av := range arow {
-					sum += av * brow[k]
-				}
-				drow[j] = sum
-			}
+	if p.inline(a.Rows) {
+		matMulBTChunk(dst, a, b, 0, a.Rows)
+		return
+	}
+	p.parallelFor(a.Rows, func(lo, hi int) { matMulBTChunk(dst, a, b, lo, hi) })
+}
+
+// MatMulBT sets dst = a·bᵀ on the default pool.
+func MatMulBT(dst, a, b *Mat) { defaultPool.MatMulBT(dst, a, b) }
+
+func addBiasChunk(x *Mat, bias []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := x.Row(i)
+		for j, b := range bias {
+			row[j] += b
 		}
-	})
+	}
 }
 
 // AddBias adds bias (length x.Cols) to every row of x in place.
-func AddBias(x *Mat, bias []float64) {
+func (p *Pool) AddBias(x *Mat, bias []float64) {
 	if len(bias) != x.Cols {
 		panic("nn: AddBias length mismatch")
 	}
-	parallelFor(x.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := x.Row(i)
-			for j, b := range bias {
-				row[j] += b
-			}
-		}
-	})
+	if p.inline(x.Rows) {
+		addBiasChunk(x, bias, 0, x.Rows)
+		return
+	}
+	p.parallelFor(x.Rows, func(lo, hi int) { addBiasChunk(x, bias, lo, hi) })
 }
+
+// AddBias adds bias to every row of x on the default pool.
+func AddBias(x *Mat, bias []float64) { defaultPool.AddBias(x, bias) }
 
 // BiasGradAdd accumulates column sums of dY into grad (the bias gradient).
 func BiasGradAdd(grad []float64, dY *Mat) {

@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// task is one chunk of a parallel loop handed to a pool worker.
+type task struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+// Pool executes kernel loops across a fixed set of persistent worker
+// goroutines. The calling goroutine always participates (it runs the final
+// chunk and any chunk the workers cannot absorb), so a Pool with parallelism
+// p uses the caller plus p-1 workers and can never deadlock: if the task
+// queue is full — e.g. many concurrent sessions share one pool — excess
+// chunks simply run inline on the caller.
+//
+// Workers are started lazily on the first parallel call and live for the
+// process lifetime; submitting a chunk is a channel send, not a goroutine
+// spawn, which is what makes small training-step kernels cheap to
+// parallelize.
+//
+// Chunk boundaries depend only on n and the pool's parallelism, and every
+// output element is produced entirely within one chunk, so results are
+// independent of which goroutine runs which chunk.
+type Pool struct {
+	// par is the max parallelism including the caller; 0 means "resolve to
+	// GOMAXPROCS at first use". Atomic because cold pools may be touched
+	// concurrently: the first parallel call pins par inside the once while
+	// kernels on other goroutines read it (parallelism/inline) without
+	// having passed through that once yet.
+	par   atomic.Int32
+	once  sync.Once
+	tasks chan task
+}
+
+// NewPool returns a pool with the given maximum parallelism (caller plus
+// par-1 persistent workers). par < 1 selects GOMAXPROCS.
+func NewPool(par int) *Pool {
+	p := &Pool{}
+	if par >= 1 {
+		p.par.Store(int32(par))
+	}
+	return p
+}
+
+// Serial is the pool that runs every kernel inline on the calling goroutine.
+// Sessions serving many concurrent queries use it to keep total goroutine
+// count at one per worker instead of workers × kernel chunks.
+var Serial = NewPool(1)
+
+// defaultPool backs the package-level kernel functions.
+var defaultPool = NewPool(0)
+
+// Default returns the shared pool used by the package-level kernels, sized
+// to GOMAXPROCS at first use.
+func Default() *Pool { return defaultPool }
+
+// parallelism resolves the pool's effective parallelism.
+func (p *Pool) parallelism() int {
+	if v := p.par.Load(); v > 0 {
+		return int(v)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// start launches the worker goroutines once.
+func (p *Pool) start(par int) {
+	p.once.Do(func() {
+		// Pin the parallelism so chunking stays stable across GOMAXPROCS
+		// changes.
+		p.par.CompareAndSwap(0, int32(par))
+		n := int(p.par.Load())
+		p.tasks = make(chan task, 4*n)
+		for w := 0; w < n-1; w++ {
+			go func() {
+				for t := range p.tasks {
+					t.fn(t.lo, t.hi)
+					t.wg.Done()
+				}
+			}()
+		}
+	})
+}
+
+// minChunk is the smallest per-chunk row count worth parallelizing.
+const minChunk = 16
+
+// inline reports whether a loop over n rows runs directly on the caller (a
+// serial pool, a single-CPU configuration, or too little work to chunk).
+// Kernels check it before building their parallel closure, so the serial
+// hot path allocates nothing at all.
+func (p *Pool) inline(n int) bool {
+	return n < 2*minChunk || p.parallelism() <= 1
+}
+
+// parallelFor splits [0, n) into chunks across the pool. Small n (or a
+// serial pool) runs inline.
+func (p *Pool) parallelFor(n int, fn func(lo, hi int)) {
+	par := p.parallelism()
+	if par <= 1 || n < 2*minChunk {
+		fn(0, n)
+		return
+	}
+	if par > n/minChunk {
+		par = n / minChunk
+	}
+	p.start(p.parallelism())
+	chunk := (n + par - 1) / par
+	var wg sync.WaitGroup
+	lo := 0
+	for ; lo+chunk < n; lo += chunk {
+		wg.Add(1)
+		t := task{fn: fn, lo: lo, hi: lo + chunk, wg: &wg}
+		select {
+		case p.tasks <- t:
+		default: // queue full: run the chunk inline instead of blocking
+			fn(t.lo, t.hi)
+			wg.Done()
+		}
+	}
+	fn(lo, n) // the caller always takes the last chunk
+	wg.Wait()
+}
+
+// parallelForSum is parallelFor for reduction loops: fn returns its chunk's
+// partial sum and the partials are combined in chunk order, so the result is
+// deterministic for a fixed parallelism. The serial path performs no
+// allocation at all.
+func (p *Pool) parallelForSum(n int, fn func(lo, hi int) float64) float64 {
+	par := p.parallelism()
+	if par <= 1 || n < 2*minChunk {
+		return fn(0, n)
+	}
+	if par > n/minChunk {
+		par = n / minChunk
+	}
+	p.start(p.parallelism())
+	chunk := (n + par - 1) / par
+	nchunks := (n + chunk - 1) / chunk
+	sums := make([]float64, nchunks)
+	var wg sync.WaitGroup
+	lo, ci := 0, 0
+	for ; lo+chunk < n; lo, ci = lo+chunk, ci+1 {
+		wg.Add(1)
+		t := task{lo: lo, hi: lo + chunk, wg: &wg}
+		slot := &sums[ci]
+		t.fn = func(lo, hi int) { *slot = fn(lo, hi) }
+		select {
+		case p.tasks <- t:
+		default:
+			t.fn(t.lo, t.hi)
+			wg.Done()
+		}
+	}
+	sums[ci] = fn(lo, n)
+	wg.Wait()
+	total := 0.0
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}

@@ -156,11 +156,22 @@ func (s *Sampler) Sample(rng *rand.Rand, out []int32) {
 // SampleBatch draws n samples sequentially with the given rng.
 func (s *Sampler) SampleBatch(rng *rand.Rand, n int) [][]int32 {
 	out := make([][]int32, n)
+	backing := make([]int32, n*len(s.walk.order))
+	nt := len(s.walk.order)
 	for i := range out {
-		out[i] = make([]int32, len(s.walk.order))
+		out[i] = backing[i*nt : (i+1)*nt]
+	}
+	s.SampleBatchInto(rng, out)
+	return out
+}
+
+// SampleBatchInto fills caller-provided rows (each len(Tables())) with
+// sequential samples — the reuse path training batch rings run on, which
+// allocates nothing.
+func (s *Sampler) SampleBatchInto(rng *rand.Rand, out [][]int32) {
+	for i := range out {
 		s.Sample(rng, out[i])
 	}
-	return out
 }
 
 // SampleParallel draws n samples using the given number of worker

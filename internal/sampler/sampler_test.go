@@ -370,3 +370,57 @@ func TestNullKeysNeverJoin(t *testing.T) {
 		t.Errorf("brute force = %d rows, want 3", len(rows))
 	}
 }
+
+// TestSampleBatchInto pins the reuse path to SampleBatch: the same rng seed
+// must produce identical rows whether the batch is freshly allocated or
+// written into caller-provided buffers.
+func TestSampleBatchInto(t *testing.T) {
+	s, err := sampler.New(figure4Schema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt := len(s.Tables())
+	want := s.SampleBatch(rand.New(rand.NewSource(5)), 64)
+	got := make([][]int32, 64)
+	backing := make([]int32, 64*nt)
+	for i := range got {
+		got[i] = backing[i*nt : (i+1)*nt]
+		for j := range got[i] {
+			got[i][j] = 99 // stale garbage that Sample must overwrite
+		}
+	}
+	s.SampleBatchInto(rand.New(rand.NewSource(5)), got)
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("row %d col %d: %d vs %d", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// BenchmarkSamplerThroughput measures full-outer-join sampling through the
+// zero-alloc SampleBatchInto reuse path feeding the training batch ring.
+func BenchmarkSamplerThroughput(b *testing.B) {
+	cfg := testutil.DefaultSchemaConfig()
+	cfg.MaxRows = 2000
+	cfg.KeyDomain = 200
+	sch := testutil.RandomSchema(rand.New(rand.NewSource(2)), cfg)
+	s, err := sampler.New(sch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nt := len(s.Tables())
+	out := make([][]int32, 256)
+	backing := make([]int32, len(out)*nt)
+	for i := range out {
+		out[i] = backing[i*nt : (i+1)*nt]
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleBatchInto(rng, out)
+	}
+	b.ReportMetric(float64(b.N*len(out))/b.Elapsed().Seconds(), "tuples/sec")
+}
