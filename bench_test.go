@@ -4,7 +4,7 @@
 // reproduces the full evaluation at CI scale. cmd/bench runs the same
 // experiments at full benchmark scale.
 //
-// DESIGN.md §3 maps each benchmark to the paper's experiment; EXPERIMENTS.md
+// DESIGN.md §4 maps each benchmark to the paper's experiment; EXPERIMENTS.md
 // records paper-vs-measured outcomes.
 package neurocard_test
 

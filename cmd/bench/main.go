@@ -18,8 +18,12 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
+	jsonOut := flag.Bool("json", false, "exp ci: write BENCH_<kind>.json result files")
+	outDir := flag.String("out", ".", "exp ci: directory for -json result files")
+	gateDir := flag.String("gate", "", "exp ci: baseline directory; fail on throughput regression beyond -maxregress")
+	maxRegress := flag.Float64("maxregress", 0.20, "exp ci: allowed fractional regression of normalized throughput")
 	flag.Parse()
 
 	o := harness.Default()
@@ -60,4 +64,22 @@ func main() {
 	run("fig7c", func() (string, error) { return harness.Figure7c(o) })
 	run("fig7d", func() (string, error) { return harness.Figure7d(o) })
 	run("train", func() (string, error) { return harness.TrainThroughput(o) })
+	run("serve", func() (string, error) {
+		res, err := harness.ServeLoad(o)
+		if err != nil {
+			return "", err
+		}
+		return res.Report, nil
+	})
+	// The CI benchmark-regression gate: measure, optionally write JSON,
+	// compare normalized throughput against the committed baseline. Runs
+	// only on explicit request — `-exp all` already measures serving and
+	// training through the serve/train experiments.
+	if want["ci"] {
+		out, err := harness.RunCIBench(o, *jsonOut, *outDir, *gateDir, *maxRegress)
+		fmt.Print(out)
+		if err != nil {
+			log.Fatalf("ci: %v", err)
+		}
+	}
 }

@@ -30,7 +30,8 @@ func main() {
 	evalWorkers := flag.Int("evalworkers", runtime.GOMAXPROCS(0), "concurrent estimation goroutines")
 	ranges := flag.Bool("ranges", false, "evaluate JOB-light-ranges instead of JOB-light")
 	nQueries := flag.Int("queries", 200, "ranges workload size")
-	savePath := flag.String("save", "", "write trained model weights to this file")
+	savePath := flag.String("save", "", "write a full-estimator checkpoint (servable by neurocardd) to this file")
+	skipEval := flag.Bool("noeval", false, "skip workload evaluation (train + save only)")
 	flag.Parse()
 
 	cfg := datagen.Config{Seed: *seed, Scale: *scale}
@@ -72,6 +73,27 @@ func main() {
 	fmt.Printf("trained %d tuples in %.1fs: loss %.3f nats/tuple, model %.2f MB\n",
 		*tuples, time.Since(start).Seconds(), loss, float64(est.Bytes())/(1<<20))
 
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := neurocard.SaveEstimator(est, f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, err := os.Stat(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("checkpoint saved to %s (%.2f MB)\n", *savePath, float64(st.Size())/(1<<20))
+	}
+	if *skipEval {
+		return
+	}
+
 	var wl *workload.Workload
 	switch {
 	case *schemaName == "jobm":
@@ -103,16 +125,4 @@ func main() {
 		wl.Name, len(wl.Queries), dt.Seconds(), dt.Seconds()*1000/float64(len(wl.Queries)),
 		float64(len(wl.Queries))/dt.Seconds(), *evalWorkers)
 	fmt.Printf("q-errors: %s\n", workload.Summarize(qerrs))
-
-	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer f.Close()
-		if err := neurocard.SaveModel(est, f); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("model saved to %s\n", *savePath)
-	}
 }

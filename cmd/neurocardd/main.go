@@ -1,0 +1,97 @@
+// Command neurocardd is the NeuroCard serving daemon: it loads full-estimator
+// checkpoints (written by `neurocard -save` or neurocard.SaveEstimator) into
+// a hot-swappable model registry and serves cardinality estimates over an
+// HTTP JSON API.
+//
+//	neurocardd -addr :8642 -models ./models -load imdb
+//
+// Endpoints:
+//
+//	POST /v1/estimate            single or batch estimates, optionally seeded
+//	GET  /v1/models              loaded models and their metadata
+//	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap
+//	GET  /healthz                liveness + readiness
+//	GET  /metrics                Prometheus text: latency histogram, q/s,
+//	                             session-pool occupancy
+//
+// Example round trip:
+//
+//	curl -s localhost:8642/v1/estimate -d '{
+//	  "query": {"tables": ["title","movie_companies"],
+//	            "filters": [{"table":"title","col":"production_year","op":">=","int":1990}]},
+//	  "seed": 42}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"neurocard/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	modelsDir := flag.String("models", "models", "directory of <name>.ckpt checkpoints")
+	load := flag.String("load", "", "comma-separated model names to load at startup (first becomes default)")
+	workers := flag.Int("workers", 0, "batch estimate concurrency (0 = GOMAXPROCS)")
+	maxBatch := flag.Int("maxbatch", 1024, "maximum queries per estimate request")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		ModelsDir: *modelsDir,
+		Workers:   *workers,
+		MaxBatch:  *maxBatch,
+	})
+	if *load != "" {
+		for i, name := range strings.Split(*load, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			start := time.Now()
+			entry, err := srv.Registry().Load(name, "")
+			if err != nil {
+				log.Fatalf("preload %q: %v", name, err)
+			}
+			if i == 0 {
+				if err := srv.Registry().SetDefault(name); err != nil {
+					log.Fatal(err)
+				}
+			}
+			log.Printf("loaded model %q from %s in %s (|J| = %.4g, %d tables)",
+				name, entry.Path, time.Since(start).Round(time.Millisecond),
+				entry.Est.JoinSize(), entry.Est.NumTables())
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("neurocardd listening on %s (models dir %s, %d loaded)",
+			*addr, *modelsDir, srv.Registry().Len())
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -174,6 +174,17 @@ func (e *Estimator) UpdateData(data *schema.Schema) error {
 // JoinSize returns |J| of the current snapshot's full outer join.
 func (e *Estimator) JoinSize() float64 { return e.joinSize }
 
+// Config returns the estimator's configuration (as normalized by Build or
+// restored from a checkpoint).
+func (e *Estimator) Config() Config { return e.cfg }
+
+// SessionPoolStats reports the inference-session pool's free and checked-out
+// counts — the serving daemon's occupancy metric.
+func (e *Estimator) SessionPoolStats() (free, inUse int) { return e.sessions.stats() }
+
+// NumTables returns the number of tables in the modeled schema.
+func (e *Estimator) NumTables() int { return e.domain.NumTables() }
+
 // Encoder exposes the column encoding (for tools and diagnostics).
 func (e *Estimator) Encoder() *Encoder { return e.enc }
 
@@ -401,6 +412,13 @@ func (e *Estimator) EstimateIndexedSerial(q query.Query, idx int64) (float64, er
 // it with pool checkout; EstimateBatch workers hold one state across
 // queries.
 func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (float64, error) {
+	return e.estimateSeeded(st, q, e.cfg.Seed, idx)
+}
+
+// estimateSeeded is estimateIndexed with an explicit base seed: the query's
+// randomness is fully determined by (seed, idx). The serving API uses this to
+// honor client-supplied seeds without touching the configured seed.
+func (e *Estimator) estimateSeeded(st *inferState, q query.Query, seed, idx int64) (float64, error) {
 	plans, empty, err := e.plan(q)
 	if err != nil {
 		return 0, err
@@ -410,7 +428,7 @@ func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (f
 		// Q-error convention lower-bounds estimates at 1.
 		return 1, nil
 	}
-	rng := rand.New(rand.NewSource(mixSeed(e.cfg.Seed, idx)))
+	rng := rand.New(rand.NewSource(mixSeed(seed, idx)))
 	return e.sampleWithSession(st, plans, e.psamples(), rng), nil
 }
 
@@ -420,6 +438,13 @@ func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (f
 // run to run regardless of scheduling. Returns estimates aligned with
 // queries and the first error encountered (by query index).
 func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64, error) {
+	return e.EstimateBatchSeeded(queries, workers, e.cfg.Seed)
+}
+
+// EstimateBatchSeeded is EstimateBatch with an explicit base seed: query i's
+// randomness derives from (seed, i) instead of (config seed, i). The serving
+// API uses it to give clients reproducible batch estimates on demand.
+func (e *Estimator) EstimateBatchSeeded(queries []query.Query, workers int, seed int64) ([]float64, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -443,7 +468,7 @@ func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64
 				if i >= len(queries) {
 					return
 				}
-				ests[i], errs[i] = e.estimateIndexed(st, queries[i], int64(i))
+				ests[i], errs[i] = e.estimateSeeded(st, queries[i], seed, int64(i))
 			}
 		}()
 	}
@@ -454,4 +479,12 @@ func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64
 		}
 	}
 	return ests, nil
+}
+
+// EstimateSeededIndexed runs one estimate whose randomness derives from the
+// caller's (seed, idx) pair — the single-query seeded serving path.
+func (e *Estimator) EstimateSeededIndexed(q query.Query, seed, idx int64) (float64, error) {
+	st := e.sessions.get(e.psamples(), false)
+	defer e.sessions.put(st)
+	return e.estimateSeeded(st, q, seed, idx)
 }

@@ -110,6 +110,7 @@ type inferState struct {
 type sessionPool struct {
 	mu    sync.Mutex
 	free  []*inferState
+	inUse int // states currently checked out (serving-side occupancy metric)
 	newFn func(rows int) inferSession
 }
 
@@ -128,11 +129,13 @@ func (p *sessionPool) get(rows int, serial bool) *inferState {
 		st := p.free[i]
 		if st.sess.Cap() >= rows {
 			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.inUse++
 			p.mu.Unlock()
 			st.sess.SetSerial(serial)
 			return st
 		}
 	}
+	p.inUse++
 	p.mu.Unlock()
 	st := &inferState{
 		sess:   p.newFn(rows),
@@ -146,5 +149,13 @@ func (p *sessionPool) get(rows int, serial bool) *inferState {
 func (p *sessionPool) put(st *inferState) {
 	p.mu.Lock()
 	p.free = append(p.free, st)
+	p.inUse--
 	p.mu.Unlock()
+}
+
+// stats reports the pool's current free and checked-out session counts.
+func (p *sessionPool) stats() (free, inUse int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free), p.inUse
 }

@@ -1,0 +1,259 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/nn"
+)
+
+// BenchResult is one CI benchmark file (BENCH_serving.json /
+// BENCH_training.json). Raw metrics are machine-dependent; the regression
+// gate compares Normalized values — each raw metric divided by RefScore, a
+// calibration microbenchmark measured in the same run — so a slower CI
+// runner shifts both sides together instead of tripping the gate.
+type BenchResult struct {
+	Bench      string             `json:"bench"`
+	GoVersion  string             `json:"go_version"`
+	CPUs       int                `json:"cpus"`
+	RefScore   float64            `json:"ref_score"`
+	Metrics    map[string]float64 `json:"metrics"`
+	Normalized map[string]float64 `json:"normalized"`
+}
+
+// RefScore measures a fixed dense-matmul workload (128³ multiply on the same
+// kernels the estimator runs on) for ~300ms and returns matmuls/sec. It is
+// the unit every gated metric is expressed in.
+func RefScore() float64 {
+	const dim = 128
+	rng := rand.New(rand.NewSource(1))
+	a, b, c := nn.NewMat(dim, dim), nn.NewMat(dim, dim), nn.NewMat(dim, dim)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+	// Warm up once, then measure.
+	nn.MatMul(c, a, b)
+	start := time.Now()
+	n := 0
+	for time.Since(start) < 300*time.Millisecond {
+		nn.MatMul(c, a, b)
+		n++
+	}
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// normalize derives the gated metric map.
+func normalize(metrics map[string]float64, ref float64) map[string]float64 {
+	out := make(map[string]float64, len(metrics))
+	for k, v := range metrics {
+		out[k] = v / ref
+	}
+	return out
+}
+
+// CIServingBench measures serving throughput through the full HTTP stack
+// (checkpoint save/load + closed-loop load test) at CI scale.
+func CIServingBench(o Options) (*BenchResult, error) {
+	ref := RefScore()
+	res, err := ServeLoad(o)
+	if err != nil {
+		return nil, err
+	}
+	metrics := map[string]float64{
+		"qps_single": res.SingleQPS,
+		"qps_batch":  res.BatchQPS,
+	}
+	return &BenchResult{
+		Bench:      "serving",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.GOMAXPROCS(0),
+		RefScore:   ref,
+		Metrics:    metrics,
+		Normalized: normalize(metrics, ref),
+	}, nil
+}
+
+// CITrainingBench measures the training hot path (sampler workers + batch
+// ring + zero-alloc session) in tuples/sec at CI scale.
+func CITrainingBench(o Options) (*BenchResult, error) {
+	ref := RefScore()
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Model: o.Model, FactBits: o.FactBits, ContentCols: d.ContentCols,
+		BatchSize: o.BatchSize, WildcardProb: 0.5, SamplerWorkers: o.SamplerWorkers,
+		Seed: o.Seed, PSamples: o.PSamples,
+	}
+	est, err := core.Build(d.Schema, cfg)
+	if err != nil {
+		return nil, err
+	}
+	steps := 60
+	tuples := steps * cfg.BatchSize
+	// Warm-up pass (lazy caches, first allocations), then the measured run.
+	if _, err := est.Train(5 * cfg.BatchSize); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if _, err := est.Train(tuples); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	metrics := map[string]float64{
+		"train_tuples_per_sec": float64(tuples) / elapsed.Seconds(),
+	}
+	return &BenchResult{
+		Bench:      "training",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.GOMAXPROCS(0),
+		RefScore:   ref,
+		Metrics:    metrics,
+		Normalized: normalize(metrics, ref),
+	}, nil
+}
+
+// WriteBenchJSON writes a result file (indented, trailing newline, stable
+// key order via encoding/json map sorting).
+func WriteBenchJSON(path string, r *BenchResult) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads a result file.
+func ReadBenchJSON(path string) (*BenchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// BenchFileName returns the conventional file name for a bench kind.
+func BenchFileName(bench string) string { return "BENCH_" + bench + ".json" }
+
+// GateBench compares current against baseline and returns one line per
+// normalized metric that regressed by more than maxRegress (0.20 = 20%).
+// Metrics present on only one side are reported as failures too — a gate
+// that silently skips a renamed metric gates nothing.
+func GateBench(current, baseline *BenchResult, maxRegress float64) []string {
+	var fails []string
+	keys := make(map[string]bool)
+	for k := range baseline.Normalized {
+		keys[k] = true
+	}
+	for k := range current.Normalized {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		base, okB := baseline.Normalized[k]
+		cur, okC := current.Normalized[k]
+		switch {
+		case !okB:
+			fails = append(fails, fmt.Sprintf("%s/%s: missing from baseline (update bench/baseline/%s)",
+				current.Bench, k, BenchFileName(current.Bench)))
+		case !okC:
+			fails = append(fails, fmt.Sprintf("%s/%s: missing from current run", current.Bench, k))
+		case base <= 0:
+			fails = append(fails, fmt.Sprintf("%s/%s: non-positive baseline %g", current.Bench, k, base))
+		case cur < base*(1-maxRegress):
+			fails = append(fails, fmt.Sprintf("%s/%s: normalized %0.4g vs baseline %0.4g (-%.1f%% > allowed %.0f%%)",
+				current.Bench, k, cur, base, 100*(1-cur/base), 100*maxRegress))
+		}
+	}
+	return fails
+}
+
+// FormatBench renders a result for logs: raw and normalized side by side.
+func FormatBench(r *BenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CI bench %q (ref score %.1f matmuls/sec, %d CPUs, %s)\n",
+		r.Bench, r.RefScore, r.CPUs, r.GoVersion)
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-24s %12.2f   (normalized %.5f)\n", k, r.Metrics[k], r.Normalized[k])
+	}
+	return b.String()
+}
+
+// RunCIBench runs both CI benchmarks, optionally writing JSON files into
+// outDir and gating against baselineDir. It returns the combined report and
+// an error when the gate fails.
+func RunCIBench(o Options, writeJSON bool, outDir, baselineDir string, maxRegress float64) (string, error) {
+	var b strings.Builder
+	var fails []string
+	if writeJSON {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	for _, run := range []func(Options) (*BenchResult, error){CIServingBench, CITrainingBench} {
+		res, err := run(o)
+		if err != nil {
+			return b.String(), err
+		}
+		b.WriteString(FormatBench(res))
+		if writeJSON {
+			path := filepath.Join(outDir, BenchFileName(res.Bench))
+			if err := WriteBenchJSON(path, res); err != nil {
+				return b.String(), err
+			}
+			fmt.Fprintf(&b, "  wrote %s\n", path)
+		}
+		if baselineDir != "" {
+			basePath := filepath.Join(baselineDir, BenchFileName(res.Bench))
+			base, err := ReadBenchJSON(basePath)
+			if err != nil {
+				return b.String(), fmt.Errorf("bench gate: %w", err)
+			}
+			if base.CPUs != res.CPUs {
+				// ref_score normalization tracks single-machine drift well
+				// but is not invariant across core counts (the calibration
+				// matmul and the measured pipelines parallelize differently),
+				// so a hard 20% gate against a different runner class would
+				// flake in both directions. Skip loudly instead: the gate
+				// bites once the baseline is regenerated on this runner class
+				// (CI uploads the measured JSON as an artifact for exactly
+				// that).
+				fmt.Fprintf(&b, "  GATE SKIPPED for %q: baseline measured on %d CPUs, this run on %d — commit this run's %s (bench-results artifact) as the baseline for this runner class\n",
+					res.Bench, base.CPUs, res.CPUs, BenchFileName(res.Bench))
+				continue
+			}
+			fails = append(fails, GateBench(res, base, maxRegress)...)
+		}
+	}
+	if len(fails) > 0 {
+		return b.String(), fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	if baselineDir != "" {
+		fmt.Fprintf(&b, "bench gate passed (threshold %.0f%%)\n", 100*maxRegress)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,90 @@
+package harness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func benchResult(kind string, norm map[string]float64) *BenchResult {
+	return &BenchResult{Bench: kind, RefScore: 1, Metrics: norm, Normalized: norm}
+}
+
+func TestGateBench(t *testing.T) {
+	base := benchResult("serving", map[string]float64{"qps_single": 10, "qps_batch": 20})
+
+	if fails := GateBench(benchResult("serving", map[string]float64{
+		"qps_single": 9, "qps_batch": 17}), base, 0.20); len(fails) != 0 {
+		t.Errorf("within-threshold run failed the gate: %v", fails)
+	}
+	fails := GateBench(benchResult("serving", map[string]float64{
+		"qps_single": 7.9, "qps_batch": 20}), base, 0.20)
+	if len(fails) != 1 || !strings.Contains(fails[0], "qps_single") {
+		t.Errorf("regressed metric not caught: %v", fails)
+	}
+	// A metric missing from either side must fail rather than silently pass.
+	if fails := GateBench(benchResult("serving", map[string]float64{
+		"qps_single": 10}), base, 0.20); len(fails) != 1 {
+		t.Errorf("missing current metric not caught: %v", fails)
+	}
+	if fails := GateBench(benchResult("serving", map[string]float64{
+		"qps_single": 10, "qps_batch": 20, "qps_new": 1}), base, 0.20); len(fails) != 1 {
+		t.Errorf("missing baseline metric not caught: %v", fails)
+	}
+	// Improvements never fail.
+	if fails := GateBench(benchResult("serving", map[string]float64{
+		"qps_single": 100, "qps_batch": 200}), base, 0.20); len(fails) != 0 {
+		t.Errorf("improvement failed the gate: %v", fails)
+	}
+}
+
+// TestServeLoadSmoke runs the closed-loop serving experiment at the smallest
+// scale that exercises checkpoint save/load, the HTTP stack, both phases,
+// and the built-in 1e-9 wire equivalence check.
+func TestServeLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving load test skipped in -short mode")
+	}
+	o := tiny()
+	o.TrainTuples = 4 * o.BatchSize
+	o.ServeClients = 2
+	o.ServeRequests = 16
+	o.ServeBatch = 4
+	res, err := ServeLoad(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SingleQPS <= 0 || res.BatchQPS <= 0 {
+		t.Fatalf("non-positive throughput: %+v", res)
+	}
+	for _, want := range []string{"single", "batch-4", "q/s"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report missing %q:\n%s", want, res.Report)
+		}
+	}
+}
+
+func TestBenchJSONRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, BenchFileName("serving"))
+	in := &BenchResult{
+		Bench: "serving", GoVersion: "go1.24.0", CPUs: 1, RefScore: 1000,
+		Metrics:    map[string]float64{"qps_single": 64.5},
+		Normalized: map[string]float64{"qps_single": 0.0645},
+	}
+	if err := WriteBenchJSON(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Bench != in.Bench || out.RefScore != in.RefScore ||
+		out.Metrics["qps_single"] != in.Metrics["qps_single"] ||
+		out.Normalized["qps_single"] != in.Normalized["qps_single"] {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if _, err := ReadBenchJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing baseline file read without error")
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 
 	// Workloads.
 	RangesQueries int
+
+	// Serving load test (ServeLoad).
+	ServeClients  int // concurrent closed-loop clients
+	ServeRequests int // total single-query requests per phase
+	ServeBatch    int // queries per request in the batched phase
 }
 
 // Default returns the benchmark-scale options (minutes of CPU time).
@@ -75,6 +80,9 @@ func Default() Options {
 		MSCNEpochs:       60,
 		SPNSampleRows:    30_000,
 		RangesQueries:    1_000,
+		ServeClients:     8,
+		ServeRequests:    400,
+		ServeBatch:       16,
 	}
 }
 
@@ -98,6 +106,9 @@ func Quick() Options {
 	o.MSCNEpochs = 25
 	o.SPNSampleRows = 8_000
 	o.RangesQueries = 120
+	o.ServeClients = 4
+	o.ServeRequests = 120
+	o.ServeBatch = 8
 	return o
 }
 

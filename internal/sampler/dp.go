@@ -121,30 +121,53 @@ func computeDP(sch *schema.Schema, filter FilterFunc, outer bool) (*dp, error) {
 		}
 		d.w[name] = w
 
-		if pe, hasParent := sch.Parent(name); hasParent {
-			ix, err := t.Index(pe.ChildCol)
-			if err != nil {
-				return nil, fmt.Errorf("sampler: %w", err)
-			}
-			groups := make(map[int64]keyGroup, ix.NumKeys())
-			ix.Keys(func(v int64, rows []int32) {
-				cum := make([]float64, len(rows))
-				total := 0.0
-				for k, r := range rows {
-					total += w[r]
-					cum[k] = total
-				}
-				if total > 0 {
-					groups[v] = keyGroup{rows: rows, cum: cum}
-				}
-			})
-			d.groups[name] = groups
+		if err := d.buildGroups(name); err != nil {
+			return nil, err
 		}
 	}
 
-	// Root totals.
-	root := sch.Root()
-	rw := d.w[root]
+	d.buildRootCum()
+	if outer {
+		if err := d.buildOrphans(filter); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// buildGroups indexes one non-root table's rows by join-key value with
+// cumulative weights over d.w[name] (no-op for the root). Shared between the
+// DP pass and checkpoint restore.
+func (d *dp) buildGroups(name string) error {
+	pe, hasParent := d.sch.Parent(name)
+	if !hasParent {
+		return nil
+	}
+	t := d.sch.Table(name)
+	w := d.w[name]
+	ix, err := t.Index(pe.ChildCol)
+	if err != nil {
+		return fmt.Errorf("sampler: %w", err)
+	}
+	groups := make(map[int64]keyGroup, ix.NumKeys())
+	ix.Keys(func(v int64, rows []int32) {
+		cum := make([]float64, len(rows))
+		total := 0.0
+		for k, r := range rows {
+			total += w[r]
+			cum[k] = total
+		}
+		if total > 0 {
+			groups[v] = keyGroup{rows: rows, cum: cum}
+		}
+	})
+	d.groups[name] = groups
+	return nil
+}
+
+// buildRootCum prefix-sums the root table's weights.
+func (d *dp) buildRootCum() {
+	rw := d.w[d.sch.Root()]
 	d.rootCum = make([]float64, len(rw))
 	total := 0.0
 	for i, x := range rw {
@@ -152,11 +175,45 @@ func computeDP(sch *schema.Schema, filter FilterFunc, outer bool) (*dp, error) {
 		d.rootCum[i] = total
 	}
 	d.rootTotal = total
+}
 
-	if outer {
-		if err := d.buildOrphans(filter); err != nil {
+// restoreDP rebuilds the full-outer-join sampling structures (key groups,
+// root prefix sums, orphan groups) from previously computed per-table join
+// counts, skipping the bottom-up weight pass entirely. The accumulation
+// order matches computeDP exactly, so every derived total — including the
+// join size — is bit-identical to the original run's.
+func restoreDP(sch *schema.Schema, w map[string][]float64) (*dp, error) {
+	d := &dp{
+		sch:    sch,
+		outer:  true,
+		w:      w,
+		groups: make(map[string]map[int64]keyGroup),
+	}
+	for _, name := range sch.Tables() {
+		weights, ok := w[name]
+		if !ok {
+			return nil, fmt.Errorf("sampler: restore: no join counts for table %q", name)
+		}
+		if len(weights) != sch.Table(name).NumRows() {
+			return nil, fmt.Errorf("sampler: restore: table %q has %d rows but %d join counts",
+				name, sch.Table(name).NumRows(), len(weights))
+		}
+		for row, x := range weights {
+			if x < 0 {
+				return nil, fmt.Errorf("sampler: restore: table %q row %d has negative join count %g", name, row, x)
+			}
+		}
+	}
+	// Reverse BFS order, matching computeDP's visit order.
+	order := sch.Tables()
+	for i := len(order) - 1; i >= 0; i-- {
+		if err := d.buildGroups(order[i]); err != nil {
 			return nil, err
 		}
+	}
+	d.buildRootCum()
+	if err := d.buildOrphans(nil); err != nil {
+		return nil, err
 	}
 	return d, nil
 }

@@ -98,6 +98,24 @@ func New(sch *schema.Schema) (*Sampler, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fromDP(sch, d)
+}
+
+// NewFromWeights rebuilds a sampler from previously computed per-table join
+// counts (Weights of the original sampler), skipping the bottom-up DP pass.
+// This is the checkpoint-restore path: the stored counts are authoritative,
+// so a restored sampler's join size and sampling distribution are
+// bit-identical to the original's rather than depending on a recomputation.
+func NewFromWeights(sch *schema.Schema, w map[string][]float64) (*Sampler, error) {
+	d, err := restoreDP(sch, w)
+	if err != nil {
+		return nil, err
+	}
+	return fromDP(sch, d)
+}
+
+// fromDP finishes sampler construction over prepared join-count structures.
+func fromDP(sch *schema.Schema, d *dp) (*Sampler, error) {
 	s := &Sampler{sch: sch, d: d, walk: newWalker(sch, d)}
 	total := 0.0
 	for _, g := range d.orphans {
@@ -108,6 +126,17 @@ func New(sch *schema.Schema) (*Sampler, error) {
 		return nil, fmt.Errorf("sampler: full outer join of schema rooted at %q is empty", sch.Root())
 	}
 	return s, nil
+}
+
+// Weights returns the per-table join-count vectors w_T (aligned with table
+// row order, keyed by table name) — the exact state NewFromWeights restores
+// a sampler from. The returned slices are copies.
+func (s *Sampler) Weights() map[string][]float64 {
+	out := make(map[string][]float64, len(s.d.w))
+	for name, w := range s.d.w {
+		out[name] = append([]float64(nil), w...)
+	}
+	return out
 }
 
 // Schema returns the schema the sampler was prepared for.

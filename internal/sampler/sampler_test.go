@@ -399,6 +399,63 @@ func TestSampleBatchInto(t *testing.T) {
 	}
 }
 
+// TestNewFromWeights: a sampler restored from another sampler's join-count
+// vectors (the checkpoint path) must report a bit-identical join size and
+// draw bit-identical sample streams under the same RNG seed.
+func TestNewFromWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		sch := testutil.RandomSchema(rng, testutil.DefaultSchemaConfig())
+		orig, err := sampler.New(sch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := sampler.NewFromWeights(sch, orig.Weights())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.JoinSize() != orig.JoinSize() {
+			t.Fatalf("trial %d: restored join size %.17g, want %.17g",
+				trial, restored.JoinSize(), orig.JoinSize())
+		}
+		nt := len(orig.Tables())
+		a, b := make([]int32, nt), make([]int32, nt)
+		rngA := rand.New(rand.NewSource(int64(trial)))
+		rngB := rand.New(rand.NewSource(int64(trial)))
+		for i := 0; i < 200; i++ {
+			orig.Sample(rngA, a)
+			restored.Sample(rngB, b)
+			if testutil.RowKey(a) != testutil.RowKey(b) {
+				t.Fatalf("trial %d sample %d: restored drew %v, original %v", trial, i, b, a)
+			}
+		}
+	}
+}
+
+// TestNewFromWeightsValidation: malformed join-count maps must be rejected.
+func TestNewFromWeightsValidation(t *testing.T) {
+	sch := figure4Schema(t)
+	orig, err := sampler.New(sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := orig.Weights()
+	delete(missing, "B")
+	if _, err := sampler.NewFromWeights(sch, missing); err == nil {
+		t.Error("missing table accepted")
+	}
+	short := orig.Weights()
+	short["C"] = short["C"][:1]
+	if _, err := sampler.NewFromWeights(sch, short); err == nil {
+		t.Error("short weight vector accepted")
+	}
+	neg := orig.Weights()
+	neg["A"][0] = -1
+	if _, err := sampler.NewFromWeights(sch, neg); err == nil {
+		t.Error("negative join count accepted")
+	}
+}
+
 // BenchmarkSamplerThroughput measures full-outer-join sampling through the
 // zero-alloc SampleBatchInto reuse path feeding the training batch ring.
 func BenchmarkSamplerThroughput(b *testing.B) {

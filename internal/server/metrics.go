@@ -1,0 +1,133 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (Prometheus
+// cumulative-bucket convention; +Inf is implicit).
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, safe
+// for concurrent observation without locks.
+type histogram struct {
+	counts  []atomic.Int64 // one per bucket, non-cumulative; last = +Inf
+	sumNs   atomic.Int64
+	samples atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, sec)
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.samples.Add(1)
+}
+
+// metrics aggregates the serving counters exposed on /metrics.
+type metrics struct {
+	start time.Time
+
+	reqLatency *histogram // per-request wall time (estimate endpoint)
+
+	queriesTotal  atomic.Int64 // individual query estimates served
+	requestsTotal atomic.Int64 // estimate HTTP requests served
+	errorsTotal   atomic.Int64 // estimate requests answered with an error
+	loadsTotal    atomic.Int64 // model (re)loads
+
+	inflight     atomic.Int64 // estimate requests currently executing
+	inflightPeak atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), reqLatency: newHistogram()}
+}
+
+// requestStart tracks an in-flight estimate request; call the returned
+// function exactly once when it completes.
+func (m *metrics) requestStart() (done func(queries int, err bool)) {
+	cur := m.inflight.Add(1)
+	for {
+		peak := m.inflightPeak.Load()
+		if cur <= peak || m.inflightPeak.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	start := time.Now()
+	return func(queries int, errored bool) {
+		m.inflight.Add(-1)
+		m.requestsTotal.Add(1)
+		if errored {
+			m.errorsTotal.Add(1)
+			return
+		}
+		m.queriesTotal.Add(int64(queries))
+		m.reqLatency.observe(time.Since(start))
+	}
+}
+
+// poolStat is one model's session-pool occupancy snapshot.
+type poolStat struct {
+	model       string
+	free, inUse int
+}
+
+// render writes the Prometheus text exposition of every counter. pools
+// carries the per-model session-pool occupancy sampled at scrape time.
+func (m *metrics) render(pools []poolStat) string {
+	var b strings.Builder
+	uptime := time.Since(m.start).Seconds()
+	queries := m.queriesTotal.Load()
+
+	fmt.Fprintf(&b, "# HELP neurocard_estimate_latency_seconds Wall time of estimate requests.\n")
+	fmt.Fprintf(&b, "# TYPE neurocard_estimate_latency_seconds histogram\n")
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += m.reqLatency.counts[i].Load()
+		fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.reqLatency.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_sum %g\n", float64(m.reqLatency.sumNs.Load())/1e9)
+	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_count %d\n", m.reqLatency.samples.Load())
+
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("neurocard_estimate_queries_total", "Individual query estimates served.", queries)
+	counter("neurocard_estimate_requests_total", "Estimate HTTP requests served.", m.requestsTotal.Load())
+	counter("neurocard_estimate_errors_total", "Estimate requests answered with an error.", m.errorsTotal.Load())
+	counter("neurocard_model_loads_total", "Model checkpoint (re)loads.", m.loadsTotal.Load())
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	gauge("neurocard_inflight_requests", "Estimate requests currently executing.", float64(m.inflight.Load()))
+	gauge("neurocard_inflight_requests_peak", "Peak concurrent estimate requests since start.", float64(m.inflightPeak.Load()))
+	gauge("neurocard_uptime_seconds", "Seconds since server start.", uptime)
+	qps := 0.0
+	if uptime > 0 {
+		qps = float64(queries) / uptime
+	}
+	gauge("neurocard_queries_per_second_lifetime", "Lifetime average estimate throughput.", qps)
+
+	fmt.Fprintf(&b, "# HELP neurocard_sessions_in_use Inference sessions checked out per model.\n# TYPE neurocard_sessions_in_use gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_sessions_in_use{model=%q} %d\n", p.model, p.inUse)
+	}
+	fmt.Fprintf(&b, "# HELP neurocard_sessions_free Idle pooled inference sessions per model.\n# TYPE neurocard_sessions_free gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_sessions_free{model=%q} %d\n", p.model, p.free)
+	}
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package server exposes trained NeuroCard estimators over an HTTP JSON API:
+// a model registry with atomic hot swap, single/batch/seeded estimation on
+// the pooled zero-alloc inference machinery, health and metrics endpoints,
+// and a load-test harness hook. cmd/neurocardd is the daemon wrapper.
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurocard/internal/core"
+)
+
+// Entry is one loaded model: an immutable snapshot handed out to requests.
+// Entries are never mutated after publication — a reload publishes a new
+// Entry — so a request that grabbed one keeps a consistent (estimator,
+// metadata) pair for its whole lifetime regardless of concurrent swaps.
+type Entry struct {
+	Name     string
+	Path     string
+	Est      *core.Estimator
+	LoadedAt time.Time
+	Gen      int // reload generation of this name, starting at 1
+}
+
+// Registry maps model names to loaded estimators. Lookups by name take a
+// read lock; the default model is an atomic pointer so the common hot path
+// (no explicit model in the request) is lock-free. Hot swap replaces the
+// published *Entry; in-flight requests keep serving from the entry they
+// already hold (each estimator owns its session pool), and the old model is
+// garbage-collected once the last request drains.
+type Registry struct {
+	dir string
+
+	mu     sync.RWMutex
+	models map[string]*Entry
+	def    atomic.Pointer[Entry]
+}
+
+// modelNameRE restricts registry names to path-safe tokens, so names can be
+// mapped onto checkpoint files under the models directory without traversal.
+var modelNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
+
+// NewRegistry creates a registry resolving relative model names under dir
+// (may be empty if models are always loaded from explicit paths).
+func NewRegistry(dir string) *Registry {
+	return &Registry{dir: dir, models: make(map[string]*Entry)}
+}
+
+// Dir returns the registry's models directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// CheckpointPath resolves the on-disk checkpoint file for a model name:
+// <dir>/<name>.ckpt.
+func (r *Registry) CheckpointPath(name string) string {
+	return filepath.Join(r.dir, name+".ckpt")
+}
+
+// ValidateName rejects names that cannot be registry keys.
+func ValidateName(name string) error {
+	if !modelNameRE.MatchString(name) {
+		return fmt.Errorf("server: invalid model name %q (want %s)", name, modelNameRE)
+	}
+	return nil
+}
+
+// Load reads the checkpoint at path (or the registry's conventional path for
+// name when path is empty), restores the estimator, and publishes it under
+// name. If the name exists, the entry is atomically replaced (hot swap); if
+// no default model is set yet, the new entry becomes the default.
+func (r *Registry) Load(name, path string) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	if path == "" {
+		path = r.CheckpointPath(name)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: load model %q: %w", name, err)
+	}
+	defer f.Close()
+	est, err := core.LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("server: load model %q: %w", name, err)
+	}
+	return r.Install(name, path, est)
+}
+
+// Install publishes an already-restored estimator under name (the daemon's
+// preload path and the test seam). Swap semantics match Load.
+func (r *Registry) Install(name, path string, est *core.Estimator) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	gen := 1
+	if prev, ok := r.models[name]; ok {
+		gen = prev.Gen + 1
+	}
+	e := &Entry{Name: name, Path: path, Est: est, LoadedAt: time.Now(), Gen: gen}
+	r.models[name] = e
+	// Become the default if there is none, or swap the default in place when
+	// the default model itself was reloaded.
+	if cur := r.def.Load(); cur == nil || cur.Name == name {
+		r.def.Store(e)
+	}
+	r.mu.Unlock()
+	return e, nil
+}
+
+// SetDefault marks an already-loaded model as the default for requests that
+// name no model. Lookup and pointer store happen under the write lock so a
+// concurrent Install of the same name cannot leave the default pointing at
+// an entry the registry no longer holds.
+func (r *Registry) SetDefault(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.models[name]
+	if !ok {
+		return fmt.Errorf("server: model %q is not loaded", name)
+	}
+	r.def.Store(e)
+	return nil
+}
+
+// Get returns the named model, or the default when name is empty.
+func (r *Registry) Get(name string) (*Entry, error) {
+	if name == "" {
+		if e := r.def.Load(); e != nil {
+			return e, nil
+		}
+		return nil, fmt.Errorf("server: no model loaded")
+	}
+	r.mu.RLock()
+	e, ok := r.models[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("server: model %q is not loaded", name)
+	}
+	return e, nil
+}
+
+// List returns all loaded entries sorted by name, plus the current default
+// (nil if none).
+func (r *Registry) List() ([]*Entry, *Entry) {
+	r.mu.RLock()
+	out := make([]*Entry, 0, len(r.models))
+	for _, e := range r.models {
+		out = append(out, e)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, r.def.Load()
+}
+
+// Len returns the number of loaded models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
+}

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"neurocard/internal/query"
+	"neurocard/internal/value"
+)
+
+// Config tunes the serving daemon.
+type Config struct {
+	// ModelsDir is where relative model names resolve to checkpoint files
+	// (<dir>/<name>.ckpt).
+	ModelsDir string
+
+	// Workers bounds the concurrency of batch estimates (≤0 = GOMAXPROCS).
+	Workers int
+
+	// MaxBatch caps queries per estimate request (default 1024).
+	MaxBatch int
+
+	// MaxBodyBytes caps request body sizes (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+// Server is the HTTP serving layer: a registry of loaded estimators plus the
+// JSON API. Create with New, mount Handler on any http.Server.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New creates a server with an empty registry.
+func New(cfg Config) *Server {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(cfg.ModelsDir),
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Registry exposes the model registry (daemon preloading, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// ---- wire types ----
+
+// FilterJSON is one predicate of an estimate request. Exactly one of Int,
+// Str, or Set must be present (Set for op "IN").
+type FilterJSON struct {
+	Table string  `json:"table"`
+	Col   string  `json:"col"`
+	Op    string  `json:"op"`
+	Int   *int64  `json:"int,omitempty"`
+	Str   *string `json:"str,omitempty"`
+	Set   []any   `json:"set,omitempty"`
+}
+
+// QueryJSON is a join query over connected tables plus conjunctive filters.
+type QueryJSON struct {
+	Tables  []string     `json:"tables"`
+	Filters []FilterJSON `json:"filters,omitempty"`
+}
+
+// EstimateRequest asks for cardinality estimates. Exactly one of Query
+// (single) or Queries (batch) must be set. A Seed makes results reproducible:
+// query i derives its randomness from (seed, i) regardless of concurrency.
+type EstimateRequest struct {
+	Model   string      `json:"model,omitempty"`
+	Query   *QueryJSON  `json:"query,omitempty"`
+	Queries []QueryJSON `json:"queries,omitempty"`
+	Seed    *int64      `json:"seed,omitempty"`
+	Workers int         `json:"workers,omitempty"`
+}
+
+// EstimateResponse carries the results. Est is set for single-query
+// requests, Ests for batches.
+type EstimateResponse struct {
+	Model  string    `json:"model"`
+	Est    *float64  `json:"est,omitempty"`
+	Ests   []float64 `json:"ests,omitempty"`
+	Count  int       `json:"count"`
+	Micros int64     `json:"micros"`
+}
+
+// ModelInfo describes one registry entry.
+type ModelInfo struct {
+	Name        string  `json:"name"`
+	Path        string  `json:"path"`
+	Default     bool    `json:"default"`
+	Generation  int     `json:"generation"`
+	LoadedAt    string  `json:"loaded_at"`
+	Tables      int     `json:"tables"`
+	JoinSize    float64 `json:"join_size"`
+	ModelBytes  int     `json:"model_bytes"`
+	SamplesSeen int     `json:"samples_seen"`
+	PSamples    int     `json:"psamples"`
+}
+
+// ModelsResponse lists loaded models.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// LoadRequest optionally overrides the checkpoint path and default flag for
+// a model load.
+type LoadRequest struct {
+	Path        string `json:"path,omitempty"`
+	MakeDefault bool   `json:"default,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	done := s.metrics.requestStart()
+	var req EstimateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		done(0, true)
+		return
+	}
+	single := req.Query != nil
+	if single == (len(req.Queries) > 0) {
+		s.fail(w, http.StatusBadRequest, errors.New("exactly one of \"query\" or \"queries\" must be set"))
+		done(0, true)
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
+		done(0, true)
+		return
+	}
+	entry, err := s.reg.Get(req.Model)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		done(0, true)
+		return
+	}
+
+	qs := req.Queries
+	if single {
+		qs = []QueryJSON{*req.Query}
+	}
+	queries := make([]query.Query, len(qs))
+	for i := range qs {
+		q, err := decodeQuery(qs[i])
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			done(0, true)
+			return
+		}
+		queries[i] = q
+	}
+
+	// Client-supplied worker counts are capped at the core count: more
+	// workers never help (each runs its kernels inline), and an uncapped
+	// request could check out MaxBatch pooled sessions that the pool then
+	// retains for the model's lifetime.
+	maxWorkers := runtime.GOMAXPROCS(0)
+	workers := req.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	if workers <= 0 || workers > maxWorkers {
+		workers = maxWorkers
+	}
+
+	start := time.Now()
+	var ests []float64
+	switch {
+	case single && req.Seed != nil:
+		est, eerr := entry.Est.EstimateSeededIndexed(queries[0], *req.Seed, 0)
+		ests, err = []float64{est}, eerr
+	case single:
+		est, eerr := entry.Est.Estimate(queries[0])
+		ests, err = []float64{est}, eerr
+	case req.Seed != nil:
+		ests, err = entry.Est.EstimateBatchSeeded(queries, workers, *req.Seed)
+	default:
+		ests, err = entry.Est.EstimateBatch(queries, workers)
+	}
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		done(0, true)
+		return
+	}
+	for i, est := range ests {
+		if math.IsNaN(est) || math.IsInf(est, 0) || est <= 0 {
+			s.fail(w, http.StatusInternalServerError, fmt.Errorf("query %d produced non-finite estimate %g", i, est))
+			done(0, true)
+			return
+		}
+	}
+
+	resp := EstimateResponse{
+		Model:  entry.Name,
+		Count:  len(ests),
+		Micros: time.Since(start).Microseconds(),
+	}
+	if single {
+		resp.Est = &ests[0]
+	} else {
+		resp.Ests = ests
+	}
+	s.reply(w, http.StatusOK, resp)
+	done(len(ests), false)
+}
+
+// modelInfo builds the wire description of a registry entry; the single
+// constructor keeps the /v1/models listing and the load response consistent.
+func modelInfo(e, def *Entry) ModelInfo {
+	return ModelInfo{
+		Name:        e.Name,
+		Path:        e.Path,
+		Default:     def != nil && def.Name == e.Name && def.Gen == e.Gen,
+		Generation:  e.Gen,
+		LoadedAt:    e.LoadedAt.UTC().Format(time.RFC3339Nano),
+		Tables:      e.Est.NumTables(),
+		JoinSize:    e.Est.JoinSize(),
+		ModelBytes:  e.Est.Bytes(),
+		SamplesSeen: e.Est.Model().SamplesSeen(),
+		PSamples:    e.Est.Config().PSamples,
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	entries, def := s.reg.List()
+	resp := ModelsResponse{Models: make([]ModelInfo, 0, len(entries))}
+	for _, e := range entries {
+		resp.Models = append(resp.Models, modelInfo(e, def))
+	}
+	s.reply(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req LoadRequest
+	if r.ContentLength != 0 {
+		if err := s.decodeBody(w, r, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	entry, err := s.reg.Load(name, req.Path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, fs.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		s.fail(w, status, err)
+		return
+	}
+	if req.MakeDefault {
+		if err := s.reg.SetDefault(name); err != nil {
+			s.fail(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	s.metrics.loadsTotal.Add(1)
+	_, def := s.reg.List()
+	s.reply(w, http.StatusOK, modelInfo(entry, def))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+		Ready  bool   `json:"ready"`
+		Uptime string `json:"uptime"`
+	}
+	n := s.reg.Len()
+	s.reply(w, http.StatusOK, health{
+		Status: "ok",
+		Models: n,
+		Ready:  n > 0,
+		Uptime: time.Since(s.metrics.start).Round(time.Millisecond).String(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, _ := s.reg.List()
+	pools := make([]poolStat, 0, len(entries))
+	for _, e := range entries {
+		free, inUse := e.Est.SessionPoolStats()
+		pools = append(pools, poolStat{model: e.Name, free: free, inUse: inUse})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.metrics.render(pools)))
+}
+
+// ---- helpers ----
+
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decode request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) reply(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.reply(w, status, errorResponse{Error: err.Error()})
+}
+
+// EncodeQuery converts an internal query into its wire form — the helper
+// clients and the load-test harness use to build request bodies.
+func EncodeQuery(q query.Query) (QueryJSON, error) {
+	out := QueryJSON{Tables: q.Tables}
+	for _, f := range q.Filters {
+		fj := FilterJSON{Table: f.Table, Col: f.Col, Op: f.Op.String()}
+		if f.Op == query.OpIn {
+			for _, v := range f.Set {
+				switch v.K {
+				case value.KindInt:
+					fj.Set = append(fj.Set, v.I)
+				case value.KindStr:
+					fj.Set = append(fj.Set, v.S)
+				default:
+					return QueryJSON{}, fmt.Errorf("filter %s: NULL in IN set has no wire form", f)
+				}
+			}
+		} else {
+			switch f.Val.K {
+			case value.KindInt:
+				i := f.Val.I
+				fj.Int = &i
+			case value.KindStr:
+				s := f.Val.S
+				fj.Str = &s
+			default:
+				return QueryJSON{}, fmt.Errorf("filter %s: NULL literal has no wire form", f)
+			}
+		}
+		out.Filters = append(out.Filters, fj)
+	}
+	return out, nil
+}
+
+// decodeQuery converts the wire form into the internal query model.
+func decodeQuery(qj QueryJSON) (query.Query, error) {
+	q := query.Query{Tables: qj.Tables}
+	for _, fj := range qj.Filters {
+		f, err := decodeFilter(fj)
+		if err != nil {
+			return query.Query{}, err
+		}
+		q.Filters = append(q.Filters, f)
+	}
+	return q, nil
+}
+
+func decodeFilter(fj FilterJSON) (query.Filter, error) {
+	op, err := decodeOp(fj.Op)
+	if err != nil {
+		return query.Filter{}, err
+	}
+	f := query.Filter{Table: fj.Table, Col: fj.Col, Op: op}
+	if op == query.OpIn {
+		if len(fj.Set) == 0 {
+			return query.Filter{}, fmt.Errorf("filter %s.%s: IN requires a non-empty \"set\"", fj.Table, fj.Col)
+		}
+		if fj.Int != nil || fj.Str != nil {
+			return query.Filter{}, fmt.Errorf("filter %s.%s: IN takes \"set\", not \"int\"/\"str\"", fj.Table, fj.Col)
+		}
+		for _, el := range fj.Set {
+			v, err := decodeSetElement(el)
+			if err != nil {
+				return query.Filter{}, fmt.Errorf("filter %s.%s: %w", fj.Table, fj.Col, err)
+			}
+			f.Set = append(f.Set, v)
+		}
+		return f, nil
+	}
+	switch {
+	case fj.Int != nil && fj.Str == nil && fj.Set == nil:
+		f.Val = value.Int(*fj.Int)
+	case fj.Str != nil && fj.Int == nil && fj.Set == nil:
+		f.Val = value.Str(*fj.Str)
+	default:
+		return query.Filter{}, fmt.Errorf("filter %s.%s: exactly one of \"int\" or \"str\" must be set", fj.Table, fj.Col)
+	}
+	return f, nil
+}
+
+func decodeSetElement(el any) (value.Value, error) {
+	switch v := el.(type) {
+	case string:
+		return value.Str(v), nil
+	case int64: // EncodeQuery output used in-process, without a JSON round trip
+		return value.Int(v), nil
+	case float64:
+		if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+			return value.Value{}, fmt.Errorf("set element %v is not an exact integer", v)
+		}
+		return value.Int(int64(v)), nil
+	default:
+		return value.Value{}, fmt.Errorf("set element %v (%T) must be a string or integer", el, el)
+	}
+}
+
+func decodeOp(op string) (query.Op, error) {
+	switch strings.ToUpper(strings.TrimSpace(op)) {
+	case "=", "==", "EQ":
+		return query.OpEq, nil
+	case "<", "LT":
+		return query.OpLt, nil
+	case "<=", "LE":
+		return query.OpLe, nil
+	case ">", "GT":
+		return query.OpGt, nil
+	case ">=", "GE":
+		return query.OpGe, nil
+	case "IN":
+		return query.OpIn, nil
+	default:
+		return 0, fmt.Errorf("unknown operator %q (want =, <, <=, >, >=, IN)", op)
+	}
+}

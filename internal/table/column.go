@@ -157,3 +157,56 @@ func (c *Column) MaxValue() value.Value {
 func (c *Column) withIDs(ids []int32) *Column {
 	return &Column{name: c.name, kind: c.kind, ids: ids, intDict: c.intDict, strDict: c.strDict}
 }
+
+// IntDict returns the sorted non-NULL integer dictionary (nil for string
+// columns). Callers must not modify the slice. Exposed for serialization.
+func (c *Column) IntDict() []int64 { return c.intDict }
+
+// StrDict returns the sorted non-NULL string dictionary (nil for int
+// columns). Callers must not modify the slice. Exposed for serialization.
+func (c *Column) StrDict() []string { return c.strDict }
+
+// NewColumnFromRaw reconstructs a column from its serialized parts: per-row
+// dictionary IDs (NullID for NULL) and exactly one sorted dictionary matching
+// kind. It validates what deserialization cannot take on faith — dictionary
+// sort order and ID bounds — so a corrupted checkpoint fails here instead of
+// panicking later inside inference.
+func NewColumnFromRaw(name string, kind value.Kind, ids []int32, intDict []int64, strDict []string) (*Column, error) {
+	var dictLen int
+	switch kind {
+	case value.KindInt:
+		if strDict != nil {
+			return nil, fmt.Errorf("table: raw column %q: int column carries a string dictionary", name)
+		}
+		if !sort.SliceIsSorted(intDict, func(i, j int) bool { return intDict[i] < intDict[j] }) {
+			return nil, fmt.Errorf("table: raw column %q: int dictionary not sorted", name)
+		}
+		for i := 1; i < len(intDict); i++ {
+			if intDict[i] == intDict[i-1] {
+				return nil, fmt.Errorf("table: raw column %q: duplicate dictionary value %d", name, intDict[i])
+			}
+		}
+		dictLen = len(intDict)
+	case value.KindStr:
+		if intDict != nil {
+			return nil, fmt.Errorf("table: raw column %q: string column carries an int dictionary", name)
+		}
+		if !sort.StringsAreSorted(strDict) {
+			return nil, fmt.Errorf("table: raw column %q: string dictionary not sorted", name)
+		}
+		for i := 1; i < len(strDict); i++ {
+			if strDict[i] == strDict[i-1] {
+				return nil, fmt.Errorf("table: raw column %q: duplicate dictionary value %q", name, strDict[i])
+			}
+		}
+		dictLen = len(strDict)
+	default:
+		return nil, fmt.Errorf("table: raw column %q: invalid kind %s", name, kind)
+	}
+	for row, id := range ids {
+		if id < 0 || int(id) > dictLen {
+			return nil, fmt.Errorf("table: raw column %q: row %d has dictionary ID %d outside [0, %d]", name, row, id, dictLen)
+		}
+	}
+	return &Column{name: name, kind: kind, ids: ids, intDict: intDict, strDict: strDict}, nil
+}

@@ -44,6 +44,13 @@ func newTable(name string, cols []*Column) (*Table, error) {
 	return t, nil
 }
 
+// NewFromColumns assembles a table directly from reconstructed columns
+// (checkpoint restore). The same invariants as Builder.Build are enforced:
+// at least one column, equal row counts, unique names.
+func NewFromColumns(name string, cols []*Column) (*Table, error) {
+	return newTable(name, cols)
+}
+
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
 

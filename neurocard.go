@@ -136,12 +136,37 @@ func InnerJoinSize(sch *Schema, tables []string) (float64, error) {
 	return exec.InnerJoinSize(sch, tables)
 }
 
+// SaveEstimator writes a full-estimator checkpoint: schema metadata and
+// dictionaries, the encoder/factorization configuration, the sampler's
+// join-count tables, and the model weights at full precision. The resulting
+// file restores to a ready-to-serve estimator with LoadEstimator (or a
+// neurocardd model load), producing estimates identical to the original's at
+// a fixed seed.
+func SaveEstimator(e *Estimator, w io.Writer) error {
+	return core.SaveCheckpoint(e, w)
+}
+
+// LoadEstimator restores a checkpoint written by SaveEstimator to a
+// ready-to-serve estimator: Estimate/EstimateBatch work immediately, and
+// Train/UpdateData continue to work for incremental updates after a restart.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	return core.LoadCheckpoint(r)
+}
+
 // SaveModel serializes a trained estimator's model weights (float32).
+//
+// Deprecated: the weights alone cannot answer queries — restoring requires
+// rebuilding the schema, encoder, and join counts exactly as trained. Use
+// SaveEstimator, which captures the whole estimator.
 func SaveModel(e *Estimator, w io.Writer) error {
 	return e.Model().Save(w)
 }
 
-// LoadModel deserializes model weights saved by SaveModel.
+// LoadModel deserializes model weights saved by SaveModel. The result is a
+// bare density model, not a serving-ready estimator.
+//
+// Deprecated: use LoadEstimator with a SaveEstimator checkpoint; it restores
+// a complete estimator that can serve queries and keep training.
 func LoadModel(r io.Reader) (*made.Model, error) {
 	return made.Load(r)
 }

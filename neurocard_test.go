@@ -117,13 +117,37 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if a != b {
 		t.Errorf("seeded estimates differ: %v vs %v", a, b)
 	}
-	// Model persistence.
+	// Model persistence (deprecated weights-only path still works).
 	var buf bytes.Buffer
 	if err := neurocard.SaveModel(est, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := neurocard.LoadModel(&buf); err != nil {
 		t.Fatal(err)
+	}
+	// Full-estimator checkpoint: the restored estimator serves the same
+	// seeded estimates and can keep training.
+	var ckpt bytes.Buffer
+	if err := neurocard.SaveEstimator(est, &ckpt); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := neurocard.LoadEstimator(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := neurocard.EstimateSeeded(est, q, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := neurocard.EstimateSeeded(restored, q, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotR-want) > 1e-9*math.Max(1, want) {
+		t.Errorf("restored estimator: %v, want %v", gotR, want)
+	}
+	if _, err := restored.Train(2_000); err != nil {
+		t.Errorf("restored estimator cannot train: %v", err)
 	}
 	if _, err := neurocard.InnerJoinSize(sch, []string{"movies", "ratings"}); err != nil {
 		t.Fatal(err)

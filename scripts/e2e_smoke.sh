@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# End-to-end serving smoke test: train a tiny synthetic model, save a
+# full-estimator checkpoint, start the serving daemon, and assert that a
+# POST /v1/estimate round trip returns a finite positive cardinality.
+# Run from the repository root; used by the CI e2e-smoke job.
+set -euo pipefail
+
+ADDR="${NEUROCARDD_ADDR:-127.0.0.1:18642}"
+WORKDIR="$(mktemp -d)"
+MODELS="$WORKDIR/models"
+mkdir -p "$MODELS"
+
+cleanup() {
+    [[ -n "${DAEMON_PID:-}" ]] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "=== training tiny model + writing checkpoint"
+go run ./cmd/neurocard -scale 0.05 -tuples 4096 -hidden 48 -embed 8 \
+    -psamples 64 -workers 2 -noeval -save "$MODELS/joblight.ckpt"
+
+echo "=== starting neurocardd on $ADDR"
+go build -o "$WORKDIR/neurocardd" ./cmd/neurocardd
+"$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "daemon exited early" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "=== healthz"
+HEALTH=$(curl -sf "http://$ADDR/healthz")
+echo "$HEALTH"
+echo "$HEALTH" | grep -q '"ready":true'
+
+echo "=== single estimate round trip"
+RESP=$(curl -sf "http://$ADDR/v1/estimate" -d '{
+  "query": {"tables": ["title","movie_companies"],
+            "filters": [{"table":"title","col":"production_year","op":">=","int":1990}]},
+  "seed": 42}')
+echo "$RESP"
+
+EST=$(echo "$RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$EST" ]]; then
+    echo "no estimate in response" >&2
+    exit 1
+fi
+# Finite positive check (rejects 0, negatives, NaN, Inf — none of which
+# survive the sed extraction or the awk comparison).
+awk -v est="$EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
+echo "estimate $EST is finite and positive"
+
+echo "=== batch estimate round trip"
+BATCH=$(curl -sf "http://$ADDR/v1/estimate" -d '{
+  "queries": [{"tables": ["title"]},
+              {"tables": ["title","movie_keyword"],
+               "filters": [{"table":"title","col":"kind_id","op":"=","int":1}]}],
+  "seed": 7}')
+echo "$BATCH"
+echo "$BATCH" | grep -q '"count":2'
+
+echo "=== metrics"
+curl -sf "http://$ADDR/metrics" | grep -E 'neurocard_estimate_queries_total|neurocard_sessions' | head -4
+
+echo "e2e smoke OK"
