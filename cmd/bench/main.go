@@ -18,12 +18,13 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci,acc")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
-	jsonOut := flag.Bool("json", false, "exp ci: write BENCH_<kind>.json result files")
-	outDir := flag.String("out", ".", "exp ci: directory for -json result files")
-	gateDir := flag.String("gate", "", "exp ci: baseline directory; fail on throughput regression beyond -maxregress")
+	jsonOut := flag.Bool("json", false, "exp ci/acc: write BENCH_<kind>.json result files")
+	outDir := flag.String("out", ".", "exp ci/acc: directory for -json result files")
+	gateDir := flag.String("gate", "", "exp ci/acc: baseline directory; fail on regression beyond -maxregress")
 	maxRegress := flag.Float64("maxregress", 0.20, "exp ci: allowed fractional regression of normalized throughput")
+	maxAccRegress := flag.Float64("maxaccregress", 0.25, "exp acc: allowed fractional growth of p95 q-error")
 	flag.Parse()
 
 	o := harness.Default()
@@ -80,6 +81,16 @@ func main() {
 		fmt.Print(out)
 		if err != nil {
 			log.Fatalf("ci: %v", err)
+		}
+	}
+	// The accuracy-regression gate: score the fixed-seed golden workload
+	// (disjunctive and null-aware queries included) and compare p95 q-error
+	// against the committed baseline. Like `ci`, runs only on request.
+	if want["acc"] {
+		out, err := harness.RunAccuracyBench(o, *jsonOut, *outDir, *gateDir, *maxAccRegress)
+		fmt.Print(out)
+		if err != nil {
+			log.Fatalf("acc: %v", err)
 		}
 	}
 }

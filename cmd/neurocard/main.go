@@ -29,6 +29,7 @@ func main() {
 	workers := flag.Int("workers", 8, "sampler threads")
 	evalWorkers := flag.Int("evalworkers", runtime.GOMAXPROCS(0), "concurrent estimation goroutines")
 	ranges := flag.Bool("ranges", false, "evaluate JOB-light-ranges instead of JOB-light")
+	rich := flag.Bool("rich", false, "evaluate the disjunctive/null-aware (OR, !=, NOT IN, BETWEEN, IS [NOT] NULL) workload variant")
 	nQueries := flag.Int("queries", 200, "ranges workload size")
 	savePath := flag.String("save", "", "write a full-estimator checkpoint (servable by neurocardd) to this file")
 	skipEval := flag.Bool("noeval", false, "skip workload evaluation (train + save only)")
@@ -96,10 +97,16 @@ func main() {
 
 	var wl *workload.Workload
 	switch {
+	case *schemaName == "jobm" && *rich:
+		wl, err = workload.JOBMRich(d, *seed+2)
 	case *schemaName == "jobm":
 		wl, err = workload.JOBM(d, *seed+2)
+	case *ranges && *rich:
+		wl, err = workload.JOBLightRangesRich(d, *nQueries, *seed+1)
 	case *ranges:
 		wl, err = workload.JOBLightRanges(d, *nQueries, *seed+1)
+	case *rich:
+		wl, err = workload.JOBLightRich(d, *seed)
 	default:
 		wl, err = workload.JOBLight(d, *seed)
 	}

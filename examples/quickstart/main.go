@@ -29,7 +29,11 @@ func main() {
 		if year > 2000 {
 			genre = genres[i%2] // correlation: recent titles skew drama/comedy
 		}
-		mb.MustAppend(neurocard.Int(int64(i)), neurocard.Int(int64(year)), neurocard.Str(genre))
+		yearVal := neurocard.Int(int64(year))
+		if i%17 == 0 {
+			yearVal = neurocard.Null // some titles have unknown years
+		}
+		mb.MustAppend(neurocard.Int(int64(i)), yearVal, neurocard.Str(genre))
 	}
 	rb, err := neurocard.NewTableBuilder("ratings", []neurocard.ColSpec{
 		{Name: "movie_id", Kind: neurocard.KindInt},
@@ -90,6 +94,31 @@ func main() {
 			Tables: []string{"ratings"},
 			Filters: []neurocard.Filter{
 				{Table: "ratings", Col: "score", Op: neurocard.OpLt, Val: neurocard.Int(50)},
+			},
+		},
+		// Disjunction: very old OR very recent titles (an OR group compiles
+		// to a region union on one column).
+		{
+			Tables: []string{"movies"},
+			Filters: []neurocard.Filter{
+				{Table: "movies", Col: "year", Op: neurocard.OpLe, Val: neurocard.Int(1975),
+					Or: []neurocard.Filter{{Op: neurocard.OpGe, Val: neurocard.Int(2015)}}},
+			},
+		},
+		// Null-aware: titles with unknown year, joined through to ratings.
+		{
+			Tables: []string{"movies", "ratings"},
+			Filters: []neurocard.Filter{
+				{Table: "movies", Col: "year", Op: neurocard.OpIsNull},
+			},
+		},
+		// Negation + BETWEEN: non-drama titles from a year band.
+		{
+			Tables: []string{"movies"},
+			Filters: []neurocard.Filter{
+				{Table: "movies", Col: "genre", Op: neurocard.OpNeq, Val: neurocard.Str("drama")},
+				{Table: "movies", Col: "year", Op: neurocard.OpBetween,
+					Val: neurocard.Int(1980), Hi: neurocard.Int(1995)},
 			},
 		},
 	}

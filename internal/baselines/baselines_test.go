@@ -211,6 +211,47 @@ func TestBiasedFullJoinDraw(t *testing.T) {
 	}
 }
 
+// TestBaselinesGoldenWorkload runs every baseline family over the 200-query
+// fixed-seed golden workload — the one the accuracy gate scores — which
+// mixes classic conjunctive filters with OR groups, negations, BETWEEN, and
+// null tests. Contract: no errors, no panics, every estimate finite and ≥ 1
+// (so every q-error is finite), and per-family medians within loose sanity
+// bands.
+func TestBaselinesGoldenWorkload(t *testing.T) {
+	d, _ := setup(t)
+	golden, err := workload.Golden(d, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := workload.JOBLightRangesRich(d, 200, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := mscn.DefaultConfig()
+	mcfg.Epochs = 20
+	mscnEst := mscn.New(d.Schema, d.ContentCols, mcfg)
+	if err := mscnEst.Train(train.Queries); err != nil {
+		t.Fatal(err)
+	}
+	spnEst, err := spn.New(d.Schema, spn.JOBLightBaseSubsets(d.Schema), d.ContentCols, spn.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := []struct {
+		est     cardEstimator
+		ceiling float64
+	}{
+		{histogram.New(d.Schema, histogram.DefaultConfig()), 1000},
+		{ibjs.New(d.Schema, 2000, 5), 200},
+		{samplecard.New(d.Schema, 2000, 5), 100},
+		{mscnEst, 200},
+		{spnEst, 100},
+	}
+	for _, e := range ests {
+		checkEstimator(t, e.est, golden, e.ceiling)
+	}
+}
+
 func intVal(v int64) value.Value { return value.Int(v) }
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

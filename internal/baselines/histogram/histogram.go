@@ -205,12 +205,17 @@ func (e *Estimator) Estimate(q query.Query) (float64, error) {
 }
 
 // regionSelectivity estimates the fraction of rows whose ID falls in the
-// region: exact over the MCV list, interpolated over histogram buckets.
+// region: the null fraction when the region selects NULL (IS NULL, OR
+// groups containing it), exact over the MCV list, interpolated over
+// histogram buckets for the rest.
 func (cs *colStats) regionSelectivity(region query.Region) float64 {
 	if region.Empty() {
 		return 0
 	}
 	sel := 0.0
+	if region.Contains(table.NullID) {
+		sel += cs.nullFrac
+	}
 	for i, id := range cs.mcvIDs {
 		if region.Contains(id) {
 			sel += cs.mcvFreq[i]

@@ -95,7 +95,10 @@ func New(sch *schema.Schema, contentCols map[string][]string, cfg Config) *Estim
 		}
 		e.samples[t] = rows
 	}
-	e.predIn = len(e.cols) + 3 + 2 // col one-hot, op one-hot (=,≤,≥), lo/hi bounds
+	// Column one-hot, op-class one-hot (point, lower, upper, negation,
+	// between, null-test), OR-group flag, normalized lo/hi bounds, and the
+	// compiled region's coverage fraction.
+	e.predIn = len(e.cols) + 6 + 1 + 2 + 1
 	nT := len(e.tblIdx)
 	e.jointIn = nT + len(e.edges) + cfg.Hidden + nT*cfg.BitmapSize
 
@@ -158,8 +161,17 @@ func (e *Estimator) featurize(q query.Query) (*nn.Mat, []float64, error) {
 			row[opOff+1] = 1
 		case query.OpGe, query.OpGt:
 			row[opOff+2] = 1
-		default:
+		case query.OpNeq, query.OpNotIn:
+			row[opOff+3] = 1
+		case query.OpBetween:
+			row[opOff+4] = 1
+		case query.OpIsNull, query.OpIsNotNull:
+			row[opOff+5] = 1
+		default: // OpEq, OpIn
 			row[opOff] = 1
+		}
+		if len(f.Or) > 0 {
+			row[opOff+6] = 1
 		}
 		lo, hi := 0.0, 1.0
 		if !region.Empty() {
@@ -172,8 +184,9 @@ func (e *Estimator) featurize(q query.Query) (*nn.Mat, []float64, error) {
 		} else {
 			lo, hi = 1, 0 // impossible range signals empty region
 		}
-		row[opOff+3] = lo
-		row[opOff+4] = hi
+		row[opOff+7] = lo
+		row[opOff+8] = hi
+		row[opOff+9] = float64(region.Count()) / float64(c.DictSize())
 	}
 	// Joint features (pooled predicate block left zero; filled by caller).
 	joint := make([]float64, e.jointIn)

@@ -268,6 +268,83 @@ func TestOracleInferenceRandomSchemas(t *testing.T) {
 	}
 }
 
+// nullFigure4 is the Figure 4 schema with NULLs planted in A.year and B.y's
+// content so null-aware predicates have mass to select.
+func nullFigure4(t *testing.T) *schema.Schema {
+	t.Helper()
+	a := table.MustBuilder("A", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt},
+		{Name: "year", Kind: value.KindInt},
+	})
+	a.MustAppend(value.Int(1), value.Int(1990))
+	a.MustAppend(value.Int(2), value.Int(2000))
+	a.MustAppend(value.Int(2), value.Null)
+	a.MustAppend(value.Int(3), value.Int(2010))
+	b := table.MustBuilder("B", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt}, {Name: "v", Kind: value.KindInt},
+	})
+	b.MustAppend(value.Int(1), value.Int(10))
+	b.MustAppend(value.Int(2), value.Null)
+	b.MustAppend(value.Int(2), value.Int(20))
+	b.MustAppend(value.Int(3), value.Int(30))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild()},
+		"A",
+		[]schema.Edge{{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestOracleInferenceNewOps: with exact conditionals, progressive sampling
+// must converge to the executor's answer for every new operator —
+// disjunctions, negations, BETWEEN, and null tests — on a schema with real
+// NULL content values.
+func TestOracleInferenceNewOps(t *testing.T) {
+	s := nullFigure4(t)
+	est := oracleEstimator(t, s, 0, 4000, 11)
+	queries := []query.Query{
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpIsNull}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpIsNotNull}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpNeq, Val: value.Int(2000)}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpNotIn,
+				Set: []value.Value{value.Int(1990), value.Int(2010)}}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpBetween,
+				Val: value.Int(1995), Hi: value.Int(2005)}}},
+		{Tables: []string{"A"},
+			Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpEq, Val: value.Int(1990),
+				Or: []query.Filter{{Op: query.OpIsNull}}}}},
+		{Tables: []string{"A", "B"},
+			Filters: []query.Filter{
+				{Table: "A", Col: "year", Op: query.OpIsNull,
+					Or: []query.Filter{{Op: query.OpGe, Val: value.Int(2005)}}},
+				{Table: "B", Col: "v", Op: query.OpIsNotNull}}},
+		{Tables: []string{"A", "B"},
+			Filters: []query.Filter{{Table: "B", Col: "v", Op: query.OpIsNull}}},
+	}
+	for _, q := range queries {
+		want, err := exec.Cardinality(s, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		got, err := est.Estimate(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		wantClamped := math.Max(want, 1)
+		if qerr := math.Max(got/wantClamped, wantClamped/got); qerr > 1.3 {
+			t.Errorf("%s: estimate %v, true %v (q-error %.2f)", q, got, want, qerr)
+		}
+	}
+}
+
 func TestEstimateErrors(t *testing.T) {
 	s := figure4(t)
 	est := oracleEstimator(t, s, 0, 100, 1)

@@ -1,0 +1,120 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/workload"
+)
+
+// goldenSeed fixes the accuracy-gate workload independently of the harness
+// seed: the gate compares runs against a committed baseline, so the query
+// set must never drift with benchmark options.
+const goldenSeed = 20260728
+
+// goldenQueries is the size of the accuracy-gate workload.
+const goldenQueries = 200
+
+// CIAccuracyBench trains a CI-scale NeuroCard on the synthetic JOB-light
+// dataset and scores it on the fixed-seed golden workload — 200 queries
+// labeled by the exact executor, mixing classic conjunctive filters with
+// disjunctive (OR groups), negated (≠, NOT IN), BETWEEN, and null-aware
+// (IS [NOT] NULL) predicates. Metrics are q-error quantiles: machine-
+// independent, and bit-reproducible because training and estimation are
+// fully determined by the configured seed. RefScore is fixed at 1 — unlike
+// the throughput benches there is no hardware drift to normalize away.
+func CIAccuracyBench(o Options) (*BenchResult, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return nil, err
+	}
+	golden, err := workload.Golden(d, goldenQueries, goldenSeed)
+	if err != nil {
+		return nil, err
+	}
+	est, _, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return nil, err
+	}
+	summary, _, err := EvaluateParallel(Named("neurocard", est), golden, o.EvalWorkers)
+	if err != nil {
+		return nil, err
+	}
+	metrics := map[string]float64{
+		"qerr_median": summary.Median,
+		"qerr_p95":    summary.P95,
+		"qerr_p99":    summary.P99,
+		"qerr_max":    summary.Max,
+	}
+	return &BenchResult{
+		Bench:      "accuracy",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.GOMAXPROCS(0),
+		RefScore:   1,
+		Metrics:    metrics,
+		Normalized: metrics,
+	}, nil
+}
+
+// GateAccuracy compares a current accuracy result against the committed
+// baseline: the gate fails when p95 q-error grows by more than maxRegress
+// (0.25 = 25%) — note the direction is inverted relative to the throughput
+// gate, where smaller is worse. The remaining quantiles are informational.
+// A missing metric fails too: a gate that silently skips gates nothing.
+func GateAccuracy(current, baseline *BenchResult, maxRegress float64) []string {
+	var fails []string
+	const key = "qerr_p95"
+	base, okB := baseline.Metrics[key]
+	cur, okC := current.Metrics[key]
+	switch {
+	case !okB:
+		fails = append(fails, fmt.Sprintf("accuracy/%s: missing from baseline (update bench/baseline/%s)",
+			key, BenchFileName("accuracy")))
+	case !okC:
+		fails = append(fails, fmt.Sprintf("accuracy/%s: missing from current run", key))
+	case base < 1:
+		fails = append(fails, fmt.Sprintf("accuracy/%s: invalid baseline %g (q-errors are ≥ 1)", key, base))
+	case cur > base*(1+maxRegress):
+		fails = append(fails, fmt.Sprintf("accuracy/%s: %0.4g vs baseline %0.4g (+%.1f%% > allowed %.0f%%)",
+			key, cur, base, 100*(cur/base-1), 100*maxRegress))
+	}
+	return fails
+}
+
+// RunAccuracyBench measures accuracy on the golden workload, optionally
+// writing BENCH_accuracy.json into outDir and gating p95 q-error against
+// baselineDir. Unlike the throughput gate there is no CPU-count skip:
+// q-errors at a fixed seed do not depend on the runner.
+func RunAccuracyBench(o Options, writeJSON bool, outDir, baselineDir string, maxRegress float64) (string, error) {
+	res, err := CIAccuracyBench(o)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(FormatBench(res))
+	if writeJSON {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return b.String(), err
+		}
+		path := filepath.Join(outDir, BenchFileName(res.Bench))
+		if err := WriteBenchJSON(path, res); err != nil {
+			return b.String(), err
+		}
+		fmt.Fprintf(&b, "  wrote %s\n", path)
+	}
+	if baselineDir != "" {
+		base, err := ReadBenchJSON(filepath.Join(baselineDir, BenchFileName(res.Bench)))
+		if err != nil {
+			return b.String(), fmt.Errorf("accuracy gate: %w", err)
+		}
+		if fails := GateAccuracy(res, base, maxRegress); len(fails) > 0 {
+			return b.String(), fmt.Errorf("accuracy regression gate failed:\n  %s", strings.Join(fails, "\n  "))
+		}
+		fmt.Fprintf(&b, "accuracy gate passed (p95 threshold +%.0f%%)\n", 100*maxRegress)
+	}
+	return b.String(), nil
+}

@@ -38,6 +38,82 @@ func TestGateBench(t *testing.T) {
 	}
 }
 
+func TestGateAccuracy(t *testing.T) {
+	base := benchResult("accuracy", map[string]float64{
+		"qerr_median": 1.5, "qerr_p95": 4, "qerr_max": 40})
+
+	// Within threshold (q-errors grow, but by < 25%) and improvements pass.
+	for _, cur := range []map[string]float64{
+		{"qerr_median": 1.6, "qerr_p95": 4.9, "qerr_max": 100},
+		{"qerr_median": 1.1, "qerr_p95": 2, "qerr_max": 10},
+	} {
+		if fails := GateAccuracy(benchResult("accuracy", cur), base, 0.25); len(fails) != 0 {
+			t.Errorf("run %v failed the gate: %v", cur, fails)
+		}
+	}
+	// p95 regression beyond threshold fails.
+	fails := GateAccuracy(benchResult("accuracy", map[string]float64{
+		"qerr_median": 1.5, "qerr_p95": 5.1, "qerr_max": 40}), base, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95") {
+		t.Errorf("p95 regression not caught: %v", fails)
+	}
+	// Missing metric on either side fails.
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{}), base, 0.25); len(fails) != 1 {
+		t.Errorf("missing current p95 not caught: %v", fails)
+	}
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4}),
+		benchResult("accuracy", map[string]float64{}), 0.25); len(fails) != 1 {
+		t.Errorf("missing baseline p95 not caught: %v", fails)
+	}
+}
+
+// TestAccuracyBenchSmoke runs the golden-workload accuracy bench end to end
+// at the smallest scale: deterministic metrics, JSON written, gate pass
+// against itself and fail against a tightened baseline.
+func TestAccuracyBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("accuracy bench skipped in -short mode")
+	}
+	o := tiny()
+	o.TrainTuples = 8 * o.BatchSize
+	res, err := CIAccuracyBench(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"qerr_median", "qerr_p95", "qerr_p99", "qerr_max"} {
+		v, ok := res.Metrics[k]
+		if !ok || v < 1 {
+			t.Fatalf("metric %s = %v (metrics %v)", k, v, res.Metrics)
+		}
+	}
+	if res.Metrics["qerr_p95"] > res.Metrics["qerr_max"] {
+		t.Fatalf("quantiles not monotone: %v", res.Metrics)
+	}
+
+	// Gate against itself via the full RunAccuracyBench path.
+	dir := t.TempDir()
+	if err := WriteBenchJSON(filepath.Join(dir, BenchFileName("accuracy")), res); err != nil {
+		t.Fatal(err)
+	}
+	out, err := RunAccuracyBench(o, true, dir, dir, 0.25)
+	if err != nil {
+		t.Fatalf("self-gate failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "accuracy gate passed") {
+		t.Errorf("missing pass line:\n%s", out)
+	}
+
+	// A tightened baseline must fail the gate.
+	tight := *res
+	tight.Metrics = map[string]float64{"qerr_p95": res.Metrics["qerr_p95"] / 2}
+	if err := WriteBenchJSON(filepath.Join(dir, BenchFileName("accuracy")), &tight); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAccuracyBench(o, false, dir, dir, 0.25); err == nil {
+		t.Error("tightened baseline did not fail the gate")
+	}
+}
+
 // TestServeLoadSmoke runs the closed-loop serving experiment at the smallest
 // scale that exercises checkpoint save/load, the HTTP stack, both phases,
 // and the built-in 1e-9 wire equivalence check.

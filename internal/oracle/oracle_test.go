@@ -89,3 +89,70 @@ func TestEquation9MatchesExecutor(t *testing.T) {
 		}
 	}
 }
+
+// TestEquation9NewOpsGolden is the 200-query fixed-seed agreement check for
+// the extended predicate set: random schemas with NULL-bearing columns,
+// queries built only from the new operators (OR groups, ≠, NOT IN, BETWEEN,
+// IS [NOT] NULL), executor and Eq.9 must agree exactly, and every new
+// operator must actually be exercised.
+func TestEquation9NewOpsGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	cfg := testutil.DefaultSchemaConfig()
+	newOps := []query.Op{query.OpNeq, query.OpNotIn, query.OpBetween, query.OpIsNull, query.OpIsNotNull}
+	seen := map[query.Op]int{}
+	orGroups := 0
+	for iter := 0; iter < 200; iter++ {
+		s := testutil.RandomSchema(rng, cfg)
+		base := testutil.RandomQuery(rng, s, 0) // join graph only
+		// One to three filters drawn exclusively from the new operators.
+		nf := 1 + rng.Intn(3)
+		for f := 0; f < nf; f++ {
+			tname := base.Tables[rng.Intn(len(base.Tables))]
+			tbl := s.Table(tname)
+			col := tbl.Columns()[rng.Intn(tbl.NumCols())].Name()
+			var flt query.Filter
+			for {
+				flt = testutil.RandomPredicate(rng, tname, col)
+				isNew := false
+				for _, op := range newOps {
+					if flt.Op == op {
+						isNew = true
+					}
+				}
+				if isNew {
+					break
+				}
+			}
+			if rng.Intn(3) == 0 {
+				alt := testutil.RandomPredicate(rng, tname, col)
+				alt.Table, alt.Col = "", ""
+				flt.Or = append(flt.Or, alt)
+				orGroups++
+			}
+			seen[flt.Op]++
+			base.Filters = append(base.Filters, flt)
+		}
+		want, err := exec.Cardinality(s, base)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, base, err)
+		}
+		got, err := ExactCardinality(s, base)
+		if err != nil {
+			t.Fatalf("iter %d (%s): %v", iter, base, err)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("iter %d (%s): Eq.9 non-finite %v", iter, base, got)
+		}
+		if math.Abs(got-want) > 1e-6*(1+want) {
+			t.Fatalf("iter %d: Eq.9 = %v, executor = %v for %s", iter, got, want, base)
+		}
+	}
+	for _, op := range newOps {
+		if seen[op] == 0 {
+			t.Errorf("operator %s never exercised over 200 queries", op)
+		}
+	}
+	if orGroups == 0 {
+		t.Error("no OR groups exercised over 200 queries")
+	}
+}

@@ -1,0 +1,110 @@
+package query
+
+import (
+	"testing"
+)
+
+// parseRegion decodes byte pairs into a normalized region over [0, maxID].
+// Consumes up to nRanges pairs from data, returning the region and the rest.
+func parseRegion(data []byte, maxID int32, nRanges int) (Region, []byte) {
+	var rs []IDRange
+	for i := 0; i < nRanges && len(data) >= 2; i++ {
+		lo := int32(data[0]) % (maxID + 1)
+		hi := int32(data[1]) % (maxID + 1)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		rs = append(rs, IDRange{lo, hi})
+		data = data[2:]
+	}
+	return normalize(rs), data
+}
+
+// member is the brute-force reference: a region as an explicit ID set.
+func member(r Region, maxID int32) map[int32]bool {
+	m := make(map[int32]bool)
+	for id := int32(0); id <= maxID; id++ {
+		if r.Contains(id) {
+			m[id] = true
+		}
+	}
+	return m
+}
+
+// checkWellFormed asserts the Region invariants: sorted, disjoint,
+// non-adjacent, non-empty intervals.
+func checkWellFormed(t *testing.T, r Region, label string) {
+	t.Helper()
+	for i, iv := range r {
+		if iv.Lo > iv.Hi {
+			t.Fatalf("%s: empty interval %v in %v", label, iv, r)
+		}
+		if i > 0 && iv.Lo <= r[i-1].Hi+1 {
+			t.Fatalf("%s: intervals %v and %v overlap or touch in %v", label, r[i-1], iv, r)
+		}
+	}
+}
+
+// FuzzRegionAlgebra drives random unions, intersections, and complements
+// over small ID domains and checks every result against brute-force set
+// membership — the satellite property test for the predicate-compilation
+// algebra. Seed corpus lives in testdata/fuzz/FuzzRegionAlgebra.
+func FuzzRegionAlgebra(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 1, 3, 2, 5})
+	f.Add([]byte{31, 0, 0, 1, 31, 5, 9, 9, 5, 30, 31})
+	f.Add([]byte{3, 0, 3, 0, 3, 1, 2, 2, 1})
+	f.Add([]byte{16, 200, 100, 50, 255, 0, 16, 8, 8})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		maxID := int32(data[0])%32 + 1
+		data = data[1:]
+		a, data := parseRegion(data, maxID, 4)
+		b, _ := parseRegion(data, maxID, 4)
+
+		union := a.Union(b)
+		inter := a.Intersect(b)
+		compA := a.Complement(maxID)
+		checkWellFormed(t, union, "union")
+		checkWellFormed(t, inter, "intersect")
+		checkWellFormed(t, compA, "complement")
+
+		ma, mb := member(a, maxID), member(b, maxID)
+		for id := int32(0); id <= maxID+2; id++ {
+			if got, want := union.Contains(id), ma[id] || mb[id]; got != want {
+				t.Fatalf("union(%v, %v).Contains(%d) = %v, want %v", a, b, id, got, want)
+			}
+			if got, want := inter.Contains(id), ma[id] && mb[id]; got != want {
+				t.Fatalf("intersect(%v, %v).Contains(%d) = %v, want %v", a, b, id, got, want)
+			}
+			// Complement is within the non-NULL domain [1, maxID] only.
+			want := id >= 1 && id <= maxID && !ma[id]
+			if got := compA.Contains(id); got != want {
+				t.Fatalf("complement(%v, %d).Contains(%d) = %v, want %v", a, maxID, id, got, want)
+			}
+		}
+		if int64(len(member(union, maxID))) != union.Count() {
+			t.Fatalf("union Count %d != members %d", union.Count(), len(member(union, maxID)))
+		}
+
+		// Algebraic identities on the composed results.
+		if got := inter.Intersect(union); len(got) != len(inter) {
+			for id := int32(0); id <= maxID; id++ {
+				if got.Contains(id) != inter.Contains(id) {
+					t.Fatalf("(a∩b)∩(a∪b) ≠ a∩b at %d", id)
+				}
+			}
+		}
+		if got := a.Intersect(compA); !got.Empty() {
+			t.Fatalf("a ∩ ¬a = %v, want empty (a=%v)", got, a)
+		}
+		full := a.Union(compA)
+		for id := int32(1); id <= maxID; id++ {
+			if !full.Contains(id) {
+				t.Fatalf("a ∪ ¬a misses non-NULL id %d (a=%v, ¬a=%v)", id, a, compA)
+			}
+		}
+	})
+}

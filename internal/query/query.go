@@ -1,15 +1,20 @@
 // Package query defines the query model shared by the estimator, the
 // baselines, and the exact executor: a join over a connected subset of the
-// schema's tables plus a conjunction of single-table filters (§3.3).
+// schema's tables plus a conjunction of single-column predicate clauses
+// (§3.3). A clause is either a single filter or an OR group of filters on
+// one column.
 //
 // Filters are compiled into Regions — sorted disjoint intervals over a
 // column's dictionary-ID space. Because dictionaries are sorted, every
-// supported predicate (=, <, ≤, >, ≥, IN) maps to such a region, NULL is
-// always excluded (SQL comparison semantics), and conjunctions are region
-// intersections. Regions are the single predicate representation consumed by
-// every component: the executor tests membership, histograms integrate over
-// them, and progressive sampling translates them into per-subcolumn token
-// constraints.
+// supported predicate maps to such a region: comparisons (=, ≠, <, ≤, >, ≥),
+// memberships (IN, NOT IN), BETWEEN, and null tests (IS NULL, IS NOT NULL).
+// NULL (dictionary ID 0) appears in a region only through IS NULL — every
+// other predicate is false on NULL (SQL comparison semantics), so negations
+// (≠, NOT IN) complement within the non-NULL ID range. Disjunctions are
+// region unions, conjunctions are region intersections. Regions are the
+// single predicate representation consumed by every component: the executor
+// tests membership, histograms integrate over them, and progressive sampling
+// translates them into per-subcolumn token constraints.
 package query
 
 import (
@@ -32,6 +37,11 @@ const (
 	OpGt
 	OpGe
 	OpIn
+	OpNeq
+	OpNotIn
+	OpBetween
+	OpIsNull
+	OpIsNotNull
 )
 
 // String returns the SQL spelling of the operator.
@@ -49,34 +59,79 @@ func (op Op) String() string {
 		return ">="
 	case OpIn:
 		return "IN"
+	case OpNeq:
+		return "!="
+	case OpNotIn:
+		return "NOT IN"
+	case OpBetween:
+		return "BETWEEN"
+	case OpIsNull:
+		return "IS NULL"
+	case OpIsNotNull:
+		return "IS NOT NULL"
 	default:
 		return fmt.Sprintf("op(%d)", uint8(op))
 	}
 }
 
-// Filter is a single-column predicate. For OpIn, Set holds the membership
-// list; otherwise Val holds the literal.
+// Filter is a single-column predicate clause. For OpIn/OpNotIn, Set holds
+// the membership list; for OpBetween, Val and Hi hold the inclusive bounds;
+// OpIsNull/OpIsNotNull take no literal; otherwise Val holds the literal.
+//
+// A non-empty Or makes the clause a disjunction: it matches when the
+// filter's own predicate or any alternative in Or matches. Alternatives
+// must reference the same column (Table/Col empty means inherited) and may
+// not nest further Or groups.
 type Filter struct {
 	Table string
 	Col   string
 	Op    Op
 	Val   value.Value
+	Hi    value.Value // OpBetween upper bound (inclusive)
 	Set   []value.Value
+	Or    []Filter
 }
 
 // String renders the filter in SQL-ish form.
 func (f Filter) String() string {
-	if f.Op == OpIn {
+	if len(f.Or) > 0 {
+		parts := make([]string, 0, len(f.Or)+1)
+		parts = append(parts, f.leafString())
+		for _, alt := range f.Or {
+			leaf := alt
+			if leaf.Table == "" {
+				leaf.Table = f.Table
+			}
+			if leaf.Col == "" {
+				leaf.Col = f.Col
+			}
+			parts = append(parts, leaf.leafString())
+		}
+		return "(" + strings.Join(parts, " OR ") + ")"
+	}
+	return f.leafString()
+}
+
+// leafString renders the filter's own predicate, ignoring Or.
+func (f Filter) leafString() string {
+	switch f.Op {
+	case OpIn, OpNotIn:
 		parts := make([]string, len(f.Set))
 		for i, v := range f.Set {
 			parts[i] = v.String()
 		}
-		return fmt.Sprintf("%s.%s IN (%s)", f.Table, f.Col, strings.Join(parts, ","))
+		return fmt.Sprintf("%s.%s %s (%s)", f.Table, f.Col, f.Op, strings.Join(parts, ","))
+	case OpBetween:
+		return fmt.Sprintf("%s.%s BETWEEN %s AND %s", f.Table, f.Col, f.Val, f.Hi)
+	case OpIsNull, OpIsNotNull:
+		return fmt.Sprintf("%s.%s %s", f.Table, f.Col, f.Op)
+	default:
+		return fmt.Sprintf("%s.%s %s %s", f.Table, f.Col, f.Op, f.Val)
 	}
-	return fmt.Sprintf("%s.%s %s %s", f.Table, f.Col, f.Op, f.Val)
 }
 
-// Query is an inner equi-join over Tables with conjunctive Filters.
+// Query is an inner equi-join over Tables with conjunctive Filters (each of
+// which may itself be an OR group on one column).
 type Query struct {
 	Tables  []string
 	Filters []Filter
@@ -118,7 +173,8 @@ type IDRange struct {
 }
 
 // Region is a sorted list of disjoint, non-adjacent ID ranges. NULL (ID 0)
-// never appears in a region: SQL predicates are false on NULL.
+// appears only when the predicate explicitly selects it (IS NULL, possibly
+// inside an OR group); every comparison predicate excludes it.
 type Region []IDRange
 
 // Empty reports whether the region contains no IDs.
@@ -154,6 +210,50 @@ func (r Region) Intersect(o Region) Region {
 		} else {
 			j++
 		}
+	}
+	return out
+}
+
+// Union returns the union of two regions (disjunction of predicates).
+func (r Region) Union(o Region) Region {
+	if len(r) == 0 {
+		return append(Region(nil), o...)
+	}
+	if len(o) == 0 {
+		return append(Region(nil), r...)
+	}
+	all := make([]IDRange, 0, len(r)+len(o))
+	all = append(all, r...)
+	all = append(all, o...)
+	return normalize(all)
+}
+
+// Complement returns the complement of the region within the non-NULL ID
+// domain [1, maxID]. NULL (ID 0) is never part of the result: SQL negations
+// (≠, NOT IN) are still false on NULL.
+func (r Region) Complement(maxID int32) Region {
+	var out Region
+	next := int32(1)
+	for _, iv := range r {
+		if iv.Hi < 1 {
+			continue // an IS NULL component contributes nothing to complement
+		}
+		lo := max32(iv.Lo, 1)
+		if lo > next {
+			hi := min32(lo-1, maxID)
+			if next <= hi {
+				out = append(out, IDRange{next, hi})
+			}
+		}
+		if iv.Hi+1 > next {
+			next = iv.Hi + 1
+		}
+		if next > maxID {
+			return out
+		}
+	}
+	if next <= maxID {
+		out = append(out, IDRange{next, maxID})
 	}
 	return out
 }
@@ -207,12 +307,44 @@ func FullRegion(c *table.Column) Region {
 	return Region{{1, n - 1}}
 }
 
-// FilterRegion compiles a filter into the region of matching dictionary IDs
-// for the given column. An empty region means no value can match.
+// NullRegion is the region selecting exactly NULL (dictionary ID 0).
+func NullRegion() Region { return Region{{table.NullID, table.NullID}} }
+
+// FilterRegion compiles a filter clause into the region of matching
+// dictionary IDs for the given column: the filter's own predicate unioned
+// with every Or alternative. An empty region means no value can match.
 func FilterRegion(c *table.Column, f Filter) (Region, error) {
+	r, err := leafRegion(c, f)
+	if err != nil {
+		return nil, err
+	}
+	for _, alt := range f.Or {
+		if alt.Table != "" && alt.Table != f.Table {
+			return nil, fmt.Errorf("query: OR alternative %s references table %q, group is on %s.%s", alt, alt.Table, f.Table, f.Col)
+		}
+		if alt.Col != "" && alt.Col != f.Col {
+			return nil, fmt.Errorf("query: OR alternative %s references column %q, group is on %s.%s", alt, alt.Col, f.Table, f.Col)
+		}
+		if len(alt.Or) > 0 {
+			return nil, fmt.Errorf("query: nested OR group in filter %s", f)
+		}
+		ar, err := leafRegion(c, alt)
+		if err != nil {
+			return nil, err
+		}
+		r = r.Union(ar)
+	}
+	return r, nil
+}
+
+// leafRegion compiles a single predicate (no OR group) into its ID region.
+func leafRegion(c *table.Column, f Filter) (Region, error) {
 	maxID := int32(c.DictSize()) - 1
+	if f.Op == OpIsNull {
+		return NullRegion(), nil
+	}
 	if maxID < 1 {
-		return nil, nil // column holds only NULLs; nothing matches
+		return nil, nil // column holds only NULLs; no non-NULL predicate matches
 	}
 	checkKind := func(v value.Value) error {
 		if v.IsNull() {
@@ -232,6 +364,14 @@ func FilterRegion(c *table.Column, f Filter) (Region, error) {
 			return Region{{id, id}}, nil
 		}
 		return nil, nil
+	case OpNeq:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		if id, ok := c.IDForValue(f.Val); ok {
+			return Region{{id, id}}.Complement(maxID), nil
+		}
+		return Region{{1, maxID}}, nil
 	case OpLt:
 		if err := checkKind(f.Val); err != nil {
 			return nil, err
@@ -256,9 +396,22 @@ func FilterRegion(c *table.Column, f Filter) (Region, error) {
 		}
 		lo := c.LowerBoundID(f.Val)
 		return normalize([]IDRange{{lo, maxID}}), nil
-	case OpIn:
+	case OpBetween:
+		if err := checkKind(f.Val); err != nil {
+			return nil, err
+		}
+		if err := checkKind(f.Hi); err != nil {
+			return nil, err
+		}
+		if f.Val.Compare(f.Hi) > 0 {
+			return nil, nil // inverted bounds match nothing
+		}
+		lo := c.LowerBoundID(f.Val)
+		hi := c.UpperBoundID(f.Hi) - 1
+		return normalize([]IDRange{{lo, min32(hi, maxID)}}), nil
+	case OpIn, OpNotIn:
 		if len(f.Set) == 0 {
-			return nil, fmt.Errorf("query: empty IN list in filter %s", f)
+			return nil, fmt.Errorf("query: empty %s list in filter %s", f.Op, f)
 		}
 		var rs []IDRange
 		for _, v := range f.Set {
@@ -269,7 +422,13 @@ func FilterRegion(c *table.Column, f Filter) (Region, error) {
 				rs = append(rs, IDRange{id, id})
 			}
 		}
-		return normalize(rs), nil
+		r := normalize(rs)
+		if f.Op == OpNotIn {
+			return r.Complement(maxID), nil
+		}
+		return r, nil
+	case OpIsNotNull:
+		return Region{{1, maxID}}, nil
 	default:
 		return nil, fmt.Errorf("query: unsupported operator in filter %s", f)
 	}

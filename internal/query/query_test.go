@@ -60,6 +60,64 @@ func TestFilterRegionOps(t *testing.T) {
 	}
 }
 
+func TestFilterRegionNewOps(t *testing.T) {
+	// Dictionary: 10→1, 20→2, 30→3, 40→4 (plus NULL).
+	c := col(t, 10, 20, 30, 40, nil)
+	cases := []struct {
+		f    Filter
+		want Region
+	}{
+		{Filter{Op: OpNeq, Val: value.Int(20)}, Region{{1, 1}, {3, 4}}},
+		{Filter{Op: OpNeq, Val: value.Int(25)}, Region{{1, 4}}}, // literal absent: every non-NULL matches
+		{Filter{Op: OpNotIn, Set: []value.Value{value.Int(10), value.Int(40)}}, Region{{2, 3}}},
+		{Filter{Op: OpNotIn, Set: []value.Value{value.Int(99)}}, Region{{1, 4}}},
+		{Filter{Op: OpBetween, Val: value.Int(15), Hi: value.Int(35)}, Region{{2, 3}}},
+		{Filter{Op: OpBetween, Val: value.Int(20), Hi: value.Int(20)}, Region{{2, 2}}},
+		{Filter{Op: OpBetween, Val: value.Int(35), Hi: value.Int(15)}, nil}, // inverted bounds
+		{Filter{Op: OpIsNull}, Region{{0, 0}}},
+		{Filter{Op: OpIsNotNull}, Region{{1, 4}}},
+		// OR group: union of alternatives on the same column.
+		{Filter{Op: OpEq, Val: value.Int(10), Or: []Filter{{Op: OpEq, Val: value.Int(30)}}}, Region{{1, 1}, {3, 3}}},
+		{Filter{Op: OpLe, Val: value.Int(10), Or: []Filter{{Op: OpIsNull}}}, Region{{0, 1}}},
+		{Filter{Op: OpGe, Val: value.Int(40), Or: []Filter{{Op: OpLt, Val: value.Int(20)}, {Op: OpEq, Val: value.Int(30)}}}, Region{{1, 1}, {3, 4}}},
+	}
+	for _, tc := range cases {
+		tc.f.Table, tc.f.Col = "t", "c"
+		got, err := FilterRegion(c, tc.f)
+		if err != nil {
+			t.Errorf("%s: %v", tc.f, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: region %v, want %v", tc.f, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: region %v, want %v", tc.f, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestFilterRegionAllNullColumnNewOps(t *testing.T) {
+	c := col(t, nil, nil)
+	r, err := FilterRegion(c, Filter{Op: OpIsNull})
+	if err != nil || !r.Contains(table.NullID) {
+		t.Errorf("IS NULL on all-NULL column: region %v, err %v", r, err)
+	}
+	for _, f := range []Filter{
+		{Op: OpIsNotNull},
+		{Op: OpNeq, Val: value.Int(1)},
+		{Op: OpNotIn, Set: []value.Value{value.Int(1)}},
+	} {
+		r, err := FilterRegion(c, f)
+		if err != nil || !r.Empty() {
+			t.Errorf("%s on all-NULL column: region %v, err %v", f, r, err)
+		}
+	}
+}
+
 func TestFilterRegionErrors(t *testing.T) {
 	c := col(t, 10, 20)
 	if _, err := FilterRegion(c, Filter{Op: OpEq, Val: value.Null}); err == nil {
@@ -71,8 +129,66 @@ func TestFilterRegionErrors(t *testing.T) {
 	if _, err := FilterRegion(c, Filter{Op: OpIn}); err == nil {
 		t.Error("empty IN accepted")
 	}
+	if _, err := FilterRegion(c, Filter{Op: OpNotIn}); err == nil {
+		t.Error("empty NOT IN accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Op: OpBetween, Val: value.Int(1), Hi: value.Null}); err == nil {
+		t.Error("NULL BETWEEN bound accepted")
+	}
 	if _, err := FilterRegion(c, Filter{Op: Op(200), Val: value.Int(1)}); err == nil {
 		t.Error("unknown op accepted")
+	}
+	// Malformed OR groups.
+	if _, err := FilterRegion(c, Filter{Table: "t", Col: "c", Op: OpEq, Val: value.Int(10),
+		Or: []Filter{{Table: "other", Op: OpEq, Val: value.Int(20)}}}); err == nil {
+		t.Error("cross-table OR alternative accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Table: "t", Col: "c", Op: OpEq, Val: value.Int(10),
+		Or: []Filter{{Col: "d", Op: OpEq, Val: value.Int(20)}}}); err == nil {
+		t.Error("cross-column OR alternative accepted")
+	}
+	if _, err := FilterRegion(c, Filter{Table: "t", Col: "c", Op: OpEq, Val: value.Int(10),
+		Or: []Filter{{Op: OpEq, Val: value.Int(20), Or: []Filter{{Op: OpIsNull}}}}}); err == nil {
+		t.Error("nested OR group accepted")
+	}
+}
+
+func TestUnionAndComplement(t *testing.T) {
+	a := Region{{1, 3}, {8, 10}}
+	b := Region{{4, 5}, {9, 12}}
+	got := a.Union(b)
+	want := Region{{1, 5}, {8, 12}} // 3 and 4-5 merge (adjacent)
+	if len(got) != len(want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Union = %v, want %v", got, want)
+		}
+	}
+	if u := Region(nil).Union(a); len(u) != len(a) {
+		t.Errorf("nil Union = %v", u)
+	}
+
+	c := Region{{2, 3}, {7, 7}}.Complement(9)
+	wantC := Region{{1, 1}, {4, 6}, {8, 9}}
+	if len(c) != len(wantC) {
+		t.Fatalf("Complement = %v, want %v", c, wantC)
+	}
+	for i := range wantC {
+		if c[i] != wantC[i] {
+			t.Fatalf("Complement = %v, want %v", c, wantC)
+		}
+	}
+	// Complement never reintroduces NULL, even when the region holds it.
+	if r := NullRegion().Complement(4); !r.Contains(1) || !r.Contains(4) || r.Contains(0) {
+		t.Errorf("Complement of NULL region = %v", r)
+	}
+	if r := (Region{{1, 4}}).Complement(4); !r.Empty() {
+		t.Errorf("Complement of full region = %v", r)
+	}
+	if r := Region(nil).Complement(4); r.Count() != 4 || r.Contains(0) {
+		t.Errorf("Complement of empty region = %v", r)
 	}
 }
 
@@ -81,6 +197,10 @@ func TestRegionNeverContainsNull(t *testing.T) {
 	for _, f := range []Filter{
 		{Op: OpLe, Val: value.Int(99)},
 		{Op: OpGe, Val: value.Int(-99)},
+		{Op: OpNeq, Val: value.Int(99)},
+		{Op: OpNotIn, Set: []value.Value{value.Int(99)}},
+		{Op: OpBetween, Val: value.Int(-99), Hi: value.Int(99)},
+		{Op: OpIsNotNull},
 	} {
 		r, err := FilterRegion(c, f)
 		if err != nil {
@@ -137,12 +257,70 @@ func TestIntersect(t *testing.T) {
 	}
 }
 
-// Property: for random dictionaries, filters, and probe rows, region
-// membership matches direct predicate evaluation on decoded values.
+// evalDirect evaluates one leaf predicate against a (possibly NULL) value
+// using SQL semantics — the reference semantics FilterRegion must compile to.
+func evalDirect(f Filter, v int64, notNull bool) bool {
+	switch f.Op {
+	case OpIsNull:
+		return !notNull
+	case OpIsNotNull:
+		return notNull
+	}
+	if !notNull {
+		return false // every comparison is false on NULL
+	}
+	switch f.Op {
+	case OpEq:
+		return v == f.Val.I
+	case OpNeq:
+		return v != f.Val.I
+	case OpLt:
+		return v < f.Val.I
+	case OpLe:
+		return v <= f.Val.I
+	case OpGt:
+		return v > f.Val.I
+	case OpGe:
+		return v >= f.Val.I
+	case OpBetween:
+		return v >= f.Val.I && v <= f.Hi.I
+	case OpIn, OpNotIn:
+		in := false
+		for _, s := range f.Set {
+			if s.I == v {
+				in = true
+			}
+		}
+		return in == (f.Op == OpIn)
+	}
+	return false
+}
+
+// randomLeaf draws one random leaf predicate over small int literals.
+func randomLeaf(rng *rand.Rand) Filter {
+	ops := []Op{OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe, OpIn, OpNotIn, OpBetween, OpIsNull, OpIsNotNull}
+	f := Filter{Op: ops[rng.Intn(len(ops))]}
+	switch f.Op {
+	case OpIn, OpNotIn:
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			f.Set = append(f.Set, value.Int(int64(rng.Intn(17)-1)))
+		}
+	case OpBetween:
+		f.Val = value.Int(int64(rng.Intn(17) - 1))
+		f.Hi = value.Int(int64(rng.Intn(17) - 1))
+	case OpIsNull, OpIsNotNull:
+	default:
+		f.Val = value.Int(int64(rng.Intn(17) - 1))
+	}
+	return f
+}
+
+// Property: for random dictionaries, filters (every operator, including OR
+// groups), and probe rows, region membership matches direct SQL predicate
+// evaluation on decoded values.
 func TestRegionMatchesDirectEvaluation(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	ops := []Op{OpEq, OpLt, OpLe, OpGt, OpGe}
-	for iter := 0; iter < 300; iter++ {
+	for iter := 0; iter < 600; iter++ {
 		n := 1 + rng.Intn(20)
 		vals := make([]any, n)
 		for i := range vals {
@@ -153,32 +331,23 @@ func TestRegionMatchesDirectEvaluation(t *testing.T) {
 			}
 		}
 		c := col(t, vals...)
-		op := ops[rng.Intn(len(ops))]
-		lit := int64(rng.Intn(17) - 1)
-		r, err := FilterRegion(c, Filter{Op: op, Val: value.Int(lit)})
+		f := randomLeaf(rng)
+		for k := 0; k < rng.Intn(3); k++ {
+			f.Or = append(f.Or, randomLeaf(rng))
+		}
+		r, err := FilterRegion(c, f)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for row := 0; row < n; row++ {
 			v, notNull := c.Int(row)
-			var want bool
-			if notNull {
-				switch op {
-				case OpEq:
-					want = v == lit
-				case OpLt:
-					want = v < lit
-				case OpLe:
-					want = v <= lit
-				case OpGt:
-					want = v > lit
-				case OpGe:
-					want = v >= lit
-				}
+			want := evalDirect(f, v, notNull)
+			for _, alt := range f.Or {
+				want = want || evalDirect(alt, v, notNull)
 			}
 			if got := r.Contains(c.ID(row)); got != want {
-				t.Fatalf("op %s lit %d row value %v: region says %v, direct says %v",
-					op, lit, c.Value(row), got, want)
+				t.Fatalf("%s on row value %v: region says %v, direct says %v",
+					f, c.Value(row), got, want)
 			}
 		}
 	}
@@ -249,5 +418,34 @@ func TestQueryHelpers(t *testing.T) {
 	f := Filter{Table: "A", Col: "c", Op: OpIn, Set: []value.Value{value.Int(1), value.Int(2)}}
 	if got := f.String(); got != "A.c IN (1,2)" {
 		t.Errorf("Filter.String() = %q", got)
+	}
+}
+
+func TestFilterStringNewOps(t *testing.T) {
+	cases := []struct {
+		f    Filter
+		want string
+	}{
+		{Filter{Table: "A", Col: "c", Op: OpNeq, Val: value.Int(3)}, "A.c != 3"},
+		{Filter{Table: "A", Col: "c", Op: OpNotIn, Set: []value.Value{value.Int(1), value.Int(2)}}, "A.c NOT IN (1,2)"},
+		{Filter{Table: "A", Col: "c", Op: OpBetween, Val: value.Int(1), Hi: value.Int(9)}, "A.c BETWEEN 1 AND 9"},
+		{Filter{Table: "A", Col: "c", Op: OpIsNull}, "A.c IS NULL"},
+		{Filter{Table: "A", Col: "c", Op: OpIsNotNull}, "A.c IS NOT NULL"},
+		{Filter{Table: "A", Col: "s", Op: OpEq, Val: value.Str("x"),
+			Or: []Filter{{Op: OpIsNull}, {Op: OpEq, Val: value.Str("y")}}},
+			`(A.s = "x" OR A.s IS NULL OR A.s = "y")`},
+	}
+	for _, tc := range cases {
+		if got := tc.f.String(); got != tc.want {
+			t.Errorf("Filter.String() = %q, want %q", got, tc.want)
+		}
+	}
+	for op, want := range map[Op]string{
+		OpNeq: "!=", OpNotIn: "NOT IN", OpBetween: "BETWEEN",
+		OpIsNull: "IS NULL", OpIsNotNull: "IS NOT NULL",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op.String() = %q, want %q", got, want)
+		}
 	}
 }

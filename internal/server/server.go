@@ -70,15 +70,23 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // ---- wire types ----
 
-// FilterJSON is one predicate of an estimate request. Exactly one of Int,
-// Str, or Set must be present (Set for op "IN").
+// FilterJSON is one predicate clause of an estimate request. The value
+// fields depend on the op: comparison ops ("=", "!=", "<", "<=", ">", ">=")
+// take exactly one of "int" or "str"; "IN" / "NOT IN" take "set";
+// "BETWEEN" takes "int"+"int2" or "str"+"str2" (inclusive bounds);
+// "IS NULL" / "IS NOT NULL" take no value. "or" lists disjunctive
+// alternatives on the same table/column — the clause matches when its own
+// predicate or any alternative matches; alternatives cannot nest further.
 type FilterJSON struct {
-	Table string  `json:"table"`
-	Col   string  `json:"col"`
-	Op    string  `json:"op"`
-	Int   *int64  `json:"int,omitempty"`
-	Str   *string `json:"str,omitempty"`
-	Set   []any   `json:"set,omitempty"`
+	Table string       `json:"table"`
+	Col   string       `json:"col"`
+	Op    string       `json:"op"`
+	Int   *int64       `json:"int,omitempty"`
+	Str   *string      `json:"str,omitempty"`
+	Int2  *int64       `json:"int2,omitempty"`
+	Str2  *string      `json:"str2,omitempty"`
+	Set   []any        `json:"set,omitempty"`
+	Or    []FilterJSON `json:"or,omitempty"`
 }
 
 // QueryJSON is a join query over connected tables plus conjunctive filters.
@@ -172,7 +180,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	queries := make([]query.Query, len(qs))
 	for i := range qs {
-		q, err := decodeQuery(qs[i])
+		q, err := DecodeQuery(qs[i])
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
 			done(0, true)
@@ -339,44 +347,89 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 }
 
 // EncodeQuery converts an internal query into its wire form — the helper
-// clients and the load-test harness use to build request bodies.
+// clients and the load-test harness use to build request bodies. The
+// encoding is canonical: encode → JSON → decode → encode is the identity.
 func EncodeQuery(q query.Query) (QueryJSON, error) {
 	out := QueryJSON{Tables: q.Tables}
 	for _, f := range q.Filters {
-		fj := FilterJSON{Table: f.Table, Col: f.Col, Op: f.Op.String()}
-		if f.Op == query.OpIn {
-			for _, v := range f.Set {
-				switch v.K {
-				case value.KindInt:
-					fj.Set = append(fj.Set, v.I)
-				case value.KindStr:
-					fj.Set = append(fj.Set, v.S)
-				default:
-					return QueryJSON{}, fmt.Errorf("filter %s: NULL in IN set has no wire form", f)
-				}
-			}
-		} else {
-			switch f.Val.K {
-			case value.KindInt:
-				i := f.Val.I
-				fj.Int = &i
-			case value.KindStr:
-				s := f.Val.S
-				fj.Str = &s
-			default:
-				return QueryJSON{}, fmt.Errorf("filter %s: NULL literal has no wire form", f)
-			}
+		fj, err := encodeFilter(f)
+		if err != nil {
+			return QueryJSON{}, err
 		}
 		out.Filters = append(out.Filters, fj)
 	}
 	return out, nil
 }
 
-// decodeQuery converts the wire form into the internal query model.
-func decodeQuery(qj QueryJSON) (query.Query, error) {
+// encodeFilter converts one filter clause, including its OR alternatives
+// (emitted with the group's table/column made explicit).
+func encodeFilter(f query.Filter) (FilterJSON, error) {
+	fj := FilterJSON{Table: f.Table, Col: f.Col, Op: f.Op.String()}
+	if err := encodeFilterValues(f, &fj); err != nil {
+		return FilterJSON{}, err
+	}
+	for _, alt := range f.Or {
+		if alt.Table == "" {
+			alt.Table = f.Table
+		}
+		if alt.Col == "" {
+			alt.Col = f.Col
+		}
+		aj, err := encodeFilter(alt)
+		if err != nil {
+			return FilterJSON{}, err
+		}
+		fj.Or = append(fj.Or, aj)
+	}
+	return fj, nil
+}
+
+// encodeFilterValues fills the op-appropriate value fields of fj.
+func encodeFilterValues(f query.Filter, fj *FilterJSON) error {
+	setInt := func(dst **int64, v int64) { i := v; *dst = &i }
+	setStr := func(dst **string, v string) { s := v; *dst = &s }
+	encodeVal := func(v value.Value, i **int64, s **string) error {
+		switch v.K {
+		case value.KindInt:
+			setInt(i, v.I)
+		case value.KindStr:
+			setStr(s, v.S)
+		default:
+			return fmt.Errorf("filter %s: NULL literal has no wire form (use IS NULL)", f)
+		}
+		return nil
+	}
+	switch f.Op {
+	case query.OpIsNull, query.OpIsNotNull:
+		return nil
+	case query.OpIn, query.OpNotIn:
+		for _, v := range f.Set {
+			switch v.K {
+			case value.KindInt:
+				fj.Set = append(fj.Set, v.I)
+			case value.KindStr:
+				fj.Set = append(fj.Set, v.S)
+			default:
+				return fmt.Errorf("filter %s: NULL in %s set has no wire form", f, f.Op)
+			}
+		}
+		return nil
+	case query.OpBetween:
+		if err := encodeVal(f.Val, &fj.Int, &fj.Str); err != nil {
+			return err
+		}
+		return encodeVal(f.Hi, &fj.Int2, &fj.Str2)
+	default:
+		return encodeVal(f.Val, &fj.Int, &fj.Str)
+	}
+}
+
+// DecodeQuery converts the wire form into the internal query model — the
+// inverse of EncodeQuery, exported so clients can verify round trips.
+func DecodeQuery(qj QueryJSON) (query.Query, error) {
 	q := query.Query{Tables: qj.Tables}
 	for _, fj := range qj.Filters {
-		f, err := decodeFilter(fj)
+		f, err := decodeFilter(fj, true)
 		if err != nil {
 			return query.Query{}, err
 		}
@@ -385,35 +438,75 @@ func decodeQuery(qj QueryJSON) (query.Query, error) {
 	return q, nil
 }
 
-func decodeFilter(fj FilterJSON) (query.Filter, error) {
+func decodeFilter(fj FilterJSON, allowOr bool) (query.Filter, error) {
 	op, err := decodeOp(fj.Op)
 	if err != nil {
 		return query.Filter{}, err
 	}
 	f := query.Filter{Table: fj.Table, Col: fj.Col, Op: op}
-	if op == query.OpIn {
-		if len(fj.Set) == 0 {
-			return query.Filter{}, fmt.Errorf("filter %s.%s: IN requires a non-empty \"set\"", fj.Table, fj.Col)
+	where := fmt.Sprintf("filter %s.%s", fj.Table, fj.Col)
+
+	hasSecond := fj.Int2 != nil || fj.Str2 != nil
+	switch op {
+	case query.OpIsNull, query.OpIsNotNull:
+		if fj.Int != nil || fj.Str != nil || hasSecond || len(fj.Set) > 0 {
+			return query.Filter{}, fmt.Errorf("%s: %s takes no value", where, op)
 		}
-		if fj.Int != nil || fj.Str != nil {
-			return query.Filter{}, fmt.Errorf("filter %s.%s: IN takes \"set\", not \"int\"/\"str\"", fj.Table, fj.Col)
+	case query.OpIn, query.OpNotIn:
+		if len(fj.Set) == 0 {
+			return query.Filter{}, fmt.Errorf("%s: %s requires a non-empty \"set\"", where, op)
+		}
+		if fj.Int != nil || fj.Str != nil || hasSecond {
+			return query.Filter{}, fmt.Errorf("%s: %s takes \"set\", not \"int\"/\"str\"", where, op)
 		}
 		for _, el := range fj.Set {
 			v, err := decodeSetElement(el)
 			if err != nil {
-				return query.Filter{}, fmt.Errorf("filter %s.%s: %w", fj.Table, fj.Col, err)
+				return query.Filter{}, fmt.Errorf("%s: %w", where, err)
 			}
 			f.Set = append(f.Set, v)
 		}
-		return f, nil
-	}
-	switch {
-	case fj.Int != nil && fj.Str == nil && fj.Set == nil:
-		f.Val = value.Int(*fj.Int)
-	case fj.Str != nil && fj.Int == nil && fj.Set == nil:
-		f.Val = value.Str(*fj.Str)
+	case query.OpBetween:
+		if len(fj.Set) > 0 {
+			return query.Filter{}, fmt.Errorf("%s: BETWEEN takes bounds, not \"set\"", where)
+		}
+		switch {
+		case fj.Int != nil && fj.Int2 != nil && fj.Str == nil && fj.Str2 == nil:
+			f.Val, f.Hi = value.Int(*fj.Int), value.Int(*fj.Int2)
+		case fj.Str != nil && fj.Str2 != nil && fj.Int == nil && fj.Int2 == nil:
+			f.Val, f.Hi = value.Str(*fj.Str), value.Str(*fj.Str2)
+		default:
+			return query.Filter{}, fmt.Errorf("%s: BETWEEN requires \"int\"+\"int2\" or \"str\"+\"str2\"", where)
+		}
 	default:
-		return query.Filter{}, fmt.Errorf("filter %s.%s: exactly one of \"int\" or \"str\" must be set", fj.Table, fj.Col)
+		if hasSecond {
+			return query.Filter{}, fmt.Errorf("%s: \"int2\"/\"str2\" only apply to BETWEEN", where)
+		}
+		switch {
+		case fj.Int != nil && fj.Str == nil && fj.Set == nil:
+			f.Val = value.Int(*fj.Int)
+		case fj.Str != nil && fj.Int == nil && fj.Set == nil:
+			f.Val = value.Str(*fj.Str)
+		default:
+			return query.Filter{}, fmt.Errorf("%s: exactly one of \"int\" or \"str\" must be set", where)
+		}
+	}
+
+	if len(fj.Or) > 0 && !allowOr {
+		return query.Filter{}, fmt.Errorf("%s: \"or\" alternatives cannot nest", where)
+	}
+	for _, alt := range fj.Or {
+		if alt.Table != "" && alt.Table != fj.Table {
+			return query.Filter{}, fmt.Errorf("%s: \"or\" alternative references table %q", where, alt.Table)
+		}
+		if alt.Col != "" && alt.Col != fj.Col {
+			return query.Filter{}, fmt.Errorf("%s: \"or\" alternative references column %q", where, alt.Col)
+		}
+		af, err := decodeFilter(alt, false)
+		if err != nil {
+			return query.Filter{}, err
+		}
+		f.Or = append(f.Or, af)
 	}
 	return f, nil
 }
@@ -435,9 +528,13 @@ func decodeSetElement(el any) (value.Value, error) {
 }
 
 func decodeOp(op string) (query.Op, error) {
-	switch strings.ToUpper(strings.TrimSpace(op)) {
+	// Case-insensitive with internal whitespace collapsed, so "is  null"
+	// and "IS NULL" both parse.
+	switch strings.Join(strings.Fields(strings.ToUpper(op)), " ") {
 	case "=", "==", "EQ":
 		return query.OpEq, nil
+	case "!=", "<>", "NEQ":
+		return query.OpNeq, nil
 	case "<", "LT":
 		return query.OpLt, nil
 	case "<=", "LE":
@@ -448,7 +545,15 @@ func decodeOp(op string) (query.Op, error) {
 		return query.OpGe, nil
 	case "IN":
 		return query.OpIn, nil
+	case "NOT IN", "NOTIN":
+		return query.OpNotIn, nil
+	case "BETWEEN":
+		return query.OpBetween, nil
+	case "IS NULL", "ISNULL":
+		return query.OpIsNull, nil
+	case "IS NOT NULL", "ISNOTNULL":
+		return query.OpIsNotNull, nil
 	default:
-		return 0, fmt.Errorf("unknown operator %q (want =, <, <=, >, >=, IN)", op)
+		return 0, fmt.Errorf("unknown operator %q (want =, !=, <, <=, >, >=, IN, NOT IN, BETWEEN, IS NULL, IS NOT NULL)", op)
 	}
 }

@@ -31,6 +31,7 @@ func figure4(t *testing.T) *schema.Schema {
 	})
 	a.MustAppend(value.Int(1), value.Int(1990))
 	a.MustAppend(value.Int(2), value.Int(2000))
+	a.MustAppend(value.Int(2), value.Null) // NULL year: exercised by IS NULL queries
 	b := table.MustBuilder("B", []table.ColSpec{
 		{Name: "x", Kind: value.KindInt}, {Name: "y", Kind: value.KindInt},
 	})
@@ -333,11 +334,30 @@ func TestServeErrors(t *testing.T) {
 			Query: &server.QueryJSON{Tables: []string{"A"}}}, http.StatusNotFound},
 		{"unknown-op", server.EstimateRequest{
 			Query: &server.QueryJSON{Tables: []string{"A"},
-				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "!=", Int: ptrInt(1)}}}},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "LIKE", Int: ptrInt(1)}}}},
 			http.StatusBadRequest},
 		{"missing-value", server.EstimateRequest{
 			Query: &server.QueryJSON{Tables: []string{"A"},
 				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "="}}}},
+			http.StatusBadRequest},
+		{"is-null-with-value", server.EstimateRequest{
+			Query: &server.QueryJSON{Tables: []string{"A"},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "IS NULL", Int: ptrInt(1)}}}},
+			http.StatusBadRequest},
+		{"between-missing-hi", server.EstimateRequest{
+			Query: &server.QueryJSON{Tables: []string{"A"},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "BETWEEN", Int: ptrInt(1990)}}}},
+			http.StatusBadRequest},
+		{"nested-or", server.EstimateRequest{
+			Query: &server.QueryJSON{Tables: []string{"A"},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "=", Int: ptrInt(1990),
+					Or: []server.FilterJSON{{Op: "=", Int: ptrInt(2000),
+						Or: []server.FilterJSON{{Op: "IS NULL"}}}}}}}},
+			http.StatusBadRequest},
+		{"or-cross-column", server.EstimateRequest{
+			Query: &server.QueryJSON{Tables: []string{"A"},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "=", Int: ptrInt(1990),
+					Or: []server.FilterJSON{{Col: "x", Op: "=", Int: ptrInt(1)}}}}}},
 			http.StatusBadRequest},
 		{"disconnected-join", server.EstimateRequest{
 			Query: &server.QueryJSON{Tables: []string{"A", "C"}}}, http.StatusBadRequest},
@@ -430,6 +450,176 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// richQuery is a disjunctive, null-aware query exercising every new wire op.
+func richQuery() query.Query {
+	return query.Query{
+		Tables: []string{"A", "B"},
+		Filters: []query.Filter{
+			{Table: "A", Col: "year", Op: query.OpGe, Val: value.Int(1995),
+				Or: []query.Filter{{Table: "A", Col: "year", Op: query.OpIsNull}}},
+			{Table: "B", Col: "y", Op: query.OpNotIn, Set: []value.Value{value.Int(2)}},
+			{Table: "A", Col: "x", Op: query.OpBetween, Val: value.Int(1), Hi: value.Int(2)},
+			{Table: "B", Col: "x", Op: query.OpNeq, Val: value.Int(99)},
+		},
+	}
+}
+
+// TestWireRoundTripNewOps checks that disjunctive and null-aware queries
+// survive the HTTP JSON wire format bit-identically: encode → JSON → decode
+// → encode reproduces the exact same bytes, and the decoded query is the
+// original.
+func TestWireRoundTripNewOps(t *testing.T) {
+	q := richQuery()
+	qj, err := server.EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire1, err := json.Marshal(qj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back server.QueryJSON
+	if err := json.Unmarshal(wire1, &back); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := server.DecodeQuery(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.String() != q.String() {
+		t.Fatalf("decoded query %s, want %s", dec, q)
+	}
+	qj2, err := server.EncodeQuery(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := json.Marshal(qj2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire1, wire2) {
+		t.Fatalf("wire round trip not bit-identical:\n  first:  %s\n  second: %s", wire1, wire2)
+	}
+}
+
+// TestServeNewOpsEndToEnd sends OR / IS NULL / BETWEEN / NOT IN queries
+// through the HTTP API and checks the served estimates equal the in-process
+// seeded path exactly.
+func TestServeNewOpsEndToEnd(t *testing.T) {
+	_, ts, dir := serveTest(t)
+	orig := buildEstimator(t, 7, 512)
+	writeCheckpoint(t, dir, "fig4", orig)
+	post(t, ts.URL+"/v1/models/fig4/load", nil)
+
+	queries := []query.Query{
+		richQuery(),
+		{Tables: []string{"A"}, Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpIsNull}}},
+		{Tables: []string{"A"}, Filters: []query.Filter{{Table: "A", Col: "year", Op: query.OpIsNotNull}}},
+	}
+	seed := int64(77)
+	for i, q := range queries {
+		qj, err := server.EncodeQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := post(t, ts.URL+"/v1/estimate", server.EstimateRequest{Query: &qj, Seed: &seed})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d (%s): %d %s", i, q, resp.StatusCode, body)
+		}
+		var er server.EstimateResponse
+		if err := json.Unmarshal(body, &er); err != nil {
+			t.Fatal(err)
+		}
+		want, err := orig.EstimateSeededIndexed(q, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if er.Est == nil || math.Abs(*er.Est-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("query %d (%s): served %v, want %.17g", i, q, er.Est, want)
+		}
+	}
+}
+
+// TestServeSeededBatchDeterminismUnderSwap checks EstimateBatchSeeded stays
+// deterministic while POST /v1/models/{name}/load hot-swaps concurrently —
+// the seeded-path extension of TestServeConcurrentSwap, run under -race in
+// CI. Every generation loads the same checkpoint, so seeded batch results
+// must be bit-identical no matter which generation serves them or how the
+// swap interleaves.
+func TestServeSeededBatchDeterminismUnderSwap(t *testing.T) {
+	_, ts, dir := serveTest(t)
+	writeCheckpoint(t, dir, "m", buildEstimator(t, 7, 512))
+	post(t, ts.URL+"/v1/models/m/load", nil)
+
+	seed := int64(321)
+	rq, err := server.EncodeQuery(richQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := server.EstimateRequest{
+		Queries: []server.QueryJSON{
+			rq,
+			{Tables: []string{"A", "B", "C"}},
+			{Tables: []string{"A"},
+				Filters: []server.FilterJSON{{Table: "A", Col: "year", Op: "IS NULL"}}},
+		},
+		Seed:    &seed,
+		Workers: 2,
+	}
+	resp, body := post(t, ts.URL+"/v1/estimate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline batch: %d %s", resp.StatusCode, body)
+	}
+	var baseline server.EstimateResponse
+	if err := json.Unmarshal(body, &baseline); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			resp, body := post(t, ts.URL+"/v1/models/m/load", nil)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("swap: %d %s", resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+	for k := 0; k < 3; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				resp, body := post(t, ts.URL+"/v1/estimate", req)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("seeded batch during swap: %d %s", resp.StatusCode, body)
+					return
+				}
+				var er server.EstimateResponse
+				if err := json.Unmarshal(body, &er); err != nil {
+					errs <- err
+					return
+				}
+				for j := range baseline.Ests {
+					if er.Ests[j] != baseline.Ests[j] {
+						errs <- fmt.Errorf("query %d: %g != %g during hot swap (seeded batches must be deterministic)",
+							j, er.Ests[j], baseline.Ests[j])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

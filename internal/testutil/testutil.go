@@ -149,25 +149,48 @@ func RandomQuery(rng *rand.Rand, s *schema.Schema, maxFilters int) query.Query {
 
 	var filters []query.Filter
 	nf := rng.Intn(maxFilters + 1)
-	ops := []query.Op{query.OpEq, query.OpLt, query.OpLe, query.OpGt, query.OpGe, query.OpIn}
 	for f := 0; f < nf; f++ {
 		tname := tables[rng.Intn(len(tables))]
 		t := s.Table(tname)
 		col := t.Columns()[rng.Intn(t.NumCols())]
-		op := ops[rng.Intn(len(ops))]
-		lit := value.Int(int64(rng.Intn(8) - 1))
-		flt := query.Filter{Table: tname, Col: col.Name(), Op: op, Val: lit}
-		if op == query.OpIn {
-			n := 1 + rng.Intn(3)
-			flt.Set = make([]value.Value, n)
-			for i := range flt.Set {
-				flt.Set[i] = value.Int(int64(rng.Intn(8) - 1))
-			}
-			flt.Val = value.Null
+		flt := RandomPredicate(rng, tname, col.Name())
+		// Occasionally widen into an OR group on the same column.
+		for rng.Intn(5) == 0 && len(flt.Or) < 2 {
+			alt := RandomPredicate(rng, tname, col.Name())
+			alt.Table, alt.Col = "", "" // inherited from the group
+			flt.Or = append(flt.Or, alt)
 		}
 		filters = append(filters, flt)
 	}
 	return query.Query{Tables: tables, Filters: filters}
+}
+
+// RandomPredicate draws one random leaf predicate (no OR group) over small
+// integer literals, covering the full operator set: comparisons, negations,
+// memberships, BETWEEN, and null tests.
+func RandomPredicate(rng *rand.Rand, tname, col string) query.Filter {
+	ops := []query.Op{
+		query.OpEq, query.OpLt, query.OpLe, query.OpGt, query.OpGe, query.OpIn,
+		query.OpNeq, query.OpNotIn, query.OpBetween, query.OpIsNull, query.OpIsNotNull,
+	}
+	op := ops[rng.Intn(len(ops))]
+	flt := query.Filter{Table: tname, Col: col, Op: op}
+	switch op {
+	case query.OpIn, query.OpNotIn:
+		n := 1 + rng.Intn(3)
+		flt.Set = make([]value.Value, n)
+		for i := range flt.Set {
+			flt.Set[i] = value.Int(int64(rng.Intn(8) - 1))
+		}
+	case query.OpBetween:
+		lo := int64(rng.Intn(8) - 1)
+		flt.Val = value.Int(lo)
+		flt.Hi = value.Int(lo + int64(rng.Intn(5)-1)) // sometimes inverted
+	case query.OpIsNull, query.OpIsNotNull:
+	default:
+		flt.Val = value.Int(int64(rng.Intn(8) - 1))
+	}
+	return flt
 }
 
 // RowKey renders a join-row vector as a map key for frequency counting.

@@ -13,6 +13,11 @@
 //   - JOBM: 113 snowflake queries joining 2-11 of the 16 tables on multiple
 //     join keys.
 //
+// Each generator also has a Rich variant (JOBLightRich, JOBLightRangesRich,
+// JOBMRich) drawing from the full predicate set — OR groups, ≠ / NOT IN,
+// BETWEEN, IS [NOT] NULL — and Golden builds the fixed-seed mixed workload
+// the CI accuracy-regression gate scores against.
+//
 // Every query is labeled with its true cardinality (exact executor) and its
 // join graph's inner-join size (for Figure 6 selectivities).
 package workload
@@ -28,6 +33,7 @@ import (
 	"neurocard/internal/query"
 	"neurocard/internal/sampler"
 	"neurocard/internal/schema"
+	"neurocard/internal/table"
 	"neurocard/internal/value"
 )
 
@@ -194,6 +200,101 @@ func filterFromTuple(rng *rand.Rand, sch *schema.Schema, tbl, col string, row in
 	return f, true
 }
 
+// richFilterFromTuple builds a filter on (tbl, col) from the full operator
+// set — disjunctions, negations, BETWEEN, and null tests — still guaranteed
+// to be satisfied by the drawn tuple, so generated queries stay non-empty.
+// Unlike filterFromTuple it never fails: a NULL tuple value places IS NULL
+// (the null-aware case the classic generators skip).
+func richFilterFromTuple(rng *rand.Rand, sch *schema.Schema, tbl, col string, row int, allowRange bool) (query.Filter, bool) {
+	c := sch.Table(tbl).MustCol(col)
+	v := c.Value(row)
+	f := query.Filter{Table: tbl, Col: col}
+	if v.IsNull() {
+		f.Op = query.OpIsNull
+		if rng.Intn(3) == 0 { // sometimes widen: IS NULL OR = <literal>
+			f.Or = []query.Filter{{Op: query.OpEq, Val: randomLiteral(rng, c, value.Null)}}
+		}
+		return f, true
+	}
+	id, _ := c.IDForValue(v)
+	maxID := int32(c.DictSize()) - 1
+	choices := 5
+	if allowRange && rangeCols[col] {
+		choices = 7 // adds BETWEEN and a one-sided range
+	}
+	switch rng.Intn(choices) {
+	case 0: // equality
+		f.Op = query.OpEq
+		f.Val = v
+	case 1: // ≠ some other value (v still matches)
+		f.Op = query.OpNeq
+		f.Val = randomLiteral(rng, c, v)
+		if f.Val.IsNull() { // single-valued dictionary: fall back to equality
+			f.Op, f.Val = query.OpEq, v
+		}
+	case 2: // NOT IN a set excluding v
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			if alt := randomLiteral(rng, c, v); !alt.IsNull() {
+				f.Set = append(f.Set, alt)
+			}
+		}
+		if len(f.Set) == 0 {
+			f.Op, f.Val = query.OpEq, v
+		} else {
+			f.Op = query.OpNotIn
+		}
+	case 3: // IS NOT NULL (matches any non-NULL tuple value)
+		f.Op = query.OpIsNotNull
+	case 4: // OR group anchored on equality with v
+		f.Op = query.OpEq
+		f.Val = v
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			if rng.Intn(4) == 0 {
+				f.Or = append(f.Or, query.Filter{Op: query.OpIsNull})
+			} else if alt := randomLiteral(rng, c, value.Null); !alt.IsNull() {
+				f.Or = append(f.Or, query.Filter{Op: query.OpEq, Val: alt})
+			}
+		}
+	case 5: // BETWEEN dictionary neighbors around v (inclusive, so v matches)
+		lo := id - int32(rng.Intn(4))
+		hi := id + int32(rng.Intn(4))
+		if lo < 1 {
+			lo = 1
+		}
+		if hi > maxID {
+			hi = maxID
+		}
+		f.Op = query.OpBetween
+		f.Val = c.ValueForID(lo)
+		f.Hi = c.ValueForID(hi)
+	default: // one-sided range
+		if rng.Intn(2) == 0 {
+			f.Op = query.OpLe
+		} else {
+			f.Op = query.OpGe
+		}
+		f.Val = v
+	}
+	return f, true
+}
+
+// randomLiteral draws a uniform non-NULL dictionary value different from
+// avoid (pass value.Null to accept any). Returns value.Null when the
+// dictionary has no such value.
+func randomLiteral(rng *rand.Rand, c *table.Column, avoid value.Value) value.Value {
+	n := c.DictSize() - 1
+	if n < 1 {
+		return value.Null
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		cand := c.ValueForID(int32(1 + rng.Intn(n)))
+		if avoid.IsNull() || !cand.Equal(avoid) {
+			return cand
+		}
+	}
+	return value.Null
+}
+
 // label computes ground truth for a query.
 func label(sch *schema.Schema, q query.Query) (LabeledQuery, error) {
 	card, err := exec.Cardinality(sch, q)
@@ -235,10 +336,25 @@ func jobLightGraphs() [][]string {
 // with equality filters on categorical columns and range filters on
 // title.production_year only.
 func JOBLight(d *datagen.Dataset, seed int64) (*Workload, error) {
+	return jobLight(d, seed, false)
+}
+
+// JOBLightRich is the disjunctive, null-aware JOB-light variant: the same
+// join graphs, with filters drawn from the full operator set (OR groups,
+// ≠ / NOT IN, BETWEEN, IS [NOT] NULL) while still guaranteeing non-empty
+// results.
+func JOBLightRich(d *datagen.Dataset, seed int64) (*Workload, error) {
+	return jobLight(d, seed, true)
+}
+
+func jobLight(d *datagen.Dataset, seed int64, rich bool) (*Workload, error) {
 	rng := rand.New(rand.NewSource(seed))
 	graphs := jobLightGraphs()
 	td := newTupleDrawer(d.Schema)
 	w := &Workload{Name: "JOB-light"}
+	if rich {
+		w.Name = "JOB-light-rich"
+	}
 	const n = 70
 	for len(w.Queries) < n {
 		graph := graphs[rng.Intn(len(graphs))]
@@ -249,11 +365,11 @@ func JOBLight(d *datagen.Dataset, seed int64) (*Workload, error) {
 		var filters []query.Filter
 		// Range filter on production_year for about half the queries.
 		if rng.Intn(2) == 0 {
-			if f, ok := filterFromTuple(rng, d.Schema, "title", "production_year", tuple["title"], true); ok {
+			if f, ok := pickFilter(rng, d.Schema, "title", "production_year", tuple["title"], true, rich); ok {
 				filters = append(filters, f)
 			}
 		}
-		// Equality filters on 1-3 categorical fact columns.
+		// Filters on 1-3 categorical fact columns.
 		cats := []struct{ tbl, col string }{
 			{"title", "kind_id"},
 			{"cast_info", "role_id"},
@@ -272,9 +388,9 @@ func JOBLight(d *datagen.Dataset, seed int64) (*Workload, error) {
 			if !inGraph {
 				continue
 			}
-			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, row, false); ok {
-				// JOB-light uses pure equality (no IN).
-				if f.Op == query.OpIn {
+			if f, ok := pickFilter(rng, d.Schema, cc.tbl, cc.col, row, false, rich); ok {
+				// JOB-light proper uses pure equality (no IN).
+				if !rich && f.Op == query.OpIn {
 					f.Op = query.OpEq
 					f.Val = f.Set[0]
 					f.Set = nil
@@ -294,14 +410,35 @@ func JOBLight(d *datagen.Dataset, seed int64) (*Workload, error) {
 	return w, nil
 }
 
+// pickFilter dispatches to the classic or the rich filter generator.
+func pickFilter(rng *rand.Rand, sch *schema.Schema, tbl, col string, row int, allowRange, rich bool) (query.Filter, bool) {
+	if rich {
+		return richFilterFromTuple(rng, sch, tbl, col, row, allowRange)
+	}
+	return filterFromTuple(rng, sch, tbl, col, row, allowRange)
+}
+
 // JOBLightRanges generates the 1000-query JOB-light-ranges analogue: same
 // join graphs, literals drawn from inner-join tuples, 3-6 operators per
 // query across the full content column set.
 func JOBLightRanges(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
+	return jobLightRanges(d, n, seed, false)
+}
+
+// JOBLightRangesRich is the disjunctive, null-aware JOB-light-ranges
+// variant: the full operator set on every content column.
+func JOBLightRangesRich(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
+	return jobLightRanges(d, n, seed, true)
+}
+
+func jobLightRanges(d *datagen.Dataset, n int, seed int64, rich bool) (*Workload, error) {
 	rng := rand.New(rand.NewSource(seed))
 	graphs := jobLightGraphs()
 	td := newTupleDrawer(d.Schema)
 	w := &Workload{Name: "JOB-light-ranges"}
+	if rich {
+		w.Name = "JOB-light-ranges-rich"
+	}
 	for len(w.Queries) < n {
 		// Uniformly distributed over join graphs (§7.1).
 		graph := graphs[len(w.Queries)%len(graphs)]
@@ -324,7 +461,7 @@ func JOBLightRanges(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
 			if len(filters) >= want {
 				break
 			}
-			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true); ok {
+			if f, ok := pickFilter(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true, rich); ok {
 				filters = append(filters, f)
 			}
 		}
@@ -344,9 +481,21 @@ func JOBLightRanges(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
 // 16-table snowflake containing title, joining 2-11 tables, with 2-5
 // filters on content columns.
 func JOBM(d *datagen.Dataset, seed int64) (*Workload, error) {
+	return jobM(d, seed, false)
+}
+
+// JOBMRich is the disjunctive, null-aware JOB-M variant.
+func JOBMRich(d *datagen.Dataset, seed int64) (*Workload, error) {
+	return jobM(d, seed, true)
+}
+
+func jobM(d *datagen.Dataset, seed int64, rich bool) (*Workload, error) {
 	rng := rand.New(rand.NewSource(seed))
 	td := newTupleDrawer(d.Schema)
 	w := &Workload{Name: "JOB-M"}
+	if rich {
+		w.Name = "JOB-M-rich"
+	}
 	const n = 113
 	for len(w.Queries) < n {
 		graph := growSubtree(rng, d.Schema, "title", 2+rng.Intn(10))
@@ -371,7 +520,54 @@ func JOBM(d *datagen.Dataset, seed int64) (*Workload, error) {
 			if len(filters) >= want {
 				break
 			}
-			if f, ok := filterFromTuple(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true); ok {
+			if f, ok := pickFilter(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true, rich); ok {
+				filters = append(filters, f)
+			}
+		}
+		if len(filters) == 0 {
+			continue
+		}
+		lq, err := label(d.Schema, query.Query{Tables: graph, Filters: filters})
+		if err != nil {
+			return nil, err
+		}
+		w.Queries = append(w.Queries, lq)
+	}
+	return w, nil
+}
+
+// Golden generates the fixed-seed oracle-labeled workload the accuracy
+// regression gate scores against: n queries over the JOB-light join graphs
+// mixing classic conjunctive filters with the rich operator set (OR groups,
+// negations, BETWEEN, null tests), each labeled with its exact cardinality.
+// Every query is non-empty by construction; q-errors against it are finite.
+func Golden(d *datagen.Dataset, n int, seed int64) (*Workload, error) {
+	rng := rand.New(rand.NewSource(seed))
+	graphs := jobLightGraphs()
+	td := newTupleDrawer(d.Schema)
+	w := &Workload{Name: "golden"}
+	for len(w.Queries) < n {
+		graph := graphs[len(w.Queries)%len(graphs)]
+		tuple, ok := td.draw(rng, graph)
+		if !ok {
+			continue
+		}
+		rich := len(w.Queries)%2 == 1 // alternate classic and rich queries
+		type tc struct{ tbl, col string }
+		var cands []tc
+		for _, tbl := range graph {
+			for _, col := range d.ContentCols[tbl] {
+				cands = append(cands, tc{tbl, col})
+			}
+		}
+		rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+		want := 1 + rng.Intn(4)
+		var filters []query.Filter
+		for _, cc := range cands {
+			if len(filters) >= want {
+				break
+			}
+			if f, ok := pickFilter(rng, d.Schema, cc.tbl, cc.col, tuple[cc.tbl], true, rich); ok {
 				filters = append(filters, f)
 			}
 		}

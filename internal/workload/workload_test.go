@@ -61,6 +61,54 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty slice: every quantile is 0, no panic.
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := Quantile(nil, q); got != 0 {
+			t.Errorf("Quantile(nil, %v) = %v", q, got)
+		}
+	}
+	// n = 1: every quantile is the single element.
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.95, 1, 1.5} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Errorf("Quantile([7], %v) = %v", q, got)
+		}
+	}
+	// Out-of-range q clamps to the extremes.
+	s := []float64{1, 5, 9}
+	if got := Quantile(s, -3); got != 1 {
+		t.Errorf("q<0 = %v", got)
+	}
+	if got := Quantile(s, 3); got != 9 {
+		t.Errorf("q>1 = %v", got)
+	}
+	// Even-length interpolation: p95 of [10, 20] sits between the elements.
+	if got := Quantile([]float64{10, 20}, 0.95); math.Abs(got-19.5) > 1e-12 {
+		t.Errorf("even-length q0.95 = %v, want 19.5", got)
+	}
+	if got := Quantile([]float64{10, 20, 30, 40}, 0.25); math.Abs(got-17.5) > 1e-12 {
+		t.Errorf("q0.25 over 4 = %v, want 17.5", got)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Errorf("Summarize(nil) = %+v", s)
+	}
+	if s := Summarize([]float64{3}); s.Median != 3 || s.P95 != 3 || s.P99 != 3 || s.Max != 3 {
+		t.Errorf("Summarize([3]) = %+v", s)
+	}
+	// Even length: median interpolates, Max is exact, input left unsorted.
+	in := []float64{4, 1, 3, 2}
+	s := Summarize(in)
+	if math.Abs(s.Median-2.5) > 1e-12 || s.Max != 4 {
+		t.Errorf("Summarize(%v) = %+v", in, s)
+	}
+	if in[0] != 4 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
 func TestJOBLightWorkload(t *testing.T) {
 	d := dataset(t)
 	w, err := JOBLight(d, 1)
@@ -161,6 +209,100 @@ func TestJOBMWorkload(t *testing.T) {
 	}
 	if maxTables < 6 {
 		t.Errorf("largest join only %d tables; want snowflake-deep queries", maxTables)
+	}
+}
+
+// opCensus counts predicate kinds over a workload, descending into OR
+// groups.
+func opCensus(w *Workload) map[string]int {
+	census := map[string]int{}
+	for _, lq := range w.Queries {
+		for _, f := range lq.Query.Filters {
+			census[f.Op.String()]++
+			if len(f.Or) > 0 {
+				census["OR"]++
+			}
+		}
+	}
+	return census
+}
+
+func TestRichWorkloadVariants(t *testing.T) {
+	d := dataset(t)
+	for name, gen := range map[string]func() (*Workload, error){
+		"JOBLightRich":       func() (*Workload, error) { return JOBLightRich(d, 4) },
+		"JOBLightRangesRich": func() (*Workload, error) { return JOBLightRangesRich(d, 60, 4) },
+	} {
+		w, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, lq := range w.Queries {
+			if lq.TrueCard < 1 {
+				t.Errorf("%s query %d (%s) is empty: rich generation must keep tuple satisfaction", name, i, lq.Query)
+			}
+		}
+		census := opCensus(w)
+		richOps := census["OR"] + census["!="] + census["NOT IN"] + census["BETWEEN"] +
+			census["IS NULL"] + census["IS NOT NULL"]
+		if richOps == 0 {
+			t.Errorf("%s: no disjunctive/negated/null-aware predicates generated (census %v)", name, census)
+		}
+		t.Logf("%s op census: %v", name, census)
+	}
+}
+
+func TestJOBMRichWorkload(t *testing.T) {
+	d, err := datagen.JOBM(datagen.Config{Seed: 5, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := JOBMRich(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 113 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	for i, lq := range w.Queries {
+		if lq.TrueCard < 1 {
+			t.Errorf("query %d empty", i)
+		}
+	}
+	census := opCensus(w)
+	if census["OR"]+census["IS NULL"]+census["!="]+census["NOT IN"]+census["BETWEEN"] == 0 {
+		t.Errorf("no rich predicates in JOB-M-rich (census %v)", census)
+	}
+}
+
+func TestGoldenWorkload(t *testing.T) {
+	d := dataset(t)
+	w, err := Golden(d, 80, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 80 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	for i, lq := range w.Queries {
+		if lq.TrueCard < 1 {
+			t.Errorf("golden query %d (%s) is empty", i, lq.Query)
+		}
+	}
+	census := opCensus(w)
+	if census["OR"] == 0 || census["IS NULL"]+census["IS NOT NULL"] == 0 {
+		t.Errorf("golden workload must include disjunctive and null-aware queries (census %v)", census)
+	}
+	// Fixed seed ⇒ identical regeneration (the gate depends on this).
+	w2, err := Golden(d, 80, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Queries {
+		if w.Queries[i].Query.String() != w2.Queries[i].Query.String() ||
+			w.Queries[i].TrueCard != w2.Queries[i].TrueCard {
+			t.Fatalf("golden query %d differs across regenerations", i)
+		}
 	}
 }
 

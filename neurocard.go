@@ -81,19 +81,26 @@ type Op = query.Op
 
 // Supported filter operators.
 const (
-	OpEq = query.OpEq
-	OpLt = query.OpLt
-	OpLe = query.OpLe
-	OpGt = query.OpGt
-	OpGe = query.OpGe
-	OpIn = query.OpIn
+	OpEq        = query.OpEq
+	OpLt        = query.OpLt
+	OpLe        = query.OpLe
+	OpGt        = query.OpGt
+	OpGe        = query.OpGe
+	OpIn        = query.OpIn
+	OpNeq       = query.OpNeq
+	OpNotIn     = query.OpNotIn
+	OpBetween   = query.OpBetween
+	OpIsNull    = query.OpIsNull
+	OpIsNotNull = query.OpIsNotNull
 )
 
-// Filter is a single-column predicate (Table.Col Op Val, or Col IN Set).
+// Filter is a single-column predicate clause: Table.Col Op Val, Col IN/NOT
+// IN Set, Col BETWEEN Val AND Hi, or Col IS [NOT] NULL — optionally widened
+// into a disjunction via Or (alternatives on the same column).
 type Filter = query.Filter
 
 // Query is an inner equi-join over a connected table subset plus a
-// conjunction of filters.
+// conjunction of filter clauses (each clause may be an OR group).
 type Query = query.Query
 
 // ModelConfig sets the ResMADE architecture and optimizer.

@@ -58,6 +58,35 @@ fi
 awk -v est="$EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
 echo "estimate $EST is finite and positive"
 
+echo "=== disjunctive (OR group) estimate round trip"
+OR_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d '{
+  "query": {"tables": ["title"],
+            "filters": [{"table":"title","col":"production_year","op":">=","int":2000,
+                         "or": [{"op":"<","int":1950}]}]},
+  "seed": 42}')
+echo "$OR_RESP"
+OR_EST=$(echo "$OR_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$OR_EST" ]]; then
+    echo "no estimate in OR response" >&2
+    exit 1
+fi
+awk -v est="$OR_EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
+echo "OR estimate $OR_EST is finite and positive"
+
+echo "=== null-aware (IS NULL) estimate round trip"
+NULL_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d '{
+  "query": {"tables": ["title"],
+            "filters": [{"table":"title","col":"production_year","op":"IS NULL"}]},
+  "seed": 42}')
+echo "$NULL_RESP"
+NULL_EST=$(echo "$NULL_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$NULL_EST" ]]; then
+    echo "no estimate in IS NULL response" >&2
+    exit 1
+fi
+awk -v est="$NULL_EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
+echo "IS NULL estimate $NULL_EST is finite and positive"
+
 echo "=== batch estimate round trip"
 BATCH=$(curl -sf "http://$ADDR/v1/estimate" -d '{
   "queries": [{"tables": ["title"]},
