@@ -10,13 +10,23 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"neurocard/internal/harness"
 )
 
+// main delegates to realMain so failures exit through the deferred profile
+// writers: a CPU profile is only serialized at StopCPUProfile, and the run
+// most worth profiling is often exactly the one whose gate fails.
 func main() {
+	os.Exit(realMain())
+}
+
+func realMain() int {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci,acc")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
@@ -25,7 +35,39 @@ func main() {
 	gateDir := flag.String("gate", "", "exp ci/acc: baseline directory; fail on regression beyond -maxregress")
 	maxRegress := flag.Float64("maxregress", 0.20, "exp ci: allowed fractional regression of normalized throughput")
 	maxAccRegress := flag.Float64("maxaccregress", 0.25, "exp acc: allowed fractional growth of p95 q-error")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments) to this file")
 	flag.Parse()
+
+	// Profiles turn perf-PR claims into evidence: run the same experiment
+	// before and after and diff the flame graphs instead of guessing.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Printf("cpuprofile: %v", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	o := harness.Default()
 	if *quick {
@@ -41,14 +83,17 @@ func main() {
 	}
 	all := want["all"]
 
+	rc := 0
 	run := func(name string, fn func() (string, error)) {
-		if !all && !want[name] {
+		if rc != 0 || (!all && !want[name]) {
 			return
 		}
 		start := time.Now()
 		out, err := fn()
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Printf("%s: %v", name, err)
+			rc = 1
+			return
 		}
 		fmt.Printf("%s\n(%s in %s)\n\n", out, name, time.Since(start).Round(time.Millisecond))
 	}
@@ -76,21 +121,24 @@ func main() {
 	// compare normalized throughput against the committed baseline. Runs
 	// only on explicit request — `-exp all` already measures serving and
 	// training through the serve/train experiments.
-	if want["ci"] {
+	if want["ci"] && rc == 0 {
 		out, err := harness.RunCIBench(o, *jsonOut, *outDir, *gateDir, *maxRegress)
 		fmt.Print(out)
 		if err != nil {
-			log.Fatalf("ci: %v", err)
+			log.Printf("ci: %v", err)
+			rc = 1
 		}
 	}
 	// The accuracy-regression gate: score the fixed-seed golden workload
 	// (disjunctive and null-aware queries included) and compare p95 q-error
 	// against the committed baseline. Like `ci`, runs only on request.
-	if want["acc"] {
+	if want["acc"] && rc == 0 {
 		out, err := harness.RunAccuracyBench(o, *jsonOut, *outDir, *gateDir, *maxAccRegress)
 		fmt.Print(out)
 		if err != nil {
-			log.Fatalf("acc: %v", err)
+			log.Printf("acc: %v", err)
+			rc = 1
 		}
 	}
+	return rc
 }

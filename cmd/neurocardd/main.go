@@ -28,6 +28,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -43,7 +44,26 @@ func main() {
 	load := flag.String("load", "", "comma-separated model names to load at startup (first becomes default)")
 	workers := flag.Int("workers", 0, "batch estimate concurrency (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("maxbatch", 1024, "maximum queries per estimate request")
+	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	// Profiling is opt-in and served on its own listener so the debug
+	// endpoints never share a port with production traffic.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			srv := &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := server.New(server.Config{
 		ModelsDir: *modelsDir,

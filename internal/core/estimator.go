@@ -33,6 +33,11 @@ type Config struct {
 
 	// PSamples is the number of progressive samples per Estimate call.
 	PSamples int
+
+	// PlanCache bounds the compiled-plan LRU cache (entries); 0 selects the
+	// default capacity. Repeated query shapes — the serving norm — skip
+	// planning entirely on a hit.
+	PlanCache int
 }
 
 // DefaultConfig returns a configuration scaled for CPU training, mirroring
@@ -68,12 +73,14 @@ type Estimator struct {
 	rng      *rand.Rand // training-time randomness only; never used by Estimate
 
 	sessions *sessionPool // reusable inference sessions
+	plans    *planCache   // compiled plans keyed by canonical query bytes
 	qcount   atomic.Int64 // per-query seed counter for Estimate
 }
 
-// initSessions wires the inference-session pool to the estimator's
-// conditional source: MADE models get native zero-alloc sessions, anything
-// else (e.g. the exact oracle) goes through the generic adapter.
+// initSessions wires the per-estimator serving runtime: the inference-session
+// pool bound to the estimator's conditional source — MADE models get native
+// zero-alloc sessions, anything else (e.g. the exact oracle) goes through the
+// generic adapter — and the compiled-plan cache shared by all sessions.
 func (e *Estimator) initSessions() {
 	e.sessions = newSessionPool(func(rows int) inferSession {
 		if m, ok := e.model.(*made.Model); ok {
@@ -81,6 +88,7 @@ func (e *Estimator) initSessions() {
 		}
 		return newGenericSession(e.model, rows)
 	})
+	e.plans = newPlanCache(e.cfg.PlanCache)
 }
 
 // Build constructs an untrained estimator over the schema: prepares the join
@@ -168,6 +176,10 @@ func (e *Estimator) UpdateData(data *schema.Schema) error {
 	e.view = view
 	e.smp = smp
 	e.joinSize = smp.JoinSize()
+	// Compiled plans depend only on the domain schema's dictionaries and the
+	// encoder, both of which a snapshot rebind leaves untouched — but a data
+	// swap is rare and cold, so drop the cache defensively anyway.
+	e.plans.clear()
 	return nil
 }
 
@@ -419,17 +431,17 @@ func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (f
 // randomness is fully determined by (seed, idx). The serving API uses this to
 // honor client-supplied seeds without touching the configured seed.
 func (e *Estimator) estimateSeeded(st *inferState, q query.Query, seed, idx int64) (float64, error) {
-	plans, empty, err := e.plan(q)
+	cp, err := e.planFor(st, q)
 	if err != nil {
 		return 0, err
 	}
-	if empty {
+	if cp.empty {
 		// A filter matches no dictionary value: true cardinality is 0; the
 		// Q-error convention lower-bounds estimates at 1.
 		return 1, nil
 	}
 	rng := rand.New(rand.NewSource(mixSeed(seed, idx)))
-	return e.sampleWithSession(st, plans, e.psamples(), rng), nil
+	return e.sampleWithSession(st, cp, e.psamples(), rng), nil
 }
 
 // EstimateBatch estimates all queries concurrently on up to `workers`

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"neurocard/internal/query"
 )
@@ -21,15 +22,22 @@ type colPlan struct {
 	mc     *ModelCol
 	mode   planMode
 	region query.Region // modeConstrain only, over dictionary IDs
+	// sub0 is the first subcolumn's token region, precompiled at plan time:
+	// before any token of the column is drawn the factorization prefix is 0
+	// for every row, so the j=0 region is query-constant and per-row
+	// SubRegion translation starts only at j=1.
+	sub0 []query.IDRange
 }
 
-// plan compiles a query into per-column actions (§6): filters become ID
-// regions on content columns, queried tables constrain their indicators to
-// 1, and each omitted table contributes exactly one fanout key to divide
-// out — the key on its side of the edge toward the query subtree.
-func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
+// compilePlan compiles a query into per-column actions (§6): filters become
+// ID regions on content columns, queried tables constrain their indicators
+// to 1, and each omitted table contributes exactly one fanout key to divide
+// out — the key on its side of the edge toward the query subtree. The result
+// is immutable and shared: Estimate paths fetch plans through the
+// estimator's plan cache (planFor) and only compile on a miss.
+func (e *Estimator) compilePlan(q query.Query) (*compiledPlan, error) {
 	if err := e.domain.ValidateQuerySet(q.Tables); err != nil {
-		return nil, false, err
+		return nil, err
 	}
 	qset := make(map[string]bool, len(q.Tables))
 	for _, t := range q.Tables {
@@ -37,14 +45,14 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 	}
 	for _, f := range q.Filters {
 		if !qset[f.Table] {
-			return nil, false, fmt.Errorf("core: filter %s references table outside the join", f)
+			return nil, fmt.Errorf("core: filter %s references table outside the join", f)
 		}
 	}
 	regions := make(map[string]map[string]query.Region, len(q.Tables))
 	for _, t := range q.Tables {
 		regs, err := query.TableRegions(e.domain.Table(t), q)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		regions[t] = regs
 	}
@@ -52,7 +60,7 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 	// would systematically overestimate.
 	for _, f := range q.Filters {
 		if !e.enc.modeled[f.Table][f.Col] {
-			return nil, false, fmt.Errorf("core: filter %s references a column not modeled by the estimator; add it to ContentCols", f)
+			return nil, fmt.Errorf("core: filter %s references a column not modeled by the estimator; add it to ContentCols", f)
 		}
 	}
 	// Fanout keys of omitted tables.
@@ -63,7 +71,7 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 		}
 		key, err := e.domain.FanoutKey(t, qset)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		if divide[t] == nil {
 			divide[t] = make(map[string]bool)
@@ -71,8 +79,7 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 		divide[t][key] = true
 	}
 
-	empty := false
-	plans := make([]colPlan, len(e.enc.cols))
+	cp := &compiledPlan{cols: make([]colPlan, len(e.enc.cols))}
 	for i := range e.enc.cols {
 		mc := &e.enc.cols[i]
 		p := colPlan{mc: mc, mode: modeSkip}
@@ -81,8 +88,9 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 			if r, ok := regions[mc.Table][mc.Col]; ok {
 				p.mode = modeConstrain
 				p.region = r
+				p.sub0 = mc.Fact.SubRegion(r, 0, 0)
 				if r.Empty() {
-					empty = true
+					cp.empty = true
 				}
 			}
 		case KindIndicator:
@@ -94,50 +102,150 @@ func (e *Estimator) plan(q query.Query) ([]colPlan, bool, error) {
 				p.mode = modeFanoutDivide
 			}
 		}
-		plans[i] = p
+		cp.cols[i] = p
 	}
-	return plans, empty, nil
+	return cp, nil
+}
+
+// planFor returns the compiled plan for q, consulting the estimator's
+// bounded LRU first. The canonical key is built into the session state's
+// scratch, so the hit path — the serving steady state — allocates nothing.
+func (e *Estimator) planFor(st *inferState, q query.Query) (*compiledPlan, error) {
+	st.key = q.AppendKey(st.key[:0])
+	if cp := e.plans.get(st.key); cp != nil {
+		return cp, nil
+	}
+	cp, err := e.compilePlan(q)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.put(st.key, cp)
+	return cp, nil
 }
 
 // EstimateWithSamples runs progressive sampling (Eq. 5 extended per §5/§6)
 // with the given number of Monte Carlo samples and returns the estimated
 // cardinality, lower-bounded at 1. The sampling batch runs on a pooled
-// inference session: scratch is reused across queries, and rows whose weight
+// inference session: scratch is reused across queries, rows whose weight
 // hits zero are compacted out of the batch instead of being forward-passed
-// dead.
+// dead, and the batch itself materializes lazily (see sampleWithSession).
 func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.Rand) (float64, error) {
-	plans, empty, err := e.plan(q)
-	if err != nil {
-		return 0, err
-	}
-	if empty {
-		// A filter matches no dictionary value: true cardinality is 0; the
-		// Q-error convention lower-bounds estimates at 1.
-		return 1, nil
-	}
 	if nSamples < 1 {
 		nSamples = 1
 	}
 	st := e.sessions.get(nSamples, false)
 	defer e.sessions.put(st)
-	return e.sampleWithSession(st, plans, nSamples, rng), nil
+	cp, err := e.planFor(st, q)
+	if err != nil {
+		return 0, err
+	}
+	if cp.empty {
+		// A filter matches no dictionary value: true cardinality is 0; the
+		// Q-error convention lower-bounds estimates at 1.
+		return 1, nil
+	}
+	return e.sampleWithSession(st, cp, nSamples, rng), nil
 }
 
 // sampleWithSession executes a compiled plan on a session-backed sampling
 // batch. Single-threaded; concurrency comes from running many sessions.
-func (e *Estimator) sampleWithSession(st *inferState, plans []colPlan, nSamples int, rng *rand.Rand) float64 {
+//
+// The batch fans out lazily: every sampling row starts bit-identical
+// (all-MASK) and stays identical through every deterministic step — wildcard
+// skips and 1_T indicator constraints — and through the shared forward pass
+// of the first stochastic column. The session therefore runs one logical row
+// until the first per-row draw, then Replicates tokens, preactivation, and
+// cached trunk state to nSamples rows. Deterministic steps and the first
+// constrained column's forward pass cost 1 row instead of nSamples; the
+// weight product accumulated on the single row seeds every fanned-out row,
+// so per-row weights are unchanged.
+func (e *Estimator) sampleWithSession(st *inferState, cp *compiledPlan, nSamples int, rng *rand.Rand) float64 {
 	sess, w := st.sess, st.w[:nSamples]
-	sess.Reset(nSamples)
-	for i := range w {
-		w[i] = 1
-	}
-	active := nSamples
+	sess.Reset(1)
+	w0 := 1.0 // weight of the single pre-fan-out row
+	active := 0
+	fanPi := -1 // plan index of the column the batch fanned out on
 
-	for pi := range plans {
-		if active == 0 {
-			break
+single:
+	for pi := range cp.cols {
+		p := &cp.cols[pi]
+		switch p.mode {
+		case modeSkip:
+			continue
+
+		case modeIndicatorOne:
+			probs := sess.Probs(p.mc.FlatOffset)
+			w0 *= probs.At(0, 1)
+			if w0 == 0 {
+				return 1
+			}
+			sess.SetToken(0, p.mc.FlatOffset, 1)
+
+		case modeConstrain:
+			sub := p.sub0
+			if len(sub) == 0 {
+				return 1
+			}
+			flat := p.mc.FlatOffset
+			probs := sess.Probs(flat)
+			pr := probs.Row(0)
+			// All rows share this row's distribution and region, so the
+			// mass — and, in CDF mode, the prefix sums — are computed once.
+			useCDF := useRegionCDF(sub, len(pr))
+			var mass float64
+			if useCDF {
+				st.buildCDF(pr)
+				mass = regionMassCDF(st.cdf, sub)
+			} else {
+				mass = regionMassScan(pr, sub)
+			}
+			if mass <= 0 {
+				return 1
+			}
+			w0 *= mass
+			sess.Replicate(nSamples)
+			for r := 0; r < nSamples; r++ {
+				w[r] = w0
+				u := rng.Float64() * mass
+				var tok int32
+				if useCDF {
+					tok = drawRegionCDF(st.cdf, sub, u)
+				} else {
+					tok = drawRegionScan(pr, sub, u)
+				}
+				sess.SetToken(r, flat, tok)
+			}
+			active = e.sampleConstrained(st, p, w, nSamples, 1, rng)
+			fanPi = pi
+			break single
+
+		case modeFanoutDivide:
+			flat := p.mc.FlatOffset
+			probs := sess.Probs(flat)
+			cdf := st.buildCDF(probs.Row(0))
+			sess.Replicate(nSamples)
+			for r := 0; r < nSamples; r++ {
+				w[r] = w0
+				sess.SetToken(r, flat, drawCDF(cdf, rng.Float64()))
+			}
+			active = e.sampleFanout(st, p, w, nSamples, 1, rng)
+			fanPi = pi
+			break single
 		}
-		p := &plans[pi]
+	}
+
+	if fanPi < 0 {
+		// Every step was deterministic: the nSamples identical rows sum to
+		// nSamples·w0 and the estimate closes without ever materializing them.
+		card := w0 * e.joinSize
+		if card < 1 {
+			card = 1
+		}
+		return card
+	}
+
+	for pi := fanPi + 1; pi < len(cp.cols) && active > 0; pi++ {
+		p := &cp.cols[pi]
 		switch p.mode {
 		case modeSkip:
 			continue
@@ -151,28 +259,21 @@ func (e *Estimator) sampleWithSession(st *inferState, plans []colPlan, nSamples 
 			active = compactZero(sess, w, active)
 
 		case modeConstrain:
-			active = e.sampleConstrained(st, p, w, active, rng)
+			active = e.sampleConstrained(st, p, w, active, 0, rng)
 
 		case modeFanoutDivide:
-			nsub := p.mc.Fact.NumSubs()
-			for j := 0; j < nsub; j++ {
-				flat := p.mc.FlatOffset + j
-				probs := sess.Probs(flat)
-				for r := 0; r < active; r++ {
-					sess.SetToken(r, flat, drawFull(probs.Row(r), rng))
-				}
-			}
-			for r := 0; r < active; r++ {
-				sub := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
-				fan := float64(p.mc.Fact.Decode(sub)) + 1
-				w[r] /= fan
-			}
+			active = e.sampleFanout(st, p, w, active, 0, rng)
 		}
 	}
 
-	sum := 0.0
+	// Kahan-compensated final summation: at serving-scale nSamples the naive
+	// left-to-right sum loses low-order bits of the small per-row weights.
+	sum, comp := 0.0, 0.0
 	for r := 0; r < active; r++ {
-		sum += w[r]
+		y := w[r] - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
 	}
 	card := sum / float64(nSamples) * e.joinSize
 	if card < 1 {
@@ -182,55 +283,65 @@ func (e *Estimator) sampleWithSession(st *inferState, plans []colPlan, nSamples 
 }
 
 // sampleConstrained draws one content column subcolumn-by-subcolumn inside
-// its filter region, multiplying each sample's weight by the in-region
+// its filter region, starting at subcolumn jStart (the lazy fan-out step
+// handles j=0 itself), multiplying each sample's weight by the in-region
 // probability mass (importance weighting). Rows whose region support is
 // empty are compacted out between subcolumns. Returns the new active count.
-func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, active int, rng *rand.Rand) int {
+func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
 	sess := st.sess
 	nsub := p.mc.Fact.NumSubs()
-	for j := 0; j < nsub && active > 0; j++ {
+	for j := jStart; j < nsub && active > 0; j++ {
 		flat := p.mc.FlatOffset + j
 		probs := sess.Probs(flat)
 		for r := 0; r < active; r++ {
-			colToks := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
-			prefix := p.mc.Fact.PrefixValue(colToks, j)
-			sub := p.mc.Fact.SubRegionAppend(st.ranges, p.region, j, prefix)
-			if cap(sub) > cap(st.ranges) {
-				st.ranges = sub // keep the grown scratch for later rows
+			sub := p.sub0 // j = 0: the prefix is 0 for every row
+			if j > 0 {
+				colToks := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+				prefix := p.mc.Fact.PrefixValue(colToks, j)
+				sub = p.mc.Fact.SubRegionAppend(st.ranges, p.region, j, prefix)
+				if cap(sub) > cap(st.ranges) {
+					st.ranges = sub // keep the grown scratch for later rows
+				}
 			}
 			if len(sub) == 0 {
 				w[r] = 0
 				continue
 			}
-			pr := probs.Row(r)
-			mass := 0.0
-			for _, iv := range sub {
-				for t := iv.Lo; t <= iv.Hi; t++ {
-					mass += pr[t]
-				}
-			}
-			if mass <= 0 {
+			mass, chosen, ok := st.drawRegion(probs.Row(r), sub, rng)
+			if !ok {
 				w[r] = 0
 				continue
 			}
 			w[r] *= mass
-			// Draw within the region proportionally to pr.
-			u := rng.Float64() * mass
-			var chosen int32 = sub[len(sub)-1].Hi
-			acc := 0.0
-		draw:
-			for _, iv := range sub {
-				for t := iv.Lo; t <= iv.Hi; t++ {
-					acc += pr[t]
-					if acc > u {
-						chosen = t
-						break draw
-					}
-				}
-			}
 			sess.SetToken(r, flat, chosen)
 		}
 		active = compactZero(sess, w, active)
+	}
+	return active
+}
+
+// sampleFanout draws an omitted table's fanout key subcolumn-by-subcolumn
+// starting at jStart, then divides each row's weight by the decoded fanout
+// (Eq. 9). Fanouts are ≥ 1, so no row dies here. Each per-row distribution
+// is drawn from exactly once, so the early-exit scan beats building prefix
+// sums (fanout mass concentrates at small tokens, where the scan exits
+// almost immediately); drawScan and drawCDF select the same token for the
+// same variate, so the choice is purely a cost one — the CDF pays off only
+// where it is reused, i.e. the shared pre-fan-out draw in sampleWithSession.
+func (e *Estimator) sampleFanout(st *inferState, p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
+	sess := st.sess
+	nsub := p.mc.Fact.NumSubs()
+	for j := jStart; j < nsub; j++ {
+		flat := p.mc.FlatOffset + j
+		probs := sess.Probs(flat)
+		for r := 0; r < active; r++ {
+			sess.SetToken(r, flat, drawScan(probs.Row(r), rng.Float64()))
+		}
+	}
+	for r := 0; r < active; r++ {
+		sub := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+		fan := float64(p.mc.Fact.Decode(sub)) + 1
+		w[r] /= fan
 	}
 	return active
 }
@@ -255,16 +366,156 @@ func compactZero(sess inferSession, w []float64, active int) int {
 	return active
 }
 
-// drawFull samples an index proportional to an (already normalized)
-// probability vector.
-func drawFull(probs []float64, rng *rand.Rand) int32 {
-	u := rng.Float64()
+// ---- region mass and proportional draws ----
+//
+// Two interchangeable evaluation strategies, chosen per (row, subcolumn) by
+// region width. Narrow regions (equality points, short ranges) scan their
+// few in-region entries directly: O(span). Wide regions (complements, NOT
+// IN, broad ranges, full fanout domains) first build the row's probability
+// prefix sums into the state's CDF scratch — one O(domain) pass — after
+// which every interval's mass is two lookups and every draw a binary search:
+// O(intervals + log domain) instead of O(span) per draw. The scan
+// accumulates with Kahan compensation; the CDF's interval-difference
+// arithmetic differs from the scan only in rounding (≪ the 1e-9 kernel
+// equivalence convention).
+
+// cdfMinSpan is the region width below which the direct scan always wins —
+// the prefix-sum build costs O(domain) regardless of the region.
+const cdfMinSpan = 32
+
+// useRegionCDF picks the CDF strategy for a region over a domain of size n.
+func useRegionCDF(sub []query.IDRange, n int) bool {
+	span := 0
+	for _, iv := range sub {
+		span += int(iv.Hi-iv.Lo) + 1
+	}
+	return span >= cdfMinSpan && 2*span >= n
+}
+
+// buildCDF fills the state's CDF scratch with the prefix sums of pr:
+// cdf[i] = Σ pr[:i], so cdf has len(pr)+1 entries and a range [lo, hi] of
+// tokens carries mass cdf[hi+1] - cdf[lo]. The partial sums are the exact
+// running sums a sequential scan produces, so a CDF draw selects the same
+// token a scan with the same u would.
+func (st *inferState) buildCDF(pr []float64) []float64 {
+	if cap(st.cdf) < len(pr)+1 {
+		st.cdf = make([]float64, len(pr)+1)
+	}
+	cdf := st.cdf[:len(pr)+1]
 	acc := 0.0
-	for i, p := range probs {
+	cdf[0] = 0
+	for i, p := range pr {
+		acc += p
+		cdf[i+1] = acc
+	}
+	st.cdf = cdf
+	return cdf
+}
+
+// regionMassScan sums pr over the region with Kahan compensation.
+func regionMassScan(pr []float64, sub []query.IDRange) float64 {
+	mass, comp := 0.0, 0.0
+	for _, iv := range sub {
+		for _, p := range pr[iv.Lo : iv.Hi+1] {
+			y := p - comp
+			t := mass + y
+			comp = (t - mass) - y
+			mass = t
+		}
+	}
+	return mass
+}
+
+// regionMassCDF sums the region's mass as interval differences over prefix
+// sums: two lookups per interval.
+func regionMassCDF(cdf []float64, sub []query.IDRange) float64 {
+	mass := 0.0
+	for _, iv := range sub {
+		mass += cdf[iv.Hi+1] - cdf[iv.Lo]
+	}
+	return mass
+}
+
+// drawRegionScan selects the first token whose running in-region mass
+// exceeds u, falling back to the region's last token when rounding leaves
+// the total just below u.
+func drawRegionScan(pr []float64, sub []query.IDRange, u float64) int32 {
+	acc := 0.0
+	for _, iv := range sub {
+		for t := iv.Lo; t <= iv.Hi; t++ {
+			acc += pr[t]
+			if acc > u {
+				return t
+			}
+		}
+	}
+	return sub[len(sub)-1].Hi
+}
+
+// drawRegionCDF is drawRegionScan over prefix sums: a linear pass over the
+// (few) intervals finds the target interval, then a binary search inside it
+// finds the token — O(log span) where the scan is O(span).
+func drawRegionCDF(cdf []float64, sub []query.IDRange, u float64) int32 {
+	acc := 0.0
+	for _, iv := range sub {
+		ivMass := cdf[iv.Hi+1] - cdf[iv.Lo]
+		if acc+ivMass > u {
+			// Smallest t in [Lo, Hi] with acc + (cdf[t+1]-cdf[Lo]) > u.
+			target := u - acc + cdf[iv.Lo]
+			span := int(iv.Hi-iv.Lo) + 1
+			k := sort.Search(span, func(k int) bool { return cdf[int(iv.Lo)+k+1] > target })
+			if k == span {
+				k = span - 1 // rounding pushed the boundary past Hi
+			}
+			return iv.Lo + int32(k)
+		}
+		acc += ivMass
+	}
+	return sub[len(sub)-1].Hi
+}
+
+// drawCDF samples an index of a full (already normalized) distribution from
+// its prefix sums by binary search: the smallest i with cdf[i+1] > u — the
+// token an O(domain) running-sum scan would select, since the prefix sums
+// are those running sums.
+func drawCDF(cdf []float64, u float64) int32 {
+	n := len(cdf) - 1
+	i := sort.Search(n, func(i int) bool { return cdf[i+1] > u })
+	if i == n {
+		i = n - 1
+	}
+	return int32(i)
+}
+
+// drawScan is drawCDF without prefix sums: an early-exit running-sum scan,
+// bit-identical in its selection (the running sums are the prefix sums).
+// Used where a distribution is drawn from exactly once.
+func drawScan(pr []float64, u float64) int32 {
+	acc := 0.0
+	for i, p := range pr {
 		acc += p
 		if acc > u {
 			return int32(i)
 		}
 	}
-	return int32(len(probs) - 1)
+	return int32(len(pr) - 1)
+}
+
+// drawRegion computes a row's in-region mass and draws a token
+// proportionally, choosing the scan or CDF strategy by region width. ok is
+// false (and no randomness is consumed) when the region carries no mass.
+func (st *inferState) drawRegion(pr []float64, sub []query.IDRange, rng *rand.Rand) (mass float64, chosen int32, ok bool) {
+	if useRegionCDF(sub, len(pr)) {
+		cdf := st.buildCDF(pr)
+		mass = regionMassCDF(cdf, sub)
+		if mass <= 0 {
+			return 0, 0, false
+		}
+		return mass, drawRegionCDF(cdf, sub, rng.Float64()*mass), true
+	}
+	mass = regionMassScan(pr, sub)
+	if mass <= 0 {
+		return 0, 0, false
+	}
+	return mass, drawRegionScan(pr, sub, rng.Float64()*mass), true
 }

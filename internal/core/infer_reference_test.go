@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/query"
+	"neurocard/internal/workload"
+)
+
+// This file keeps the pre-overhaul progressive-sampling kernel as a
+// behavioral reference: eager batch materialization (all nSamples rows from
+// the first step), per-row linear region scans for mass and draws, and a
+// naive left-to-right weight sum. The lazy fan-out / CDF kernel must agree
+// with it to the repo's 1e-9 convention on the golden workload — the two
+// kernels consume the RNG stream identically (one Float64 per per-row draw,
+// in row order), so only floating-point reassociation separates them.
+
+// sampleReference is the old kernel, verbatim modulo the compiledPlan type.
+func (e *Estimator) sampleReference(st *inferState, cp *compiledPlan, nSamples int, rng *rand.Rand) float64 {
+	sess, w := st.sess, st.w[:nSamples]
+	sess.Reset(nSamples)
+	for i := range w {
+		w[i] = 1
+	}
+	active := nSamples
+
+	for pi := range cp.cols {
+		if active == 0 {
+			break
+		}
+		p := &cp.cols[pi]
+		switch p.mode {
+		case modeSkip:
+			continue
+
+		case modeIndicatorOne:
+			probs := sess.Probs(p.mc.FlatOffset)
+			for r := 0; r < active; r++ {
+				w[r] *= probs.At(r, 1)
+				sess.SetToken(r, p.mc.FlatOffset, 1)
+			}
+			active = compactZero(sess, w, active)
+
+		case modeConstrain:
+			active = e.sampleConstrainedReference(st, p, w, active, rng)
+
+		case modeFanoutDivide:
+			nsub := p.mc.Fact.NumSubs()
+			for j := 0; j < nsub; j++ {
+				flat := p.mc.FlatOffset + j
+				probs := sess.Probs(flat)
+				for r := 0; r < active; r++ {
+					sess.SetToken(r, flat, drawFullReference(probs.Row(r), rng))
+				}
+			}
+			for r := 0; r < active; r++ {
+				sub := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+				fan := float64(p.mc.Fact.Decode(sub)) + 1
+				w[r] /= fan
+			}
+		}
+	}
+
+	sum := 0.0
+	for r := 0; r < active; r++ {
+		sum += w[r]
+	}
+	card := sum / float64(nSamples) * e.joinSize
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// sampleConstrainedReference: two O(span) scans per row per subcolumn.
+func (e *Estimator) sampleConstrainedReference(st *inferState, p *colPlan, w []float64, active int, rng *rand.Rand) int {
+	sess := st.sess
+	nsub := p.mc.Fact.NumSubs()
+	for j := 0; j < nsub && active > 0; j++ {
+		flat := p.mc.FlatOffset + j
+		probs := sess.Probs(flat)
+		for r := 0; r < active; r++ {
+			colToks := sess.TokenRow(r)[p.mc.FlatOffset : p.mc.FlatOffset+nsub]
+			prefix := p.mc.Fact.PrefixValue(colToks, j)
+			sub := p.mc.Fact.SubRegionAppend(st.ranges, p.region, j, prefix)
+			if cap(sub) > cap(st.ranges) {
+				st.ranges = sub
+			}
+			if len(sub) == 0 {
+				w[r] = 0
+				continue
+			}
+			pr := probs.Row(r)
+			mass := 0.0
+			for _, iv := range sub {
+				for t := iv.Lo; t <= iv.Hi; t++ {
+					mass += pr[t]
+				}
+			}
+			if mass <= 0 {
+				w[r] = 0
+				continue
+			}
+			w[r] *= mass
+			u := rng.Float64() * mass
+			var chosen int32 = sub[len(sub)-1].Hi
+			acc := 0.0
+		draw:
+			for _, iv := range sub {
+				for t := iv.Lo; t <= iv.Hi; t++ {
+					acc += pr[t]
+					if acc > u {
+						chosen = t
+						break draw
+					}
+				}
+			}
+			sess.SetToken(r, flat, chosen)
+		}
+		active = compactZero(sess, w, active)
+	}
+	return active
+}
+
+// drawFullReference samples by running-sum scan.
+func drawFullReference(probs []float64, rng *rand.Rand) int32 {
+	u := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if acc > u {
+			return int32(i)
+		}
+	}
+	return int32(len(probs) - 1)
+}
+
+// estimateReference mirrors estimateSeeded on the reference kernel.
+func (e *Estimator) estimateReference(q query.Query, idx int64) (float64, error) {
+	st := e.sessions.get(e.psamples(), false)
+	defer e.sessions.put(st)
+	cp, err := e.compilePlan(q)
+	if err != nil {
+		return 0, err
+	}
+	if cp.empty {
+		return 1, nil
+	}
+	rng := rand.New(rand.NewSource(mixSeed(e.cfg.Seed, idx)))
+	return e.sampleReference(st, cp, e.psamples(), rng), nil
+}
+
+// TestKernelMatchesReferenceOnGolden runs the full 200-query golden workload
+// — conjunctive, disjunctive, negated, BETWEEN, and null-aware predicates —
+// plus join-only queries (no filters, which the lazy kernel never fans out
+// or fans out on a fanout column) through both kernels and holds them to
+// 1e-9 relative agreement at identical (seed, index) randomness.
+func TestKernelMatchesReferenceOnGolden(t *testing.T) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 42, Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Golden(d, 200, 20260728)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.Model.Hidden = 48
+	cfg.Model.EmbedDim = 8
+	cfg.Model.Blocks = 1
+	cfg.PSamples = 128
+	cfg.Seed = 7
+	est, err := Build(d.Schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]query.Query, 0, len(wl.Queries)+3)
+	for _, lq := range wl.Queries {
+		queries = append(queries, lq.Query)
+	}
+	// Join-only edge cases: single root table, a two-table join, the full
+	// join (no fanout divides at all — the batch never materializes).
+	tables := est.domain.Tables()
+	queries = append(queries,
+		query.Query{Tables: tables[:1]},
+		query.Query{Tables: tables[:2]},
+		query.Query{Tables: tables},
+	)
+
+	for i, q := range queries {
+		want, err := est.estimateReference(q, int64(i))
+		if err != nil {
+			t.Fatalf("reference on %s: %v", q, err)
+		}
+		got, err := est.EstimateIndexed(q, int64(i))
+		if err != nil {
+			t.Fatalf("new kernel on %s: %v", q, err)
+		}
+		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Fatalf("query %d %s: new kernel %.17g, reference %.17g", i, q, got, want)
+		}
+	}
+}
+
+// TestKernelDeterministicRunToRun: the same (seed, index) must yield
+// bit-identical estimates across repeated calls on reused pooled sessions —
+// the CDF scratch and lazy fan-out leave no state behind.
+func TestKernelDeterministicRunToRun(t *testing.T) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 1, Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.Golden(d, 24, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.Model.Hidden = 32
+	cfg.Model.EmbedDim = 6
+	cfg.Model.Blocks = 1
+	cfg.PSamples = 64
+	est, err := Build(d.Schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lq := range wl.Queries {
+		first, err := est.EstimateIndexed(lq.Query, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 2; run++ {
+			again, err := est.EstimateIndexed(lq.Query, int64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != first {
+				t.Fatalf("query %d run %d: %.17g != %.17g", i, run, again, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultPlanCacheCap bounds the compiled-plan cache when Config.PlanCache
+// is zero. Serving traffic repeats a bounded set of query shapes (the
+// optimizer re-asks the same templates with the same literals far more often
+// than it invents new ones), so a few thousand entries cover steady state
+// while keeping worst-case memory at a few MB of regions.
+const defaultPlanCacheCap = 4096
+
+// compiledPlan is the immutable result of compiling one query: the
+// per-column sampling actions plus the empty-region shortcut. Plans are
+// shared by every pooled session concurrently — nothing in a compiledPlan is
+// written after construction.
+type compiledPlan struct {
+	cols  []colPlan
+	empty bool
+}
+
+// planCacheEntry is one LRU slot.
+type planCacheEntry struct {
+	key  string
+	plan *compiledPlan
+}
+
+// planCache is a bounded, concurrency-safe LRU over compiled plans, keyed by
+// query.AppendKey bytes. The hit path takes one mutex, performs an
+// allocation-free map lookup (string(key) conversion in a map index does not
+// escape), and moves the entry to the LRU front — no allocation, which keeps
+// the repeated-query serving path zero-alloc end to end.
+//
+// Plans depend only on the estimator's domain schema and encoder, both fixed
+// for the estimator's lifetime, so entries never go stale in place. The two
+// mutation paths both swap whole objects: UpdateData clears the cache
+// defensively, and a serving hot swap replaces the entire estimator (the
+// registry's immutable-entry contract), arriving with a fresh, empty cache.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element // values are *planCacheEntry
+	lru *list.List               // front = most recently used
+
+	hits, misses, evictions atomic.Int64
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		capacity = defaultPlanCacheCap
+	}
+	return &planCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+// get returns the cached plan for key, or nil on a miss.
+func (c *planCache) get(key []byte) *compiledPlan {
+	c.mu.Lock()
+	if el, ok := c.m[string(key)]; ok {
+		c.lru.MoveToFront(el)
+		p := el.Value.(*planCacheEntry).plan
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return p
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+	return nil
+}
+
+// put inserts a plan, evicting from the LRU tail when over capacity. A
+// concurrent insert of the same key wins-first: the existing entry is kept
+// (both compilations of one key are interchangeable).
+func (c *planCache) put(key []byte, p *compiledPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[string(key)]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	ks := string(key)
+	c.m[ks] = c.lru.PushFront(&planCacheEntry{key: ks, plan: p})
+	for len(c.m) > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.m, tail.Value.(*planCacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// clear drops every entry (counters survive — they are lifetime totals).
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[string]*list.Element, c.cap)
+	c.lru.Init()
+}
+
+// len returns the current entry count.
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// PlanCacheStats is a point-in-time snapshot of the compiled-plan cache,
+// exposed per model on the serving daemon's /metrics endpoint.
+type PlanCacheStats struct {
+	Hits, Misses, Evictions int64
+	Size, Cap               int
+}
+
+// PlanCacheStats reports the estimator's compiled-plan cache counters.
+func (e *Estimator) PlanCacheStats() PlanCacheStats {
+	return PlanCacheStats{
+		Hits:      e.plans.hits.Load(),
+		Misses:    e.plans.misses.Load(),
+		Evictions: e.plans.evictions.Load(),
+		Size:      e.plans.len(),
+		Cap:       e.plans.cap,
+	}
+}

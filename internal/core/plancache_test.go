@@ -1,0 +1,291 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/query"
+	"neurocard/internal/workload"
+)
+
+// cacheTestEstimator builds a small real-model estimator over the synthetic
+// JOB-light schema with the given plan-cache bound.
+func cacheTestEstimator(t testing.TB, planCache int) (*Estimator, []query.Query) {
+	t.Helper()
+	d, err := datagen.JOBLight(datagen.Config{Seed: 3, Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := workload.JOBLight(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.Model.Hidden = 24
+	cfg.Model.EmbedDim = 6
+	cfg.Model.Blocks = 1
+	cfg.PSamples = 32
+	cfg.PlanCache = planCache
+	est, err := Build(d.Schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]query.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		qs[i] = lq.Query
+	}
+	return est, qs
+}
+
+// TestPlanCacheHitsAndEviction walks the LRU through hit, miss, and eviction
+// transitions and checks every counter.
+func TestPlanCacheHitsAndEviction(t *testing.T) {
+	est, qs := cacheTestEstimator(t, 2)
+	q0, q1, q2 := qs[0], qs[1], qs[2]
+
+	expect := func(hits, misses, evictions int64, size int) {
+		t.Helper()
+		s := est.PlanCacheStats()
+		if s.Hits != hits || s.Misses != misses || s.Evictions != evictions || s.Size != size {
+			t.Fatalf("stats = %+v, want hits=%d misses=%d evictions=%d size=%d", s, hits, misses, evictions, size)
+		}
+	}
+
+	if _, err := est.Estimate(q0); err != nil {
+		t.Fatal(err)
+	}
+	expect(0, 1, 0, 1)
+	if _, err := est.Estimate(q0); err != nil {
+		t.Fatal(err)
+	}
+	expect(1, 1, 0, 1)
+	if _, err := est.Estimate(q1); err != nil {
+		t.Fatal(err)
+	}
+	expect(1, 2, 0, 2)
+	// Capacity 2: inserting a third plan evicts the LRU tail (q0).
+	if _, err := est.Estimate(q2); err != nil {
+		t.Fatal(err)
+	}
+	expect(1, 3, 1, 2)
+	if _, err := est.Estimate(q0); err != nil {
+		t.Fatal(err)
+	}
+	expect(1, 4, 2, 2)
+	if s := est.PlanCacheStats(); s.Cap != 2 {
+		t.Fatalf("cap = %d, want 2", s.Cap)
+	}
+}
+
+// TestPlanCacheDefaultCap: PlanCache 0 selects the default bound.
+func TestPlanCacheDefaultCap(t *testing.T) {
+	est, _ := cacheTestEstimator(t, 0)
+	if s := est.PlanCacheStats(); s.Cap != defaultPlanCacheCap {
+		t.Fatalf("cap = %d, want default %d", s.Cap, defaultPlanCacheCap)
+	}
+}
+
+// TestPlanCacheClearedOnUpdateData: rebinding a data snapshot drops cached
+// plans (defensively — plans only depend on the domain schema).
+func TestPlanCacheClearedOnUpdateData(t *testing.T) {
+	est, qs := cacheTestEstimator(t, 0)
+	if _, err := est.Estimate(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := est.PlanCacheStats(); s.Size != 1 {
+		t.Fatalf("size = %d, want 1", s.Size)
+	}
+	if err := est.UpdateData(est.data); err != nil {
+		t.Fatal(err)
+	}
+	if s := est.PlanCacheStats(); s.Size != 0 {
+		t.Fatalf("size after UpdateData = %d, want 0", s.Size)
+	}
+	// The cleared cache keeps serving correct plans.
+	if _, err := est.Estimate(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlanCacheHitPathNoAllocs: the satellite allocation budget — a cache
+// hit (canonical key build + LRU lookup) must not touch the heap.
+func TestPlanCacheHitPathNoAllocs(t *testing.T) {
+	est, qs := cacheTestEstimator(t, 0)
+	st := est.sessions.get(est.psamples(), false)
+	defer est.sessions.put(st)
+	q := qs[0]
+	if _, err := est.planFor(st, q); err != nil { // warm: compile + grow key scratch
+		t.Fatal(err)
+	}
+	var err error
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err = est.planFor(st, q); err != nil {
+			return
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("plan-cache hit path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestPlanCacheConcurrentChurnDeterministic runs concurrent seeded batches
+// with a cache bound smaller than the query set, forcing constant concurrent
+// eviction, re-insertion, and hits of shared plans; results must equal the
+// sequential EstimateIndexed answers bit-for-bit. Run under -race in CI.
+func TestPlanCacheConcurrentChurnDeterministic(t *testing.T) {
+	est, qs := cacheTestEstimator(t, 2)
+	qs = qs[:5]
+	want := make([]float64, len(qs))
+	for i, q := range qs {
+		got, err := est.EstimateIndexed(q, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = got
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				got, err := est.EstimateBatchSeeded(qs, 3, est.cfg.Seed)
+				if err != nil {
+					t.Errorf("batch: %v", err)
+					return
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("query %d: %.17g != %.17g under churn", i, got[i], want[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s := est.PlanCacheStats(); s.Evictions == 0 {
+		t.Fatalf("expected cache churn, stats = %+v", s)
+	}
+}
+
+// TestPlanCacheKeyDistinguishesQueries: queries that differ only in literal,
+// operator, or OR structure must not share cache slots — a collision would
+// silently serve the wrong plan.
+func TestPlanCacheKeyDistinguishesQueries(t *testing.T) {
+	est, qs := cacheTestEstimator(t, 0)
+	base := qs[0]
+	variants := []query.Query{base}
+	if len(base.Filters) > 0 {
+		alt := base
+		alt.Filters = append([]query.Filter(nil), base.Filters...)
+		f := alt.Filters[0]
+		f.Op = query.OpNeq
+		alt.Filters[0] = f
+		variants = append(variants, alt)
+
+		or := base
+		or.Filters = append([]query.Filter(nil), base.Filters...)
+		g := or.Filters[0]
+		g.Or = []query.Filter{{Op: query.OpIsNull}}
+		or.Filters[0] = g
+		variants = append(variants, or)
+	}
+	variants = append(variants, query.Query{Tables: base.Tables})
+	for _, q := range variants {
+		if _, err := est.Estimate(q); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	if s := est.PlanCacheStats(); s.Size != len(variants) {
+		t.Fatalf("cache size = %d, want %d distinct plans", s.Size, len(variants))
+	}
+}
+
+// narrowWideQueries builds the narrow/wide sampling benchmark pair: an
+// equality on the root table's first content column vs its ≠ complement.
+func narrowWideQueries(t testing.TB, d *datagen.Dataset) (narrow, wide query.Query) {
+	t.Helper()
+	tbl := d.Schema.Root()
+	var col string
+	for _, c := range d.ContentCols[tbl] {
+		col = c
+		break
+	}
+	c := d.Schema.Table(tbl).Col(col)
+	if c == nil || c.DictSize() < 4 {
+		t.Fatalf("root table %q has no usable content column", tbl)
+	}
+	v := c.ValueForID(1)
+	narrow = query.Query{Tables: []string{tbl},
+		Filters: []query.Filter{{Table: tbl, Col: col, Op: query.OpEq, Val: v}}}
+	wide = query.Query{Tables: []string{tbl},
+		Filters: []query.Filter{{Table: tbl, Col: col, Op: query.OpNeq, Val: v}}}
+	return narrow, wide
+}
+
+// BenchmarkPlanCompile measures an uncached plan compilation (the miss
+// path): region compilation, fanout-key resolution, and plan assembly.
+func BenchmarkPlanCompile(b *testing.B) {
+	est, qs := cacheTestEstimator(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.compilePlan(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanCacheHit measures the steady-state hit path: canonical key
+// build plus LRU lookup. The allocs/op column must read 0.
+func BenchmarkPlanCacheHit(b *testing.B) {
+	est, qs := cacheTestEstimator(b, 0)
+	st := est.sessions.get(est.psamples(), false)
+	defer est.sessions.put(st)
+	for _, q := range qs {
+		if _, err := est.planFor(st, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.planFor(st, qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSampleConstrained exercises the constrained-draw kernel through
+// single-table estimates: "narrow" is an equality region (direct scan),
+// "wide" a ≠ complement spanning nearly the whole dictionary (CDF path).
+func BenchmarkSampleConstrained(b *testing.B) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 3, Scale: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.PSamples = 128
+	est, err := Build(d.Schema, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	narrow, wide := narrowWideQueries(b, d)
+	for name, q := range map[string]query.Query{"narrow": narrow, "wide": wide} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateIndexed(q, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

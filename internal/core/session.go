@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"neurocard/internal/nn"
@@ -19,6 +20,9 @@ type inferSession interface {
 	Probs(col int) *nn.Mat
 	CompactRows(dst, src int)
 	Shrink(rows int)
+	// Replicate fans a single-row batch out to rows identical rows — the
+	// lazy fan-out point of progressive sampling (see sampleWithSession).
+	Replicate(rows int)
 	// SetSerial selects inline kernel execution for sessions owned by
 	// concurrent batch workers (see DESIGN.md §1.2).
 	SetSerial(on bool)
@@ -93,15 +97,34 @@ func (s *genericSession) CompactRows(dst, src int) {
 
 func (s *genericSession) Shrink(rows int) { s.b = rows }
 
+// Replicate copies the single active row's tokens into rows [1, rows).
+func (s *genericSession) Replicate(rows int) {
+	if s.b != 1 {
+		panic(fmt.Sprintf("core: genericSession.Replicate from %d rows, want 1", s.b))
+	}
+	if rows < 1 || rows > s.cap {
+		panic(fmt.Sprintf("core: genericSession.Replicate %d rows, capacity %d", rows, s.cap))
+	}
+	row0 := s.tokens[0]
+	for r := 1; r < rows; r++ {
+		copy(s.tokens[r], row0)
+	}
+	s.b = rows
+}
+
 // SetSerial is a no-op: generic sources control their own parallelism.
 func (s *genericSession) SetSerial(bool) {}
 
-// inferState bundles a session with the per-row sampling weights and region
-// scratch, pooled together so a whole Estimate call touches no fresh heap.
+// inferState bundles a session with the per-row sampling weights and the
+// sampling scratch — region translation, probability prefix sums, and the
+// plan-cache key — pooled together so a whole Estimate call touches no
+// fresh heap.
 type inferState struct {
 	sess   inferSession
 	w      []float64
 	ranges []query.IDRange // SubRegionAppend scratch, grown on demand
+	cdf    []float64       // per-row probability prefix sums (buildCDF)
+	key    []byte          // canonical query bytes for the plan cache
 }
 
 // sessionPool hands out inferStates sized for a requested row count,

@@ -141,6 +141,17 @@ func ServeLoad(o Options) (*ServeLoadResult, error) {
 	fmt.Fprintf(&b, "%-18s %10d %10.1f %12s %12s %12s\n",
 		fmt.Sprintf("batch-%d", o.ServeBatch), batch.requests, batch.qps, batch.p50, batch.p95, batch.max)
 
+	// The load test round-robins a fixed workload, so after the first pass
+	// every estimate should hit the compiled-plan cache; report the rate so
+	// a keying or eviction regression is visible right in `-exp serve`.
+	if entry, err := srv.Registry().Get(""); err == nil {
+		s := entry.Est.PlanCacheStats()
+		if total := s.Hits + s.Misses; total > 0 {
+			fmt.Fprintf(&b, "plan cache: %d hits / %d misses (%.1f%% hit rate, %d cached)\n",
+				s.Hits, s.Misses, 100*float64(s.Hits)/float64(total), s.Size)
+		}
+	}
+
 	res.Report = b.String()
 	return res, nil
 }

@@ -375,16 +375,26 @@ func (m *Model) embedRowsView(i int) *nn.Mat { return m.embViews[i] }
 // preserved. Cost is EmbedDim×Hidden — independent of the column count,
 // which is what makes InferSession's incremental updates cheap.
 func (m *Model) addEmbProj(dst []float64, c int, id int32, sign float64) {
+	m.addEmbProjFrom(dst, c, id, sign, 0)
+}
+
+// addEmbProjFrom is addEmbProj restricted to hidden units [from, Hidden).
+// Column c's masked inW rows are zero below prefixWidth[c], so callers that
+// pass from = prefixWidth[c] skip the structurally-zero prefix without
+// changing any computed value — the inference session's SetToken path, where
+// late (indicator/fanout) columns touch only a short suffix.
+func (m *Model) addEmbProjFrom(dst []float64, c int, id int32, sign float64, from int) {
 	emb := m.embeds[c].Val.Row(int(id))
 	base := m.offsets[c]
+	sub := dst[from:]
 	for j, ev := range emb {
 		v := ev * sign
 		if v == 0 {
 			continue
 		}
-		wrow := m.inW.Val.Row(base + j)
+		wrow := m.inW.Val.Row(base + j)[from:]
 		for k, wv := range wrow {
-			dst[k] += v * wv
+			sub[k] += v * wv
 		}
 	}
 }

@@ -32,19 +32,39 @@ func (s *sessMat) viewShape(rows, cols int) *nn.Mat {
 	return &s.mat
 }
 
+// copyRow copies row src into row dst at the buffer's fixed column width.
+func (s *sessMat) copyRow(dst, src int) {
+	c := s.mat.Cols
+	copy(s.full[dst*c:(dst+1)*c], s.full[src*c:(src+1)*c])
+}
+
+// copyRowPrefix copies only the leading w entries of row src into row dst —
+// trunk buffers are valid (and read) only on [0, validW), so compaction and
+// replication skip the stale suffix that extendTrunk would overwrite anyway.
+func (s *sessMat) copyRowPrefix(dst, src, w int) {
+	c := s.mat.Cols
+	copy(s.full[dst*c:dst*c+w], s.full[src*c:src*c+w])
+}
+
 // InferSession is a reusable inference context over a Model: it owns every
 // scratch buffer the progressive-sampling hot path needs (token matrix,
 // input-layer preactivation, per-layer trunk activations, head buffers) and
 // keeps the trunk input incrementally up to date, so serving a query — and
 // every query after it — allocates nothing.
 //
-// The key restructuring versus Conditional: the session maintains z0, the
-// input-layer preactivation x·inW + inB, under per-token delta updates
-// (SetToken costs EmbedDim×Hidden per row instead of a full NumCols·
-// EmbedDim×Hidden input matmul), and computes the residual trunk once per
-// sampling step — Probs serves any column's head from the cached trunk top
-// until a token changes. Across an F-column query this turns the input
-// layer's O(F²·E·H) total work into O(F·E·H).
+// Two structural facts make the hot path cheap. First, the session maintains
+// z0, the input-layer preactivation x·inW + inB, under per-token delta
+// updates (SetToken costs EmbedDim×suffix per row instead of a full
+// NumCols·EmbedDim×Hidden input matmul). Second — the sorted-degree
+// invariant — hidden unit u of every layer depends only on units of degree
+// ≤ degrees[u], all inside the contiguous prefix [0, u's degree run). Once
+// every model column < col is final (drawn or permanently wildcard), the
+// leading prefixWidth[col] units of every layer are final too. The session
+// tracks that boundary in validW and extends each layer by only the
+// newly-unmasked column range [validW, prefixWidth[col]) per sampling step,
+// so across a whole query every hidden unit is computed once — a single
+// logical trunk pass amortized over all steps — instead of one full
+// prefix-trunk pass per step.
 //
 // Sessions are not safe for concurrent use; create one per worker. Weight
 // updates (TrainStep) are detected via the model's version counter and the
@@ -58,7 +78,7 @@ type InferSession struct {
 	tokens []int32 // cap × n, row-major; MaskToken marks wildcards
 
 	z0       sessMat   // input-layer preactivation, incrementally maintained
-	h0       sessMat   // relu(z0)
+	h0       sessMat   // relu(z0), maintained on [0, validW)
 	mid, res []sessMat // per residual block: inner activation, block output
 	proj     sessMat   // head scratch: embedding projection
 	logits   sessMat   // head logits / probabilities (cap × maxDom backing)
@@ -66,10 +86,9 @@ type InferSession struct {
 	maskProj *nn.Mat   // n × Hidden: each column's MASK contribution to z0
 	maskZ    []float64 // Hidden: preactivation of the all-MASK row (incl. bias)
 
-	version uint64 // model version maskProj/maskZ were computed at
-	top     *nn.Mat
-	trunkM  int  // hidden-prefix width the cached trunk covers
-	dirty   bool // tokens changed since the trunk was last computed
+	version uint64   // model version maskProj/maskZ were computed at
+	topBuf  *sessMat // trunk output layer (res[last], or h0 with no blocks)
+	validW  int      // layer prefix [0, validW) computed and final for current tokens
 }
 
 // NewInferSession creates a session able to hold up to maxRows sampling rows.
@@ -100,6 +119,11 @@ func (m *Model) NewInferSession(maxRows int) *InferSession {
 		s.mid = append(s.mid, newSessMat(maxRows, h))
 		s.res = append(s.res, newSessMat(maxRows, h))
 	}
+	if m.cfg.Blocks > 0 {
+		s.topBuf = &s.res[m.cfg.Blocks-1]
+	} else {
+		s.topBuf = &s.h0
+	}
 	s.refresh()
 	return s
 }
@@ -112,9 +136,11 @@ func (s *InferSession) refresh() {
 	copy(s.maskZ, m.inB.Val.Row(0))
 	for c := 0; c < m.n; c++ {
 		row := s.maskProj.Row(c)
-		m.addEmbProj(row, c, int32(m.doms[c]), 1) // row doms[c] is the MASK embedding
-		for k, v := range row {
-			s.maskZ[k] += v
+		// Row doms[c] is the MASK embedding; the masked inW block is zero
+		// below prefixWidth[c], so the restricted accumulation is exact.
+		m.addEmbProjFrom(row, c, int32(m.doms[c]), 1, m.prefixWidth[c])
+		for k, v := range row[m.prefixWidth[c]:] {
+			s.maskZ[m.prefixWidth[c]+k] += v
 		}
 	}
 	s.version = m.version
@@ -139,7 +165,8 @@ func (s *InferSession) SetSerial(on bool) {
 func (s *InferSession) Rows() int { return s.b }
 
 // Reset starts a fresh sampling batch of the given row count: every token
-// becomes a wildcard and the preactivation is restored to the all-MASK row.
+// becomes a wildcard, the preactivation is restored to the all-MASK row, and
+// the cached trunk is discarded.
 func (s *InferSession) Reset(rows int) {
 	if rows < 0 || rows > s.cap {
 		panic(fmt.Sprintf("made: InferSession.Reset %d rows, capacity %d", rows, s.cap))
@@ -156,7 +183,7 @@ func (s *InferSession) Reset(rows int) {
 	for r := 0; r < rows; r++ {
 		copy(z.Row(r), s.maskZ)
 	}
-	s.dirty = true
+	s.validW = 0
 }
 
 // TokenRow returns row r's token vector, aliasing session storage. Callers
@@ -167,115 +194,150 @@ func (s *InferSession) TokenRow(r int) []int32 {
 }
 
 // SetToken assigns column col of row r (MaskToken restores the wildcard),
-// updating the input-layer preactivation by the embedding delta.
+// updating the input-layer preactivation by the embedding delta. Column
+// col's masked input rows are zero below prefixWidth[col], so only the z0
+// suffix from there changes — and the cached trunk prefix below it survives.
 func (s *InferSession) SetToken(r, col int, tok int32) {
 	m := s.m
 	old := s.tokens[r*m.n+col]
 	if old == tok {
 		return
 	}
+	from := m.prefixWidth[col]
 	zrow := s.z0.view(s.b).Row(r)
 	if old < 0 {
-		for k, v := range s.maskProj.Row(col) {
-			zrow[k] -= v
+		for k, v := range s.maskProj.Row(col)[from:] {
+			zrow[from+k] -= v
 		}
 	} else {
-		m.addEmbProj(zrow, col, old, -1)
+		m.addEmbProjFrom(zrow, col, old, -1, from)
 	}
 	if tok < 0 {
 		tok = MaskToken
-		for k, v := range s.maskProj.Row(col) {
-			zrow[k] += v
+		for k, v := range s.maskProj.Row(col)[from:] {
+			zrow[from+k] += v
 		}
 	} else {
-		m.addEmbProj(zrow, col, tok, 1)
+		m.addEmbProjFrom(zrow, col, tok, 1, from)
 	}
 	s.tokens[r*m.n+col] = tok
-	s.dirty = true
+	if from < s.validW {
+		s.validW = from
+	}
 }
 
-// CompactRows overwrites row dst with row src (tokens and preactivation),
-// the primitive behind active-row compaction: callers move live rows into
-// slots freed by zero-weight rows, then Shrink.
+// CompactRows overwrites row dst with row src (tokens, preactivation, and
+// cached trunk state), the primitive behind active-row compaction: callers
+// move live rows into slots freed by zero-weight rows, then Shrink. The
+// trunk cache stays valid — compaction permutes rows, never values.
 func (s *InferSession) CompactRows(dst, src int) {
 	if dst == src {
 		return
 	}
 	n := s.m.n
 	copy(s.tokens[dst*n:(dst+1)*n], s.tokens[src*n:(src+1)*n])
-	z := s.z0.view(s.b)
-	copy(z.Row(dst), z.Row(src))
-	s.dirty = true
+	s.z0.copyRow(dst, src)
+	if s.validW > 0 {
+		s.h0.copyRowPrefix(dst, src, s.validW)
+		for bi := range s.mid {
+			s.mid[bi].copyRowPrefix(dst, src, s.validW)
+			s.res[bi].copyRowPrefix(dst, src, s.validW)
+		}
+	}
 }
 
-// Shrink reduces the active row count to rows (rows ≤ current).
+// Shrink reduces the active row count to rows (rows ≤ current). Surviving
+// rows keep their cached trunk state.
 func (s *InferSession) Shrink(rows int) {
 	if rows < 0 || rows > s.b {
 		panic(fmt.Sprintf("made: InferSession.Shrink %d rows, active %d", rows, s.b))
 	}
-	if rows != s.b {
-		s.b = rows
-		s.dirty = true
-	}
+	s.b = rows
 }
 
-// trunk runs the residual MLP over the current preactivation into the
-// session buffers, computing only the leading mW hidden units of every
-// layer — the contiguous "degree ≤ col" prefix the requested head reads.
-// Skipped entries only ever multiply masked-zero weights, so the restricted
-// pass is arithmetically identical to the full one.
-func (s *InferSession) trunk(mW int) {
+// Replicate fans a single-row session out to rows identical rows: tokens,
+// preactivation, and cached trunk state of row 0 are copied into rows
+// [1, rows). Progressive sampling runs one logical row while every sampling
+// row is still bit-identical (deterministic indicator steps and the shared
+// forward pass of the first stochastic column) and replicates only at the
+// first per-row draw.
+func (s *InferSession) Replicate(rows int) {
+	if s.b != 1 {
+		panic(fmt.Sprintf("made: InferSession.Replicate from %d rows, want 1", s.b))
+	}
+	if rows < 1 || rows > s.cap {
+		panic(fmt.Sprintf("made: InferSession.Replicate %d rows, capacity %d", rows, s.cap))
+	}
+	n := s.m.n
+	for r := 1; r < rows; r++ {
+		copy(s.tokens[r*n:(r+1)*n], s.tokens[:n])
+		s.z0.copyRow(r, 0)
+		if s.validW > 0 {
+			s.h0.copyRowPrefix(r, 0, s.validW)
+			for bi := range s.mid {
+				s.mid[bi].copyRowPrefix(r, 0, s.validW)
+				s.res[bi].copyRowPrefix(r, 0, s.validW)
+			}
+		}
+	}
+	s.b = rows
+}
+
+// extendTrunk computes hidden units [lo, hi) of every trunk layer from the
+// current preactivation, leaving [0, lo) untouched (those units are final —
+// see the sorted-degree invariant in the type comment). Unit k of any layer
+// reads only previous-layer units of degree ≤ its own, all below hi, so the
+// range extension is arithmetically identical to a full prefix pass at
+// width hi.
+func (s *InferSession) extendTrunk(lo, hi int) {
 	m, b := s.m, s.b
 	z := s.z0.view(b)
 	h := s.h0.view(b)
-	s.top = h
-	if mW > 0 {
-		for r := 0; r < b; r++ {
-			zrow := z.Row(r)[:mW]
-			hrow := h.Row(r)[:mW]
-			for i, v := range zrow {
-				if v > 0 {
-					hrow[i] = v
-				} else {
-					hrow[i] = 0
-				}
+	for r := 0; r < b; r++ {
+		zrow := z.Row(r)[lo:hi]
+		hrow := h.Row(r)[lo:hi]
+		for i, v := range zrow {
+			if v > 0 {
+				hrow[i] = v
+			} else {
+				hrow[i] = 0
 			}
 		}
-		cur := h
-		for bi, blk := range m.blocks {
-			a := s.mid[bi].view(b)
-			s.pool.MatMulSub(a, cur, blk.w1.Val, mW, mW)
-			nn.AddBiasSub(a, blk.b1.Val.Row(0), mW)
-			for r := 0; r < b; r++ {
-				arow := a.Row(r)[:mW]
-				for i, v := range arow {
-					if v < 0 {
-						arow[i] = 0
-					}
-				}
-			}
-			f := s.res[bi].view(b)
-			s.pool.MatMulSub(f, a, blk.w2.Val, mW, mW)
-			nn.AddBiasSub(f, blk.b2.Val.Row(0), mW)
-			for r := 0; r < b; r++ {
-				frow := f.Row(r)[:mW]
-				crow := cur.Row(r)[:mW]
-				for i := range frow {
-					frow[i] += crow[i]
-				}
-			}
-			cur = f
-		}
-		s.top = cur
 	}
-	s.trunkM = mW
-	s.dirty = false
+	cur := h
+	for bi, blk := range m.blocks {
+		a := s.mid[bi].view(b)
+		s.pool.MatMulCols(a, cur, blk.w1.Val, hi, lo, hi)
+		b1 := blk.b1.Val.Row(0)[lo:hi]
+		for r := 0; r < b; r++ {
+			arow := a.Row(r)[lo:hi]
+			for i, bv := range b1 {
+				v := arow[i] + bv
+				if v < 0 {
+					v = 0
+				}
+				arow[i] = v
+			}
+		}
+		f := s.res[bi].view(b)
+		s.pool.MatMulCols(f, a, blk.w2.Val, hi, lo, hi)
+		b2 := blk.b2.Val.Row(0)[lo:hi]
+		for r := 0; r < b; r++ {
+			frow := f.Row(r)[lo:hi]
+			crow := cur.Row(r)[lo:hi]
+			for i, bv := range b2 {
+				frow[i] = (frow[i] + bv) + crow[i]
+			}
+		}
+		cur = f
+	}
 }
 
 // Probs computes p(X_col = · | current tokens) for every active row,
 // returning a session-owned b × DomainSize(col) matrix of row-normalized
-// probabilities (valid until the next session call). The trunk is reused
-// across consecutive Probs calls when no token changed in between; head
+// probabilities (valid until the next session call). The trunk is extended
+// by only the hidden units newly unmasked since the last computed boundary;
+// consecutive Probs calls with no token changes reuse it entirely. Head
 // masking (degree ≤ col) is the prefix restriction itself, so no separate
 // masked copy of the hidden state is needed.
 func (s *InferSession) Probs(col int) *nn.Mat {
@@ -284,11 +346,13 @@ func (s *InferSession) Probs(col int) *nn.Mat {
 		panic(fmt.Sprintf("made: InferSession.Probs column %d of %d", col, m.n))
 	}
 	mW := m.prefixWidth[col]
-	if s.dirty || s.trunkM < mW {
-		s.trunk(mW)
+	if s.validW < mW {
+		s.extendTrunk(s.validW, mW)
+		s.validW = mW
 	}
+	top := s.topBuf.view(s.b)
 	proj := s.proj.view(s.b)
-	s.pool.MatMulSub(proj, s.top, m.headW[col].Val, mW, m.cfg.EmbedDim)
+	s.pool.MatMulSub(proj, top, m.headW[col].Val, mW, m.cfg.EmbedDim)
 	out := s.logits.viewShape(s.b, m.doms[col])
 	s.pool.MatMulBT(out, proj, m.embedRowsView(col))
 	s.pool.AddBias(out, m.headB[col].Val.Row(0))

@@ -95,6 +95,85 @@ func TestInferSessionMatchesConditional(t *testing.T) {
 	}
 }
 
+// TestInferSessionReplicate: fanning a single row out to n rows must leave
+// the session in exactly the state of an n-row session that was driven to
+// the same tokens row by row — tokens, incremental preactivation, and cached
+// trunk included. The test drives both sessions onward after the fan-out
+// (per-row divergent tokens, compaction) and checks every head against the
+// from-scratch Conditional.
+func TestInferSessionReplicate(t *testing.T) {
+	for ci, doms := range [][]int{
+		{5, 3, 4},
+		{2, 2, 6, 3, 2, 4},
+	} {
+		cfg := DefaultConfig()
+		cfg.Hidden = 24
+		cfg.EmbedDim = 6
+		cfg.Blocks = 2
+		cfg.Seed = int64(ci + 3)
+		m, err := New(cfg, doms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(40 + ci)))
+		s := m.NewInferSession(8)
+		s.Reset(1)
+
+		// Single-row phase: the lazy kernel's deterministic prefix — set a
+		// few leading columns on row 0 with interleaved head reads so the
+		// trunk cache is partially built at fan-out time.
+		split := len(doms) / 2
+		for col := 0; col < split; col++ {
+			assertProbsMatch(t, m, s, col, 1e-9)
+			s.SetToken(0, col, int32(rng.Intn(doms[col])))
+		}
+		s.Replicate(6)
+		if s.Rows() != 6 {
+			t.Fatalf("rows after Replicate = %d, want 6", s.Rows())
+		}
+		row0 := append([]int32(nil), s.TokenRow(0)...)
+		for r := 1; r < 6; r++ {
+			for c, tok := range s.TokenRow(r) {
+				if tok != row0[c] {
+					t.Fatalf("row %d col %d token %d, want replica of %d", r, c, tok, row0[c])
+				}
+			}
+		}
+
+		// Divergent phase: per-row tokens, head reads, and compaction.
+		for col := split; col < len(doms); col++ {
+			assertProbsMatch(t, m, s, col, 1e-9)
+			for r := 0; r < s.Rows(); r++ {
+				s.SetToken(r, col, int32(rng.Intn(doms[col])))
+			}
+			if col == split && s.Rows() > 2 {
+				s.CompactRows(1, s.Rows()-1)
+				s.Shrink(s.Rows() - 1)
+			}
+		}
+		for col := 0; col < len(doms); col++ {
+			assertProbsMatch(t, m, s, col, 1e-9)
+		}
+	}
+}
+
+// TestInferSessionReplicateRequiresSingleRow: replicating a multi-row batch
+// is a kernel bug; the session must refuse.
+func TestInferSessionReplicateRequiresSingleRow(t *testing.T) {
+	m, err := New(Config{EmbedDim: 4, Hidden: 8, Blocks: 1, Seed: 1}, []int{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.NewInferSession(4)
+	s.Reset(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Replicate from a 2-row batch did not panic")
+		}
+	}()
+	s.Replicate(4)
+}
+
 // TestInferSessionRefreshAfterTraining: weight updates invalidate the
 // session's cached MASK projections; the next Reset must refresh them.
 func TestInferSessionRefreshAfterTraining(t *testing.T) {

@@ -198,6 +198,78 @@ func (p *Pool) MatMulSub(dst, a, b *Mat, k, m int) {
 // MatMulSub runs the prefix-restricted product on the default pool.
 func MatMulSub(dst, a, b *Mat, k, m int) { defaultPool.MatMulSub(dst, a, b, k, m) }
 
+func matMulColsChunk(dst, a, b *Mat, k, cl, ch, lo, hi int) {
+	w := ch - cl
+	i := lo
+	// 4-row register blocking (see matMulChunk).
+	for ; i+4 <= hi; i += 4 {
+		a0 := a.Row(i)[:k]
+		a1 := a.Row(i + 1)[:k]
+		a2 := a.Row(i + 2)[:k]
+		a3 := a.Row(i + 3)[:k]
+		d0 := dst.Row(i)[cl:][:w]
+		d1 := dst.Row(i + 1)[cl:][:w]
+		d2 := dst.Row(i + 2)[cl:][:w]
+		d3 := dst.Row(i + 3)[cl:][:w]
+		for j := range d0 {
+			d0[j], d1[j], d2[j], d3[j] = 0, 0, 0, 0
+		}
+		for j, av0 := range a0 {
+			av1, av2, av3 := a1[j], a2[j], a3[j]
+			if av0 == 0 && av1 == 0 && av2 == 0 && av3 == 0 {
+				continue
+			}
+			brow := b.Row(j)[cl:][:w]
+			for c, bv := range brow {
+				d0[c] += av0 * bv
+				d1[c] += av1 * bv
+				d2[c] += av2 * bv
+				d3[c] += av3 * bv
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		arow := a.Row(i)[:k]
+		drow := dst.Row(i)[cl:][:w]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(j)[cl:][:w]
+			for c, bv := range brow {
+				drow[c] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulCols sets the column range [cl, ch) of dst to a[:, :k]·b[:k, cl:ch),
+// leaving every other column of dst untouched. Per output element the
+// accumulation runs over ascending k exactly as MatMulSub, so the computed
+// columns are bit-identical to a full MatMulSub(dst, a, b, k, ch) pass.
+// Inference sessions use it to extend a cached trunk by only the hidden
+// units newly unmasked since the previous sampling step.
+func (p *Pool) MatMulCols(dst, a, b *Mat, k, cl, ch int) {
+	if k > a.Cols || k > b.Rows || cl < 0 || cl > ch || ch > b.Cols || ch > dst.Cols || dst.Rows != a.Rows {
+		panic(fmt.Sprintf("nn: MatMulCols dims %dx%d[:%d] · %dx%d[%d:%d] -> %dx%d",
+			a.Rows, a.Cols, k, b.Rows, b.Cols, cl, ch, dst.Rows, dst.Cols))
+	}
+	if cl == ch {
+		return
+	}
+	if p.inline(a.Rows) {
+		matMulColsChunk(dst, a, b, k, cl, ch, 0, a.Rows)
+		return
+	}
+	p.parallelFor(a.Rows, func(lo, hi int) { matMulColsChunk(dst, a, b, k, cl, ch, lo, hi) })
+}
+
+// MatMulCols runs the column-range product on the default pool.
+func MatMulCols(dst, a, b *Mat, k, cl, ch int) { defaultPool.MatMulCols(dst, a, b, k, cl, ch) }
+
 // AddBiasSub adds bias[:m] to the leading m columns of every row of x.
 func AddBiasSub(x *Mat, bias []float64, m int) {
 	if m > x.Cols || m > len(bias) {

@@ -88,6 +88,54 @@ func TestMatMulBT(t *testing.T) {
 	matsClose(t, got, naiveMul(a, bt), 1e-9, "MatMulBT")
 }
 
+// TestMatMulCols: the column-range product must match MatMulSub on the
+// computed range bit-for-bit and leave every other column untouched.
+func TestMatMulCols(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct{ rows, k, cols, cl, ch int }{
+		{1, 3, 5, 0, 5},
+		{7, 8, 8, 3, 6},
+		{18, 16, 16, 0, 7},
+		{33, 24, 24, 24, 24}, // empty range: no-op
+		{40, 12, 20, 5, 20},
+	} {
+		a := randMat(rng, tc.rows, tc.k)
+		b := randMat(rng, tc.k, tc.cols)
+		want := NewMat(tc.rows, tc.cols)
+		MatMulSub(want, a, b, tc.k, tc.ch)
+		got := NewMat(tc.rows, tc.cols)
+		sentinel := 42.5
+		for i := range got.Data {
+			got.Data[i] = sentinel
+		}
+		MatMulCols(got, a, b, tc.k, tc.cl, tc.ch)
+		for r := 0; r < tc.rows; r++ {
+			for c := 0; c < tc.cols; c++ {
+				g := got.At(r, c)
+				if c < tc.cl || c >= tc.ch {
+					if g != sentinel {
+						t.Fatalf("rows=%d [%d:%d): column %d outside range overwritten", tc.rows, tc.cl, tc.ch, c)
+					}
+					continue
+				}
+				if g != want.At(r, c) {
+					t.Fatalf("rows=%d [%d:%d): element (%d,%d) %v, MatMulSub %v",
+						tc.rows, tc.cl, tc.ch, r, c, g, want.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulColsDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range MatMulCols did not panic")
+		}
+	}()
+	MatMulCols(NewMat(2, 3), NewMat(2, 3), NewMat(3, 3), 3, 2, 4)
+}
+
 func TestMatMulDimsPanic(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,68 @@
+package query
+
+import (
+	"encoding/binary"
+
+	"neurocard/internal/value"
+)
+
+// AppendKey appends a canonical byte encoding of the query to dst and
+// returns the extended slice — the cache key the estimator's compiled-plan
+// cache is built on. The encoding is injective (every field is
+// length-prefixed or tagged, so distinct queries never collide) and
+// deterministic (a pure function of the query's contents). It is not a wire
+// format: semantically equal queries written differently — reordered tables,
+// reordered filters — encode differently and simply occupy separate cache
+// slots.
+//
+// Callers on the hot path pass a reused scratch slice; once grown to the
+// workload's largest query, AppendKey allocates nothing.
+func (q Query) AppendKey(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(len(q.Tables)))
+	for _, t := range q.Tables {
+		dst = appendString(dst, t)
+	}
+	dst = appendUvarint(dst, uint64(len(q.Filters)))
+	for _, f := range q.Filters {
+		dst = f.appendKey(dst)
+	}
+	return dst
+}
+
+// appendKey encodes one filter clause, including its OR alternatives.
+func (f Filter) appendKey(dst []byte) []byte {
+	dst = appendString(dst, f.Table)
+	dst = appendString(dst, f.Col)
+	dst = append(dst, byte(f.Op))
+	dst = appendValue(dst, f.Val)
+	dst = appendValue(dst, f.Hi)
+	dst = appendUvarint(dst, uint64(len(f.Set)))
+	for _, v := range f.Set {
+		dst = appendValue(dst, v)
+	}
+	dst = appendUvarint(dst, uint64(len(f.Or)))
+	for _, alt := range f.Or {
+		dst = alt.appendKey(dst)
+	}
+	return dst
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendValue(dst []byte, v value.Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case value.KindInt:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v.I))
+	case value.KindStr:
+		dst = appendString(dst, v.S)
+	}
+	return dst
+}

@@ -1,0 +1,78 @@
+package query
+
+import (
+	"bytes"
+	"testing"
+
+	"neurocard/internal/value"
+)
+
+// keyQueries enumerates queries that differ in exactly the dimensions the
+// canonical key must distinguish: table sets (including concatenation
+// traps), operators, literals, literal kinds, BETWEEN bounds, IN sets, and
+// OR structure.
+func keyQueries() []Query {
+	f := func(op Op, v value.Value) Filter {
+		return Filter{Table: "t", Col: "c", Op: op, Val: v}
+	}
+	return []Query{
+		{Tables: []string{"ab"}},
+		{Tables: []string{"a", "b"}},
+		{Tables: []string{"b", "a"}},
+		{Tables: []string{"t"}},
+		{Tables: []string{"t"}, Filters: []Filter{f(OpEq, value.Int(1))}},
+		{Tables: []string{"t"}, Filters: []Filter{f(OpEq, value.Int(2))}},
+		{Tables: []string{"t"}, Filters: []Filter{f(OpNeq, value.Int(1))}},
+		{Tables: []string{"t"}, Filters: []Filter{f(OpEq, value.Str("1"))}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpBetween, Val: value.Int(1), Hi: value.Int(5)}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpBetween, Val: value.Int(1), Hi: value.Int(6)}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpIn, Val: value.Value{}, Set: []value.Value{value.Int(1), value.Int(2)}}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpIn, Set: []value.Value{value.Int(1), value.Int(3)}}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpIsNull}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "c", Op: OpIsNotNull}}},
+		{Tables: []string{"t"}, Filters: []Filter{f(OpEq, value.Int(1)), f(OpLt, value.Int(9))}},
+		{Tables: []string{"t"}, Filters: []Filter{{
+			Table: "t", Col: "c", Op: OpEq, Val: value.Int(1),
+			Or: []Filter{{Op: OpIsNull}},
+		}}},
+		{Tables: []string{"t"}, Filters: []Filter{{
+			Table: "t", Col: "c", Op: OpEq, Val: value.Int(1),
+			Or: []Filter{{Op: OpEq, Val: value.Int(7)}},
+		}}},
+		{Tables: []string{"t"}, Filters: []Filter{{Table: "t", Col: "d", Op: OpEq, Val: value.Int(1)}}},
+		{Tables: []string{"u"}, Filters: []Filter{{Table: "u", Col: "c", Op: OpEq, Val: value.Int(1)}}},
+	}
+}
+
+// TestAppendKeyInjective: distinct queries produce distinct keys — a
+// collision would serve one query's compiled plan for another.
+func TestAppendKeyInjective(t *testing.T) {
+	qs := keyQueries()
+	keys := make([][]byte, len(qs))
+	for i, q := range qs {
+		keys[i] = q.AppendKey(nil)
+	}
+	for i := range keys {
+		for j := i + 1; j < len(keys); j++ {
+			if bytes.Equal(keys[i], keys[j]) {
+				t.Fatalf("queries %d and %d share key %x:\n  %s\n  %s", i, j, keys[i], qs[i], qs[j])
+			}
+		}
+	}
+}
+
+// TestAppendKeyDeterministic: the key is a pure function of the query and
+// appends to the caller's scratch without disturbing existing bytes.
+func TestAppendKeyDeterministic(t *testing.T) {
+	for _, q := range keyQueries() {
+		a := q.AppendKey(nil)
+		b := q.AppendKey(make([]byte, 0, 256))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: key depends on scratch capacity", q)
+		}
+		prefixed := q.AppendKey([]byte("prefix"))
+		if !bytes.Equal(prefixed[:6], []byte("prefix")) || !bytes.Equal(prefixed[6:], a) {
+			t.Fatalf("%s: AppendKey disturbed existing scratch bytes", q)
+		}
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"neurocard/internal/core"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds (Prometheus
@@ -76,10 +78,11 @@ func (m *metrics) requestStart() (done func(queries int, err bool)) {
 	}
 }
 
-// poolStat is one model's session-pool occupancy snapshot.
+// poolStat is one model's session-pool occupancy and plan-cache snapshot.
 type poolStat struct {
 	model       string
 	free, inUse int
+	plans       core.PlanCacheStats
 }
 
 // render writes the Prometheus text exposition of every counter. pools
@@ -128,6 +131,30 @@ func (m *metrics) render(pools []poolStat) string {
 	fmt.Fprintf(&b, "# HELP neurocard_sessions_free Idle pooled inference sessions per model.\n# TYPE neurocard_sessions_free gauge\n")
 	for _, p := range pools {
 		fmt.Fprintf(&b, "neurocard_sessions_free{model=%q} %d\n", p.model, p.free)
+	}
+
+	// Compiled-plan cache: hits/misses/evictions are lifetime counters,
+	// size/capacity are point-in-time gauges. A healthy steady-state serving
+	// workload shows hits ≫ misses — repeated query shapes skip planning.
+	planCounter := func(name, help string, get func(core.PlanCacheStats) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, p := range pools {
+			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, p.model, get(p.plans))
+		}
+	}
+	planCounter("neurocard_plan_cache_hits_total", "Estimates served from a cached compiled plan.",
+		func(s core.PlanCacheStats) int64 { return s.Hits })
+	planCounter("neurocard_plan_cache_misses_total", "Estimates that compiled their plan.",
+		func(s core.PlanCacheStats) int64 { return s.Misses })
+	planCounter("neurocard_plan_cache_evictions_total", "Compiled plans evicted by the LRU bound.",
+		func(s core.PlanCacheStats) int64 { return s.Evictions })
+	fmt.Fprintf(&b, "# HELP neurocard_plan_cache_size Compiled plans currently cached per model.\n# TYPE neurocard_plan_cache_size gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_plan_cache_size{model=%q} %d\n", p.model, p.plans.Size)
+	}
+	fmt.Fprintf(&b, "# HELP neurocard_plan_cache_capacity Compiled-plan cache bound per model.\n# TYPE neurocard_plan_cache_capacity gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_plan_cache_capacity{model=%q} %d\n", p.model, p.plans.Cap)
 	}
 	return b.String()
 }

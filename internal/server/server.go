@@ -319,7 +319,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pools := make([]poolStat, 0, len(entries))
 	for _, e := range entries {
 		free, inUse := e.Est.SessionPoolStats()
-		pools = append(pools, poolStat{model: e.Name, free: free, inUse: inUse})
+		pools = append(pools, poolStat{model: e.Name, free: free, inUse: inUse, plans: e.Est.PlanCacheStats()})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(s.metrics.render(pools)))

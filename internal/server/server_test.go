@@ -446,6 +446,12 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 		`neurocard_sessions_free{model="m"}`,
 		`neurocard_sessions_in_use{model="m"} 0`,
 		"neurocard_inflight_requests 0",
+		// Three estimates of one query shape: first compiles, rest hit.
+		`neurocard_plan_cache_hits_total{model="m"} 2`,
+		`neurocard_plan_cache_misses_total{model="m"} 1`,
+		`neurocard_plan_cache_evictions_total{model="m"} 0`,
+		`neurocard_plan_cache_size{model="m"} 1`,
+		`neurocard_plan_cache_capacity{model="m"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
