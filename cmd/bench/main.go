@@ -30,6 +30,8 @@ func realMain() int {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
 	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci,acc")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
+	serveClients := flag.Int("serveclients", 0, "exp serve/ci: concurrent closed-loop load-test clients (0 = option default)")
+	serveRequests := flag.Int("serverequests", 0, "exp serve/ci: single-query requests per load-test phase (0 = option default)")
 	jsonOut := flag.Bool("json", false, "exp ci/acc: write BENCH_<kind>.json result files")
 	outDir := flag.String("out", ".", "exp ci/acc: directory for -json result files")
 	gateDir := flag.String("gate", "", "exp ci/acc: baseline directory; fail on regression beyond -maxregress")
@@ -75,6 +77,12 @@ func realMain() int {
 	}
 	if *evalWorkers > 0 {
 		o.EvalWorkers = *evalWorkers
+	}
+	if *serveClients > 0 {
+		o.ServeClients = *serveClients
+	}
+	if *serveRequests > 0 {
+		o.ServeRequests = *serveRequests
 	}
 
 	want := map[string]bool{}

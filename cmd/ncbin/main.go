@@ -1,0 +1,86 @@
+// Command ncbin is a client for neurocardd's binary wire protocol. It reads
+// the same JSON estimate-request document that POST /v1/estimate accepts on
+// stdin, re-encodes it as a binary frame (Content-Type
+// application/x-neurocard-bin), and prints the server's answer as the
+// equivalent JSON response — so the two protocols can be diffed with nothing
+// but a shell:
+//
+//	echo '{"query":{"tables":["title"]},"seed":42}' | ncbin -addr http://localhost:8642
+//
+// A seeded request must print the identical estimate through ncbin and
+// through curl; the CI smoke test relies on exactly that.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"neurocard/internal/query"
+	"neurocard/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ncbin: ")
+	addr := flag.String("addr", "http://localhost:8642", "server base URL")
+	flag.Parse()
+
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	var req server.EstimateRequest
+	if err := dec.Decode(&req); err != nil {
+		log.Fatalf("decode request: %v", err)
+	}
+	single := req.Query != nil
+	if single == (len(req.Queries) > 0) {
+		log.Fatal("exactly one of \"query\" or \"queries\" must be set")
+	}
+	qjs := req.Queries
+	if single {
+		qjs = []server.QueryJSON{*req.Query}
+	}
+	queries := make([]query.Query, len(qjs))
+	for i := range qjs {
+		q, err := server.DecodeQuery(qjs[i])
+		if err != nil {
+			log.Fatalf("query %d: %v", i, err)
+		}
+		queries[i] = q
+	}
+
+	frame := server.AppendBinRequest(nil, req.Model, req.Seed, queries)
+	resp, err := http.Post(*addr+"/v1/estimate", server.ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "ncbin: status %d: %s\n", resp.StatusCode, body)
+		os.Exit(1)
+	}
+	br, err := server.DecodeBinResponse(body)
+	if err != nil {
+		log.Fatalf("decode response: %v", err)
+	}
+
+	out := server.EstimateResponse{Model: br.Model, Count: len(br.Ests), Errors: br.Errs}
+	if single && len(br.Ests) == 1 {
+		out.Est = &br.Ests[0]
+	} else {
+		out.Ests = br.Ests
+	}
+	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(out); err != nil {
+		log.Fatal(err)
+	}
+}

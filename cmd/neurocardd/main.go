@@ -7,12 +7,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/estimate            single or batch estimates, optionally seeded
+//	POST /v1/estimate            single or batch estimates, optionally seeded;
+//	                             Content-Type application/x-neurocard-bin
+//	                             selects the compact binary wire protocol
 //	GET  /v1/models              loaded models and their metadata
 //	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap
 //	GET  /healthz                liveness + readiness
-//	GET  /metrics                Prometheus text: latency histogram, q/s,
-//	                             session-pool occupancy
+//	GET  /metrics                Prometheus text: latency histogram + quantile
+//	                             summary, SLO gauges, coalescer batch/queue/
+//	                             window histograms, session-pool occupancy
+//
+// Concurrent single-query requests are coalesced per model: up to
+// -fuse-batch of them fuse into one batched run over the pooled sessions,
+// collected over an adaptive -fuse-window that decays to zero when idle.
+// Each fused query keeps its own randomness stream, so coalescing never
+// changes any result. A full -fuse-queue answers 429 + Retry-After.
 //
 // Example round trip:
 //
@@ -44,6 +53,11 @@ func main() {
 	load := flag.String("load", "", "comma-separated model names to load at startup (first becomes default)")
 	workers := flag.Int("workers", 0, "batch estimate concurrency (0 = GOMAXPROCS)")
 	maxBatch := flag.Int("maxbatch", 1024, "maximum queries per estimate request")
+	fuseBatch := flag.Int("fuse-batch", 0, "max single-query requests fused per coalesced flush (0 = default 64)")
+	fuseWindow := flag.Duration("fuse-window", 0, "max latency budget the coalescer holds a batch open; adaptive, decays when idle (0 = default 1.5ms, negative disables the window)")
+	fuseQueue := flag.Int("fuse-queue", 0, "pending coalesced requests per model before 429 backpressure (0 = default 1024)")
+	noCoalesce := flag.Bool("no-coalesce", false, "serve single-query requests inline instead of coalescing them")
+	sloP99 := flag.Duration("slo-p99", 0, "p99 request-latency SLO target exported on /metrics (0 = default 25ms)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060); empty disables")
 	flag.Parse()
 
@@ -66,10 +80,16 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		ModelsDir: *modelsDir,
-		Workers:   *workers,
-		MaxBatch:  *maxBatch,
+		ModelsDir:     *modelsDir,
+		Workers:       *workers,
+		MaxBatch:      *maxBatch,
+		FuseMaxBatch:  *fuseBatch,
+		FuseWindow:    *fuseWindow,
+		FuseQueue:     *fuseQueue,
+		NoCoalesce:    *noCoalesce,
+		SLOLatencyP99: *sloP99,
 	})
+	defer srv.Close()
 	if *load != "" {
 		for i, name := range strings.Split(*load, ",") {
 			name = strings.TrimSpace(name)

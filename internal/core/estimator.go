@@ -457,14 +457,49 @@ func (e *Estimator) EstimateBatch(queries []query.Query, workers int) ([]float64
 // randomness derives from (seed, i) instead of (config seed, i). The serving
 // API uses it to give clients reproducible batch estimates on demand.
 func (e *Estimator) EstimateBatchSeeded(queries []query.Query, workers int, seed int64) ([]float64, error) {
+	items := make([]BatchItem, len(queries))
+	for i, q := range queries {
+		items[i] = BatchItem{Query: q, Seed: seed, Idx: int64(i)}
+	}
+	ests, errs := e.EstimateItems(items, workers)
+	for _, err := range errs {
+		if err != nil {
+			return ests, err
+		}
+	}
+	return ests, nil
+}
+
+// BatchItem is one query of a fused batch that carries its own randomness
+// source, so queries from independent callers can share a batch run without
+// their results depending on who else is in the batch. A seeded serving
+// request that would run alone as EstimateSeededIndexed(q, seed, 0) fuses as
+// {Query: q, Seed: seed, Idx: 0} and produces the identical estimate.
+type BatchItem struct {
+	Query query.Query
+	Seed  int64 // base seed; ignored when Auto
+	Idx   int64 // RNG stream index under Seed; ignored when Auto
+	// Auto draws (config seed, next atomic query index) at execution time —
+	// the unseeded Estimate() semantics for callers that want a fresh
+	// independent sample per call.
+	Auto bool
+}
+
+// EstimateItems estimates every item on up to `workers` pooled sessions
+// (≤ 0 means GOMAXPROCS) and returns estimates and errors aligned with
+// items: one bad query fails positionally instead of poisoning the batch.
+// Item randomness comes from each item's own (Seed, Idx) pair, so results
+// are independent of batch composition, worker count, and scheduling — the
+// property the serving daemon's cross-request coalescer is built on.
+func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > len(items) {
+		workers = len(items)
 	}
-	ests := make([]float64, len(queries))
-	errs := make([]error, len(queries))
+	ests := make([]float64, len(items))
+	errs := make([]error, len(items))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -477,20 +512,20 @@ func (e *Estimator) EstimateBatchSeeded(queries []query.Query, workers int, seed
 			defer e.sessions.put(st)
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(queries) {
+				if i >= len(items) {
 					return
 				}
-				ests[i], errs[i] = e.estimateSeeded(st, queries[i], seed, int64(i))
+				it := &items[i]
+				seed, idx := it.Seed, it.Idx
+				if it.Auto {
+					seed, idx = e.cfg.Seed, e.qcount.Add(1)
+				}
+				ests[i], errs[i] = e.estimateSeeded(st, it.Query, seed, idx)
 			}
 		}()
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return ests, err
-		}
-	}
-	return ests, nil
+	return ests, errs
 }
 
 // EstimateSeededIndexed runs one estimate whose randomness derives from the

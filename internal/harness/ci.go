@@ -71,6 +71,7 @@ func CIServingBench(o Options) (*BenchResult, error) {
 	}
 	metrics := map[string]float64{
 		"qps_single": res.SingleQPS,
+		"qps_binary": res.BinaryQPS,
 		"qps_batch":  res.BatchQPS,
 	}
 	return &BenchResult{

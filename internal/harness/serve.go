@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -17,6 +18,7 @@ import (
 
 	"neurocard/internal/core"
 	"neurocard/internal/datagen"
+	"neurocard/internal/query"
 	"neurocard/internal/server"
 	"neurocard/internal/workload"
 )
@@ -24,8 +26,9 @@ import (
 // ServeLoadResult carries the measured serving numbers for the benchmark
 // gate, alongside the formatted report.
 type ServeLoadResult struct {
-	SingleQPS float64 // queries/sec, closed loop, batch size 1
-	BatchQPS  float64 // queries/sec, closed loop, batched requests
+	SingleQPS float64 // queries/sec, closed loop, batch size 1, JSON
+	BinaryQPS float64 // queries/sec, closed loop, batch size 1, binary wire
+	BatchQPS  float64 // queries/sec, closed loop, batched requests, JSON
 	Report    string
 }
 
@@ -73,6 +76,7 @@ func ServeLoad(o Options) (*ServeLoadResult, error) {
 	}
 
 	srv := server.New(server.Config{ModelsDir: dir, Workers: o.EvalWorkers})
+	defer srv.Close()
 	if _, err := srv.Registry().Load("joblight", ckpt); err != nil {
 		return nil, err
 	}
@@ -90,8 +94,15 @@ func ServeLoad(o Options) (*ServeLoadResult, error) {
 		}
 	}
 
+	queries := make([]query.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		queries[i] = lq.Query
+	}
+
 	// Wire-level equivalence check: served seeded estimates must equal the
-	// original estimator's to 1e-9.
+	// original estimator's to 1e-9, and the binary protocol must agree with
+	// JSON bit-for-bit (the coalescer fuses both, so this also certifies
+	// that coalescing does not perturb results).
 	client := ts.Client()
 	nCheck := 8
 	if nCheck > len(wire) {
@@ -112,34 +123,57 @@ func ServeLoad(o Options) (*ServeLoadResult, error) {
 		if math.Abs(got-want) > 1e-9*math.Max(1, math.Abs(want)) {
 			return nil, fmt.Errorf("serve-load equivalence query %d: served %.17g, in-process %.17g", i, got, want)
 		}
+		frame := server.AppendBinRequest(nil, "", &seed, queries[i:i+1])
+		bgot, err := postBinEstimate(client, ts.URL, frame)
+		if err != nil {
+			return nil, fmt.Errorf("serve-load binary equivalence query %d: %w", i, err)
+		}
+		if bgot != got {
+			return nil, fmt.Errorf("serve-load binary equivalence query %d: binary %.17g, json %.17g", i, bgot, got)
+		}
 	}
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "Serving load test (closed loop, %d clients, JOB-light scale %g)\n",
 		o.ServeClients, o.DataScale)
-	fmt.Fprintf(&b, "%-18s %10s %10s %12s %12s %12s\n",
-		"mode", "requests", "q/s", "p50", "p95", "max")
+	fmt.Fprintf(&b, "%-18s %10s %10s %12s %12s %12s %12s\n",
+		"mode", "requests", "q/s", "p50", "p95", "p99", "max")
+	row := func(mode string, s *loadStats) {
+		fmt.Fprintf(&b, "%-18s %10d %10.1f %12s %12s %12s %12s\n",
+			mode, s.requests, s.qps, s.p50, s.p95, s.p99, s.max)
+	}
 
 	res := &ServeLoadResult{}
-	single, err := closedLoop(client, ts.URL, wire, 1, o.ServeClients, o.ServeRequests)
+	single, err := closedLoop(client, ts.URL, wire, queries, protoJSON, 1, o.ServeClients, o.ServeRequests)
 	if err != nil {
 		return nil, err
 	}
 	res.SingleQPS = single.qps
-	fmt.Fprintf(&b, "%-18s %10d %10.1f %12s %12s %12s\n",
-		"single", single.requests, single.qps, single.p50, single.p95, single.max)
+	row("single", single)
+
+	binSingle, err := closedLoop(client, ts.URL, wire, queries, protoBinary, 1, o.ServeClients, o.ServeRequests)
+	if err != nil {
+		return nil, err
+	}
+	res.BinaryQPS = binSingle.qps
+	row("single-bin", binSingle)
 
 	batchReqs := o.ServeRequests / o.ServeBatch
 	if batchReqs < o.ServeClients {
 		batchReqs = o.ServeClients
 	}
-	batch, err := closedLoop(client, ts.URL, wire, o.ServeBatch, o.ServeClients, batchReqs)
+	batch, err := closedLoop(client, ts.URL, wire, queries, protoJSON, o.ServeBatch, o.ServeClients, batchReqs)
 	if err != nil {
 		return nil, err
 	}
 	res.BatchQPS = batch.qps
-	fmt.Fprintf(&b, "%-18s %10d %10.1f %12s %12s %12s\n",
-		fmt.Sprintf("batch-%d", o.ServeBatch), batch.requests, batch.qps, batch.p50, batch.p95, batch.max)
+	row(fmt.Sprintf("batch-%d", o.ServeBatch), batch)
+
+	binBatch, err := closedLoop(client, ts.URL, wire, queries, protoBinary, o.ServeBatch, o.ServeClients, batchReqs)
+	if err != nil {
+		return nil, err
+	}
+	row(fmt.Sprintf("batch-%d-bin", o.ServeBatch), binBatch)
 
 	// The load test round-robins a fixed workload, so after the first pass
 	// every estimate should hit the compiled-plan cache; report the rate so
@@ -158,16 +192,26 @@ func ServeLoad(o Options) (*ServeLoadResult, error) {
 
 // loadStats aggregates one closed-loop phase.
 type loadStats struct {
-	requests      int
-	qps           float64
-	p50, p95, max time.Duration
+	requests           int
+	qps                float64
+	p50, p95, p99, max time.Duration
 }
 
+// wireProto selects the request encoding a closed-loop phase drives.
+type wireProto int
+
+const (
+	protoJSON wireProto = iota
+	protoBinary
+)
+
 // closedLoop drives `clients` concurrent workers, each POSTing its next
-// request (batchSize queries round-robin from wire) as soon as the previous
-// response arrives, until `requests` total requests have been issued.
-// Request latencies are client-observed wall times.
-func closedLoop(client *http.Client, baseURL string, wire []server.QueryJSON, batchSize, clients, requests int) (*loadStats, error) {
+// request (batchSize queries round-robin from the workload) as soon as the
+// previous response arrives, until `requests` total requests have been
+// issued. Request latencies are client-observed wall times. Binary workers
+// reuse one frame buffer across requests, so the client side of the binary
+// phase allocates nothing per request beyond the HTTP machinery.
+func closedLoop(client *http.Client, baseURL string, wire []server.QueryJSON, queries []query.Query, proto wireProto, batchSize, clients, requests int) (*loadStats, error) {
 	if clients < 1 {
 		clients = 1
 	}
@@ -180,22 +224,34 @@ func closedLoop(client *http.Client, baseURL string, wire []server.QueryJSON, ba
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			var frame []byte
+			qs := make([]query.Query, batchSize)
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= requests {
 					return
 				}
-				var req server.EstimateRequest
-				if batchSize == 1 {
-					req.Query = &wire[i%len(wire)]
-				} else {
-					req.Queries = make([]server.QueryJSON, batchSize)
-					for j := 0; j < batchSize; j++ {
-						req.Queries[j] = wire[(i*batchSize+j)%len(wire)]
-					}
-				}
+				var err error
 				t0 := time.Now()
-				if _, err := postEstimate(client, baseURL, req); err != nil {
+				if proto == protoBinary {
+					for j := 0; j < batchSize; j++ {
+						qs[j] = queries[(i*batchSize+j)%len(queries)]
+					}
+					frame = server.AppendBinRequest(frame[:0], "", nil, qs)
+					_, err = postBinEstimate(client, baseURL, frame)
+				} else {
+					var req server.EstimateRequest
+					if batchSize == 1 {
+						req.Query = &wire[i%len(wire)]
+					} else {
+						req.Queries = make([]server.QueryJSON, batchSize)
+						for j := 0; j < batchSize; j++ {
+							req.Queries[j] = wire[(i*batchSize+j)%len(wire)]
+						}
+					}
+					_, err = postEstimate(client, baseURL, req)
+				}
+				if err != nil {
 					errs[c] = fmt.Errorf("request %d: %w", i, err)
 					return
 				}
@@ -217,8 +273,43 @@ func closedLoop(client *http.Client, baseURL string, wire []server.QueryJSON, ba
 		qps:      float64(requests*batchSize) / elapsed.Seconds(),
 		p50:      sorted[len(sorted)/2],
 		p95:      sorted[len(sorted)*95/100],
+		p99:      sorted[len(sorted)*99/100],
 		max:      sorted[len(sorted)-1],
 	}, nil
+}
+
+// postBinEstimate issues one binary-protocol estimate request and returns
+// the first estimate.
+func postBinEstimate(client *http.Client, baseURL string, frame []byte) (float64, error) {
+	resp, err := client.Post(baseURL+"/v1/estimate", server.ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er struct {
+			Error string `json:"error"`
+		}
+		_ = json.Unmarshal(body, &er)
+		return 0, fmt.Errorf("status %d: %s", resp.StatusCode, er.Error)
+	}
+	br, err := server.DecodeBinResponse(body)
+	if err != nil {
+		return 0, err
+	}
+	if len(br.Ests) == 0 {
+		return 0, fmt.Errorf("empty binary estimate response")
+	}
+	for i, e := range br.Errs {
+		if e != "" {
+			return 0, fmt.Errorf("query %d: %s", i, e)
+		}
+	}
+	return br.Ests[0], nil
 }
 
 // postEstimate issues one estimate request and returns the first estimate.

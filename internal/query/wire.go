@@ -1,0 +1,168 @@
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"neurocard/internal/value"
+)
+
+// Decode limits: a hostile frame must not be able to reserve unbounded
+// memory before validation rejects it. Real queries sit far below all three.
+const (
+	maxKeyTables  = 1 << 12 // tables per query
+	maxKeyFilters = 1 << 14 // filters per query / alternatives per group / set elements
+	maxKeyString  = 1 << 20 // bytes per table, column, or string literal
+)
+
+// ErrKeyTruncated reports a key that ended mid-field — the caller's buffer
+// holds a prefix of an encoding, not an encoding.
+var ErrKeyTruncated = errors.New("query: truncated key encoding")
+
+// DecodeKey parses one query from the canonical AppendKey byte encoding and
+// returns it together with the unconsumed remainder of b. DecodeKey is the
+// exact inverse of AppendKey — q.AppendKey(nil) round-trips through
+// DecodeKey to an equal query — which is what lets the serving daemon's
+// binary wire protocol reuse the plan-cache key encoding as its query
+// format: one encoder on the client, and decoded queries hit the plan cache
+// with the very bytes they arrived in.
+//
+// Unlike AppendKey (whose inputs are trusted in-process queries), DecodeKey
+// validates as it reads: op bytes and value kinds must be in range, and
+// counts and lengths are bounded so a hostile frame cannot reserve
+// unbounded memory. Structural validation beyond that (tables connected,
+// columns exist, OR groups on one column) stays with the query compiler,
+// exactly as on the JSON path.
+func DecodeKey(b []byte) (Query, []byte, error) {
+	var q Query
+	nTables, b, err := readCount(b, maxKeyTables, "tables")
+	if err != nil {
+		return Query{}, nil, err
+	}
+	if nTables > 0 {
+		q.Tables = make([]string, nTables)
+		for i := range q.Tables {
+			if q.Tables[i], b, err = readString(b); err != nil {
+				return Query{}, nil, err
+			}
+		}
+	}
+	nFilters, b, err := readCount(b, maxKeyFilters, "filters")
+	if err != nil {
+		return Query{}, nil, err
+	}
+	if nFilters > 0 {
+		q.Filters = make([]Filter, nFilters)
+		for i := range q.Filters {
+			if q.Filters[i], b, err = decodeFilterKey(b, true); err != nil {
+				return Query{}, nil, err
+			}
+		}
+	}
+	return q, b, nil
+}
+
+// decodeFilterKey parses one filter clause; allowOr guards nesting depth the
+// same way the JSON decoder does (alternatives cannot carry alternatives).
+func decodeFilterKey(b []byte, allowOr bool) (Filter, []byte, error) {
+	var f Filter
+	var err error
+	if f.Table, b, err = readString(b); err != nil {
+		return Filter{}, nil, err
+	}
+	if f.Col, b, err = readString(b); err != nil {
+		return Filter{}, nil, err
+	}
+	if len(b) == 0 {
+		return Filter{}, nil, ErrKeyTruncated
+	}
+	op := Op(b[0])
+	b = b[1:]
+	if op > OpIsNotNull {
+		return Filter{}, nil, fmt.Errorf("query: invalid op byte %d in key encoding", uint8(op))
+	}
+	f.Op = op
+	if f.Val, b, err = readValue(b); err != nil {
+		return Filter{}, nil, err
+	}
+	if f.Hi, b, err = readValue(b); err != nil {
+		return Filter{}, nil, err
+	}
+	nSet, b, err := readCount(b, maxKeyFilters, "set elements")
+	if err != nil {
+		return Filter{}, nil, err
+	}
+	if nSet > 0 {
+		f.Set = make([]value.Value, nSet)
+		for i := range f.Set {
+			if f.Set[i], b, err = readValue(b); err != nil {
+				return Filter{}, nil, err
+			}
+		}
+	}
+	nOr, b, err := readCount(b, maxKeyFilters, "or alternatives")
+	if err != nil {
+		return Filter{}, nil, err
+	}
+	if nOr > 0 {
+		if !allowOr {
+			return Filter{}, nil, fmt.Errorf("query: nested OR group in key encoding")
+		}
+		f.Or = make([]Filter, nOr)
+		for i := range f.Or {
+			if f.Or[i], b, err = decodeFilterKey(b, false); err != nil {
+				return Filter{}, nil, err
+			}
+		}
+	}
+	return f, b, nil
+}
+
+// readCount reads a uvarint bounded by limit.
+func readCount(b []byte, limit uint64, what string) (int, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, ErrKeyTruncated
+	}
+	if v > limit {
+		return 0, nil, fmt.Errorf("query: %d %s in key encoding exceeds limit %d", v, what, limit)
+	}
+	return int(v), b[n:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, b, err := readCount(b, maxKeyString, "string bytes")
+	if err != nil {
+		return "", nil, err
+	}
+	if len(b) < n {
+		return "", nil, ErrKeyTruncated
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func readValue(b []byte) (value.Value, []byte, error) {
+	if len(b) == 0 {
+		return value.Value{}, nil, ErrKeyTruncated
+	}
+	k := value.Kind(b[0])
+	b = b[1:]
+	switch k {
+	case value.KindNull:
+		return value.Value{}, b, nil
+	case value.KindInt:
+		if len(b) < 8 {
+			return value.Value{}, nil, ErrKeyTruncated
+		}
+		return value.Int(int64(binary.LittleEndian.Uint64(b))), b[8:], nil
+	case value.KindStr:
+		s, b, err := readString(b)
+		if err != nil {
+			return value.Value{}, nil, err
+		}
+		return value.Str(s), b, nil
+	default:
+		return value.Value{}, nil, fmt.Errorf("query: invalid value kind %d in key encoding", uint8(k))
+	}
+}

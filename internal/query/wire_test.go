@@ -1,0 +1,118 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"neurocard/internal/value"
+)
+
+// TestDecodeKeyRoundTrip: DecodeKey is the exact inverse of AppendKey over
+// the same query corpus the injectivity test uses — decode(encode(q))
+// re-encodes to the identical bytes and stringifies to the identical query.
+func TestDecodeKeyRoundTrip(t *testing.T) {
+	for i, q := range keyQueries() {
+		key := q.AppendKey(nil)
+		dec, rest, err := DecodeKey(key)
+		if err != nil {
+			t.Fatalf("query %d (%s): %v", i, q, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("query %d: %d bytes left over", i, len(rest))
+		}
+		if got := dec.AppendKey(nil); !bytes.Equal(got, key) {
+			t.Fatalf("query %d: re-encode differs\n  want %x\n  got  %x", i, key, got)
+		}
+		if dec.String() != q.String() {
+			t.Fatalf("query %d: decoded %s, want %s", i, dec, q)
+		}
+	}
+}
+
+// TestDecodeKeyConsecutive: multiple encodings concatenated in one buffer
+// decode back in sequence — the binary wire protocol's framing.
+func TestDecodeKeyConsecutive(t *testing.T) {
+	qs := keyQueries()
+	var buf []byte
+	for _, q := range qs {
+		buf = q.AppendKey(buf)
+	}
+	rest := buf
+	for i, q := range qs {
+		var dec Query
+		var err error
+		dec, rest, err = DecodeKey(rest)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if dec.String() != q.String() {
+			t.Fatalf("query %d: decoded %s, want %s", i, dec, q)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d bytes left over", len(rest))
+	}
+}
+
+// TestDecodeKeyTruncation: every strict prefix of a valid encoding fails
+// cleanly (no panic, no bogus success).
+func TestDecodeKeyTruncation(t *testing.T) {
+	q := Query{
+		Tables: []string{"A", "B"},
+		Filters: []Filter{
+			{Table: "A", Col: "year", Op: OpBetween, Val: value.Int(1990), Hi: value.Int(2000)},
+			{Table: "B", Col: "y", Op: OpIn, Set: []value.Value{value.Int(1), value.Str("two")},
+				Or: []Filter{{Table: "B", Col: "y", Op: OpIsNull}}},
+		},
+	}
+	key := q.AppendKey(nil)
+	for n := 0; n < len(key); n++ {
+		dec, rest, err := DecodeKey(key[:n])
+		if err == nil && len(rest) == 0 {
+			// A prefix may parse as a complete smaller query only if it
+			// re-encodes to exactly those bytes — anything else is corruption
+			// slipping through.
+			if !bytes.Equal(dec.AppendKey(nil), key[:n]) {
+				t.Fatalf("prefix %d/%d decoded to non-canonical %s", n, len(key), dec)
+			}
+		}
+	}
+	if _, _, err := DecodeKey(nil); !errors.Is(err, ErrKeyTruncated) {
+		t.Fatalf("empty buffer: %v, want ErrKeyTruncated", err)
+	}
+}
+
+// TestDecodeKeyRejectsCorruption: out-of-range op bytes, value kinds, and
+// oversized counts are rejected with descriptive errors.
+func TestDecodeKeyRejectsCorruption(t *testing.T) {
+	// Direct construction: tables=0, filters=1, then a filter with op 0xEE.
+	bad := []byte{0 /* nTables */, 1 /* nFilters */, 1, 't', 1, 'c', 0xEE}
+	if _, _, err := DecodeKey(bad); err == nil || !strings.Contains(err.Error(), "invalid op byte") {
+		t.Fatalf("corrupt op byte: %v", err)
+	}
+
+	// Invalid value kind byte.
+	bad = []byte{0, 1, 1, 't', 1, 'c', byte(OpEq), 0xEE}
+	if _, _, err := DecodeKey(bad); err == nil || !strings.Contains(err.Error(), "invalid value kind") {
+		t.Fatalf("corrupt value kind: %v", err)
+	}
+
+	// A count beyond the decode limit must be rejected before allocation.
+	bad = []byte{0xFF, 0xFF, 0xFF, 0x7F} // uvarint ≫ maxKeyTables
+	if _, _, err := DecodeKey(bad); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized table count: %v", err)
+	}
+
+	// Nested OR groups cannot appear in well-formed keys; a handcrafted one
+	// must be rejected.
+	inner := Filter{Table: "t", Col: "c", Op: OpEq, Val: value.Int(1),
+		Or: []Filter{{Table: "t", Col: "c", Op: OpIsNull}}}
+	outer := Query{Tables: []string{"t"},
+		Filters: []Filter{{Table: "t", Col: "c", Op: OpEq, Val: value.Int(2), Or: []Filter{inner}}}}
+	nested := outer.AppendKey(nil)
+	if _, _, err := DecodeKey(nested); err == nil || !strings.Contains(err.Error(), "nested OR") {
+		t.Fatalf("nested OR: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -10,49 +11,125 @@ import (
 	"neurocard/internal/core"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds (Prometheus
-// cumulative-bucket convention; +Inf is implicit).
+// latencyBuckets are the request-latency histogram upper bounds in seconds
+// (Prometheus cumulative-bucket convention; +Inf is implicit).
 var latencyBuckets = []float64{
 	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// histogram is a fixed-bucket latency histogram with atomic counters, safe
-// for concurrent observation without locks.
+// fusedBatchBuckets bound the coalescer's fused-batch-size histogram.
+var fusedBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// queueDepthBuckets bound the coalescer's queue-depth-at-flush histogram.
+var queueDepthBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// windowBuckets bound the adaptive-window histogram in seconds.
+var windowBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.002, 0.005, 0.01}
+
+// histogram is a fixed-bucket histogram with atomic counters, safe for
+// concurrent observation without locks.
 type histogram struct {
+	bounds  []float64
 	counts  []atomic.Int64 // one per bucket, non-cumulative; last = +Inf
-	sumNs   atomic.Int64
+	sumBits atomic.Uint64  // float64 bits of the running sum
 	samples atomic.Int64
 }
 
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 }
 
-func (h *histogram) observe(d time.Duration) {
-	sec := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, sec)
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
-	h.sumNs.Add(int64(d))
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
 	h.samples.Add(1)
+}
+
+func (h *histogram) observeDuration(d time.Duration) { h.observe(d.Seconds()) }
+
+func (h *histogram) sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// quantile estimates the q-quantile (0 < q < 1) from the bucket counts with
+// linear interpolation inside the winning bucket — the standard
+// histogram_quantile approximation. Returns 0 with no samples; observations
+// beyond the last finite bound report that bound.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.samples.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		c := h.counts[i].Load()
+		if float64(cum)+float64(c) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if c == 0 {
+				return ub
+			}
+			return lo + (ub-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// renderHistogram writes one histogram in Prometheus text exposition.
+func renderHistogram(b *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, ub, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum())
+	fmt.Fprintf(b, "%s_count %d\n", name, h.samples.Load())
 }
 
 // metrics aggregates the serving counters exposed on /metrics.
 type metrics struct {
 	start time.Time
 
+	sloP99 time.Duration // p99 latency SLO target (Config.SLOLatencyP99)
+
 	reqLatency *histogram // per-request wall time (estimate endpoint)
+
+	// Coalescer instruments, observed once per fused flush.
+	fusedBatchSize     *histogram
+	coalesceQueueDepth *histogram
+	coalesceWindow     *histogram
+	coalesceRejected   atomic.Int64 // admission-control 429s
 
 	queriesTotal  atomic.Int64 // individual query estimates served
 	requestsTotal atomic.Int64 // estimate HTTP requests served
 	errorsTotal   atomic.Int64 // estimate requests answered with an error
 	loadsTotal    atomic.Int64 // model (re)loads
+	binaryTotal   atomic.Int64 // estimate requests on the binary protocol
 
 	inflight     atomic.Int64 // estimate requests currently executing
 	inflightPeak atomic.Int64
 }
 
-func newMetrics() *metrics {
-	return &metrics{start: time.Now(), reqLatency: newHistogram()}
+func newMetrics(sloP99 time.Duration) *metrics {
+	return &metrics{
+		start:              time.Now(),
+		sloP99:             sloP99,
+		reqLatency:         newHistogram(latencyBuckets),
+		fusedBatchSize:     newHistogram(fusedBatchBuckets),
+		coalesceQueueDepth: newHistogram(queueDepthBuckets),
+		coalesceWindow:     newHistogram(windowBuckets),
+	}
 }
 
 // requestStart tracks an in-flight estimate request; call the returned
@@ -74,7 +151,7 @@ func (m *metrics) requestStart() (done func(queries int, err bool)) {
 			return
 		}
 		m.queriesTotal.Add(int64(queries))
-		m.reqLatency.observe(time.Since(start))
+		m.reqLatency.observeDuration(time.Since(start))
 	}
 }
 
@@ -86,23 +163,36 @@ type poolStat struct {
 }
 
 // render writes the Prometheus text exposition of every counter. pools
-// carries the per-model session-pool occupancy sampled at scrape time.
-func (m *metrics) render(pools []poolStat) string {
+// carries the per-model session-pool occupancy and fusers the per-model
+// coalescer state, both sampled at scrape time.
+func (m *metrics) render(pools []poolStat, fusers []CoalesceStats) string {
 	var b strings.Builder
 	uptime := time.Since(m.start).Seconds()
 	queries := m.queriesTotal.Load()
 
-	fmt.Fprintf(&b, "# HELP neurocard_estimate_latency_seconds Wall time of estimate requests.\n")
-	fmt.Fprintf(&b, "# TYPE neurocard_estimate_latency_seconds histogram\n")
-	cum := int64(0)
-	for i, ub := range latencyBuckets {
-		cum += m.reqLatency.counts[i].Load()
-		fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	renderHistogram(&b, "neurocard_estimate_latency_seconds",
+		"Wall time of estimate requests.", m.reqLatency)
+
+	// The same observations as a quantile summary: client-observed request
+	// latency including coalescer queueing, the SLO-facing view.
+	fmt.Fprintf(&b, "# HELP neurocard_request_latency_seconds Estimate request latency quantiles (incl. coalescer queueing).\n")
+	fmt.Fprintf(&b, "# TYPE neurocard_request_latency_seconds summary\n")
+	p99 := m.reqLatency.quantile(0.99)
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", m.reqLatency.quantile(0.5)}, {"0.95", m.reqLatency.quantile(0.95)}, {"0.99", p99}} {
+		fmt.Fprintf(&b, "neurocard_request_latency_seconds{quantile=%q} %g\n", q.label, q.v)
 	}
-	cum += m.reqLatency.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_sum %g\n", float64(m.reqLatency.sumNs.Load())/1e9)
-	fmt.Fprintf(&b, "neurocard_estimate_latency_seconds_count %d\n", m.reqLatency.samples.Load())
+	fmt.Fprintf(&b, "neurocard_request_latency_seconds_sum %g\n", m.reqLatency.sum())
+	fmt.Fprintf(&b, "neurocard_request_latency_seconds_count %d\n", m.reqLatency.samples.Load())
+
+	renderHistogram(&b, "neurocard_fused_batch_size",
+		"Single-query requests fused per coalesced batch.", m.fusedBatchSize)
+	renderHistogram(&b, "neurocard_coalesce_queue_depth",
+		"Pending requests left in the coalescer queue at flush time.", m.coalesceQueueDepth)
+	renderHistogram(&b, "neurocard_coalesce_window_seconds",
+		"Adaptive collection window at flush time.", m.coalesceWindow)
 
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -111,10 +201,22 @@ func (m *metrics) render(pools []poolStat) string {
 	counter("neurocard_estimate_requests_total", "Estimate HTTP requests served.", m.requestsTotal.Load())
 	counter("neurocard_estimate_errors_total", "Estimate requests answered with an error.", m.errorsTotal.Load())
 	counter("neurocard_model_loads_total", "Model checkpoint (re)loads.", m.loadsTotal.Load())
+	counter("neurocard_binary_requests_total", "Estimate requests on the binary wire protocol.", m.binaryTotal.Load())
+	counter("neurocard_coalesce_rejected_total", "Estimate requests rejected by coalescer admission control (429).", m.coalesceRejected.Load())
 
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
+	// The serving SLO, as three gauges: observed p99, the target, and a 0/1
+	// breach flag alerting rules can consume directly.
+	gauge("neurocard_slo_p99_latency_seconds", "Observed p99 estimate latency (SLO gauge).", p99)
+	gauge("neurocard_slo_p99_target_seconds", "Configured p99 latency SLO target.", m.sloP99.Seconds())
+	breached := 0.0
+	if m.sloP99 > 0 && p99 > m.sloP99.Seconds() {
+		breached = 1
+	}
+	gauge("neurocard_slo_p99_breached", "1 when observed p99 exceeds the SLO target.", breached)
+
 	gauge("neurocard_inflight_requests", "Estimate requests currently executing.", float64(m.inflight.Load()))
 	gauge("neurocard_inflight_requests_peak", "Peak concurrent estimate requests since start.", float64(m.inflightPeak.Load()))
 	gauge("neurocard_uptime_seconds", "Seconds since server start.", uptime)
@@ -123,6 +225,16 @@ func (m *metrics) render(pools []poolStat) string {
 		qps = float64(queries) / uptime
 	}
 	gauge("neurocard_queries_per_second_lifetime", "Lifetime average estimate throughput.", qps)
+
+	sort.Slice(fusers, func(i, j int) bool { return fusers[i].Model < fusers[j].Model })
+	fmt.Fprintf(&b, "# HELP neurocard_coalesce_queue_depth_current Pending coalescer requests per model at scrape time.\n# TYPE neurocard_coalesce_queue_depth_current gauge\n")
+	for _, f := range fusers {
+		fmt.Fprintf(&b, "neurocard_coalesce_queue_depth_current{model=%q} %d\n", f.Model, f.QueueDepth)
+	}
+	fmt.Fprintf(&b, "# HELP neurocard_coalesce_window_current_seconds Adaptive collection window per model at scrape time.\n# TYPE neurocard_coalesce_window_current_seconds gauge\n")
+	for _, f := range fusers {
+		fmt.Fprintf(&b, "neurocard_coalesce_window_current_seconds{model=%q} %g\n", f.Model, f.Window.Seconds())
+	}
 
 	fmt.Fprintf(&b, "# HELP neurocard_sessions_in_use Inference sessions checked out per model.\n# TYPE neurocard_sessions_in_use gauge\n")
 	for _, p := range pools {

@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"math"
 	"net/http"
-	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
+	"neurocard/internal/core"
 	"neurocard/internal/query"
 	"neurocard/internal/value"
 )
@@ -29,15 +32,46 @@ type Config struct {
 
 	// MaxBodyBytes caps request body sizes (default 8 MiB).
 	MaxBodyBytes int64
+
+	// FuseMaxBatch caps single-query requests fused per coalesced flush
+	// (default 64).
+	FuseMaxBatch int
+
+	// FuseWindow is the maximum time a coalescer holds a batch open waiting
+	// for concurrent requests to fuse (default 1.5ms). The effective window
+	// adapts to load and decays to zero when traffic is a trickle.
+	FuseWindow time.Duration
+
+	// FuseQueue bounds pending coalesced requests per model; a full queue
+	// answers 429 + Retry-After (default 1024).
+	FuseQueue int
+
+	// NoCoalesce serves single-query requests inline on their handler
+	// goroutine instead of fusing them — the pre-coalescer behavior, kept
+	// for A/B measurement and as an operational escape hatch.
+	NoCoalesce bool
+
+	// SLOLatencyP99 is the p99 request-latency target exported on /metrics
+	// as the SLO gauges (default 25ms).
+	SLOLatencyP99 time.Duration
+
+	// Clock feeds the coalescer's window timer; nil means real time. Tests
+	// inject a fake to drive window-timeout flushes deterministically.
+	Clock Clock
 }
 
 // Server is the HTTP serving layer: a registry of loaded estimators plus the
-// JSON API. Create with New, mount Handler on any http.Server.
+// JSON and binary APIs. Create with New, mount Handler on any http.Server,
+// and Close it on shutdown to stop the per-model coalescer goroutines.
 type Server struct {
 	cfg     Config
 	reg     *Registry
 	metrics *metrics
 	mux     *http.ServeMux
+
+	fusers    sync.Map // model name → *fuser
+	closing   chan struct{}
+	closeOnce sync.Once
 }
 
 // New creates a server with an empty registry.
@@ -48,11 +82,29 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.FuseMaxBatch <= 0 {
+		cfg.FuseMaxBatch = 64
+	}
+	if cfg.FuseWindow == 0 {
+		cfg.FuseWindow = 1500 * time.Microsecond
+	} else if cfg.FuseWindow < 0 {
+		cfg.FuseWindow = 0
+	}
+	if cfg.FuseQueue <= 0 {
+		cfg.FuseQueue = 1024
+	}
+	if cfg.SLOLatencyP99 <= 0 {
+		cfg.SLOLatencyP99 = 25 * time.Millisecond
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(cfg.ModelsDir),
-		metrics: newMetrics(),
+		metrics: newMetrics(cfg.SLOLatencyP99),
 		mux:     http.NewServeMux(),
+		closing: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
@@ -60,6 +112,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// Close stops every coalescer goroutine and fails requests caught mid-queue
+// with 503. Idempotent; the HTTP listener is the caller's to shut down.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.closing) })
 }
 
 // Registry exposes the model registry (daemon preloading, tests).
@@ -107,11 +165,14 @@ type EstimateRequest struct {
 }
 
 // EstimateResponse carries the results. Est is set for single-query
-// requests, Ests for batches.
+// requests, Ests for batches. A well-formed batch answers 200 even when some
+// queries fail: Errors, when present, aligns positionally with Ests and
+// holds "" for the queries that succeeded (their Ests entry is 0 otherwise).
 type EstimateResponse struct {
 	Model  string    `json:"model"`
 	Est    *float64  `json:"est,omitempty"`
 	Ests   []float64 `json:"ests,omitempty"`
+	Errors []string  `json:"errors,omitempty"`
 	Count  int       `json:"count"`
 	Micros int64     `json:"micros"`
 }
@@ -150,97 +211,181 @@ type errorResponse struct {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	done := s.metrics.requestStart()
-	var req EstimateRequest
-	if err := s.decodeBody(w, r, &req); err != nil {
-		s.fail(w, http.StatusBadRequest, err)
+	bin := strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
+
+	var (
+		model   string
+		seed    *int64
+		workers int
+		single  bool
+		queries []query.Query
+		buf     *[]byte // binary scratch: holds the body, then the reply
+	)
+	if bin {
+		s.metrics.binaryTotal.Add(1)
+		buf = wireBufPool.Get().(*[]byte)
+		defer func() {
+			*buf = (*buf)[:0]
+			wireBufPool.Put(buf)
+		}()
+		body, err := s.readBinBody(w, r, (*buf)[:0])
+		*buf = body
+		var breq BinRequest
+		if err == nil {
+			breq, err = DecodeBinRequest(body)
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			done(0, true)
+			return
+		}
+		model, seed, queries = breq.Model, breq.Seed, breq.Queries
+		single = len(queries) == 1
+	} else {
+		var req EstimateRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			done(0, true)
+			return
+		}
+		single = req.Query != nil
+		if single == (len(req.Queries) > 0) {
+			s.fail(w, http.StatusBadRequest, errors.New("exactly one of \"query\" or \"queries\" must be set"))
+			done(0, true)
+			return
+		}
+		qs := req.Queries
+		if single {
+			qs = []QueryJSON{*req.Query}
+		}
+		queries = make([]query.Query, len(qs))
+		for i := range qs {
+			q, err := DecodeQuery(qs[i])
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+				done(0, true)
+				return
+			}
+			queries[i] = q
+		}
+		model, seed, workers = req.Model, req.Seed, req.Workers
+	}
+	if len(queries) > s.cfg.MaxBatch {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds limit %d", len(queries), s.cfg.MaxBatch))
 		done(0, true)
 		return
 	}
-	single := req.Query != nil
-	if single == (len(req.Queries) > 0) {
-		s.fail(w, http.StatusBadRequest, errors.New("exactly one of \"query\" or \"queries\" must be set"))
-		done(0, true)
-		return
-	}
-	if len(req.Queries) > s.cfg.MaxBatch {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds limit %d", len(req.Queries), s.cfg.MaxBatch))
-		done(0, true)
-		return
-	}
-	entry, err := s.reg.Get(req.Model)
+	entry, err := s.reg.Get(model)
 	if err != nil {
 		s.fail(w, http.StatusNotFound, err)
 		done(0, true)
 		return
 	}
 
-	qs := req.Queries
+	start := time.Now()
 	if single {
-		qs = []QueryJSON{*req.Query}
-	}
-	queries := make([]query.Query, len(qs))
-	for i := range qs {
-		q, err := DecodeQuery(qs[i])
+		est, err := s.estimateSingle(entry, model, queries[0], seed)
 		if err != nil {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			status := estimateStatus(err)
+			if status == http.StatusTooManyRequests {
+				w.Header().Set("Retry-After", "1")
+			}
+			s.fail(w, status, err)
 			done(0, true)
 			return
 		}
-		queries[i] = q
-	}
-
-	// Client-supplied worker counts are capped at the core count: more
-	// workers never help (each runs its kernels inline), and an uncapped
-	// request could check out MaxBatch pooled sessions that the pool then
-	// retains for the model's lifetime.
-	maxWorkers := runtime.GOMAXPROCS(0)
-	workers := req.Workers
-	if workers <= 0 {
-		workers = s.cfg.Workers
-	}
-	if workers <= 0 || workers > maxWorkers {
-		workers = maxWorkers
-	}
-
-	start := time.Now()
-	var ests []float64
-	switch {
-	case single && req.Seed != nil:
-		est, eerr := entry.Est.EstimateSeededIndexed(queries[0], *req.Seed, 0)
-		ests, err = []float64{est}, eerr
-	case single:
-		est, eerr := entry.Est.Estimate(queries[0])
-		ests, err = []float64{est}, eerr
-	case req.Seed != nil:
-		ests, err = entry.Est.EstimateBatchSeeded(queries, workers, *req.Seed)
-	default:
-		ests, err = entry.Est.EstimateBatch(queries, workers)
-	}
-	if err != nil {
-		s.fail(w, http.StatusBadRequest, err)
-		done(0, true)
+		if bin {
+			s.replyBin(w, buf, entry.Name, []float64{est}, nil)
+		} else {
+			s.reply(w, http.StatusOK, EstimateResponse{
+				Model:  entry.Name,
+				Est:    &est,
+				Count:  1,
+				Micros: time.Since(start).Microseconds(),
+			})
+		}
+		done(1, false)
 		return
 	}
-	for i, est := range ests {
-		if math.IsNaN(est) || math.IsInf(est, 0) || est <= 0 {
-			s.fail(w, http.StatusInternalServerError, fmt.Errorf("query %d produced non-finite estimate %g", i, est))
-			done(0, true)
-			return
-		}
-	}
 
-	resp := EstimateResponse{
-		Model:  entry.Name,
-		Count:  len(ests),
-		Micros: time.Since(start).Microseconds(),
+	// Batch: one registry resolution, one EstimateItems run over pooled
+	// sessions (each worker holds one session across its queries), and
+	// per-query positional errors — a bad query no longer poisons its
+	// batchmates. Seeded batches reproduce EstimateBatchSeeded exactly:
+	// query i draws from (seed, i); unseeded from (config seed, i).
+	base := entry.Est.Config().Seed
+	if seed != nil {
+		base = *seed
 	}
-	if single {
-		resp.Est = &ests[0]
+	items := make([]core.BatchItem, len(queries))
+	for i, q := range queries {
+		items[i] = core.BatchItem{Query: q, Seed: base, Idx: int64(i)}
+	}
+	ests, errs := entry.Est.EstimateItems(items, s.estimateWorkers(workers, len(items)))
+	var errStrings []string
+	nOK := 0
+	for i, est := range ests {
+		qerr := errs[i]
+		if qerr == nil && (math.IsNaN(est) || math.IsInf(est, 0) || est <= 0) {
+			qerr = fmt.Errorf("%w %g", errNonFinite, est)
+		}
+		if qerr != nil {
+			if errStrings == nil {
+				errStrings = make([]string, len(ests))
+			}
+			errStrings[i] = qerr.Error()
+			ests[i] = 0
+			continue
+		}
+		nOK++
+	}
+	if bin {
+		s.replyBin(w, buf, entry.Name, ests, errStrings)
 	} else {
-		resp.Ests = ests
+		s.reply(w, http.StatusOK, EstimateResponse{
+			Model:  entry.Name,
+			Ests:   ests,
+			Errors: errStrings,
+			Count:  len(ests),
+			Micros: time.Since(start).Microseconds(),
+		})
 	}
-	s.reply(w, http.StatusOK, resp)
-	done(len(ests), false)
+	done(nOK, errStrings != nil)
+}
+
+// estimateSingle serves one single-query estimate: through the model's
+// coalescer by default, or inline on the handler goroutine under NoCoalesce.
+// Both paths yield identical results for a seeded request — (seed, 0) — and
+// independent samples for an unseeded one.
+func (s *Server) estimateSingle(entry *Entry, model string, q query.Query, seed *int64) (float64, error) {
+	if !s.cfg.NoCoalesce {
+		return s.coalesce(model, q, seed)
+	}
+	var est float64
+	var err error
+	if seed != nil {
+		est, err = entry.Est.EstimateSeededIndexed(q, *seed, 0)
+	} else {
+		est, err = entry.Est.Estimate(q)
+	}
+	if err == nil && (math.IsNaN(est) || math.IsInf(est, 0) || est <= 0) {
+		err = fmt.Errorf("%w %g", errNonFinite, est)
+	}
+	return est, err
+}
+
+// estimateStatus maps a single-query estimate error onto its HTTP status.
+func estimateStatus(err error) int {
+	switch {
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errClosing):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errNonFinite):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 // modelInfo builds the wire description of a registry entry; the single
@@ -322,10 +467,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pools = append(pools, poolStat{model: e.Name, free: free, inUse: inUse, plans: e.Est.PlanCacheStats()})
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.metrics.render(pools)))
+	_, _ = w.Write([]byte(s.metrics.render(pools, s.coalesceStats())))
 }
 
 // ---- helpers ----
+
+// readBinBody reads the whole request body into dst (a pooled scratch slice)
+// without intermediate allocation, bounded by MaxBodyBytes.
+func (s *Server) readBinBody(w http.ResponseWriter, r *http.Request, dst []byte) ([]byte, error) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)]
+		}
+		n, err := body.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return dst, fmt.Errorf("read request: %w", err)
+		}
+	}
+}
+
+// replyBin writes a 200 binary estimate response, reusing the request's
+// pooled scratch buffer for the encoding.
+func (s *Server) replyBin(w http.ResponseWriter, buf *[]byte, model string, ests []float64, errs []string) {
+	out := AppendBinResponse((*buf)[:0], model, ests, errs)
+	*buf = out
+	w.Header().Set("Content-Type", ContentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+	_, _ = w.Write(out)
+}
 
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))

@@ -443,6 +443,25 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 		"neurocard_estimate_errors_total 1",
 		"neurocard_model_loads_total 1",
 		"neurocard_estimate_latency_seconds_count 3",
+		// Latency summary: the SLO-facing quantile view of the same samples.
+		`neurocard_request_latency_seconds{quantile="0.5"}`,
+		`neurocard_request_latency_seconds{quantile="0.95"}`,
+		`neurocard_request_latency_seconds{quantile="0.99"}`,
+		"neurocard_request_latency_seconds_count 3",
+		// SLO gauges: observed p99, configured target, and the breach flag.
+		"neurocard_slo_p99_latency_seconds",
+		"neurocard_slo_p99_target_seconds 0.025",
+		"neurocard_slo_p99_breached",
+		// Coalescer instruments: three single requests = three fused flushes
+		// of batch size 1 through the default model's fuser.
+		`neurocard_fused_batch_size_bucket{le="1"} 3`,
+		"neurocard_fused_batch_size_count 3",
+		"neurocard_coalesce_queue_depth_bucket",
+		"neurocard_coalesce_window_seconds_bucket",
+		"neurocard_coalesce_rejected_total 0",
+		`neurocard_coalesce_queue_depth_current{model=""} 0`,
+		`neurocard_coalesce_window_current_seconds{model=""}`,
+		"neurocard_binary_requests_total 0",
 		`neurocard_sessions_free{model="m"}`,
 		`neurocard_sessions_in_use{model="m"} 0`,
 		"neurocard_inflight_requests 0",

@@ -1,0 +1,286 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"neurocard/internal/query"
+	"neurocard/internal/server"
+	"neurocard/internal/value"
+)
+
+// postBin sends a binary estimate frame and returns the response.
+func postBin(t *testing.T, url string, frame []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, server.ContentTypeBinary, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out.Bytes()
+}
+
+// TestBinaryWireRoundTrip: encode → decode reproduces requests and responses
+// exactly, for every flag combination.
+func TestBinaryWireRoundTrip(t *testing.T) {
+	queries := []query.Query{richQuery(), {Tables: []string{"B"}}}
+	seed := int64(-7) // negative seeds must survive the unsigned encoding
+
+	for _, tc := range []struct {
+		name string
+		seed *int64
+	}{{"seeded", &seed}, {"unseeded", nil}} {
+		frame := server.AppendBinRequest(nil, "m", tc.seed, queries)
+		req, err := server.DecodeBinRequest(frame)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if req.Model != "m" || len(req.Queries) != len(queries) {
+			t.Fatalf("%s: decoded %+v", tc.name, req)
+		}
+		if (req.Seed == nil) != (tc.seed == nil) || (req.Seed != nil && *req.Seed != *tc.seed) {
+			t.Fatalf("%s: seed %v, want %v", tc.name, req.Seed, tc.seed)
+		}
+		for i := range queries {
+			if req.Queries[i].String() != queries[i].String() {
+				t.Fatalf("%s query %d: %s != %s", tc.name, i, req.Queries[i], queries[i])
+			}
+		}
+	}
+
+	for _, tc := range []struct {
+		name string
+		errs []string
+	}{{"ok", nil}, {"partial-errors", []string{"", "query 1 failed"}}} {
+		ests := []float64{1234.5678, math.SmallestNonzeroFloat64}
+		frame := server.AppendBinResponse(nil, "m", ests, tc.errs)
+		resp, err := server.DecodeBinResponse(frame)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if resp.Model != "m" || len(resp.Ests) != 2 {
+			t.Fatalf("%s: decoded %+v", tc.name, resp)
+		}
+		for i := range ests {
+			if resp.Ests[i] != ests[i] { // bit-exact, not approximate
+				t.Fatalf("%s est %d: %.17g != %.17g", tc.name, i, resp.Ests[i], ests[i])
+			}
+		}
+		if (resp.Errs == nil) != (tc.errs == nil) {
+			t.Fatalf("%s: errs %v, want %v", tc.name, resp.Errs, tc.errs)
+		}
+		for i := range tc.errs {
+			if resp.Errs[i] != tc.errs[i] {
+				t.Fatalf("%s err %d: %q != %q", tc.name, i, resp.Errs[i], tc.errs[i])
+			}
+		}
+	}
+}
+
+// TestBinaryWireRejectsCorruption: bad magic, versions, flags, truncations,
+// and trailing garbage all fail cleanly.
+func TestBinaryWireRejectsCorruption(t *testing.T) {
+	good := server.AppendBinRequest(nil, "m", nil, []query.Query{{Tables: []string{"A"}}})
+
+	if _, err := server.DecodeBinRequest([]byte("XYZ\x01\x00rest")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	vbad := bytes.Clone(good)
+	vbad[3] = 99
+	if _, err := server.DecodeBinRequest(vbad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+	fbad := bytes.Clone(good)
+	fbad[4] = 0x80
+	if _, err := server.DecodeBinRequest(fbad); err == nil || !strings.Contains(err.Error(), "flags") {
+		t.Errorf("unknown flags: %v", err)
+	}
+	if _, err := server.DecodeBinRequest(append(bytes.Clone(good), 0x00)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes: %v", err)
+	}
+	for n := 0; n < len(good); n++ {
+		if _, err := server.DecodeBinRequest(good[:n]); err == nil {
+			t.Errorf("truncation at %d/%d accepted", n, len(good))
+		}
+	}
+
+	goodResp := server.AppendBinResponse(nil, "m", []float64{1, 2}, []string{"", "x"})
+	for n := 0; n < len(goodResp); n++ {
+		if _, err := server.DecodeBinResponse(goodResp[:n]); err == nil {
+			t.Errorf("response truncation at %d/%d accepted", n, len(goodResp))
+		}
+	}
+}
+
+// TestServeBinaryEndToEnd drives POST /v1/estimate over the binary protocol
+// and checks protocol equivalence: a seeded binary single and batch return
+// bit-identical estimates to their JSON counterparts, and errors on
+// malformed frames stay JSON with a 400.
+func TestServeBinaryEndToEnd(t *testing.T) {
+	_, ts, dir := serveTest(t)
+	orig := buildEstimator(t, 7, 512)
+	writeCheckpoint(t, dir, "fig4", orig)
+	post(t, ts.URL+"/v1/models/fig4/load", nil)
+
+	seed := int64(1234)
+	q := richQuery()
+
+	// Single query, seeded: binary == JSON == in-process (seed, 0).
+	frame := server.AppendBinRequest(nil, "", &seed, []query.Query{q})
+	resp, body := postBin(t, ts.URL+"/v1/estimate", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary single: %d %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != server.ContentTypeBinary {
+		t.Fatalf("binary response Content-Type = %q", ct)
+	}
+	bresp, err := server.DecodeBinResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bresp.Model != "fig4" || len(bresp.Ests) != 1 || bresp.Errs != nil {
+		t.Fatalf("binary single response = %+v", bresp)
+	}
+	want, err := orig.EstimateSeededIndexed(q, seed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bresp.Ests[0]-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("binary single = %.17g, in-process = %.17g", bresp.Ests[0], want)
+	}
+	qj, err := server.EncodeQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jresp, jbody := post(t, ts.URL+"/v1/estimate", server.EstimateRequest{Query: &qj, Seed: &seed})
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json single: %d %s", jresp.StatusCode, jbody)
+	}
+	var jer server.EstimateResponse
+	if err := json.Unmarshal(jbody, &jer); err != nil {
+		t.Fatal(err)
+	}
+	if *jer.Est != bresp.Ests[0] {
+		t.Fatalf("protocols disagree: json %.17g, binary %.17g", *jer.Est, bresp.Ests[0])
+	}
+
+	// Batch, seeded: same equivalence, per position.
+	batch := []query.Query{q, {Tables: []string{"A", "B", "C"}}, {Tables: []string{"B"}}}
+	frame = server.AppendBinRequest(frame[:0], "fig4", &seed, batch)
+	resp, body = postBin(t, ts.URL+"/v1/estimate", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary batch: %d %s", resp.StatusCode, body)
+	}
+	bresp, err = server.DecodeBinResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jqs := make([]server.QueryJSON, len(batch))
+	for i, bq := range batch {
+		if jqs[i], err = server.EncodeQuery(bq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jresp, jbody = post(t, ts.URL+"/v1/estimate", server.EstimateRequest{Model: "fig4", Queries: jqs, Seed: &seed})
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json batch: %d %s", jresp.StatusCode, jbody)
+	}
+	if err := json.Unmarshal(jbody, &jer); err != nil {
+		t.Fatal(err)
+	}
+	if len(bresp.Ests) != len(batch) || len(jer.Ests) != len(batch) {
+		t.Fatalf("batch sizes: binary %d, json %d", len(bresp.Ests), len(jer.Ests))
+	}
+	for i := range batch {
+		if bresp.Ests[i] != jer.Ests[i] {
+			t.Fatalf("batch query %d: binary %.17g, json %.17g", i, bresp.Ests[i], jer.Ests[i])
+		}
+	}
+
+	// Malformed frame: JSON error, 400.
+	resp, body = postBin(t, ts.URL+"/v1/estimate", []byte("not a frame"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage frame: %d", resp.StatusCode)
+	}
+	var er struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Fatalf("garbage frame error body %q", body)
+	}
+
+	// Unknown model: 404.
+	frame = server.AppendBinRequest(nil, "nope", nil, []query.Query{{Tables: []string{"A"}}})
+	resp, _ = postBin(t, ts.URL+"/v1/estimate", frame)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model: %d", resp.StatusCode)
+	}
+}
+
+// TestServeBatchPositionalErrors: a well-formed batch with a failing query
+// answers 200 with per-query errors aligned to positions, instead of
+// poisoning its batchmates — on both protocols.
+func TestServeBatchPositionalErrors(t *testing.T) {
+	_, ts, dir := serveTest(t)
+	writeCheckpoint(t, dir, "fig4", buildEstimator(t, 7, 256))
+	post(t, ts.URL+"/v1/models/fig4/load", nil)
+
+	seed := int64(5)
+	// Query 1 references an unmodeled column: plan compilation fails for it
+	// (and only it) at estimate time, after the wire decode succeeded.
+	bad := query.Query{Tables: []string{"A"},
+		Filters: []query.Filter{{Table: "A", Col: "nope", Op: query.OpEq, Val: value.Int(1)}}}
+	batch := []query.Query{{Tables: []string{"A", "B"}}, bad, {Tables: []string{"B"}}}
+
+	frame := server.AppendBinRequest(nil, "", &seed, batch)
+	resp, body := postBin(t, ts.URL+"/v1/estimate", frame)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("binary partial batch: %d %s", resp.StatusCode, body)
+	}
+	bresp, err := server.DecodeBinResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bresp.Errs == nil || len(bresp.Errs) != 3 {
+		t.Fatalf("binary errs = %v", bresp.Errs)
+	}
+	if bresp.Errs[0] != "" || bresp.Errs[1] == "" || bresp.Errs[2] != "" {
+		t.Fatalf("binary positional errs = %q", bresp.Errs)
+	}
+	if bresp.Ests[0] <= 0 || bresp.Ests[1] != 0 || bresp.Ests[2] <= 0 {
+		t.Fatalf("binary positional ests = %v", bresp.Ests)
+	}
+
+	jqs := make([]server.QueryJSON, len(batch))
+	for i, q := range batch {
+		if jqs[i], err = server.EncodeQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jresp, jbody := post(t, ts.URL+"/v1/estimate", server.EstimateRequest{Queries: jqs, Seed: &seed})
+	if jresp.StatusCode != http.StatusOK {
+		t.Fatalf("json partial batch: %d %s", jresp.StatusCode, jbody)
+	}
+	var jer server.EstimateResponse
+	if err := json.Unmarshal(jbody, &jer); err != nil {
+		t.Fatal(err)
+	}
+	if len(jer.Errors) != 3 || jer.Errors[0] != "" || jer.Errors[1] == "" || jer.Errors[2] != "" {
+		t.Fatalf("json positional errors = %q (%s)", jer.Errors, jbody)
+	}
+	// The healthy queries agree across protocols.
+	if jer.Ests[0] != bresp.Ests[0] || jer.Ests[2] != bresp.Ests[2] {
+		t.Fatalf("healthy ests disagree: json %v, binary %v", jer.Ests, bresp.Ests)
+	}
+	if jer.Errors[1] != bresp.Errs[1] {
+		t.Fatalf("error strings disagree: json %q, binary %q", jer.Errors[1], bresp.Errs[1])
+	}
+}

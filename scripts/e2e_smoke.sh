@@ -96,7 +96,33 @@ BATCH=$(curl -sf "http://$ADDR/v1/estimate" -d '{
 echo "$BATCH"
 echo "$BATCH" | grep -q '"count":2'
 
+echo "=== binary protocol round trip (ncbin vs curl, same seeded request)"
+go build -o "$WORKDIR/ncbin" ./cmd/ncbin
+BIN_REQ='{
+  "query": {"tables": ["title","movie_companies"],
+            "filters": [{"table":"title","col":"production_year","op":">=","int":1990}]},
+  "seed": 42}'
+BIN_RESP=$(echo "$BIN_REQ" | "$WORKDIR/ncbin" -addr "http://$ADDR")
+echo "$BIN_RESP"
+BIN_EST=$(echo "$BIN_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$BIN_EST" ]]; then
+    echo "no estimate in binary response" >&2
+    exit 1
+fi
+# The same seeded query through the binary protocol must produce the exact
+# same estimate the JSON protocol produced above — the wire format must not
+# perturb results, coalesced or not.
+if [[ "$BIN_EST" != "$EST" ]]; then
+    echo "binary estimate $BIN_EST != JSON estimate $EST" >&2
+    exit 1
+fi
+echo "binary estimate $BIN_EST matches JSON estimate exactly"
+
 echo "=== metrics"
 curl -sf "http://$ADDR/metrics" | grep -E 'neurocard_estimate_queries_total|neurocard_sessions' | head -4
+curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_binary_requests_total 1'
+curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_slo_p99_target_seconds'
+curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_fused_batch_size_count'
+echo "binary-protocol and coalescer metrics present"
 
 echo "e2e smoke OK"
