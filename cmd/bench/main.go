@@ -28,7 +28,7 @@ func main() {
 
 func realMain() int {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,ci,acc")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,chaos,ci,acc")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
 	serveClients := flag.Int("serveclients", 0, "exp serve/ci: concurrent closed-loop load-test clients (0 = option default)")
 	serveRequests := flag.Int("serverequests", 0, "exp serve/ci: single-query requests per load-test phase (0 = option default)")
@@ -125,6 +125,23 @@ func realMain() int {
 		}
 		return res.Report, nil
 	})
+	// The fault-injection acceptance run: inject panics, NaN estimates, and
+	// kernel stalls into a live serving stack and gate on the fault-tolerance
+	// invariants (zero malformed responses, bounded p99, clean recovery, torn
+	// checkpoint writes contained). Runs only on explicit request, like ci.
+	if want["chaos"] && rc == 0 {
+		start := time.Now()
+		res, err := harness.ChaosLoad(o)
+		if res != nil {
+			fmt.Printf("%s", res.Report)
+		}
+		if err != nil {
+			log.Printf("chaos: %v", err)
+			rc = 1
+		} else {
+			fmt.Printf("(chaos in %s)\n\n", time.Since(start).Round(time.Millisecond))
+		}
+	}
 	// The CI benchmark-regression gate: measure, optionally write JSON,
 	// compare normalized throughput against the committed baseline. Runs
 	// only on explicit request — `-exp all` already measures serving and

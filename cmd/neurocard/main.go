@@ -75,14 +75,9 @@ func main() {
 		*tuples, time.Since(start).Seconds(), loss, float64(est.Bytes())/(1<<20))
 
 	if *savePath != "" {
-		f, err := os.Create(*savePath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := neurocard.SaveEstimator(est, f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic save: a crash mid-write must never clobber an existing
+		// checkpoint with a torn one.
+		if err := neurocard.SaveEstimatorFile(est, *savePath); err != nil {
 			log.Fatal(err)
 		}
 		st, err := os.Stat(*savePath)

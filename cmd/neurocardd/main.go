@@ -12,16 +12,29 @@
 //	                             selects the compact binary wire protocol
 //	GET  /v1/models              loaded models and their metadata
 //	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap
-//	GET  /healthz                liveness + readiness
+//	GET  /healthz                combined health summary
+//	GET  /livez                  liveness probe (always 200 while serving HTTP)
+//	GET  /readyz                 readiness probe (503 until a model is loaded;
+//	                             degraded-but-serving stays 200)
 //	GET  /metrics                Prometheus text: latency histogram + quantile
 //	                             summary, SLO gauges, coalescer batch/queue/
-//	                             window histograms, session-pool occupancy
+//	                             window histograms, session-pool occupancy,
+//	                             breaker state, fault counters
 //
 // Concurrent single-query requests are coalesced per model: up to
 // -fuse-batch of them fuse into one batched run over the pooled sessions,
 // collected over an adaptive -fuse-window that decays to zero when idle.
 // Each fused query keeps its own randomness stream, so coalescing never
 // changes any result. A full -fuse-queue answers 429 + Retry-After.
+//
+// Serving is fault-tolerant by default: -request-timeout bounds every
+// estimate end to end (clients tighten per request with X-Deadline-Ms; expiry
+// answers 504), a per-model circuit breaker (-breaker-*) trips on model
+// faults and routes traffic to a histogram fallback estimator (responses
+// marked "degraded": true; disable with -no-fallback), and SIGTERM drains
+// in-flight requests before exiting 0. The -faults flag (or the
+// NEUROCARD_FAULTS env var) arms the fault-injection layer for chaos testing
+// — never set it in production.
 //
 // Example round trip:
 //
@@ -44,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"neurocard/internal/faultinject"
 	"neurocard/internal/server"
 )
 
@@ -59,7 +73,25 @@ func main() {
 	noCoalesce := flag.Bool("no-coalesce", false, "serve single-query requests inline instead of coalescing them")
 	sloP99 := flag.Duration("slo-p99", 0, "p99 request-latency SLO target exported on /metrics (0 = default 25ms)")
 	pprofAddr := flag.String("pprof", "", "listen address for net/http/pprof (e.g. localhost:6060); empty disables")
+	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end budget per estimate request; expiry answers 504 (0 = unbounded)")
+	breakerWindow := flag.Int("breaker-window", 0, "circuit-breaker rolling outcome window per model (0 = default 20)")
+	breakerMinSamples := flag.Int("breaker-min-samples", 0, "outcomes required before the breaker can trip (0 = default 10)")
+	breakerThreshold := flag.Float64("breaker-threshold", 0, "failure rate that opens the breaker (0 = default 0.5, negative disables breakers)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "first open->half-open delay, doubling per reopen (0 = default 1s)")
+	breakerProbes := flag.Int("breaker-probes", 0, "half-open probe budget; all must succeed to close (0 = default 3)")
+	noFallback := flag.Bool("no-fallback", false, "disable the histogram fallback estimator; an open breaker then answers 503")
+	faults := flag.String("faults", os.Getenv("NEUROCARD_FAULTS"),
+		"CHAOS TESTING ONLY: arm fault injection, e.g. estimate-panic=0.05,kernel-delay=0.05:2ms,estimate-nan=0.05,ckpt-truncate=0.5,seed=1")
 	flag.Parse()
+
+	if *faults != "" {
+		spec, err := faultinject.ParseSpec(*faults)
+		if err != nil {
+			log.Fatalf("-faults: %v", err)
+		}
+		faultinject.Arm(spec)
+		log.Printf("FAULT INJECTION ARMED: %s", *faults)
+	}
 
 	// Profiling is opt-in and served on its own listener so the debug
 	// endpoints never share a port with production traffic.
@@ -80,14 +112,21 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		ModelsDir:     *modelsDir,
-		Workers:       *workers,
-		MaxBatch:      *maxBatch,
-		FuseMaxBatch:  *fuseBatch,
-		FuseWindow:    *fuseWindow,
-		FuseQueue:     *fuseQueue,
-		NoCoalesce:    *noCoalesce,
-		SLOLatencyP99: *sloP99,
+		ModelsDir:         *modelsDir,
+		Workers:           *workers,
+		MaxBatch:          *maxBatch,
+		FuseMaxBatch:      *fuseBatch,
+		FuseWindow:        *fuseWindow,
+		FuseQueue:         *fuseQueue,
+		NoCoalesce:        *noCoalesce,
+		SLOLatencyP99:     *sloP99,
+		RequestTimeout:    *requestTimeout,
+		BreakerWindow:     *breakerWindow,
+		BreakerMinSamples: *breakerMinSamples,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		BreakerProbes:     *breakerProbes,
+		NoFallback:        *noFallback,
 	})
 	defer srv.Close()
 	if *load != "" {
@@ -128,10 +167,16 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down")
+	// Graceful drain: stop accepting connections and wait for in-flight
+	// requests to complete (bounded), then stop the coalescer goroutines.
+	// Ordering matters — closing the coalescers first would fail the very
+	// requests the drain is waiting on with 503s.
+	log.Printf("shutting down: draining in-flight requests")
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	srv.Close()
+	log.Printf("drained, exiting")
 }

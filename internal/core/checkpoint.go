@@ -6,7 +6,10 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 
+	"neurocard/internal/faultinject"
 	"neurocard/internal/made"
 	"neurocard/internal/sampler"
 	"neurocard/internal/schema"
@@ -124,6 +127,49 @@ func SaveCheckpoint(e *Estimator, w io.Writer) error {
 	}
 	if err := e.trainable.EncodeInto(enc); err != nil {
 		return fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// WriteCheckpointFile saves a checkpoint to path crash-safely: the bytes go
+// to a temp file in the destination directory, are fsynced, and only then
+// renamed over path. A crash, full disk, or injected truncation at any point
+// leaves either the complete new checkpoint or the previous file — never a
+// torn one — so a failed save cannot clobber a model the daemon could still
+// reload.
+func WriteCheckpointFile(e *Estimator, path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: checkpoint: create temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var w io.Writer = tmp
+	if faultinject.Enabled() {
+		w = faultinject.WrapCheckpointWriter(w)
+	}
+	if err = SaveCheckpoint(e, w); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: checkpoint: fsync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: checkpoint: close temp file: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: checkpoint: rename into place: %w", err)
+	}
+	// Durability of the rename itself: fsync the directory. Best-effort —
+	// some filesystems refuse directory fsync; the data file is already safe.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		_ = d.Close()
 	}
 	return nil
 }

@@ -1,17 +1,27 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"neurocard/internal/faultinject"
 	"neurocard/internal/made"
 	"neurocard/internal/query"
 	"neurocard/internal/sampler"
 	"neurocard/internal/schema"
 )
+
+// ErrEstimatePanic wraps a panic recovered inside one estimate: the serving
+// paths convert it into a positional error for that query instead of letting
+// it kill the process (or a coalescer fuser). The session the panic ran on is
+// discarded, not pooled, since its scratch may be mid-mutation.
+var ErrEstimatePanic = errors.New("core: estimate panicked")
 
 // Config assembles a NeuroCard estimator.
 type Config struct {
@@ -185,6 +195,11 @@ func (e *Estimator) UpdateData(data *schema.Schema) error {
 
 // JoinSize returns |J| of the current snapshot's full outer join.
 func (e *Estimator) JoinSize() float64 { return e.joinSize }
+
+// Schema returns the data snapshot the estimator currently models — the
+// serving layer uses it to build always-available fallback estimators (e.g.
+// per-column histograms) next to the model.
+func (e *Estimator) Schema() *schema.Schema { return e.data }
 
 // Config returns the estimator's configuration (as normalized by Build or
 // restored from a checkpoint).
@@ -424,13 +439,19 @@ func (e *Estimator) EstimateIndexedSerial(q query.Query, idx int64) (float64, er
 // it with pool checkout; EstimateBatch workers hold one state across
 // queries.
 func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (float64, error) {
-	return e.estimateSeeded(st, q, e.cfg.Seed, idx)
+	return e.estimateSeeded(context.Background(), st, q, e.cfg.Seed, idx)
 }
 
 // estimateSeeded is estimateIndexed with an explicit base seed: the query's
 // randomness is fully determined by (seed, idx). The serving API uses this to
-// honor client-supplied seeds without touching the configured seed.
-func (e *Estimator) estimateSeeded(st *inferState, q query.Query, seed, idx int64) (float64, error) {
+// honor client-supplied seeds without touching the configured seed. ctx is
+// checked cooperatively between sampling steps, so a request whose deadline
+// expires mid-sampling returns ctx.Err() promptly instead of finishing the
+// whole progressive-sampling pass.
+func (e *Estimator) estimateSeeded(ctx context.Context, st *inferState, q query.Query, seed, idx int64) (float64, error) {
+	if faultinject.Enabled() {
+		faultinject.MaybePanicEstimate()
+	}
 	cp, err := e.planFor(st, q)
 	if err != nil {
 		return 0, err
@@ -441,7 +462,28 @@ func (e *Estimator) estimateSeeded(st *inferState, q query.Query, seed, idx int6
 		return 1, nil
 	}
 	rng := rand.New(rand.NewSource(mixSeed(seed, idx)))
-	return e.sampleWithSession(st, cp, e.psamples(), rng), nil
+	est, err := e.sampleWithSession(ctx, st, cp, e.psamples(), rng)
+	if err != nil {
+		return 0, err
+	}
+	if faultinject.Enabled() && faultinject.MaybeNaNEstimate() {
+		est = math.NaN()
+	}
+	return est, nil
+}
+
+// estimateSafe runs estimateSeeded under panic recovery: a panic anywhere in
+// planning or sampling — including one re-raised from a kernel-pool chunk —
+// becomes an ErrEstimatePanic-wrapped error. The caller must treat a
+// panicked=true return as poisoning st (discard it, do not pool it).
+func (e *Estimator) estimateSafe(ctx context.Context, st *inferState, q query.Query, seed, idx int64) (est float64, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			est, err, panicked = 0, fmt.Errorf("%w: %v", ErrEstimatePanic, r), true
+		}
+	}()
+	est, err = e.estimateSeeded(ctx, st, q, seed, idx)
+	return est, err, false
 }
 
 // EstimateBatch estimates all queries concurrently on up to `workers`
@@ -483,6 +525,11 @@ type BatchItem struct {
 	// the unseeded Estimate() semantics for callers that want a fresh
 	// independent sample per call.
 	Auto bool
+	// Ctx, when non-nil, bounds this item: an item whose context is already
+	// done fails positionally without running, and expiry mid-sampling is
+	// detected between sampling steps. Items from independent requests fused
+	// into one batch each keep their own deadline.
+	Ctx context.Context
 }
 
 // EstimateItems estimates every item on up to `workers` pooled sessions
@@ -491,6 +538,12 @@ type BatchItem struct {
 // Item randomness comes from each item's own (Seed, Idx) pair, so results
 // are independent of batch composition, worker count, and scheduling — the
 // property the serving daemon's cross-request coalescer is built on.
+//
+// Fault containment: a panic inside any item's estimate is recovered into an
+// ErrEstimatePanic positional error (the worker swaps its possibly-poisoned
+// session for a fresh one and keeps going), and an item whose Ctx is done
+// fails with its context error — before starting when already expired, or at
+// the next inter-step check when it expires mid-sampling.
 func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -508,19 +561,33 @@ func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []
 			defer wg.Done()
 			// With several workers, each runs its kernels inline so the
 			// batch never schedules workers × kernel-chunk goroutines.
-			st := e.sessions.get(e.psamples(), workers > 1)
-			defer e.sessions.put(st)
+			serial := workers > 1
+			st := e.sessions.get(e.psamples(), serial)
+			defer func() { e.sessions.put(st) }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
 					return
 				}
 				it := &items[i]
+				ctx := it.Ctx
+				if ctx == nil {
+					ctx = context.Background()
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				seed, idx := it.Seed, it.Idx
 				if it.Auto {
 					seed, idx = e.cfg.Seed, e.qcount.Add(1)
 				}
-				ests[i], errs[i] = e.estimateSeeded(st, it.Query, seed, idx)
+				var panicked bool
+				ests[i], errs[i], panicked = e.estimateSafe(ctx, st, it.Query, seed, idx)
+				if panicked {
+					e.sessions.discard()
+					st = e.sessions.get(e.psamples(), serial)
+				}
 			}
 		}()
 	}
@@ -533,5 +600,29 @@ func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []
 func (e *Estimator) EstimateSeededIndexed(q query.Query, seed, idx int64) (float64, error) {
 	st := e.sessions.get(e.psamples(), false)
 	defer e.sessions.put(st)
-	return e.estimateSeeded(st, q, seed, idx)
+	return e.estimateSeeded(context.Background(), st, q, seed, idx)
+}
+
+// EstimateSeededIndexedCtx is EstimateSeededIndexed bounded by ctx and
+// hardened for serving: deadline expiry mid-sampling returns ctx.Err(), and
+// a panic inside the estimate is recovered into an ErrEstimatePanic error
+// (the session it poisoned is discarded rather than pooled).
+func (e *Estimator) EstimateSeededIndexedCtx(ctx context.Context, q query.Query, seed, idx int64) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	st := e.sessions.get(e.psamples(), false)
+	est, err, panicked := e.estimateSafe(ctx, st, q, seed, idx)
+	if panicked {
+		e.sessions.discard()
+	} else {
+		e.sessions.put(st)
+	}
+	return est, err
+}
+
+// EstimateCtx is Estimate bounded by ctx with the same panic hardening as
+// EstimateSeededIndexedCtx — the serving daemon's unseeded single-query path.
+func (e *Estimator) EstimateCtx(ctx context.Context, q query.Query) (float64, error) {
+	return e.EstimateSeededIndexedCtx(ctx, q, e.cfg.Seed, e.qcount.Add(1))
 }

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"neurocard/internal/faultinject"
 	"neurocard/internal/query"
 )
 
@@ -144,7 +146,7 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 		// Q-error convention lower-bounds estimates at 1.
 		return 1, nil
 	}
-	return e.sampleWithSession(st, cp, nSamples, rng), nil
+	return e.sampleWithSession(context.Background(), st, cp, nSamples, rng)
 }
 
 // sampleWithSession executes a compiled plan on a session-backed sampling
@@ -159,15 +161,28 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 // constrained column's forward pass cost 1 row instead of nSamples; the
 // weight product accumulated on the single row seeds every fanned-out row,
 // so per-row weights are unchanged.
-func (e *Estimator) sampleWithSession(st *inferState, cp *compiledPlan, nSamples int, rng *rand.Rand) float64 {
+//
+// Cancellation is cooperative: ctx is checked once per plan column — the
+// granularity of one forward pass over the batch, the natural unit of work —
+// so an expired deadline stops sampling within a column's worth of compute.
+// The check is a few nanoseconds for context.Background(), which the
+// non-serving paths pass.
+func (e *Estimator) sampleWithSession(ctx context.Context, st *inferState, cp *compiledPlan, nSamples int, rng *rand.Rand) (float64, error) {
 	sess, w := st.sess, st.w[:nSamples]
 	sess.Reset(1)
 	w0 := 1.0 // weight of the single pre-fan-out row
 	active := 0
 	fanPi := -1 // plan index of the column the batch fanned out on
+	faults := faultinject.Enabled()
 
 single:
 	for pi := range cp.cols {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if faults {
+			faultinject.MaybeDelayKernel()
+		}
 		p := &cp.cols[pi]
 		switch p.mode {
 		case modeSkip:
@@ -177,14 +192,14 @@ single:
 			probs := sess.Probs(p.mc.FlatOffset)
 			w0 *= probs.At(0, 1)
 			if w0 == 0 {
-				return 1
+				return 1, nil
 			}
 			sess.SetToken(0, p.mc.FlatOffset, 1)
 
 		case modeConstrain:
 			sub := p.sub0
 			if len(sub) == 0 {
-				return 1
+				return 1, nil
 			}
 			flat := p.mc.FlatOffset
 			probs := sess.Probs(flat)
@@ -200,7 +215,7 @@ single:
 				mass = regionMassScan(pr, sub)
 			}
 			if mass <= 0 {
-				return 1
+				return 1, nil
 			}
 			w0 *= mass
 			sess.Replicate(nSamples)
@@ -241,10 +256,16 @@ single:
 		if card < 1 {
 			card = 1
 		}
-		return card
+		return card, nil
 	}
 
 	for pi := fanPi + 1; pi < len(cp.cols) && active > 0; pi++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if faults {
+			faultinject.MaybeDelayKernel()
+		}
 		p := &cp.cols[pi]
 		switch p.mode {
 		case modeSkip:
@@ -279,7 +300,7 @@ single:
 	if card < 1 {
 		card = 1
 	}
-	return card
+	return card, nil
 }
 
 // sampleConstrained draws one content column subcolumn-by-subcolumn inside

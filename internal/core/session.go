@@ -176,6 +176,16 @@ func (p *sessionPool) put(st *inferState) {
 	p.mu.Unlock()
 }
 
+// discard releases a checkout without returning the state to the free list.
+// Used after a panic was recovered mid-estimate: the session's scratch may be
+// in an arbitrary half-mutated shape, so it is dropped for the GC and the
+// next get builds a fresh one.
+func (p *sessionPool) discard() {
+	p.mu.Lock()
+	p.inUse--
+	p.mu.Unlock()
+}
+
 // stats reports the pool's current free and checked-out session counts.
 func (p *sessionPool) stats() (free, inUse int) {
 	p.mu.Lock()

@@ -1,0 +1,279 @@
+// Package faultinject provides process-wide fault-injection hooks the chaos
+// harness uses to prove the serving stack degrades instead of dying: injected
+// panics at estimate entry, delays inside the sampling kernel loop, NaN
+// estimates, and torn checkpoint writes. Hooks are compiled into the hot
+// paths permanently but cost a single atomic load when disarmed — the
+// default — so production serving pays nothing for them.
+//
+// Arming is explicit (Arm, or ArmSpec from a flag/environment string) and
+// global: the daemon arms from -faults / $NEUROCARD_FAULTS at startup, tests
+// arm around the block under test and defer Disarm(). Decisions are
+// deterministic for a fixed Config.Seed and injection order — each roll draws
+// from a splitmix64 stream indexed by an atomic counter — so a chaos run's
+// fault schedule is reproducible under identical interleaving.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects the faults to inject and their rates. The zero value
+// injects nothing even when armed.
+type Config struct {
+	// Seed derives the deterministic roll stream; 0 means 1.
+	Seed int64
+
+	// EstimatePanicProb is the probability that an estimate call panics at
+	// entry (point: core estimate path).
+	EstimatePanicProb float64
+
+	// KernelDelayProb is the probability that one sampling-column kernel pass
+	// stalls for KernelDelay (point: progressive-sampling column loop).
+	KernelDelayProb float64
+	KernelDelay     time.Duration
+
+	// EstimateNaNProb is the probability that an estimate call returns NaN
+	// instead of its computed value, exercising the serving sanity guards.
+	EstimateNaNProb float64
+
+	// CheckpointTruncateProb is the probability that a checkpoint write is
+	// torn: the writer fails with ErrInjectedTruncation after
+	// CheckpointTruncateAt bytes (default 256), simulating a crash or full
+	// disk mid-save.
+	CheckpointTruncateProb float64
+	CheckpointTruncateAt   int
+}
+
+// Stats counts the faults injected since the last Arm.
+type Stats struct {
+	Panics      int64
+	Delays      int64
+	NaNs        int64
+	Truncations int64
+}
+
+// ErrInjectedTruncation is the error a torn checkpoint writer reports.
+var ErrInjectedTruncation = errors.New("faultinject: injected checkpoint truncation")
+
+// PanicValue is the value injected panics carry, so recovery layers can
+// distinguish (and tests can assert) injected panics from real ones.
+const PanicValue = "faultinject: injected panic"
+
+var (
+	armed atomic.Bool
+	cfg   atomic.Pointer[Config]
+	rolls atomic.Uint64
+
+	panics      atomic.Int64
+	delays      atomic.Int64
+	nans        atomic.Int64
+	truncations atomic.Int64
+)
+
+// Enabled reports whether fault injection is armed. This is the only check
+// hot paths perform when injection is off.
+func Enabled() bool { return armed.Load() }
+
+// Arm installs c and enables injection, resetting the stats counters.
+func Arm(c Config) {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CheckpointTruncateAt <= 0 {
+		c.CheckpointTruncateAt = 256
+	}
+	panics.Store(0)
+	delays.Store(0)
+	nans.Store(0)
+	truncations.Store(0)
+	rolls.Store(0)
+	cfg.Store(&c)
+	armed.Store(true)
+}
+
+// Disarm disables injection. Counters keep their values for post-run reads.
+func Disarm() { armed.Store(false) }
+
+// ReadStats returns the fault counters accumulated since the last Arm.
+func ReadStats() Stats {
+	return Stats{
+		Panics:      panics.Load(),
+		Delays:      delays.Load(),
+		NaNs:        nans.Load(),
+		Truncations: truncations.Load(),
+	}
+}
+
+// roll draws the next deterministic uniform in [0, 1): a splitmix64 stream
+// over (seed, atomic counter), lock-free under concurrency.
+func roll(seed int64) float64 {
+	n := rolls.Add(1)
+	z := uint64(seed) + 0x9e3779b97f4a7c15*n
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// MaybePanicEstimate panics with PanicValue at the estimate entry point when
+// armed and the roll fires. Callers guard with Enabled().
+func MaybePanicEstimate() {
+	c := cfg.Load()
+	if c == nil || c.EstimatePanicProb <= 0 || roll(c.Seed) >= c.EstimatePanicProb {
+		return
+	}
+	panics.Add(1)
+	panic(PanicValue)
+}
+
+// MaybeDelayKernel stalls one kernel pass when armed and the roll fires.
+// Callers guard with Enabled().
+func MaybeDelayKernel() {
+	c := cfg.Load()
+	if c == nil || c.KernelDelayProb <= 0 || roll(c.Seed) >= c.KernelDelayProb {
+		return
+	}
+	delays.Add(1)
+	time.Sleep(c.KernelDelay)
+}
+
+// MaybeNaNEstimate reports whether the estimate under way should return NaN.
+// Callers guard with Enabled().
+func MaybeNaNEstimate() bool {
+	c := cfg.Load()
+	if c == nil || c.EstimateNaNProb <= 0 || roll(c.Seed) >= c.EstimateNaNProb {
+		return false
+	}
+	nans.Add(1)
+	return true
+}
+
+// WrapCheckpointWriter wraps a checkpoint writer with the torn-write fault:
+// when armed and the roll fires, the writer accepts CheckpointTruncateAt
+// bytes and then fails with ErrInjectedTruncation — the shape of a crash or
+// ENOSPC mid-save. Otherwise it returns w unchanged.
+func WrapCheckpointWriter(w io.Writer) io.Writer {
+	if !armed.Load() {
+		return w
+	}
+	c := cfg.Load()
+	if c == nil || c.CheckpointTruncateProb <= 0 || roll(c.Seed) >= c.CheckpointTruncateProb {
+		return w
+	}
+	truncations.Add(1)
+	return &truncatingWriter{w: w, remaining: c.CheckpointTruncateAt}
+}
+
+// truncatingWriter passes through its first `remaining` bytes, then fails.
+type truncatingWriter struct {
+	w         io.Writer
+	remaining int
+}
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, ErrInjectedTruncation
+	}
+	if len(p) <= t.remaining {
+		n, err := t.w.Write(p)
+		t.remaining -= n
+		return n, err
+	}
+	n, err := t.w.Write(p[:t.remaining])
+	t.remaining -= n
+	if err == nil {
+		err = ErrInjectedTruncation
+	}
+	return n, err
+}
+
+// ParseSpec parses the flag/env arming string: comma-separated key=value
+// pairs. Keys:
+//
+//	estimate-panic=P        panic probability per estimate call
+//	kernel-delay=P:DUR      delay probability per kernel pass and its duration
+//	estimate-nan=P          NaN probability per estimate call
+//	ckpt-truncate=P[:N]     torn-write probability per checkpoint save,
+//	                        truncating after N bytes (default 256)
+//	seed=S                  deterministic roll stream seed
+//
+// Example: "estimate-panic=0.02,kernel-delay=0.05:5ms,estimate-nan=0.01".
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Config{}, fmt.Errorf("faultinject: %q is not key=value", part)
+		}
+		switch key {
+		case "seed":
+			s, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: seed %q: %w", val, err)
+			}
+			c.Seed = s
+		case "estimate-panic":
+			p, err := parseProb(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: estimate-panic: %w", err)
+			}
+			c.EstimatePanicProb = p
+		case "estimate-nan":
+			p, err := parseProb(val)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: estimate-nan: %w", err)
+			}
+			c.EstimateNaNProb = p
+		case "kernel-delay":
+			probStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return Config{}, fmt.Errorf("faultinject: kernel-delay wants P:DURATION, got %q", val)
+			}
+			p, err := parseProb(probStr)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: kernel-delay: %w", err)
+			}
+			d, err := time.ParseDuration(durStr)
+			if err != nil || d <= 0 {
+				return Config{}, fmt.Errorf("faultinject: kernel-delay duration %q invalid", durStr)
+			}
+			c.KernelDelayProb, c.KernelDelay = p, d
+		case "ckpt-truncate":
+			probStr, atStr, hasAt := strings.Cut(val, ":")
+			p, err := parseProb(probStr)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: ckpt-truncate: %w", err)
+			}
+			c.CheckpointTruncateProb = p
+			if hasAt {
+				n, err := strconv.Atoi(atStr)
+				if err != nil || n < 0 {
+					return Config{}, fmt.Errorf("faultinject: ckpt-truncate offset %q invalid", atStr)
+				}
+				c.CheckpointTruncateAt = n
+			}
+		default:
+			return Config{}, fmt.Errorf("faultinject: unknown fault %q (want estimate-panic, kernel-delay, estimate-nan, ckpt-truncate, seed)", key)
+		}
+	}
+	return c, nil
+}
+
+// parseProb parses a probability in [0, 1].
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil || p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %q must be in [0, 1]", s)
+	}
+	return p, nil
+}

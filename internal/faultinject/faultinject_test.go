@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsInert(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() true without Arm")
+	}
+	var buf bytes.Buffer
+	if w := WrapCheckpointWriter(&buf); w != &buf {
+		t.Fatal("disarmed WrapCheckpointWriter must return the writer unchanged")
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	Arm(Config{Seed: 7, EstimatePanicProb: 1})
+	defer Disarm()
+	defer func() {
+		r := recover()
+		if r != PanicValue {
+			t.Fatalf("recovered %v, want %q", r, PanicValue)
+		}
+		if got := ReadStats().Panics; got != 1 {
+			t.Fatalf("Panics = %d, want 1", got)
+		}
+	}()
+	MaybePanicEstimate()
+	t.Fatal("MaybePanicEstimate with probability 1 did not panic")
+}
+
+func TestNaNAndDelayRates(t *testing.T) {
+	Arm(Config{Seed: 3, EstimateNaNProb: 0.5, KernelDelayProb: 1, KernelDelay: time.Microsecond})
+	defer Disarm()
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		if MaybeNaNEstimate() {
+			fired++
+		}
+	}
+	if fired < 350 || fired > 650 {
+		t.Fatalf("NaN injection fired %d/1000 times at p=0.5", fired)
+	}
+	MaybeDelayKernel()
+	st := ReadStats()
+	if st.NaNs != int64(fired) || st.Delays != 1 {
+		t.Fatalf("stats = %+v, want NaNs=%d Delays=1", st, fired)
+	}
+}
+
+func TestTruncatingWriter(t *testing.T) {
+	Arm(Config{Seed: 1, CheckpointTruncateProb: 1, CheckpointTruncateAt: 10})
+	defer Disarm()
+	var buf bytes.Buffer
+	w := WrapCheckpointWriter(&buf)
+	if w == &buf {
+		t.Fatal("armed truncation must wrap the writer")
+	}
+	n, err := w.Write(make([]byte, 8))
+	if n != 8 || err != nil {
+		t.Fatalf("first write = (%d, %v), want (8, nil)", n, err)
+	}
+	n, err = w.Write(make([]byte, 8))
+	if n != 2 || !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("overflow write = (%d, %v), want (2, ErrInjectedTruncation)", n, err)
+	}
+	if _, err := w.Write([]byte{1}); !errors.Is(err, ErrInjectedTruncation) {
+		t.Fatalf("post-truncation write error = %v", err)
+	}
+	if buf.Len() != 10 {
+		t.Fatalf("underlying writer got %d bytes, want 10", buf.Len())
+	}
+	if got := ReadStats().Truncations; got != 1 {
+		t.Fatalf("Truncations = %d, want 1", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	c, err := ParseSpec("estimate-panic=0.02, kernel-delay=0.05:5ms ,estimate-nan=0.01,ckpt-truncate=0.5:128,seed=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed:                   9,
+		EstimatePanicProb:      0.02,
+		KernelDelayProb:        0.05,
+		KernelDelay:            5 * time.Millisecond,
+		EstimateNaNProb:        0.01,
+		CheckpointTruncateProb: 0.5,
+		CheckpointTruncateAt:   128,
+	}
+	if c != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", c, want)
+	}
+	for _, bad := range []string{"estimate-panic=2", "kernel-delay=0.1", "bogus=1", "estimate-panic", "kernel-delay=0.1:-3ms"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+	if c, err := ParseSpec(""); err != nil || c != (Config{}) {
+		t.Fatalf("empty spec = (%+v, %v), want zero config", c, err)
+	}
+}

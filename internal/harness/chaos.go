@@ -1,0 +1,442 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurocard/internal/core"
+	"neurocard/internal/datagen"
+	"neurocard/internal/faultinject"
+	"neurocard/internal/query"
+	"neurocard/internal/server"
+	"neurocard/internal/workload"
+)
+
+// ChaosLoad is the fault-injection acceptance experiment (`cmd/bench -exp
+// chaos`): stand up the serving stack exactly as ServeLoad does, arm the
+// fault injector (estimate panics, kernel delays, NaN estimates), and drive a
+// mixed JSON/binary closed-loop load against it. The daemon must ride the
+// faults out:
+//
+//   - zero malformed responses — every reply is either a well-formed estimate
+//     (possibly degraded, served by the fallback) or a known error status
+//     (429/500/503/504) with a JSON error body;
+//   - the process survives — /livez answers afterwards, and with the faults
+//     disarmed the model path recovers to healthy (non-degraded) serving;
+//   - latency stays bounded — the armed kernel delays cannot push client p99
+//     past the deadline budget plus slack, because expiry answers 504;
+//   - torn checkpoint writes never corrupt serving state — an injected
+//     truncation fails the save with the original bytes intact, and a corrupt
+//     file fed to the registry is quarantined, not retried.
+//
+// Any violated invariant returns an error (the CI chaos job gates on it).
+type ChaosResult struct {
+	Requests  int   // chaos-phase requests issued
+	OK        int64 // 200s served by the model
+	Degraded  int64 // 200s served by the fallback estimator
+	Faulted   int64 // known error statuses (429/500/503/504)
+	Malformed int64 // invariant violations (must be 0)
+	P99       time.Duration
+	Report    string
+}
+
+// chaosSpec is the armed fault mix: 5% of estimates panic, 5% come back NaN,
+// and 5% of sampling kernels stall 2ms (long enough to trip tight deadlines,
+// short enough to keep the run in seconds).
+const chaosSpec = "estimate-panic=0.05,estimate-nan=0.05,kernel-delay=0.05:2ms"
+
+// chaosDeadline is the per-request budget the server enforces during the
+// chaos phase; the p99 gate is this plus generous scheduling slack.
+const chaosDeadline = 500 * time.Millisecond
+
+func ChaosLoad(o Options) (*ChaosResult, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return nil, err
+	}
+	tuples := o.TrainTuples
+	if tuples > 20*o.BatchSize {
+		tuples = 20 * o.BatchSize
+	}
+	est, _, err := BuildNeuroCard(d, o.Model, tuples, o)
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "neurocard-chaos")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ckpt := filepath.Join(dir, "joblight.ckpt")
+	if err := core.WriteCheckpointFile(est, ckpt); err != nil {
+		return nil, err
+	}
+
+	// Aggressive breaker so the run actually visits open/half-open states,
+	// with a short cooldown so the recovery check converges quickly.
+	srv := server.New(server.Config{
+		ModelsDir:         dir,
+		Workers:           o.EvalWorkers,
+		RequestTimeout:    chaosDeadline,
+		BreakerWindow:     16,
+		BreakerMinSamples: 8,
+		BreakerThreshold:  0.5,
+		BreakerCooldown:   100 * time.Millisecond,
+		BreakerProbes:     3,
+	})
+	defer srv.Close()
+	if _, err := srv.Registry().Load("joblight", ckpt); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	wl, err := workload.JOBLight(d, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wire := make([]server.QueryJSON, len(wl.Queries))
+	queries := make([]query.Query, len(wl.Queries))
+	for i, lq := range wl.Queries {
+		queries[i] = lq.Query
+		if wire[i], err = server.EncodeQuery(lq.Query); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- chaos phase ----
+	spec, err := faultinject.ParseSpec(chaosSpec + fmt.Sprintf(",seed=%d", o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	faultinject.Arm(spec)
+	defer faultinject.Disarm()
+
+	res := &ChaosResult{Requests: o.ServeRequests}
+	lats, firstMalformed := chaosLoop(client, ts.URL, wire, queries, o.ServeClients, o.ServeRequests, res)
+	stats := faultinject.ReadStats()
+	faultinject.Disarm()
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if len(lats) > 0 {
+		res.P99 = lats[len(lats)*99/100]
+	}
+
+	// The report reflects whatever was measured before a gate fired, so a
+	// failing run still ships its evidence.
+	var b strings.Builder
+	defer func() { res.Report = b.String() }()
+	fmt.Fprintf(&b, "Chaos load test (%d clients, %d requests, faults %s)\n",
+		o.ServeClients, o.ServeRequests, chaosSpec)
+	fmt.Fprintf(&b, "injected: %d panics, %d NaNs, %d kernel delays\n",
+		stats.Panics, stats.NaNs, stats.Delays)
+	fmt.Fprintf(&b, "responses: %d ok, %d degraded (fallback), %d faulted (known errors), %d malformed\n",
+		res.OK, res.Degraded, res.Faulted, res.Malformed)
+	fmt.Fprintf(&b, "client p99 %s (budget %s)\n", res.P99, chaosDeadline)
+
+	// ---- invariants ----
+	if res.Malformed > 0 {
+		return res, fmt.Errorf("chaos: %d malformed responses (first: %v)", res.Malformed, firstMalformed)
+	}
+	if res.OK+res.Degraded+res.Faulted != int64(res.Requests) {
+		return res, fmt.Errorf("chaos: response accounting broken: %d+%d+%d != %d",
+			res.OK, res.Degraded, res.Faulted, res.Requests)
+	}
+	if p99Bound := chaosDeadline*4 + time.Second; res.P99 > p99Bound {
+		return res, fmt.Errorf("chaos: client p99 %s exceeds bound %s", res.P99, p99Bound)
+	}
+
+	// The process must still be alive and, with faults disarmed, recover to
+	// healthy model serving: the open breaker's probes re-admit the model
+	// within a few cooldowns.
+	if status, err := getStatus(client, ts.URL+"/livez"); err != nil || status != http.StatusOK {
+		return res, fmt.Errorf("chaos: liveness after faults: status %d, err %v", status, err)
+	}
+	if err := awaitRecovery(client, ts.URL, &wire[0]); err != nil {
+		return res, fmt.Errorf("chaos: %w", err)
+	}
+	fmt.Fprintf(&b, "recovery: healthy (non-degraded) serving restored after disarm\n")
+
+	// ---- torn checkpoint phase ----
+	if err := tornCheckpointPhase(srv, est, dir, o.Seed); err != nil {
+		return res, fmt.Errorf("chaos: %w", err)
+	}
+	fmt.Fprintf(&b, "checkpoints: torn write left original intact; corrupt load quarantined\n")
+	return res, nil
+}
+
+// chaosLoop drives the closed-loop chaos clients: even workers speak JSON,
+// odd workers the binary protocol, and every third request carries a tight
+// client deadline so the 504 path is exercised alongside the server budget.
+// Responses are classified, never failed on: the loop's job is to prove every
+// reply is well-formed, not that every reply succeeds.
+func chaosLoop(client *http.Client, baseURL string, wire []server.QueryJSON, queries []query.Query, clients, requests int, res *ChaosResult) ([]time.Duration, error) {
+	if clients < 1 {
+		clients = 1
+	}
+	var next atomic.Int64
+	var malformed atomic.Int64
+	var ok, degraded, faulted atomic.Int64
+	var firstErr atomic.Pointer[error]
+	lats := make([]time.Duration, requests)
+	record := func(err error) {
+		if err == nil {
+			return
+		}
+		malformed.Add(1)
+		firstErr.CompareAndSwap(nil, &err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var frame []byte
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= requests {
+					return
+				}
+				deadline := ""
+				if i%3 == 0 {
+					deadline = "50"
+				}
+				t0 := time.Now()
+				var outcome chaosOutcome
+				var err error
+				if c%2 == 1 {
+					frame = server.AppendBinRequest(frame[:0], "", nil, queries[i%len(queries):i%len(queries)+1])
+					outcome, err = chaosBinRequest(client, baseURL, frame, deadline)
+				} else {
+					outcome, err = chaosJSONRequest(client, baseURL, &wire[i%len(wire)], deadline)
+				}
+				lats[i] = time.Since(t0)
+				record(err)
+				switch outcome {
+				case outcomeOK:
+					ok.Add(1)
+				case outcomeDegraded:
+					degraded.Add(1)
+				case outcomeFaulted:
+					faulted.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.OK, res.Degraded, res.Faulted, res.Malformed = ok.Load(), degraded.Load(), faulted.Load(), malformed.Load()
+	if p := firstErr.Load(); p != nil {
+		return lats, *p
+	}
+	return lats, nil
+}
+
+type chaosOutcome int
+
+const (
+	outcomeMalformed chaosOutcome = iota
+	outcomeOK
+	outcomeDegraded
+	outcomeFaulted
+)
+
+// chaosStatusKnown lists the error statuses the fault model may legitimately
+// answer with: backpressure, unmasked model faults, open breaker, deadline.
+func chaosStatusKnown(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// chaosJSONRequest issues one JSON estimate and classifies the reply.
+func chaosJSONRequest(client *http.Client, baseURL string, q *server.QueryJSON, deadlineMs string) (chaosOutcome, error) {
+	body, err := json.Marshal(server.EstimateRequest{Query: q})
+	if err != nil {
+		return outcomeMalformed, err
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/estimate", bytes.NewReader(body))
+	if err != nil {
+		return outcomeMalformed, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if deadlineMs != "" {
+		req.Header.Set("X-Deadline-Ms", deadlineMs)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcomeMalformed, fmt.Errorf("transport: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return outcomeMalformed, fmt.Errorf("read body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if !chaosStatusKnown(resp.StatusCode) {
+			return outcomeMalformed, fmt.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+		}
+		var er struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &er) != nil || er.Error == "" {
+			return outcomeMalformed, fmt.Errorf("status %d without JSON error body: %s", resp.StatusCode, raw)
+		}
+		return outcomeFaulted, nil
+	}
+	var er server.EstimateResponse
+	if err := json.Unmarshal(raw, &er); err != nil {
+		return outcomeMalformed, fmt.Errorf("200 with undecodable body: %w", err)
+	}
+	if er.Est == nil {
+		return outcomeMalformed, fmt.Errorf("200 single estimate without est: %s", raw)
+	}
+	if !finiteEstimate(*er.Est) {
+		return outcomeMalformed, fmt.Errorf("200 carried insane estimate %g", *er.Est)
+	}
+	if er.Degraded {
+		return outcomeDegraded, nil
+	}
+	return outcomeOK, nil
+}
+
+// chaosBinRequest issues one binary estimate and classifies the reply.
+func chaosBinRequest(client *http.Client, baseURL string, frame []byte, deadlineMs string) (chaosOutcome, error) {
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/estimate", bytes.NewReader(frame))
+	if err != nil {
+		return outcomeMalformed, err
+	}
+	req.Header.Set("Content-Type", server.ContentTypeBinary)
+	if deadlineMs != "" {
+		req.Header.Set("X-Deadline-Ms", deadlineMs)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return outcomeMalformed, fmt.Errorf("transport: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return outcomeMalformed, fmt.Errorf("read body: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		if !chaosStatusKnown(resp.StatusCode) {
+			return outcomeMalformed, fmt.Errorf("unexpected status %d: %s", resp.StatusCode, raw)
+		}
+		return outcomeFaulted, nil
+	}
+	br, err := server.DecodeBinResponse(raw)
+	if err != nil {
+		return outcomeMalformed, fmt.Errorf("200 with undecodable binary frame: %w", err)
+	}
+	if len(br.Ests) != 1 {
+		return outcomeMalformed, fmt.Errorf("binary response carries %d results, want 1", len(br.Ests))
+	}
+	for i, e := range br.Errs {
+		if e != "" {
+			return outcomeMalformed, fmt.Errorf("binary 200 with per-query error %d: %s", i, e)
+		}
+	}
+	if !finiteEstimate(br.Ests[0]) {
+		return outcomeMalformed, fmt.Errorf("binary 200 carried insane estimate %g", br.Ests[0])
+	}
+	if br.Degraded {
+		return outcomeDegraded, nil
+	}
+	return outcomeOK, nil
+}
+
+func finiteEstimate(est float64) bool {
+	return !math.IsNaN(est) && !math.IsInf(est, 0) && est > 0
+}
+
+// awaitRecovery polls the estimate path after faults are disarmed until a
+// healthy (non-degraded) answer arrives: the breaker's half-open probes must
+// re-admit the recovered model within a few cooldowns.
+func awaitRecovery(client *http.Client, baseURL string, q *server.QueryJSON) error {
+	deadline := time.Now().Add(10 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		outcome, err := chaosJSONRequest(client, baseURL, q, "")
+		if err == nil && outcome == outcomeOK {
+			return nil
+		}
+		last = fmt.Sprintf("outcome %d, err %v", outcome, err)
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("model did not recover to healthy serving after disarm (last: %s)", last)
+}
+
+// getStatus fetches a URL and returns only its status code.
+func getStatus(client *http.Client, url string) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// tornCheckpointPhase proves crash-safety of checkpoint I/O under injected
+// truncation: a torn atomic save must fail without touching the published
+// file, and a corrupt checkpoint handed to the registry must be quarantined
+// rather than loaded or retried.
+func tornCheckpointPhase(srv *server.Server, est *core.Estimator, dir string, seed int64) error {
+	ckpt := filepath.Join(dir, "joblight.ckpt")
+	before, err := os.ReadFile(ckpt)
+	if err != nil {
+		return err
+	}
+
+	spec, err := faultinject.ParseSpec(fmt.Sprintf("ckpt-truncate=1,seed=%d", seed))
+	if err != nil {
+		return err
+	}
+	faultinject.Arm(spec)
+	saveErr := core.WriteCheckpointFile(est, ckpt)
+	faultinject.Disarm()
+	if saveErr == nil {
+		return fmt.Errorf("torn checkpoint save reported success")
+	}
+	after, err := os.ReadFile(ckpt)
+	if err != nil {
+		return fmt.Errorf("checkpoint gone after torn save: %w", err)
+	}
+	if !bytes.Equal(before, after) {
+		return fmt.Errorf("torn save mutated the published checkpoint (%d -> %d bytes)", len(before), len(after))
+	}
+
+	// A corrupt file fed to the registry is moved aside, and the healthy
+	// generation keeps serving.
+	bad := filepath.Join(dir, "torn.ckpt")
+	if err := os.WriteFile(bad, after[:len(after)/3], 0o644); err != nil {
+		return err
+	}
+	if _, err := srv.Registry().Load("torn", bad); err == nil {
+		return fmt.Errorf("registry loaded a truncated checkpoint")
+	}
+	if _, err := os.Stat(bad + ".corrupt"); err != nil {
+		return fmt.Errorf("truncated checkpoint not quarantined: %w", err)
+	}
+	if srv.Registry().Quarantined() == 0 {
+		return fmt.Errorf("quarantine counter did not move")
+	}
+	return nil
+}

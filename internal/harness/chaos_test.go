@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosLoadSmoke runs the fault-injection experiment at the smallest
+// scale that still injects every fault class and walks the breaker through
+// open and back: the invariants (zero malformed responses, liveness,
+// recovery, torn-checkpoint containment) are asserted inside ChaosLoad
+// itself, so a nil error is the pass.
+func TestChaosLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos load test skipped in -short mode")
+	}
+	o := tiny()
+	o.TrainTuples = 4 * o.BatchSize
+	o.ServeClients = 4
+	o.ServeRequests = 64
+	res, err := ChaosLoad(o)
+	if err != nil {
+		report := ""
+		if res != nil {
+			report = res.Report
+		}
+		t.Fatalf("%v\n%s", err, report)
+	}
+	if res.Malformed != 0 {
+		t.Fatalf("malformed responses: %+v", res)
+	}
+	if res.OK+res.Degraded+res.Faulted != int64(res.Requests) {
+		t.Fatalf("response accounting: %+v", res)
+	}
+	for _, want := range []string{"Chaos load test", "responses:", "recovery:", "checkpoints:"} {
+		if !strings.Contains(res.Report, want) {
+			t.Errorf("report missing %q:\n%s", want, res.Report)
+		}
+	}
+}

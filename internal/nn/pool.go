@@ -10,7 +10,68 @@ import (
 type task struct {
 	fn     func(lo, hi int)
 	lo, hi int
-	wg     *sync.WaitGroup
+	box    *syncBox
+}
+
+// syncBox is the per-parallel-call synchronization state: the WaitGroup the
+// dispatched chunks report to, plus the first panic any chunk raised. It is
+// the single heap allocation a dispatching parallel call was already paying
+// for its escaping WaitGroup.
+//
+// Panic containment: a panic inside a worker-run chunk must not kill the
+// worker goroutine (which would crash the whole process — workers have no
+// caller to recover them). Instead every chunk, worker- or caller-run, stores
+// its panic value in the box and the dispatching caller re-raises it after
+// wg.Wait, when all sibling chunks have finished touching the output buffers.
+// The panic therefore surfaces on the goroutine that asked for the work — in
+// serving, that is an estimate worker with a recover() that converts it into
+// a positional error — and the pool stays fully usable.
+type syncBox struct {
+	wg  sync.WaitGroup
+	mu  sync.Mutex
+	pan any
+}
+
+// setPanic records the first panic raised by any chunk of the call.
+func (b *syncBox) setPanic(r any) {
+	b.mu.Lock()
+	if b.pan == nil {
+		b.pan = r
+	}
+	b.mu.Unlock()
+}
+
+// run executes one dispatched chunk under panic capture and reports done.
+func (t task) run() {
+	defer t.box.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			t.box.setPanic(r)
+		}
+	}()
+	t.fn(t.lo, t.hi)
+}
+
+// runInline executes the caller's own chunk under the same panic capture but
+// without a Done (the caller chunk is never Added): the caller must still
+// wg.Wait for workers before re-raising, or it would unwind while sibling
+// chunks write into shared buffers.
+func (t task) runInline() {
+	defer func() {
+		if r := recover(); r != nil {
+			t.box.setPanic(r)
+		}
+	}()
+	t.fn(t.lo, t.hi)
+}
+
+// finish waits for every dispatched chunk and re-raises the first captured
+// panic on the calling goroutine.
+func (b *syncBox) finish() {
+	b.wg.Wait()
+	if b.pan != nil {
+		panic(b.pan)
+	}
 }
 
 // Pool executes kernel loops across a fixed set of persistent worker
@@ -80,8 +141,7 @@ func (p *Pool) start(par int) {
 		for w := 0; w < n-1; w++ {
 			go func() {
 				for t := range p.tasks {
-					t.fn(t.lo, t.hi)
-					t.wg.Done()
+					t.run()
 				}
 			}()
 		}
@@ -112,20 +172,19 @@ func (p *Pool) parallelFor(n int, fn func(lo, hi int)) {
 	}
 	p.start(p.parallelism())
 	chunk := (n + par - 1) / par
-	var wg sync.WaitGroup
+	box := &syncBox{}
 	lo := 0
 	for ; lo+chunk < n; lo += chunk {
-		wg.Add(1)
-		t := task{fn: fn, lo: lo, hi: lo + chunk, wg: &wg}
+		box.wg.Add(1)
+		t := task{fn: fn, lo: lo, hi: lo + chunk, box: box}
 		select {
 		case p.tasks <- t:
 		default: // queue full: run the chunk inline instead of blocking
-			fn(t.lo, t.hi)
-			wg.Done()
+			t.run()
 		}
 	}
-	fn(lo, n) // the caller always takes the last chunk
-	wg.Wait()
+	task{fn: fn, lo: lo, hi: n, box: box}.runInline() // the caller always takes the last chunk
+	box.finish()
 }
 
 // parallelForSum is parallelFor for reduction loops: fn returns its chunk's
@@ -144,22 +203,22 @@ func (p *Pool) parallelForSum(n int, fn func(lo, hi int) float64) float64 {
 	chunk := (n + par - 1) / par
 	nchunks := (n + chunk - 1) / chunk
 	sums := make([]float64, nchunks)
-	var wg sync.WaitGroup
+	box := &syncBox{}
 	lo, ci := 0, 0
 	for ; lo+chunk < n; lo, ci = lo+chunk, ci+1 {
-		wg.Add(1)
-		t := task{lo: lo, hi: lo + chunk, wg: &wg}
+		box.wg.Add(1)
+		t := task{lo: lo, hi: lo + chunk, box: box}
 		slot := &sums[ci]
 		t.fn = func(lo, hi int) { *slot = fn(lo, hi) }
 		select {
 		case p.tasks <- t:
 		default:
-			t.fn(t.lo, t.hi)
-			wg.Done()
+			t.run()
 		}
 	}
-	sums[ci] = fn(lo, n)
-	wg.Wait()
+	last := &sums[ci]
+	task{fn: func(lo, hi int) { *last = fn(lo, hi) }, lo: lo, hi: n, box: box}.runInline()
+	box.finish()
 	total := 0.0
 	for _, s := range sums {
 		total += s

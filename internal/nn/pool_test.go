@@ -1,0 +1,76 @@
+package nn
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolChunkPanicSurfacesOnCaller proves the blast-radius property the
+// serving stack relies on: a panic inside one chunk of a parallel kernel
+// loop is re-raised on the goroutine that requested the loop — never left to
+// kill a worker goroutine (which would crash the process) — and the pool
+// remains fully usable afterwards.
+func TestPoolChunkPanicSurfacesOnCaller(t *testing.T) {
+	p := NewPool(4)
+	n := 8 * minChunk
+
+	caught := func() (r any) {
+		defer func() { r = recover() }()
+		p.parallelFor(n, func(lo, hi int) {
+			if lo == 0 {
+				panic("kernel chunk boom")
+			}
+		})
+		return nil
+	}()
+	if caught != "kernel chunk boom" {
+		t.Fatalf("recovered %v, want the chunk's panic value", caught)
+	}
+
+	// Panic in a non-caller chunk (dispatched to a worker) must also surface
+	// on the caller and must not wedge the WaitGroup.
+	caught = func() (r any) {
+		defer func() { r = recover() }()
+		p.parallelFor(n, func(lo, hi int) {
+			if lo != 0 {
+				panic("worker chunk boom")
+			}
+		})
+		return nil
+	}()
+	if caught != "worker chunk boom" {
+		t.Fatalf("recovered %v, want the worker chunk's panic value", caught)
+	}
+
+	// The pool still works: workers survived the panics above.
+	var mu sync.Mutex
+	covered := make([]bool, n)
+	p.parallelFor(n, func(lo, hi int) {
+		mu.Lock()
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+		mu.Unlock()
+	})
+	for i, ok := range covered {
+		if !ok {
+			t.Fatalf("index %d not covered after panic recovery", i)
+		}
+	}
+
+	// parallelForSum: same containment, and a clean run still sums correctly.
+	caught = func() (r any) {
+		defer func() { r = recover() }()
+		p.parallelForSum(n, func(lo, hi int) float64 {
+			panic("sum chunk boom")
+		})
+		return nil
+	}()
+	if caught != "sum chunk boom" {
+		t.Fatalf("recovered %v from parallelForSum, want the chunk's panic value", caught)
+	}
+	got := p.parallelForSum(n, func(lo, hi int) float64 { return float64(hi - lo) })
+	if got != float64(n) {
+		t.Fatalf("parallelForSum after panic = %g, want %d", got, n)
+	}
+}

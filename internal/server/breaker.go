@@ -1,0 +1,185 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The per-model circuit breaker guards the serving path against a model that
+// has started failing — panicking, timing out, or producing non-finite
+// estimates. Each registry Entry carries its own breaker (a hot swap
+// publishes a fresh one: a replacement model earns its own track record).
+//
+// States, exported on /metrics as neurocard_breaker_state:
+//
+//	closed (0)    normal serving; outcomes feed a rolling window, and a
+//	              failure rate at or above the threshold trips the breaker
+//	half-open (1) a bounded number of probe requests flow to the model; all
+//	              must succeed to close, any failure reopens
+//	open (2)      model traffic is short-circuited to the fallback estimator
+//	              until a jittered, exponentially-growing cooldown elapses
+const (
+	breakerClosed int32 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breakerConfig tunes one breaker. The zero value is completed by
+// withDefaults.
+type breakerConfig struct {
+	Window      int           // rolling outcome window size
+	MinSamples  int           // outcomes required before the rate can trip
+	Threshold   float64       // failure rate in (0, 1] that opens the breaker
+	Cooldown    time.Duration // first open→half-open delay; doubles per reopen
+	MaxCooldown time.Duration // exponential-backoff cap
+	Probes      int           // half-open probe budget
+
+	now    func() time.Time // test seam; nil = time.Now
+	jitter func() float64   // uniform [0, 1); nil = shared math/rand
+}
+
+func (c breakerConfig) withDefaults() breakerConfig {
+	if c.Window <= 0 {
+		c.Window = 20
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 10
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 0.5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.MaxCooldown < c.Cooldown {
+		c.MaxCooldown = 30 * time.Second
+		if c.MaxCooldown < c.Cooldown {
+			c.MaxCooldown = c.Cooldown
+		}
+	}
+	if c.Probes <= 0 {
+		c.Probes = 3
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	if c.jitter == nil {
+		c.jitter = rand.Float64
+	}
+	return c
+}
+
+// breaker is one model's circuit breaker. All transitions happen under mu;
+// the state cell is additionally atomic so metrics scrapes never contend
+// with the serving path.
+type breaker struct {
+	cfg   breakerConfig
+	state atomic.Int32
+	opens atomic.Int64 // lifetime closed/half-open → open transitions
+
+	mu       sync.Mutex
+	ring     []bool // rolling outcome window, true = failure
+	ringLen  int    // outcomes currently held (≤ len(ring))
+	ringPos  int    // next write position
+	fails    int    // failures currently in the window
+	cooldown time.Duration
+	retryAt  time.Time // open: when the next probe may pass
+	probes   int       // half-open: probe admissions remaining
+	probeOK  int       // half-open: probe successes so far
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	cfg = cfg.withDefaults()
+	return &breaker{cfg: cfg, ring: make([]bool, cfg.Window), cooldown: cfg.Cooldown}
+}
+
+// allow reports whether a request may reach the model right now. An open
+// breaker whose cooldown has elapsed transitions to half-open and admits up
+// to Probes requests; everything else it denies until the probes settle.
+func (b *breaker) allow() bool {
+	if b.state.Load() == breakerClosed {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerClosed: // raced a close; admit
+		return true
+	case breakerOpen:
+		if b.cfg.now().Before(b.retryAt) {
+			return false
+		}
+		b.state.Store(breakerHalfOpen)
+		b.probes = b.cfg.Probes
+		b.probeOK = 0
+		fallthrough
+	default: // half-open
+		if b.probes > 0 {
+			b.probes--
+			return true
+		}
+		return false
+	}
+}
+
+// record feeds one model outcome back. Closed: the outcome enters the
+// rolling window and may trip the breaker. Half-open: a failure reopens with
+// doubled cooldown; Probes successes close it and reset the window. Open:
+// stragglers from before the trip are dropped.
+func (b *breaker) record(failure bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state.Load() {
+	case breakerClosed:
+		if b.ringLen == len(b.ring) {
+			if b.ring[b.ringPos] {
+				b.fails--
+			}
+		} else {
+			b.ringLen++
+		}
+		b.ring[b.ringPos] = failure
+		if failure {
+			b.fails++
+		}
+		b.ringPos = (b.ringPos + 1) % len(b.ring)
+		if b.ringLen >= b.cfg.MinSamples && float64(b.fails) >= b.cfg.Threshold*float64(b.ringLen) {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		if failure {
+			b.cooldown *= 2
+			if b.cooldown > b.cfg.MaxCooldown {
+				b.cooldown = b.cfg.MaxCooldown
+			}
+			b.trip()
+			return
+		}
+		b.probeOK++
+		if b.probeOK >= b.cfg.Probes {
+			// Full probe budget succeeded: close with a clean window and the
+			// base cooldown restored.
+			b.state.Store(breakerClosed)
+			b.ringLen, b.ringPos, b.fails = 0, 0, 0
+			b.cooldown = b.cfg.Cooldown
+		}
+	}
+}
+
+// trip opens the breaker with a jittered retry time (mu held). Jitter keeps
+// a fleet of replicas from probing a shared failing dependency in lockstep.
+func (b *breaker) trip() {
+	b.state.Store(breakerOpen)
+	b.opens.Add(1)
+	jittered := b.cooldown + time.Duration(b.cfg.jitter()*float64(b.cooldown)/2)
+	b.retryAt = b.cfg.now().Add(jittered)
+}
+
+// currentState returns the breaker state for metrics/readiness, without
+// taking the transition lock.
+func (b *breaker) currentState() int32 { return b.state.Load() }

@@ -1,0 +1,270 @@
+package server
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeNow is an injectable breaker clock so cooldown transitions are
+// deterministic: tests advance time by hand instead of sleeping.
+type fakeNow struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeNow) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeNow) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// testBreaker builds a breaker with a small deterministic window: 4-sample
+// minimum, 50% threshold, 1s cooldown doubling to an 8s cap, 2 probes, and
+// zero jitter so retryAt is exact.
+func testBreaker(c *fakeNow) *breaker {
+	return newBreaker(breakerConfig{
+		Window:      8,
+		MinSamples:  4,
+		Threshold:   0.5,
+		Cooldown:    time.Second,
+		MaxCooldown: 8 * time.Second,
+		Probes:      2,
+		now:         c.Now,
+		jitter:      func() float64 { return 0 },
+	})
+}
+
+func TestBreakerTripHalfOpenClose(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("initial state = %d, want closed", got)
+	}
+	// Below MinSamples nothing trips, even at 100% failure.
+	b.record(true)
+	b.record(true)
+	b.record(true)
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("state after 3 failures (< MinSamples) = %d, want closed", got)
+	}
+	// Fourth outcome reaches MinSamples at 4/4 ≥ 0.5: trip.
+	b.record(true)
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("state after 4/4 failures = %d, want open", got)
+	}
+	if got := b.opens.Load(); got != 1 {
+		t.Fatalf("opens = %d, want 1", got)
+	}
+
+	// Open: denied until the cooldown elapses.
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	clk.Advance(time.Second)
+
+	// Half-open: exactly Probes admissions.
+	if !b.allow() {
+		t.Fatal("cooled-down breaker denied the first probe")
+	}
+	if got := b.currentState(); got != breakerHalfOpen {
+		t.Fatalf("state after first probe admission = %d, want half-open", got)
+	}
+	if !b.allow() {
+		t.Fatal("half-open breaker denied the second probe (budget 2)")
+	}
+	if b.allow() {
+		t.Fatal("half-open breaker admitted a third probe beyond its budget")
+	}
+
+	// Both probes succeed: closed with a clean window and base cooldown.
+	b.record(false)
+	if got := b.currentState(); got != breakerHalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %d, want half-open", got)
+	}
+	b.record(false)
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("state after all probes succeeded = %d, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("re-closed breaker denied a request")
+	}
+	// The window was reset on close: three failures are again below
+	// MinSamples and must not trip.
+	b.record(true)
+	b.record(true)
+	b.record(true)
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("state after window reset + 3 failures = %d, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureDoublesCooldown(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	for i := 0; i < 4; i++ {
+		b.record(true)
+	}
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("state = %d, want open", got)
+	}
+
+	// Probe fails: reopen with cooldown doubled to 2s.
+	clk.Advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe denied after base cooldown")
+	}
+	b.record(true)
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	if got := b.opens.Load(); got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+	clk.Advance(time.Second)
+	if b.allow() {
+		t.Fatal("breaker admitted a probe after 1s of a 2s doubled cooldown")
+	}
+	clk.Advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe denied after the doubled cooldown elapsed")
+	}
+
+	// Keep failing probes: the cooldown saturates at MaxCooldown (8s).
+	b.record(true) // 4s
+	clk.Advance(4 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe denied after 4s cooldown")
+	}
+	b.record(true) // 8s
+	clk.Advance(8 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe denied after 8s cooldown")
+	}
+	b.record(true) // would be 16s, capped at 8s
+	clk.Advance(8 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown exceeded MaxCooldown: probe denied after the 8s cap")
+	}
+
+	// A successful probe run closes the breaker and restores the base cooldown.
+	b.record(false)
+	if !b.allow() {
+		t.Fatal("second probe denied")
+	}
+	b.record(false)
+	if got := b.currentState(); got != breakerClosed {
+		t.Fatalf("state after successful probes = %d, want closed", got)
+	}
+	b.mu.Lock()
+	cd := b.cooldown
+	b.mu.Unlock()
+	if cd != time.Second {
+		t.Fatalf("cooldown after close = %v, want base 1s", cd)
+	}
+}
+
+func TestBreakerWindowSlides(t *testing.T) {
+	clk := &fakeNow{t: time.Unix(0, 0)}
+	b := testBreaker(clk)
+
+	// Fill the 8-slot window with successes, then push failures: old
+	// successes roll out, and the rate trips only when live failures reach
+	// half the window.
+	for i := 0; i < 8; i++ {
+		b.record(false)
+	}
+	for i := 0; i < 3; i++ {
+		b.record(true)
+		if got := b.currentState(); got != breakerClosed {
+			t.Fatalf("state after %d/8 failures = %d, want closed", i+1, got)
+		}
+	}
+	b.record(true)
+	if got := b.currentState(); got != breakerOpen {
+		t.Fatalf("state after 4/8 failures = %d, want open", got)
+	}
+}
+
+// TestBreakerConcurrent hammers one breaker from many goroutines (this is the
+// -race exercise: allow's lock-free closed fast path racing record's
+// transitions) and checks it lands in a coherent state.
+func TestBreakerConcurrent(t *testing.T) {
+	b := newBreaker(breakerConfig{
+		Window:     16,
+		MinSamples: 8,
+		Threshold:  0.5,
+		Cooldown:   time.Microsecond, // reopen fast so every state is visited
+		Probes:     2,
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				if b.allow() {
+					b.record(rng.Intn(2) == 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := b.currentState(); s != breakerClosed && s != breakerHalfOpen && s != breakerOpen {
+		t.Fatalf("breaker ended in impossible state %d", s)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < 0 || b.fails > b.ringLen || b.ringLen > len(b.ring) {
+		t.Fatalf("window corrupted: fails=%d ringLen=%d cap=%d", b.fails, b.ringLen, len(b.ring))
+	}
+}
+
+// TestPanicRecoveryMiddleware proves a panicking handler answers 500 and is
+// counted, instead of killing the connection.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	s.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panicking handler broke the connection: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		body.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	if !strings.Contains(body.String(), "internal panic") {
+		t.Fatalf("body = %q, want an internal-panic error", body.String())
+	}
+	if got := s.metrics.panicsTotal.Load(); got != 1 {
+		t.Fatalf("panicsTotal = %d, want 1", got)
+	}
+}

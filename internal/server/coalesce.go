@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -47,6 +48,9 @@ var (
 	// errNonFinite reports an estimate that failed the finiteness check —
 	// an internal model error, not a caller mistake.
 	errNonFinite = errors.New("server: non-finite estimate")
+	// errBreakerOpen reports a request short-circuited by an open model
+	// circuit with no fallback estimator to absorb it.
+	errBreakerOpen = errors.New("server: model circuit open and no fallback estimator configured")
 )
 
 // fuseAdaptRamp is the fused-batch-size EWMA at which the adaptive window
@@ -55,9 +59,12 @@ var (
 const fuseAdaptRamp = 16.0
 
 // pendingEstimate is one enqueued single-query request waiting for a fused
-// flush. Pooled: the done channel is reused across requests.
+// flush. Pooled: the done channel is reused across requests. ctx carries the
+// request's deadline into the fused batch, so one slow straggler can expire
+// mid-flush without touching its batchmates.
 type pendingEstimate struct {
 	q    query.Query
+	ctx  context.Context
 	seed int64
 	auto bool // unseeded: draw (config seed, fresh index) at execution
 	done chan fuseResult
@@ -111,11 +118,12 @@ func (s *Server) fuserFor(model string) *fuser {
 // for its fused result. seed == nil requests an independent unseeded sample
 // (Estimate semantics); a non-nil seed reproduces EstimateSeededIndexed(q,
 // *seed, 0) exactly.
-func (s *Server) coalesce(model string, q query.Query, seed *int64) (float64, error) {
+func (s *Server) coalesce(ctx context.Context, model string, q query.Query, seed *int64) (float64, error) {
 	// The handler resolved the model before calling us (404 fast path); the
 	// flush re-resolves so it always serves the freshest hot-swapped entry.
 	p := pendingPool.Get().(*pendingEstimate)
 	p.q = q
+	p.ctx = ctx
 	if seed != nil {
 		p.seed, p.auto = *seed, false
 	} else {
@@ -132,12 +140,18 @@ func (s *Server) coalesce(model string, q query.Query, seed *int64) (float64, er
 	select {
 	case res := <-p.done:
 		p.q = query.Query{} // drop references before pooling
+		p.ctx = nil
 		pendingPool.Put(p)
 		return res.est, res.err
 	case <-s.closing:
 		// The pending stays un-pooled: the fuser may still write its done
 		// channel after we stop listening.
 		return 0, errClosing
+	case <-ctx.Done():
+		// Deadline expired (or the client hung up) while queued or fused.
+		// The pending stays un-pooled for the same reason as above; the
+		// fused item carries ctx, so its sampling stops cooperatively too.
+		return 0, ctx.Err()
 	}
 }
 
@@ -147,6 +161,20 @@ func (s *Server) coalesce(model string, q query.Query, seed *int64) (float64, er
 // queue and form the next batch, which is exactly the pipelining that keeps
 // sessions busy without oversubscribing the kernels.
 func (f *fuser) run() {
+	// Blast-radius containment: a panic anywhere in the loop (the estimate
+	// itself is additionally guarded in flush) restarts the fuser goroutine
+	// instead of leaving the model with a dead coalescer — queued requests
+	// keep their place and the next iteration drains them.
+	defer func() {
+		if r := recover(); r != nil {
+			f.s.metrics.panicsTotal.Add(1)
+			select {
+			case <-f.s.closing:
+			default:
+				go f.run()
+			}
+		}
+	}()
 	maxBatch := f.s.cfg.FuseMaxBatch
 	batch := make([]*pendingEstimate, 0, maxBatch)
 	items := make([]core.BatchItem, 0, maxBatch)
@@ -224,16 +252,37 @@ func (f *fuser) flush(batch []*pendingEstimate, items []core.BatchItem) {
 		return
 	}
 	for _, p := range batch {
-		items = append(items, core.BatchItem{Query: p.q, Seed: p.seed, Auto: p.auto})
+		items = append(items, core.BatchItem{Query: p.q, Seed: p.seed, Auto: p.auto, Ctx: p.ctx})
 	}
-	ests, errs := entry.Est.EstimateItems(items, f.s.estimateWorkers(0, len(batch)))
+	ests, errs, panicErr := f.estimateItemsSafe(entry, items)
+	if panicErr != nil {
+		f.failAll(batch, panicErr)
+		return
+	}
 	for i, p := range batch {
 		res := fuseResult{est: ests[i], err: errs[i]}
 		if res.err == nil && (math.IsNaN(res.est) || math.IsInf(res.est, 0) || res.est <= 0) {
 			res.err = fmt.Errorf("%w %g", errNonFinite, res.est)
+			m.nonfiniteTotal.Add(1)
 		}
 		p.done <- res
 	}
+}
+
+// estimateItemsSafe runs the fused batch with a panic net. EstimateItems
+// already converts per-item panics into positional errors; this guard is the
+// second line of defense (a bug in EstimateItems itself, or in the registry
+// entry) and turns a would-be fuser death into one failed batch. The recover
+// fires before any done channel is written, so failAll never double-answers.
+func (f *fuser) estimateItemsSafe(entry *Entry, items []core.BatchItem) (ests []float64, errs []error, panicErr error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.s.metrics.panicsTotal.Add(1)
+			panicErr = fmt.Errorf("%w: %v", core.ErrEstimatePanic, r)
+		}
+	}()
+	ests, errs = entry.Est.EstimateItems(items, f.s.estimateWorkers(0, len(items)))
+	return ests, errs, nil
 }
 
 // failAll answers every pending in batch with err.

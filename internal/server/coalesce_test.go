@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -148,7 +149,7 @@ func TestCoalesceWindowFlushFusesBatch(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		ests[0], errs[0] = srv.coalesce("m", queries[0], &seed)
+		ests[0], errs[0] = srv.coalesce(context.Background(), "m", queries[0], &seed)
 	}()
 	<-clock.afterCalled
 	f := srv.fuserFor("m")
@@ -159,7 +160,7 @@ func TestCoalesceWindowFlushFusesBatch(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			ests[i], errs[i] = srv.coalesce("m", queries[i], &seed)
+			ests[i], errs[i] = srv.coalesce(context.Background(), "m", queries[i], &seed)
 		}(i)
 	}
 	waitFor(t, "all requests collected", func() bool {
@@ -288,7 +289,7 @@ func TestCoalesceAdaptiveWindowDecays(t *testing.T) {
 	}
 	q := query.Query{Tables: []string{"A"}}
 	for i := 0; i < 3; i++ {
-		if _, err := srv.coalesce("m", q, nil); err != nil {
+		if _, err := srv.coalesce(context.Background(), "m", q, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

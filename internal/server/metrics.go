@@ -117,6 +117,12 @@ type metrics struct {
 	loadsTotal    atomic.Int64 // model (re)loads
 	binaryTotal   atomic.Int64 // estimate requests on the binary protocol
 
+	// Fault-tolerance counters.
+	timeoutsTotal  atomic.Int64 // estimates failed on an expired deadline
+	fallbackTotal  atomic.Int64 // query estimates served by the fallback estimator
+	panicsTotal    atomic.Int64 // panics recovered in handlers/coalescer
+	nonfiniteTotal atomic.Int64 // estimates rejected by the sanity guard
+
 	inflight     atomic.Int64 // estimate requests currently executing
 	inflightPeak atomic.Int64
 }
@@ -155,17 +161,21 @@ func (m *metrics) requestStart() (done func(queries int, err bool)) {
 	}
 }
 
-// poolStat is one model's session-pool occupancy and plan-cache snapshot.
+// poolStat is one model's session-pool occupancy, plan-cache, and breaker
+// snapshot.
 type poolStat struct {
-	model       string
-	free, inUse int
-	plans       core.PlanCacheStats
+	model        string
+	free, inUse  int
+	plans        core.PlanCacheStats
+	hasBreaker   bool
+	breakerState int32 // breakerClosed / breakerHalfOpen / breakerOpen
+	breakerOpens int64 // lifetime open transitions
 }
 
 // render writes the Prometheus text exposition of every counter. pools
 // carries the per-model session-pool occupancy and fusers the per-model
 // coalescer state, both sampled at scrape time.
-func (m *metrics) render(pools []poolStat, fusers []CoalesceStats) string {
+func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined int64) string {
 	var b strings.Builder
 	uptime := time.Since(m.start).Seconds()
 	queries := m.queriesTotal.Load()
@@ -203,6 +213,11 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats) string {
 	counter("neurocard_model_loads_total", "Model checkpoint (re)loads.", m.loadsTotal.Load())
 	counter("neurocard_binary_requests_total", "Estimate requests on the binary wire protocol.", m.binaryTotal.Load())
 	counter("neurocard_coalesce_rejected_total", "Estimate requests rejected by coalescer admission control (429).", m.coalesceRejected.Load())
+	counter("neurocard_request_timeouts_total", "Query estimates failed on an expired deadline (504).", m.timeoutsTotal.Load())
+	counter("neurocard_fallback_total", "Query estimates served by the fallback estimator while degraded.", m.fallbackTotal.Load())
+	counter("neurocard_recovered_panics_total", "Panics recovered by the serving blast-radius guards.", m.panicsTotal.Load())
+	counter("neurocard_nonfinite_estimates_total", "Estimates rejected by the NaN/Inf/non-positive sanity guard.", m.nonfiniteTotal.Load())
+	counter("neurocard_checkpoints_quarantined_total", "Corrupt checkpoint files moved aside at load.", quarantined)
 
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
@@ -234,6 +249,21 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats) string {
 	fmt.Fprintf(&b, "# HELP neurocard_coalesce_window_current_seconds Adaptive collection window per model at scrape time.\n# TYPE neurocard_coalesce_window_current_seconds gauge\n")
 	for _, f := range fusers {
 		fmt.Fprintf(&b, "neurocard_coalesce_window_current_seconds{model=%q} %g\n", f.Model, f.Window.Seconds())
+	}
+
+	// Breaker state per model: 0 = closed (healthy), 1 = half-open (probing),
+	// 2 = open (fallback serving). Absent for models without a breaker.
+	fmt.Fprintf(&b, "# HELP neurocard_breaker_state Circuit breaker state per model (0 closed, 1 half-open, 2 open).\n# TYPE neurocard_breaker_state gauge\n")
+	for _, p := range pools {
+		if p.hasBreaker {
+			fmt.Fprintf(&b, "neurocard_breaker_state{model=%q} %d\n", p.model, p.breakerState)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP neurocard_breaker_opens_total Circuit breaker open transitions per model.\n# TYPE neurocard_breaker_opens_total counter\n")
+	for _, p := range pools {
+		if p.hasBreaker {
+			fmt.Fprintf(&b, "neurocard_breaker_opens_total{model=%q} %d\n", p.model, p.breakerOpens)
+		}
 	}
 
 	fmt.Fprintf(&b, "# HELP neurocard_sessions_in_use Inference sessions checked out per model.\n# TYPE neurocard_sessions_in_use gauge\n")

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	hist "neurocard/internal/baselines/histogram"
 	"neurocard/internal/core"
 )
 
@@ -21,12 +22,23 @@ import (
 // Entries are never mutated after publication — a reload publishes a new
 // Entry — so a request that grabbed one keeps a consistent (estimator,
 // metadata) pair for its whole lifetime regardless of concurrent swaps.
+//
+// Breaker and Fallback are the entry's fault-tolerance companions, built at
+// install time (nil when the server disables them): the circuit breaker
+// tracks this model generation's health — a hot swap starts a fresh breaker,
+// since a replacement model deserves its own track record — and the
+// histogram baseline answers in the model's stead while the breaker is open.
+// The breaker's internal counters mutate, but the pointer itself is
+// immutable like the rest of the entry.
 type Entry struct {
 	Name     string
 	Path     string
 	Est      *core.Estimator
 	LoadedAt time.Time
 	Gen      int // reload generation of this name, starting at 1
+
+	Breaker  *breaker
+	Fallback *hist.Estimator
 }
 
 // Registry maps model names to loaded estimators. Lookups by name take a
@@ -37,6 +49,14 @@ type Entry struct {
 // garbage-collected once the last request drains.
 type Registry struct {
 	dir string
+
+	// Fault-tolerance factories, set by the owning Server before any load
+	// (nil = feature off): newBreaker builds each entry's circuit breaker,
+	// newFallback its shadow estimator.
+	newBreaker  func() *breaker
+	newFallback func(est *core.Estimator) *hist.Estimator
+
+	quarantined atomic.Int64 // corrupt checkpoints moved aside by Load
 
 	mu     sync.RWMutex
 	models map[string]*Entry
@@ -88,10 +108,23 @@ func (r *Registry) Load(name, path string) (*Entry, error) {
 	defer f.Close()
 	est, err := core.LoadCheckpoint(f)
 	if err != nil {
-		return nil, fmt.Errorf("server: load model %q: %w", name, err)
+		// The file failed validation: quarantine it so a crashed or corrupt
+		// checkpoint can't be retried forever (or silently picked up by a
+		// restart), and keep whatever entry this name already serves — a
+		// failed reload must never take down a healthy model.
+		err = fmt.Errorf("server: load model %q: %w", name, err)
+		qpath := path + ".corrupt"
+		if renameErr := os.Rename(path, qpath); renameErr == nil {
+			r.quarantined.Add(1)
+			err = fmt.Errorf("%w (checkpoint quarantined to %s)", err, qpath)
+		}
+		return nil, err
 	}
 	return r.Install(name, path, est)
 }
+
+// Quarantined reports how many corrupt checkpoints Load has moved aside.
+func (r *Registry) Quarantined() int64 { return r.quarantined.Load() }
 
 // Install publishes an already-restored estimator under name (the daemon's
 // preload path and the test seam). Swap semantics match Load.
@@ -99,12 +132,19 @@ func (r *Registry) Install(name, path string, est *core.Estimator) (*Entry, erro
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
-	r.mu.Lock()
-	gen := 1
-	if prev, ok := r.models[name]; ok {
-		gen = prev.Gen + 1
+	e := &Entry{Name: name, Path: path, Est: est, LoadedAt: time.Now()}
+	if r.newBreaker != nil {
+		e.Breaker = r.newBreaker()
 	}
-	e := &Entry{Name: name, Path: path, Est: est, LoadedAt: time.Now(), Gen: gen}
+	if r.newFallback != nil {
+		// Built outside the lock: the ANALYZE pass scans every table.
+		e.Fallback = r.newFallback(est)
+	}
+	r.mu.Lock()
+	e.Gen = 1
+	if prev, ok := r.models[name]; ok {
+		e.Gen = prev.Gen + 1
+	}
 	r.models[name] = e
 	// Become the default if there is none, or swap the default in place when
 	// the default model itself was reloaded.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	hist "neurocard/internal/baselines/histogram"
 	"neurocard/internal/core"
 	"neurocard/internal/query"
 	"neurocard/internal/value"
@@ -50,6 +52,26 @@ type Config struct {
 	// goroutine instead of fusing them — the pre-coalescer behavior, kept
 	// for A/B measurement and as an operational escape hatch.
 	NoCoalesce bool
+
+	// RequestTimeout bounds each estimate request end to end, including
+	// coalescer queueing and sampling (0 = unbounded). Clients may tighten —
+	// never loosen — their own budget with an X-Deadline-Ms header; expiry
+	// answers 504 and increments neurocard_request_timeouts_total.
+	RequestTimeout time.Duration
+
+	// Breaker* tune the per-model circuit breaker. A negative
+	// BreakerThreshold disables breakers entirely; zero values select the
+	// defaults (window 20, min samples 10, threshold 0.5, cooldown 1s,
+	// probes 3).
+	BreakerWindow     int
+	BreakerMinSamples int
+	BreakerThreshold  float64
+	BreakerCooldown   time.Duration
+	BreakerProbes     int
+
+	// NoFallback disables the per-model histogram shadow estimator; an open
+	// breaker then answers 503 instead of serving degraded estimates.
+	NoFallback bool
 
 	// SLOLatencyP99 is the p99 request-latency target exported on /metrics
 	// as the SLO gauges (default 25ms).
@@ -106,10 +128,31 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		closing: make(chan struct{}),
 	}
+	if cfg.BreakerThreshold >= 0 {
+		bc := breakerConfig{
+			Window:     cfg.BreakerWindow,
+			MinSamples: cfg.BreakerMinSamples,
+			Threshold:  cfg.BreakerThreshold,
+			Cooldown:   cfg.BreakerCooldown,
+			Probes:     cfg.BreakerProbes,
+		}
+		s.reg.newBreaker = func() *breaker { return newBreaker(bc) }
+	}
+	if !cfg.NoFallback {
+		s.reg.newFallback = func(est *core.Estimator) *hist.Estimator {
+			sch := est.Schema()
+			if sch == nil {
+				return nil
+			}
+			return hist.New(sch, hist.DefaultConfig())
+		}
+	}
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
@@ -123,8 +166,23 @@ func (s *Server) Close() {
 // Registry exposes the model registry (daemon preloading, tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// Handler returns the root HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root HTTP handler: the route mux wrapped in
+// panic-recovery middleware, so a handler bug answers one request with a 500
+// instead of killing its connection (or, uncaught anywhere, the process).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler { // deliberate abort, not a fault
+					panic(rec)
+				}
+				s.metrics.panicsTotal.Add(1)
+				s.fail(w, http.StatusInternalServerError, fmt.Errorf("server: internal panic: %v", rec))
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
 
 // ---- wire types ----
 
@@ -173,8 +231,11 @@ type EstimateResponse struct {
 	Est    *float64  `json:"est,omitempty"`
 	Ests   []float64 `json:"ests,omitempty"`
 	Errors []string  `json:"errors,omitempty"`
-	Count  int       `json:"count"`
-	Micros int64     `json:"micros"`
+	// Degraded marks estimates served by the histogram fallback estimator
+	// (model circuit open) rather than the neural model.
+	Degraded bool  `json:"degraded,omitempty"`
+	Count    int   `json:"count"`
+	Micros   int64 `json:"micros"`
 }
 
 // ModelInfo describes one registry entry.
@@ -212,6 +273,16 @@ type errorResponse struct {
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	done := s.metrics.requestStart()
 	bin := strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary)
+
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		done(0, true)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
 
 	var (
 		model   string
@@ -284,24 +355,31 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	if single {
-		est, err := s.estimateSingle(entry, model, queries[0], seed)
+		est, degraded, err := s.estimateSingle(ctx, entry, model, queries[0], seed)
 		if err != nil {
 			status := estimateStatus(err)
 			if status == http.StatusTooManyRequests {
 				w.Header().Set("Retry-After", "1")
 			}
+			if status == http.StatusGatewayTimeout {
+				s.metrics.timeoutsTotal.Add(1)
+			}
 			s.fail(w, status, err)
 			done(0, true)
 			return
 		}
+		if degraded {
+			s.metrics.fallbackTotal.Add(1)
+		}
 		if bin {
-			s.replyBin(w, buf, entry.Name, []float64{est}, nil)
+			s.replyBin(w, buf, entry.Name, []float64{est}, nil, degraded)
 		} else {
 			s.reply(w, http.StatusOK, EstimateResponse{
-				Model:  entry.Name,
-				Est:    &est,
-				Count:  1,
-				Micros: time.Since(start).Microseconds(),
+				Model:    entry.Name,
+				Est:      &est,
+				Degraded: degraded,
+				Count:    1,
+				Micros:   time.Since(start).Microseconds(),
 			})
 		}
 		done(1, false)
@@ -313,21 +391,56 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// per-query positional errors — a bad query no longer poisons its
 	// batchmates. Seeded batches reproduce EstimateBatchSeeded exactly:
 	// query i draws from (seed, i); unseeded from (config seed, i).
-	base := entry.Est.Config().Seed
-	if seed != nil {
-		base = *seed
+	//
+	// Degradation is whole-request: an open breaker answers the entire batch
+	// from the fallback estimator with Degraded set; a closed breaker runs
+	// the model and feeds every item's outcome back into the window.
+	br := entry.Breaker
+	degraded := false
+	var ests []float64
+	var errs []error
+	if br != nil && !br.allow() {
+		if entry.Fallback == nil {
+			s.fail(w, http.StatusServiceUnavailable, errBreakerOpen)
+			done(0, true)
+			return
+		}
+		degraded = true
+		ests = make([]float64, len(queries))
+		errs = make([]error, len(queries))
+		for i, q := range queries {
+			ests[i], errs[i] = s.fallbackEstimate(entry, q)
+		}
+	} else {
+		base := entry.Est.Config().Seed
+		if seed != nil {
+			base = *seed
+		}
+		items := make([]core.BatchItem, len(queries))
+		for i, q := range queries {
+			items[i] = core.BatchItem{Query: q, Seed: base, Idx: int64(i), Ctx: ctx}
+		}
+		ests, errs = entry.Est.EstimateItems(items, s.estimateWorkers(workers, len(items)))
 	}
-	items := make([]core.BatchItem, len(queries))
-	for i, q := range queries {
-		items[i] = core.BatchItem{Query: q, Seed: base, Idx: int64(i)}
-	}
-	ests, errs := entry.Est.EstimateItems(items, s.estimateWorkers(workers, len(items)))
 	var errStrings []string
 	nOK := 0
 	for i, est := range ests {
 		qerr := errs[i]
-		if qerr == nil && (math.IsNaN(est) || math.IsInf(est, 0) || est <= 0) {
+		if qerr == nil && !finitePositive(est) {
 			qerr = fmt.Errorf("%w %g", errNonFinite, est)
+			s.metrics.nonfiniteTotal.Add(1)
+		}
+		if !degraded {
+			if errors.Is(qerr, context.DeadlineExceeded) {
+				s.metrics.timeoutsTotal.Add(1)
+			}
+			if br != nil {
+				if modelFault(qerr) {
+					br.record(true)
+				} else if qerr == nil {
+					br.record(false)
+				}
+			}
 		}
 		if qerr != nil {
 			if errStrings == nil {
@@ -339,39 +452,124 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		nOK++
 	}
+	if degraded {
+		s.metrics.fallbackTotal.Add(int64(nOK))
+	}
 	if bin {
-		s.replyBin(w, buf, entry.Name, ests, errStrings)
+		s.replyBin(w, buf, entry.Name, ests, errStrings, degraded)
 	} else {
 		s.reply(w, http.StatusOK, EstimateResponse{
-			Model:  entry.Name,
-			Ests:   ests,
-			Errors: errStrings,
-			Count:  len(ests),
-			Micros: time.Since(start).Microseconds(),
+			Model:    entry.Name,
+			Ests:     ests,
+			Errors:   errStrings,
+			Degraded: degraded,
+			Count:    len(ests),
+			Micros:   time.Since(start).Microseconds(),
 		})
 	}
 	done(nOK, errStrings != nil)
 }
 
-// estimateSingle serves one single-query estimate: through the model's
-// coalescer by default, or inline on the handler goroutine under NoCoalesce.
-// Both paths yield identical results for a seeded request — (seed, 0) — and
-// independent samples for an unseeded one.
-func (s *Server) estimateSingle(entry *Entry, model string, q query.Query, seed *int64) (float64, error) {
-	if !s.cfg.NoCoalesce {
-		return s.coalesce(model, q, seed)
+// requestContext derives the request's estimate budget: the server-wide
+// RequestTimeout, optionally tightened (never loosened) by the client's
+// X-Deadline-Ms header. The returned context also inherits client-disconnect
+// cancellation from the http.Request.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	timeout := s.cfg.RequestTimeout
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("invalid X-Deadline-Ms header %q (want a positive integer)", h)
+		}
+		if d := time.Duration(ms) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
 	}
-	var est float64
-	var err error
-	if seed != nil {
-		est, err = entry.Est.EstimateSeededIndexed(q, *seed, 0)
-	} else {
-		est, err = entry.Est.Estimate(q)
+	if timeout <= 0 {
+		return r.Context(), nil, nil
 	}
-	if err == nil && (math.IsNaN(est) || math.IsInf(est, 0) || est <= 0) {
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	return ctx, cancel, nil
+}
+
+// estimateSingle serves one single-query estimate with the full
+// fault-tolerance ladder. An open breaker short-circuits to the fallback
+// estimator (degraded=true). Otherwise the model runs — through the
+// coalescer by default, inline under NoCoalesce; both paths yield identical
+// results for a seeded request ((seed, 0)) and independent samples for an
+// unseeded one — and its outcome feeds the breaker: panics, non-finite
+// estimates, and deadline expiries count as model faults, caller mistakes
+// and backpressure do not. A model fault other than a timeout (the client's
+// budget is spent; per the API contract expiry answers 504) is then masked
+// by the fallback when one exists.
+func (s *Server) estimateSingle(ctx context.Context, entry *Entry, model string, q query.Query, seed *int64) (est float64, degraded bool, err error) {
+	br := entry.Breaker
+	if br != nil && !br.allow() {
+		if entry.Fallback == nil {
+			return 0, false, errBreakerOpen
+		}
+		est, err = s.fallbackEstimate(entry, q)
+		return est, err == nil, err
+	}
+
+	est, err = s.modelEstimate(ctx, entry, model, q, seed)
+	if err == nil && !finitePositive(est) {
 		err = fmt.Errorf("%w %g", errNonFinite, est)
+		s.metrics.nonfiniteTotal.Add(1)
 	}
-	return est, err
+	if br != nil {
+		if modelFault(err) {
+			br.record(true)
+		} else if err == nil {
+			br.record(false)
+		}
+	}
+	if err != nil && entry.Fallback != nil && modelFault(err) && !errors.Is(err, context.DeadlineExceeded) {
+		if fb, ferr := s.fallbackEstimate(entry, q); ferr == nil {
+			return fb, true, nil
+		}
+	}
+	return est, false, err
+}
+
+// modelEstimate runs one single-query estimate on the neural model.
+func (s *Server) modelEstimate(ctx context.Context, entry *Entry, model string, q query.Query, seed *int64) (float64, error) {
+	if !s.cfg.NoCoalesce {
+		return s.coalesce(ctx, model, q, seed)
+	}
+	if seed != nil {
+		return entry.Est.EstimateSeededIndexedCtx(ctx, q, *seed, 0)
+	}
+	return entry.Est.EstimateCtx(ctx, q)
+}
+
+// fallbackEstimate answers one query from the entry's histogram shadow
+// estimator, applying the same sanity guard as the model path.
+func (s *Server) fallbackEstimate(entry *Entry, q query.Query) (float64, error) {
+	est, err := entry.Fallback.Estimate(q)
+	if err != nil {
+		return 0, err
+	}
+	if !finitePositive(est) {
+		s.metrics.nonfiniteTotal.Add(1)
+		return 0, fmt.Errorf("%w %g (fallback)", errNonFinite, est)
+	}
+	return est, nil
+}
+
+// finitePositive is the estimate sanity guard: anything else is an internal
+// error and must never be served as a cardinality.
+func finitePositive(est float64) bool {
+	return !math.IsNaN(est) && !math.IsInf(est, 0) && est > 0
+}
+
+// modelFault reports whether an estimate error indicts the model itself —
+// the outcomes that feed the circuit breaker. Caller mistakes (bad queries),
+// backpressure, shutdown, and client disconnects do not.
+func modelFault(err error) bool {
+	return errors.Is(err, core.ErrEstimatePanic) ||
+		errors.Is(err, errNonFinite) ||
+		errors.Is(err, context.DeadlineExceeded)
 }
 
 // estimateStatus maps a single-query estimate error onto its HTTP status.
@@ -379,9 +577,11 @@ func estimateStatus(err error) int {
 	switch {
 	case errors.Is(err, errSaturated):
 		return http.StatusTooManyRequests
-	case errors.Is(err, errClosing):
+	case errors.Is(err, errClosing), errors.Is(err, errBreakerOpen):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, errNonFinite):
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errNonFinite), errors.Is(err, core.ErrEstimatePanic):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
@@ -445,18 +645,60 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status string `json:"status"`
-		Models int    `json:"models"`
-		Ready  bool   `json:"ready"`
-		Uptime string `json:"uptime"`
+		Status   string `json:"status"`
+		Models   int    `json:"models"`
+		Ready    bool   `json:"ready"`
+		Degraded bool   `json:"degraded"`
+		Uptime   string `json:"uptime"`
 	}
 	n := s.reg.Len()
 	s.reply(w, http.StatusOK, health{
-		Status: "ok",
-		Models: n,
-		Ready:  n > 0,
-		Uptime: time.Since(s.metrics.start).Round(time.Millisecond).String(),
+		Status:   "ok",
+		Models:   n,
+		Ready:    n > 0,
+		Degraded: s.degraded(),
+		Uptime:   time.Since(s.metrics.start).Round(time.Millisecond).String(),
 	})
+}
+
+// handleLivez is the liveness probe: the process is up and serving HTTP.
+// Always 200 — restarts are for hung processes, not missing models.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	s.reply(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"alive"})
+}
+
+// handleReadyz is the readiness probe: 503 until a model is loaded (don't
+// route traffic here yet), 200 otherwise — including degraded-but-serving,
+// which is reported in the body for observability but keeps the instance in
+// rotation, since it still answers every request (via the fallback).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	type readiness struct {
+		Status   string `json:"status"`
+		Ready    bool   `json:"ready"`
+		Models   int    `json:"models"`
+		Degraded bool   `json:"degraded"`
+	}
+	n := s.reg.Len()
+	resp := readiness{Status: "ok", Ready: n > 0, Models: n, Degraded: s.degraded()}
+	status := http.StatusOK
+	if !resp.Ready {
+		resp.Status = "no models loaded"
+		status = http.StatusServiceUnavailable
+	}
+	s.reply(w, status, resp)
+}
+
+// degraded reports whether any model's breaker is currently not closed.
+func (s *Server) degraded() bool {
+	entries, _ := s.reg.List()
+	for _, e := range entries {
+		if e.Breaker != nil && e.Breaker.currentState() != breakerClosed {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -464,10 +706,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pools := make([]poolStat, 0, len(entries))
 	for _, e := range entries {
 		free, inUse := e.Est.SessionPoolStats()
-		pools = append(pools, poolStat{model: e.Name, free: free, inUse: inUse, plans: e.Est.PlanCacheStats()})
+		ps := poolStat{model: e.Name, free: free, inUse: inUse, plans: e.Est.PlanCacheStats()}
+		if e.Breaker != nil {
+			ps.breakerState = e.Breaker.currentState()
+			ps.breakerOpens = e.Breaker.opens.Load()
+			ps.hasBreaker = true
+		}
+		pools = append(pools, ps)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.metrics.render(pools, s.coalesceStats())))
+	_, _ = w.Write([]byte(s.metrics.render(pools, s.coalesceStats(), s.reg.Quarantined())))
 }
 
 // ---- helpers ----
@@ -493,8 +741,8 @@ func (s *Server) readBinBody(w http.ResponseWriter, r *http.Request, dst []byte)
 
 // replyBin writes a 200 binary estimate response, reusing the request's
 // pooled scratch buffer for the encoding.
-func (s *Server) replyBin(w http.ResponseWriter, buf *[]byte, model string, ests []float64, errs []string) {
-	out := AppendBinResponse((*buf)[:0], model, ests, errs)
+func (s *Server) replyBin(w http.ResponseWriter, buf *[]byte, model string, ests []float64, errs []string, degraded bool) {
+	out := AppendBinResponse((*buf)[:0], model, ests, errs, degraded)
 	*buf = out
 	w.Header().Set("Content-Type", ContentTypeBinary)
 	w.Header().Set("Content-Length", strconv.Itoa(len(out)))

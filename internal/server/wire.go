@@ -34,7 +34,8 @@ const ContentTypeBinary = "application/x-neurocard-bin"
 //
 //	[3]byte  magic "NCB"
 //	byte     version (1)
-//	byte     flags: bit0 = per-query error strings present
+//	byte     flags: bit0 = per-query error strings present,
+//	         bit1 = degraded (served by the fallback estimator)
 //	uvarint  model name length + bytes (the serving model)
 //	uvarint  nResults
 //	nResults × float64 estimates, little-endian (0 where that query errored)
@@ -50,6 +51,7 @@ const (
 
 	binFlagSeeded    = 1 << 0 // request: seed field present
 	binFlagErrors    = 1 << 0 // response: per-query error section present
+	binFlagDegraded  = 1 << 1 // response: served by the fallback estimator
 	binHeaderLen     = len(binMagic) + 2
 	maxBinModelBytes = 1 << 10
 )
@@ -65,11 +67,13 @@ type BinRequest struct {
 
 // BinResponse is the decoded form of a binary estimate response. Errs is nil
 // when every query succeeded; otherwise it is positionally aligned with Ests
-// and holds "" for the queries that succeeded.
+// and holds "" for the queries that succeeded. Degraded marks estimates
+// served by the fallback estimator rather than the neural model.
 type BinResponse struct {
-	Model string
-	Ests  []float64
-	Errs  []string
+	Model    string
+	Ests     []float64
+	Errs     []string
+	Degraded bool
 }
 
 // appendBinHeader writes the shared frame header.
@@ -158,10 +162,13 @@ func DecodeBinRequest(b []byte) (BinRequest, error) {
 // AppendBinResponse encodes a binary estimate response into dst and returns
 // the extended slice — the server-side encoder, fed from a pooled buffer so
 // the hot path allocates nothing.
-func AppendBinResponse(dst []byte, model string, ests []float64, errs []string) []byte {
+func AppendBinResponse(dst []byte, model string, ests []float64, errs []string, degraded bool) []byte {
 	var flags byte
 	if errs != nil {
 		flags |= binFlagErrors
+	}
+	if degraded {
+		flags |= binFlagDegraded
 	}
 	dst = appendBinHeader(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(model)))
@@ -187,9 +194,10 @@ func DecodeBinResponse(b []byte) (BinResponse, error) {
 	if err != nil {
 		return BinResponse{}, err
 	}
-	if flags&^binFlagErrors != 0 {
+	if flags&^(binFlagErrors|binFlagDegraded) != 0 {
 		return BinResponse{}, fmt.Errorf("server: unknown binary response flags %#x", flags)
 	}
+	resp.Degraded = flags&binFlagDegraded != 0
 	if resp.Model, b, err = readBinString(b, maxBinModelBytes); err != nil {
 		return BinResponse{}, fmt.Errorf("server: binary response model: %w", err)
 	}

@@ -61,7 +61,7 @@ func TestBinaryWireRoundTrip(t *testing.T) {
 		errs []string
 	}{{"ok", nil}, {"partial-errors", []string{"", "query 1 failed"}}} {
 		ests := []float64{1234.5678, math.SmallestNonzeroFloat64}
-		frame := server.AppendBinResponse(nil, "m", ests, tc.errs)
+		frame := server.AppendBinResponse(nil, "m", ests, tc.errs, false)
 		resp, err := server.DecodeBinResponse(frame)
 		if err != nil {
 			t.Fatalf("%s: %v", tc.name, err)
@@ -112,7 +112,7 @@ func TestBinaryWireRejectsCorruption(t *testing.T) {
 		}
 	}
 
-	goodResp := server.AppendBinResponse(nil, "m", []float64{1, 2}, []string{"", "x"})
+	goodResp := server.AppendBinResponse(nil, "m", []float64{1, 2}, []string{"", "x"}, false)
 	for n := 0; n < len(goodResp); n++ {
 		if _, err := server.DecodeBinResponse(goodResp[:n]); err == nil {
 			t.Errorf("response truncation at %d/%d accepted", n, len(goodResp))

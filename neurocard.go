@@ -153,6 +153,15 @@ func SaveEstimator(e *Estimator, w io.Writer) error {
 	return core.SaveCheckpoint(e, w)
 }
 
+// SaveEstimatorFile writes a full-estimator checkpoint to path atomically:
+// the bytes land in a same-directory temp file that is fsynced and renamed
+// over path only after a fully successful write, so a crash (or failed disk)
+// mid-save can never leave a torn checkpoint where a loadable one — or
+// nothing — used to be.
+func SaveEstimatorFile(e *Estimator, path string) error {
+	return core.WriteCheckpointFile(e, path)
+}
+
 // LoadEstimator restores a checkpoint written by SaveEstimator to a
 // ready-to-serve estimator: Estimate/EstimateBatch work immediately, and
 // Train/UpdateData continue to work for incremental updates after a restart.

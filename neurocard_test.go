@@ -3,6 +3,8 @@ package neurocard_test
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"neurocard"
@@ -148,6 +150,37 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	if _, err := restored.Train(2_000); err != nil {
 		t.Errorf("restored estimator cannot train: %v", err)
+	}
+	// Atomic file save: byte-identical to the streaming writer, restores the
+	// same, and leaves no temp debris behind.
+	path := filepath.Join(t.TempDir(), "est.ckpt")
+	if err := neurocard.SaveEstimatorFile(est, path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, ckpt.Bytes()) {
+		t.Errorf("SaveEstimatorFile bytes differ from SaveEstimator (%d vs %d)", len(onDisk), ckpt.Len())
+	}
+	fromFile, err := neurocard.LoadEstimator(bytes.NewReader(onDisk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotF, err := neurocard.EstimateSeeded(fromFile, q, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gotF-want) > 1e-9*math.Max(1, want) {
+		t.Errorf("file-restored estimator: %v, want %v", gotF, want)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("atomic save left temp debris: %v", entries)
 	}
 	if _, err := neurocard.InnerJoinSize(sch, []string{"movies", "ratings"}); err != nil {
 		t.Fatal(err)

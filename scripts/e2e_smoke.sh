@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # End-to-end serving smoke test: train a tiny synthetic model, save a
-# full-estimator checkpoint, start the serving daemon, and assert that a
-# POST /v1/estimate round trip returns a finite positive cardinality.
+# full-estimator checkpoint, start the serving daemon, assert that a
+# POST /v1/estimate round trip returns a finite positive cardinality, and
+# assert that SIGTERM drains in-flight requests before the daemon exits 0.
 # Run from the repository root; used by the CI e2e-smoke job.
 set -euo pipefail
 
@@ -22,11 +23,14 @@ go run ./cmd/neurocard -scale 0.05 -tuples 4096 -hidden 48 -embed 8 \
 
 echo "=== starting neurocardd on $ADDR"
 go build -o "$WORKDIR/neurocardd" ./cmd/neurocardd
-"$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight &
+# The fault-tolerance flags ride along to prove they parse and serve.
+"$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight \
+    -request-timeout 30s -breaker-cooldown 2s &
 DAEMON_PID=$!
 
+# Readiness probe: /readyz answers 503 until the model is loaded.
 for i in $(seq 1 50); do
-    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+    if curl -sf "http://$ADDR/readyz" >/dev/null 2>&1; then
         break
     fi
     if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
@@ -36,7 +40,12 @@ for i in $(seq 1 50); do
     sleep 0.2
 done
 
-echo "=== healthz"
+echo "=== health surfaces"
+curl -sf "http://$ADDR/livez" | grep -q '"status":"alive"'
+READY=$(curl -sf "http://$ADDR/readyz")
+echo "$READY"
+echo "$READY" | grep -q '"ready":true'
+echo "$READY" | grep -q '"degraded":false'
 HEALTH=$(curl -sf "http://$ADDR/healthz")
 echo "$HEALTH"
 echo "$HEALTH" | grep -q '"ready":true'
@@ -119,10 +128,60 @@ fi
 echo "binary estimate $BIN_EST matches JSON estimate exactly"
 
 echo "=== metrics"
-curl -sf "http://$ADDR/metrics" | grep -E 'neurocard_estimate_queries_total|neurocard_sessions' | head -4
-curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_binary_requests_total 1'
-curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_slo_p99_target_seconds'
-curl -sf "http://$ADDR/metrics" | grep -q 'neurocard_fused_batch_size_count'
+# Buffer the exposition once: piping curl straight into `head` trips
+# pipefail when head closes the pipe before curl finishes writing.
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | { grep -E 'neurocard_estimate_queries_total|neurocard_sessions' || true; } | head -4
+echo "$METRICS" | grep -q 'neurocard_binary_requests_total 1'
+echo "$METRICS" | grep -q 'neurocard_slo_p99_target_seconds'
+echo "$METRICS" | grep -q 'neurocard_fused_batch_size_count'
 echo "binary-protocol and coalescer metrics present"
+
+echo "=== fault-tolerance surfaces"
+# Malformed client deadline is rejected up front.
+DL_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/estimate" \
+    -H 'X-Deadline-Ms: soon' -d '{"query": {"tables": ["title"]}}')
+if [[ "$DL_STATUS" != "400" ]]; then
+    echo "bad X-Deadline-Ms answered $DL_STATUS, want 400" >&2
+    exit 1
+fi
+# A healthy closed breaker and the fault counters are on /metrics.
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'neurocard_breaker_state{model="joblight"} 0'
+echo "$METRICS" | grep -q 'neurocard_request_timeouts_total'
+echo "$METRICS" | grep -q 'neurocard_fallback_total'
+echo "$METRICS" | grep -q 'neurocard_checkpoints_quarantined_total 0'
+echo "breaker and fault counters present"
+
+echo "=== SIGTERM drains in-flight requests and exits 0"
+# Launch a large batch so a request is very likely mid-flight when the
+# signal lands, then assert both that the response completed and that the
+# daemon exited cleanly.
+Q='{"tables":["title","movie_companies"],"filters":[{"table":"title","col":"production_year","op":">=","int":1990}]}'
+QS="$Q"
+for i in $(seq 2 512); do QS="$QS,$Q"; done
+printf '{"queries":[%s],"seed":7}' "$QS" > "$WORKDIR/big_batch.json"
+curl -s "http://$ADDR/v1/estimate" -d @"$WORKDIR/big_batch.json" \
+    -o "$WORKDIR/inflight.json" &
+CURL_PID=$!
+sleep 0.05
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+DAEMON_RC=$?
+wait "$CURL_PID"
+CURL_RC=$?
+set -e
+DAEMON_PID=""
+if [[ "$CURL_RC" != "0" ]]; then
+    echo "in-flight request failed during graceful shutdown (curl rc $CURL_RC)" >&2
+    exit 1
+fi
+grep -q '"count":512' "$WORKDIR/inflight.json"
+if [[ "$DAEMON_RC" != "0" ]]; then
+    echo "daemon exited $DAEMON_RC after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "in-flight batch completed and daemon exited 0"
 
 echo "e2e smoke OK"
