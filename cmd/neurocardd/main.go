@@ -57,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"neurocard/internal/core"
 	"neurocard/internal/faultinject"
 	"neurocard/internal/server"
 )
@@ -66,6 +67,7 @@ func main() {
 	modelsDir := flag.String("models", "models", "directory of <name>.ckpt checkpoints")
 	load := flag.String("load", "", "comma-separated model names to load at startup (first becomes default)")
 	workers := flag.Int("workers", 0, "batch estimate concurrency (0 = GOMAXPROCS)")
+	precision := flag.String("precision", "", "serving precision for loaded models: float64 or float32 (empty keeps each checkpoint's own); per-load overrides via the load API")
 	maxBatch := flag.Int("maxbatch", 1024, "maximum queries per estimate request")
 	fuseBatch := flag.Int("fuse-batch", 0, "max single-query requests fused per coalesced flush (0 = default 64)")
 	fuseWindow := flag.Duration("fuse-window", 0, "max latency budget the coalescer holds a batch open; adaptive, decays when idle (0 = default 1.5ms, negative disables the window)")
@@ -83,6 +85,15 @@ func main() {
 	faults := flag.String("faults", os.Getenv("NEUROCARD_FAULTS"),
 		"CHAOS TESTING ONLY: arm fault injection, e.g. estimate-panic=0.05,kernel-delay=0.05:2ms,estimate-nan=0.05,ckpt-truncate=0.5,seed=1")
 	flag.Parse()
+
+	var defaultPrecision core.Precision
+	if *precision != "" {
+		p, err := core.ParsePrecision(*precision)
+		if err != nil {
+			log.Fatalf("-precision: %v", err)
+		}
+		defaultPrecision = p
+	}
 
 	if *faults != "" {
 		spec, err := faultinject.ParseSpec(*faults)
@@ -127,6 +138,7 @@ func main() {
 		BreakerCooldown:   *breakerCooldown,
 		BreakerProbes:     *breakerProbes,
 		NoFallback:        *noFallback,
+		DefaultPrecision:  defaultPrecision,
 	})
 	defer srv.Close()
 	if *load != "" {
@@ -145,9 +157,9 @@ func main() {
 					log.Fatal(err)
 				}
 			}
-			log.Printf("loaded model %q from %s in %s (|J| = %.4g, %d tables)",
+			log.Printf("loaded model %q from %s in %s (|J| = %.4g, %d tables, %s serving)",
 				name, entry.Path, time.Since(start).Round(time.Millisecond),
-				entry.Est.JoinSize(), entry.Est.NumTables())
+				entry.Est.JoinSize(), entry.Est.NumTables(), entry.Est.Precision())
 		}
 	}
 

@@ -13,7 +13,7 @@ import (
 // benchEstimator builds an untrained (but fully wired) NeuroCard estimator
 // over a small synthetic JOB-light instance plus a query workload. Untrained
 // weights produce valid conditionals, so this measures pure inference cost.
-func benchEstimator(b *testing.B) (*core.Estimator, []query.Query) {
+func benchEstimator(b *testing.B, prec core.Precision) (*core.Estimator, []query.Query) {
 	b.Helper()
 	d, err := datagen.JOBLight(datagen.Config{Seed: 1, Scale: 0.05})
 	if err != nil {
@@ -22,6 +22,7 @@ func benchEstimator(b *testing.B) (*core.Estimator, []query.Query) {
 	cfg := core.DefaultConfig()
 	cfg.ContentCols = d.ContentCols
 	cfg.PSamples = 128
+	cfg.Precision = prec
 	est, err := core.Build(d.Schema, cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -37,34 +38,47 @@ func benchEstimator(b *testing.B) (*core.Estimator, []query.Query) {
 	return est, qs
 }
 
+// benchPrecisions are the serving widths every estimate benchmark runs at —
+// the float64/float32 comparison tracked in EXPERIMENTS.md.
+var benchPrecisions = []core.Precision{core.PrecisionFloat64, core.PrecisionFloat32}
+
 // BenchmarkEstimateLatency is the serving-throughput baseline tracked in
-// EXPERIMENTS.md: single-query progressive-sampling latency. It reports
-// queries/sec alongside allocs/op so hot-path regressions are visible.
+// EXPERIMENTS.md: single-query progressive-sampling latency, per serving
+// precision. It reports queries/sec alongside allocs/op so hot-path
+// regressions are visible.
 func BenchmarkEstimateLatency(b *testing.B) {
-	est, qs := benchEstimator(b)
-	rng := rand.New(rand.NewSource(3))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := est.EstimateWithSamples(qs[i%len(qs)], 128, rng); err != nil {
-			b.Fatal(err)
-		}
+	for _, prec := range benchPrecisions {
+		b.Run(string(prec), func(b *testing.B) {
+			est, qs := benchEstimator(b, prec)
+			rng := rand.New(rand.NewSource(3))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.EstimateWithSamples(qs[i%len(qs)], 128, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
-	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
 
 // BenchmarkEstimateBatch measures concurrent batch throughput across worker
-// sessions (the serving configuration).
+// sessions (the serving configuration), per serving precision.
 func BenchmarkEstimateBatch(b *testing.B) {
-	est, qs := benchEstimator(b)
-	b.ReportAllocs()
-	b.ResetTimer()
-	n := 0
-	for n < b.N {
-		if _, err := est.EstimateBatch(qs, 8); err != nil {
-			b.Fatal(err)
-		}
-		n += len(qs)
+	for _, prec := range benchPrecisions {
+		b.Run(string(prec), func(b *testing.B) {
+			est, qs := benchEstimator(b, prec)
+			b.ReportAllocs()
+			b.ResetTimer()
+			n := 0
+			for n < b.N {
+				if _, err := est.EstimateBatch(qs, 8); err != nil {
+					b.Fatal(err)
+				}
+				n += len(qs)
+			}
+			b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "queries/sec")
+		})
 	}
-	b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "queries/sec")
 }

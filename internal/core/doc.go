@@ -1,0 +1,30 @@
+// Package core assembles NeuroCard itself: the encoder that turns sampled
+// full-outer-join rows into model token tuples (content columns factorized
+// per §5, plus the §6 virtual columns — per-table indicators and per-join-key
+// fanouts), the training loop that streams unbiased join samples into the
+// autoregressive model, and the probabilistic inference algorithms
+// (progressive sampling with schema-subsetting corrections) that turn the
+// learned density into cardinality estimates.
+//
+// # Estimator lifecycle
+//
+// Build wires schema, sampler, encoder, and model into an Estimator; Train
+// streams deterministic unbiased join samples through the model (bit-
+// identical weights for any SamplerWorkers setting); Estimate and its
+// indexed/batch variants run progressive sampling on pooled zero-alloc
+// inference sessions with per-query (seed, index) randomness, so results
+// are reproducible regardless of scheduling. Save/LoadEstimator round-trip
+// the whole estimator — dictionaries, encoder state, join counts, float64
+// weights — into a single checkpoint.
+//
+// # Serving precision
+//
+// Config.Precision (or SetPrecision at runtime) selects the element width
+// the session pool serves at: PrecisionFloat64 (the default, bit-pinned to
+// the reference kernels) or PrecisionFloat32 (converted-weight SSE kernels,
+// gated on golden-workload q-error — DESIGN.md §1.4). The choice is a pure
+// serving concern: training, checkpoints, and estimate accumulation stay
+// float64, ServingWeightBytes reports the resident kernel bytes (halved at
+// float32), and switching widths is lossless because the float64 masters
+// are never modified.
+package core

@@ -1,10 +1,3 @@
-// Package core assembles NeuroCard itself: the encoder that turns sampled
-// full-outer-join rows into model token tuples (content columns factorized
-// per §5, plus the §6 virtual columns — per-table indicators and per-join-key
-// fanouts), the training loop that streams unbiased join samples into the
-// autoregressive model, and the probabilistic inference algorithms
-// (progressive sampling with schema-subsetting corrections) that turn the
-// learned density into cardinality estimates.
 package core
 
 import (

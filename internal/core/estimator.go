@@ -48,6 +48,12 @@ type Config struct {
 	// default capacity. Repeated query shapes — the serving norm — skip
 	// planning entirely on a hit.
 	PlanCache int
+
+	// Precision selects the serving element width (DESIGN.md §1.4). The
+	// zero value serves at float64, aliasing the trainable parameters;
+	// PrecisionFloat32 serves on a float32 kernel set converted once at
+	// load. Training and checkpoints are float64 regardless.
+	Precision Precision
 }
 
 // DefaultConfig returns a configuration scaled for CPU training, mirroring
@@ -82,23 +88,36 @@ type Estimator struct {
 	cfg      Config
 	rng      *rand.Rand // training-time randomness only; never used by Estimate
 
-	sessions *sessionPool // reusable inference sessions
-	plans    *planCache   // compiled plans keyed by canonical query bytes
-	qcount   atomic.Int64 // per-query seed counter for Estimate
+	eng    engine       // serving engine: session pool at the configured precision
+	plans  *planCache   // compiled plans keyed by canonical query bytes
+	qcount atomic.Int64 // per-query seed counter for Estimate
 }
 
-// initSessions wires the per-estimator serving runtime: the inference-session
-// pool bound to the estimator's conditional source — MADE models get native
-// zero-alloc sessions, anything else (e.g. the exact oracle) goes through the
-// generic adapter — and the compiled-plan cache shared by all sessions.
+// initSessions wires the per-estimator serving runtime: a session pool at
+// the configured serving precision, bound to the estimator's conditional
+// source — MADE models get native zero-alloc sessions (float64 views alias
+// the trainable parameters; float32 sessions share the model's converted
+// snapshot), anything else (e.g. the exact oracle) goes through the float64
+// generic adapter — plus the compiled-plan cache shared by all sessions.
+// Plans carry no element-width state, so the cache survives a precision
+// switch (SetPrecision re-runs only the pool wiring).
 func (e *Estimator) initSessions() {
-	e.sessions = newSessionPool(func(rows int) inferSession {
-		if m, ok := e.model.(*made.Model); ok {
+	if e.plans == nil {
+		e.plans = newPlanCache(e.cfg.PlanCache)
+	}
+	m, isMade := e.model.(*made.Model)
+	if e.cfg.Precision.resolve() == PrecisionFloat32 && isMade {
+		e.eng = &poolEngine[float32]{e: e, pool: newSessionPool(func(rows int) inferSession[float32] {
+			return m.NewInferSession32(rows)
+		})}
+		return
+	}
+	e.eng = &poolEngine[float64]{e: e, pool: newSessionPool(func(rows int) inferSession[float64] {
+		if isMade {
 			return m.NewInferSession(rows)
 		}
 		return newGenericSession(e.model, rows)
-	})
-	e.plans = newPlanCache(e.cfg.PlanCache)
+	})}
 }
 
 // Build constructs an untrained estimator over the schema: prepares the join
@@ -122,6 +141,11 @@ func BuildWithDomain(domain, data *schema.Schema, cfg Config) (*Estimator, error
 	if cfg.SamplerWorkers <= 0 {
 		cfg.SamplerWorkers = 1
 	}
+	prec, err := ParsePrecision(string(cfg.Precision))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Precision = prec
 	enc, err := NewEncoder(domain, cfg.ContentCols, cfg.FactBits)
 	if err != nil {
 		return nil, err
@@ -155,6 +179,16 @@ func NewFromParts(domain, data *schema.Schema, enc *Encoder, src ProbSource, cfg
 	if cfg.PSamples <= 0 {
 		cfg.PSamples = 512
 	}
+	prec, err := ParsePrecision(string(cfg.Precision))
+	if err != nil {
+		return nil, err
+	}
+	if prec == PrecisionFloat32 {
+		if _, ok := src.(*made.Model); !ok {
+			return nil, fmt.Errorf("core: float32 serving requires a MADE model (conditional source %T serves float64 only)", src)
+		}
+	}
+	cfg.Precision = prec
 	e := &Estimator{
 		domain: domain,
 		enc:    enc,
@@ -207,7 +241,7 @@ func (e *Estimator) Config() Config { return e.cfg }
 
 // SessionPoolStats reports the inference-session pool's free and checked-out
 // counts — the serving daemon's occupancy metric.
-func (e *Estimator) SessionPoolStats() (free, inUse int) { return e.sessions.stats() }
+func (e *Estimator) SessionPoolStats() (free, inUse int) { return e.eng.stats() }
 
 // NumTables returns the number of tables in the modeled schema.
 func (e *Estimator) NumTables() int { return e.domain.NumTables() }
@@ -418,9 +452,9 @@ func (e *Estimator) psamples() int {
 // the primitive EstimateBatch workers and parallel evaluation harnesses use
 // to get run-to-run identical results.
 func (e *Estimator) EstimateIndexed(q query.Query, idx int64) (float64, error) {
-	st := e.sessions.get(e.psamples(), false)
-	defer e.sessions.put(st)
-	return e.estimateIndexed(st, q, idx)
+	st := e.eng.acquire(e.psamples(), false)
+	defer st.release()
+	return st.estimateSeeded(context.Background(), q, e.cfg.Seed, idx)
 }
 
 // EstimateIndexedSerial is EstimateIndexed for callers that already run many
@@ -429,30 +463,23 @@ func (e *Estimator) EstimateIndexed(q query.Query, idx int64) (float64, error) {
 // instead of W × kernel chunks. Results are identical to EstimateIndexed —
 // kernel results do not depend on chunking.
 func (e *Estimator) EstimateIndexedSerial(q query.Query, idx int64) (float64, error) {
-	st := e.sessions.get(e.psamples(), true)
-	defer e.sessions.put(st)
-	return e.estimateIndexed(st, q, idx)
+	st := e.eng.acquire(e.psamples(), true)
+	defer st.release()
+	return st.estimateSeeded(context.Background(), q, e.cfg.Seed, idx)
 }
 
-// estimateIndexed is the shared single-query path over a held session: plan,
-// empty-region shortcut, index-derived RNG, sampling. EstimateIndexed wraps
-// it with pool checkout; EstimateBatch workers hold one state across
-// queries.
-func (e *Estimator) estimateIndexed(st *inferState, q query.Query, idx int64) (float64, error) {
-	return e.estimateSeeded(context.Background(), st, q, e.cfg.Seed, idx)
-}
-
-// estimateSeeded is estimateIndexed with an explicit base seed: the query's
-// randomness is fully determined by (seed, idx). The serving API uses this to
-// honor client-supplied seeds without touching the configured seed. ctx is
-// checked cooperatively between sampling steps, so a request whose deadline
-// expires mid-sampling returns ctx.Err() promptly instead of finishing the
-// whole progressive-sampling pass.
-func (e *Estimator) estimateSeeded(ctx context.Context, st *inferState, q query.Query, seed, idx int64) (float64, error) {
+// estimateSeeded is the shared single-query path over a held session — plan,
+// empty-region shortcut, index-derived RNG, sampling — with an explicit base
+// seed: the query's randomness is fully determined by (seed, idx). The
+// serving API uses this to honor client-supplied seeds without touching the
+// configured seed. ctx is checked cooperatively between sampling steps, so a
+// request whose deadline expires mid-sampling returns ctx.Err() promptly
+// instead of finishing the whole progressive-sampling pass.
+func (st *inferStateOf[T]) estimateSeeded(ctx context.Context, q query.Query, seed, idx int64) (float64, error) {
 	if faultinject.Enabled() {
 		faultinject.MaybePanicEstimate()
 	}
-	cp, err := e.planFor(st, q)
+	cp, err := st.planFor(q)
 	if err != nil {
 		return 0, err
 	}
@@ -462,7 +489,7 @@ func (e *Estimator) estimateSeeded(ctx context.Context, st *inferState, q query.
 		return 1, nil
 	}
 	rng := rand.New(rand.NewSource(mixSeed(seed, idx)))
-	est, err := e.sampleWithSession(ctx, st, cp, e.psamples(), rng)
+	est, err := st.sample(ctx, cp, st.e.psamples(), rng)
 	if err != nil {
 		return 0, err
 	}
@@ -475,14 +502,14 @@ func (e *Estimator) estimateSeeded(ctx context.Context, st *inferState, q query.
 // estimateSafe runs estimateSeeded under panic recovery: a panic anywhere in
 // planning or sampling — including one re-raised from a kernel-pool chunk —
 // becomes an ErrEstimatePanic-wrapped error. The caller must treat a
-// panicked=true return as poisoning st (discard it, do not pool it).
-func (e *Estimator) estimateSafe(ctx context.Context, st *inferState, q query.Query, seed, idx int64) (est float64, err error, panicked bool) {
+// panicked=true return as poisoning the session (discard it, do not pool it).
+func (st *inferStateOf[T]) estimateSafe(ctx context.Context, q query.Query, seed, idx int64) (est float64, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			est, err, panicked = 0, fmt.Errorf("%w: %v", ErrEstimatePanic, r), true
 		}
 	}()
-	est, err = e.estimateSeeded(ctx, st, q, seed, idx)
+	est, err = st.estimateSeeded(ctx, q, seed, idx)
 	return est, err, false
 }
 
@@ -562,8 +589,8 @@ func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []
 			// With several workers, each runs its kernels inline so the
 			// batch never schedules workers × kernel-chunk goroutines.
 			serial := workers > 1
-			st := e.sessions.get(e.psamples(), serial)
-			defer func() { e.sessions.put(st) }()
+			st := e.eng.acquire(e.psamples(), serial)
+			defer func() { st.release() }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(items) {
@@ -583,10 +610,10 @@ func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []
 					seed, idx = e.cfg.Seed, e.qcount.Add(1)
 				}
 				var panicked bool
-				ests[i], errs[i], panicked = e.estimateSafe(ctx, st, it.Query, seed, idx)
+				ests[i], errs[i], panicked = st.estimateSafe(ctx, it.Query, seed, idx)
 				if panicked {
-					e.sessions.discard()
-					st = e.sessions.get(e.psamples(), serial)
+					st.discard()
+					st = e.eng.acquire(e.psamples(), serial)
 				}
 			}
 		}()
@@ -598,9 +625,9 @@ func (e *Estimator) EstimateItems(items []BatchItem, workers int) ([]float64, []
 // EstimateSeededIndexed runs one estimate whose randomness derives from the
 // caller's (seed, idx) pair — the single-query seeded serving path.
 func (e *Estimator) EstimateSeededIndexed(q query.Query, seed, idx int64) (float64, error) {
-	st := e.sessions.get(e.psamples(), false)
-	defer e.sessions.put(st)
-	return e.estimateSeeded(context.Background(), st, q, seed, idx)
+	st := e.eng.acquire(e.psamples(), false)
+	defer st.release()
+	return st.estimateSeeded(context.Background(), q, seed, idx)
 }
 
 // EstimateSeededIndexedCtx is EstimateSeededIndexed bounded by ctx and
@@ -611,12 +638,12 @@ func (e *Estimator) EstimateSeededIndexedCtx(ctx context.Context, q query.Query,
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	st := e.sessions.get(e.psamples(), false)
-	est, err, panicked := e.estimateSafe(ctx, st, q, seed, idx)
+	st := e.eng.acquire(e.psamples(), false)
+	est, err, panicked := st.estimateSafe(ctx, q, seed, idx)
 	if panicked {
-		e.sessions.discard()
+		st.discard()
 	} else {
-		e.sessions.put(st)
+		st.release()
 	}
 	return est, err
 }

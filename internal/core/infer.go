@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"neurocard/internal/faultinject"
+	"neurocard/internal/nn"
 	"neurocard/internal/query"
 )
 
@@ -36,7 +37,8 @@ type colPlan struct {
 // to 1, and each omitted table contributes exactly one fanout key to divide
 // out — the key on its side of the edge toward the query subtree. The result
 // is immutable and shared: Estimate paths fetch plans through the
-// estimator's plan cache (planFor) and only compile on a miss.
+// estimator's plan cache (planFor) and only compile on a miss. Plans carry
+// no element-width state, so both precisions share one cache.
 func (e *Estimator) compilePlan(q query.Query) (*compiledPlan, error) {
 	if err := e.domain.ValidateQuerySet(q.Tables); err != nil {
 		return nil, err
@@ -112,32 +114,39 @@ func (e *Estimator) compilePlan(q query.Query) (*compiledPlan, error) {
 // planFor returns the compiled plan for q, consulting the estimator's
 // bounded LRU first. The canonical key is built into the session state's
 // scratch, so the hit path — the serving steady state — allocates nothing.
-func (e *Estimator) planFor(st *inferState, q query.Query) (*compiledPlan, error) {
+func (st *inferStateOf[T]) planFor(q query.Query) (*compiledPlan, error) {
 	st.key = q.AppendKey(st.key[:0])
-	if cp := e.plans.get(st.key); cp != nil {
+	if cp := st.e.plans.get(st.key); cp != nil {
 		return cp, nil
 	}
-	cp, err := e.compilePlan(q)
+	cp, err := st.e.compilePlan(q)
 	if err != nil {
 		return nil, err
 	}
-	e.plans.put(st.key, cp)
+	st.e.plans.put(st.key, cp)
 	return cp, nil
 }
 
 // EstimateWithSamples runs progressive sampling (Eq. 5 extended per §5/§6)
 // with the given number of Monte Carlo samples and returns the estimated
 // cardinality, lower-bounded at 1. The sampling batch runs on a pooled
-// inference session: scratch is reused across queries, rows whose weight
-// hits zero are compacted out of the batch instead of being forward-passed
-// dead, and the batch itself materializes lazily (see sampleWithSession).
+// inference session at the estimator's configured serving precision:
+// scratch is reused across queries, rows whose weight hits zero are
+// compacted out of the batch instead of being forward-passed dead, and the
+// batch itself materializes lazily (see inferStateOf.sample).
 func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.Rand) (float64, error) {
 	if nSamples < 1 {
 		nSamples = 1
 	}
-	st := e.sessions.get(nSamples, false)
-	defer e.sessions.put(st)
-	cp, err := e.planFor(st, q)
+	st := e.eng.acquire(nSamples, false)
+	defer st.release()
+	return st.estimateWithSamples(context.Background(), q, nSamples, rng)
+}
+
+// estimateWithSamples resolves the plan and runs the sampling kernel — the
+// engineSession entry the width-agnostic Estimator paths call.
+func (st *inferStateOf[T]) estimateWithSamples(ctx context.Context, q query.Query, nSamples int, rng *rand.Rand) (float64, error) {
+	cp, err := st.planFor(q)
 	if err != nil {
 		return 0, err
 	}
@@ -146,11 +155,11 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 		// Q-error convention lower-bounds estimates at 1.
 		return 1, nil
 	}
-	return e.sampleWithSession(context.Background(), st, cp, nSamples, rng)
+	return st.sample(ctx, cp, nSamples, rng)
 }
 
-// sampleWithSession executes a compiled plan on a session-backed sampling
-// batch. Single-threaded; concurrency comes from running many sessions.
+// sample executes a compiled plan on a session-backed sampling batch.
+// Single-threaded; concurrency comes from running many sessions.
 //
 // The batch fans out lazily: every sampling row starts bit-identical
 // (all-MASK) and stays identical through every deterministic step — wildcard
@@ -162,12 +171,19 @@ func (e *Estimator) EstimateWithSamples(q query.Query, nSamples int, rng *rand.R
 // weight product accumulated on the single row seeds every fanned-out row,
 // so per-row weights are unchanged.
 //
+// Element widths: conditionals, region masses, and token draws run entirely
+// at the session's width T; per-row weights stay float64 at every width
+// (the products of selective queries underflow float32), with each mass
+// widened exactly once at the multiply boundary. At T = float64 every
+// conversion below is the identity, so the float64 path is bit-identical to
+// the pre-generic kernel.
+//
 // Cancellation is cooperative: ctx is checked once per plan column — the
 // granularity of one forward pass over the batch, the natural unit of work —
 // so an expired deadline stops sampling within a column's worth of compute.
 // The check is a few nanoseconds for context.Background(), which the
 // non-serving paths pass.
-func (e *Estimator) sampleWithSession(ctx context.Context, st *inferState, cp *compiledPlan, nSamples int, rng *rand.Rand) (float64, error) {
+func (st *inferStateOf[T]) sample(ctx context.Context, cp *compiledPlan, nSamples int, rng *rand.Rand) (float64, error) {
 	sess, w := st.sess, st.w[:nSamples]
 	sess.Reset(1)
 	w0 := 1.0 // weight of the single pre-fan-out row
@@ -190,7 +206,7 @@ single:
 
 		case modeIndicatorOne:
 			probs := sess.Probs(p.mc.FlatOffset)
-			w0 *= probs.At(0, 1)
+			w0 *= float64(probs.At(0, 1))
 			if w0 == 0 {
 				return 1, nil
 			}
@@ -207,7 +223,7 @@ single:
 			// All rows share this row's distribution and region, so the
 			// mass — and, in CDF mode, the prefix sums — are computed once.
 			useCDF := useRegionCDF(sub, len(pr))
-			var mass float64
+			var mass T
 			if useCDF {
 				st.buildCDF(pr)
 				mass = regionMassCDF(st.cdf, sub)
@@ -217,11 +233,11 @@ single:
 			if mass <= 0 {
 				return 1, nil
 			}
-			w0 *= mass
+			w0 *= float64(mass)
 			sess.Replicate(nSamples)
 			for r := 0; r < nSamples; r++ {
 				w[r] = w0
-				u := rng.Float64() * mass
+				u := T(rng.Float64()) * mass
 				var tok int32
 				if useCDF {
 					tok = drawRegionCDF(st.cdf, sub, u)
@@ -230,7 +246,7 @@ single:
 				}
 				sess.SetToken(r, flat, tok)
 			}
-			active = e.sampleConstrained(st, p, w, nSamples, 1, rng)
+			active = st.sampleConstrained(p, w, nSamples, 1, rng)
 			fanPi = pi
 			break single
 
@@ -241,9 +257,9 @@ single:
 			sess.Replicate(nSamples)
 			for r := 0; r < nSamples; r++ {
 				w[r] = w0
-				sess.SetToken(r, flat, drawCDF(cdf, rng.Float64()))
+				sess.SetToken(r, flat, drawCDF(cdf, T(rng.Float64())))
 			}
-			active = e.sampleFanout(st, p, w, nSamples, 1, rng)
+			active = st.sampleFanout(p, w, nSamples, 1, rng)
 			fanPi = pi
 			break single
 		}
@@ -252,7 +268,7 @@ single:
 	if fanPi < 0 {
 		// Every step was deterministic: the nSamples identical rows sum to
 		// nSamples·w0 and the estimate closes without ever materializing them.
-		card := w0 * e.joinSize
+		card := w0 * st.e.joinSize
 		if card < 1 {
 			card = 1
 		}
@@ -274,16 +290,16 @@ single:
 		case modeIndicatorOne:
 			probs := sess.Probs(p.mc.FlatOffset)
 			for r := 0; r < active; r++ {
-				w[r] *= probs.At(r, 1)
+				w[r] *= float64(probs.At(r, 1))
 				sess.SetToken(r, p.mc.FlatOffset, 1)
 			}
 			active = compactZero(sess, w, active)
 
 		case modeConstrain:
-			active = e.sampleConstrained(st, p, w, active, 0, rng)
+			active = st.sampleConstrained(p, w, active, 0, rng)
 
 		case modeFanoutDivide:
-			active = e.sampleFanout(st, p, w, active, 0, rng)
+			active = st.sampleFanout(p, w, active, 0, rng)
 		}
 	}
 
@@ -296,7 +312,7 @@ single:
 		comp = (t - sum) - y
 		sum = t
 	}
-	card := sum / float64(nSamples) * e.joinSize
+	card := sum / float64(nSamples) * st.e.joinSize
 	if card < 1 {
 		card = 1
 	}
@@ -308,7 +324,7 @@ single:
 // handles j=0 itself), multiplying each sample's weight by the in-region
 // probability mass (importance weighting). Rows whose region support is
 // empty are compacted out between subcolumns. Returns the new active count.
-func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
+func (st *inferStateOf[T]) sampleConstrained(p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
 	sess := st.sess
 	nsub := p.mc.Fact.NumSubs()
 	for j := jStart; j < nsub && active > 0; j++ {
@@ -333,7 +349,7 @@ func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, a
 				w[r] = 0
 				continue
 			}
-			w[r] *= mass
+			w[r] *= float64(mass)
 			sess.SetToken(r, flat, chosen)
 		}
 		active = compactZero(sess, w, active)
@@ -348,15 +364,15 @@ func (e *Estimator) sampleConstrained(st *inferState, p *colPlan, w []float64, a
 // sums (fanout mass concentrates at small tokens, where the scan exits
 // almost immediately); drawScan and drawCDF select the same token for the
 // same variate, so the choice is purely a cost one — the CDF pays off only
-// where it is reused, i.e. the shared pre-fan-out draw in sampleWithSession.
-func (e *Estimator) sampleFanout(st *inferState, p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
+// where it is reused, i.e. the shared pre-fan-out draw in sample.
+func (st *inferStateOf[T]) sampleFanout(p *colPlan, w []float64, active, jStart int, rng *rand.Rand) int {
 	sess := st.sess
 	nsub := p.mc.Fact.NumSubs()
 	for j := jStart; j < nsub; j++ {
 		flat := p.mc.FlatOffset + j
 		probs := sess.Probs(flat)
 		for r := 0; r < active; r++ {
-			sess.SetToken(r, flat, drawScan(probs.Row(r), rng.Float64()))
+			sess.SetToken(r, flat, drawScan(probs.Row(r), T(rng.Float64())))
 		}
 	}
 	for r := 0; r < active; r++ {
@@ -370,7 +386,7 @@ func (e *Estimator) sampleFanout(st *inferState, p *colPlan, w []float64, active
 // compactZero removes zero-weight rows by moving live tail rows into their
 // slots, shrinking the session's active batch. Dead rows never see another
 // forward pass.
-func compactZero(sess inferSession, w []float64, active int) int {
+func compactZero[T nn.Elem](sess inferSession[T], w []float64, active int) int {
 	r := 0
 	for r < active {
 		if w[r] != 0 {
@@ -398,7 +414,9 @@ func compactZero(sess inferSession, w []float64, active int) int {
 // O(intervals + log domain) instead of O(span) per draw. The scan
 // accumulates with Kahan compensation; the CDF's interval-difference
 // arithmetic differs from the scan only in rounding (≪ the 1e-9 kernel
-// equivalence convention).
+// equivalence convention at float64). Everything below runs at the
+// session's element width T — draws compare T against T, so selection
+// never depends on a mixed-width comparison.
 
 // cdfMinSpan is the region width below which the direct scan always wins —
 // the prefix-sum build costs O(domain) regardless of the region.
@@ -418,12 +436,12 @@ func useRegionCDF(sub []query.IDRange, n int) bool {
 // tokens carries mass cdf[hi+1] - cdf[lo]. The partial sums are the exact
 // running sums a sequential scan produces, so a CDF draw selects the same
 // token a scan with the same u would.
-func (st *inferState) buildCDF(pr []float64) []float64 {
+func (st *inferStateOf[T]) buildCDF(pr []T) []T {
 	if cap(st.cdf) < len(pr)+1 {
-		st.cdf = make([]float64, len(pr)+1)
+		st.cdf = make([]T, len(pr)+1)
 	}
 	cdf := st.cdf[:len(pr)+1]
-	acc := 0.0
+	var acc T
 	cdf[0] = 0
 	for i, p := range pr {
 		acc += p
@@ -434,8 +452,8 @@ func (st *inferState) buildCDF(pr []float64) []float64 {
 }
 
 // regionMassScan sums pr over the region with Kahan compensation.
-func regionMassScan(pr []float64, sub []query.IDRange) float64 {
-	mass, comp := 0.0, 0.0
+func regionMassScan[T nn.Elem](pr []T, sub []query.IDRange) T {
+	var mass, comp T
 	for _, iv := range sub {
 		for _, p := range pr[iv.Lo : iv.Hi+1] {
 			y := p - comp
@@ -449,8 +467,8 @@ func regionMassScan(pr []float64, sub []query.IDRange) float64 {
 
 // regionMassCDF sums the region's mass as interval differences over prefix
 // sums: two lookups per interval.
-func regionMassCDF(cdf []float64, sub []query.IDRange) float64 {
-	mass := 0.0
+func regionMassCDF[T nn.Elem](cdf []T, sub []query.IDRange) T {
+	var mass T
 	for _, iv := range sub {
 		mass += cdf[iv.Hi+1] - cdf[iv.Lo]
 	}
@@ -460,8 +478,8 @@ func regionMassCDF(cdf []float64, sub []query.IDRange) float64 {
 // drawRegionScan selects the first token whose running in-region mass
 // exceeds u, falling back to the region's last token when rounding leaves
 // the total just below u.
-func drawRegionScan(pr []float64, sub []query.IDRange, u float64) int32 {
-	acc := 0.0
+func drawRegionScan[T nn.Elem](pr []T, sub []query.IDRange, u T) int32 {
+	var acc T
 	for _, iv := range sub {
 		for t := iv.Lo; t <= iv.Hi; t++ {
 			acc += pr[t]
@@ -476,8 +494,8 @@ func drawRegionScan(pr []float64, sub []query.IDRange, u float64) int32 {
 // drawRegionCDF is drawRegionScan over prefix sums: a linear pass over the
 // (few) intervals finds the target interval, then a binary search inside it
 // finds the token — O(log span) where the scan is O(span).
-func drawRegionCDF(cdf []float64, sub []query.IDRange, u float64) int32 {
-	acc := 0.0
+func drawRegionCDF[T nn.Elem](cdf []T, sub []query.IDRange, u T) int32 {
+	var acc T
 	for _, iv := range sub {
 		ivMass := cdf[iv.Hi+1] - cdf[iv.Lo]
 		if acc+ivMass > u {
@@ -499,7 +517,7 @@ func drawRegionCDF(cdf []float64, sub []query.IDRange, u float64) int32 {
 // its prefix sums by binary search: the smallest i with cdf[i+1] > u — the
 // token an O(domain) running-sum scan would select, since the prefix sums
 // are those running sums.
-func drawCDF(cdf []float64, u float64) int32 {
+func drawCDF[T nn.Elem](cdf []T, u T) int32 {
 	n := len(cdf) - 1
 	i := sort.Search(n, func(i int) bool { return cdf[i+1] > u })
 	if i == n {
@@ -511,8 +529,8 @@ func drawCDF(cdf []float64, u float64) int32 {
 // drawScan is drawCDF without prefix sums: an early-exit running-sum scan,
 // bit-identical in its selection (the running sums are the prefix sums).
 // Used where a distribution is drawn from exactly once.
-func drawScan(pr []float64, u float64) int32 {
-	acc := 0.0
+func drawScan[T nn.Elem](pr []T, u T) int32 {
+	var acc T
 	for i, p := range pr {
 		acc += p
 		if acc > u {
@@ -525,18 +543,18 @@ func drawScan(pr []float64, u float64) int32 {
 // drawRegion computes a row's in-region mass and draws a token
 // proportionally, choosing the scan or CDF strategy by region width. ok is
 // false (and no randomness is consumed) when the region carries no mass.
-func (st *inferState) drawRegion(pr []float64, sub []query.IDRange, rng *rand.Rand) (mass float64, chosen int32, ok bool) {
+func (st *inferStateOf[T]) drawRegion(pr []T, sub []query.IDRange, rng *rand.Rand) (mass T, chosen int32, ok bool) {
 	if useRegionCDF(sub, len(pr)) {
 		cdf := st.buildCDF(pr)
 		mass = regionMassCDF(cdf, sub)
 		if mass <= 0 {
 			return 0, 0, false
 		}
-		return mass, drawRegionCDF(cdf, sub, rng.Float64()*mass), true
+		return mass, drawRegionCDF(cdf, sub, T(rng.Float64())*mass), true
 	}
 	mass = regionMassScan(pr, sub)
 	if mass <= 0 {
 		return 0, 0, false
 	}
-	return mass, drawRegionScan(pr, sub, rng.Float64()*mass), true
+	return mass, drawRegionScan(pr, sub, T(rng.Float64())*mass), true
 }

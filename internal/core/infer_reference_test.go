@@ -140,8 +140,8 @@ func drawFullReference(probs []float64, rng *rand.Rand) int32 {
 
 // estimateReference mirrors estimateSeeded on the reference kernel.
 func (e *Estimator) estimateReference(q query.Query, idx int64) (float64, error) {
-	st := e.sessions.get(e.psamples(), false)
-	defer e.sessions.put(st)
+	st := e.eng.acquire(e.psamples(), false).(*inferState)
+	defer st.release()
 	cp, err := e.compilePlan(q)
 	if err != nil {
 		return 0, err

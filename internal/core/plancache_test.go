@@ -113,15 +113,15 @@ func TestPlanCacheClearedOnUpdateData(t *testing.T) {
 // hit (canonical key build + LRU lookup) must not touch the heap.
 func TestPlanCacheHitPathNoAllocs(t *testing.T) {
 	est, qs := cacheTestEstimator(t, 0)
-	st := est.sessions.get(est.psamples(), false)
-	defer est.sessions.put(st)
+	st := est.eng.acquire(est.psamples(), false).(*inferState)
+	defer st.release()
 	q := qs[0]
-	if _, err := est.planFor(st, q); err != nil { // warm: compile + grow key scratch
+	if _, err := st.planFor(q); err != nil { // warm: compile + grow key scratch
 		t.Fatal(err)
 	}
 	var err error
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err = est.planFor(st, q); err != nil {
+		if _, err = st.planFor(q); err != nil {
 			return
 		}
 	})
@@ -246,17 +246,17 @@ func BenchmarkPlanCompile(b *testing.B) {
 // build plus LRU lookup. The allocs/op column must read 0.
 func BenchmarkPlanCacheHit(b *testing.B) {
 	est, qs := cacheTestEstimator(b, 0)
-	st := est.sessions.get(est.psamples(), false)
-	defer est.sessions.put(st)
+	st := est.eng.acquire(est.psamples(), false).(*inferState)
+	defer st.release()
 	for _, q := range qs {
-		if _, err := est.planFor(st, q); err != nil {
+		if _, err := st.planFor(q); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.planFor(st, qs[i%len(qs)]); err != nil {
+		if _, err := st.planFor(qs[i%len(qs)]); err != nil {
 			b.Fatal(err)
 		}
 	}

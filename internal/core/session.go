@@ -10,18 +10,21 @@ import (
 
 // inferSession is the reusable inference context progressive sampling runs
 // on: a token matrix with wildcard defaults, per-column conditional reads,
-// and row compaction. *made.InferSession implements it natively (cached
-// trunk, zero-alloc buffers); genericSession adapts any other ProbSource.
-type inferSession interface {
+// and row compaction. It is generic over the serving element width so the
+// float32 path runs the whole sampling loop at float32 without ever mixing
+// widths. *made.InferSessionOf[T] implements it natively (cached trunk,
+// zero-alloc buffers); genericSession adapts any other ProbSource at
+// float64.
+type inferSession[T nn.Elem] interface {
 	Cap() int
 	Reset(rows int)
 	TokenRow(r int) []int32
 	SetToken(r, col int, tok int32)
-	Probs(col int) *nn.Mat
+	Probs(col int) *nn.MatG[T]
 	CompactRows(dst, src int)
 	Shrink(rows int)
 	// Replicate fans a single-row batch out to rows identical rows — the
-	// lazy fan-out point of progressive sampling (see sampleWithSession).
+	// lazy fan-out point of progressive sampling (see inferState.sample).
 	Replicate(rows int)
 	// SetSerial selects inline kernel execution for sessions owned by
 	// concurrent batch workers (see DESIGN.md §1.2).
@@ -31,7 +34,8 @@ type inferSession interface {
 // genericSession adapts a plain ProbSource (e.g. the exact oracle) to the
 // session interface with preallocated token and output buffers, so the
 // rewritten sampling loop — including active-row compaction — runs
-// identically over non-MADE conditional sources.
+// identically over non-MADE conditional sources. ProbSource is a float64
+// contract, so generic sources always serve at float64.
 type genericSession struct {
 	src     ProbSource
 	n, cap  int
@@ -115,30 +119,43 @@ func (s *genericSession) Replicate(rows int) {
 // SetSerial is a no-op: generic sources control their own parallelism.
 func (s *genericSession) SetSerial(bool) {}
 
-// inferState bundles a session with the per-row sampling weights and the
+// inferStateOf bundles a session with the per-row sampling weights and the
 // sampling scratch — region translation, probability prefix sums, and the
 // plan-cache key — pooled together so a whole Estimate call touches no
-// fresh heap.
-type inferState struct {
-	sess   inferSession
+// fresh heap. Per-row weights stay float64 at every serving width: weight
+// products of very selective queries underflow float32 long before they
+// stop mattering to the estimate (DESIGN.md §1.4); only the per-column
+// mass/draw arithmetic runs at width T.
+//
+// A checked-out state doubles as the estimator's engineSession handle: it
+// carries back-references to its estimator and pool, so the precision-
+// agnostic serving entry points never name the element type.
+type inferStateOf[T nn.Elem] struct {
+	e      *Estimator
+	pool   *sessionPool[T]
+	sess   inferSession[T]
 	w      []float64
 	ranges []query.IDRange // SubRegionAppend scratch, grown on demand
-	cdf    []float64       // per-row probability prefix sums (buildCDF)
+	cdf    []T             // per-row probability prefix sums (buildCDF)
 	key    []byte          // canonical query bytes for the plan cache
 }
+
+// inferState is the float64 instantiation — the width the reference kernel
+// tests and the default serving path run at.
+type inferState = inferStateOf[float64]
 
 // sessionPool hands out inferStates sized for a requested row count,
 // recycling returned ones. Each concurrent Estimate (or EstimateBatch
 // worker) holds its own state; the pool itself is just a free list.
-type sessionPool struct {
+type sessionPool[T nn.Elem] struct {
 	mu    sync.Mutex
-	free  []*inferState
+	free  []*inferStateOf[T]
 	inUse int // states currently checked out (serving-side occupancy metric)
-	newFn func(rows int) inferSession
+	newFn func(rows int) inferSession[T]
 }
 
-func newSessionPool(newFn func(rows int) inferSession) *sessionPool {
-	return &sessionPool{newFn: newFn}
+func newSessionPool[T nn.Elem](newFn func(rows int) inferSession[T]) *sessionPool[T] {
+	return &sessionPool[T]{newFn: newFn}
 }
 
 // get checks out a state with at least the requested row capacity. Serial
@@ -146,7 +163,7 @@ func newSessionPool(newFn func(rows int) inferSession) *sessionPool {
 // mode from previous owners: pass serial=true when the caller already runs
 // many estimates concurrently (one goroutine per worker beats workers ×
 // kernel chunks), false to let single queries use the parallel kernel pool.
-func (p *sessionPool) get(rows int, serial bool) *inferState {
+func (p *sessionPool[T]) get(rows int, serial bool) *inferStateOf[T] {
 	p.mu.Lock()
 	for i := len(p.free) - 1; i >= 0; i-- {
 		st := p.free[i]
@@ -160,7 +177,8 @@ func (p *sessionPool) get(rows int, serial bool) *inferState {
 	}
 	p.inUse++
 	p.mu.Unlock()
-	st := &inferState{
+	st := &inferStateOf[T]{
+		pool:   p,
 		sess:   p.newFn(rows),
 		w:      make([]float64, rows),
 		ranges: make([]query.IDRange, 0, 16),
@@ -169,7 +187,7 @@ func (p *sessionPool) get(rows int, serial bool) *inferState {
 	return st
 }
 
-func (p *sessionPool) put(st *inferState) {
+func (p *sessionPool[T]) put(st *inferStateOf[T]) {
 	p.mu.Lock()
 	p.free = append(p.free, st)
 	p.inUse--
@@ -180,15 +198,23 @@ func (p *sessionPool) put(st *inferState) {
 // Used after a panic was recovered mid-estimate: the session's scratch may be
 // in an arbitrary half-mutated shape, so it is dropped for the GC and the
 // next get builds a fresh one.
-func (p *sessionPool) discard() {
+func (p *sessionPool[T]) discard() {
 	p.mu.Lock()
 	p.inUse--
 	p.mu.Unlock()
 }
 
 // stats reports the pool's current free and checked-out session counts.
-func (p *sessionPool) stats() (free, inUse int) {
+func (p *sessionPool[T]) stats() (free, inUse int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.free), p.inUse
 }
+
+// release returns the state to its pool (the engineSession contract).
+func (st *inferStateOf[T]) release() { st.pool.put(st) }
+
+// discard drops the state after a recovered panic (the engineSession
+// contract): its scratch may be half-mutated, so it never re-enters the
+// free list.
+func (st *inferStateOf[T]) discard() { st.pool.discard() }

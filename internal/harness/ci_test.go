@@ -42,10 +42,11 @@ func TestGateAccuracy(t *testing.T) {
 	base := benchResult("accuracy", map[string]float64{
 		"qerr_median": 1.5, "qerr_p95": 4, "qerr_max": 40})
 
-	// Within threshold (q-errors grow, but by < 25%) and improvements pass.
+	// Within threshold (q-errors grow, but by < 25%; f32 within 10% of the
+	// same run's float64) and improvements pass.
 	for _, cur := range []map[string]float64{
-		{"qerr_median": 1.6, "qerr_p95": 4.9, "qerr_max": 100},
-		{"qerr_median": 1.1, "qerr_p95": 2, "qerr_max": 10},
+		{"qerr_median": 1.6, "qerr_p95": 4.9, "qerr_max": 100, "qerr_p95_f32": 5.3},
+		{"qerr_median": 1.1, "qerr_p95": 2, "qerr_max": 10, "qerr_p95_f32": 1.9},
 	} {
 		if fails := GateAccuracy(benchResult("accuracy", cur), base, 0.25); len(fails) != 0 {
 			t.Errorf("run %v failed the gate: %v", cur, fails)
@@ -53,15 +54,27 @@ func TestGateAccuracy(t *testing.T) {
 	}
 	// p95 regression beyond threshold fails.
 	fails := GateAccuracy(benchResult("accuracy", map[string]float64{
-		"qerr_median": 1.5, "qerr_p95": 5.1, "qerr_max": 40}), base, 0.25)
+		"qerr_median": 1.5, "qerr_p95": 5.1, "qerr_max": 40, "qerr_p95_f32": 5.1}), base, 0.25)
 	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95") {
 		t.Errorf("p95 regression not caught: %v", fails)
 	}
-	// Missing metric on either side fails.
-	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{}), base, 0.25); len(fails) != 1 {
-		t.Errorf("missing current p95 not caught: %v", fails)
+	// Float32 p95 drifting more than f32QerrTolerance past the same run's
+	// float64 p95 fails, even when float64 itself is within the baseline.
+	fails = GateAccuracy(benchResult("accuracy", map[string]float64{
+		"qerr_p95": 4, "qerr_p95_f32": 4.5}), base, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95_f32") {
+		t.Errorf("f32 drift not caught: %v", fails)
 	}
-	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4}),
+	// Missing metric on either side fails. An empty current run is missing
+	// both the float64 and the f32 p95.
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{}), base, 0.25); len(fails) != 2 {
+		t.Errorf("missing current p95s not caught: %v", fails)
+	}
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4}), base, 0.25); len(fails) != 1 ||
+		!strings.Contains(fails[0], "qerr_p95_f32") {
+		t.Errorf("missing current f32 p95 not caught: %v", fails)
+	}
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4, "qerr_p95_f32": 4}),
 		benchResult("accuracy", map[string]float64{}), 0.25); len(fails) != 1 {
 		t.Errorf("missing baseline p95 not caught: %v", fails)
 	}

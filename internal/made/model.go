@@ -1,19 +1,9 @@
-// Package made implements ResMADE (§3.4): a masked autoregressive MLP with
-// per-column embeddings, residual blocks of masked linear layers, and
-// per-column output heads tied to the input embeddings. The autoregressive
-// masks guarantee that the head for column i depends only on columns < i, so
-// one network represents every conditional p(X_i | x_<i) of the product-rule
-// factorization (Eq. 1) simultaneously.
-//
-// Wildcard skipping (Naru's training-time masking) is built in: random input
-// positions are replaced by a learned MASK embedding while their targets are
-// kept, teaching the model the marginalized conditionals that inference uses
-// to skip unconstrained columns.
 package made
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"neurocard/internal/nn"
 )
@@ -86,6 +76,10 @@ type Model struct {
 
 	samplesSeen int // tuples consumed by TrainStep, for reporting
 	version     uint64
+
+	// w32 caches the shared float32 serving snapshot (see weights32): built
+	// on first float32 session construction, refreshed when version moves.
+	w32 atomic.Pointer[servingWeights[float32]]
 }
 
 // New builds a randomly initialized model for the given column domains.

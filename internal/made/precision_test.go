@@ -1,0 +1,100 @@
+package made
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestInferSession32TracksFloat64 drives a float32 session and a float64
+// session through the identical token schedule and compares every conditional
+// head. There are no random draws in this path — Probs is a deterministic
+// forward pass — so the only divergence is float32 rounding through the
+// trunk, which for CI-scale models stays orders of magnitude below the 1e-3
+// bound asserted here. Distributions must also still normalize.
+func TestInferSession32TracksFloat64(t *testing.T) {
+	doms := []int{6, 3, 2, 8, 4}
+	cfg := DefaultConfig()
+	cfg.Hidden = 24
+	cfg.EmbedDim = 6
+	cfg.Blocks = 2
+	cfg.Seed = 11
+	m, err := New(cfg, doms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	s64 := m.NewInferSession(16)
+	s32 := m.NewInferSession32(16)
+
+	for batch := 0; batch < 2; batch++ {
+		b := 4 + batch*6
+		s64.Reset(b)
+		s32.Reset(b)
+		for col := 0; col < m.NumCols(); col++ {
+			p64 := s64.Probs(col)
+			p32 := s32.Probs(col)
+			if p32.Rows != p64.Rows || p32.Cols != p64.Cols {
+				t.Fatalf("col %d: float32 Probs %dx%d, float64 %dx%d",
+					col, p32.Rows, p32.Cols, p64.Rows, p64.Cols)
+			}
+			for r := 0; r < p64.Rows; r++ {
+				var sum float64
+				for c := 0; c < p64.Cols; c++ {
+					v32 := float64(p32.At(r, c))
+					sum += v32
+					if d := math.Abs(v32 - p64.At(r, c)); d > 1e-3 {
+						t.Fatalf("col %d row %d tok %d: float32 prob %v vs float64 %v (|Δ| = %g)",
+							col, r, c, v32, p64.At(r, c), d)
+					}
+				}
+				if math.Abs(sum-1) > 1e-4 {
+					t.Fatalf("col %d row %d: float32 probs sum to %v", col, r, sum)
+				}
+			}
+			// Same schedule on both widths: tokens, wildcards, and a mid-pass
+			// compaction, the access pattern progressive sampling uses.
+			for r := 0; r < b; r++ {
+				if rng.Float64() < 0.3 {
+					continue
+				}
+				tok := int32(rng.Intn(doms[col]))
+				s64.SetToken(r, col, tok)
+				s32.SetToken(r, col, tok)
+			}
+			if col == 1 && b > 2 {
+				s64.CompactRows(0, b-1)
+				s32.CompactRows(0, b-1)
+			}
+		}
+	}
+}
+
+// TestWeights32SnapshotTracksVersion checks the conversion-at-load contract:
+// the float32 serving weights are an immutable snapshot, rebuilt (not
+// mutated) when the float64 masters move. A session created before a weight
+// update must refresh onto the new snapshot.
+func TestWeights32SnapshotTracksVersion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hidden = 16
+	cfg.EmbedDim = 4
+	cfg.Seed = 3
+	m, err := New(cfg, []int{5, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := m.weights32()
+	if w2 := m.weights32(); w2 != w1 {
+		t.Fatal("weights32 rebuilt without a version change")
+	}
+	// Perturb a master parameter the way a training step would.
+	m.params[0].Val.Data[0] += 0.25
+	m.version++
+	w2 := m.weights32()
+	if w2 == w1 {
+		t.Fatal("weights32 snapshot not rebuilt after a version change")
+	}
+	s := m.NewInferSession32(4)
+	s.Reset(2)
+	_ = s.Probs(0) // must run on the refreshed snapshot without panicking
+}

@@ -6,34 +6,39 @@ import (
 	"neurocard/internal/nn"
 )
 
-// sessMat is a preallocated matrix whose active row count (and, for the
+// sessMatG is a preallocated matrix whose active row count (and, for the
 // logits buffer, column count) is adjusted in place, so resizing the working
 // batch never allocates.
-type sessMat struct {
-	mat  nn.Mat
-	full []float64
+type sessMatG[T nn.Elem] struct {
+	mat  nn.MatG[T]
+	full []T
 }
 
-func newSessMat(rows, cols int) sessMat {
-	return sessMat{mat: nn.Mat{Cols: cols}, full: make([]float64, rows*cols)}
+// sessMat is the float64 instantiation, used by training-side scratch (NLL).
+type sessMat = sessMatG[float64]
+
+func newSessMat(rows, cols int) sessMat { return newSessMatG[float64](rows, cols) }
+
+func newSessMatG[T nn.Elem](rows, cols int) sessMatG[T] {
+	return sessMatG[T]{mat: nn.MatG[T]{Cols: cols}, full: make([]T, rows*cols)}
 }
 
 // view returns the buffer shaped rows × (fixed Cols), sharing storage.
-func (s *sessMat) view(rows int) *nn.Mat {
+func (s *sessMatG[T]) view(rows int) *nn.MatG[T] {
 	s.mat.Rows = rows
 	s.mat.Data = s.full[:rows*s.mat.Cols]
 	return &s.mat
 }
 
 // viewShape returns the buffer reshaped rows × cols, sharing storage.
-func (s *sessMat) viewShape(rows, cols int) *nn.Mat {
+func (s *sessMatG[T]) viewShape(rows, cols int) *nn.MatG[T] {
 	s.mat.Rows, s.mat.Cols = rows, cols
 	s.mat.Data = s.full[:rows*cols]
 	return &s.mat
 }
 
 // copyRow copies row src into row dst at the buffer's fixed column width.
-func (s *sessMat) copyRow(dst, src int) {
+func (s *sessMatG[T]) copyRow(dst, src int) {
 	c := s.mat.Cols
 	copy(s.full[dst*c:(dst+1)*c], s.full[src*c:(src+1)*c])
 }
@@ -41,16 +46,18 @@ func (s *sessMat) copyRow(dst, src int) {
 // copyRowPrefix copies only the leading w entries of row src into row dst —
 // trunk buffers are valid (and read) only on [0, validW), so compaction and
 // replication skip the stale suffix that extendTrunk would overwrite anyway.
-func (s *sessMat) copyRowPrefix(dst, src, w int) {
+func (s *sessMatG[T]) copyRowPrefix(dst, src, w int) {
 	c := s.mat.Cols
 	copy(s.full[dst*c:dst*c+w], s.full[src*c:src*c+w])
 }
 
-// InferSession is a reusable inference context over a Model: it owns every
-// scratch buffer the progressive-sampling hot path needs (token matrix,
-// input-layer preactivation, per-layer trunk activations, head buffers) and
-// keeps the trunk input incrementally up to date, so serving a query — and
-// every query after it — allocates nothing.
+// InferSessionOf is a reusable inference context over a Model at element
+// width T: it owns every scratch buffer the progressive-sampling hot path
+// needs (token matrix, input-layer preactivation, per-layer trunk
+// activations, head buffers) and keeps the trunk input incrementally up to
+// date, so serving a query — and every query after it — allocates nothing.
+// All activations, cached projections, and weight reads run at width T end
+// to end; the hot path never mixes widths.
 //
 // Two structural facts make the hot path cheap. First, the session maintains
 // z0, the input-layer preactivation x·inW + inB, under per-token delta
@@ -67,32 +74,57 @@ func (s *sessMat) copyRowPrefix(dst, src, w int) {
 // prefix-trunk pass per step.
 //
 // Sessions are not safe for concurrent use; create one per worker. Weight
-// updates (TrainStep) are detected via the model's version counter and the
-// cached MASK projections are refreshed on the next Reset.
-type InferSession struct {
-	m    *Model
-	pool *nn.Pool // kernel execution pool; nn.Serial in serial mode
-	cap  int      // row capacity
-	b    int      // active rows
+// updates (TrainStep) are detected via the model's version counter: the next
+// Reset re-resolves the serving weights (for float32, a freshly converted
+// shared snapshot) and recomputes the cached MASK projections.
+type InferSessionOf[T nn.Elem] struct {
+	m      *Model
+	w      *servingWeights[T]        // serving-width weight view (see weights.go)
+	reload func() *servingWeights[T] // re-resolves w after a version change
+	pool   *nn.Pool                  // kernel execution pool; nn.Serial in serial mode
+	cap    int                       // row capacity
+	b      int                       // active rows
 
 	tokens []int32 // cap × n, row-major; MaskToken marks wildcards
 
-	z0       sessMat   // input-layer preactivation, incrementally maintained
-	h0       sessMat   // relu(z0), maintained on [0, validW)
-	mid, res []sessMat // per residual block: inner activation, block output
-	proj     sessMat   // head scratch: embedding projection
-	logits   sessMat   // head logits / probabilities (cap × maxDom backing)
+	z0       sessMatG[T]   // input-layer preactivation, incrementally maintained
+	h0       sessMatG[T]   // relu(z0), maintained on [0, validW)
+	mid, res []sessMatG[T] // per residual block: inner activation, block output
+	proj     sessMatG[T]   // head scratch: embedding projection
+	logits   sessMatG[T]   // head logits / probabilities (cap × maxDom backing)
 
-	maskProj *nn.Mat   // n × Hidden: each column's MASK contribution to z0
-	maskZ    []float64 // Hidden: preactivation of the all-MASK row (incl. bias)
+	maskProj *nn.MatG[T] // n × Hidden: each column's MASK contribution to z0
+	maskZ    []T         // Hidden: preactivation of the all-MASK row (incl. bias)
 
-	version uint64   // model version maskProj/maskZ were computed at
-	topBuf  *sessMat // trunk output layer (res[last], or h0 with no blocks)
-	validW  int      // layer prefix [0, validW) computed and final for current tokens
+	version uint64       // model version maskProj/maskZ were computed at
+	topBuf  *sessMatG[T] // trunk output layer (res[last], or h0 with no blocks)
+	validW  int          // layer prefix [0, validW) computed and final for current tokens
 }
 
-// NewInferSession creates a session able to hold up to maxRows sampling rows.
+// InferSession is the float64 inference session — the width training uses,
+// and the default serving path.
+type InferSession = InferSessionOf[float64]
+
+// InferSession32 is the float32 inference session: same session machinery
+// over the model's converted-at-load float32 serving snapshot. Draws are
+// deterministic per seed but not bit-equal to the float64 path; the serving
+// stack gates this width on measured q-error delta instead (DESIGN.md §1.4).
+type InferSession32 = InferSessionOf[float32]
+
+// NewInferSession creates a float64 session able to hold up to maxRows
+// sampling rows.
 func (m *Model) NewInferSession(maxRows int) *InferSession {
+	return newInferSession(m, maxRows, m.weights64)
+}
+
+// NewInferSession32 creates a float32 session able to hold up to maxRows
+// sampling rows, converting the model's weights to float32 first if no
+// current snapshot exists.
+func (m *Model) NewInferSession32(maxRows int) *InferSession32 {
+	return newInferSession(m, maxRows, m.weights32)
+}
+
+func newInferSession[T nn.Elem](m *Model, maxRows int, reload func() *servingWeights[T]) *InferSessionOf[T] {
 	if maxRows < 1 {
 		maxRows = 1
 	}
@@ -103,21 +135,22 @@ func (m *Model) NewInferSession(maxRows int) *InferSession {
 		}
 	}
 	h := m.cfg.Hidden
-	s := &InferSession{
+	s := &InferSessionOf[T]{
 		m:        m,
+		reload:   reload,
 		pool:     nn.Default(),
 		cap:      maxRows,
 		tokens:   make([]int32, maxRows*m.n),
-		z0:       newSessMat(maxRows, h),
-		h0:       newSessMat(maxRows, h),
-		proj:     newSessMat(maxRows, m.cfg.EmbedDim),
-		logits:   newSessMat(maxRows, maxDom),
-		maskProj: nn.NewMat(m.n, h),
-		maskZ:    make([]float64, h),
+		z0:       newSessMatG[T](maxRows, h),
+		h0:       newSessMatG[T](maxRows, h),
+		proj:     newSessMatG[T](maxRows, m.cfg.EmbedDim),
+		logits:   newSessMatG[T](maxRows, maxDom),
+		maskProj: nn.NewMatG[T](m.n, h),
+		maskZ:    make([]T, h),
 	}
 	for b := 0; b < m.cfg.Blocks; b++ {
-		s.mid = append(s.mid, newSessMat(maxRows, h))
-		s.res = append(s.res, newSessMat(maxRows, h))
+		s.mid = append(s.mid, newSessMatG[T](maxRows, h))
+		s.res = append(s.res, newSessMatG[T](maxRows, h))
 	}
 	if m.cfg.Blocks > 0 {
 		s.topBuf = &s.res[m.cfg.Blocks-1]
@@ -128,17 +161,18 @@ func (m *Model) NewInferSession(maxRows int) *InferSession {
 	return s
 }
 
-// refresh recomputes the weight-derived caches (per-column MASK projections
-// and the all-MASK preactivation row).
-func (s *InferSession) refresh() {
+// refresh re-resolves the serving weights and recomputes the weight-derived
+// caches (per-column MASK projections and the all-MASK preactivation row).
+func (s *InferSessionOf[T]) refresh() {
 	m := s.m
+	s.w = s.reload()
 	s.maskProj.Zero()
-	copy(s.maskZ, m.inB.Val.Row(0))
+	copy(s.maskZ, s.w.inB)
 	for c := 0; c < m.n; c++ {
 		row := s.maskProj.Row(c)
 		// Row doms[c] is the MASK embedding; the masked inW block is zero
 		// below prefixWidth[c], so the restricted accumulation is exact.
-		m.addEmbProjFrom(row, c, int32(m.doms[c]), 1, m.prefixWidth[c])
+		s.w.addEmbProjFrom(row, c, int32(m.doms[c]), 1, m.prefixWidth[c])
 		for k, v := range row[m.prefixWidth[c]:] {
 			s.maskZ[m.prefixWidth[c]+k] += v
 		}
@@ -147,13 +181,13 @@ func (s *InferSession) refresh() {
 }
 
 // Cap returns the session's row capacity.
-func (s *InferSession) Cap() int { return s.cap }
+func (s *InferSessionOf[T]) Cap() int { return s.cap }
 
 // SetSerial switches the session's kernels between the shared parallel pool
 // and fully inline execution. Batch-serving workers run serial so total
 // goroutine count stays at one per worker instead of workers × kernel
 // chunks (the DESIGN.md §1.2 oversubscription limitation).
-func (s *InferSession) SetSerial(on bool) {
+func (s *InferSessionOf[T]) SetSerial(on bool) {
 	if on {
 		s.pool = nn.Serial
 	} else {
@@ -162,12 +196,12 @@ func (s *InferSession) SetSerial(on bool) {
 }
 
 // Rows returns the active row count.
-func (s *InferSession) Rows() int { return s.b }
+func (s *InferSessionOf[T]) Rows() int { return s.b }
 
 // Reset starts a fresh sampling batch of the given row count: every token
 // becomes a wildcard, the preactivation is restored to the all-MASK row, and
 // the cached trunk is discarded.
-func (s *InferSession) Reset(rows int) {
+func (s *InferSessionOf[T]) Reset(rows int) {
 	if rows < 0 || rows > s.cap {
 		panic(fmt.Sprintf("made: InferSession.Reset %d rows, capacity %d", rows, s.cap))
 	}
@@ -188,7 +222,7 @@ func (s *InferSession) Reset(rows int) {
 
 // TokenRow returns row r's token vector, aliasing session storage. Callers
 // must treat it as read-only; use SetToken to mutate.
-func (s *InferSession) TokenRow(r int) []int32 {
+func (s *InferSessionOf[T]) TokenRow(r int) []int32 {
 	n := s.m.n
 	return s.tokens[r*n : (r+1)*n]
 }
@@ -197,7 +231,7 @@ func (s *InferSession) TokenRow(r int) []int32 {
 // updating the input-layer preactivation by the embedding delta. Column
 // col's masked input rows are zero below prefixWidth[col], so only the z0
 // suffix from there changes — and the cached trunk prefix below it survives.
-func (s *InferSession) SetToken(r, col int, tok int32) {
+func (s *InferSessionOf[T]) SetToken(r, col int, tok int32) {
 	m := s.m
 	old := s.tokens[r*m.n+col]
 	if old == tok {
@@ -210,7 +244,7 @@ func (s *InferSession) SetToken(r, col int, tok int32) {
 			zrow[from+k] -= v
 		}
 	} else {
-		m.addEmbProjFrom(zrow, col, old, -1, from)
+		s.w.addEmbProjFrom(zrow, col, old, -1, from)
 	}
 	if tok < 0 {
 		tok = MaskToken
@@ -218,7 +252,7 @@ func (s *InferSession) SetToken(r, col int, tok int32) {
 			zrow[from+k] += v
 		}
 	} else {
-		m.addEmbProjFrom(zrow, col, tok, 1, from)
+		s.w.addEmbProjFrom(zrow, col, tok, 1, from)
 	}
 	s.tokens[r*m.n+col] = tok
 	if from < s.validW {
@@ -230,7 +264,7 @@ func (s *InferSession) SetToken(r, col int, tok int32) {
 // cached trunk state), the primitive behind active-row compaction: callers
 // move live rows into slots freed by zero-weight rows, then Shrink. The
 // trunk cache stays valid — compaction permutes rows, never values.
-func (s *InferSession) CompactRows(dst, src int) {
+func (s *InferSessionOf[T]) CompactRows(dst, src int) {
 	if dst == src {
 		return
 	}
@@ -248,7 +282,7 @@ func (s *InferSession) CompactRows(dst, src int) {
 
 // Shrink reduces the active row count to rows (rows ≤ current). Surviving
 // rows keep their cached trunk state.
-func (s *InferSession) Shrink(rows int) {
+func (s *InferSessionOf[T]) Shrink(rows int) {
 	if rows < 0 || rows > s.b {
 		panic(fmt.Sprintf("made: InferSession.Shrink %d rows, active %d", rows, s.b))
 	}
@@ -261,7 +295,7 @@ func (s *InferSession) Shrink(rows int) {
 // row is still bit-identical (deterministic indicator steps and the shared
 // forward pass of the first stochastic column) and replicates only at the
 // first per-row draw.
-func (s *InferSession) Replicate(rows int) {
+func (s *InferSessionOf[T]) Replicate(rows int) {
 	if s.b != 1 {
 		panic(fmt.Sprintf("made: InferSession.Replicate from %d rows, want 1", s.b))
 	}
@@ -289,8 +323,8 @@ func (s *InferSession) Replicate(rows int) {
 // reads only previous-layer units of degree ≤ its own, all below hi, so the
 // range extension is arithmetically identical to a full prefix pass at
 // width hi.
-func (s *InferSession) extendTrunk(lo, hi int) {
-	m, b := s.m, s.b
+func (s *InferSessionOf[T]) extendTrunk(lo, hi int) {
+	b := s.b
 	z := s.z0.view(b)
 	h := s.h0.view(b)
 	for r := 0; r < b; r++ {
@@ -305,30 +339,26 @@ func (s *InferSession) extendTrunk(lo, hi int) {
 		}
 	}
 	cur := h
-	for bi, blk := range m.blocks {
+	for bi := range s.w.blocks {
+		blk := &s.w.blocks[bi]
 		a := s.mid[bi].view(b)
-		s.pool.MatMulCols(a, cur, blk.w1.Val, hi, lo, hi)
-		b1 := blk.b1.Val.Row(0)[lo:hi]
-		for r := 0; r < b; r++ {
-			arow := a.Row(r)[lo:hi]
-			for i, bv := range b1 {
-				v := arow[i] + bv
-				if v < 0 {
-					v = 0
-				}
-				arow[i] = v
-			}
+		if blk.w1T != nil {
+			// Float32 view: transposed weights, contiguous SSE dot products
+			// per extended unit (see servingBlock.w1T).
+			nn.MatMulColsBT32(s.pool, any(a).(*nn.Mat32), any(cur).(*nn.Mat32),
+				any(blk.w1T).(*nn.Mat32), hi, lo, hi)
+		} else {
+			nn.MatMulColsG(s.pool, a, cur, blk.w1, hi, lo, hi)
 		}
+		nn.AddBiasReluCols(a, blk.b1, b, lo, hi)
 		f := s.res[bi].view(b)
-		s.pool.MatMulCols(f, a, blk.w2.Val, hi, lo, hi)
-		b2 := blk.b2.Val.Row(0)[lo:hi]
-		for r := 0; r < b; r++ {
-			frow := f.Row(r)[lo:hi]
-			crow := cur.Row(r)[lo:hi]
-			for i, bv := range b2 {
-				frow[i] = (frow[i] + bv) + crow[i]
-			}
+		if blk.w2T != nil {
+			nn.MatMulColsBT32(s.pool, any(f).(*nn.Mat32), any(a).(*nn.Mat32),
+				any(blk.w2T).(*nn.Mat32), hi, lo, hi)
+		} else {
+			nn.MatMulColsG(s.pool, f, a, blk.w2, hi, lo, hi)
 		}
+		nn.AddBiasResidualCols(f, cur, blk.b2, b, lo, hi)
 		cur = f
 	}
 }
@@ -340,7 +370,7 @@ func (s *InferSession) extendTrunk(lo, hi int) {
 // consecutive Probs calls with no token changes reuse it entirely. Head
 // masking (degree ≤ col) is the prefix restriction itself, so no separate
 // masked copy of the hidden state is needed.
-func (s *InferSession) Probs(col int) *nn.Mat {
+func (s *InferSessionOf[T]) Probs(col int) *nn.MatG[T] {
 	m := s.m
 	if col < 0 || col >= m.n {
 		panic(fmt.Sprintf("made: InferSession.Probs column %d of %d", col, m.n))
@@ -352,10 +382,15 @@ func (s *InferSession) Probs(col int) *nn.Mat {
 	}
 	top := s.topBuf.view(s.b)
 	proj := s.proj.view(s.b)
-	s.pool.MatMulSub(proj, top, m.headW[col].Val, mW, m.cfg.EmbedDim)
+	if s.w.headWT != nil {
+		nn.MatMulColsBT32(s.pool, any(proj).(*nn.Mat32), any(top).(*nn.Mat32),
+			any(s.w.headWT[col]).(*nn.Mat32), mW, 0, m.cfg.EmbedDim)
+	} else {
+		nn.MatMulSubG(s.pool, proj, top, s.w.headW[col], mW, m.cfg.EmbedDim)
+	}
 	out := s.logits.viewShape(s.b, m.doms[col])
-	s.pool.MatMulBT(out, proj, m.embedRowsView(col))
-	s.pool.AddBias(out, m.headB[col].Val.Row(0))
-	s.pool.SoftmaxRows(out, out)
+	nn.MatMulBTG(s.pool, out, proj, s.w.embVw[col])
+	nn.AddBiasG(s.pool, out, s.w.headB[col])
+	nn.SoftmaxRowsG(s.pool, out, out)
 	return out
 }

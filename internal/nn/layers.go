@@ -73,11 +73,16 @@ func ReluBackward(dY, out *Mat) {
 	}
 }
 
-func softmaxRowsChunk(dst, logits *Mat, lo, hi int) {
+// softmaxRowsChunk exponentiates through float64 math.Exp: on the float64
+// instantiation the conversions are identity (the path stays bit-identical
+// to the pre-generic kernel). The float32 instantiation is unreachable in
+// practice — SoftmaxRowsG dispatches float32 to softmaxRowsChunk32 and its
+// polynomial exp32 (mat32.go) — but remains a correct reference.
+func softmaxRowsChunk[T Elem](dst, logits *MatG[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		src := logits.Row(i)
 		out := dst.Row(i)
-		maxv := math.Inf(-1)
+		maxv := T(math.Inf(-1))
 		for _, v := range src {
 			if v > maxv {
 				maxv = v
@@ -85,21 +90,30 @@ func softmaxRowsChunk(dst, logits *Mat, lo, hi int) {
 		}
 		sum := 0.0
 		for j, v := range src {
-			e := math.Exp(v - maxv)
-			out[j] = e
+			e := math.Exp(float64(v - maxv))
+			out[j] = T(e)
 			sum += e
 		}
-		inv := 1 / sum
+		inv := T(1 / sum)
 		for j := range out {
 			out[j] *= inv
 		}
 	}
 }
 
-// SoftmaxRows writes the row-wise softmax of logits into dst (may alias).
-func (p *Pool) SoftmaxRows(dst, logits *Mat) {
+// SoftmaxRowsG writes the row-wise softmax of logits into dst (may alias).
+func SoftmaxRowsG[T Elem](p *Pool, dst, logits *MatG[T]) {
 	if dst.Rows != logits.Rows || dst.Cols != logits.Cols {
 		panic("nn: SoftmaxRows dimension mismatch")
+	}
+	if d32, ok := any(dst).(*Mat32); ok {
+		l32 := any(logits).(*Mat32)
+		if p.inline(logits.Rows) {
+			softmaxRowsChunk32(d32, l32, 0, logits.Rows)
+			return
+		}
+		p.parallelFor(logits.Rows, func(lo, hi int) { softmaxRowsChunk32(d32, l32, lo, hi) })
+		return
 	}
 	if p.inline(logits.Rows) {
 		softmaxRowsChunk(dst, logits, 0, logits.Rows)
@@ -108,8 +122,11 @@ func (p *Pool) SoftmaxRows(dst, logits *Mat) {
 	p.parallelFor(logits.Rows, func(lo, hi int) { softmaxRowsChunk(dst, logits, lo, hi) })
 }
 
+// SoftmaxRows writes the row-wise softmax of logits into dst (may alias).
+func (p *Pool) SoftmaxRows(dst, logits *Mat) { SoftmaxRowsG(p, dst, logits) }
+
 // SoftmaxRows runs on the default pool.
-func SoftmaxRows(dst, logits *Mat) { defaultPool.SoftmaxRows(dst, logits) }
+func SoftmaxRows(dst, logits *Mat) { SoftmaxRowsG(defaultPool, dst, logits) }
 
 // CrossEntropy computes the summed negative log-likelihood of targets under
 // row-wise softmax(logits) and fills dLogits with the unscaled gradient

@@ -1,56 +1,62 @@
-// Package nn is the from-scratch neural-network kernel library NeuroCard's
-// deep autoregressive model is built on: dense matrices, (masked) linear
-// layers, embeddings, ReLU, softmax/cross-entropy, and the Adam optimizer
-// with gradient clipping. All operations are hand-derived forward/backward
-// pairs validated against finite differences; matrix products parallelize
-// across a persistent worker pool (see Pool), and sessions that must not
-// oversubscribe the CPU run the same kernels through the Serial pool.
-//
-// Kernels are written as a thin dispatch over named chunk functions: the
-// serial path calls the chunk directly (no closure, no allocation), and the
-// parallel path wraps it in a closure only when chunks are actually handed
-// to pool workers. The hot matmuls use 4-row register blocking, which
-// quarters weight-matrix memory traffic and gives four independent
-// accumulation streams while preserving the scalar loop's per-element
-// accumulation order exactly.
-//
-// The paper trains its ResMADE with PyTorch on a GPU; this package is the
-// substitution that keeps the estimator's statistics identical (maximum
-// likelihood on the same architecture) while running on CPUs with the
-// standard library only.
 package nn
 
 import "fmt"
 
-// Mat is a dense row-major matrix.
-type Mat struct {
-	Rows, Cols int
-	Data       []float64
+// Elem constrains the floating-point element types the kernel set is
+// instantiated over. Training always runs float64; serving may select
+// float32 (see MatG and the *G kernel entry points).
+type Elem interface {
+	~float32 | ~float64
 }
 
-// NewMat allocates a zeroed Rows×Cols matrix.
-func NewMat(rows, cols int) *Mat {
-	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+// MatG is a dense row-major matrix over element type T. All kernels are
+// generic over Elem and dual-instantiated: the float64 instantiation is the
+// training and default serving path, the float32 instantiation is the
+// reduced-precision serving path. Go stencils each value-type instantiation
+// into its own machine code, so neither width pays an abstraction cost.
+type MatG[T Elem] struct {
+	Rows, Cols int
+	Data       []T
+}
+
+// Mat is a dense row-major float64 matrix — the element width used by
+// training and the default serving path.
+type Mat = MatG[float64]
+
+// Mat32 is a dense row-major float32 matrix — the reduced-precision serving
+// width. Checkpoints never store Mat32; it exists only as converted-at-load
+// serving weights and session activations.
+type Mat32 = MatG[float32]
+
+// NewMat allocates a zeroed Rows×Cols float64 matrix.
+func NewMat(rows, cols int) *Mat { return NewMatG[float64](rows, cols) }
+
+// NewMat32 allocates a zeroed Rows×Cols float32 matrix.
+func NewMat32(rows, cols int) *Mat32 { return NewMatG[float32](rows, cols) }
+
+// NewMatG allocates a zeroed Rows×Cols matrix of element type T.
+func NewMatG[T Elem](rows, cols int) *MatG[T] {
+	return &MatG[T]{Rows: rows, Cols: cols, Data: make([]T, rows*cols)}
 }
 
 // At returns element (r, c).
-func (m *Mat) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+func (m *MatG[T]) At(r, c int) T { return m.Data[r*m.Cols+c] }
 
 // Set assigns element (r, c).
-func (m *Mat) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+func (m *MatG[T]) Set(r, c int, v T) { m.Data[r*m.Cols+c] = v }
 
 // Row returns the r-th row as a slice aliasing the matrix storage.
-func (m *Mat) Row(r int) []float64 { return m.Data[r*m.Cols : (r+1)*m.Cols] }
+func (m *MatG[T]) Row(r int) []T { return m.Data[r*m.Cols : (r+1)*m.Cols] }
 
 // Zero clears all elements.
-func (m *Mat) Zero() {
+func (m *MatG[T]) Zero() {
 	for i := range m.Data {
 		m.Data[i] = 0
 	}
 }
 
 // CopyFrom copies src into m (dimensions must match).
-func (m *Mat) CopyFrom(src *Mat) {
+func (m *MatG[T]) CopyFrom(src *MatG[T]) {
 	if m.Rows != src.Rows || m.Cols != src.Cols {
 		panic(fmt.Sprintf("nn: CopyFrom %dx%d into %dx%d", src.Rows, src.Cols, m.Rows, m.Cols))
 	}
@@ -58,13 +64,25 @@ func (m *Mat) CopyFrom(src *Mat) {
 }
 
 // Clone returns a deep copy.
-func (m *Mat) Clone() *Mat {
-	out := NewMat(m.Rows, m.Cols)
+func (m *MatG[T]) Clone() *MatG[T] {
+	out := NewMatG[T](m.Rows, m.Cols)
 	copy(out.Data, m.Data)
 	return out
 }
 
-func matMulChunk(dst, a, b *Mat, lo, hi int) {
+// Convert32 returns a freshly allocated float32 copy of a float64 matrix —
+// the conversion-at-load step that builds serving weights. Each element is
+// rounded once (round-to-nearest-even); see DESIGN.md §1.4 for the error
+// model.
+func Convert32(src *Mat) *Mat32 {
+	out := NewMat32(src.Rows, src.Cols)
+	for i, v := range src.Data {
+		out.Data[i] = float32(v)
+	}
+	return out
+}
+
+func matMulChunk[T Elem](dst, a, b *MatG[T], lo, hi int) {
 	i := lo
 	// 4-row register blocking: each loaded row of b updates four output
 	// rows, quartering b's memory traffic and giving four independent
@@ -113,11 +131,22 @@ func matMulChunk(dst, a, b *Mat, lo, hi int) {
 	}
 }
 
-// MatMul sets dst = a·b. dst must be a.Rows × b.Cols and distinct from a, b.
-func (p *Pool) MatMul(dst, a, b *Mat) {
+// MatMulG sets dst = a·b over any element width. dst must be a.Rows × b.Cols
+// and distinct from a, b. Generic kernels take the pool as a parameter
+// because Go methods cannot have type parameters.
+func MatMulG[T Elem](p *Pool, dst, a, b *MatG[T]) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMul dims %dx%d · %dx%d -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if d32, ok := any(dst).(*Mat32); ok {
+		a32, b32 := any(a).(*Mat32), any(b).(*Mat32)
+		if p.inline(a.Rows) {
+			matMulChunk32(d32, a32, b32, 0, a.Rows)
+			return
+		}
+		p.parallelFor(a.Rows, func(lo, hi int) { matMulChunk32(d32, a32, b32, lo, hi) })
+		return
 	}
 	if p.inline(a.Rows) {
 		matMulChunk(dst, a, b, 0, a.Rows)
@@ -126,10 +155,13 @@ func (p *Pool) MatMul(dst, a, b *Mat) {
 	p.parallelFor(a.Rows, func(lo, hi int) { matMulChunk(dst, a, b, lo, hi) })
 }
 
-// MatMul sets dst = a·b on the default pool.
-func MatMul(dst, a, b *Mat) { defaultPool.MatMul(dst, a, b) }
+// MatMul sets dst = a·b. dst must be a.Rows × b.Cols and distinct from a, b.
+func (p *Pool) MatMul(dst, a, b *Mat) { MatMulG(p, dst, a, b) }
 
-func matMulSubChunk(dst, a, b *Mat, k, m, lo, hi int) {
+// MatMul sets dst = a·b on the default pool.
+func MatMul(dst, a, b *Mat) { MatMulG(defaultPool, dst, a, b) }
+
+func matMulSubChunk[T Elem](dst, a, b *MatG[T], k, m, lo, hi int) {
 	i := lo
 	// 4-row register blocking (see matMulChunk).
 	for ; i+4 <= hi; i += 4 {
@@ -176,17 +208,26 @@ func matMulSubChunk(dst, a, b *Mat, k, m, lo, hi int) {
 	}
 }
 
-// MatMulSub sets the leading m columns of dst to a[:, :k]·b[:k, :m],
+// MatMulSubG sets the leading m columns of dst to a[:, :k]·b[:k, :m],
 // leaving columns ≥ m of dst untouched. All matrices keep their full
 // row-major layout; only row slices are restricted, so no copies are made.
 // Used by inference sessions to run MADE trunk passes over the contiguous
 // "degree ≤ col" prefix — entries outside the prefix multiply masked-zero
 // weights and are skipped instead of computed — and by training sessions to
 // project head inputs without materializing a masked hidden copy.
-func (p *Pool) MatMulSub(dst, a, b *Mat, k, m int) {
+func MatMulSubG[T Elem](p *Pool, dst, a, b *MatG[T], k, m int) {
 	if k > a.Cols || k > b.Rows || m > b.Cols || m > dst.Cols || dst.Rows != a.Rows {
 		panic(fmt.Sprintf("nn: MatMulSub dims %dx%d[:%d] · %dx%d[:%d,:%d] -> %dx%d",
 			a.Rows, a.Cols, k, b.Rows, b.Cols, k, m, dst.Rows, dst.Cols))
+	}
+	if d32, ok := any(dst).(*Mat32); ok {
+		a32, b32 := any(a).(*Mat32), any(b).(*Mat32)
+		if p.inline(a.Rows) {
+			matMulSubChunk32(d32, a32, b32, k, m, 0, a.Rows)
+			return
+		}
+		p.parallelFor(a.Rows, func(lo, hi int) { matMulSubChunk32(d32, a32, b32, k, m, lo, hi) })
+		return
 	}
 	if p.inline(a.Rows) {
 		matMulSubChunk(dst, a, b, k, m, 0, a.Rows)
@@ -195,10 +236,13 @@ func (p *Pool) MatMulSub(dst, a, b *Mat, k, m int) {
 	p.parallelFor(a.Rows, func(lo, hi int) { matMulSubChunk(dst, a, b, k, m, lo, hi) })
 }
 
-// MatMulSub runs the prefix-restricted product on the default pool.
-func MatMulSub(dst, a, b *Mat, k, m int) { defaultPool.MatMulSub(dst, a, b, k, m) }
+// MatMulSub runs the prefix-restricted product (see MatMulSubG).
+func (p *Pool) MatMulSub(dst, a, b *Mat, k, m int) { MatMulSubG(p, dst, a, b, k, m) }
 
-func matMulColsChunk(dst, a, b *Mat, k, cl, ch, lo, hi int) {
+// MatMulSub runs the prefix-restricted product on the default pool.
+func MatMulSub(dst, a, b *Mat, k, m int) { MatMulSubG(defaultPool, dst, a, b, k, m) }
+
+func matMulColsChunk[T Elem](dst, a, b *MatG[T], k, cl, ch, lo, hi int) {
 	w := ch - cl
 	i := lo
 	// 4-row register blocking (see matMulChunk).
@@ -246,18 +290,27 @@ func matMulColsChunk(dst, a, b *Mat, k, cl, ch, lo, hi int) {
 	}
 }
 
-// MatMulCols sets the column range [cl, ch) of dst to a[:, :k]·b[:k, cl:ch),
+// MatMulColsG sets the column range [cl, ch) of dst to a[:, :k]·b[:k, cl:ch),
 // leaving every other column of dst untouched. Per output element the
-// accumulation runs over ascending k exactly as MatMulSub, so the computed
-// columns are bit-identical to a full MatMulSub(dst, a, b, k, ch) pass.
+// accumulation runs over ascending k exactly as MatMulSubG, so the computed
+// columns are bit-identical to a full MatMulSubG(p, dst, a, b, k, ch) pass.
 // Inference sessions use it to extend a cached trunk by only the hidden
 // units newly unmasked since the previous sampling step.
-func (p *Pool) MatMulCols(dst, a, b *Mat, k, cl, ch int) {
+func MatMulColsG[T Elem](p *Pool, dst, a, b *MatG[T], k, cl, ch int) {
 	if k > a.Cols || k > b.Rows || cl < 0 || cl > ch || ch > b.Cols || ch > dst.Cols || dst.Rows != a.Rows {
 		panic(fmt.Sprintf("nn: MatMulCols dims %dx%d[:%d] · %dx%d[%d:%d] -> %dx%d",
 			a.Rows, a.Cols, k, b.Rows, b.Cols, cl, ch, dst.Rows, dst.Cols))
 	}
 	if cl == ch {
+		return
+	}
+	if d32, ok := any(dst).(*Mat32); ok {
+		a32, b32 := any(a).(*Mat32), any(b).(*Mat32)
+		if p.inline(a.Rows) {
+			matMulColsChunk32(d32, a32, b32, k, cl, ch, 0, a.Rows)
+			return
+		}
+		p.parallelFor(a.Rows, func(lo, hi int) { matMulColsChunk32(d32, a32, b32, k, cl, ch, lo, hi) })
 		return
 	}
 	if p.inline(a.Rows) {
@@ -267,11 +320,14 @@ func (p *Pool) MatMulCols(dst, a, b *Mat, k, cl, ch int) {
 	p.parallelFor(a.Rows, func(lo, hi int) { matMulColsChunk(dst, a, b, k, cl, ch, lo, hi) })
 }
 
+// MatMulCols runs the column-range product (see MatMulColsG).
+func (p *Pool) MatMulCols(dst, a, b *Mat, k, cl, ch int) { MatMulColsG(p, dst, a, b, k, cl, ch) }
+
 // MatMulCols runs the column-range product on the default pool.
-func MatMulCols(dst, a, b *Mat, k, cl, ch int) { defaultPool.MatMulCols(dst, a, b, k, cl, ch) }
+func MatMulCols(dst, a, b *Mat, k, cl, ch int) { MatMulColsG(defaultPool, dst, a, b, k, cl, ch) }
 
 // AddBiasSub adds bias[:m] to the leading m columns of every row of x.
-func AddBiasSub(x *Mat, bias []float64, m int) {
+func AddBiasSub[T Elem](x *MatG[T], bias []T, m int) {
 	if m > x.Cols || m > len(bias) {
 		panic("nn: AddBiasSub length mismatch")
 	}
@@ -280,6 +336,40 @@ func AddBiasSub(x *Mat, bias []float64, m int) {
 		row := x.Row(i)[:m]
 		for j, v := range b {
 			row[j] += v
+		}
+	}
+}
+
+// AddBiasReluCols applies dst[r, cl:ch) = max(0, dst[r, cl:ch) + bias[cl:ch))
+// over the given rows — the fused bias+ReLU epilogue of a trunk extension.
+// Fusing keeps the freshly computed column range in cache for exactly one
+// extra pass instead of two.
+func AddBiasReluCols[T Elem](dst *MatG[T], bias []T, rows, cl, ch int) {
+	b := bias[cl:ch]
+	for r := 0; r < rows; r++ {
+		row := dst.Row(r)[cl:ch]
+		for j, v := range b {
+			s := row[j] + v
+			if s < 0 {
+				s = 0
+			}
+			row[j] = s
+		}
+	}
+}
+
+// AddBiasResidualCols applies dst[r, cl:ch) += bias[cl:ch) + res[r, cl:ch)
+// over the given rows — the fused bias+residual epilogue of a ResMADE block.
+func AddBiasResidualCols[T Elem](dst, res *MatG[T], bias []T, rows, cl, ch int) {
+	b := bias[cl:ch]
+	for r := 0; r < rows; r++ {
+		row := dst.Row(r)[cl:ch]
+		rrow := res.Row(r)[cl:ch]
+		for j, v := range b {
+			// Left-to-right (row + bias) + residual: the exact accumulation
+			// order of the pre-generic session loop, preserving bit-identical
+			// float64 results.
+			row[j] = row[j] + v + rrow[j]
 		}
 	}
 }
@@ -326,7 +416,8 @@ func matMulATAddChunk(dst, a, b *Mat, lo, hi int) {
 }
 
 // MatMulATAdd accumulates dst += aᵀ·b. dst must be a.Cols × b.Cols. Used for
-// weight gradients (dW += Xᵀ·dY), which accumulate across calls.
+// weight gradients (dW += Xᵀ·dY), which accumulate across calls. Training
+// runs float64 only, so this kernel has no generic variant.
 func (p *Pool) MatMulATAdd(dst, a, b *Mat) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("nn: MatMulATAdd dims %dx%dᵀ · %dx%d -> %dx%d",
@@ -342,13 +433,13 @@ func (p *Pool) MatMulATAdd(dst, a, b *Mat) {
 // MatMulATAdd accumulates dst += aᵀ·b on the default pool.
 func MatMulATAdd(dst, a, b *Mat) { defaultPool.MatMulATAdd(dst, a, b) }
 
-func matMulBTChunk(dst, a, b *Mat, lo, hi int) {
+func matMulBTChunk[T Elem](dst, a, b *MatG[T], lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		for j := 0; j < b.Rows; j++ {
 			brow := b.Row(j)
-			sum := 0.0
+			var sum T
 			for k, av := range arow {
 				sum += av * brow[k]
 			}
@@ -357,12 +448,22 @@ func matMulBTChunk(dst, a, b *Mat, lo, hi int) {
 	}
 }
 
-// MatMulBT sets dst = a·bᵀ. dst must be a.Rows × b.Rows. Used for input
-// gradients (dX = dY·Wᵀ) when no pre-transposed weight is available.
-func (p *Pool) MatMulBT(dst, a, b *Mat) {
+// MatMulBTG sets dst = a·bᵀ. dst must be a.Rows × b.Rows. Used for input
+// gradients (dX = dY·Wᵀ) and for projecting session embeddings onto output
+// logits when no pre-transposed weight is available.
+func MatMulBTG[T Elem](p *Pool, dst, a, b *MatG[T]) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("nn: MatMulBT dims %dx%d · %dx%dᵀ -> %dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if d32, ok := any(dst).(*Mat32); ok {
+		a32, b32 := any(a).(*Mat32), any(b).(*Mat32)
+		if p.inline(a.Rows) {
+			matMulBTChunk32(d32, a32, b32, 0, a.Rows)
+			return
+		}
+		p.parallelFor(a.Rows, func(lo, hi int) { matMulBTChunk32(d32, a32, b32, lo, hi) })
+		return
 	}
 	if p.inline(a.Rows) {
 		matMulBTChunk(dst, a, b, 0, a.Rows)
@@ -371,10 +472,13 @@ func (p *Pool) MatMulBT(dst, a, b *Mat) {
 	p.parallelFor(a.Rows, func(lo, hi int) { matMulBTChunk(dst, a, b, lo, hi) })
 }
 
-// MatMulBT sets dst = a·bᵀ on the default pool.
-func MatMulBT(dst, a, b *Mat) { defaultPool.MatMulBT(dst, a, b) }
+// MatMulBT sets dst = a·bᵀ (see MatMulBTG).
+func (p *Pool) MatMulBT(dst, a, b *Mat) { MatMulBTG(p, dst, a, b) }
 
-func addBiasChunk(x *Mat, bias []float64, lo, hi int) {
+// MatMulBT sets dst = a·bᵀ on the default pool.
+func MatMulBT(dst, a, b *Mat) { MatMulBTG(defaultPool, dst, a, b) }
+
+func addBiasChunk[T Elem](x *MatG[T], bias []T, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		row := x.Row(i)
 		for j, b := range bias {
@@ -383,8 +487,8 @@ func addBiasChunk(x *Mat, bias []float64, lo, hi int) {
 	}
 }
 
-// AddBias adds bias (length x.Cols) to every row of x in place.
-func (p *Pool) AddBias(x *Mat, bias []float64) {
+// AddBiasG adds bias (length x.Cols) to every row of x in place.
+func AddBiasG[T Elem](p *Pool, x *MatG[T], bias []T) {
 	if len(bias) != x.Cols {
 		panic("nn: AddBias length mismatch")
 	}
@@ -395,8 +499,11 @@ func (p *Pool) AddBias(x *Mat, bias []float64) {
 	p.parallelFor(x.Rows, func(lo, hi int) { addBiasChunk(x, bias, lo, hi) })
 }
 
+// AddBias adds bias (length x.Cols) to every row of x in place.
+func (p *Pool) AddBias(x *Mat, bias []float64) { AddBiasG(p, x, bias) }
+
 // AddBias adds bias to every row of x on the default pool.
-func AddBias(x *Mat, bias []float64) { defaultPool.AddBias(x, bias) }
+func AddBias(x *Mat, bias []float64) { AddBiasG(defaultPool, x, bias) }
 
 // BiasGradAdd accumulates column sums of dY into grad (the bias gradient).
 func BiasGradAdd(grad []float64, dY *Mat) {

@@ -1,0 +1,195 @@
+package nn
+
+import "math"
+
+// Float32 serving kernels. The generic kernels in mat.go stencil to scalar
+// code for every width; Go's compiler does not auto-vectorize, so scalar
+// float32 runs no faster than float64. The float32 path is gated on measured
+// q-error rather than bit equivalence (DESIGN.md §1.4), which frees it to use
+// the SSE axpy/dot primitives in simd_amd64.s and a polynomial exp. The
+// MatMul* specializations compose axpy32 per ascending k, so each output
+// element still accumulates in exactly the scalar order — bit-identical to
+// the generic float32 chunks; only dot products and exp32 reassociate.
+
+// Axpy32 computes y[i] += alpha·x[i] over len(x) elements (SSE on amd64).
+// Per-element results are bit-identical to the scalar loop.
+func Axpy32(alpha float32, x, y []float32) {
+	if len(y) < len(x) {
+		panic("nn: Axpy32 y shorter than x")
+	}
+	axpy32(alpha, x, y)
+}
+
+// Dot32 returns Σ x[i]·y[i] over len(x) elements (SSE on amd64). The
+// accumulation order differs from a scalar loop — float32 serving path only.
+func Dot32(x, y []float32) float32 {
+	if len(y) < len(x) {
+		panic("nn: Dot32 y shorter than x")
+	}
+	return dot32(x, y)
+}
+
+// ConvertT32 returns a freshly allocated float32 copy of src transposed —
+// the layout the float32 serving path stores trunk and head weights in. A
+// matrix column becomes a contiguous row, so prefix-restricted products turn
+// into long unit-stride dot products (MatMulColsBT32) instead of the short
+// strided axpy spans the row-major layout yields when the extended column
+// range is narrow. Same bytes as Convert32: transposition replaces the
+// row-major copy, it does not duplicate it.
+func ConvertT32(src *Mat) *Mat32 {
+	out := NewMat32(src.Cols, src.Rows)
+	for i := 0; i < src.Rows; i++ {
+		row := src.Row(i)
+		for j, v := range row {
+			out.Data[j*src.Rows+i] = float32(v)
+		}
+	}
+	return out
+}
+
+func matMulColsBTChunk32(dst, a, bT *Mat32, k, cl, ch, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)[:k]
+		drow := dst.Row(i)
+		for c := cl; c < ch; c++ {
+			drow[c] = dot32(arow, bT.Row(c)[:k])
+		}
+	}
+}
+
+// MatMulColsBT32 sets dst[:, cl:ch) = a[:, :k] · bT[cl:ch, :k)ᵀ — the
+// transposed-weight counterpart of MatMulColsG. bT holds the weight matrix
+// transposed, so each output element is one contiguous length-k dot product;
+// with the trunk extension's narrow [cl, ch) ranges and long k prefixes this
+// keeps the SSE lanes full where the axpy formulation degenerates to scalar
+// tails. Accumulation order is dot32's (lane groups), so this kernel belongs
+// to the q-error-gated float32 path only.
+func MatMulColsBT32(p *Pool, dst, a, bT *Mat32, k, cl, ch int) {
+	if k > a.Cols || k > bT.Cols || cl < 0 || cl > ch || ch > bT.Rows || ch > dst.Cols || dst.Rows != a.Rows {
+		panic("nn: MatMulColsBT32 dimension mismatch")
+	}
+	if cl == ch {
+		return
+	}
+	if p.inline(a.Rows) {
+		matMulColsBTChunk32(dst, a, bT, k, cl, ch, 0, a.Rows)
+		return
+	}
+	p.parallelFor(a.Rows, func(lo, hi int) { matMulColsBTChunk32(dst, a, bT, k, cl, ch, lo, hi) })
+}
+
+func matMulChunk32(dst, a, b *Mat32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := range drow {
+			drow[j] = 0
+		}
+		for k, av := range arow {
+			if av == 0 {
+				continue // ReLU activations are often sparse
+			}
+			axpy32(av, b.Row(k), drow[:len(b.Row(k))])
+		}
+	}
+}
+
+func matMulSubChunk32(dst, a, b *Mat32, k, m, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)[:k]
+		drow := dst.Row(i)[:m]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy32(av, b.Row(j)[:m], drow)
+		}
+	}
+}
+
+func matMulColsChunk32(dst, a, b *Mat32, k, cl, ch, lo, hi int) {
+	w := ch - cl
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)[:k]
+		drow := dst.Row(i)[cl:][:w]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for j, av := range arow {
+			if av == 0 {
+				continue
+			}
+			axpy32(av, b.Row(j)[cl:][:w], drow)
+		}
+	}
+}
+
+func matMulBTChunk32(dst, a, b *Mat32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			drow[j] = dot32(arow, b.Row(j))
+		}
+	}
+}
+
+// exp32 is a single-precision exp: exp(x) = 2^n · exp(f) with f reduced to
+// [-ln2/2, ln2/2] and exp(f) a degree-6 minimax polynomial (Cephes expf
+// coefficients), assembled through the float32 exponent field. Relative
+// error ≲ 2·10⁻⁷ — below float32 rounding noise for the softmax that calls
+// it, and orders of magnitude inside the serving q-error tolerance.
+func exp32(x float32) float32 {
+	const (
+		log2e = 1.44269504088896341
+		ln2hi = 6.93359375e-1
+		ln2lo = -2.12194440e-4
+	)
+	if x > 88.37626 {
+		return float32(math.Inf(1))
+	}
+	if x < -87.33654 {
+		return 0
+	}
+	z := x*log2e + 0.5
+	n := int32(z)
+	if z < float32(n) { // truncation rounded toward zero; we need floor
+		n--
+	}
+	fn := float32(n)
+	f := x - fn*ln2hi - fn*ln2lo
+	p := float32(1.9875691500e-4)
+	p = p*f + 1.3981999507e-3
+	p = p*f + 8.3334519073e-3
+	p = p*f + 4.1665795894e-2
+	p = p*f + 1.6666665459e-1
+	p = p*f + 5.0000001201e-1
+	r := p*f*f + f + 1
+	return r * math.Float32frombits(uint32(n+127)<<23)
+}
+
+func softmaxRowsChunk32(dst, logits *Mat32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		src := logits.Row(i)
+		out := dst.Row(i)
+		maxv := float32(math.Inf(-1))
+		for _, v := range src {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range src {
+			e := exp32(v - maxv)
+			out[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range out {
+			out[j] *= inv
+		}
+	}
+}

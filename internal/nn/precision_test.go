@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestConvert32RoundTripBounds checks the conversion-at-load step against the
+// float32 error model DESIGN.md §1.4 relies on: each element is rounded once,
+// so reading it back as float64 must land within half a float32 ulp of the
+// master — a relative error of at most 2^-24 — and values float32 represents
+// exactly (small integers, powers of two) must survive bit-for-bit.
+func TestConvert32RoundTripBounds(t *testing.T) {
+	const relBound = 1.0 / (1 << 24) // half-ulp: round-to-nearest-even
+
+	rng := rand.New(rand.NewSource(42))
+	src := NewMat(13, 17)
+	for i := range src.Data {
+		// Weight-like magnitudes: signed, spanning ~1e-6 .. ~1e2.
+		src.Data[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(9)-6))
+	}
+	got := Convert32(src)
+	if got.Rows != src.Rows || got.Cols != src.Cols {
+		t.Fatalf("Convert32 shape %dx%d, want %dx%d", got.Rows, got.Cols, src.Rows, src.Cols)
+	}
+	for i, v := range src.Data {
+		back := float64(got.Data[i])
+		if d := math.Abs(back - v); d > relBound*math.Abs(v) {
+			t.Fatalf("element %d: %v -> float32 %v (|Δ| = %g > %g relative)",
+				i, v, back, d, relBound)
+		}
+	}
+
+	// Exactly representable values must convert losslessly, including signed
+	// zero and the largest odd integer float32 holds exactly (2^24 - 1).
+	exact := NewMat(1, 8)
+	exact.Data = []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -0.375, 1 << 20, (1 << 24) - 1}
+	for i, v := range Convert32(exact).Data {
+		if float64(v) != exact.Data[i] || math.Signbit(float64(v)) != math.Signbit(exact.Data[i]) {
+			t.Fatalf("exact value %v converted to %v", exact.Data[i], v)
+		}
+	}
+
+	// Convert32 must snapshot, not alias: mutating the master afterwards (as
+	// training does) cannot leak into serving weights.
+	src.Data[0] = 1e9
+	if got.Data[0] == 1e9 {
+		t.Fatal("Convert32 aliases its source; serving weights must be a snapshot")
+	}
+}

@@ -1,0 +1,19 @@
+//go:build amd64
+
+package nn
+
+// axpy32 computes y[i] += alpha * x[i] over len(x) elements with SSE lanes.
+// Per-element semantics match the scalar loop exactly (one IEEE multiply,
+// one IEEE add, ascending index), so composed kernels stay bit-identical to
+// their pure-Go counterparts. len(y) >= len(x) is the caller's contract.
+//
+//go:noescape
+func axpy32(alpha float32, x, y []float32)
+
+// dot32 returns Σ x[i]·y[i] over len(x) elements. Accumulation runs in four
+// independent SSE lane groups reduced at the end — a different association
+// than the scalar loop, acceptable on the q-error-gated float32 path only.
+// len(y) >= len(x) is the caller's contract.
+//
+//go:noescape
+func dot32(x, y []float32) float32

@@ -1,0 +1,153 @@
+// SSE2 float32 kernels for the reduced-precision serving path. amd64
+// guarantees SSE2, so no CPU feature detection is needed. Both functions are
+// leaf NOSPLIT routines with stack (ABI0) arguments.
+//
+// axpy32 keeps scalar IEEE semantics per element (one multiply, one add, in
+// index order), so callers composing it per ascending k produce results
+// bit-identical to the pure-Go loops. dot32 accumulates in four independent
+// lane groups and reduces at the end — a different association than the
+// scalar loop, which the float32 serving path's q-error gate (not bit
+// equivalence) permits.
+
+#include "textflag.h"
+
+// func axpy32(alpha float32, x, y []float32)
+// y[i] += alpha * x[i] for i < len(x). Caller guarantees len(y) >= len(x).
+TEXT ·axpy32(SB), NOSPLIT, $0-56
+	MOVSS  alpha+0(FP), X0
+	MOVQ   x_base+8(FP), SI
+	MOVQ   x_len+16(FP), CX
+	MOVQ   y_base+32(FP), DI
+	SHUFPS $0x00, X0, X0 // broadcast alpha into all four lanes
+	XORQ   AX, AX
+	MOVQ   CX, BX
+	ANDQ   $-16, BX
+
+axpy_loop16:
+	CMPQ   AX, BX
+	JGE    axpy_setup4
+	MOVUPS (SI)(AX*4), X1
+	MOVUPS 16(SI)(AX*4), X2
+	MOVUPS 32(SI)(AX*4), X3
+	MOVUPS 48(SI)(AX*4), X4
+	MULPS  X0, X1
+	MULPS  X0, X2
+	MULPS  X0, X3
+	MULPS  X0, X4
+	MOVUPS (DI)(AX*4), X5
+	MOVUPS 16(DI)(AX*4), X6
+	MOVUPS 32(DI)(AX*4), X7
+	MOVUPS 48(DI)(AX*4), X8
+	ADDPS  X1, X5
+	ADDPS  X2, X6
+	ADDPS  X3, X7
+	ADDPS  X4, X8
+	MOVUPS X5, (DI)(AX*4)
+	MOVUPS X6, 16(DI)(AX*4)
+	MOVUPS X7, 32(DI)(AX*4)
+	MOVUPS X8, 48(DI)(AX*4)
+	ADDQ   $16, AX
+	JMP    axpy_loop16
+
+axpy_setup4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+axpy_loop4:
+	CMPQ   AX, BX
+	JGE    axpy_scalar
+	MOVUPS (SI)(AX*4), X1
+	MULPS  X0, X1
+	MOVUPS (DI)(AX*4), X5
+	ADDPS  X1, X5
+	MOVUPS X5, (DI)(AX*4)
+	ADDQ   $4, AX
+	JMP    axpy_loop4
+
+axpy_scalar:
+	CMPQ  AX, CX
+	JGE   axpy_done
+	MOVSS (SI)(AX*4), X1
+	MULSS X0, X1
+	MOVSS (DI)(AX*4), X5
+	ADDSS X1, X5
+	MOVSS X5, (DI)(AX*4)
+	INCQ  AX
+	JMP   axpy_scalar
+
+axpy_done:
+	RET
+
+// func dot32(x, y []float32) float32
+// Returns Σ x[i]*y[i] for i < len(x). Caller guarantees len(y) >= len(x).
+TEXT ·dot32(SB), NOSPLIT, $0-52
+	MOVQ  x_base+0(FP), SI
+	MOVQ  x_len+8(FP), CX
+	MOVQ  y_base+24(FP), DI
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORQ  AX, AX
+	MOVQ  CX, BX
+	ANDQ  $-16, BX
+
+dot_loop16:
+	CMPQ   AX, BX
+	JGE    dot_setup4
+	MOVUPS (SI)(AX*4), X4
+	MOVUPS 16(SI)(AX*4), X5
+	MOVUPS 32(SI)(AX*4), X6
+	MOVUPS 48(SI)(AX*4), X7
+	MOVUPS (DI)(AX*4), X8
+	MOVUPS 16(DI)(AX*4), X9
+	MOVUPS 32(DI)(AX*4), X10
+	MOVUPS 48(DI)(AX*4), X11
+	MULPS  X8, X4
+	MULPS  X9, X5
+	MULPS  X10, X6
+	MULPS  X11, X7
+	ADDPS  X4, X0
+	ADDPS  X5, X1
+	ADDPS  X6, X2
+	ADDPS  X7, X3
+	ADDQ   $16, AX
+	JMP    dot_loop16
+
+dot_setup4:
+	MOVQ CX, BX
+	ANDQ $-4, BX
+
+dot_loop4:
+	CMPQ   AX, BX
+	JGE    dot_reduce
+	MOVUPS (SI)(AX*4), X4
+	MOVUPS (DI)(AX*4), X8
+	MULPS  X8, X4
+	ADDPS  X4, X0
+	ADDQ   $4, AX
+	JMP    dot_loop4
+
+dot_reduce:
+	ADDPS  X1, X0
+	ADDPS  X3, X2
+	ADDPS  X2, X0
+	MOVAPS X0, X1
+	SHUFPS $0xEE, X1, X1 // lanes [2,3,2,3]
+	ADDPS  X1, X0
+	MOVAPS X0, X1
+	SHUFPS $0x55, X1, X1 // lane 1 everywhere
+	ADDSS  X1, X0
+
+dot_scalar:
+	CMPQ  AX, CX
+	JGE   dot_done
+	MOVSS (SI)(AX*4), X4
+	MULSS (DI)(AX*4), X4
+	ADDSS X4, X0
+	INCQ  AX
+	JMP   dot_scalar
+
+dot_done:
+	MOVSS X0, ret+48(FP)
+	RET

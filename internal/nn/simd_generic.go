@@ -1,0 +1,22 @@
+//go:build !amd64
+
+package nn
+
+// Portable fallbacks for the SSE float32 kernels in simd_amd64.s. Same
+// contracts: len(y) >= len(x), scalar per-element semantics for axpy32.
+
+func axpy32(alpha float32, x, y []float32) {
+	_ = y[:len(x)]
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+func dot32(x, y []float32) float32 {
+	_ = y[:len(x)]
+	var sum float32
+	for i, v := range x {
+		sum += v * y[i]
+	}
+	return sum
+}

@@ -1,0 +1,185 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAxpy32MatchesScalar pins the SSE axpy against the scalar loop
+// bit-for-bit across lengths that cover every unroll tail (16-wide, 4-wide,
+// scalar) and misaligned slice offsets. axpy32's contract is exact scalar
+// semantics per element, so equality here is ==, not a tolerance.
+func TestAxpy32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 32, 33, 63, 64, 67, 128, 255} {
+		for off := 0; off < 3; off++ {
+			buf := make([]float32, n+off)
+			x := buf[off:]
+			y := make([]float32, n)
+			want := make([]float32, n)
+			for i := range x {
+				x[i] = float32(rng.NormFloat64())
+				y[i] = float32(rng.NormFloat64())
+				want[i] = y[i]
+			}
+			alpha := float32(rng.NormFloat64())
+			for i, v := range x {
+				want[i] += alpha * v
+			}
+			axpy32(alpha, x, y)
+			for i := range y {
+				if y[i] != want[i] {
+					t.Fatalf("n=%d off=%d: y[%d] = %v, want %v", n, off, i, y[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDot32MatchesScalar checks the SSE dot product against a float64
+// reference. dot32 reduces in four lane groups, so it is not bit-identical
+// to a scalar float32 loop — if anything it is closer to the float64 truth —
+// and the bound here is the float32 accumulation error envelope.
+func TestDot32MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 15, 16, 17, 33, 64, 67, 200, 513} {
+		x := make([]float32, n)
+		y := make([]float32, n)
+		var ref, mag float64
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+			y[i] = float32(rng.NormFloat64())
+			ref += float64(x[i]) * float64(y[i])
+			mag += math.Abs(float64(x[i]) * float64(y[i]))
+		}
+		got := float64(dot32(x, y))
+		tol := 1e-6 * math.Max(mag, 1)
+		if math.Abs(got-ref) > tol {
+			t.Fatalf("n=%d: dot32 = %v, reference %v (|Δ| = %g > %g)", n, got, ref, math.Abs(got-ref), tol)
+		}
+	}
+}
+
+// TestExp32Accuracy bounds the polynomial exp against math.Exp over the
+// softmax input range (x ≤ 0 after max subtraction) plus the clamp edges.
+func TestExp32Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	check := func(x float32) {
+		t.Helper()
+		got := float64(exp32(x))
+		want := math.Exp(float64(x))
+		if want < 1.2e-38 { // below float32's min normal: flush-to-zero is fine
+			if got > 1.2e-38 {
+				t.Fatalf("exp32(%v) = %v, want ~%v", x, got, want)
+			}
+			return
+		}
+		if rel := math.Abs(got-want) / want; rel > 3e-7 {
+			t.Fatalf("exp32(%v) = %v, want %v (rel err %g)", x, got, want, rel)
+		}
+	}
+	for i := 0; i < 10000; i++ {
+		check(-float32(rng.Float64() * 90))
+	}
+	for _, x := range []float32{0, -1e-8, -0.5, -1, -2, -10, -87, -88, -100, 0.5, 1, 10, 80} {
+		check(x)
+	}
+	if v := exp32(-1000); v != 0 {
+		t.Fatalf("exp32(-1000) = %v, want 0", v)
+	}
+	if v := exp32(1000); !math.IsInf(float64(v), 1) {
+		t.Fatalf("exp32(1000) = %v, want +Inf", v)
+	}
+}
+
+// TestMatMul32MatchesGeneric cross-checks every float32 SIMD matmul
+// specialization against the generic scalar chunk on random shapes. The
+// axpy-composed kernels promise bit identity; the dot-composed BT kernel is
+// held to an accumulation-error tolerance.
+func TestMatMul32MatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	randMat := func(r, c int) *Mat32 {
+		m := NewMat32(r, c)
+		for i := range m.Data {
+			m.Data[i] = float32(rng.NormFloat64())
+			if rng.Float64() < 0.2 {
+				m.Data[i] = 0 // exercise the sparsity skip
+			}
+		}
+		return m
+	}
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(9)
+		k := 1 + rng.Intn(40)
+		m := 1 + rng.Intn(40)
+		a, b := randMat(n, k), randMat(k, m)
+
+		got, want := NewMat32(n, m), NewMat32(n, m)
+		matMulChunk32(got, a, b, 0, n)
+		matMulChunk(want, a, b, 0, n)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("matMulChunk32 [%d]: %v != %v", i, got.Data[i], want.Data[i])
+			}
+		}
+
+		kk, mm := 1+rng.Intn(k), 1+rng.Intn(m)
+		matMulSubChunk32(got, a, b, kk, mm, 0, n)
+		matMulSubChunk(want, a, b, kk, mm, 0, n)
+		cl := rng.Intn(mm)
+		matMulColsChunk32(got, a, b, kk, cl, mm, 0, n)
+		matMulColsChunk(want, a, b, kk, cl, mm, 0, n)
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("sub/cols 32 [%d]: %v != %v", i, got.Data[i], want.Data[i])
+			}
+		}
+
+		bt := randMat(m, k)
+		gotBT, wantBT := NewMat32(n, m), NewMat32(n, m)
+		matMulBTChunk32(gotBT, a, bt, 0, n)
+		matMulBTChunk(wantBT, a, bt, 0, n)
+		for i := range wantBT.Data {
+			if d := math.Abs(float64(gotBT.Data[i] - wantBT.Data[i])); d > 1e-4 {
+				t.Fatalf("matMulBTChunk32 [%d]: %v vs %v", i, gotBT.Data[i], wantBT.Data[i])
+			}
+		}
+
+		// Transposed-weight column-range product against the row-major
+		// reference: same k/cl/ch restriction, bT rows are b's columns.
+		btT := NewMat32(m, k)
+		for r := 0; r < k; r++ {
+			for c := 0; c < m; c++ {
+				btT.Set(c, r, b.At(r, c))
+			}
+		}
+		matMulColsBTChunk32(got, a, btT, kk, cl, mm, 0, n)
+		matMulColsChunk(want, a, b, kk, cl, mm, 0, n)
+		for i := range want.Data {
+			if d := math.Abs(float64(got.Data[i] - want.Data[i])); d > 1e-4 {
+				t.Fatalf("matMulColsBTChunk32 [%d]: %v vs %v", i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestConvertT32 pins the transposed conversion: out[c, r] == float32(src[r, c]).
+func TestConvertT32(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := NewMat(7, 13)
+	for i := range src.Data {
+		src.Data[i] = rng.NormFloat64()
+	}
+	out := ConvertT32(src)
+	if out.Rows != src.Cols || out.Cols != src.Rows {
+		t.Fatalf("ConvertT32 shape %dx%d, want %dx%d", out.Rows, out.Cols, src.Cols, src.Rows)
+	}
+	for r := 0; r < src.Rows; r++ {
+		for c := 0; c < src.Cols; c++ {
+			if out.At(c, r) != float32(src.At(r, c)) {
+				t.Fatalf("ConvertT32[%d,%d] = %v, want %v", c, r, out.At(c, r), float32(src.At(r, c)))
+			}
+		}
+	}
+}

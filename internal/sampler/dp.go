@@ -1,20 +1,3 @@
-// Package sampler implements the paper's §4: Exact-Weight join-count
-// computation by bottom-up dynamic programming, and uniform i.i.d. sampling
-// from the full outer join of a tree schema without materializing it.
-//
-// Full-outer-join semantics for a tree schema: every result row corresponds
-// to a connected subtree assignment — the set of non-NULL tables is a
-// connected subtree whose top element either is the schema root or has no
-// join partner in its parent table ("orphan" rows, the paper's virtual ⊥
-// tuples); within the subtree, a child is non-NULL iff the parent tuple has
-// matches in it. This yields the linear-time DP
-//
-//	w_T(t) = Π_{c ∈ children(T)} ( S_c(key) if S_c(key) > 0 else 1 )
-//	|J|    = Σ_{t ∈ root} w_root(t) + Σ_{edges (P,C)} Σ_{t ∈ C unmatched in P} w_C(t)
-//
-// where S_c(v) sums w_c over child tuples with join-key value v. The same DP
-// with "0 instead of 1" and no orphan term computes inner-join counts, which
-// the exact executor (internal/exec) uses for ground truth.
 package sampler
 
 import (

@@ -167,6 +167,8 @@ type poolStat struct {
 	model        string
 	free, inUse  int
 	plans        core.PlanCacheStats
+	precision    string // serving element width ("float64"/"float32")
+	weightBytes  int    // resident serving-weight bytes (width × parameters)
 	hasBreaker   bool
 	breakerState int32 // breakerClosed / breakerHalfOpen / breakerOpen
 	breakerOpens int64 // lifetime open transitions
@@ -273,6 +275,18 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined i
 	fmt.Fprintf(&b, "# HELP neurocard_sessions_free Idle pooled inference sessions per model.\n# TYPE neurocard_sessions_free gauge\n")
 	for _, p := range pools {
 		fmt.Fprintf(&b, "neurocard_sessions_free{model=%q} %d\n", p.model, p.free)
+	}
+
+	// Serving precision per model: the weight-bytes gauge is the capacity-
+	// planning number (float32 halves it), the precision label the switch
+	// that explains a change after a reload.
+	fmt.Fprintf(&b, "# HELP neurocard_model_weight_bytes Resident serving-weight bytes per model (element width x parameters).\n# TYPE neurocard_model_weight_bytes gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_model_weight_bytes{model=%q} %d\n", p.model, p.weightBytes)
+	}
+	fmt.Fprintf(&b, "# HELP neurocard_model_precision_info Serving precision per model (value always 1; width in the precision label).\n# TYPE neurocard_model_precision_info gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_model_precision_info{model=%q,precision=%q} 1\n", p.model, p.precision)
 	}
 
 	// Compiled-plan cache: hits/misses/evictions are lifetime counters,

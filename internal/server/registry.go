@@ -1,7 +1,3 @@
-// Package server exposes trained NeuroCard estimators over an HTTP JSON API:
-// a model registry with atomic hot swap, single/batch/seeded estimation on
-// the pooled zero-alloc inference machinery, health and metrics endpoints,
-// and a load-test harness hook. cmd/neurocardd is the daemon wrapper.
 package server
 
 import (
@@ -56,6 +52,11 @@ type Registry struct {
 	newBreaker  func() *breaker
 	newFallback func(est *core.Estimator) *hist.Estimator
 
+	// defaultPrecision is applied to every load that names no precision of
+	// its own (Server Config.DefaultPrecision / the daemon's -precision
+	// flag). Empty keeps each checkpoint's stored precision.
+	defaultPrecision core.Precision
+
 	quarantined atomic.Int64 // corrupt checkpoints moved aside by Load
 
 	mu     sync.RWMutex
@@ -91,10 +92,22 @@ func ValidateName(name string) error {
 }
 
 // Load reads the checkpoint at path (or the registry's conventional path for
-// name when path is empty), restores the estimator, and publishes it under
-// name. If the name exists, the entry is atomically replaced (hot swap); if
-// no default model is set yet, the new entry becomes the default.
+// name when path is empty), restores the estimator at the registry's default
+// precision, and publishes it under name. If the name exists, the entry is
+// atomically replaced (hot swap); if no default model is set yet, the new
+// entry becomes the default.
 func (r *Registry) Load(name, path string) (*Entry, error) {
+	return r.LoadPrecision(name, path, "")
+}
+
+// LoadPrecision is Load with an explicit serving precision for this model:
+// checkpoints always store float64 weights, so precision is a per-load
+// serving decision — float32 converts the kernel set once here, before the
+// entry is published (conversion-at-load, DESIGN.md §1.4). Empty falls back
+// to the registry default, and failing that the checkpoint's own stored
+// precision. Two models at different precisions serve concurrently; a hot
+// swap may change a model's precision without touching its checkpoint.
+func (r *Registry) LoadPrecision(name, path string, prec core.Precision) (*Entry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
@@ -119,6 +132,16 @@ func (r *Registry) Load(name, path string) (*Entry, error) {
 			err = fmt.Errorf("%w (checkpoint quarantined to %s)", err, qpath)
 		}
 		return nil, err
+	}
+	if prec == "" {
+		prec = r.defaultPrecision
+	}
+	if prec != "" {
+		// A bad precision is a caller mistake, not a corrupt checkpoint: fail
+		// the load without quarantining the file.
+		if err := est.SetPrecision(prec); err != nil {
+			return nil, fmt.Errorf("server: load model %q: %w", name, err)
+		}
 	}
 	return r.Install(name, path, est)
 }

@@ -73,6 +73,12 @@ type Config struct {
 	// breaker then answers 503 instead of serving degraded estimates.
 	NoFallback bool
 
+	// DefaultPrecision is the serving precision applied to model loads that
+	// name none themselves (the daemon's -precision flag). Empty keeps each
+	// checkpoint's stored precision. Per-load overrides come through
+	// LoadRequest.Precision.
+	DefaultPrecision core.Precision
+
 	// SLOLatencyP99 is the p99 request-latency target exported on /metrics
 	// as the SLO gauges (default 25ms).
 	SLOLatencyP99 time.Duration
@@ -128,6 +134,7 @@ func New(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		closing: make(chan struct{}),
 	}
+	s.reg.defaultPrecision = cfg.DefaultPrecision
 	if cfg.BreakerThreshold >= 0 {
 		bc := breakerConfig{
 			Window:     cfg.BreakerWindow,
@@ -240,16 +247,20 @@ type EstimateResponse struct {
 
 // ModelInfo describes one registry entry.
 type ModelInfo struct {
-	Name        string  `json:"name"`
-	Path        string  `json:"path"`
-	Default     bool    `json:"default"`
-	Generation  int     `json:"generation"`
-	LoadedAt    string  `json:"loaded_at"`
-	Tables      int     `json:"tables"`
-	JoinSize    float64 `json:"join_size"`
-	ModelBytes  int     `json:"model_bytes"`
-	SamplesSeen int     `json:"samples_seen"`
-	PSamples    int     `json:"psamples"`
+	Name       string  `json:"name"`
+	Path       string  `json:"path"`
+	Default    bool    `json:"default"`
+	Generation int     `json:"generation"`
+	LoadedAt   string  `json:"loaded_at"`
+	Tables     int     `json:"tables"`
+	JoinSize   float64 `json:"join_size"`
+	ModelBytes int     `json:"model_bytes"`
+	// Precision is the entry's serving element width ("float64"/"float32");
+	// WeightBytes the resident bytes of the weights its serving kernels read.
+	Precision   string `json:"precision"`
+	WeightBytes int    `json:"weight_bytes"`
+	SamplesSeen int    `json:"samples_seen"`
+	PSamples    int    `json:"psamples"`
 }
 
 // ModelsResponse lists loaded models.
@@ -257,10 +268,13 @@ type ModelsResponse struct {
 	Models []ModelInfo `json:"models"`
 }
 
-// LoadRequest optionally overrides the checkpoint path and default flag for
-// a model load.
+// LoadRequest optionally overrides the checkpoint path, serving precision,
+// and default flag for a model load. Precision ("float64"/"float32", empty =
+// server default, failing that the checkpoint's own) is per load: reloading
+// a model with a different precision hot-swaps its serving width.
 type LoadRequest struct {
 	Path        string `json:"path,omitempty"`
+	Precision   string `json:"precision,omitempty"`
 	MakeDefault bool   `json:"default,omitempty"`
 }
 
@@ -600,6 +614,8 @@ func modelInfo(e, def *Entry) ModelInfo {
 		Tables:      e.Est.NumTables(),
 		JoinSize:    e.Est.JoinSize(),
 		ModelBytes:  e.Est.Bytes(),
+		Precision:   string(e.Est.Precision()),
+		WeightBytes: e.Est.ServingWeightBytes(),
 		SamplesSeen: e.Est.Model().SamplesSeen(),
 		PSamples:    e.Est.Config().PSamples,
 	}
@@ -623,7 +639,7 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	entry, err := s.reg.Load(name, req.Path)
+	entry, err := s.reg.LoadPrecision(name, req.Path, core.Precision(req.Precision))
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, fs.ErrNotExist) {
@@ -706,7 +722,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pools := make([]poolStat, 0, len(entries))
 	for _, e := range entries {
 		free, inUse := e.Est.SessionPoolStats()
-		ps := poolStat{model: e.Name, free: free, inUse: inUse, plans: e.Est.PlanCacheStats()}
+		ps := poolStat{
+			model:       e.Name,
+			free:        free,
+			inUse:       inUse,
+			plans:       e.Est.PlanCacheStats(),
+			precision:   string(e.Est.Precision()),
+			weightBytes: e.Est.ServingWeightBytes(),
+		}
 		if e.Breaker != nil {
 			ps.breakerState = e.Breaker.currentState()
 			ps.breakerOpens = e.Breaker.opens.Load()
