@@ -9,11 +9,16 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"neurocard"
 	"neurocard/internal/datagen"
+	"neurocard/internal/shard"
 	"neurocard/internal/workload"
 )
 
@@ -33,6 +38,9 @@ func main() {
 	nQueries := flag.Int("queries", 200, "ranges workload size")
 	savePath := flag.String("save", "", "write a full-estimator checkpoint (servable by neurocardd) to this file")
 	skipEval := flag.Bool("noeval", false, "skip workload evaluation (train + save only)")
+	shards := flag.Int("shards", 1, "train a fleet of N sub-schema shard estimators instead of one monolithic model (requires -save-shards)")
+	logical := flag.String("logical", "fleet", "logical model name for -shards; checkpoints and the manifest are named after it")
+	saveShards := flag.String("save-shards", "", "directory for the -shards checkpoints plus <logical>.manifest.json (servable as one logical model by neurocardd)")
 	flag.Parse()
 
 	cfg := datagen.Config{Seed: *seed, Scale: *scale}
@@ -57,6 +65,14 @@ func main() {
 	ncfg.PSamples = *psamples
 	ncfg.SamplerWorkers = *workers
 	ncfg.Seed = *seed
+
+	if *shards > 1 {
+		if *saveShards == "" {
+			log.Fatal("-shards requires -save-shards")
+		}
+		trainSharded(d, ncfg, *shards, *logical, *saveShards, *tuples, *evalWorkers, *skipEval, *seed)
+		return
+	}
 
 	start := time.Now()
 	est, err := neurocard.Build(d.Schema, ncfg)
@@ -126,5 +142,124 @@ func main() {
 	fmt.Printf("\n%s: %d queries in %.1fs (%.0f ms/query, %.1f queries/sec on %d workers)\n",
 		wl.Name, len(wl.Queries), dt.Seconds(), dt.Seconds()*1000/float64(len(wl.Queries)),
 		float64(len(wl.Queries))/dt.Seconds(), *evalWorkers)
+	fmt.Printf("q-errors: %s\n", workload.Summarize(qerrs))
+}
+
+// trainSharded partitions the schema into n shards, trains one estimator
+// per shard concurrently (full tuple budget each, seeds offset per shard),
+// writes the checkpoints plus the manifest into dir, and scores the composed
+// fleet on the benchmark workload unless -noeval.
+func trainSharded(d *datagen.Dataset, base neurocard.Config, n int, logical, dir string,
+	tuples, evalWorkers int, skipEval bool, seed int64) {
+	parts, err := shard.Partition(d.Schema, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	man, err := shard.Build(d.Schema, logical, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	ests := make([]*neurocard.Estimator, len(man.Shards))
+	errs := make([]error, len(man.Shards))
+	var wg sync.WaitGroup
+	for i, sp := range man.Shards {
+		wg.Add(1)
+		go func(i int, sp shard.Spec) {
+			defer wg.Done()
+			sub, err := d.Schema.SubSchema(sp.Tables)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			cfg := base
+			cfg.ContentCols = make(map[string][]string, len(sp.Tables))
+			for _, tb := range sp.Tables {
+				if cols, ok := d.ContentCols[tb]; ok {
+					cfg.ContentCols[tb] = cols
+				}
+			}
+			cfg.Seed = seed + 1_000_003*int64(i)
+			est, err := neurocard.Build(sub, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := est.Train(tuples); err != nil {
+				errs[i] = err
+				return
+			}
+			ests[i] = est
+		}(i, sp)
+	}
+	wg.Wait()
+	byName := make(map[string]*neurocard.Estimator, len(man.Shards))
+	for i, sp := range man.Shards {
+		if errs[i] != nil {
+			log.Fatalf("shard %s: %v", sp.Name, errs[i])
+		}
+		path := filepath.Join(dir, sp.Checkpoint)
+		if err := neurocard.SaveEstimatorFile(ests[i], path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %s (%s): model %.2f MB -> %s\n",
+			sp.Name, strings.Join(sp.Tables, ","), float64(ests[i].Bytes())/(1<<20), path)
+		byName[sp.Name] = ests[i]
+	}
+	manPath := shard.ManifestPath(dir, logical)
+	if err := man.Write(manPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %d shards in %.1fs; manifest %s (serve with neurocardd -models %s -load-manifest %s)\n",
+		len(man.Shards), time.Since(start).Seconds(), manPath, dir, logical)
+	if skipEval {
+		return
+	}
+
+	comp, err := shard.NewComposite(man, byName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := workload.JOBLight(d, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start = time.Now()
+	qerrs := make([]float64, len(wl.Queries))
+	werrs := make([]error, len(wl.Queries))
+	var next atomic.Int64
+	if evalWorkers < 1 {
+		evalWorkers = 1
+	}
+	for k := 0; k < evalWorkers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(wl.Queries) {
+					return
+				}
+				got, err := comp.EstimateIndexedSerial(wl.Queries[i].Query, int64(i))
+				if err != nil {
+					werrs[i] = err
+					continue
+				}
+				qerrs[i] = workload.QError(got, wl.Queries[i].TrueCard)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range werrs {
+		if err != nil {
+			log.Fatalf("%s: %v", wl.Queries[i].Query, err)
+		}
+	}
+	dt := time.Since(start)
+	fmt.Printf("\n%s (sharded x%d): %d queries in %.1fs\n", wl.Name, len(man.Shards), len(wl.Queries), dt.Seconds())
 	fmt.Printf("q-errors: %s\n", workload.Summarize(qerrs))
 }

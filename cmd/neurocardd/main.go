@@ -11,7 +11,11 @@
 //	                             Content-Type application/x-neurocard-bin
 //	                             selects the compact binary wire protocol
 //	GET  /v1/models              loaded models and their metadata
-//	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap
+//	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap;
+//	                             {"manifest": true} loads <name>.manifest.json
+//	                             plus its shard checkpoints as one logical model
+//	DELETE /v1/models/{name}     unload a model or logical model (the default
+//	                             re-elects; shards of an unloaded logical stay)
 //	GET  /healthz                combined health summary
 //	GET  /livez                  liveness probe (always 200 while serving HTTP)
 //	GET  /readyz                 readiness probe (503 until a model is loaded;
@@ -26,6 +30,13 @@
 // collected over an adaptive -fuse-window that decays to zero when idle.
 // Each fused query keeps its own randomness stream, so coalescing never
 // changes any result. A full -fuse-queue answers 429 + Retry-After.
+//
+// Sharded fleets (written by `neurocard -shards N -save-shards DIR`) serve
+// as logical models: -load-manifest (or a manifest load via the API) loads
+// every shard checkpoint a manifest lists and publishes the group under the
+// logical name. Estimates addressed to it are split per shard, composed with
+// the manifest's cross-shard join factors, and each shard keeps its own
+// breaker, fallback, and hot-swap lifecycle.
 //
 // Serving is fault-tolerant by default: -request-timeout bounds every
 // estimate end to end (clients tighten per request with X-Deadline-Ms; expiry
@@ -66,6 +77,7 @@ func main() {
 	addr := flag.String("addr", ":8642", "listen address")
 	modelsDir := flag.String("models", "models", "directory of <name>.ckpt checkpoints")
 	load := flag.String("load", "", "comma-separated model names to load at startup (first becomes default)")
+	loadManifest := flag.String("load-manifest", "", "comma-separated logical model names: load <models>/<name>.manifest.json plus every shard checkpoint it lists, serving the group as one model")
 	workers := flag.Int("workers", 0, "batch estimate concurrency (0 = GOMAXPROCS)")
 	precision := flag.String("precision", "", "serving precision for loaded models: float64 or float32 (empty keeps each checkpoint's own); per-load overrides via the load API")
 	maxBatch := flag.Int("maxbatch", 1024, "maximum queries per estimate request")
@@ -160,6 +172,22 @@ func main() {
 			log.Printf("loaded model %q from %s in %s (|J| = %.4g, %d tables, %s serving)",
 				name, entry.Path, time.Since(start).Round(time.Millisecond),
 				entry.Est.JoinSize(), entry.Est.NumTables(), entry.Est.Precision())
+		}
+	}
+	if *loadManifest != "" {
+		for _, name := range strings.Split(*loadManifest, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			start := time.Now()
+			lg, err := srv.Registry().LoadLogical(name, "")
+			if err != nil {
+				log.Fatalf("preload manifest %q: %v", name, err)
+			}
+			log.Printf("loaded logical model %q from %s in %s (%d shards over %d tables)",
+				name, lg.Path, time.Since(start).Round(time.Millisecond),
+				len(lg.Man.Shards), len(lg.Man.Tables()))
 		}
 	}
 

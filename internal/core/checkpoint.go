@@ -37,8 +37,11 @@ const (
 	checkpointMagic = "NCRDCKPT"
 
 	// CheckpointVersion is the on-disk format version written by
-	// SaveCheckpoint. LoadCheckpoint refuses other versions.
-	CheckpointVersion = 1
+	// SaveCheckpoint. LoadCheckpoint also reads version 1, which stored the
+	// join-count tables as a gob map — randomized iteration order made two
+	// saves of the same estimator byte-different; version 2 stores them as a
+	// slice in schema table order so identical estimators save identically.
+	CheckpointVersion = 2
 )
 
 // ckptHeader opens the checkpoint: version gate plus the two global scalars
@@ -76,6 +79,13 @@ type ckptSchema struct {
 	Root   string
 	Tables []ckptTable
 	Edges  []ckptEdge
+}
+
+// ckptWeights serializes one table's join-count vector. Tables are written
+// in schema order (not map order) so the byte stream is deterministic.
+type ckptWeights struct {
+	Table string
+	W     []float64
 }
 
 // ckptContent pins down the modeled content columns of one table explicitly.
@@ -122,7 +132,7 @@ func SaveCheckpoint(e *Estimator, w io.Writer) error {
 	if err := enc.Encode(snapshotContentCols(e.enc)); err != nil {
 		return fmt.Errorf("core: checkpoint: encode content columns: %w", err)
 	}
-	if err := enc.Encode(e.smp.Weights()); err != nil {
+	if err := enc.Encode(snapshotWeights(e.domain, e.smp.Weights())); err != nil {
 		return fmt.Errorf("core: checkpoint: encode join counts: %w", err)
 	}
 	if err := e.trainable.EncodeInto(enc); err != nil {
@@ -201,6 +211,19 @@ func snapshotSchema(sch *schema.Schema) ckptSchema {
 	return out
 }
 
+// snapshotWeights orders the sampler's per-table join-count vectors by the
+// schema's table order, making the encoded stream independent of Go's
+// randomized map iteration.
+func snapshotWeights(sch *schema.Schema, weights map[string][]float64) []ckptWeights {
+	out := make([]ckptWeights, 0, len(weights))
+	for _, t := range sch.Tables() {
+		if w, ok := weights[t]; ok {
+			out = append(out, ckptWeights{Table: t, W: w})
+		}
+	}
+	return out
+}
+
 // snapshotContentCols lists each table's modeled content columns in encoder
 // order. Every table gets an entry (possibly empty), so restore never falls
 // back to the model-everything default.
@@ -238,8 +261,8 @@ func LoadCheckpoint(r io.Reader) (*Estimator, error) {
 	if err := dec.Decode(&hdr); err != nil {
 		return nil, fmt.Errorf("core: checkpoint: decode header: %w", err)
 	}
-	if hdr.Version != CheckpointVersion {
-		return nil, fmt.Errorf("core: checkpoint: unsupported format version %d (want %d)", hdr.Version, CheckpointVersion)
+	if hdr.Version != 1 && hdr.Version != CheckpointVersion {
+		return nil, fmt.Errorf("core: checkpoint: unsupported format version %d (want <= %d)", hdr.Version, CheckpointVersion)
 	}
 
 	var cs ckptSchema
@@ -270,8 +293,20 @@ func LoadCheckpoint(r io.Reader) (*Estimator, error) {
 	}
 
 	var weights map[string][]float64
-	if err := dec.Decode(&weights); err != nil {
-		return nil, fmt.Errorf("core: checkpoint: decode join counts: %w", err)
+	if hdr.Version == 1 {
+		// v1 stored the join counts as a gob map.
+		if err := dec.Decode(&weights); err != nil {
+			return nil, fmt.Errorf("core: checkpoint: decode join counts: %w", err)
+		}
+	} else {
+		var ws []ckptWeights
+		if err := dec.Decode(&ws); err != nil {
+			return nil, fmt.Errorf("core: checkpoint: decode join counts: %w", err)
+		}
+		weights = make(map[string][]float64, len(ws))
+		for _, cw := range ws {
+			weights[cw.Table] = cw.W
+		}
 	}
 	smp, err := sampler.NewFromWeights(sch, weights)
 	if err != nil {

@@ -28,6 +28,16 @@ const goldenQueries = 200
 // gated instead (DESIGN.md §1.4).
 const f32QerrTolerance = 0.10
 
+// shardQerrTolerance bounds how much worse the sharded (multi-estimator)
+// serving path's golden p95 q-error may be than the monolithic model of the
+// same run (1.0 = 2× the monolithic p95). Sharding trades accuracy on
+// cross-shard joins — the combiner prices unfiltered crossings exactly but
+// assumes filter selectivities are independent of the crossed join key — so
+// the gate holds that trade to a factor instead of pretending it is free.
+// Like the f32 gate this is a self-relative check: it needs no baseline
+// entry and cannot drift with the model.
+const shardQerrTolerance = 1.0
+
 // CIAccuracyBench trains a CI-scale NeuroCard on the synthetic JOB-light
 // dataset and scores it on the fixed-seed golden workload — 200 queries
 // labeled by the exact executor, mixing classic conjunctive filters with
@@ -65,15 +75,33 @@ func CIAccuracyBench(o Options) (*BenchResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The same golden workload served by a two-shard fleet: per-shard
+	// estimators trained on the partitioned schema, composed through the
+	// manifest planner. The _sharded metrics quantify what sub-schema
+	// routing plus cross-shard combining costs relative to this run's
+	// monolithic model; GateAccuracy holds the sharded p95 to within
+	// shardQerrTolerance of it.
+	comp, _, _, err := BuildShardedNeuroCard(d, o.Model, o.TrainTuples, o, ShardedParts)
+	if err != nil {
+		return nil, err
+	}
+	summarySh, _, err := EvaluateParallel(Named("neurocard-sharded", comp), golden, o.EvalWorkers)
+	if err != nil {
+		return nil, err
+	}
 	metrics := map[string]float64{
-		"qerr_median":     summary.Median,
-		"qerr_p95":        summary.P95,
-		"qerr_p99":        summary.P99,
-		"qerr_max":        summary.Max,
-		"qerr_median_f32": summary32.Median,
-		"qerr_p95_f32":    summary32.P95,
-		"qerr_p99_f32":    summary32.P99,
-		"qerr_max_f32":    summary32.Max,
+		"qerr_median":         summary.Median,
+		"qerr_p95":            summary.P95,
+		"qerr_p99":            summary.P99,
+		"qerr_max":            summary.Max,
+		"qerr_median_f32":     summary32.Median,
+		"qerr_p95_f32":        summary32.P95,
+		"qerr_p99_f32":        summary32.P99,
+		"qerr_max_f32":        summary32.Max,
+		"qerr_median_sharded": summarySh.Median,
+		"qerr_p95_sharded":    summarySh.P95,
+		"qerr_p99_sharded":    summarySh.P99,
+		"qerr_max_sharded":    summarySh.Max,
 	}
 	return &BenchResult{
 		Bench:      "accuracy",
@@ -119,6 +147,15 @@ func GateAccuracy(current, baseline *BenchResult, maxRegress float64) []string {
 	case okC && cur32 > cur*(1+f32QerrTolerance):
 		fails = append(fails, fmt.Sprintf("accuracy/%s: %0.4g vs float64 %0.4g (+%.1f%% > allowed %.0f%%)",
 			key32, cur32, cur, 100*(cur32/cur-1), 100*f32QerrTolerance))
+	}
+	const keySh = "qerr_p95_sharded"
+	curSh, okSh := current.Metrics[keySh]
+	switch {
+	case !okSh:
+		fails = append(fails, fmt.Sprintf("accuracy/%s: missing from current run", keySh))
+	case okC && curSh > cur*(1+shardQerrTolerance):
+		fails = append(fails, fmt.Sprintf("accuracy/%s: %0.4g vs monolithic %0.4g (%.2fx > allowed %.1fx)",
+			keySh, curSh, cur, curSh/cur, 1+shardQerrTolerance))
 	}
 	return fails
 }

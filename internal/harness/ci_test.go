@@ -42,11 +42,12 @@ func TestGateAccuracy(t *testing.T) {
 	base := benchResult("accuracy", map[string]float64{
 		"qerr_median": 1.5, "qerr_p95": 4, "qerr_max": 40})
 
-	// Within threshold (q-errors grow, but by < 25%; f32 within 10% of the
-	// same run's float64) and improvements pass.
+	// Within threshold (q-errors grow, but by < 25%; f32 within 10% and the
+	// sharded path within 2x of the same run's float64) and improvements
+	// pass.
 	for _, cur := range []map[string]float64{
-		{"qerr_median": 1.6, "qerr_p95": 4.9, "qerr_max": 100, "qerr_p95_f32": 5.3},
-		{"qerr_median": 1.1, "qerr_p95": 2, "qerr_max": 10, "qerr_p95_f32": 1.9},
+		{"qerr_median": 1.6, "qerr_p95": 4.9, "qerr_max": 100, "qerr_p95_f32": 5.3, "qerr_p95_sharded": 9.7},
+		{"qerr_median": 1.1, "qerr_p95": 2, "qerr_max": 10, "qerr_p95_f32": 1.9, "qerr_p95_sharded": 1.5},
 	} {
 		if fails := GateAccuracy(benchResult("accuracy", cur), base, 0.25); len(fails) != 0 {
 			t.Errorf("run %v failed the gate: %v", cur, fails)
@@ -54,27 +55,34 @@ func TestGateAccuracy(t *testing.T) {
 	}
 	// p95 regression beyond threshold fails.
 	fails := GateAccuracy(benchResult("accuracy", map[string]float64{
-		"qerr_median": 1.5, "qerr_p95": 5.1, "qerr_max": 40, "qerr_p95_f32": 5.1}), base, 0.25)
+		"qerr_median": 1.5, "qerr_p95": 5.1, "qerr_max": 40, "qerr_p95_f32": 5.1, "qerr_p95_sharded": 5.1}), base, 0.25)
 	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95") {
 		t.Errorf("p95 regression not caught: %v", fails)
 	}
 	// Float32 p95 drifting more than f32QerrTolerance past the same run's
 	// float64 p95 fails, even when float64 itself is within the baseline.
 	fails = GateAccuracy(benchResult("accuracy", map[string]float64{
-		"qerr_p95": 4, "qerr_p95_f32": 4.5}), base, 0.25)
+		"qerr_p95": 4, "qerr_p95_f32": 4.5, "qerr_p95_sharded": 4}), base, 0.25)
 	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95_f32") {
 		t.Errorf("f32 drift not caught: %v", fails)
 	}
+	// The sharded path drifting past shardQerrTolerance (2x) of the same
+	// run's monolithic p95 fails on its own.
+	fails = GateAccuracy(benchResult("accuracy", map[string]float64{
+		"qerr_p95": 4, "qerr_p95_f32": 4, "qerr_p95_sharded": 8.5}), base, 0.25)
+	if len(fails) != 1 || !strings.Contains(fails[0], "qerr_p95_sharded") {
+		t.Errorf("sharded drift not caught: %v", fails)
+	}
 	// Missing metric on either side fails. An empty current run is missing
-	// both the float64 and the f32 p95.
-	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{}), base, 0.25); len(fails) != 2 {
+	// the float64, f32, and sharded p95s.
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{}), base, 0.25); len(fails) != 3 {
 		t.Errorf("missing current p95s not caught: %v", fails)
 	}
-	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4}), base, 0.25); len(fails) != 1 ||
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4, "qerr_p95_sharded": 4}), base, 0.25); len(fails) != 1 ||
 		!strings.Contains(fails[0], "qerr_p95_f32") {
 		t.Errorf("missing current f32 p95 not caught: %v", fails)
 	}
-	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4, "qerr_p95_f32": 4}),
+	if fails := GateAccuracy(benchResult("accuracy", map[string]float64{"qerr_p95": 4, "qerr_p95_f32": 4, "qerr_p95_sharded": 4}),
 		benchResult("accuracy", map[string]float64{}), 0.25); len(fails) != 1 {
 		t.Errorf("missing baseline p95 not caught: %v", fails)
 	}
@@ -93,7 +101,8 @@ func TestAccuracyBenchSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"qerr_median", "qerr_p95", "qerr_p99", "qerr_max"} {
+	for _, k := range []string{"qerr_median", "qerr_p95", "qerr_p99", "qerr_max",
+		"qerr_median_sharded", "qerr_p95_sharded", "qerr_p99_sharded", "qerr_max_sharded"} {
 		v, ok := res.Metrics[k]
 		if !ok || v < 1 {
 			t.Fatalf("metric %s = %v (metrics %v)", k, v, res.Metrics)
@@ -101,6 +110,11 @@ func TestAccuracyBenchSmoke(t *testing.T) {
 	}
 	if res.Metrics["qerr_p95"] > res.Metrics["qerr_max"] {
 		t.Fatalf("quantiles not monotone: %v", res.Metrics)
+	}
+	// The acceptance bound the self-gate enforces: the two-shard fleet's
+	// golden p95 stays within 2x of the monolithic p95 of the same run.
+	if sh, mono := res.Metrics["qerr_p95_sharded"], res.Metrics["qerr_p95"]; sh > 2*mono {
+		t.Fatalf("sharded p95 %g exceeds 2x monolithic %g", sh, mono)
 	}
 
 	// Gate against itself via the full RunAccuracyBench path.

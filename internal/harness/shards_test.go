@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/query"
+	"neurocard/internal/value"
+)
+
+// TestBuildShardedNeuroCard exercises the parallel multi-shard fixture at
+// the smallest scale: the auto-partition covers the schema, every shard
+// trains, and the composed estimator is deterministic under the indexed
+// interface (what parallel evaluation relies on).
+func TestBuildShardedNeuroCard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shard fixture training skipped in -short mode")
+	}
+	o := tiny()
+	o.TrainTuples = 8 * o.BatchSize
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, man, _, err := BuildShardedNeuroCard(d, o.Model, o.TrainTuples, o, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Shards) != 2 {
+		t.Fatalf("auto-partition produced %d shards", len(man.Shards))
+	}
+	if got := len(man.Tables()); got != 6 {
+		t.Fatalf("manifest covers %d tables, want 6", got)
+	}
+
+	queries := []query.Query{
+		{Tables: []string{"title", "cast_info", "movie_keyword"}},
+		{Tables: []string{"title", "movie_keyword"},
+			Filters: []query.Filter{{Table: "title", Col: "production_year", Op: query.OpGe, Val: value.Int(1990)}}},
+		{Tables: []string{"movie_keyword"}},
+	}
+	for i, q := range queries {
+		pl, err := comp.Planner().Plan(q)
+		if err != nil {
+			t.Fatalf("plan %d: %v", i, err)
+		}
+		if len(pl.Subs) == 0 {
+			t.Fatalf("plan %d has no sub-queries", i)
+		}
+		a, err := comp.EstimateIndexed(q, int64(i))
+		if err != nil {
+			t.Fatalf("estimate %d: %v", i, err)
+		}
+		b, err := comp.EstimateIndexed(q, int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("query %d not deterministic: %.17g != %.17g", i, a, b)
+		}
+		if s, err := comp.EstimateIndexedSerial(q, int64(i)); err != nil || s != a {
+			t.Fatalf("query %d serial variant: %.17g (err %v), want %.17g", i, s, err, a)
+		}
+		if a <= 0 {
+			t.Fatalf("query %d estimate %g not positive", i, a)
+		}
+	}
+}

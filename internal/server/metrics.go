@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -123,6 +124,11 @@ type metrics struct {
 	panicsTotal    atomic.Int64 // panics recovered in handlers/coalescer
 	nonfiniteTotal atomic.Int64 // estimates rejected by the sanity guard
 
+	// Sharded-serving counters.
+	logicalQueries atomic.Int64 // query estimates composed from shard models
+	unloadsTotal   atomic.Int64 // model/logical unloads via DELETE
+	shardRouted    sync.Map     // "logical\x00shard" → *atomic.Int64 sub-queries routed
+
 	inflight     atomic.Int64 // estimate requests currently executing
 	inflightPeak atomic.Int64
 }
@@ -152,13 +158,27 @@ func (m *metrics) requestStart() (done func(queries int, err bool)) {
 	return func(queries int, errored bool) {
 		m.inflight.Add(-1)
 		m.requestsTotal.Add(1)
+		// Latency is observed for every terminal outcome: deadline expiries
+		// and 500s are exactly the slow tail the SLO gauges must see.
+		// queriesTotal stays success-only.
+		m.reqLatency.observeDuration(time.Since(start))
 		if errored {
 			m.errorsTotal.Add(1)
 			return
 		}
 		m.queriesTotal.Add(int64(queries))
-		m.reqLatency.observeDuration(time.Since(start))
 	}
+}
+
+// routeToShard counts n sub-queries routed from a logical model to one of
+// its shard models.
+func (m *metrics) routeToShard(logical, shard string, n int64) {
+	key := logical + "\x00" + shard
+	c, ok := m.shardRouted.Load(key)
+	if !ok {
+		c, _ = m.shardRouted.LoadOrStore(key, new(atomic.Int64))
+	}
+	c.(*atomic.Int64).Add(n)
 }
 
 // poolStat is one model's session-pool occupancy, plan-cache, and breaker
@@ -220,6 +240,31 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined i
 	counter("neurocard_recovered_panics_total", "Panics recovered by the serving blast-radius guards.", m.panicsTotal.Load())
 	counter("neurocard_nonfinite_estimates_total", "Estimates rejected by the NaN/Inf/non-positive sanity guard.", m.nonfiniteTotal.Load())
 	counter("neurocard_checkpoints_quarantined_total", "Corrupt checkpoint files moved aside at load.", quarantined)
+	counter("neurocard_logical_queries_total", "Query estimates composed from shard models.", m.logicalQueries.Load())
+	counter("neurocard_model_unloads_total", "Models and logical models removed via the unload API.", m.unloadsTotal.Load())
+
+	// Per-shard routing: sub-queries each logical model dispatched to each
+	// shard model, the primary signal for shard-fleet load balancing.
+	type routedRow struct {
+		logical, shard string
+		n              int64
+	}
+	var routed []routedRow
+	m.shardRouted.Range(func(k, v any) bool {
+		logical, shardName, _ := strings.Cut(k.(string), "\x00")
+		routed = append(routed, routedRow{logical, shardName, v.(*atomic.Int64).Load()})
+		return true
+	})
+	sort.Slice(routed, func(i, j int) bool {
+		if routed[i].logical != routed[j].logical {
+			return routed[i].logical < routed[j].logical
+		}
+		return routed[i].shard < routed[j].shard
+	})
+	fmt.Fprintf(&b, "# HELP neurocard_shard_routed_total Sub-queries routed per (logical model, shard model).\n# TYPE neurocard_shard_routed_total counter\n")
+	for _, rr := range routed {
+		fmt.Fprintf(&b, "neurocard_shard_routed_total{logical=%q,shard=%q} %d\n", rr.logical, rr.shard, rr.n)
+	}
 
 	gauge := func(name, help string, v float64) {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)

@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"neurocard/internal/faultinject"
+)
+
+func metricInt(t *testing.T, exposition, name string) int64 {
+	t.Helper()
+	v := strings.TrimSpace(metricValue(t, exposition, name))
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		t.Fatalf("metric %s = %q: %v", name, v, err)
+	}
+	return n
+}
+
+// TestMetricsMonotoneAcrossHotSwaps drives three hot swaps and checks that
+// the per-model lifetime counters — plan-cache hits/misses and breaker
+// opens — never move backwards. Before the registry banked retired-
+// generation totals, every swap silently reset them to the new entry's
+// zeroed stats, which breaks Prometheus rate() over a reload.
+func TestMetricsMonotoneAcrossHotSwaps(t *testing.T) {
+	_, ts, dir := serveFault(t, aggressiveBreaker())
+	loadModel(t, ts, dir, "m")
+
+	const (
+		hitsM   = `neurocard_plan_cache_hits_total{model="m"}`
+		missesM = `neurocard_plan_cache_misses_total{model="m"}`
+		opensM  = `neurocard_breaker_opens_total{model="m"}`
+	)
+	var prevHits, prevMisses, prevOpens int64
+	for round := int64(0); round < 3; round++ {
+		// Plan-cache traffic while the breaker is closed: the first estimate
+		// of this generation misses, the repeat hits.
+		for i := int64(0); i < 2; i++ {
+			seed := round*10 + i
+			resp, body := post(t, ts.URL+"/v1/estimate", singleEstimate(seed))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("round %d estimate %d: %d %s", round, i, resp.StatusCode, body)
+			}
+		}
+		// Trip this generation's breaker: one open transition per round.
+		armFaults(t, "estimate-nan=1")
+		for i := int64(0); i < 4; i++ {
+			post(t, ts.URL+"/v1/estimate", singleEstimate(100+round*10+i))
+		}
+		faultinject.Disarm()
+
+		exp := metricsBody(t, ts)
+		hits, misses, opens := metricInt(t, exp, hitsM), metricInt(t, exp, missesM), metricInt(t, exp, opensM)
+		if hits < prevHits || misses < prevMisses || opens < prevOpens {
+			t.Fatalf("round %d pre-swap counters moved backwards: hits %d<%d misses %d<%d opens %d<%d",
+				round, hits, prevHits, misses, prevMisses, opens, prevOpens)
+		}
+		if opens != round+1 {
+			t.Fatalf("round %d: opens = %d, want %d (one per generation, accumulated)", round, opens, round+1)
+		}
+		prevHits, prevMisses, prevOpens = hits, misses, opens
+
+		// Hot swap; the counters must carry the retired generation forward.
+		resp, body := post(t, ts.URL+"/v1/models/m/load", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("swap %d: %d %s", round, resp.StatusCode, body)
+		}
+		exp = metricsBody(t, ts)
+		hits, misses, opens = metricInt(t, exp, hitsM), metricInt(t, exp, missesM), metricInt(t, exp, opensM)
+		if hits < prevHits || misses < prevMisses || opens < prevOpens {
+			t.Fatalf("swap %d reset counters: hits %d<%d misses %d<%d opens %d<%d",
+				round, hits, prevHits, misses, prevMisses, opens, prevOpens)
+		}
+		prevHits, prevMisses, prevOpens = hits, misses, opens
+	}
+	// Every generation compiled its plans afresh, so the accumulated miss
+	// count must reflect all three retired generations, not just the live one.
+	if prevMisses < 3 {
+		t.Fatalf("misses after 3 generations = %d, want >= 3", prevMisses)
+	}
+}
+
+// TestMetricsScrapeDuringSwapRace scrapes /metrics concurrently with a hot-
+// swap loop: counters must stay non-decreasing from any reader's point of
+// view even mid-swap (the registry snapshots entries and retired totals
+// under one lock), and the race detector must stay quiet.
+func TestMetricsScrapeDuringSwapRace(t *testing.T) {
+	_, ts, dir := serveTest(t)
+	loadModel(t, ts, dir, "m")
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(0); i < 12; i++ {
+			resp, body := post(t, ts.URL+"/v1/estimate", singleEstimate(i))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("estimate %d: %d %s", i, resp.StatusCode, body)
+				return
+			}
+			resp, body = post(t, ts.URL+"/v1/models/m/load", nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("swap %d: %d %s", i, resp.StatusCode, body)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prevMisses, prevQueries int64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				exp, ok := scrape(t, ts)
+				if !ok {
+					return
+				}
+				misses, ok1 := parseMetric(exp, `neurocard_plan_cache_misses_total{model="m"}`)
+				queries, ok2 := parseMetric(exp, "neurocard_estimate_queries_total")
+				if !ok1 || !ok2 {
+					t.Errorf("scrape missing counters:\n%s", exp)
+					return
+				}
+				if misses < prevMisses || queries < prevQueries {
+					t.Errorf("scrape went backwards: misses %d<%d queries %d<%d",
+						misses, prevMisses, queries, prevQueries)
+					return
+				}
+				prevMisses, prevQueries = misses, queries
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scrape fetches /metrics without t.Fatal (callers run on goroutines).
+func scrape(t *testing.T, ts *httptest.Server) (string, bool) {
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Errorf("metrics scrape: %v", err)
+		return "", false
+	}
+	defer resp.Body.Close()
+	var out strings.Builder
+	if _, err := io.Copy(&out, resp.Body); err != nil {
+		t.Errorf("metrics scrape read: %v", err)
+		return "", false
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("metrics scrape: %d", resp.StatusCode)
+		return "", false
+	}
+	return out.String(), true
+}
+
+// parseMetric extracts an integer counter from an exposition, goroutine-safe.
+func parseMetric(exposition, name string) (int64, bool) {
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			return n, err == nil
+		}
+	}
+	return 0, false
+}

@@ -12,6 +12,7 @@ import (
 
 	hist "neurocard/internal/baselines/histogram"
 	"neurocard/internal/core"
+	"neurocard/internal/shard"
 )
 
 // Entry is one loaded model: an immutable snapshot handed out to requests.
@@ -59,9 +60,40 @@ type Registry struct {
 
 	quarantined atomic.Int64 // corrupt checkpoints moved aside by Load
 
-	mu     sync.RWMutex
-	models map[string]*Entry
-	def    atomic.Pointer[Entry]
+	mu       sync.RWMutex
+	models   map[string]*Entry
+	logicals map[string]*Logical
+	// retired accumulates the lifetime counters of replaced or unloaded
+	// generations per model name, so the /metrics counters built from the
+	// current entry's stats stay monotone across hot swaps.
+	retired map[string]RetiredTotals
+	def     atomic.Pointer[Entry]
+}
+
+// RetiredTotals carries the counters of a model name's retired generations.
+// A hot swap publishes a fresh estimator (and breaker) whose counters start
+// at zero; the registry banks the outgoing generation's totals here at swap
+// time and the scrape path adds them back in, so neurocard_plan_cache_* and
+// neurocard_breaker_opens_total never go backwards after a reload.
+type RetiredTotals struct {
+	PlanHits      int64
+	PlanMisses    int64
+	PlanEvictions int64
+	BreakerOpens  int64
+}
+
+// Logical groups shard entries into one servable logical model: the
+// manifest's planner routes queries to shard names, which are resolved
+// against the registry per request — so each shard hot-swaps independently
+// and the logical model always serves the freshest generation of every
+// shard. Immutable after publication, like Entry.
+type Logical struct {
+	Name     string
+	Path     string // manifest file path
+	Man      *shard.Manifest
+	Planner  *shard.Planner
+	LoadedAt time.Time
+	Gen      int
 }
 
 // modelNameRE restricts registry names to path-safe tokens, so names can be
@@ -71,7 +103,12 @@ var modelNameRE = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9._-]*$`)
 // NewRegistry creates a registry resolving relative model names under dir
 // (may be empty if models are always loaded from explicit paths).
 func NewRegistry(dir string) *Registry {
-	return &Registry{dir: dir, models: make(map[string]*Entry)}
+	return &Registry{
+		dir:      dir,
+		models:   make(map[string]*Entry),
+		logicals: make(map[string]*Logical),
+		retired:  make(map[string]RetiredTotals),
+	}
 }
 
 // Dir returns the registry's models directory.
@@ -164,9 +201,14 @@ func (r *Registry) Install(name, path string, est *core.Estimator) (*Entry, erro
 		e.Fallback = r.newFallback(est)
 	}
 	r.mu.Lock()
+	if _, clash := r.logicals[name]; clash {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("server: name %q is a logical model", name)
+	}
 	e.Gen = 1
 	if prev, ok := r.models[name]; ok {
 		e.Gen = prev.Gen + 1
+		r.retireLocked(prev)
 	}
 	r.models[name] = e
 	// Become the default if there is none, or swap the default in place when
@@ -228,4 +270,169 @@ func (r *Registry) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.models)
+}
+
+// retireLocked banks an outgoing entry's lifetime counters. Caller holds
+// the write lock.
+func (r *Registry) retireLocked(prev *Entry) {
+	t := r.retired[prev.Name]
+	ps := prev.Est.PlanCacheStats()
+	t.PlanHits += ps.Hits
+	t.PlanMisses += ps.Misses
+	t.PlanEvictions += ps.Evictions
+	if prev.Breaker != nil {
+		t.BreakerOpens += prev.Breaker.opens.Load()
+	}
+	r.retired[prev.Name] = t
+}
+
+// Snapshot returns the loaded entries (sorted by name) together with the
+// retired-counter totals, captured under one read lock. The scrape path
+// must take both in a single consistent view: reading entry stats first and
+// retired totals second would double-count a generation retired between the
+// two reads.
+func (r *Registry) Snapshot() ([]*Entry, map[string]RetiredTotals) {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.models))
+	for _, e := range r.models {
+		entries = append(entries, e)
+	}
+	retired := make(map[string]RetiredTotals, len(r.retired))
+	for name, t := range r.retired {
+		retired[name] = t
+	}
+	r.mu.RUnlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, retired
+}
+
+// Unload removes a model (or logical model) from the registry. In-flight
+// requests holding the entry finish normally; new requests naming it get a
+// not-loaded error. When the unloaded model was the default, the default is
+// re-elected under the same write lock — the remaining model with the
+// smallest name, or cleared when none remain — so Get("") never observes a
+// default the registry no longer holds. The entry's counters are banked in
+// the retired totals, keeping /metrics monotone across an unload/reload
+// cycle. Unloading a logical model removes only the grouping; its shard
+// entries stay loaded and individually addressable. Unloading a shard out
+// from under a logical model is allowed — estimates needing that shard fail
+// with 503 until it is reloaded.
+func (r *Registry) Unload(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.logicals[name]; ok {
+		delete(r.logicals, name)
+		return nil
+	}
+	e, ok := r.models[name]
+	if !ok {
+		return fmt.Errorf("server: model %q is not loaded", name)
+	}
+	r.retireLocked(e)
+	delete(r.models, name)
+	if cur := r.def.Load(); cur != nil && cur.Name == name {
+		var next *Entry
+		for _, m := range r.models {
+			if next == nil || m.Name < next.Name {
+				next = m
+			}
+		}
+		r.def.Store(next) // nil clears the default
+	}
+	return nil
+}
+
+// ManifestPath resolves the on-disk manifest file for a logical model name:
+// <dir>/<name>.manifest.json.
+func (r *Registry) ManifestPath(name string) string {
+	return shard.ManifestPath(r.dir, name)
+}
+
+// LoadLogical reads a shard manifest (the registry's conventional path for
+// name when path is empty), loads every shard checkpoint it lists —
+// hot-swapping shards already present — and publishes the group under the
+// logical name. Shard checkpoints resolve relative to the manifest's
+// directory. A failed shard load aborts the logical publish but leaves any
+// shards already loaded, matching the hot-swap contract: a failed reload
+// never takes down a healthy model.
+func (r *Registry) LoadLogical(name, path string) (*Logical, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	if path == "" {
+		path = r.ManifestPath(name)
+	}
+	man, err := shard.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if man.Logical != name {
+		return nil, fmt.Errorf("server: manifest %s describes logical model %q, not %q", path, man.Logical, name)
+	}
+	dir := filepath.Dir(path)
+	for _, spec := range man.Shards {
+		ckpt := spec.Checkpoint
+		if ckpt == "" {
+			ckpt = spec.Name + ".ckpt"
+		}
+		if !filepath.IsAbs(ckpt) {
+			ckpt = filepath.Join(dir, ckpt)
+		}
+		if _, err := r.LoadPrecision(spec.Name, ckpt, ""); err != nil {
+			return nil, fmt.Errorf("server: logical model %q: %w", name, err)
+		}
+	}
+	return r.InstallLogical(name, path, man)
+}
+
+// InstallLogical publishes a manifest whose shard entries are already
+// loaded (LoadLogical's tail and the preload/test seam). The logical name
+// must not collide with a concrete model, and every shard it references
+// must be present at publish time.
+func (r *Registry) InstallLogical(name, path string, man *shard.Manifest) (*Logical, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	pl, err := shard.NewPlanner(man)
+	if err != nil {
+		return nil, err
+	}
+	lg := &Logical{Name: name, Path: path, Man: man, Planner: pl, LoadedAt: time.Now()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, clash := r.models[name]; clash {
+		return nil, fmt.Errorf("server: name %q is already a loaded model", name)
+	}
+	for _, spec := range man.Shards {
+		if _, ok := r.models[spec.Name]; !ok {
+			return nil, fmt.Errorf("server: logical model %q: shard %q is not loaded", name, spec.Name)
+		}
+	}
+	lg.Gen = 1
+	if prev, ok := r.logicals[name]; ok {
+		lg.Gen = prev.Gen + 1
+	}
+	r.logicals[name] = lg
+	return lg, nil
+}
+
+// GetLogical returns the named logical model, or nil when the name is not a
+// logical model. Logical models are addressed by explicit name only — they
+// never serve as the default model.
+func (r *Registry) GetLogical(name string) *Logical {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.logicals[name]
+}
+
+// ListLogical returns the published logical models sorted by name.
+func (r *Registry) ListLogical() []*Logical {
+	r.mu.RLock()
+	out := make([]*Logical, 0, len(r.logicals))
+	for _, lg := range r.logicals {
+		out = append(out, lg)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }

@@ -157,6 +157,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
+	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -245,16 +246,20 @@ type EstimateResponse struct {
 	Micros   int64 `json:"micros"`
 }
 
-// ModelInfo describes one registry entry.
+// ModelInfo describes one registry entry — a concrete model (Kind "model")
+// or a logical model composed of shard entries (Kind "logical", with the
+// shard names in Shards and the model-level fields zeroed).
 type ModelInfo struct {
-	Name       string  `json:"name"`
-	Path       string  `json:"path"`
-	Default    bool    `json:"default"`
-	Generation int     `json:"generation"`
-	LoadedAt   string  `json:"loaded_at"`
-	Tables     int     `json:"tables"`
-	JoinSize   float64 `json:"join_size"`
-	ModelBytes int     `json:"model_bytes"`
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Shards     []string `json:"shards,omitempty"`
+	Path       string   `json:"path"`
+	Default    bool     `json:"default"`
+	Generation int      `json:"generation"`
+	LoadedAt   string   `json:"loaded_at"`
+	Tables     int      `json:"tables"`
+	JoinSize   float64  `json:"join_size"`
+	ModelBytes int      `json:"model_bytes"`
 	// Precision is the entry's serving element width ("float64"/"float32");
 	// WeightBytes the resident bytes of the weights its serving kernels read.
 	Precision   string `json:"precision"`
@@ -276,6 +281,10 @@ type LoadRequest struct {
 	Path        string `json:"path,omitempty"`
 	Precision   string `json:"precision,omitempty"`
 	MakeDefault bool   `json:"default,omitempty"`
+	// Manifest loads <models>/<name>.manifest.json (or Path) as a logical
+	// model: every shard checkpoint it lists is loaded (hot-swapping those
+	// already present) and the group becomes addressable under name.
+	Manifest bool `json:"manifest,omitempty"`
 }
 
 type errorResponse struct {
@@ -358,6 +367,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if len(queries) > s.cfg.MaxBatch {
 		s.fail(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds limit %d", len(queries), s.cfg.MaxBatch))
 		done(0, true)
+		return
+	}
+	if lg := s.reg.GetLogical(model); lg != nil {
+		s.serveLogical(ctx, w, lg, queries, seed, workers, single, bin, buf, done)
 		return
 	}
 	entry, err := s.reg.Get(model)
@@ -591,7 +604,7 @@ func estimateStatus(err error) int {
 	switch {
 	case errors.Is(err, errSaturated):
 		return http.StatusTooManyRequests
-	case errors.Is(err, errClosing), errors.Is(err, errBreakerOpen):
+	case errors.Is(err, errClosing), errors.Is(err, errBreakerOpen), errors.Is(err, errShardMissing):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
@@ -607,6 +620,7 @@ func estimateStatus(err error) int {
 func modelInfo(e, def *Entry) ModelInfo {
 	return ModelInfo{
 		Name:        e.Name,
+		Kind:        "model",
 		Path:        e.Path,
 		Default:     def != nil && def.Name == e.Name && def.Gen == e.Gen,
 		Generation:  e.Gen,
@@ -621,11 +635,28 @@ func modelInfo(e, def *Entry) ModelInfo {
 	}
 }
 
+// logicalInfo builds the wire description of a logical model.
+func logicalInfo(lg *Logical) ModelInfo {
+	return ModelInfo{
+		Name:       lg.Name,
+		Kind:       "logical",
+		Shards:     lg.Man.ShardNames(),
+		Path:       lg.Path,
+		Generation: lg.Gen,
+		LoadedAt:   lg.LoadedAt.UTC().Format(time.RFC3339Nano),
+		Tables:     len(lg.Man.Tables()),
+	}
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	entries, def := s.reg.List()
-	resp := ModelsResponse{Models: make([]ModelInfo, 0, len(entries))}
+	logicals := s.reg.ListLogical()
+	resp := ModelsResponse{Models: make([]ModelInfo, 0, len(entries)+len(logicals))}
 	for _, e := range entries {
 		resp.Models = append(resp.Models, modelInfo(e, def))
+	}
+	for _, lg := range logicals {
+		resp.Models = append(resp.Models, logicalInfo(lg))
 	}
 	s.reply(w, http.StatusOK, resp)
 }
@@ -638,6 +669,24 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusBadRequest, err)
 			return
 		}
+	}
+	if req.Manifest {
+		if req.Precision != "" || req.MakeDefault {
+			s.fail(w, http.StatusBadRequest, errors.New("manifest loads take no precision or default flag; logical models are addressed by explicit name"))
+			return
+		}
+		lg, err := s.reg.LoadLogical(name, req.Path)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, fs.ErrNotExist) {
+				status = http.StatusNotFound
+			}
+			s.fail(w, status, err)
+			return
+		}
+		s.metrics.loadsTotal.Add(1)
+		s.reply(w, http.StatusOK, logicalInfo(lg))
+		return
 	}
 	entry, err := s.reg.LoadPrecision(name, req.Path, core.Precision(req.Precision))
 	if err != nil {
@@ -657,6 +706,22 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	s.metrics.loadsTotal.Add(1)
 	_, def := s.reg.List()
 	s.reply(w, http.StatusOK, modelInfo(entry, def))
+}
+
+// handleUnload removes a model or logical model from serving. In-flight
+// requests finish on the entry they hold; the per-model coalescer goroutine
+// (if any) stays bound to the name and simply fails new work until a
+// reload, matching hot-swap behavior.
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Unload(name); err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	s.metrics.unloadsTotal.Add(1)
+	s.reply(w, http.StatusOK, struct {
+		Unloaded string `json:"unloaded"`
+	}{name})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -718,7 +783,12 @@ func (s *Server) degraded() bool {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	entries, _ := s.reg.List()
+	// Entries and retired totals come from one consistent snapshot, and the
+	// per-generation stats below are read from the snapshotted entry (not a
+	// fresh registry lookup), so a hot swap racing the scrape can only make
+	// this read miss the very newest generation's few counts — never count
+	// a generation twice. Counters stay monotone.
+	entries, retired := s.reg.Snapshot()
 	pools := make([]poolStat, 0, len(entries))
 	for _, e := range entries {
 		free, inUse := e.Est.SessionPoolStats()
@@ -734,6 +804,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ps.breakerState = e.Breaker.currentState()
 			ps.breakerOpens = e.Breaker.opens.Load()
 			ps.hasBreaker = true
+		}
+		if t, ok := retired[e.Name]; ok {
+			ps.plans.Hits += t.PlanHits
+			ps.plans.Misses += t.PlanMisses
+			ps.plans.Evictions += t.PlanEvictions
+			ps.breakerOpens += t.BreakerOpens
 		}
 		pools = append(pools, ps)
 	}

@@ -442,12 +442,14 @@ func TestServeHealthzAndMetrics(t *testing.T) {
 		"neurocard_estimate_requests_total 4",
 		"neurocard_estimate_errors_total 1",
 		"neurocard_model_loads_total 1",
-		"neurocard_estimate_latency_seconds_count 3",
+		// All four requests — including the errored one — are observed: the
+		// latency histogram must see the slow error tail.
+		"neurocard_estimate_latency_seconds_count 4",
 		// Latency summary: the SLO-facing quantile view of the same samples.
 		`neurocard_request_latency_seconds{quantile="0.5"}`,
 		`neurocard_request_latency_seconds{quantile="0.95"}`,
 		`neurocard_request_latency_seconds{quantile="0.99"}`,
-		"neurocard_request_latency_seconds_count 3",
+		"neurocard_request_latency_seconds_count 4",
 		// SLO gauges: observed p99, configured target, and the breach flag.
 		"neurocard_slo_p99_latency_seconds",
 		"neurocard_slo_p99_target_seconds 0.025",

@@ -1,0 +1,183 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"neurocard/internal/exec"
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+)
+
+// Build computes the manifest for a partition of the schema: one Spec per
+// part (named <logical>-s<i> with checkpoint <logical>-s<i>.ckpt) and an
+// EdgeStat for every schema edge, with the offline join statistics the
+// combiner needs. Parts must be non-empty connected table sets that
+// together cover the schema; overlap is allowed.
+func Build(sch *schema.Schema, logical string, parts [][]string) (*Manifest, error) {
+	if logical == "" {
+		return nil, fmt.Errorf("shard: empty logical model name")
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("shard: no parts")
+	}
+	covered := make(map[string]bool)
+	m := &Manifest{Version: ManifestVersion, Logical: logical}
+	for i, part := range parts {
+		if err := sch.ValidateQuerySet(part); err != nil {
+			return nil, fmt.Errorf("shard: part %d: %w", i, err)
+		}
+		name := fmt.Sprintf("%s-s%d", logical, i)
+		m.Shards = append(m.Shards, Spec{
+			Name:       name,
+			Checkpoint: name + ".ckpt",
+			Tables:     append([]string(nil), part...),
+		})
+		for _, t := range part {
+			covered[t] = true
+		}
+	}
+	for _, t := range sch.Tables() {
+		if !covered[t] {
+			return nil, fmt.Errorf("shard: table %q is covered by no part", t)
+		}
+	}
+	for _, child := range sch.Tables() {
+		pe, ok := sch.Parent(child)
+		if !ok {
+			continue
+		}
+		join, err := exec.InnerJoinSize(sch, []string{pe.Parent, child})
+		if err != nil {
+			return nil, err
+		}
+		lRows, lDistinct := keyStats(sch.Table(pe.Parent).Col(pe.ParentCol))
+		rRows, rDistinct := keyStats(sch.Table(child).Col(pe.ChildCol))
+		m.Edges = append(m.Edges, EdgeStat{
+			LeftTable: pe.Parent, LeftCol: pe.ParentCol,
+			RightTable: child, RightCol: pe.ChildCol,
+			JoinRows: join,
+			LeftRows: lRows, RightRows: rRows,
+			LeftDistinct: lDistinct, RightDistinct: rDistinct,
+		})
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// keyStats counts a join-key column's non-NULL rows and distinct non-NULL
+// values (NULL keys never participate in an equi-join).
+func keyStats(c *table.Column) (rows, distinct float64) {
+	seen := make([]bool, c.DictSize())
+	for _, id := range c.IDs() {
+		if id == table.NullID {
+			continue
+		}
+		rows++
+		if !seen[id] {
+			seen[id] = true
+			distinct++
+		}
+	}
+	return rows, distinct
+}
+
+// Partition splits the schema's tables into k disjoint connected parts by
+// repeatedly cutting the heaviest part (by total rows) at the edge whose
+// child subtree best balances the split. Deterministic for a fixed schema.
+func Partition(sch *schema.Schema, k int) ([][]string, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("shard: want at least 1 part, got %d", k)
+	}
+	if k > sch.NumTables() {
+		return nil, fmt.Errorf("shard: %d parts exceed %d tables", k, sch.NumTables())
+	}
+	type part struct {
+		root   string
+		tables []string
+		weight float64
+	}
+	weight := func(tables []string) float64 {
+		w := 0.0
+		for _, t := range tables {
+			w += float64(sch.Table(t).NumRows())
+		}
+		return w
+	}
+	parts := []part{{root: sch.Root(), tables: append([]string(nil), sch.Tables()...)}}
+	parts[0].weight = weight(parts[0].tables)
+	for len(parts) < k {
+		// Split the heaviest part; ties break toward the earlier part so
+		// the result is deterministic.
+		hi := 0
+		for i := range parts {
+			if parts[i].weight > parts[hi].weight {
+				hi = i
+			}
+		}
+		p := parts[hi]
+		if len(p.tables) < 2 {
+			return nil, fmt.Errorf("shard: cannot split single-table part %q further", p.root)
+		}
+		inPart := make(map[string]bool, len(p.tables))
+		for _, t := range p.tables {
+			inPart[t] = true
+		}
+		// Candidate cuts: every non-root member whose parent is also in the
+		// part. Cutting t moves t's subtree (within the part) out.
+		best, bestDiff := "", 0.0
+		var bestSub []string
+		for _, t := range p.tables {
+			pe, ok := sch.Parent(t)
+			if !ok || !inPart[pe.Parent] {
+				continue
+			}
+			sub := subtreeWithin(sch, t, inPart)
+			diff := abs(p.weight - 2*weight(sub))
+			if best == "" || diff < bestDiff || (diff == bestDiff && t < best) {
+				best, bestDiff, bestSub = t, diff, sub
+			}
+		}
+		moved := make(map[string]bool, len(bestSub))
+		for _, t := range bestSub {
+			moved[t] = true
+		}
+		var rest []string
+		for _, t := range p.tables {
+			if !moved[t] {
+				rest = append(rest, t)
+			}
+		}
+		parts[hi] = part{root: p.root, tables: rest, weight: weight(rest)}
+		parts = append(parts, part{root: best, tables: bestSub, weight: weight(bestSub)})
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i].tables[0] < parts[j].tables[0] })
+	out := make([][]string, len(parts))
+	for i, p := range parts {
+		out[i] = p.tables
+	}
+	return out, nil
+}
+
+// subtreeWithin collects t and its schema descendants restricted to the
+// part, in BFS order.
+func subtreeWithin(sch *schema.Schema, t string, inPart map[string]bool) []string {
+	out := []string{t}
+	for i := 0; i < len(out); i++ {
+		for _, c := range sch.Children(out[i]) {
+			if inPart[c] {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

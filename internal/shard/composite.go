@@ -1,0 +1,77 @@
+package shard
+
+import (
+	"fmt"
+
+	"neurocard/internal/core"
+	"neurocard/internal/query"
+)
+
+// Composite serves a logical model from in-process shard estimators: the
+// planner routes each query, every sub-query runs on its shard's
+// core.Estimator, and the products are combined with the plan's
+// cross-shard factor. It is the harness/evaluation counterpart of the
+// serving daemon's registry-backed routing and implements the indexed
+// estimation interfaces, so parallel workload evaluation stays
+// deterministic.
+type Composite struct {
+	pl   *Planner
+	ests map[string]*core.Estimator
+}
+
+// NewComposite binds a manifest to one estimator per shard name.
+func NewComposite(man *Manifest, ests map[string]*core.Estimator) (*Composite, error) {
+	pl, err := NewPlanner(man)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range man.Shards {
+		if ests[s.Name] == nil {
+			return nil, fmt.Errorf("shard: no estimator for shard %q", s.Name)
+		}
+	}
+	return &Composite{pl: pl, ests: ests}, nil
+}
+
+// Planner exposes the composite's router.
+func (c *Composite) Planner() *Planner { return c.pl }
+
+// Estimate answers one query with fresh randomness per shard model.
+func (c *Composite) Estimate(q query.Query) (float64, error) {
+	return c.estimate(q, func(est *core.Estimator, sub query.Query) (float64, error) {
+		return est.Estimate(sub)
+	})
+}
+
+// EstimateIndexed answers query idx of a workload deterministically: every
+// shard derives its randomness from (its configured seed, idx), matching
+// core.Estimator's convention.
+func (c *Composite) EstimateIndexed(q query.Query, idx int64) (float64, error) {
+	return c.estimate(q, func(est *core.Estimator, sub query.Query) (float64, error) {
+		return est.EstimateIndexed(sub, idx)
+	})
+}
+
+// EstimateIndexedSerial is EstimateIndexed on inline kernels, for callers
+// that already saturate the CPU with concurrent queries.
+func (c *Composite) EstimateIndexedSerial(q query.Query, idx int64) (float64, error) {
+	return c.estimate(q, func(est *core.Estimator, sub query.Query) (float64, error) {
+		return est.EstimateIndexedSerial(sub, idx)
+	})
+}
+
+func (c *Composite) estimate(q query.Query, one func(*core.Estimator, query.Query) (float64, error)) (float64, error) {
+	pl, err := c.pl.Plan(q)
+	if err != nil {
+		return 0, err
+	}
+	est := pl.Factor
+	for _, sub := range pl.Subs {
+		v, err := one(c.ests[sub.Shard], sub.Query)
+		if err != nil {
+			return 0, fmt.Errorf("shard %s: %w", sub.Shard, err)
+		}
+		est *= v
+	}
+	return est, nil
+}

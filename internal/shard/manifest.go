@@ -1,0 +1,243 @@
+// Package shard implements sharded multi-estimator serving: a large join
+// schema is partitioned into connected sub-schemas ("shards"), one density
+// model is trained per shard, and full-schema queries are answered by
+// routing each query to the smallest covering set of shard models and
+// combining their estimates across the join edges that cross shard
+// boundaries (the Scardina/Glue architecture from PAPERS.md).
+//
+// The combiner math, for a connected query Q split into per-shard
+// sub-queries Q_1..Q_k over a tree schema: contracting the sub-queries
+// collapses Q's join tree into a tree whose k-1 edges are exactly the
+// schema edges crossed between sub-queries, so
+//
+//	est(Q) = ∏_i est_i(Q_i) × ∏_{crossed edge e=(P.c, C.c')} J_e / (N_P · N_C)
+//
+// where J_e = |P ⋈_e C| is the unfiltered two-table join size and N_P, N_C
+// the key-bearing (non-NULL) row counts of the endpoint tables. The factor
+// is the expected join connectivity under the approximation that filters
+// are independent of the join-key distribution; with no filters on P and C
+// the two-table estimate reduces to J_e exactly. When a crossed edge has no
+// recorded statistics the combiner falls back to key independence,
+// 1/max(distinct keys), and finally 1/max(rows).
+//
+// All cross-edge statistics are computed offline at manifest-build time and
+// persisted in the manifest next to the shard checkpoints, so serving never
+// touches base data.
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ManifestVersion is the current manifest file format version.
+const ManifestVersion = 1
+
+// Spec describes one shard model of a logical model: the connected table
+// subset its density model covers and the checkpoint file serving it
+// (relative to the manifest's directory).
+type Spec struct {
+	Name       string   `json:"name"`
+	Checkpoint string   `json:"checkpoint,omitempty"`
+	Tables     []string `json:"tables"`
+}
+
+// EdgeStat is one join edge of the full schema plus the offline statistics
+// the combiner needs when the edge is crossed between two sub-queries.
+// JoinRows is the unfiltered inner-join size |L ⋈ R|; LeftRows/RightRows
+// count rows whose join key is non-NULL (NULL keys never join);
+// LeftDistinct/RightDistinct count distinct non-NULL key values, feeding
+// the independence fallback when JoinRows is unavailable.
+type EdgeStat struct {
+	LeftTable  string `json:"left_table"`
+	LeftCol    string `json:"left_col"`
+	RightTable string `json:"right_table"`
+	RightCol   string `json:"right_col"`
+
+	JoinRows      float64 `json:"join_rows,omitempty"`
+	LeftRows      float64 `json:"left_rows,omitempty"`
+	RightRows     float64 `json:"right_rows,omitempty"`
+	LeftDistinct  float64 `json:"left_distinct,omitempty"`
+	RightDistinct float64 `json:"right_distinct,omitempty"`
+}
+
+// Manifest is the persisted description of a logical model: which tables
+// each shard model covers plus the full schema's edge list with combiner
+// statistics. It lives next to the shard checkpoints as
+// <logical>.manifest.json and is self-contained — the planner needs no
+// access to the schema or base data.
+type Manifest struct {
+	Version int        `json:"version"`
+	Logical string     `json:"logical"`
+	Shards  []Spec     `json:"shards"`
+	Edges   []EdgeStat `json:"edges"`
+}
+
+// ManifestPath returns the conventional manifest location for a logical
+// model name under a models directory.
+func ManifestPath(dir, logical string) string {
+	return filepath.Join(dir, logical+".manifest.json")
+}
+
+// Load reads and validates a manifest file.
+func Load(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("shard: load manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	return &m, nil
+}
+
+// Write atomically persists the manifest: a temp file in the target
+// directory renamed into place, so a crash mid-write never leaves a torn
+// manifest where a daemon restart would pick it up.
+func (m *Manifest) Write(path string) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(append(data, '\n'))
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Tables returns the distinct tables covered by any shard, sorted.
+func (m *Manifest) Tables() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range m.Shards {
+		for _, t := range s.Tables {
+			if !seen[t] {
+				seen[t] = true
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ShardNames returns the shard model names in manifest order.
+func (m *Manifest) ShardNames() []string {
+	out := make([]string, len(m.Shards))
+	for i, s := range m.Shards {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Validate checks structural invariants: a supported version, at least one
+// shard, unique shard names and per-shard table lists, edges referencing
+// covered tables only, and each shard's induced edge set connecting its
+// tables (shard models are trained on connected sub-schemas, so a
+// disconnected spec could never be served).
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("unsupported manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	if m.Logical == "" {
+		return fmt.Errorf("manifest names no logical model")
+	}
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("manifest %q lists no shards", m.Logical)
+	}
+	covered := make(map[string]bool)
+	names := make(map[string]bool, len(m.Shards))
+	for i, s := range m.Shards {
+		if s.Name == "" {
+			return fmt.Errorf("shard %d has no name", i)
+		}
+		if names[s.Name] {
+			return fmt.Errorf("duplicate shard name %q", s.Name)
+		}
+		names[s.Name] = true
+		if len(s.Tables) == 0 {
+			return fmt.Errorf("shard %q covers no tables", s.Name)
+		}
+		inShard := make(map[string]bool, len(s.Tables))
+		for _, t := range s.Tables {
+			if inShard[t] {
+				return fmt.Errorf("shard %q lists table %q twice", s.Name, t)
+			}
+			inShard[t] = true
+			covered[t] = true
+		}
+	}
+	for _, e := range m.Edges {
+		if !covered[e.LeftTable] || !covered[e.RightTable] {
+			return fmt.Errorf("edge %s.%s = %s.%s references a table no shard covers",
+				e.LeftTable, e.LeftCol, e.RightTable, e.RightCol)
+		}
+		if e.LeftTable == e.RightTable {
+			return fmt.Errorf("self-join edge on %q", e.LeftTable)
+		}
+	}
+	for _, s := range m.Shards {
+		if err := m.checkShardConnected(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkShardConnected verifies the shard's tables are connected by the
+// manifest edges internal to the shard.
+func (m *Manifest) checkShardConnected(s Spec) error {
+	if len(s.Tables) == 1 {
+		return nil
+	}
+	inShard := make(map[string]bool, len(s.Tables))
+	for _, t := range s.Tables {
+		inShard[t] = true
+	}
+	adj := make(map[string][]string)
+	for _, e := range m.Edges {
+		if inShard[e.LeftTable] && inShard[e.RightTable] {
+			adj[e.LeftTable] = append(adj[e.LeftTable], e.RightTable)
+			adj[e.RightTable] = append(adj[e.RightTable], e.LeftTable)
+		}
+	}
+	reached := map[string]bool{s.Tables[0]: true}
+	frontier := []string{s.Tables[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, nb := range adj[cur] {
+			if !reached[nb] {
+				reached[nb] = true
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	if len(reached) != len(s.Tables) {
+		return fmt.Errorf("shard %q tables %v are not connected by the manifest edges", s.Name, s.Tables)
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"neurocard/internal/query"
+)
+
+// SubQuery is the slice of a query one shard model answers: the query's
+// tables and filters restricted to one connected component within that
+// shard.
+type SubQuery struct {
+	Shard string
+	Query query.Query
+}
+
+// Crossing is one schema edge crossed between two sub-queries, with the
+// combiner factor it contributes. Independent marks edges whose offline
+// join statistics were missing, where the factor degraded to the
+// key-independence approximation.
+type Crossing struct {
+	Edge        EdgeStat
+	Factor      float64
+	Independent bool
+}
+
+// Plan is the routing decision for one query: the per-shard sub-queries
+// whose estimates are multiplied together, and the cross-shard factor
+// (the product of every crossing's factor) that stitches them into a
+// full-join estimate.
+type Plan struct {
+	Logical   string
+	Subs      []SubQuery
+	Crossings []Crossing
+	Factor    float64
+}
+
+// edgeKey identifies an edge regardless of endpoint order.
+type edgeKey struct {
+	t1, c1, t2, c2 string
+}
+
+func newEdgeKey(t1, c1, t2, c2 string) edgeKey {
+	if t1 > t2 {
+		t1, c1, t2, c2 = t2, c2, t1, c1
+	}
+	return edgeKey{t1, c1, t2, c2}
+}
+
+// Planner routes queries over one manifest. It is immutable after
+// construction and safe for concurrent use.
+type Planner struct {
+	man    *Manifest
+	owners map[string][]int // table -> shard indexes covering it, ascending
+	adj    map[string][]int // table -> incident edge indexes
+}
+
+// NewPlanner validates the manifest and builds the routing tables.
+func NewPlanner(man *Manifest) (*Planner, error) {
+	if err := man.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Planner{
+		man:    man,
+		owners: make(map[string][]int),
+		adj:    make(map[string][]int),
+	}
+	for i, s := range man.Shards {
+		for _, t := range s.Tables {
+			p.owners[t] = append(p.owners[t], i)
+		}
+	}
+	for i, e := range man.Edges {
+		p.adj[e.LeftTable] = append(p.adj[e.LeftTable], i)
+		p.adj[e.RightTable] = append(p.adj[e.RightTable], i)
+	}
+	return p, nil
+}
+
+// Manifest returns the planner's manifest.
+func (p *Planner) Manifest() *Manifest { return p.man }
+
+// Plan routes a query: validates it against the manifest's schema, assigns
+// its tables to the smallest covering set of shards, splits the query into
+// per-shard connected sub-queries, and prices every crossed edge. Queries
+// fully inside one shard plan to a single sub-query with factor 1.
+func (p *Planner) Plan(q query.Query) (*Plan, error) {
+	if len(q.Tables) == 0 {
+		return nil, fmt.Errorf("shard: query joins no tables")
+	}
+	inQuery := make(map[string]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		if _, ok := p.owners[t]; !ok {
+			return nil, fmt.Errorf("shard: logical model %q covers no table %q", p.man.Logical, t)
+		}
+		if inQuery[t] {
+			return nil, fmt.Errorf("shard: query lists table %q twice", t)
+		}
+		inQuery[t] = true
+	}
+	for _, f := range q.Filters {
+		if !inQuery[f.Table] {
+			return nil, fmt.Errorf("shard: filter %s references a table outside the join", f)
+		}
+	}
+	if err := p.checkConnected(q.Tables, inQuery); err != nil {
+		return nil, err
+	}
+
+	assign := p.assign(q.Tables)
+	subs := p.split(q, assign)
+
+	// Index each table's sub-query, then price every query edge whose
+	// endpoints landed in different sub-queries. Contracting the
+	// sub-queries of a connected tree query yields a tree, so exactly
+	// len(subs)-1 edges cross.
+	subOf := make(map[string]int, len(q.Tables))
+	for i, sub := range subs {
+		for _, t := range sub.Query.Tables {
+			subOf[t] = i
+		}
+	}
+	pl := &Plan{Logical: p.man.Logical, Subs: subs, Factor: 1}
+	for _, e := range p.man.Edges {
+		if !inQuery[e.LeftTable] || !inQuery[e.RightTable] {
+			continue
+		}
+		if subOf[e.LeftTable] == subOf[e.RightTable] {
+			continue
+		}
+		f, independent := crossFactor(e)
+		pl.Crossings = append(pl.Crossings, Crossing{Edge: e, Factor: f, Independent: independent})
+		pl.Factor *= f
+	}
+	if len(pl.Crossings) != len(subs)-1 {
+		return nil, fmt.Errorf("shard: internal: %d sub-queries joined by %d crossings (want %d)",
+			len(subs), len(pl.Crossings), len(subs)-1)
+	}
+	return pl, nil
+}
+
+// checkConnected verifies the query tables form a connected subgraph of the
+// manifest's edge set (the same contract schema.ValidateQuerySet enforces
+// for monolithic models).
+func (p *Planner) checkConnected(tables []string, inQuery map[string]bool) error {
+	reached := map[string]bool{tables[0]: true}
+	frontier := []string{tables[0]}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, ei := range p.adj[cur] {
+			e := p.man.Edges[ei]
+			for _, nb := range [2]string{e.LeftTable, e.RightTable} {
+				if inQuery[nb] && !reached[nb] {
+					reached[nb] = true
+					frontier = append(frontier, nb)
+				}
+			}
+		}
+	}
+	if len(reached) != len(tables) {
+		return fmt.Errorf("shard: query tables %v are not a connected subtree", tables)
+	}
+	return nil
+}
+
+// assign maps each query table to one owning shard index, minimizing the
+// number of shards the query touches. Single-owner tables (a disjoint
+// partition, the common case) are direct and force their shard into use;
+// multi-owner tables ride along with an already-used shard when one covers
+// them, and the remainder falls to a greedy minimum set cover — repeatedly
+// take the shard covering the most unassigned tables, ties broken by shard
+// name.
+func (p *Planner) assign(tables []string) map[string]int {
+	assign := make(map[string]int, len(tables))
+	used := make(map[int]bool)
+	var multi []string
+	for _, t := range tables {
+		if owners := p.owners[t]; len(owners) == 1 {
+			assign[t] = owners[0]
+			used[owners[0]] = true
+		} else {
+			multi = append(multi, t)
+		}
+	}
+	rest := multi[:0]
+	for _, t := range multi {
+		placed := false
+		for _, o := range p.owners[t] {
+			if used[o] {
+				assign[t] = o
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rest = append(rest, t)
+		}
+	}
+	multi = rest
+	for len(multi) > 0 {
+		best, bestGain := -1, 0
+		for si, s := range p.man.Shards {
+			gain := 0
+			inShard := make(map[string]bool, len(s.Tables))
+			for _, t := range s.Tables {
+				inShard[t] = true
+			}
+			for _, t := range multi {
+				if inShard[t] {
+					gain++
+				}
+			}
+			if gain > bestGain || (gain == bestGain && gain > 0 && s.Name < p.man.Shards[best].Name) {
+				best, bestGain = si, gain
+			}
+		}
+		inBest := make(map[string]bool, len(p.man.Shards[best].Tables))
+		for _, t := range p.man.Shards[best].Tables {
+			inBest[t] = true
+		}
+		rest := multi[:0]
+		for _, t := range multi {
+			if inBest[t] {
+				assign[t] = best
+			} else {
+				rest = append(rest, t)
+			}
+		}
+		multi = rest
+	}
+	return assign
+}
+
+// split groups the query's tables by assigned shard and breaks each group
+// into connected components within that shard's internal edges; every
+// component becomes one sub-query carrying the query's filters on its
+// tables. Table order inside a sub-query follows the original query, so
+// plans are deterministic for a fixed query.
+func (p *Planner) split(q query.Query, assign map[string]int) []SubQuery {
+	// Union-find over the query tables: two tables merge when a manifest
+	// edge connects them, both sit in the same assigned shard, and the
+	// edge is internal to that shard's table set.
+	parent := make(map[string]string, len(q.Tables))
+	for _, t := range q.Tables {
+		parent[t] = t
+	}
+	var find func(string) string
+	find = func(t string) string {
+		if parent[t] != t {
+			parent[t] = find(parent[t])
+		}
+		return parent[t]
+	}
+	inShard := make([]map[string]bool, len(p.man.Shards))
+	for i, s := range p.man.Shards {
+		inShard[i] = make(map[string]bool, len(s.Tables))
+		for _, t := range s.Tables {
+			inShard[i][t] = true
+		}
+	}
+	for _, e := range p.man.Edges {
+		l, r := e.LeftTable, e.RightTable
+		li, lok := assign[l]
+		ri, rok := assign[r]
+		if !lok || !rok || li != ri {
+			continue
+		}
+		if inShard[li][l] && inShard[li][r] {
+			parent[find(l)] = find(r)
+		}
+	}
+	comps := make(map[string]*SubQuery)
+	var order []string
+	for _, t := range q.Tables {
+		root := find(t)
+		sub, ok := comps[root]
+		if !ok {
+			sub = &SubQuery{Shard: p.man.Shards[assign[t]].Name}
+			comps[root] = sub
+			order = append(order, root)
+		}
+		sub.Query.Tables = append(sub.Query.Tables, t)
+		sub.Query.Filters = append(sub.Query.Filters, q.FiltersOn(t)...)
+	}
+	// Deterministic sub-query order: by first table's position in the
+	// query, which `order` already records.
+	subs := make([]SubQuery, 0, len(order))
+	for _, root := range order {
+		subs = append(subs, *comps[root])
+	}
+	sort.SliceStable(subs, func(i, j int) bool { return subs[i].Shard < subs[j].Shard })
+	return subs
+}
+
+// crossFactor prices one crossed edge: the Glue-style connectivity ratio
+// J/(N_L·N_R) when the offline join statistics exist, else the
+// key-independence fallback 1/max(distinct), else 1/max(rows), else 1.
+func crossFactor(e EdgeStat) (factor float64, independent bool) {
+	if e.JoinRows > 0 && e.LeftRows > 0 && e.RightRows > 0 {
+		return e.JoinRows / (e.LeftRows * e.RightRows), false
+	}
+	if d := math.Max(e.LeftDistinct, e.RightDistinct); d > 0 {
+		return 1 / d, true
+	}
+	if r := math.Max(e.LeftRows, e.RightRows); r > 0 {
+		return 1 / r, true
+	}
+	return 1, true
+}

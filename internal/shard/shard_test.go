@@ -1,0 +1,299 @@
+package shard_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neurocard/internal/exec"
+	"neurocard/internal/query"
+	"neurocard/internal/schema"
+	"neurocard/internal/shard"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// chain builds the paper's A—B—C running example with known join-key
+// distributions, so every manifest statistic can be checked by hand:
+// |A ⋈ B| = 5, |B ⋈ C| = 2, |A ⋈ B ⋈ C| = 4.
+func chain(t *testing.T) *schema.Schema {
+	t.Helper()
+	a := table.MustBuilder("A", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt},
+		{Name: "year", Kind: value.KindInt},
+	})
+	a.MustAppend(value.Int(1), value.Int(1990))
+	a.MustAppend(value.Int(2), value.Int(2000))
+	a.MustAppend(value.Int(2), value.Null)
+	b := table.MustBuilder("B", []table.ColSpec{
+		{Name: "x", Kind: value.KindInt}, {Name: "y", Kind: value.KindInt},
+	})
+	b.MustAppend(value.Int(1), value.Int(1))
+	b.MustAppend(value.Int(2), value.Int(2))
+	b.MustAppend(value.Int(2), value.Int(3))
+	c := table.MustBuilder("C", []table.ColSpec{{Name: "y", Kind: value.KindInt}})
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(3))
+	c.MustAppend(value.Int(4))
+	s, err := schema.New(
+		[]*table.Table{a.MustBuild(), b.MustBuild(), c.MustBuild()},
+		"A",
+		[]schema.Edge{
+			{LeftTable: "A", LeftCol: "x", RightTable: "B", RightCol: "x"},
+			{LeftTable: "B", LeftCol: "y", RightTable: "C", RightCol: "y"},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func buildChainManifest(t *testing.T, parts [][]string) *shard.Manifest {
+	t.Helper()
+	m, err := shard.Build(chain(t), "m", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildStats(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	if len(m.Shards) != 2 || m.Shards[0].Name != "m-s0" || m.Shards[1].Name != "m-s1" {
+		t.Fatalf("shards = %+v", m.Shards)
+	}
+	if len(m.Edges) != 2 {
+		t.Fatalf("edges = %+v", m.Edges)
+	}
+	byChild := make(map[string]shard.EdgeStat)
+	for _, e := range m.Edges {
+		byChild[e.RightTable] = e
+	}
+	ab := byChild["B"]
+	if ab.JoinRows != 5 || ab.LeftRows != 3 || ab.RightRows != 3 || ab.LeftDistinct != 2 || ab.RightDistinct != 2 {
+		t.Fatalf("A-B stats = %+v", ab)
+	}
+	bc := byChild["C"]
+	if bc.JoinRows != 2 || bc.LeftRows != 3 || bc.RightRows != 3 || bc.LeftDistinct != 3 || bc.RightDistinct != 2 {
+		t.Fatalf("B-C stats = %+v", bc)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	path := filepath.Join(t.TempDir(), "m.manifest.json")
+	if err := m.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shard.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Logical != "m" || len(got.Shards) != 2 || len(got.Edges) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Shards[0].Checkpoint != "m-s0.ckpt" {
+		t.Fatalf("checkpoint = %q", got.Shards[0].Checkpoint)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	bad := *m
+	bad.Shards = append([]shard.Spec(nil), m.Shards...)
+	bad.Shards[1].Tables = []string{"A", "C"} // disconnected within the shard
+	if err := bad.Validate(); err == nil {
+		t.Fatal("disconnected shard validated")
+	}
+	bad = *m
+	bad.Version = 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("future version validated")
+	}
+	bad = *m
+	bad.Shards = []shard.Spec{m.Shards[0], m.Shards[0]}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("duplicate shard name validated")
+	}
+}
+
+func TestPlanSingleShard(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(query.Query{Tables: []string{"A", "B"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subs) != 1 || p.Subs[0].Shard != "m-s0" || p.Factor != 1 || len(p.Crossings) != 0 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPlanCrossShard(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{
+		Tables: []string{"A", "B", "C"},
+		Filters: []query.Filter{
+			{Table: "A", Col: "year", Op: query.OpGe, Val: value.Int(1990)},
+			{Table: "C", Col: "y", Op: query.OpEq, Val: value.Int(3)},
+		},
+	}
+	p, err := pl.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subs) != 2 || len(p.Crossings) != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Subs[0].Shard != "m-s0" || len(p.Subs[0].Query.Tables) != 2 || len(p.Subs[0].Query.Filters) != 1 {
+		t.Fatalf("sub 0 = %+v", p.Subs[0])
+	}
+	if p.Subs[1].Shard != "m-s1" || len(p.Subs[1].Query.Filters) != 1 {
+		t.Fatalf("sub 1 = %+v", p.Subs[1])
+	}
+	// Crossed B—C edge: J/(N_B · N_C) = 2/9.
+	if want := 2.0 / 9.0; math.Abs(p.Factor-want) > 1e-15 {
+		t.Fatalf("factor = %g, want %g", p.Factor, want)
+	}
+	if p.Crossings[0].Independent {
+		t.Fatal("crossing used independence fallback despite recorded stats")
+	}
+}
+
+// TestCombineUnfilteredExact is the combiner's exactness property: with
+// exact sub-estimates and no filters on the crossed edge's endpoints, a
+// two-table cross-shard estimate reproduces the true join size.
+func TestCombineUnfilteredExact(t *testing.T) {
+	sch := chain(t)
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(query.Query{Tables: []string{"B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := p.Factor
+	for _, sub := range p.Subs {
+		card, err := exec.Cardinality(sch, sub.Query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est *= card
+	}
+	truth, err := exec.Cardinality(sch, query.Query{Tables: []string{"B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-truth) > 1e-9 {
+		t.Fatalf("composed = %g, true = %g", est, truth)
+	}
+}
+
+func TestPlanIndependenceFallback(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	for i := range m.Edges {
+		m.Edges[i].JoinRows = 0 // stats lost: combiner must degrade, not fail
+	}
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(query.Query{Tables: []string{"B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Crossings[0].Independent {
+		t.Fatal("crossing not marked independent")
+	}
+	// 1/max(distinct(B.y)=3, distinct(C.y)=2) = 1/3.
+	if want := 1.0 / 3.0; math.Abs(p.Factor-want) > 1e-15 {
+		t.Fatalf("factor = %g, want %g", p.Factor, want)
+	}
+}
+
+func TestPlanRejects(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []query.Query{
+		{Tables: []string{"A", "C"}}, // disconnected
+		{Tables: []string{"A", "A"}}, // duplicate
+		{Tables: []string{"D"}},      // unknown
+		{},                           // empty
+		{Tables: []string{"A"}, Filters: []query.Filter{{Table: "B", Col: "x", Op: query.OpEq, Val: value.Int(1)}}},
+	} {
+		if _, err := pl.Plan(q); err == nil {
+			t.Fatalf("query %v planned", q)
+		}
+	}
+}
+
+// TestPlanOverlapSmallestCover: with overlapping shards, a query fully
+// covered by one shard must route to that single shard even when its
+// tables' "first" owners differ.
+func TestPlanOverlapSmallestCover(t *testing.T) {
+	m := buildChainManifest(t, [][]string{{"A", "B"}, {"C"}})
+	m.Shards[1].Tables = []string{"B", "C"} // overlap on B
+	pl, err := shard.NewPlanner(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Plan(query.Query{Tables: []string{"B", "C"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Subs) != 1 || p.Subs[0].Shard != "m-s1" || p.Factor != 1 {
+		t.Fatalf("plan = %+v", p)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	sch := chain(t)
+	parts, err := shard.Partition(sch, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	seen := make(map[string]int)
+	for _, part := range parts {
+		if err := sch.ValidateQuerySet(part); err != nil {
+			t.Fatalf("part %v: %v", part, err)
+		}
+		for _, tbl := range part {
+			seen[tbl]++
+		}
+	}
+	for _, tbl := range sch.Tables() {
+		if seen[tbl] != 1 {
+			t.Fatalf("table %q in %d parts", tbl, seen[tbl])
+		}
+	}
+	if _, err := shard.Partition(sch, 4); err == nil {
+		t.Fatal("partitioned 3 tables into 4 parts")
+	}
+}
+
+func TestManifestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.manifest.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shard.Load(path); err == nil {
+		t.Fatal("garbage manifest loaded")
+	}
+}

@@ -21,11 +21,19 @@ echo "=== training tiny model + writing checkpoint"
 go run ./cmd/neurocard -scale 0.05 -tuples 4096 -hidden 48 -embed 8 \
     -psamples 64 -workers 2 -noeval -save "$MODELS/joblight.ckpt"
 
+echo "=== training two-shard fleet + writing manifest"
+go run ./cmd/neurocard -scale 0.05 -tuples 4096 -hidden 48 -embed 8 \
+    -psamples 64 -workers 2 -noeval \
+    -shards 2 -logical fleet -save-shards "$MODELS"
+test -f "$MODELS/fleet.manifest.json"
+test -f "$MODELS/fleet-s0.ckpt"
+test -f "$MODELS/fleet-s1.ckpt"
+
 echo "=== starting neurocardd on $ADDR"
 go build -o "$WORKDIR/neurocardd" ./cmd/neurocardd
 # The fault-tolerance flags ride along to prove they parse and serve.
 "$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight \
-    -request-timeout 30s -breaker-cooldown 2s &
+    -load-manifest fleet -request-timeout 30s -breaker-cooldown 2s &
 DAEMON_PID=$!
 
 # Readiness probe: /readyz answers 503 until the model is loaded.
@@ -152,6 +160,55 @@ echo "$METRICS" | grep -q 'neurocard_request_timeouts_total'
 echo "$METRICS" | grep -q 'neurocard_fallback_total'
 echo "$METRICS" | grep -q 'neurocard_checkpoints_quarantined_total 0'
 echo "breaker and fault counters present"
+
+echo "=== sharded logical model: routed estimate round trip"
+# All six tables span both shards of any two-way partition, so this
+# estimate exercises the planner split plus the cross-shard combiner.
+FLEET_REQ='{
+  "model": "fleet",
+  "query": {"tables": ["title","cast_info","movie_companies","movie_info","movie_keyword","movie_info_idx"],
+            "filters": [{"table":"title","col":"production_year","op":">=","int":1990}]},
+  "seed": 42}'
+FLEET_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d "$FLEET_REQ")
+echo "$FLEET_RESP"
+FLEET_EST=$(echo "$FLEET_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$FLEET_EST" ]]; then
+    echo "no estimate in sharded response" >&2
+    exit 1
+fi
+awk -v est="$FLEET_EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
+echo "sharded estimate $FLEET_EST is finite and positive"
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'neurocard_shard_routed_total{logical="fleet",shard="fleet-s0"}'
+echo "$METRICS" | grep -q 'neurocard_shard_routed_total{logical="fleet",shard="fleet-s1"}'
+echo "$METRICS" | grep -q 'neurocard_logical_queries_total'
+echo "per-shard routing counters present"
+
+echo "=== sharded logical model: per-shard hot swap keeps seeded estimates"
+curl -sf -X POST "http://$ADDR/v1/models/fleet-s1/load" >/dev/null
+SWAP_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d "$FLEET_REQ")
+SWAP_EST=$(echo "$SWAP_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ "$SWAP_EST" != "$FLEET_EST" ]]; then
+    echo "sharded estimate changed across identical hot swap: $SWAP_EST != $FLEET_EST" >&2
+    exit 1
+fi
+echo "seeded sharded estimate unchanged across shard hot swap"
+
+echo "=== sharded logical model: DELETE + reload round trip"
+curl -sf -X DELETE "http://$ADDR/v1/models/fleet" | grep -q '"unloaded":"fleet"'
+GONE_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/estimate" -d "$FLEET_REQ")
+if [[ "$GONE_STATUS" != "404" ]]; then
+    echo "estimate on unloaded fleet answered $GONE_STATUS, want 404" >&2
+    exit 1
+fi
+curl -sf -X POST "http://$ADDR/v1/models/fleet/load" -d '{"manifest": true}' >/dev/null
+RELOAD_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d "$FLEET_REQ")
+RELOAD_EST=$(echo "$RELOAD_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ "$RELOAD_EST" != "$FLEET_EST" ]]; then
+    echo "sharded estimate changed across unload/reload: $RELOAD_EST != $FLEET_EST" >&2
+    exit 1
+fi
+echo "fleet unloaded (404), reloaded from manifest, estimate unchanged"
 
 echo "=== SIGTERM drains in-flight requests and exits 0"
 # Launch a large batch so a request is very likely mid-flight when the
