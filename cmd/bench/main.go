@@ -28,7 +28,7 @@ func main() {
 
 func realMain() int {
 	quick := flag.Bool("quick", false, "run the CI-sized configuration (seconds per experiment)")
-	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,chaos,ci,acc")
+	exp := flag.String("exp", "all", "comma-separated experiments: table1,fig6,table2,table3,table4,table5,table6,fig7a,fig7b,fig7c,fig7d,train,serve,chaos,ci,acc,drift")
 	evalWorkers := flag.Int("evalworkers", 0, "concurrent estimation goroutines for batch-capable estimators (0 = option default)")
 	serveClients := flag.Int("serveclients", 0, "exp serve/ci: concurrent closed-loop load-test clients (0 = option default)")
 	serveRequests := flag.Int("serverequests", 0, "exp serve/ci: single-query requests per load-test phase (0 = option default)")
@@ -162,6 +162,18 @@ func realMain() int {
 		fmt.Print(out)
 		if err != nil {
 			log.Printf("acc: %v", err)
+			rc = 1
+		}
+	}
+	// The accuracy-under-drift gate: pour a skewed append through the ingest
+	// journal, refresh, and require the refreshed model to beat the stale one
+	// on exactly relabeled truth. Self-relative (no baseline); like `acc`,
+	// runs only on request.
+	if want["drift"] && rc == 0 {
+		out, err := harness.RunDriftBench(o, *jsonOut, *outDir)
+		fmt.Print(out)
+		if err != nil {
+			log.Printf("drift: %v", err)
 			rc = 1
 		}
 	}

@@ -14,6 +14,10 @@
 //	POST /v1/models/{name}/load  (re)load <models>/<name>.ckpt, atomic hot swap;
 //	                             {"manifest": true} loads <name>.manifest.json
 //	                             plus its shard checkpoints as one logical model
+//	POST /v1/models/{name}/ingest
+//	                             append rows (JSON or binary); acknowledged only
+//	                             after a durable (fsync) write-ahead journal
+//	                             append — requires -journal
 //	DELETE /v1/models/{name}     unload a model or logical model (the default
 //	                             re-elects; shards of an unloaded logical stay)
 //	GET  /healthz                combined health summary
@@ -37,6 +41,17 @@
 // logical name. Estimates addressed to it are split per shard, composed with
 // the manifest's cross-shard join factors, and each shard keeps its own
 // breaker, fallback, and hot-swap lifecycle.
+//
+// Online ingest (-journal DIR) gives every preloaded model a segmented,
+// checksummed write-ahead row journal under DIR/<model>/: appended rows are
+// fsynced before the ack, replayed after a crash (torn tails are truncated and
+// quarantined), and folded into the serving estimator at startup. A background
+// loop (-refresh-interval) absorbs journaled rows into a new model generation:
+// clone the checkpoint, apply the rows incrementally, fine-tune on
+// -refresh-tuples samples, re-checkpoint, and hot-swap — the journal is pruned
+// only once the checkpoint is durable. -max-staleness bounds how long an acked
+// row may wait for a refresh before /readyz reports the model degraded (still
+// 200: stale models keep serving).
 //
 // Serving is fault-tolerant by default: -request-timeout bounds every
 // estimate end to end (clients tighten per request with X-Deadline-Ms; expiry
@@ -94,6 +109,10 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "first open->half-open delay, doubling per reopen (0 = default 1s)")
 	breakerProbes := flag.Int("breaker-probes", 0, "half-open probe budget; all must succeed to close (0 = default 3)")
 	noFallback := flag.Bool("no-fallback", false, "disable the histogram fallback estimator; an open breaker then answers 503")
+	journal := flag.String("journal", "", "root directory for per-model write-ahead row journals; enables POST /v1/models/{name}/ingest for preloaded models (empty disables ingest)")
+	maxStaleness := flag.Duration("max-staleness", 0, "oldest an acknowledged-but-unabsorbed row may get before /readyz reports the model degraded (0 = staleness never degrades readiness)")
+	refreshInterval := flag.Duration("refresh-interval", 30*time.Second, "how often the background loop absorbs journaled rows into a refreshed model generation (0 disables automatic refresh)")
+	refreshTuples := flag.Int("refresh-tuples", 2048, "fine-tuning samples per background refresh (0 = absorb rows without fine-tuning)")
 	faults := flag.String("faults", os.Getenv("NEUROCARD_FAULTS"),
 		"CHAOS TESTING ONLY: arm fault injection, e.g. estimate-panic=0.05,kernel-delay=0.05:2ms,estimate-nan=0.05,ckpt-truncate=0.5,seed=1")
 	flag.Parse()
@@ -151,8 +170,11 @@ func main() {
 		BreakerProbes:     *breakerProbes,
 		NoFallback:        *noFallback,
 		DefaultPrecision:  defaultPrecision,
+		JournalDir:        *journal,
+		MaxStaleness:      *maxStaleness,
 	})
 	defer srv.Close()
+	var preloaded []string
 	if *load != "" {
 		for i, name := range strings.Split(*load, ",") {
 			name = strings.TrimSpace(name)
@@ -169,6 +191,7 @@ func main() {
 					log.Fatal(err)
 				}
 			}
+			preloaded = append(preloaded, name)
 			log.Printf("loaded model %q from %s in %s (|J| = %.4g, %d tables, %s serving)",
 				name, entry.Path, time.Since(start).Round(time.Millisecond),
 				entry.Est.JoinSize(), entry.Est.NumTables(), entry.Est.Precision())
@@ -189,6 +212,44 @@ func main() {
 				name, lg.Path, time.Since(start).Round(time.Millisecond),
 				len(lg.Man.Shards), len(lg.Man.Tables()))
 		}
+	}
+
+	// Ingest journals open (and replay) before the listener starts: replay
+	// folds acknowledged-but-unabsorbed rows into the serving estimators,
+	// which is only safe while no requests hold them.
+	refreshDone := make(chan struct{})
+	refreshStopped := make(chan struct{})
+	if *journal != "" {
+		for _, name := range preloaded {
+			start := time.Now()
+			recovered, err := srv.EnableIngest(name)
+			if err != nil {
+				log.Fatalf("ingest journal for %q: %v", name, err)
+			}
+			log.Printf("ingest enabled for %q (journal %s, %d rows replayed in %s)",
+				name, *journal, recovered, time.Since(start).Round(time.Millisecond))
+		}
+		if *refreshInterval > 0 {
+			go func() {
+				defer close(refreshStopped)
+				tick := time.NewTicker(*refreshInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-refreshDone:
+						return
+					case <-tick.C:
+						if err := srv.RefreshStale(*refreshTuples); err != nil {
+							log.Printf("background refresh: %v", err)
+						}
+					}
+				}
+			}()
+		} else {
+			close(refreshStopped)
+		}
+	} else {
+		close(refreshStopped)
 	}
 
 	httpSrv := &http.Server{
@@ -212,11 +273,15 @@ func main() {
 	// Ordering matters — closing the coalescers first would fail the very
 	// requests the drain is waiting on with 503s.
 	log.Printf("shutting down: draining in-flight requests")
+	close(refreshDone)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("shutdown: %v", err)
 	}
+	// Wait for an in-flight background refresh before Close tears down the
+	// journals it may be pruning.
+	<-refreshStopped
 	srv.Close()
 	log.Printf("drained, exiting")
 }

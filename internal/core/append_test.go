@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/ingest"
+	"neurocard/internal/sampler"
+	"neurocard/internal/value"
+)
+
+// TestUpdateDataAppend: the ingest path — incremental join-count maintenance
+// must land the estimator in the same state a full UpdateData would, while
+// the invalidation counter and data generation advance.
+func TestUpdateDataAppend(t *testing.T) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 3, Scale: 0.04})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.ContentCols = d.ContentCols
+	cfg.Model.Hidden = 24
+	cfg.Model.EmbedDim = 6
+	cfg.Model.Blocks = 1
+	cfg.PSamples = 32
+	est, err := Build(d.Schema, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := est.DataGeneration(); g != 1 {
+		t.Fatalf("generation after build = %d, want 1", g)
+	}
+	if s := est.PlanCacheStats(); s.Invalidations != 0 {
+		t.Fatalf("invalidations after build = %d, want 0", s.Invalidations)
+	}
+
+	// Prime the plan cache with one query.
+	_, qs := cacheTestEstimator(t, 0)
+	if _, err := est.Estimate(qs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := est.PlanCacheStats(); s.Size != 1 {
+		t.Fatalf("cache size = %d, want 1", s.Size)
+	}
+
+	mk := d.Schema.Table("movie_keyword")
+	batch := &ingest.RowBatch{Tables: []ingest.TableRows{{
+		Table:   "movie_keyword",
+		Columns: []string{"movie_id", "keyword_id"},
+		Rows: [][]value.Value{
+			{mk.MustCol("movie_id").ValueForID(1), mk.MustCol("keyword_id").ValueForID(1)},
+			{value.Null, mk.MustCol("keyword_id").ValueForID(2)},
+		},
+	}}}
+	merged, err := ingest.Apply(d.Schema, []*ingest.RowBatch{batch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.UpdateDataAppend(merged); err != nil {
+		t.Fatalf("UpdateDataAppend: %v", err)
+	}
+	if g := est.DataGeneration(); g != 2 {
+		t.Fatalf("generation after append = %d, want 2", g)
+	}
+	s := est.PlanCacheStats()
+	if s.Invalidations != 1 {
+		t.Fatalf("invalidations after append = %d, want 1", s.Invalidations)
+	}
+	if s.Size != 0 {
+		t.Fatalf("cache size after append = %d, want 0", s.Size)
+	}
+
+	// Incrementally maintained join size must equal the full recompute's.
+	full, err := sampler.New(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.JoinSize() != full.JoinSize() {
+		t.Fatalf("incremental |J| %v != full recompute %v", est.JoinSize(), full.JoinSize())
+	}
+
+	// The estimator keeps serving after the swap.
+	if _, err := est.Estimate(qs[0]); err != nil {
+		t.Fatalf("estimate after append: %v", err)
+	}
+	if s := est.PlanCacheStats(); s.Invalidations != 1 || s.Size != 1 {
+		t.Fatalf("post-append serving stats = %+v", s)
+	}
+
+	// A non-extension (rows removed) is rejected and leaves state untouched.
+	snaps, err := d.Snapshots(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := est.DataGeneration()
+	if err := est.UpdateDataAppend(snaps[0]); err == nil {
+		t.Fatal("shrunken snapshot accepted by UpdateDataAppend")
+	}
+	if est.DataGeneration() != gen {
+		t.Fatal("failed append bumped the data generation")
+	}
+}

@@ -88,9 +88,10 @@ type Estimator struct {
 	cfg      Config
 	rng      *rand.Rand // training-time randomness only; never used by Estimate
 
-	eng    engine       // serving engine: session pool at the configured precision
-	plans  *planCache   // compiled plans keyed by canonical query bytes
-	qcount atomic.Int64 // per-query seed counter for Estimate
+	eng     engine       // serving engine: session pool at the configured precision
+	plans   *planCache   // compiled plans keyed by canonical query bytes
+	qcount  atomic.Int64 // per-query seed counter for Estimate
+	dataGen atomic.Int64 // snapshot generation: bumped by every UpdateData*
 }
 
 // initSessions wires the per-estimator serving runtime: a session pool at
@@ -166,6 +167,7 @@ func BuildWithDomain(domain, data *schema.Schema, cfg Config) (*Estimator, error
 	if err := e.UpdateData(data); err != nil {
 		return nil, err
 	}
+	e.plans.invalidations.Store(0) // construction is not an invalidation
 	return e, nil
 }
 
@@ -200,6 +202,7 @@ func NewFromParts(domain, data *schema.Schema, enc *Encoder, src ProbSource, cfg
 	if err := e.UpdateData(data); err != nil {
 		return nil, err
 	}
+	e.plans.invalidations.Store(0) // construction is not an invalidation
 	return e, nil
 }
 
@@ -216,14 +219,76 @@ func (e *Estimator) UpdateData(data *schema.Schema) error {
 	if err != nil {
 		return err
 	}
+	e.swapSnapshot(data, view, smp)
+	return nil
+}
+
+// UpdateDataAppend is UpdateData for the ingest path: data must extend the
+// current snapshot by appended rows (shared dictionaries, current rows as a
+// prefix of every table — what ingest.Apply produces). The join counts are
+// maintained incrementally (cost proportional to the appended rows and the
+// ancestor rows they touch, not the dataset), with a result bit-identical to
+// the full recompute UpdateData performs.
+func (e *Estimator) UpdateDataAppend(data *schema.Schema) error {
+	view, err := e.enc.bind(data)
+	if err != nil {
+		return err
+	}
+	smp, err := sampler.NewAppended(e.smp, data)
+	if err != nil {
+		return err
+	}
+	e.swapSnapshot(data, view, smp)
+	return nil
+}
+
+func (e *Estimator) swapSnapshot(data *schema.Schema, view *dataView, smp *sampler.Sampler) {
 	e.data = data
 	e.view = view
 	e.smp = smp
 	e.joinSize = smp.JoinSize()
+	e.dataGen.Add(1)
 	// Compiled plans depend only on the domain schema's dictionaries and the
 	// encoder, both of which a snapshot rebind leaves untouched — but a data
-	// swap is rare and cold, so drop the cache defensively anyway.
-	e.plans.clear()
+	// swap is rare and cold, so drop the cache defensively anyway. The drop is
+	// counted: operators watching plan-cache hit rates need to tell routine
+	// eviction from refresh-driven invalidation.
+	e.plans.invalidate()
+}
+
+// DataGeneration returns the number of data-snapshot swaps this estimator has
+// absorbed (1 after construction; each UpdateData/UpdateDataAppend adds one).
+func (e *Estimator) DataGeneration() int64 { return e.dataGen.Load() }
+
+// RebaseAppended promotes the current data snapshot to be the estimator's
+// domain schema, re-deriving the encoder over it — the step that makes an
+// estimator checkpointable again after UpdateDataAppend (checkpoints require
+// domain == data). It succeeds only when the appended rows left the encoder
+// shape unchanged: dictionaries are frozen by the ingest contract, but a new
+// row can raise a join key's fanout beyond the old domain maximum, in which
+// case the trained model no longer matches the re-derived shape and the
+// caller must fall back to serving in memory (estimates stay valid — the
+// encoder clamps out-of-domain fanouts) and retrain before checkpointing.
+func (e *Estimator) RebaseAppended() error {
+	if e.domain == e.data {
+		return nil
+	}
+	enc, err := NewEncoder(e.data, e.cfg.ContentCols, e.cfg.FactBits)
+	if err != nil {
+		return fmt.Errorf("core: rebase: %w", err)
+	}
+	if err := equalDoms(enc.FlatDomains(), e.enc.FlatDomains()); err != nil {
+		return fmt.Errorf("core: rebase: appended rows changed the encoder shape (fanout domain grew): %w", err)
+	}
+	view, err := enc.bind(e.data)
+	if err != nil {
+		return fmt.Errorf("core: rebase: %w", err)
+	}
+	e.domain = e.data
+	e.enc = enc
+	e.view = view
+	// Plans hold references into the old encoder; recompile against the new one.
+	e.plans.invalidate()
 	return nil
 }
 

@@ -45,7 +45,7 @@ type planCache struct {
 	m   map[string]*list.Element // values are *planCacheEntry
 	lru *list.List               // front = most recently used
 
-	hits, misses, evictions atomic.Int64
+	hits, misses, evictions, invalidations atomic.Int64
 }
 
 func newPlanCache(capacity int) *planCache {
@@ -102,6 +102,14 @@ func (c *planCache) clear() {
 	c.lru.Init()
 }
 
+// invalidate is clear plus an invalidation count: the data-swap paths
+// (UpdateData, UpdateDataAppend) call it so /metrics can distinguish
+// refresh-driven cache drops from capacity eviction.
+func (c *planCache) invalidate() {
+	c.invalidations.Add(1)
+	c.clear()
+}
+
 // len returns the current entry count.
 func (c *planCache) len() int {
 	c.mu.Lock()
@@ -112,17 +120,18 @@ func (c *planCache) len() int {
 // PlanCacheStats is a point-in-time snapshot of the compiled-plan cache,
 // exposed per model on the serving daemon's /metrics endpoint.
 type PlanCacheStats struct {
-	Hits, Misses, Evictions int64
-	Size, Cap               int
+	Hits, Misses, Evictions, Invalidations int64
+	Size, Cap                              int
 }
 
 // PlanCacheStats reports the estimator's compiled-plan cache counters.
 func (e *Estimator) PlanCacheStats() PlanCacheStats {
 	return PlanCacheStats{
-		Hits:      e.plans.hits.Load(),
-		Misses:    e.plans.misses.Load(),
-		Evictions: e.plans.evictions.Load(),
-		Size:      e.plans.len(),
-		Cap:       e.plans.cap,
+		Hits:          e.plans.hits.Load(),
+		Misses:        e.plans.misses.Load(),
+		Evictions:     e.plans.evictions.Load(),
+		Invalidations: e.plans.invalidations.Load(),
+		Size:          e.plans.len(),
+		Cap:           e.plans.cap,
 	}
 }

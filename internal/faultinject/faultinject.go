@@ -48,18 +48,29 @@ type Config struct {
 	// disk mid-save.
 	CheckpointTruncateProb float64
 	CheckpointTruncateAt   int
+
+	// JournalTornWriteProb is the probability that one ingest-journal record
+	// write is torn: the writer fails with ErrInjectedJournalTear after
+	// JournalTornWriteAt bytes (default 7, inside the record framing),
+	// simulating a crash mid-append. The row must not be acknowledged.
+	JournalTornWriteProb float64
+	JournalTornWriteAt   int
 }
 
 // Stats counts the faults injected since the last Arm.
 type Stats struct {
-	Panics      int64
-	Delays      int64
-	NaNs        int64
-	Truncations int64
+	Panics       int64
+	Delays       int64
+	NaNs         int64
+	Truncations  int64
+	JournalTears int64
 }
 
 // ErrInjectedTruncation is the error a torn checkpoint writer reports.
 var ErrInjectedTruncation = errors.New("faultinject: injected checkpoint truncation")
+
+// ErrInjectedJournalTear is the error a torn journal-record writer reports.
+var ErrInjectedJournalTear = errors.New("faultinject: injected journal torn write")
 
 // PanicValue is the value injected panics carry, so recovery layers can
 // distinguish (and tests can assert) injected panics from real ones.
@@ -70,10 +81,11 @@ var (
 	cfg   atomic.Pointer[Config]
 	rolls atomic.Uint64
 
-	panics      atomic.Int64
-	delays      atomic.Int64
-	nans        atomic.Int64
-	truncations atomic.Int64
+	panics       atomic.Int64
+	delays       atomic.Int64
+	nans         atomic.Int64
+	truncations  atomic.Int64
+	journalTears atomic.Int64
 )
 
 // Enabled reports whether fault injection is armed. This is the only check
@@ -88,10 +100,14 @@ func Arm(c Config) {
 	if c.CheckpointTruncateAt <= 0 {
 		c.CheckpointTruncateAt = 256
 	}
+	if c.JournalTornWriteAt <= 0 {
+		c.JournalTornWriteAt = 7
+	}
 	panics.Store(0)
 	delays.Store(0)
 	nans.Store(0)
 	truncations.Store(0)
+	journalTears.Store(0)
 	rolls.Store(0)
 	cfg.Store(&c)
 	armed.Store(true)
@@ -103,10 +119,11 @@ func Disarm() { armed.Store(false) }
 // ReadStats returns the fault counters accumulated since the last Arm.
 func ReadStats() Stats {
 	return Stats{
-		Panics:      panics.Load(),
-		Delays:      delays.Load(),
-		NaNs:        nans.Load(),
-		Truncations: truncations.Load(),
+		Panics:       panics.Load(),
+		Delays:       delays.Load(),
+		NaNs:         nans.Load(),
+		Truncations:  truncations.Load(),
+		JournalTears: journalTears.Load(),
 	}
 }
 
@@ -170,15 +187,40 @@ func WrapCheckpointWriter(w io.Writer) io.Writer {
 	return &truncatingWriter{w: w, remaining: c.CheckpointTruncateAt}
 }
 
+// WrapJournalWriter wraps an ingest-journal record writer with the torn-write
+// fault: when armed and the roll fires, the writer accepts JournalTornWriteAt
+// bytes of the record and then fails with ErrInjectedJournalTear — a crash
+// mid-append that leaves a partial record on disk. Otherwise it returns w
+// unchanged.
+func WrapJournalWriter(w io.Writer) io.Writer {
+	if !armed.Load() {
+		return w
+	}
+	c := cfg.Load()
+	if c == nil || c.JournalTornWriteProb <= 0 || roll(c.Seed) >= c.JournalTornWriteProb {
+		return w
+	}
+	journalTears.Add(1)
+	return &truncatingWriter{w: w, remaining: c.JournalTornWriteAt, fail: ErrInjectedJournalTear}
+}
+
 // truncatingWriter passes through its first `remaining` bytes, then fails.
 type truncatingWriter struct {
 	w         io.Writer
 	remaining int
+	fail      error // defaults to ErrInjectedTruncation
+}
+
+func (t *truncatingWriter) failErr() error {
+	if t.fail != nil {
+		return t.fail
+	}
+	return ErrInjectedTruncation
 }
 
 func (t *truncatingWriter) Write(p []byte) (int, error) {
 	if t.remaining <= 0 {
-		return 0, ErrInjectedTruncation
+		return 0, t.failErr()
 	}
 	if len(p) <= t.remaining {
 		n, err := t.w.Write(p)
@@ -188,7 +230,7 @@ func (t *truncatingWriter) Write(p []byte) (int, error) {
 	n, err := t.w.Write(p[:t.remaining])
 	t.remaining -= n
 	if err == nil {
-		err = ErrInjectedTruncation
+		err = t.failErr()
 	}
 	return n, err
 }
@@ -201,6 +243,8 @@ func (t *truncatingWriter) Write(p []byte) (int, error) {
 //	estimate-nan=P          NaN probability per estimate call
 //	ckpt-truncate=P[:N]     torn-write probability per checkpoint save,
 //	                        truncating after N bytes (default 256)
+//	journal-torn-write=P[:N] torn-write probability per journal append,
+//	                        tearing the record after N bytes (default 7)
 //	seed=S                  deterministic roll stream seed
 //
 // Example: "estimate-panic=0.02,kernel-delay=0.05:5ms,estimate-nan=0.01".
@@ -262,8 +306,22 @@ func ParseSpec(spec string) (Config, error) {
 				}
 				c.CheckpointTruncateAt = n
 			}
+		case "journal-torn-write":
+			probStr, atStr, hasAt := strings.Cut(val, ":")
+			p, err := parseProb(probStr)
+			if err != nil {
+				return Config{}, fmt.Errorf("faultinject: journal-torn-write: %w", err)
+			}
+			c.JournalTornWriteProb = p
+			if hasAt {
+				n, err := strconv.Atoi(atStr)
+				if err != nil || n < 0 {
+					return Config{}, fmt.Errorf("faultinject: journal-torn-write offset %q invalid", atStr)
+				}
+				c.JournalTornWriteAt = n
+			}
 		default:
-			return Config{}, fmt.Errorf("faultinject: unknown fault %q (want estimate-panic, kernel-delay, estimate-nan, ckpt-truncate, seed)", key)
+			return Config{}, fmt.Errorf("faultinject: unknown fault %q (want estimate-panic, kernel-delay, estimate-nan, ckpt-truncate, journal-torn-write, seed)", key)
 		}
 	}
 	return c, nil

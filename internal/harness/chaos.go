@@ -19,8 +19,10 @@ import (
 	"neurocard/internal/core"
 	"neurocard/internal/datagen"
 	"neurocard/internal/faultinject"
+	"neurocard/internal/ingest"
 	"neurocard/internal/query"
 	"neurocard/internal/server"
+	"neurocard/internal/value"
 	"neurocard/internal/workload"
 )
 
@@ -39,7 +41,10 @@ import (
 //     past the deadline budget plus slack, because expiry answers 504;
 //   - torn checkpoint writes never corrupt serving state — an injected
 //     truncation fails the save with the original bytes intact, and a corrupt
-//     file fed to the registry is quarantined, not retried.
+//     file fed to the registry is quarantined, not retried;
+//   - torn journal writes never lose acknowledged rows — an injected tear
+//     answers 503 un-acked and rolls back in place, and a cold replay of the
+//     journal recovers exactly the acknowledged rows.
 //
 // Any violated invariant returns an error (the CI chaos job gates on it).
 type ChaosResult struct {
@@ -96,9 +101,13 @@ func ChaosLoad(o Options) (*ChaosResult, error) {
 		BreakerThreshold:  0.5,
 		BreakerCooldown:   100 * time.Millisecond,
 		BreakerProbes:     3,
+		JournalDir:        filepath.Join(dir, "journals"),
 	})
 	defer srv.Close()
 	if _, err := srv.Registry().Load("joblight", ckpt); err != nil {
+		return nil, err
+	}
+	if _, err := srv.EnableIngest("joblight"); err != nil {
 		return nil, err
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -176,6 +185,12 @@ func ChaosLoad(o Options) (*ChaosResult, error) {
 		return res, fmt.Errorf("chaos: %w", err)
 	}
 	fmt.Fprintf(&b, "checkpoints: torn write left original intact; corrupt load quarantined\n")
+
+	// ---- torn journal phase (closes the server: keep it last) ----
+	if err := tornJournalPhase(srv, ts, client, dir, o.Seed); err != nil {
+		return res, fmt.Errorf("chaos: %w", err)
+	}
+	fmt.Fprintf(&b, "journal: torn append not acked and rolled back; replay recovered every acked row\n")
 	return res, nil
 }
 
@@ -392,6 +407,105 @@ func getStatus(client *http.Client, url string) (int, error) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, nil
+}
+
+// tornJournalPhase proves the ingest ack contract under injected torn journal
+// writes: an append the fault tears mid-record must answer 503 WITHOUT being
+// acknowledged (the partial record is rolled back in place), later appends
+// keep working, and replaying the journal after shutdown recovers exactly the
+// acknowledged rows — zero acknowledged-row loss, zero phantom rows. Closes
+// the HTTP server and the serving stack: run it as the last phase.
+func tornJournalPhase(srv *server.Server, ts *httptest.Server, client *http.Client, dir string, seed int64) error {
+	entry, err := srv.Registry().Get("joblight")
+	if err != nil {
+		return err
+	}
+	mk := entry.Est.Schema().Table("movie_keyword")
+	if mk == nil {
+		return fmt.Errorf("journal phase: schema has no movie_keyword table")
+	}
+	batch := func(n int) []byte {
+		rows := make([][]value.Value, n)
+		for i := range rows {
+			rows[i] = []value.Value{
+				mk.MustCol("movie_id").ValueForID(int32(i % 3)),
+				mk.MustCol("keyword_id").ValueForID(int32(i % 5)),
+			}
+		}
+		return ingest.EncodeBatch(nil, &ingest.RowBatch{Tables: []ingest.TableRows{{
+			Table: "movie_keyword", Columns: []string{"movie_id", "keyword_id"}, Rows: rows,
+		}}})
+	}
+	post := func(frame []byte) (int, server.IngestResponse, error) {
+		resp, err := client.Post(ts.URL+"/v1/models/joblight/ingest", server.ContentTypeBinary, bytes.NewReader(frame))
+		if err != nil {
+			return 0, server.IngestResponse{}, err
+		}
+		defer resp.Body.Close()
+		var ir server.IngestResponse
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
+				return resp.StatusCode, ir, fmt.Errorf("ack body: %w", err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode, ir, nil
+	}
+
+	var acked uint64
+	for i := 1; i <= 3; i++ {
+		status, ir, err := post(batch(i))
+		if err != nil || status != http.StatusOK || !ir.Durable {
+			return fmt.Errorf("journal phase: append %d: status %d, resp %+v, err %v", i, status, ir, err)
+		}
+		acked += uint64(ir.Rows)
+	}
+
+	// Every append is torn mid-record while armed: the server must refuse to
+	// ack, and the journal must roll the partial bytes back in place.
+	spec, err := faultinject.ParseSpec(fmt.Sprintf("journal-torn-write=1,seed=%d", seed))
+	if err != nil {
+		return err
+	}
+	faultinject.Arm(spec)
+	status, ir, err := post(batch(4))
+	stats := faultinject.ReadStats()
+	faultinject.Disarm()
+	if err != nil {
+		return fmt.Errorf("journal phase: torn append transport: %w", err)
+	}
+	if status != http.StatusServiceUnavailable {
+		return fmt.Errorf("journal phase: torn append answered %d (resp %+v), want 503 unacked", status, ir)
+	}
+	if stats.JournalTears == 0 {
+		return fmt.Errorf("journal phase: fault armed but no tear injected")
+	}
+
+	// The rollback keeps the journal appendable without a restart.
+	status, ir, err = post(batch(2))
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("journal phase: append after tear: status %d, err %v", status, err)
+	}
+	acked += uint64(ir.Rows)
+
+	// Shut the stack down and replay the journal cold, exactly like the next
+	// daemon start: every acknowledged row must come back, and the torn,
+	// never-acked batch must not.
+	ts.Close()
+	srv.Close()
+	j, res, err := ingest.Open(filepath.Join(dir, "journals", "joblight"), ingest.Options{})
+	if err != nil {
+		return fmt.Errorf("journal phase: reopen: %w", err)
+	}
+	defer j.Close()
+	if res.Rows != acked {
+		return fmt.Errorf("journal phase: replay recovered %d rows, acked %d", res.Rows, acked)
+	}
+	if len(res.Quarantined) != 0 {
+		return fmt.Errorf("journal phase: rolled-back tear left quarantine files: %v", res.Quarantined)
+	}
+	return nil
 }
 
 // tornCheckpointPhase proves crash-safety of checkpoint I/O under injected

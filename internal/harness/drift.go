@@ -1,0 +1,307 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/exec"
+	"neurocard/internal/ingest"
+	"neurocard/internal/server"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+	"neurocard/internal/workload"
+
+	"neurocard/internal/core"
+)
+
+// The accuracy-under-drift gate (`cmd/bench -exp drift`) answers the §7.6
+// question for the ingest path: after the data distribution shifts, is a
+// model refreshed through the write-ahead journal measurably better than the
+// stale one, and close to pre-drift quality?
+//
+// All three gates are self-relative (same run, same seed, exact labels), so
+// the experiment needs no committed baseline and cannot drift with the model:
+//
+//   - recovery: the refreshed model's p95 q-error on the post-drift workload
+//     stays within driftRecoveryFactor of the same model's PRE-drift p95 —
+//     absorbing the journal restores estimate quality;
+//   - degradation: the stale model's post-drift p95 exceeds the refreshed
+//     model's by at least driftStaleMargin — if serving stale were just as
+//     good, the whole refresh pipeline would be dead weight;
+//   - staleness is real: the stale p95 also exceeds its own pre-drift p95 —
+//     the injected skew actually moved the answers.
+const (
+	driftRecoveryFactor = 1.5  // refreshed p95 ≤ 1.5 × pre-drift p95
+	driftStaleMargin    = 1.10 // stale p95 ≥ 1.10 × refreshed p95
+)
+
+// driftAppendFactor sizes the skewed append relative to the table it lands
+// on (1.0 = double movie_keyword), capped by the fanout headroom below.
+const driftAppendFactor = 1.0
+
+// driftIngestBatchRows bounds rows per ingest request, so the journal phase
+// exercises multiple appends instead of one giant batch.
+const driftIngestBatchRows = 512
+
+// CIDriftBench runs the drift experiment end to end THROUGH the serving
+// stack: train, checkpoint, serve; score the golden workload pre-drift; pour
+// a skewed append through POST /ingest (durable journal acks); refresh into a
+// new generation; relabel the workload on the drifted data with the exact
+// executor; score the stale and refreshed models against the new truth.
+func CIDriftBench(o Options) (*BenchResult, error) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: o.Seed, Scale: o.DataScale})
+	if err != nil {
+		return nil, err
+	}
+	golden, err := workload.Golden(d, goldenQueries, goldenSeed)
+	if err != nil {
+		return nil, err
+	}
+	est, _, err := BuildNeuroCard(d, o.Model, o.TrainTuples, o)
+	if err != nil {
+		return nil, err
+	}
+	preDrift, _, err := EvaluateParallel(Named("neurocard", est), golden, o.EvalWorkers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Serve the trained model with ingest enabled. The registry loads its own
+	// copy from the checkpoint; `est` stays frozen as the stale reference.
+	dir, err := os.MkdirTemp("", "neurocard-drift")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := core.WriteCheckpointFile(est, filepath.Join(dir, "joblight.ckpt")); err != nil {
+		return nil, err
+	}
+	srv := server.New(server.Config{
+		ModelsDir:  dir,
+		Workers:    o.EvalWorkers,
+		JournalDir: filepath.Join(dir, "journals"),
+	})
+	defer srv.Close()
+	if _, err := srv.Registry().Load("joblight", ""); err != nil {
+		return nil, err
+	}
+	if _, err := srv.EnableIngest("joblight"); err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Skew two fact tables so the shift is visible across most of the golden
+	// join graphs, not only the ones touching movie_keyword.
+	var appended uint64
+	for _, t := range []struct {
+		name string
+		cols []string
+	}{
+		{"movie_keyword", []string{"movie_id", "keyword_id"}},
+		{"movie_companies", []string{"movie_id", "company_id", "company_type_id"}},
+	} {
+		n, err := driftIngest(ts, est.Schema().Table(t.name), t.name, t.cols)
+		if err != nil {
+			return nil, err
+		}
+		appended += n
+	}
+	refresh, err := srv.RefreshModel("joblight", o.TrainTuples/4)
+	if err != nil {
+		return nil, err
+	}
+	if !refresh.Refreshed || refresh.Rows != appended {
+		return nil, fmt.Errorf("drift: refresh absorbed %d rows of %d appended (%+v)", refresh.Rows, appended, refresh)
+	}
+	entry, err := srv.Registry().Get("joblight")
+	if err != nil {
+		return nil, err
+	}
+	refreshed := entry.Est
+
+	// Relabel the same queries on the drifted data — the exact executor over
+	// the refreshed model's merged schema is the new ground truth.
+	drifted := &workload.Workload{Name: golden.Name + "-drifted", Queries: make([]workload.LabeledQuery, len(golden.Queries))}
+	for i, lq := range golden.Queries {
+		card, err := exec.Cardinality(refreshed.Schema(), lq.Query)
+		if err != nil {
+			return nil, fmt.Errorf("drift: relabel %s: %w", lq.Query, err)
+		}
+		inner, err := exec.InnerJoinSize(refreshed.Schema(), lq.Query.Tables)
+		if err != nil {
+			return nil, fmt.Errorf("drift: relabel %s: %w", lq.Query, err)
+		}
+		drifted.Queries[i] = workload.LabeledQuery{Query: lq.Query, TrueCard: card, InnerSize: inner}
+	}
+
+	stale, _, err := EvaluateParallel(Named("neurocard-stale", est), drifted, o.EvalWorkers)
+	if err != nil {
+		return nil, err
+	}
+	fresh, _, err := EvaluateParallel(Named("neurocard-refreshed", refreshed), drifted, o.EvalWorkers)
+	if err != nil {
+		return nil, err
+	}
+
+	checkpointed := 0.0
+	if refresh.Checkpointed {
+		checkpointed = 1
+	}
+	metrics := map[string]float64{
+		"qerr_median_predrift":  preDrift.Median,
+		"qerr_p95_predrift":     preDrift.P95,
+		"qerr_max_predrift":     preDrift.Max,
+		"qerr_median_stale":     stale.Median,
+		"qerr_p95_stale":        stale.P95,
+		"qerr_max_stale":        stale.Max,
+		"qerr_median_refreshed": fresh.Median,
+		"qerr_p95_refreshed":    fresh.P95,
+		"qerr_max_refreshed":    fresh.Max,
+		"rows_appended":         float64(appended),
+		"refresh_checkpointed":  checkpointed,
+	}
+	return &BenchResult{
+		Bench:      "drift",
+		GoVersion:  runtime.Version(),
+		CPUs:       runtime.GOMAXPROCS(0),
+		RefScore:   1,
+		Metrics:    metrics,
+		Normalized: metrics,
+	}, nil
+}
+
+// driftIngest appends a hotspot-inversion skew to one fact table through the
+// real ingest endpoint (binary wire, durable journal acks): previously COLD
+// movie ids are filled up to the table's trained maximum fanout, coldest
+// first, so join cardinalities through those keys inflate sharply while the
+// rest of the distribution is untouched. cols[0] must be the movie_id join
+// key; the remaining content columns cycle their dictionaries. Staying within
+// the trained fanout domain matters twice over — the drift remains
+// representable by the frozen encoder (so a fine-tuned refresh CAN recover,
+// which is what the gate measures), and the refresh stays checkpointable.
+func driftIngest(ts *httptest.Server, tbl *table.Table, name string, cols []string) (uint64, error) {
+	if tbl == nil {
+		return 0, fmt.Errorf("drift: schema has no %s table", name)
+	}
+	movieID := tbl.MustCol(cols[0])
+	counts := make([]int, movieID.DictSize()) // per dictionary ID; [0] = NULL, unused
+	for _, id := range movieID.IDs() {
+		if id != table.NullID {
+			counts[id]++
+		}
+	}
+	maxFan := 0
+	for _, c := range counts[1:] {
+		if c > maxFan {
+			maxFan = c
+		}
+	}
+	// Coldest keys first (stable by ID: the plan must not depend on map
+	// order), each filled to the trained maximum.
+	order := make([]int32, 0, len(counts)-1)
+	for id := int32(1); id < int32(len(counts)); id++ {
+		order = append(order, id)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return counts[order[i]] < counts[order[j]] })
+	budget := int(float64(tbl.NumRows()) * driftAppendFactor)
+	var plan []int32 // movie id per appended row
+	for _, id := range order {
+		for free := maxFan - counts[id]; free > 0 && len(plan) < budget; free-- {
+			plan = append(plan, id)
+		}
+	}
+
+	var appended uint64
+	for sent := 0; sent < len(plan); {
+		n := driftIngestBatchRows
+		if rest := len(plan) - sent; rest < n {
+			n = rest
+		}
+		rows := make([][]value.Value, n)
+		for i := range rows {
+			row := make([]value.Value, len(cols))
+			row[0] = movieID.ValueForID(plan[sent+i])
+			for ci := 1; ci < len(cols); ci++ {
+				c := tbl.MustCol(cols[ci])
+				// Dictionary IDs are 1-based (0 is NULL).
+				row[ci] = c.ValueForID(int32((sent+i)%(c.DictSize()-1) + 1))
+			}
+			rows[i] = row
+		}
+		frame := ingest.EncodeBatch(nil, &ingest.RowBatch{Tables: []ingest.TableRows{{
+			Table: name, Columns: cols, Rows: rows,
+		}}})
+		resp, err := http.Post(ts.URL+"/v1/models/joblight/ingest", server.ContentTypeBinary, bytes.NewReader(frame))
+		if err != nil {
+			return appended, err
+		}
+		ok := resp.StatusCode == http.StatusOK
+		resp.Body.Close()
+		if !ok {
+			return appended, fmt.Errorf("drift: ingest %s batch at row %d: status %d", name, sent, resp.StatusCode)
+		}
+		appended += uint64(n)
+		sent += n
+	}
+	return appended, nil
+}
+
+// GateDrift applies the three self-relative drift gates.
+func GateDrift(r *BenchResult) []string {
+	var fails []string
+	pre, okPre := r.Metrics["qerr_p95_predrift"]
+	st, okSt := r.Metrics["qerr_p95_stale"]
+	fr, okFr := r.Metrics["qerr_p95_refreshed"]
+	if !okPre || !okSt || !okFr {
+		return []string{"drift: missing p95 metrics from current run"}
+	}
+	if fr > pre*driftRecoveryFactor {
+		fails = append(fails, fmt.Sprintf("drift/recovery: refreshed p95 %0.4g vs pre-drift %0.4g (%.2fx > allowed %.1fx)",
+			fr, pre, fr/pre, driftRecoveryFactor))
+	}
+	if st < fr*driftStaleMargin {
+		fails = append(fails, fmt.Sprintf("drift/degradation: stale p95 %0.4g vs refreshed %0.4g (%.2fx < required %.2fx — refresh is not earning its keep)",
+			st, fr, st/fr, driftStaleMargin))
+	}
+	if st <= pre {
+		fails = append(fails, fmt.Sprintf("drift/staleness: stale p95 %0.4g did not exceed pre-drift %0.4g — the injected skew moved nothing",
+			st, pre))
+	}
+	return fails
+}
+
+// RunDriftBench runs the drift experiment, optionally writing
+// BENCH_drift.json into outDir, and applies the self-relative gates.
+func RunDriftBench(o Options, writeJSON bool, outDir string) (string, error) {
+	res, err := CIDriftBench(o)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(FormatBench(res))
+	if writeJSON {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return b.String(), err
+		}
+		path := filepath.Join(outDir, BenchFileName(res.Bench))
+		if err := WriteBenchJSON(path, res); err != nil {
+			return b.String(), err
+		}
+		fmt.Fprintf(&b, "  wrote %s\n", path)
+	}
+	if fails := GateDrift(res); len(fails) > 0 {
+		return b.String(), fmt.Errorf("drift gate failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	fmt.Fprintf(&b, "drift gate passed (recovery ≤ %.1fx pre-drift, stale ≥ %.2fx refreshed)\n",
+		driftRecoveryFactor, driftStaleMargin)
+	return b.String(), nil
+}

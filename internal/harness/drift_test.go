@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDriftBenchSmoke runs the accuracy-under-drift experiment at the
+// smallest scale that still trains a usable model. The three self-relative
+// gates (recovery, degradation, staleness) are asserted inside RunDriftBench;
+// a nil error is the pass. Everything is seeded, so this cannot flake.
+func TestDriftBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drift bench skipped in -short mode")
+	}
+	o := tiny()
+	out, err := RunDriftBench(o, true, t.TempDir())
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"qerr_p95_predrift", "qerr_p95_stale", "qerr_p95_refreshed", "rows_appended", "drift gate passed", "wrote "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

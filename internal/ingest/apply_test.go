@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/value"
+)
+
+func tinyDataset(t *testing.T) *datagen.Dataset {
+	t.Helper()
+	d, err := datagen.JOBLight(datagen.Config{Seed: 7, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestValidateAndApply(t *testing.T) {
+	d := tinyDataset(t)
+	sch := d.Schema
+	title := sch.Table("title")
+	mk := sch.Table("movie_keyword")
+	movieID := mk.MustCol("movie_id").ValueForID(1)
+	keyword := mk.MustCol("keyword_id").ValueForID(1)
+
+	b := &RowBatch{Tables: []TableRows{{
+		Table:   "movie_keyword",
+		Columns: []string{"movie_id", "keyword_id"},
+		Rows:    [][]value.Value{{movieID, keyword}, {movieID, value.Null}},
+	}}}
+	if err := Validate(sch, b); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+
+	merged, err := Apply(sch, []*RowBatch{b})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if got := merged.Table("movie_keyword").NumRows(); got != mk.NumRows()+2 {
+		t.Fatalf("merged movie_keyword has %d rows, want %d", got, mk.NumRows()+2)
+	}
+	if merged.Table("title").NumRows() != title.NumRows() {
+		t.Fatal("apply touched an unlisted table")
+	}
+	if sch.Table("movie_keyword").NumRows() != mk.NumRows() {
+		t.Fatal("apply mutated the input schema")
+	}
+	// Dictionary sharing: the merged column reuses the original dictionary.
+	if merged.Table("movie_keyword").MustCol("keyword_id").DictSize() != mk.MustCol("keyword_id").DictSize() {
+		t.Fatal("apply changed a dictionary")
+	}
+	if merged.Root() != sch.Root() || len(merged.Tables()) != len(sch.Tables()) {
+		t.Fatal("apply changed the join tree")
+	}
+	for i, name := range sch.Tables() {
+		if merged.Tables()[i] != name {
+			t.Fatalf("table order changed: %v vs %v", merged.Tables(), sch.Tables())
+		}
+	}
+
+	// Out-of-dictionary values are rejected by both gates.
+	bad := &RowBatch{Tables: []TableRows{{
+		Table:   "movie_keyword",
+		Columns: []string{"movie_id", "keyword_id"},
+		Rows:    [][]value.Value{{value.Int(1 << 40), keyword}},
+	}}}
+	if err := Validate(sch, bad); err == nil {
+		t.Fatal("out-of-dictionary value validated")
+	}
+	if _, err := Apply(sch, []*RowBatch{bad}); err == nil {
+		t.Fatal("out-of-dictionary value applied")
+	}
+
+	// Unknown tables and columns are rejected.
+	if err := Validate(sch, &RowBatch{Tables: []TableRows{{Table: "nope", Columns: []string{"x"}, Rows: [][]value.Value{{value.Null}}}}}); err == nil {
+		t.Fatal("unknown table validated")
+	}
+	if err := Validate(sch, &RowBatch{Tables: []TableRows{{Table: "movie_keyword", Columns: []string{"nope"}, Rows: [][]value.Value{{value.Null}}}}}); err == nil {
+		t.Fatal("unknown column validated")
+	}
+}

@@ -1,0 +1,313 @@
+// Package ingest implements the crash-safe online ingest path: a segmented,
+// checksummed, fsync'd write-ahead row journal plus the row-batch model and
+// apply machinery that extends a serving snapshot by journaled rows.
+//
+// The durability contract is append-before-ack: a row batch is acknowledged
+// only after its journal record — length-prefixed, CRC-protected, and
+// fsync'd — is on disk. Replay after a crash recovers exactly the
+// acknowledged prefix: a torn tail (partial record from a crash mid-append)
+// is quarantined to a `.corrupt` file and truncated away, mirroring the
+// checkpoint loader's convention for corrupt checkpoints.
+//
+// Dictionaries are frozen at ingest time: appended values must already occur
+// in their column's dictionary (the table layer's stability contract that
+// makes incremental model updates possible). Rows carrying out-of-dictionary
+// values are rejected before they reach the journal.
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"neurocard/internal/schema"
+	"neurocard/internal/table"
+	"neurocard/internal/value"
+)
+
+// TableRows is a set of rows destined for one table, in column-major header /
+// row-major body form (the JSON and binary wire shapes both map onto it).
+type TableRows struct {
+	Table   string
+	Columns []string
+	Rows    [][]value.Value
+}
+
+// RowBatch is one atomic ingest unit: the rows acknowledged (or rejected)
+// together, journaled as a single record. Seq is assigned by the journal at
+// append time and is strictly increasing across a journal's lifetime.
+type RowBatch struct {
+	Seq    uint64
+	Tables []TableRows
+}
+
+// NumRows returns the total row count across all tables of the batch.
+func (b *RowBatch) NumRows() int {
+	n := 0
+	for _, t := range b.Tables {
+		n += len(t.Rows)
+	}
+	return n
+}
+
+// Wire limits: a decoded batch is bounded before any allocation is sized
+// from wire-controlled counts, so a corrupt or hostile record cannot balloon
+// memory. Records larger than maxRecordBytes are treated as torn.
+const (
+	maxNameLen     = 1 << 10
+	maxRecordBytes = 64 << 20
+)
+
+// Value tags of the binary row encoding.
+const (
+	tagNull byte = 0
+	tagInt  byte = 1
+	tagStr  byte = 2
+)
+
+// EncodeBatch appends the batch's binary encoding (including Seq) to buf and
+// returns the extended slice. The encoding is self-describing — table and
+// column names travel with the rows — so replay needs no side schema and the
+// same bytes serve as the NCB ingest request body.
+func EncodeBatch(buf []byte, b *RowBatch) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, b.Seq)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(b.Tables)))
+	for _, t := range b.Tables {
+		buf = appendString16(buf, t.Table)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Columns)))
+		for _, c := range t.Columns {
+			buf = appendString16(buf, c)
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Rows)))
+		for _, row := range t.Rows {
+			for _, v := range row {
+				switch {
+				case v.IsNull():
+					buf = append(buf, tagNull)
+				case v.K == value.KindInt:
+					buf = append(buf, tagInt)
+					buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+				default:
+					buf = append(buf, tagStr)
+					buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.S)))
+					buf = append(buf, v.S...)
+				}
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeBatch parses one encoded batch. Every count and length is validated
+// against the remaining payload before it sizes an allocation.
+func DecodeBatch(p []byte) (*RowBatch, error) {
+	d := &decoder{p: p}
+	b := &RowBatch{Seq: d.u64()}
+	nTables := int(d.u16())
+	for i := 0; i < nTables && d.err == nil; i++ {
+		t := TableRows{Table: d.string16()}
+		nCols := int(d.u16())
+		if nCols > len(d.p)-d.off && d.err == nil {
+			d.err = fmt.Errorf("ingest: batch declares %d columns with %d bytes left", nCols, len(d.p)-d.off)
+		}
+		for c := 0; c < nCols && d.err == nil; c++ {
+			t.Columns = append(t.Columns, d.string16())
+		}
+		nRows := int(d.u32())
+		// Each row costs at least one tag byte per column.
+		if d.err == nil && nCols > 0 && nRows > (len(d.p)-d.off)/nCols {
+			d.err = fmt.Errorf("ingest: batch declares %d rows with %d bytes left", nRows, len(d.p)-d.off)
+		}
+		if d.err == nil && nCols == 0 && nRows > 0 {
+			d.err = fmt.Errorf("ingest: batch has %d rows but no columns", nRows)
+		}
+		for r := 0; r < nRows && d.err == nil; r++ {
+			row := make([]value.Value, nCols)
+			for c := 0; c < nCols && d.err == nil; c++ {
+				row[c] = d.value()
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		b.Tables = append(b.Tables, t)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.p) {
+		return nil, fmt.Errorf("ingest: %d trailing bytes after batch", len(d.p)-d.off)
+	}
+	return b, nil
+}
+
+func appendString16(buf []byte, s string) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a bounds-checked little-endian reader; the first violation
+// latches err and every subsequent read returns zero values.
+type decoder struct {
+	p   []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if len(d.p)-d.off < n {
+		d.err = fmt.Errorf("ingest: truncated batch: need %d bytes at offset %d, have %d", n, d.off, len(d.p)-d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u16() uint16 {
+	if !d.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.p[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.p[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.p[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) string16() string {
+	n := int(d.u16())
+	if d.err == nil && n > maxNameLen {
+		d.err = fmt.Errorf("ingest: name length %d exceeds limit %d", n, maxNameLen)
+	}
+	if !d.need(n) {
+		return ""
+	}
+	s := string(d.p[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *decoder) value() value.Value {
+	if !d.need(1) {
+		return value.Null
+	}
+	tag := d.p[d.off]
+	d.off++
+	switch tag {
+	case tagNull:
+		return value.Null
+	case tagInt:
+		return value.Int(int64(d.u64()))
+	case tagStr:
+		n := int(d.u32())
+		if !d.need(n) {
+			return value.Null
+		}
+		s := string(d.p[d.off : d.off+n])
+		d.off += n
+		return value.Str(s)
+	default:
+		d.err = fmt.Errorf("ingest: unknown value tag %d at offset %d", tag, d.off-1)
+		return value.Null
+	}
+}
+
+// Validate checks a batch against a schema without applying it: every table
+// and column must exist, row widths must match their column lists, and every
+// value must already occur in its column's dictionary. This is the server's
+// reject-before-journal gate, so a 4xx never consumes journal space.
+func Validate(sch *schema.Schema, b *RowBatch) error {
+	if len(b.Tables) == 0 {
+		return fmt.Errorf("ingest: batch has no tables")
+	}
+	for _, tr := range b.Tables {
+		t := sch.Table(tr.Table)
+		if t == nil {
+			return fmt.Errorf("ingest: unknown table %q", tr.Table)
+		}
+		if len(tr.Columns) == 0 {
+			return fmt.Errorf("ingest: table %q: no columns", tr.Table)
+		}
+		if len(tr.Rows) == 0 {
+			return fmt.Errorf("ingest: table %q: no rows", tr.Table)
+		}
+		seen := make(map[string]bool, len(tr.Columns))
+		cols := make([]*table.Column, len(tr.Columns))
+		for i, name := range tr.Columns {
+			c := t.Col(name)
+			if c == nil {
+				return fmt.Errorf("ingest: table %q has no column %q", tr.Table, name)
+			}
+			if seen[name] {
+				return fmt.Errorf("ingest: table %q lists column %q twice", tr.Table, name)
+			}
+			seen[name] = true
+			cols[i] = c
+		}
+		for r, row := range tr.Rows {
+			if len(row) != len(tr.Columns) {
+				return fmt.Errorf("ingest: table %q row %d has %d values, want %d", tr.Table, r, len(row), len(tr.Columns))
+			}
+			for i, v := range row {
+				if _, ok := cols[i].IDForValue(v); !ok {
+					return fmt.Errorf("ingest: table %q row %d: value %s not in dictionary of column %q (dictionaries are frozen at ingest time)",
+						tr.Table, r, v, tr.Columns[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Apply extends sch by the batches' rows, in order, returning a new schema
+// whose tables share dictionaries with the original (so encoders and models
+// built over the original domain stay valid). The input schema is untouched.
+func Apply(sch *schema.Schema, batches []*RowBatch) (*schema.Schema, error) {
+	if len(batches) == 0 {
+		return sch, nil
+	}
+	tables := make(map[string]*table.Table, sch.NumTables())
+	for _, name := range sch.Tables() {
+		tables[name] = sch.Table(name)
+	}
+	for _, b := range batches {
+		for _, tr := range b.Tables {
+			t, ok := tables[tr.Table]
+			if !ok {
+				return nil, fmt.Errorf("ingest: batch %d: unknown table %q", b.Seq, tr.Table)
+			}
+			nt, err := t.AppendRows(tr.Columns, tr.Rows)
+			if err != nil {
+				return nil, fmt.Errorf("ingest: batch %d: %w", b.Seq, err)
+			}
+			tables[tr.Table] = nt
+		}
+	}
+	ordered := make([]*table.Table, 0, len(tables))
+	var edges []schema.Edge
+	for _, name := range sch.Tables() {
+		ordered = append(ordered, tables[name])
+		if pe, ok := sch.Parent(name); ok {
+			edges = append(edges, schema.Edge{
+				LeftTable: pe.Parent, LeftCol: pe.ParentCol,
+				RightTable: name, RightCol: pe.ChildCol,
+			})
+		}
+	}
+	return schema.New(ordered, sch.Root(), edges)
+}

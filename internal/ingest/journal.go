@@ -1,0 +1,508 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"neurocard/internal/faultinject"
+)
+
+// Segment file layout:
+//
+//	header:  magic "NCRDJRNL" (8) · version u32 (4) · first seq u64 (8)
+//	records: [payload len u32 · CRC32(payload) u32 · payload]*
+//
+// A record's payload is EncodeBatch's output (seq + row batch). Records are
+// written with a single Write call and fsync'd before the append returns, so
+// the only inconsistent on-disk state a crash can produce is a torn tail —
+// a partial final record — which Open truncates away after quarantining the
+// bytes to `<segment>.corrupt`.
+const (
+	segMagic      = "NCRDJRNL"
+	segVersion    = 1
+	segHeaderSize = 8 + 4 + 8
+	recHeaderSize = 4 + 4
+)
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 4 << 20
+
+// watermarkFile records the highest sequence number absorbed into a durable
+// model checkpoint (decimal text, written atomically). Replay drops batches
+// at or below it: they are already baked into the checkpoint, and replaying
+// them again would double-apply the rows.
+const watermarkFile = "absorbed.seq"
+
+// Options tunes a journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once it exceeds this size;
+	// 0 selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips the fsync on append. Tests only: it voids the
+	// durability contract.
+	NoSync bool
+}
+
+// Stats is a point-in-time journal snapshot for metrics.
+type Stats struct {
+	Rows     uint64 // rows durably acknowledged over the journal's lifetime
+	LastSeq  uint64 // sequence of the last acknowledged batch (0 when empty)
+	Segments int    // segment files currently on disk
+	Bytes    int64  // bytes across those segments
+}
+
+// ReplayResult reports what Open recovered from an existing journal
+// directory. Batches excludes records at or below the absorbed watermark
+// (MarkAbsorbed): those rows already live in the last durable checkpoint.
+type ReplayResult struct {
+	Batches     []*RowBatch // committed, unabsorbed batches in append order
+	Rows        uint64      // total rows across Batches
+	LastSeq     uint64      // sequence of the last committed batch
+	Quarantined []string    // .corrupt files written for torn or corrupt tails
+}
+
+// Journal is a segmented write-ahead row journal. One goroutine may append
+// at a time (Append serializes internally); Stats is safe concurrently.
+type Journal struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	f         *os.File
+	segIndex  uint64
+	segBytes  int64 // committed size of the active segment
+	prevBytes int64 // bytes across non-active segments
+	segments  int
+	nextSeq   uint64
+	rows      uint64
+	broken    error // set when a failed append could not be rolled back
+}
+
+func segName(index uint64) string { return fmt.Sprintf("journal-%08d.seg", index) }
+
+// Open replays the journal directory (creating it if needed), truncating and
+// quarantining any torn tail, and returns the journal positioned to append
+// after the last committed record plus everything it recovered.
+func Open(dir string, opts Options) (*Journal, *ReplayResult, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("ingest: journal dir: %w", err)
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	j := &Journal{dir: dir, opts: opts}
+	res := &ReplayResult{}
+	for i, name := range names {
+		path := filepath.Join(dir, name)
+		clean, err := j.replaySegment(path, res)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !clean && i < len(names)-1 {
+			// A tear in a non-final segment means every later segment was
+			// written after the failure point; none of it can have been
+			// acknowledged. Quarantine the stragglers whole.
+			for _, later := range names[i+1:] {
+				lp := filepath.Join(dir, later)
+				if err := os.Rename(lp, lp+".corrupt"); err != nil {
+					return nil, nil, fmt.Errorf("ingest: quarantine %s: %w", later, err)
+				}
+				res.Quarantined = append(res.Quarantined, lp+".corrupt")
+			}
+			break
+		}
+	}
+	// Re-list: replay may have renamed whole segments away.
+	if names, err = listSegments(dir); err != nil {
+		return nil, nil, err
+	}
+	// Batches the last checkpoint already absorbed must not be replayed into
+	// the data again.
+	if wm, err := readWatermark(dir); err != nil {
+		return nil, nil, err
+	} else if wm > 0 {
+		kept := res.Batches[:0]
+		for _, b := range res.Batches {
+			if b.Seq > wm {
+				kept = append(kept, b)
+			} else {
+				res.Rows -= uint64(b.NumRows())
+			}
+		}
+		res.Batches = kept
+	}
+	j.rows = res.Rows
+	j.nextSeq = res.LastSeq + 1
+	if len(names) == 0 {
+		if err := j.createSegment(1); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		lastName := names[len(names)-1]
+		index, err := parseSegIndex(lastName)
+		if err != nil {
+			return nil, nil, err
+		}
+		f, err := os.OpenFile(filepath.Join(dir, lastName), os.O_RDWR, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ingest: reopen segment: %w", err)
+		}
+		end, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("ingest: seek segment end: %w", err)
+		}
+		j.f, j.segIndex, j.segBytes = f, index, end
+		j.segments = len(names)
+		for _, name := range names[:len(names)-1] {
+			if fi, err := os.Stat(filepath.Join(dir, name)); err == nil {
+				j.prevBytes += fi.Size()
+			}
+		}
+	}
+	return j, res, nil
+}
+
+func parseSegIndex(name string) (uint64, error) {
+	var index uint64
+	if _, err := fmt.Sscanf(name, "journal-%d.seg", &index); err != nil {
+		return 0, fmt.Errorf("ingest: malformed segment name %q: %w", name, err)
+	}
+	return index, nil
+}
+
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read journal dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".seg" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// replaySegment scans one segment, appending committed batches to res. It
+// reports clean=false when it found (and quarantined) a torn or corrupt
+// tail. A file too short to hold a header is quarantined whole.
+func (j *Journal) replaySegment(path string, res *ReplayResult) (clean bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, fmt.Errorf("ingest: read segment: %w", err)
+	}
+	if len(data) < segHeaderSize || string(data[:8]) != segMagic ||
+		binary.LittleEndian.Uint32(data[8:12]) != segVersion {
+		if err := os.Rename(path, path+".corrupt"); err != nil {
+			return false, fmt.Errorf("ingest: quarantine %s: %w", path, err)
+		}
+		res.Quarantined = append(res.Quarantined, path+".corrupt")
+		return false, nil
+	}
+	// A pruned journal starts at the oldest retained segment; its header
+	// carries the first sequence number it holds.
+	if first := binary.LittleEndian.Uint64(data[12:20]); len(res.Batches) == 0 && first > 0 {
+		res.LastSeq = first - 1
+	}
+	off := segHeaderSize
+	good := off // end of the last fully committed record
+	for off < len(data) {
+		if len(data)-off < recHeaderSize {
+			break // torn inside a record header
+		}
+		plen := int(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if plen < 8 || plen > maxRecordBytes || len(data)-off-recHeaderSize < plen {
+			break // implausible length or torn inside the payload
+		}
+		payload := data[off+recHeaderSize : off+recHeaderSize+plen]
+		if crc32.ChecksumIEEE(payload) != want {
+			break // corrupt payload
+		}
+		b, derr := DecodeBatch(payload)
+		if derr != nil || b.Seq != res.LastSeq+1 {
+			break // undecodable or out-of-sequence record
+		}
+		res.Batches = append(res.Batches, b)
+		res.Rows += uint64(b.NumRows())
+		res.LastSeq = b.Seq
+		off += recHeaderSize + plen
+		good = off
+	}
+	if good == len(data) {
+		return true, nil
+	}
+	// Quarantine the tail bytes, then truncate the segment back to the last
+	// committed record — the same .corrupt convention the checkpoint loader
+	// uses, keeping the evidence without poisoning future replays.
+	corrupt := path + ".corrupt"
+	if err := os.WriteFile(corrupt, data[good:], 0o644); err != nil {
+		return false, fmt.Errorf("ingest: quarantine tail of %s: %w", path, err)
+	}
+	res.Quarantined = append(res.Quarantined, corrupt)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return false, fmt.Errorf("ingest: truncate segment: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(good)); err != nil {
+		return false, fmt.Errorf("ingest: truncate segment: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return false, fmt.Errorf("ingest: sync truncated segment: %w", err)
+	}
+	return false, nil
+}
+
+// createSegment writes the next segment's header through the checkpoint
+// idiom — temp file, fsync, atomic rename, directory fsync — so a crash
+// mid-rotation leaves either the old tail segment or a fully formed new one,
+// never a half-written header. The new segment becomes the append target.
+func (j *Journal) createSegment(index uint64) error {
+	tmp, err := os.CreateTemp(j.dir, segName(index)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ingest: create segment: %w", err)
+	}
+	tmpPath := tmp.Name()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+		}
+	}()
+	var hdr [segHeaderSize]byte
+	copy(hdr[:8], segMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], segVersion)
+	binary.LittleEndian.PutUint64(hdr[12:20], j.nextSeq)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return fmt.Errorf("ingest: write segment header: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("ingest: sync segment: %w", err)
+	}
+	final := filepath.Join(j.dir, segName(index))
+	if err := os.Rename(tmpPath, final); err != nil {
+		return fmt.Errorf("ingest: rename segment: %w", err)
+	}
+	if d, derr := os.Open(j.dir); derr == nil {
+		d.Sync() // best effort, as WriteCheckpointFile does
+		d.Close()
+	}
+	j.f, tmp = tmp, nil
+	j.segIndex = index
+	j.segBytes = segHeaderSize
+	j.segments++
+	return nil
+}
+
+// Append durably journals the batch: it assigns the next sequence number,
+// writes one checksummed record, and fsyncs before returning. Only a nil
+// error acknowledges the rows. A failed write is rolled back by truncating
+// the segment to its last committed record, so an injected or real torn
+// write never leaves a partial record for a later append to bury.
+func (j *Journal) Append(b *RowBatch) (seq uint64, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.broken != nil {
+		return 0, fmt.Errorf("ingest: journal is broken: %w", j.broken)
+	}
+	if j.f == nil {
+		return 0, errors.New("ingest: journal is closed")
+	}
+	b.Seq = j.nextSeq
+	payload := EncodeBatch(make([]byte, 0, 256), b)
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("ingest: batch encodes to %d bytes, limit %d", len(payload), maxRecordBytes)
+	}
+	if j.segBytes > segHeaderSize && j.segBytes+int64(recHeaderSize+len(payload)) > j.opts.SegmentBytes {
+		prev, prevSize := j.f, j.segBytes
+		if err := j.createSegment(j.segIndex + 1); err != nil {
+			return 0, err
+		}
+		prev.Sync()
+		prev.Close()
+		j.prevBytes += prevSize
+	}
+	rec := make([]byte, 0, recHeaderSize+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+
+	var w io.Writer = j.f
+	if faultinject.Enabled() {
+		w = faultinject.WrapJournalWriter(w)
+	}
+	_, werr := w.Write(rec)
+	if werr == nil && !j.opts.NoSync {
+		werr = j.f.Sync()
+	}
+	if werr != nil {
+		// Roll the partial record back; if that fails the segment tail is in
+		// an unknown state and the journal refuses further appends (replay
+		// on restart will quarantine and truncate the tail).
+		if terr := j.f.Truncate(j.segBytes); terr != nil {
+			j.broken = terr
+		} else if _, serr := j.f.Seek(j.segBytes, io.SeekStart); serr != nil {
+			j.broken = serr
+		} else if !j.opts.NoSync {
+			j.f.Sync()
+		}
+		return 0, fmt.Errorf("ingest: append not acknowledged: %w", werr)
+	}
+	j.segBytes += int64(len(rec))
+	j.nextSeq++
+	j.rows += uint64(b.NumRows())
+	return b.Seq, nil
+}
+
+// Stats returns the journal's current counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Rows:     j.rows,
+		LastSeq:  j.nextSeq - 1,
+		Segments: j.segments,
+		Bytes:    j.prevBytes + j.segBytes,
+	}
+}
+
+// readWatermark returns the absorbed watermark, or 0 when none was written.
+func readWatermark(dir string) (uint64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, watermarkFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("ingest: read watermark: %w", err)
+	}
+	var wm uint64
+	if _, err := fmt.Sscanf(string(data), "%d", &wm); err != nil {
+		return 0, fmt.Errorf("ingest: malformed watermark %q: %w", data, err)
+	}
+	return wm, nil
+}
+
+// MarkAbsorbed records that every batch with sequence ≤ seq is baked into a
+// durable model checkpoint: it persists the watermark atomically (temp +
+// fsync + rename), rotates the active segment so absorbed records stop
+// sharing a file with live ones, and prunes segments that became fully
+// covered. Call only after the checkpoint itself is durably on disk — the
+// watermark is what stops a restart from double-applying those rows.
+func (j *Journal) MarkAbsorbed(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return errors.New("ingest: journal is closed")
+	}
+	tmp, err := os.CreateTemp(j.dir, watermarkFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ingest: write watermark: %w", err)
+	}
+	tmpPath := tmp.Name()
+	_, werr := fmt.Fprintf(tmp, "%d\n", seq)
+	if serr := tmp.Sync(); werr == nil {
+		werr = serr
+	}
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmpPath, filepath.Join(j.dir, watermarkFile))
+	}
+	if werr != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("ingest: write watermark: %w", werr)
+	}
+	if d, derr := os.Open(j.dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	// Rotate a non-empty active segment so it becomes prunable once a later
+	// watermark covers its remaining records.
+	if j.segBytes > segHeaderSize {
+		prev, prevSize := j.f, j.segBytes
+		if err := j.createSegment(j.segIndex + 1); err != nil {
+			return err
+		}
+		prev.Sync()
+		prev.Close()
+		j.prevBytes += prevSize
+	}
+	return j.pruneThroughLocked(seq)
+}
+
+// PruneThrough removes whole segments whose records are all ≤ seq — called
+// after a refresh checkpoints the merged snapshot, which bakes those rows
+// into the published checkpoint. The active segment is never removed.
+func (j *Journal) PruneThrough(seq uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.pruneThroughLocked(seq)
+}
+
+func (j *Journal) pruneThroughLocked(seq uint64) error {
+	names, err := listSegments(j.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(names); i++ {
+		// A segment is fully covered when the NEXT segment starts at or
+		// before seq+1 (its header records its first sequence number).
+		next := filepath.Join(j.dir, names[i+1])
+		hdr := make([]byte, segHeaderSize)
+		f, err := os.Open(next)
+		if err != nil {
+			return fmt.Errorf("ingest: prune: %w", err)
+		}
+		_, rerr := io.ReadFull(f, hdr)
+		f.Close()
+		if rerr != nil {
+			return fmt.Errorf("ingest: prune: read header of %s: %w", names[i+1], rerr)
+		}
+		if binary.LittleEndian.Uint64(hdr[12:20]) > seq+1 {
+			break
+		}
+		path := filepath.Join(j.dir, names[i])
+		var size int64
+		if fi, serr := os.Stat(path); serr == nil {
+			size = fi.Size()
+		}
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("ingest: prune: %w", err)
+		}
+		j.segments--
+		j.prevBytes -= size
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,326 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neurocard/internal/faultinject"
+	"neurocard/internal/value"
+)
+
+func testBatch(i int) *RowBatch {
+	return &RowBatch{Tables: []TableRows{{
+		Table:   "movie_keyword",
+		Columns: []string{"movie_id", "keyword_id"},
+		Rows: [][]value.Value{
+			{value.Int(int64(i + 1)), value.Int(int64(i%7 + 1))},
+			{value.Int(int64(i + 2)), value.Null},
+		},
+	}, {
+		Table:   "title",
+		Columns: []string{"phonetic_code"},
+		Rows:    [][]value.Value{{value.Str("A123")}},
+	}}}
+}
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	b := testBatch(3)
+	b.Seq = 42
+	enc := EncodeBatch(nil, b)
+	got, err := DecodeBatch(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Seq != 42 || len(got.Tables) != 2 || got.NumRows() != 3 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Tables[0].Table != "movie_keyword" || got.Tables[0].Rows[1][1] != value.Null {
+		t.Fatalf("round trip mismatch: %+v", got.Tables[0])
+	}
+	if got.Tables[1].Rows[0][0].S != "A123" {
+		t.Fatalf("string value lost: %+v", got.Tables[1])
+	}
+	// Every strict prefix must fail to decode, never panic or over-allocate.
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeBatch(enc[:cut]); err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded successfully", cut, len(enc))
+		}
+	}
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) (*Journal, *ReplayResult) {
+	t.Helper()
+	j, res, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	return j, res
+}
+
+func TestJournalAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	j, res := mustOpen(t, dir, Options{})
+	if len(res.Batches) != 0 || res.LastSeq != 0 {
+		t.Fatalf("fresh journal replayed %+v", res)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		seq, err := j.Append(testBatch(i))
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d, want %d", i, seq, i+1)
+		}
+	}
+	st := j.Stats()
+	if st.Rows != 3*n || st.LastSeq != n || st.Segments != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	j2, res2 := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(res2.Batches) != n || res2.LastSeq != n || res2.Rows != 3*n {
+		t.Fatalf("replay %+v", res2)
+	}
+	for i, b := range res2.Batches {
+		want := EncodeBatch(nil, testBatch(i))
+		got := EncodeBatch(nil, &RowBatch{Tables: b.Tables})
+		if !bytes.Equal(want, got) {
+			t.Fatalf("batch %d content changed across replay", i)
+		}
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d", i, b.Seq)
+		}
+	}
+	if len(res2.Quarantined) != 0 {
+		t.Fatalf("clean journal quarantined %v", res2.Quarantined)
+	}
+	// The journal keeps appending after the replayed prefix.
+	if seq, err := j2.Append(testBatch(n)); err != nil || seq != n+1 {
+		t.Fatalf("append after replay: seq %d, err %v", seq, err)
+	}
+}
+
+func TestJournalRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{SegmentBytes: 256})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := j.Append(testBatch(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	st := j.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation at 256-byte segments, got %d segments", st.Segments)
+	}
+	j.Close()
+
+	j2, res := mustOpen(t, dir, Options{SegmentBytes: 256})
+	if len(res.Batches) != n || res.LastSeq != n {
+		t.Fatalf("multi-segment replay: %d batches, last seq %d", len(res.Batches), res.LastSeq)
+	}
+
+	// Pruning through an early sequence removes fully covered segments but
+	// never the active one, and replay still recovers the suffix.
+	if err := j2.PruneThrough(res.LastSeq); err != nil {
+		t.Fatalf("prune: %v", err)
+	}
+	pst := j2.Stats()
+	if pst.Segments != 1 {
+		t.Fatalf("prune kept %d segments", pst.Segments)
+	}
+	if _, err := j2.Append(testBatch(n)); err != nil {
+		t.Fatalf("append after prune: %v", err)
+	}
+	j2.Close()
+	j3, res3 := mustOpen(t, dir, Options{SegmentBytes: 256})
+	defer j3.Close()
+	if res3.LastSeq != n+1 {
+		t.Fatalf("replay after prune: last seq %d, want %d", res3.LastSeq, n+1)
+	}
+}
+
+// TestJournalTornTailEveryOffset is the torn-write property test: truncate
+// the journal at every byte offset of the final record and assert replay
+// recovers exactly the committed prefix, quarantines the torn tail to a
+// .corrupt file, and leaves the journal appendable.
+func TestJournalTornTailEveryOffset(t *testing.T) {
+	srcDir := t.TempDir()
+	j, _ := mustOpen(t, srcDir, Options{})
+	const n = 4
+	var lastRecLen int
+	for i := 0; i < n; i++ {
+		payload := EncodeBatch(nil, &RowBatch{Seq: uint64(i + 1), Tables: testBatch(i).Tables})
+		lastRecLen = recHeaderSize + len(payload)
+		if _, err := j.Append(testBatch(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	j.Close()
+	seg, err := os.ReadFile(filepath.Join(srcDir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := len(seg) - lastRecLen
+
+	for cut := lastStart; cut < len(seg); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), seg[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, res := mustOpen(t, dir, Options{})
+		if len(res.Batches) != n-1 || res.LastSeq != n-1 {
+			t.Fatalf("cut at %d: recovered %d batches (last seq %d), want %d",
+				cut, len(res.Batches), res.LastSeq, n-1)
+		}
+		wantCorrupt := cut > lastStart
+		corrupt := filepath.Join(dir, segName(1)+".corrupt")
+		if _, err := os.Stat(corrupt); (err == nil) != wantCorrupt {
+			t.Fatalf("cut at %d: corrupt file exists=%v, want %v", cut, err == nil, wantCorrupt)
+		}
+		if wantCorrupt {
+			tail, err := os.ReadFile(corrupt)
+			if err != nil || !bytes.Equal(tail, seg[lastStart:cut]) {
+				t.Fatalf("cut at %d: quarantined tail mismatch (err %v)", cut, err)
+			}
+		}
+		// The truncated segment must hold exactly the committed prefix and
+		// accept the next append at the recovered sequence.
+		if got, err := os.ReadFile(filepath.Join(dir, segName(1))); err != nil || !bytes.Equal(got, seg[:lastStart]) {
+			t.Fatalf("cut at %d: truncated segment mismatch (err %v)", cut, err)
+		}
+		if seq, err := j2.Append(testBatch(n)); err != nil || seq != n {
+			t.Fatalf("cut at %d: append after recovery: seq %d, err %v", cut, seq, err)
+		}
+		j2.Close()
+	}
+}
+
+func TestJournalCorruptMiddleRecordDropsSuffix(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(testBatch(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	path := filepath.Join(dir, segName(1))
+	seg, _ := os.ReadFile(path)
+	// Flip one payload byte of the second record.
+	payload0 := len(EncodeBatch(nil, &RowBatch{Seq: 1, Tables: testBatch(0).Tables}))
+	off := segHeaderSize + recHeaderSize + payload0 + recHeaderSize + 3
+	seg[off] ^= 0xff
+	if err := os.WriteFile(path, seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, res := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(res.Batches) != 1 || res.LastSeq != 1 {
+		t.Fatalf("recovered %d batches, want 1 (corruption must cut the suffix)", len(res.Batches))
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("quarantined %v", res.Quarantined)
+	}
+}
+
+func TestJournalTornWriteFaultNotAcked(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	defer j.Close()
+	if _, err := j.Append(testBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	before := j.Stats()
+
+	faultinject.Arm(faultinject.Config{JournalTornWriteProb: 1})
+	_, err := j.Append(testBatch(1))
+	faultinject.Disarm()
+	if !errors.Is(err, faultinject.ErrInjectedJournalTear) {
+		t.Fatalf("torn append error = %v, want ErrInjectedJournalTear", err)
+	}
+	if st := faultinject.ReadStats(); st.JournalTears != 1 {
+		t.Fatalf("journal tear not counted: %+v", st)
+	}
+	if st := j.Stats(); st != before {
+		t.Fatalf("torn append changed stats: %+v -> %+v", before, st)
+	}
+	// The in-place rollback keeps the journal appendable without restart...
+	if seq, err := j.Append(testBatch(2)); err != nil || seq != 2 {
+		t.Fatalf("append after torn write: seq %d, err %v", seq, err)
+	}
+	// ...and replay sees only acknowledged batches.
+	j.Close()
+	j2, res := mustOpen(t, dir, Options{})
+	defer j2.Close()
+	if len(res.Batches) != 2 || res.Rows != before.Rows*2 {
+		t.Fatalf("replay after torn write: %d batches, %d rows", len(res.Batches), res.Rows)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("rolled-back tear left quarantine files: %v", res.Quarantined)
+	}
+}
+
+func TestJournalAbsorbedWatermark(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := mustOpen(t, dir, Options{})
+	for i := 0; i < 3; i++ {
+		if _, err := j.Append(testBatch(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Absorb the first two batches: replay must surface only batch 3, even
+	// though all three share the (now rotated) first segment on disk.
+	if err := j.MarkAbsorbed(2); err != nil {
+		t.Fatalf("mark absorbed: %v", err)
+	}
+	j.Close()
+
+	j2, res := mustOpen(t, dir, Options{})
+	if len(res.Batches) != 1 || res.Batches[0].Seq != 3 || res.Rows != 3 {
+		t.Fatalf("replay after MarkAbsorbed(2): %d batches, rows %d, %+v", len(res.Batches), res.Rows, res.Batches)
+	}
+	if res.LastSeq != 3 {
+		t.Fatalf("LastSeq %d, want 3", res.LastSeq)
+	}
+	// Absorbing everything leaves nothing to replay, and sequence numbers
+	// keep climbing — they never restart below the watermark.
+	if err := j2.MarkAbsorbed(3); err != nil {
+		t.Fatalf("mark absorbed all: %v", err)
+	}
+	j2.Close()
+
+	j3, res3 := mustOpen(t, dir, Options{})
+	defer j3.Close()
+	if len(res3.Batches) != 0 || res3.Rows != 0 {
+		t.Fatalf("replay after MarkAbsorbed(3): %+v", res3)
+	}
+	if seq, err := j3.Append(testBatch(9)); err != nil || seq != 4 {
+		t.Fatalf("append after full absorb: seq %d, err %v", seq, err)
+	}
+}
+
+func TestParseSpecJournalTornWrite(t *testing.T) {
+	c, err := faultinject.ParseSpec("journal-torn-write=0.5:11,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.JournalTornWriteProb != 0.5 || c.JournalTornWriteAt != 11 || c.Seed != 7 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if _, err := faultinject.ParseSpec("journal-torn-write=2"); err == nil {
+		t.Fatal("probability out of range accepted")
+	}
+	if _, err := faultinject.ParseSpec("bogus=1"); err == nil || !strings.Contains(err.Error(), "journal-torn-write") {
+		t.Fatalf("unknown-key error should list journal-torn-write: %v", err)
+	}
+}

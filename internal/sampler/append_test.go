@@ -1,0 +1,155 @@
+package sampler
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocard/internal/datagen"
+	"neurocard/internal/ingest"
+	"neurocard/internal/schema"
+	"neurocard/internal/value"
+)
+
+// appendBatches builds an ingest batch set exercising every incremental
+// path: a root append, a one-hop child append, a two-hop grandchild append
+// (dimension rows whose group change must propagate through cast_info to
+// title), and an orphan append (NULL join key).
+func appendBatches(t *testing.T, sch *schema.Schema) []*ingest.RowBatch {
+	t.Helper()
+	pick := func(tbl, col string, id int32) value.Value {
+		return sch.Table(tbl).MustCol(col).ValueForID(id)
+	}
+	b := &ingest.RowBatch{Tables: []ingest.TableRows{
+		{
+			// Grandchild of the root: name.id group totals change, dirtying
+			// cast_info rows, whose groups dirty title rows.
+			Table:   "name",
+			Columns: []string{"id", "name_pcode"},
+			Rows: [][]value.Value{
+				{pick("name", "id", 1), value.Null},
+				{pick("name", "id", 1), pick("name", "name_pcode", 1)},
+				{pick("name", "id", 2), value.Null},
+			},
+		},
+		{
+			Table:   "cast_info",
+			Columns: []string{"movie_id", "person_id", "role_id", "nr_order", "person_role_id"},
+			Rows: [][]value.Value{
+				{pick("cast_info", "movie_id", 1), pick("cast_info", "person_id", 1), pick("cast_info", "role_id", 1), value.Null, value.Null},
+				{pick("cast_info", "movie_id", 2), value.Null, pick("cast_info", "role_id", 1), pick("cast_info", "nr_order", 1), value.Null},
+			},
+		},
+		{
+			// Orphan path: a NULL join key never reaches a parent group.
+			Table:   "movie_keyword",
+			Columns: []string{"movie_id", "keyword_id"},
+			Rows: [][]value.Value{
+				{value.Null, pick("movie_keyword", "keyword_id", 1)},
+				{pick("movie_keyword", "movie_id", 3), pick("movie_keyword", "keyword_id", 2)},
+			},
+		},
+		{
+			// Root append: a duplicate title id extends the root prefix sums.
+			Table:   "title",
+			Columns: []string{"id", "kind_id", "production_year"},
+			Rows: [][]value.Value{
+				{pick("title", "id", 1), pick("title", "kind_id", 1), pick("title", "production_year", 1)},
+			},
+		},
+	}}
+	if err := ingest.Validate(sch, b); err != nil {
+		t.Fatalf("batch invalid: %v", err)
+	}
+	return []*ingest.RowBatch{b}
+}
+
+// TestNewAppendedMatchesFullRecompute is the incremental-maintenance
+// property test: the incrementally maintained sampler must be bit-identical
+// to a full recompute over the extended schema — weights, join size, and the
+// sampling distribution itself.
+func TestNewAppendedMatchesFullRecompute(t *testing.T) {
+	d, err := datagen.JOBM(datagen.Config{Seed: 11, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := New(d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldJoin := old.JoinSize()
+	oldW := old.Weights()
+
+	merged, err := ingest.Apply(d.Schema, appendBatches(t, d.Schema))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewAppended(old, merged)
+	if err != nil {
+		t.Fatalf("NewAppended: %v", err)
+	}
+	full, err := New(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.JoinSize() != full.JoinSize() {
+		t.Fatalf("join size: incremental %v, full %v", inc.JoinSize(), full.JoinSize())
+	}
+	iw, fw := inc.Weights(), full.Weights()
+	for name, f := range fw {
+		iwt, ok := iw[name]
+		if !ok || len(iwt) != len(f) {
+			t.Fatalf("table %q: weight vector missing or wrong length", name)
+		}
+		for row, x := range f {
+			if iwt[row] != x {
+				t.Fatalf("table %q row %d: incremental weight %v != full %v", name, row, x, iwt[row])
+			}
+		}
+	}
+	// Same RNG stream must draw identical join rows from both samplers.
+	r1 := rand.New(rand.NewSource(99))
+	r2 := rand.New(rand.NewSource(99))
+	o1 := make([]int32, len(inc.Tables()))
+	o2 := make([]int32, len(full.Tables()))
+	for i := 0; i < 500; i++ {
+		inc.Sample(r1, o1)
+		full.Sample(r2, o2)
+		for k := range o1 {
+			if o1[k] != o2[k] {
+				t.Fatalf("sample %d diverges at table %s: %v vs %v", i, inc.Tables()[k], o1, o2)
+			}
+		}
+	}
+
+	// The old sampler must be untouched: serving continuity during refresh.
+	if old.JoinSize() != oldJoin {
+		t.Fatalf("old sampler join size changed: %v -> %v", oldJoin, old.JoinSize())
+	}
+	for name, w := range old.Weights() {
+		for row, x := range w {
+			if oldW[name][row] != x {
+				t.Fatalf("old sampler weights mutated at %s[%d]", name, row)
+			}
+		}
+	}
+}
+
+func TestNewAppendedRejectsNonExtension(t *testing.T) {
+	d, err := datagen.JOBLight(datagen.Config{Seed: 3, Scale: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(d.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A schema whose tables shrank is not an extension.
+	shrunk, err := d.Snapshots(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAppended(s, shrunk[0]); err == nil {
+		t.Fatal("shrunken snapshot accepted as an append extension")
+	}
+}

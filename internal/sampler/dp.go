@@ -160,6 +160,149 @@ func (d *dp) buildRootCum() {
 	d.rootTotal = total
 }
 
+// computeDPAppend incrementally extends old's join-count state to a schema
+// whose tables append rows to old's tables (same dictionaries, old rows as a
+// prefix — the contract Table.AppendRows establishes). Only appended rows and
+// the rows transitively affected by them are recomputed: an appended child
+// row changes its join key's group total, which dirties exactly the parent
+// rows holding that key, and so on up the tree. Dirty rows are recomputed
+// with computeDP's own per-row product (not scaled by ratios), and affected
+// key groups are rebuilt over the same index iteration order, so the result
+// is bit-identical to a full computeDP over the new schema — the property
+// TestNewAppendedMatchesFullRecompute locks in.
+func computeDPAppend(old *dp, sch *schema.Schema) (*dp, error) {
+	d := &dp{
+		sch:    sch,
+		outer:  old.outer,
+		w:      make(map[string][]float64, sch.NumTables()),
+		groups: make(map[string]map[int64]keyGroup),
+	}
+	// changed[table] = join-key values (of the table's child column) whose
+	// group totals may differ from old's, discovered as tables are processed.
+	changed := make(map[string]map[int64]bool)
+	order := sch.Tables()
+	for i := len(order) - 1; i >= 0; i-- {
+		name := order[i]
+		t := sch.Table(name)
+		oldT := old.sch.Table(name)
+		if oldT == nil {
+			return nil, fmt.Errorf("sampler: append: table %q not in the previous schema", name)
+		}
+		oldN := oldT.NumRows()
+		if t.NumRows() < oldN {
+			return nil, fmt.Errorf("sampler: append: table %q shrank from %d to %d rows", name, oldN, t.NumRows())
+		}
+		w := make([]float64, t.NumRows())
+		copy(w, old.w[name])
+
+		children := sch.Children(name)
+		pcols := make([]*table.Column, len(children))
+		for j, child := range children {
+			pe, _ := sch.Parent(child)
+			pcols[j] = t.MustCol(pe.ParentCol)
+		}
+		recompute := func(row int) {
+			acc := 1.0
+			for j, child := range children {
+				v, notNull := pcols[j].Int(row)
+				var s float64
+				if notNull {
+					s = d.groups[child][v].total()
+				}
+				if s > 0 {
+					acc *= s
+				} else if !d.outer {
+					acc = 0
+					break
+				}
+			}
+			w[row] = acc
+		}
+		// Existing rows referencing a changed child key group.
+		dirty := make(map[int32]bool)
+		for _, child := range children {
+			keys := changed[child]
+			if len(keys) == 0 {
+				continue
+			}
+			pe, _ := sch.Parent(child)
+			ix, err := t.Index(pe.ParentCol)
+			if err != nil {
+				return nil, fmt.Errorf("sampler: %w", err)
+			}
+			for v := range keys {
+				for _, r := range ix.Rows(v) {
+					if int(r) < oldN {
+						dirty[r] = true
+					}
+				}
+			}
+		}
+		for r := range dirty {
+			recompute(int(r))
+		}
+		for row := oldN; row < t.NumRows(); row++ {
+			recompute(row)
+		}
+		d.w[name] = w
+
+		pe, hasParent := sch.Parent(name)
+		if !hasParent {
+			continue
+		}
+		// Rebuild the key groups of affected keys only; untouched groups are
+		// shared with old (old is never mutated, so sharing is safe).
+		kcol := t.MustCol(pe.ChildCol)
+		myChanged := make(map[int64]bool, len(dirty)+t.NumRows()-oldN)
+		for r := range dirty {
+			if v, ok := kcol.Int(int(r)); ok {
+				myChanged[v] = true
+			}
+		}
+		for row := oldN; row < t.NumRows(); row++ {
+			if v, ok := kcol.Int(row); ok {
+				myChanged[v] = true
+			}
+		}
+		oldGroups := old.groups[name]
+		groups := make(map[int64]keyGroup, len(oldGroups)+len(myChanged))
+		for v, g := range oldGroups {
+			groups[v] = g
+		}
+		if len(myChanged) > 0 {
+			ix, err := t.Index(pe.ChildCol)
+			if err != nil {
+				return nil, fmt.Errorf("sampler: %w", err)
+			}
+			for v := range myChanged {
+				rows := ix.Rows(v)
+				cum := make([]float64, len(rows))
+				total := 0.0
+				for k, r := range rows {
+					total += w[r]
+					cum[k] = total
+				}
+				if total > 0 {
+					groups[v] = keyGroup{rows: rows, cum: cum}
+				} else {
+					delete(groups, v)
+				}
+			}
+		}
+		d.groups[name] = groups
+		changed[name] = myChanged
+	}
+	d.buildRootCum()
+	if d.outer {
+		// Appended parent rows can adopt previously orphaned child rows, so
+		// orphan groups are rebuilt outright (linear, matching computeDP).
+		if err := d.buildOrphans(nil); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
 // restoreDP rebuilds the full-outer-join sampling structures (key groups,
 // root prefix sums, orphan groups) from previously computed per-table join
 // counts, skipping the bottom-up weight pass entirely. The accumulation

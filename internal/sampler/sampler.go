@@ -114,6 +114,20 @@ func NewFromWeights(sch *schema.Schema, w map[string][]float64) (*Sampler, error
 	return fromDP(sch, d)
 }
 
+// NewAppended incrementally maintains the join-count tables for a schema
+// extending old's by appended rows (same dictionaries, old rows as a prefix
+// of every table — the snapshot Table.AppendRows / ingest.Apply produce).
+// Cost is proportional to the appended rows and the ancestor rows whose key
+// groups they touch, not the full dataset; the result — weights, groups,
+// join size — is bit-identical to New over the extended schema.
+func NewAppended(old *Sampler, sch *schema.Schema) (*Sampler, error) {
+	d, err := computeDPAppend(old.d, sch)
+	if err != nil {
+		return nil, err
+	}
+	return fromDP(sch, d)
+}
+
 // fromDP finishes sampler construction over prepared join-count structures.
 func fromDP(sch *schema.Schema, d *dp) (*Sampler, error) {
 	s := &Sampler{sch: sch, d: d, walk: newWalker(sch, d)}

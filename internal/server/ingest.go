@@ -1,0 +1,489 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurocard/internal/core"
+	"neurocard/internal/ingest"
+	"neurocard/internal/value"
+)
+
+// ingestState is the per-model ingest bookkeeping: the write-ahead journal,
+// the batches journaled but not yet absorbed into a checkpointed model
+// generation, and the staleness/refresh counters /metrics exposes. One state
+// per model NAME (not per entry), so counters survive hot swaps the same way
+// the registry's retired totals do.
+type ingestState struct {
+	mu      sync.Mutex // guards j and pending
+	j       *ingest.Journal
+	pending []*ingest.RowBatch // acked batches not yet absorbed by a refresh
+
+	rowsAcked        atomic.Uint64 // lifetime acknowledged rows (incl. replayed)
+	pendingRows      atomic.Int64  // rows behind the serving checkpoint
+	firstPendingUnix atomic.Int64  // unix nanos of the oldest unabsorbed ack; 0 = none
+
+	refreshMu         sync.Mutex   // serializes refreshes for this model
+	refreshes         atomic.Int64 // completed refresh cycles
+	refreshFailures   atomic.Int64 // refresh cycles that failed before hot swap
+	checkpointSkips   atomic.Int64 // refreshes that swapped in memory but could not checkpoint
+	lastRefreshUnix   atomic.Int64 // unix nanos of the last successful refresh
+	lastRefreshMicros atomic.Int64 // wall time of the last successful refresh
+	replayQuarantined atomic.Int64 // journal files quarantined during replay
+}
+
+// errIngestDisabled answers ingest requests when no journal is configured:
+// without a durable append there is nothing to acknowledge.
+var errIngestDisabled = errors.New("server: ingest disabled (no journal directory configured)")
+
+// EnableIngest opens (or creates) the named model's row journal under the
+// server's journal directory, replays it, and folds the replayed rows into
+// the model's serving state. Must be called after the model is loaded and
+// BEFORE the server receives traffic: replay mutates the live estimator's
+// data snapshot in place, which is only safe while no requests hold it.
+// Returns the number of rows recovered from the journal.
+func (s *Server) EnableIngest(name string) (recovered uint64, err error) {
+	if s.cfg.JournalDir == "" {
+		return 0, errIngestDisabled
+	}
+	entry, err := s.reg.Get(name)
+	if err != nil {
+		return 0, err
+	}
+	dir := filepath.Join(s.cfg.JournalDir, entry.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("server: ingest journal dir: %w", err)
+	}
+	j, res, err := ingest.Open(dir, ingest.Options{})
+	if err != nil {
+		return 0, fmt.Errorf("server: open ingest journal for %q: %w", entry.Name, err)
+	}
+	st := &ingestState{j: j, pending: res.Batches}
+	st.rowsAcked.Store(res.Rows)
+	st.pendingRows.Store(int64(res.Rows))
+	st.replayQuarantined.Store(int64(len(res.Quarantined)))
+	if len(res.Batches) > 0 {
+		// Replayed rows were acknowledged before the crash/restart: they must
+		// be visible to estimates now, not after the next refresh. The exact
+		// ack times are not journaled, so staleness age restarts here.
+		st.firstPendingUnix.Store(time.Now().UnixNano())
+		merged, err := ingest.Apply(entry.Est.Schema(), res.Batches)
+		if err != nil {
+			j.Close()
+			return 0, fmt.Errorf("server: replay ingest journal for %q: %w", entry.Name, err)
+		}
+		if err := entry.Est.UpdateDataAppend(merged); err != nil {
+			j.Close()
+			return 0, fmt.Errorf("server: replay ingest journal for %q: %w", entry.Name, err)
+		}
+	}
+	if prev, loaded := s.ingests.Swap(entry.Name, st); loaded {
+		prev.(*ingestState).j.Close()
+	}
+	return res.Rows, nil
+}
+
+// ingestStateFor returns the model's ingest state, or nil when ingest was
+// never enabled for it.
+func (s *Server) ingestStateFor(name string) *ingestState {
+	v, ok := s.ingests.Load(name)
+	if !ok {
+		return nil
+	}
+	return v.(*ingestState)
+}
+
+// closeIngest closes every journal (Server.Close).
+func (s *Server) closeIngest() {
+	s.ingests.Range(func(_, v any) bool {
+		st := v.(*ingestState)
+		st.mu.Lock()
+		st.j.Close()
+		st.mu.Unlock()
+		return true
+	})
+}
+
+// ---- wire types ----
+
+// IngestTableJSON carries appended rows for one table. Row values follow the
+// filter-literal convention: JSON numbers must be exact integers, strings are
+// dictionary strings, null is NULL. Values must already exist in the model's
+// column dictionaries — ingest never grows the value domain (DESIGN.md §2.8).
+type IngestTableJSON struct {
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+	Rows    [][]any  `json:"rows"`
+}
+
+// IngestRequest appends rows to one or more tables as a single atomic,
+// durable unit: the whole batch is journaled (fsync) before the ack, or none
+// of it is.
+type IngestRequest struct {
+	Tables []IngestTableJSON `json:"tables"`
+}
+
+// IngestResponse acknowledges a durably journaled batch. Seq is the batch's
+// journal sequence number; Durable is always true on a 2xx — the handler
+// never acks before fsync.
+type IngestResponse struct {
+	Model   string `json:"model"`
+	Seq     uint64 `json:"seq"`
+	Rows    int    `json:"rows"`
+	Durable bool   `json:"durable"`
+	// Pending reports the model's staleness right after this ack: rows
+	// journaled but not yet absorbed into a refreshed model generation.
+	Pending int64 `json:"pending"`
+}
+
+// handleIngest is POST /v1/models/{name}/ingest: decode (JSON or binary),
+// validate against the frozen dictionaries, append to the write-ahead
+// journal, fsync, and only then acknowledge. A failed append answers 503 and
+// the batch is NOT acknowledged — the client must retry; replay after a crash
+// recovers exactly the acknowledged prefix.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if lg := s.reg.GetLogical(name); lg != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("server: logical model %q cannot ingest; append to its shard models", name))
+		return
+	}
+	entry, err := s.reg.Get(name)
+	if err != nil {
+		s.fail(w, http.StatusNotFound, err)
+		return
+	}
+	st := s.ingestStateFor(entry.Name)
+	if st == nil {
+		s.fail(w, http.StatusServiceUnavailable, errIngestDisabled)
+		return
+	}
+
+	var batch *ingest.RowBatch
+	if strings.HasPrefix(r.Header.Get("Content-Type"), ContentTypeBinary) {
+		body, err := s.readBinBody(w, r, nil)
+		if err == nil {
+			batch, err = ingest.DecodeBatch(body)
+		}
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		var req IngestRequest
+		if err := s.decodeBody(w, r, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		batch, err = decodeIngestRequest(req)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	nRows := batch.NumRows()
+	if nRows == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("server: ingest batch has no rows"))
+		return
+	}
+	// Validation happens before journaling: a rejected batch must leave no
+	// trace, so replay never has to re-validate against drifted state.
+	if err := ingest.Validate(entry.Est.Schema(), batch); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	st.mu.Lock()
+	seq, err := st.j.Append(batch)
+	if err == nil {
+		st.pending = append(st.pending, batch)
+	}
+	st.mu.Unlock()
+	if err != nil {
+		// Not acknowledged: the rows are not durable (a torn write was rolled
+		// back, or the journal is broken). 503 tells the client to retry.
+		s.metrics.ingestFailedTotal.Add(1)
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("server: ingest not acknowledged: %w", err))
+		return
+	}
+	st.rowsAcked.Add(uint64(nRows))
+	if st.pendingRows.Add(int64(nRows)) == int64(nRows) {
+		st.firstPendingUnix.Store(time.Now().UnixNano())
+	}
+	s.metrics.ingestRowsTotal.Add(int64(nRows))
+	s.reply(w, http.StatusOK, IngestResponse{
+		Model:   entry.Name,
+		Seq:     seq,
+		Rows:    nRows,
+		Durable: true,
+		Pending: st.pendingRows.Load(),
+	})
+}
+
+// decodeIngestRequest converts the JSON wire form into a row batch.
+func decodeIngestRequest(req IngestRequest) (*ingest.RowBatch, error) {
+	if len(req.Tables) == 0 {
+		return nil, errors.New("server: ingest request has no tables")
+	}
+	b := &ingest.RowBatch{Tables: make([]ingest.TableRows, len(req.Tables))}
+	for i, tj := range req.Tables {
+		tr := ingest.TableRows{Table: tj.Table, Columns: tj.Columns, Rows: make([][]value.Value, len(tj.Rows))}
+		for ri, row := range tj.Rows {
+			vals := make([]value.Value, len(row))
+			for ci, raw := range row {
+				v, err := decodeIngestValue(raw)
+				if err != nil {
+					return nil, fmt.Errorf("server: ingest table %q row %d col %d: %w", tj.Table, ri, ci, err)
+				}
+				vals[ci] = v
+			}
+			tr.Rows[ri] = vals
+		}
+		b.Tables[i] = tr
+	}
+	return b, nil
+}
+
+func decodeIngestValue(raw any) (value.Value, error) {
+	switch v := raw.(type) {
+	case nil:
+		return value.Null, nil
+	case string:
+		return value.Str(v), nil
+	case float64:
+		if v != math.Trunc(v) || math.Abs(v) > 1<<53 {
+			return value.Value{}, fmt.Errorf("value %v is not an exact integer", v)
+		}
+		return value.Int(int64(v)), nil
+	default:
+		return value.Value{}, fmt.Errorf("value %v (%T) must be an integer, string, or null", raw, raw)
+	}
+}
+
+// ---- refresh ----
+
+// RefreshResult summarizes one refresh cycle.
+type RefreshResult struct {
+	Refreshed     bool   // a new generation was hot-swapped in
+	Rows          uint64 // journaled rows absorbed
+	Checkpointed  bool   // the new generation was durably checkpointed (journal pruned)
+	CheckpointErr string // why checkpointing was skipped, when it was
+}
+
+// RefreshModel folds the model's journaled rows into a new model generation:
+// clone the serving checkpoint, apply the pending batches (incremental
+// join-count maintenance), fine-tune on tuples samples, checkpoint the result
+// crash-safely, hot-swap it through the registry, and prune fully absorbed
+// journal segments. The serving estimator is never mutated — requests in
+// flight keep the generation they hold.
+//
+// A refresh that cannot checkpoint (appends grew a fanout domain past what
+// the trained model was shaped for) still hot-swaps the fine-tuned estimator
+// — estimates stay valid via the encoder's fanout clamp — but keeps the
+// journal intact, so the rows are replayed again on restart; the skip is
+// reported in the result and counted on /metrics.
+func (s *Server) RefreshModel(name string, tuples int) (RefreshResult, error) {
+	entry, err := s.reg.Get(name)
+	if err != nil {
+		return RefreshResult{}, err
+	}
+	st := s.ingestStateFor(entry.Name)
+	if st == nil {
+		return RefreshResult{}, errIngestDisabled
+	}
+	st.refreshMu.Lock()
+	defer st.refreshMu.Unlock()
+
+	st.mu.Lock()
+	pending := append([]*ingest.RowBatch(nil), st.pending...)
+	st.mu.Unlock()
+	if len(pending) == 0 {
+		return RefreshResult{}, nil
+	}
+	absorbSeq := pending[len(pending)-1].Seq
+	var absorbRows uint64
+	for _, b := range pending {
+		absorbRows += uint64(b.NumRows())
+	}
+
+	start := time.Now()
+	fail := func(err error) (RefreshResult, error) {
+		st.refreshFailures.Add(1)
+		return RefreshResult{}, err
+	}
+	f, err := os.Open(entry.Path)
+	if err != nil {
+		return fail(fmt.Errorf("server: refresh %q: open checkpoint: %w", entry.Name, err))
+	}
+	clone, err := core.LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		return fail(fmt.Errorf("server: refresh %q: %w", entry.Name, err))
+	}
+	merged, err := ingest.Apply(clone.Schema(), pending)
+	if err != nil {
+		return fail(fmt.Errorf("server: refresh %q: apply journal: %w", entry.Name, err))
+	}
+	if err := clone.UpdateDataAppend(merged); err != nil {
+		return fail(fmt.Errorf("server: refresh %q: %w", entry.Name, err))
+	}
+	if tuples > 0 {
+		if _, err := clone.Train(tuples); err != nil {
+			return fail(fmt.Errorf("server: refresh %q: fine-tune: %w", entry.Name, err))
+		}
+	}
+
+	res := RefreshResult{Refreshed: true, Rows: absorbRows}
+	if err := clone.RebaseAppended(); err != nil {
+		res.CheckpointErr = err.Error()
+	} else if err := core.WriteCheckpointFile(clone, entry.Path); err != nil {
+		res.CheckpointErr = err.Error()
+	} else {
+		res.Checkpointed = true
+	}
+
+	if _, err := s.reg.Install(entry.Name, entry.Path, clone); err != nil {
+		return fail(fmt.Errorf("server: refresh %q: %w", entry.Name, err))
+	}
+
+	if res.Checkpointed {
+		st.mu.Lock()
+		// Drop absorbed batches; anything appended during the refresh stays.
+		// A non-checkpointed refresh keeps pending intact: the next refresh
+		// clones the OLD checkpoint, so it must re-apply every batch, and
+		// restart must still be able to replay them. Staleness therefore keeps
+		// reporting those rows as behind — behind the durable checkpoint, which
+		// they are — even though the hot-swapped estimator already serves them.
+		kept := st.pending[:0]
+		for _, b := range st.pending {
+			if b.Seq > absorbSeq {
+				kept = append(kept, b)
+			}
+		}
+		st.pending = kept
+		var keptRows int64
+		for _, b := range kept {
+			keptRows += int64(b.NumRows())
+		}
+		st.pendingRows.Store(keptRows)
+		if keptRows == 0 {
+			st.firstPendingUnix.Store(0)
+		} else {
+			st.firstPendingUnix.Store(start.UnixNano())
+		}
+		// The checkpoint now durably embeds every row up to absorbSeq: record
+		// the watermark so a restart never double-applies them, and let the
+		// journal prune fully covered segments.
+		if err := st.j.MarkAbsorbed(absorbSeq); err != nil {
+			res.CheckpointErr = fmt.Sprintf("mark absorbed: %v", err)
+		}
+		st.mu.Unlock()
+	}
+
+	if !res.Checkpointed {
+		st.checkpointSkips.Add(1)
+	}
+	st.refreshes.Add(1)
+	st.lastRefreshUnix.Store(time.Now().UnixNano())
+	st.lastRefreshMicros.Store(time.Since(start).Microseconds())
+	s.metrics.refreshTotal.Add(1)
+	return res, nil
+}
+
+// RefreshStale runs one refresh pass over every ingest-enabled model that has
+// pending journaled rows — the daemon's background loop body. Failures are
+// collected, not fatal: one broken model must not starve the others' refresh.
+func (s *Server) RefreshStale(tuples int) error {
+	var names []string
+	s.ingests.Range(func(k, v any) bool {
+		if v.(*ingestState).pendingRows.Load() > 0 {
+			names = append(names, k.(string))
+		}
+		return true
+	})
+	var errs []error
+	for _, name := range names {
+		if _, err := s.RefreshModel(name, tuples); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ---- staleness ----
+
+// ingestStat is one model's ingest/staleness snapshot for /metrics.
+type ingestStat struct {
+	model             string
+	rowsAcked         uint64
+	pendingRows       int64
+	secondsBehind     float64
+	journalRows       uint64
+	journalSegments   int
+	journalBytes      int64
+	refreshes         int64
+	refreshFailures   int64
+	checkpointSkips   int64
+	lastRefreshSecs   float64 // wall time of the last refresh; 0 = never
+	replayQuarantined int64
+}
+
+// ingestStats samples every ingest-enabled model.
+func (s *Server) ingestStats() []ingestStat {
+	var out []ingestStat
+	now := time.Now()
+	s.ingests.Range(func(k, v any) bool {
+		st := v.(*ingestState)
+		st.mu.Lock()
+		js := st.j.Stats()
+		st.mu.Unlock()
+		is := ingestStat{
+			model:             k.(string),
+			rowsAcked:         st.rowsAcked.Load(),
+			pendingRows:       st.pendingRows.Load(),
+			journalRows:       js.Rows,
+			journalSegments:   js.Segments,
+			journalBytes:      js.Bytes,
+			refreshes:         st.refreshes.Load(),
+			refreshFailures:   st.refreshFailures.Load(),
+			checkpointSkips:   st.checkpointSkips.Load(),
+			lastRefreshSecs:   float64(st.lastRefreshMicros.Load()) / 1e6,
+			replayQuarantined: st.replayQuarantined.Load(),
+		}
+		if first := st.firstPendingUnix.Load(); first > 0 {
+			is.secondsBehind = now.Sub(time.Unix(0, first)).Seconds()
+		}
+		out = append(out, is)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].model < out[j].model })
+	return out
+}
+
+// staleModels lists ingest-enabled models whose oldest unabsorbed row is
+// older than the configured maximum staleness (0 = staleness never degrades
+// readiness).
+func (s *Server) staleModels() []string {
+	if s.cfg.MaxStaleness <= 0 {
+		return nil
+	}
+	var stale []string
+	now := time.Now()
+	s.ingests.Range(func(k, v any) bool {
+		st := v.(*ingestState)
+		if first := st.firstPendingUnix.Load(); first > 0 && now.Sub(time.Unix(0, first)) > s.cfg.MaxStaleness {
+			stale = append(stale, k.(string))
+		}
+		return true
+	})
+	sort.Strings(stale)
+	return stale
+}

@@ -1,0 +1,336 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"neurocard/internal/ingest"
+	"neurocard/internal/server"
+	"neurocard/internal/value"
+)
+
+// serveIngestTest stands up a server with ingest enabled: a journal root and a
+// (deliberately tiny) staleness bound so tests can watch /readyz degrade.
+func serveIngestTest(t *testing.T, modelsDir, journalDir string, maxStaleness time.Duration) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(server.Config{
+		ModelsDir:    modelsDir,
+		Workers:      2,
+		JournalDir:   journalDir,
+		MaxStaleness: maxStaleness,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func ingestJSON(t *testing.T, ts *httptest.Server, model string, req server.IngestRequest) (*http.Response, server.IngestResponse) {
+	t.Helper()
+	resp, body := post(t, ts.URL+"/v1/models/"+model+"/ingest", req)
+	var ir server.IngestResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(body, &ir); err != nil {
+			t.Fatalf("ingest response %s: %v", body, err)
+		}
+	}
+	return resp, ir
+}
+
+// rowsC builds the canonical safe append for figure4: C rows with an existing
+// dictionary value.
+func rowsC(y int64, n int) server.IngestRequest {
+	rows := make([][]any, n)
+	for i := range rows {
+		rows[i] = []any{float64(y)}
+	}
+	return server.IngestRequest{Tables: []server.IngestTableJSON{{
+		Table: "C", Columns: []string{"y"}, Rows: rows,
+	}}}
+}
+
+func TestServeIngestLifecycle(t *testing.T) {
+	models, journals := t.TempDir(), t.TempDir()
+	srv, ts := serveIngestTest(t, models, journals, time.Millisecond)
+	writeCheckpoint(t, models, "fig4", buildEstimator(t, 7, 256))
+	writeCheckpoint(t, models, "aux", buildEstimator(t, 8, 64))
+	for _, name := range []string{"fig4", "aux"} {
+		if resp, body := post(t, ts.URL+"/v1/models/"+name+"/load", nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("load %s: %d %s", name, resp.StatusCode, body)
+		}
+	}
+	recovered, err := srv.EnableIngest("fig4")
+	if err != nil || recovered != 0 {
+		t.Fatalf("EnableIngest on fresh journal: recovered %d, err %v", recovered, err)
+	}
+
+	entry, err := srv.Registry().Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseJoinSize := entry.Est.JoinSize()
+
+	// Rejections must leave no journal trace and never acknowledge.
+	for _, tc := range []struct {
+		name  string
+		url   string
+		body  any
+		wantC int
+	}{
+		{"unknown-model", "/v1/models/nope/ingest", rowsC(4, 1), http.StatusNotFound},
+		{"ingest-not-enabled", "/v1/models/aux/ingest", rowsC(4, 1), http.StatusServiceUnavailable},
+		{"no-tables", "/v1/models/fig4/ingest", server.IngestRequest{}, http.StatusBadRequest},
+		{"no-rows", "/v1/models/fig4/ingest", server.IngestRequest{
+			Tables: []server.IngestTableJSON{{Table: "C", Columns: []string{"y"}}}}, http.StatusBadRequest},
+		{"unknown-table", "/v1/models/fig4/ingest", server.IngestRequest{
+			Tables: []server.IngestTableJSON{{Table: "D", Columns: []string{"y"}, Rows: [][]any{{float64(4)}}}}}, http.StatusBadRequest},
+		{"value-outside-dictionary", "/v1/models/fig4/ingest", rowsC(99, 1), http.StatusBadRequest},
+		{"non-integer-number", "/v1/models/fig4/ingest", server.IngestRequest{
+			Tables: []server.IngestTableJSON{{Table: "C", Columns: []string{"y"}, Rows: [][]any{{1.5}}}}}, http.StatusBadRequest},
+	} {
+		resp, body := post(t, ts.URL+tc.url, tc.body)
+		if resp.StatusCode != tc.wantC {
+			t.Fatalf("%s: status %d (want %d): %s", tc.name, resp.StatusCode, tc.wantC, body)
+		}
+	}
+
+	// JSON ingest: acked only after the durable append, with the journal seq.
+	resp, ir := ingestJSON(t, ts, "fig4", rowsC(4, 1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	if ir.Seq != 1 || ir.Rows != 1 || !ir.Durable || ir.Pending != 1 {
+		t.Fatalf("ingest response %+v", ir)
+	}
+
+	// Binary ingest shares the journal and sequence space. (A root append with
+	// existing dictionary values keeps every fanout within its trained domain.)
+	bin := ingest.EncodeBatch(nil, &ingest.RowBatch{Tables: []ingest.TableRows{{
+		Table: "A", Columns: []string{"x", "year"},
+		Rows: [][]value.Value{{value.Int(1), value.Int(1990)}},
+	}}})
+	binResp, err := http.Post(ts.URL+"/v1/models/fig4/ingest", server.ContentTypeBinary, bytes.NewReader(bin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ir2 server.IngestResponse
+	if err := json.NewDecoder(binResp.Body).Decode(&ir2); err != nil {
+		t.Fatal(err)
+	}
+	binResp.Body.Close()
+	if binResp.StatusCode != http.StatusOK || ir2.Seq != 2 || ir2.Pending != 2 {
+		t.Fatalf("binary ingest: %d %+v", binResp.StatusCode, ir2)
+	}
+
+	// With rows pending past MaxStaleness, readiness degrades — but stays 200:
+	// the model still serves (degraded-but-serving, like an open breaker).
+	time.Sleep(5 * time.Millisecond)
+	resp, body := get(t, ts.URL+"/readyz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz while stale: %d %s", resp.StatusCode, body)
+	}
+	var ready struct {
+		Degraded bool     `json:"degraded"`
+		Stale    []string `json:"stale"`
+		Status   string   `json:"status"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Degraded || len(ready.Stale) != 1 || ready.Stale[0] != "fig4" || !strings.Contains(ready.Status, "stale") {
+		t.Fatalf("readyz while stale: %s", body)
+	}
+
+	// Refresh: absorb both batches into generation 2, durably checkpointed.
+	res, err := srv.RefreshModel("fig4", 64)
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if !res.Refreshed || res.Rows != 2 || !res.Checkpointed || res.CheckpointErr != "" {
+		t.Fatalf("refresh result %+v", res)
+	}
+	entry2, err := srv.Registry().Get("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry2.Gen != 2 {
+		t.Fatalf("refresh did not hot-swap: gen %d", entry2.Gen)
+	}
+	if got := entry2.Est.JoinSize(); got <= baseJoinSize {
+		t.Fatalf("join size after absorbing appends: %g, want > %g", got, baseJoinSize)
+	}
+
+	// Absorbed rows clear staleness.
+	resp, body = get(t, ts.URL+"/readyz")
+	ready.Degraded, ready.Stale = false, nil
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || ready.Degraded || len(ready.Stale) != 0 {
+		t.Fatalf("readyz after refresh: %d %s", resp.StatusCode, body)
+	}
+
+	// The refreshed model keeps estimating.
+	resp, body = post(t, ts.URL+"/v1/estimate", server.EstimateRequest{
+		Query: &server.QueryJSON{Tables: []string{"A", "B", "C"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate after refresh: %d %s", resp.StatusCode, body)
+	}
+
+	// Pending restarts from zero for the next batch.
+	if _, ir := ingestJSON(t, ts, "fig4", rowsC(4, 1)); ir.Seq != 3 || ir.Pending != 1 {
+		t.Fatalf("ingest after refresh: %+v", ir)
+	}
+
+	_, body = get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`neurocard_ingest_rows_acked_total 3`,
+		`neurocard_ingest_model_rows_acked_total{model="fig4"} 3`,
+		`neurocard_ingest_staleness_rows{model="fig4"} 1`,
+		`neurocard_refresh_model_total{model="fig4"} 1`,
+		`neurocard_refresh_checkpoint_skips_total{model="fig4"} 0`,
+		`neurocard_data_generation{model="fig4"}`,
+		`neurocard_plan_cache_invalidations_total{model="fig4"}`,
+		`neurocard_ingest_journal_quarantined_total{model="fig4"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestServeIngestCrashRecovery drives the full durability story across two
+// restarts: a checkpointed refresh must not replay (the absorbed watermark),
+// and rows acked after the last refresh must replay exactly once.
+func TestServeIngestCrashRecovery(t *testing.T) {
+	models, journals := t.TempDir(), t.TempDir()
+
+	// Server A: ingest one row, refresh (checkpointed), then "crash" — the
+	// journal was fsynced per append, so no graceful close is needed.
+	srvA, tsA := serveIngestTest(t, models, journals, 0)
+	writeCheckpoint(t, models, "fig4", buildEstimator(t, 7, 256))
+	post(t, tsA.URL+"/v1/models/fig4/load", nil)
+	if _, err := srvA.EnableIngest("fig4"); err != nil {
+		t.Fatal(err)
+	}
+	if resp, ir := ingestJSON(t, tsA, "fig4", rowsC(4, 1)); resp.StatusCode != http.StatusOK || ir.Seq != 1 {
+		t.Fatalf("ingest on A: %d %+v", resp.StatusCode, ir)
+	}
+	res, err := srvA.RefreshModel("fig4", 32)
+	if err != nil || !res.Checkpointed {
+		t.Fatalf("refresh on A: %+v, %v", res, err)
+	}
+	entryA, _ := srvA.Registry().Get("fig4")
+	refreshedJoinSize := entryA.Est.JoinSize()
+	srvA.Close()
+	tsA.Close()
+
+	// Server B: the checkpoint embeds the absorbed row; the watermark keeps
+	// replay from applying it a second time.
+	srvB, tsB := serveIngestTest(t, models, journals, 0)
+	post(t, tsB.URL+"/v1/models/fig4/load", nil)
+	recovered, err := srvB.EnableIngest("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 0 {
+		t.Fatalf("recovered %d rows despite watermark (double-apply)", recovered)
+	}
+	entryB, _ := srvB.Registry().Get("fig4")
+	if got := entryB.Est.JoinSize(); got != refreshedJoinSize {
+		t.Fatalf("join size after restart %g, want checkpointed %g", got, refreshedJoinSize)
+	}
+
+	// Ack one more row on B, then crash WITHOUT refreshing: no Close, no
+	// checkpoint — exactly the torn-down state a kill -9 leaves.
+	if resp, ir := ingestJSON(t, tsB, "fig4", rowsC(4, 1)); resp.StatusCode != http.StatusOK || ir.Seq != 2 {
+		t.Fatalf("ingest on B: %d %+v", resp.StatusCode, ir)
+	}
+	tsB.Close()
+
+	// Server C: the unabsorbed ack must replay — acknowledged rows survive.
+	srvC, tsC := serveIngestTest(t, models, journals, 0)
+	defer srvC.Close()
+	post(t, tsC.URL+"/v1/models/fig4/load", nil)
+	recovered, err = srvC.EnableIngest("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 1 {
+		t.Fatalf("recovered %d rows, want exactly the 1 unabsorbed ack", recovered)
+	}
+	entryC, _ := srvC.Registry().Get("fig4")
+	if got := entryC.Est.JoinSize(); got <= refreshedJoinSize {
+		t.Fatalf("replayed row not folded in: join size %g, want > %g", got, refreshedJoinSize)
+	}
+	// The replayed row is pending again: the next refresh absorbs it.
+	if res, err := srvC.RefreshModel("fig4", 0); err != nil || !res.Refreshed || res.Rows != 1 {
+		t.Fatalf("refresh on C: %+v, %v", res, err)
+	}
+}
+
+// TestServeIngestCheckpointSkip: appends that grow a fanout domain cannot be
+// checkpointed under the trained model's shape. The refresh must still
+// hot-swap (estimates stay valid via the encoder clamp) but keep the journal
+// AND the pending set intact, so nothing is lost from later generations or
+// restarts.
+func TestServeIngestCheckpointSkip(t *testing.T) {
+	models, journals := t.TempDir(), t.TempDir()
+	srv, ts := serveIngestTest(t, models, journals, 0)
+	writeCheckpoint(t, models, "fig4", buildEstimator(t, 7, 256))
+	post(t, ts.URL+"/v1/models/fig4/load", nil)
+	if _, err := srv.EnableIngest("fig4"); err != nil {
+		t.Fatal(err)
+	}
+
+	// figure4 has two C rows with y=3 — a third grows C's fanout past the
+	// encoder's domain, which a checkpoint cannot represent.
+	if resp, _ := ingestJSON(t, ts, "fig4", rowsC(3, 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	res, err := srv.RefreshModel("fig4", 32)
+	if err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if !res.Refreshed || res.Checkpointed || res.CheckpointErr == "" {
+		t.Fatalf("refresh result %+v, want hot swap with checkpoint skip", res)
+	}
+	entry, _ := srv.Registry().Get("fig4")
+	if entry.Gen != 2 {
+		t.Fatalf("skip refresh did not hot-swap: gen %d", entry.Gen)
+	}
+	// Estimates keep working on the swapped generation.
+	if resp, body := post(t, ts.URL+"/v1/estimate", server.EstimateRequest{
+		Query: &server.QueryJSON{Tables: []string{"A", "B", "C"}},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("estimate after skip refresh: %d %s", resp.StatusCode, body)
+	}
+	// The un-checkpointed row still counts as pending: it is behind the
+	// durable checkpoint even though the live estimator serves it.
+	if _, ir := ingestJSON(t, ts, "fig4", rowsC(4, 1)); ir.Pending != 2 {
+		t.Fatalf("pending after skip refresh: %+v", ir)
+	}
+	_, body := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(body), `neurocard_refresh_checkpoint_skips_total{model="fig4"} 1`) {
+		t.Fatalf("checkpoint skip not counted:\n%s", body)
+	}
+	srv.Close()
+	ts.Close()
+
+	// Restart: with no durable checkpoint of the appends, BOTH rows replay.
+	srv2, ts2 := serveIngestTest(t, models, journals, 0)
+	defer srv2.Close()
+	post(t, ts2.URL+"/v1/models/fig4/load", nil)
+	recovered, err := srv2.EnableIngest("fig4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered != 2 {
+		t.Fatalf("recovered %d rows, want 2 (nothing was checkpointed)", recovered)
+	}
+}

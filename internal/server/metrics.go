@@ -129,6 +129,12 @@ type metrics struct {
 	unloadsTotal   atomic.Int64 // model/logical unloads via DELETE
 	shardRouted    sync.Map     // "logical\x00shard" → *atomic.Int64 sub-queries routed
 
+	// Ingest/refresh counters (server-wide; per-model detail rides on
+	// ingestStat rows sampled at scrape time).
+	ingestRowsTotal   atomic.Int64 // rows durably journaled and acknowledged
+	ingestFailedTotal atomic.Int64 // ingest requests that failed to journal (not acked)
+	refreshTotal      atomic.Int64 // model refresh cycles hot-swapped in
+
 	inflight     atomic.Int64 // estimate requests currently executing
 	inflightPeak atomic.Int64
 }
@@ -189,6 +195,7 @@ type poolStat struct {
 	plans        core.PlanCacheStats
 	precision    string // serving element width ("float64"/"float32")
 	weightBytes  int    // resident serving-weight bytes (width × parameters)
+	dataGen      int64  // estimator data-snapshot generation
 	hasBreaker   bool
 	breakerState int32 // breakerClosed / breakerHalfOpen / breakerOpen
 	breakerOpens int64 // lifetime open transitions
@@ -197,7 +204,7 @@ type poolStat struct {
 // render writes the Prometheus text exposition of every counter. pools
 // carries the per-model session-pool occupancy and fusers the per-model
 // coalescer state, both sampled at scrape time.
-func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined int64) string {
+func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined int64, ingests []ingestStat) string {
 	var b strings.Builder
 	uptime := time.Since(m.start).Seconds()
 	queries := m.queriesTotal.Load()
@@ -349,6 +356,8 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined i
 		func(s core.PlanCacheStats) int64 { return s.Misses })
 	planCounter("neurocard_plan_cache_evictions_total", "Compiled plans evicted by the LRU bound.",
 		func(s core.PlanCacheStats) int64 { return s.Evictions })
+	planCounter("neurocard_plan_cache_invalidations_total", "Whole-cache drops caused by data-snapshot swaps (UpdateData/refresh).",
+		func(s core.PlanCacheStats) int64 { return s.Invalidations })
 	fmt.Fprintf(&b, "# HELP neurocard_plan_cache_size Compiled plans currently cached per model.\n# TYPE neurocard_plan_cache_size gauge\n")
 	for _, p := range pools {
 		fmt.Fprintf(&b, "neurocard_plan_cache_size{model=%q} %d\n", p.model, p.plans.Size)
@@ -357,5 +366,53 @@ func (m *metrics) render(pools []poolStat, fusers []CoalesceStats, quarantined i
 	for _, p := range pools {
 		fmt.Fprintf(&b, "neurocard_plan_cache_capacity{model=%q} %d\n", p.model, p.plans.Cap)
 	}
+
+	// Data-snapshot generation per model: bumps on every ingest replay and
+	// refresh, the continuity signal pairing with the invalidation counter.
+	fmt.Fprintf(&b, "# HELP neurocard_data_generation Data-snapshot generation of each model's estimator.\n# TYPE neurocard_data_generation gauge\n")
+	for _, p := range pools {
+		fmt.Fprintf(&b, "neurocard_data_generation{model=%q} %d\n", p.model, p.dataGen)
+	}
+
+	// Ingest + refresh: server-wide counters, then per-model journal,
+	// staleness, and refresh detail for every ingest-enabled model.
+	counter("neurocard_ingest_rows_acked_total", "Rows durably journaled and acknowledged.", m.ingestRowsTotal.Load())
+	counter("neurocard_ingest_failed_total", "Ingest requests that failed to journal (not acknowledged).", m.ingestFailedTotal.Load())
+	counter("neurocard_refresh_total", "Model refresh cycles hot-swapped in.", m.refreshTotal.Load())
+
+	ingestCounter := func(name, help string, get func(ingestStat) int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, is := range ingests {
+			fmt.Fprintf(&b, "%s{model=%q} %d\n", name, is.model, get(is))
+		}
+	}
+	ingestGauge := func(name, help string, get func(ingestStat) float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, is := range ingests {
+			fmt.Fprintf(&b, "%s{model=%q} %g\n", name, is.model, get(is))
+		}
+	}
+	ingestCounter("neurocard_ingest_model_rows_acked_total", "Rows durably journaled and acknowledged per model.",
+		func(is ingestStat) int64 { return int64(is.rowsAcked) })
+	ingestGauge("neurocard_ingest_staleness_rows", "Acknowledged rows not yet absorbed into a refreshed model generation.",
+		func(is ingestStat) float64 { return float64(is.pendingRows) })
+	ingestGauge("neurocard_ingest_staleness_seconds", "Age of the oldest acknowledged row awaiting a refresh.",
+		func(is ingestStat) float64 { return is.secondsBehind })
+	ingestGauge("neurocard_ingest_journal_bytes", "On-disk size of the write-ahead row journal.",
+		func(is ingestStat) float64 { return float64(is.journalBytes) })
+	ingestGauge("neurocard_ingest_journal_rows", "Rows currently held in the write-ahead row journal (drops at prune).",
+		func(is ingestStat) float64 { return float64(is.journalRows) })
+	ingestGauge("neurocard_ingest_journal_segments", "Segment files in the write-ahead row journal.",
+		func(is ingestStat) float64 { return float64(is.journalSegments) })
+	ingestCounter("neurocard_ingest_journal_quarantined_total", "Journal files or tails quarantined during replay.",
+		func(is ingestStat) int64 { return is.replayQuarantined })
+	ingestCounter("neurocard_refresh_model_total", "Refresh cycles hot-swapped in per model.",
+		func(is ingestStat) int64 { return is.refreshes })
+	ingestCounter("neurocard_refresh_failures_total", "Refresh cycles that failed before hot swap.",
+		func(is ingestStat) int64 { return is.refreshFailures })
+	ingestCounter("neurocard_refresh_checkpoint_skips_total", "Refreshes that hot-swapped in memory but could not checkpoint.",
+		func(is ingestStat) int64 { return is.checkpointSkips })
+	ingestGauge("neurocard_refresh_lag_seconds", "Wall time of the last completed refresh cycle.",
+		func(is ingestStat) float64 { return is.lastRefreshSecs })
 	return b.String()
 }

@@ -76,10 +76,15 @@ type Registry struct {
 // time and the scrape path adds them back in, so neurocard_plan_cache_* and
 // neurocard_breaker_opens_total never go backwards after a reload.
 type RetiredTotals struct {
-	PlanHits      int64
-	PlanMisses    int64
-	PlanEvictions int64
-	BreakerOpens  int64
+	PlanHits          int64
+	PlanMisses        int64
+	PlanEvictions     int64
+	PlanInvalidations int64
+	BreakerOpens      int64
+	// DataGenerations accumulates retired generations' data-snapshot counts,
+	// so neurocard_data_generation keeps climbing across hot swaps instead of
+	// resetting with each fresh estimator.
+	DataGenerations int64
 }
 
 // Logical groups shard entries into one servable logical model: the
@@ -280,6 +285,8 @@ func (r *Registry) retireLocked(prev *Entry) {
 	t.PlanHits += ps.Hits
 	t.PlanMisses += ps.Misses
 	t.PlanEvictions += ps.Evictions
+	t.PlanInvalidations += ps.Invalidations
+	t.DataGenerations += prev.Est.DataGeneration()
 	if prev.Breaker != nil {
 		t.BreakerOpens += prev.Breaker.opens.Load()
 	}

@@ -83,6 +83,16 @@ type Config struct {
 	// as the SLO gauges (default 25ms).
 	SLOLatencyP99 time.Duration
 
+	// JournalDir is the root of the per-model write-ahead row journals
+	// (<dir>/<model>/journal-*.seg). Empty disables ingest: the ingest
+	// endpoint answers 503, because rows cannot be made durable.
+	JournalDir string
+
+	// MaxStaleness bounds how long an acknowledged row may wait for a model
+	// refresh before /readyz reports the instance degraded (the -max-staleness
+	// flag). 0 disables staleness gating.
+	MaxStaleness time.Duration
+
 	// Clock feeds the coalescer's window timer; nil means real time. Tests
 	// inject a fake to drive window-timeout flushes deterministically.
 	Clock Clock
@@ -98,6 +108,7 @@ type Server struct {
 	mux     *http.ServeMux
 
 	fusers    sync.Map // model name → *fuser
+	ingests   sync.Map // model name → *ingestState
 	closing   chan struct{}
 	closeOnce sync.Once
 }
@@ -157,6 +168,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("POST /v1/models/{name}/load", s.handleLoad)
+	s.mux.HandleFunc("POST /v1/models/{name}/ingest", s.handleIngest)
 	s.mux.HandleFunc("DELETE /v1/models/{name}", s.handleUnload)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /livez", s.handleLivez)
@@ -165,10 +177,14 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops every coalescer goroutine and fails requests caught mid-queue
-// with 503. Idempotent; the HTTP listener is the caller's to shut down.
+// Close stops every coalescer goroutine, fails requests caught mid-queue
+// with 503, and syncs + closes every ingest journal. Idempotent; the HTTP
+// listener is the caller's to shut down.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.closing) })
+	s.closeOnce.Do(func() {
+		close(s.closing)
+		s.closeIngest()
+	})
 }
 
 // Registry exposes the model registry (daemon preloading, tests).
@@ -754,19 +770,38 @@ func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
 // route traffic here yet), 200 otherwise — including degraded-but-serving,
 // which is reported in the body for observability but keeps the instance in
 // rotation, since it still answers every request (via the fallback).
+//
+// Degraded covers both causes — a non-closed breaker and ingest staleness
+// beyond -max-staleness — with each reported in its own field so staleness
+// never masks breaker state (and vice versa).
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	type readiness struct {
 		Status   string `json:"status"`
 		Ready    bool   `json:"ready"`
 		Models   int    `json:"models"`
 		Degraded bool   `json:"degraded"`
+		// Breakers is true when any model's circuit breaker is not closed;
+		// Stale lists models whose journaled rows exceed the staleness bound.
+		Breakers bool     `json:"breakers,omitempty"`
+		Stale    []string `json:"stale,omitempty"`
 	}
 	n := s.reg.Len()
-	resp := readiness{Status: "ok", Ready: n > 0, Models: n, Degraded: s.degraded()}
+	breakers := s.degraded()
+	stale := s.staleModels()
+	resp := readiness{
+		Status:   "ok",
+		Ready:    n > 0,
+		Models:   n,
+		Degraded: breakers || len(stale) > 0,
+		Breakers: breakers,
+		Stale:    stale,
+	}
 	status := http.StatusOK
 	if !resp.Ready {
 		resp.Status = "no models loaded"
 		status = http.StatusServiceUnavailable
+	} else if len(stale) > 0 {
+		resp.Status = fmt.Sprintf("stale: %s behind by more than %s", strings.Join(stale, ", "), s.cfg.MaxStaleness)
 	}
 	s.reply(w, status, resp)
 }
@@ -799,6 +834,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			plans:       e.Est.PlanCacheStats(),
 			precision:   string(e.Est.Precision()),
 			weightBytes: e.Est.ServingWeightBytes(),
+			dataGen:     e.Est.DataGeneration(),
 		}
 		if e.Breaker != nil {
 			ps.breakerState = e.Breaker.currentState()
@@ -809,12 +845,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			ps.plans.Hits += t.PlanHits
 			ps.plans.Misses += t.PlanMisses
 			ps.plans.Evictions += t.PlanEvictions
+			ps.plans.Invalidations += t.PlanInvalidations
+			ps.dataGen += t.DataGenerations
 			ps.breakerOpens += t.BreakerOpens
 		}
 		pools = append(pools, ps)
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(s.metrics.render(pools, s.coalesceStats(), s.reg.Quarantined())))
+	_, _ = w.Write([]byte(s.metrics.render(pools, s.coalesceStats(), s.reg.Quarantined(), s.ingestStats())))
 }
 
 // ---- helpers ----

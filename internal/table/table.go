@@ -171,6 +171,62 @@ func (t *Table) Filter(keep func(row int) bool) *Table {
 	return nt
 }
 
+// AppendRows returns a new table extending this one by the given rows, in
+// order, after all existing rows. Columns share their dictionaries with the
+// original (the same stability contract as Filter), which means every
+// appended value must already occur in its column's dictionary — ingest over
+// a frozen domain. Columns not listed receive NULL for the appended rows.
+// The receiver is untouched; existing rows keep their indexes, so samplers
+// and encoders built over the original table remain valid.
+func (t *Table) AppendRows(columns []string, rows [][]value.Value) (*Table, error) {
+	colIdx := make([]int, len(columns))
+	seen := make(map[string]bool, len(columns))
+	for i, name := range columns {
+		j, ok := t.byName[name]
+		if !ok {
+			return nil, fmt.Errorf("table %q: append references unknown column %q", t.name, name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("table %q: append lists column %q twice", t.name, name)
+		}
+		seen[name] = true
+		colIdx[i] = j
+	}
+	// Encode into per-column appended ID slices before touching anything, so
+	// a bad value rejects the whole batch.
+	ext := make([][]int32, len(t.cols))
+	for j := range t.cols {
+		ext[j] = make([]int32, len(rows)) // NullID for unlisted columns
+	}
+	for r, row := range rows {
+		if len(row) != len(columns) {
+			return nil, fmt.Errorf("table %q: append row %d has %d values, want %d", t.name, r, len(row), len(columns))
+		}
+		for i, v := range row {
+			c := t.cols[colIdx[i]]
+			id, ok := c.IDForValue(v)
+			if !ok {
+				return nil, fmt.Errorf("table %q: append row %d: value %s not in dictionary of column %q (ingest cannot grow dictionaries)",
+					t.name, r, v, c.Name())
+			}
+			ext[colIdx[i]][r] = id
+		}
+	}
+	cols := make([]*Column, len(t.cols))
+	for j, c := range t.cols {
+		ids := make([]int32, 0, len(c.ids)+len(rows))
+		ids = append(ids, c.ids...)
+		ids = append(ids, ext[j]...)
+		cols[j] = c.withIDs(ids)
+	}
+	nt, err := newTable(t.name, cols)
+	if err != nil {
+		// Appending preserves the invariants newTable checks.
+		panic(err)
+	}
+	return nt, nil
+}
+
 // Index maps non-NULL int join-key values to the rows containing them.
 type Index struct {
 	rows map[int64][]int32

@@ -3,6 +3,9 @@
 # full-estimator checkpoint, start the serving daemon, assert that a
 # POST /v1/estimate round trip returns a finite positive cardinality, and
 # assert that SIGTERM drains in-flight requests before the daemon exits 0.
+# A second act restarts the daemon with -journal, acknowledges an ingested
+# row, kills the process with SIGKILL, and asserts the row is replayed and
+# absorbed into a refreshed model generation on restart.
 # Run from the repository root; used by the CI e2e-smoke job.
 set -euo pipefail
 
@@ -160,6 +163,15 @@ echo "$METRICS" | grep -q 'neurocard_request_timeouts_total'
 echo "$METRICS" | grep -q 'neurocard_fallback_total'
 echo "$METRICS" | grep -q 'neurocard_checkpoints_quarantined_total 0'
 echo "breaker and fault counters present"
+# This daemon runs without -journal, so the ingest route must refuse with 503
+# rather than acknowledge rows it cannot make durable.
+ING_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/v1/models/joblight/ingest" \
+    -d '{"tables":[{"table":"movie_keyword","columns":["movie_id","keyword_id"],"rows":[[1,1]]}]}')
+if [[ "$ING_STATUS" != "503" ]]; then
+    echo "ingest without -journal answered $ING_STATUS, want 503" >&2
+    exit 1
+fi
+echo "ingest without a journal refused with 503"
 
 echo "=== sharded logical model: routed estimate round trip"
 # All six tables span both shards of any two-way partition, so this
@@ -240,5 +252,118 @@ if [[ "$DAEMON_RC" != "0" ]]; then
     exit 1
 fi
 echo "in-flight batch completed and daemon exited 0"
+
+echo "=== online ingest: durable ack survives kill -9, replay + refresh on restart"
+JOURNALS="$WORKDIR/journals"
+# Act one: refresh disabled, so the acknowledged rows are still only in the
+# journal when the process dies — the restart exercises the pure replay path.
+"$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight \
+    -journal "$JOURNALS" -max-staleness 1h -refresh-interval 0 &
+DAEMON_PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://$ADDR/readyz" >/dev/null 2>&1 && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "ingest daemon exited early" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# Ingest validates values against the frozen column dictionaries, and the
+# synthetic generator leaves some title ids without keyword rows — scan low
+# movie ids until one acks. A 400 means "not in this model's dictionary";
+# anything else is a real failure.
+ACKED_MID=""
+for MID in $(seq 1 40); do
+    ING_STATUS=$(curl -s -o "$WORKDIR/ingest.json" -w '%{http_code}' \
+        "http://$ADDR/v1/models/joblight/ingest" \
+        -d "{\"tables\":[{\"table\":\"movie_keyword\",\"columns\":[\"movie_id\",\"keyword_id\"],\"rows\":[[$MID,1]]}]}")
+    if [[ "$ING_STATUS" == "200" ]]; then
+        ACKED_MID=$MID
+        break
+    fi
+    if [[ "$ING_STATUS" != "400" ]]; then
+        echo "ingest movie_id=$MID answered $ING_STATUS, want 200 or 400" >&2
+        cat "$WORKDIR/ingest.json" >&2
+        exit 1
+    fi
+done
+if [[ -z "$ACKED_MID" ]]; then
+    echo "no ingestible movie_id found in 1..40" >&2
+    exit 1
+fi
+cat "$WORKDIR/ingest.json"
+grep -q '"durable":true' "$WORKDIR/ingest.json"
+grep -q '"rows":1' "$WORKDIR/ingest.json"
+# Buffer the exposition (grep -q closing the pipe early trips pipefail).
+METRICS=$(curl -sf "http://$ADDR/metrics")
+echo "$METRICS" | grep -q 'neurocard_ingest_staleness_rows{model="joblight"} 1'
+echo "row for movie_id=$ACKED_MID durably acknowledged and pending"
+
+# kill -9: no drain, no journal close. The fsync-before-ack contract means the
+# row must still be there when a new process replays the journal.
+kill -9 "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+set -e
+DAEMON_PID=""
+
+# Act two: restart with the background refresh armed. Replay happens before
+# the listener opens, then the refresh loop absorbs the replayed row into a
+# new model generation.
+"$WORKDIR/neurocardd" -addr "$ADDR" -models "$MODELS" -load joblight \
+    -journal "$JOURNALS" -max-staleness 1h \
+    -refresh-interval 250ms -refresh-tuples 0 > "$WORKDIR/restart.log" 2>&1 &
+DAEMON_PID=$!
+for i in $(seq 1 50); do
+    curl -sf "http://$ADDR/readyz" >/dev/null 2>&1 && break
+    if ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+        echo "restarted daemon exited early" >&2
+        cat "$WORKDIR/restart.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+grep -q '1 rows replayed' "$WORKDIR/restart.log"
+echo "journal replayed the acknowledged row after kill -9"
+
+# The refresh loop hot-swaps a new generation (data_generation 1 -> 2).
+GEN_OK=""
+for i in $(seq 1 50); do
+    METRICS=$(curl -sf "http://$ADDR/metrics" || true)
+    if echo "$METRICS" | grep -q 'neurocard_data_generation{model="joblight"} 2'; then
+        GEN_OK=1
+        break
+    fi
+    sleep 0.2
+done
+if [[ -z "$GEN_OK" ]]; then
+    echo "refresh never produced data generation 2" >&2
+    curl -s "http://$ADDR/metrics" | grep 'neurocard_\(data_generation\|refresh\|ingest\)' >&2 || true
+    exit 1
+fi
+POST_RESP=$(curl -sf "http://$ADDR/v1/estimate" -d '{
+  "query": {"tables": ["title","movie_keyword"],
+            "filters": [{"table":"movie_keyword","col":"keyword_id","op":"=","int":1}]},
+  "seed": 42}')
+echo "$POST_RESP"
+POST_EST=$(echo "$POST_RESP" | sed -n 's/.*"est":\([0-9.eE+-]*\).*/\1/p')
+if [[ -z "$POST_EST" ]]; then
+    echo "no estimate from the refreshed generation" >&2
+    exit 1
+fi
+awk -v est="$POST_EST" 'BEGIN { exit !(est > 0 && est < 1e30) }'
+echo "refreshed generation serves: estimate $POST_EST is finite and positive"
+kill -TERM "$DAEMON_PID"
+set +e
+wait "$DAEMON_PID"
+INGEST_RC=$?
+set -e
+DAEMON_PID=""
+if [[ "$INGEST_RC" != "0" ]]; then
+    echo "ingest daemon exited $INGEST_RC after SIGTERM, want 0" >&2
+    exit 1
+fi
+echo "ingest daemon drained and exited 0"
 
 echo "e2e smoke OK"
